@@ -1,0 +1,56 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the paper:
+it prints the same rows/series the paper reports and asserts the *shape*
+claims (who wins, roughly by how much, where curves flatten).  Absolute
+numbers differ — the substrate is a simulator, not the authors' testbed.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  The reproduced tables
+and series are printed in the REPRODUCTION REPORT section at the end of
+the run (they also stream live with ``-s``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.eval.scenarios import make_campus_world, make_corridor_world
+
+_REPORT_LINES: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The headline corridor world (dense APs, 4 riders, order-3 SVD)."""
+    return make_corridor_world(seed=0)
+
+
+@pytest.fixture(scope="session")
+def campus():
+    return make_campus_world(seed=0)
+
+
+def banner(title: str) -> None:
+    for line in ("", "=" * 72, title, "=" * 72):
+        _REPORT_LINES.append(line)
+        print(line, file=sys.stderr)
+
+
+def show(text: str) -> None:
+    for line in text.splitlines() or [""]:
+        _REPORT_LINES.append(line)
+        print(line, file=sys.stderr)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay the collected reproduction output where it cannot be lost."""
+    if not _REPORT_LINES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("*" * 72)
+    terminalreporter.write_line("REPRODUCTION REPORT (paper tables/figures)")
+    terminalreporter.write_line("*" * 72)
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)

@@ -1,0 +1,29 @@
+"""Fig. 10 — campus one-way road experiment.
+
+Paper claims: ranking RSS from the 11 campus APs and building the
+second-order SVD locates the bus at locations A, B and C with an error of
+2 m each (average 2 m).  Shape targets: every location within a few
+metres, average comparable to the paper's 2 m.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.eval.experiments import run_fig10
+
+
+def test_fig10(campus, benchmark):
+    results = benchmark.pedantic(
+        run_fig10, args=(campus,), kwargs={"order": 2}, rounds=1, iterations=1
+    )
+    banner("Fig. 10: campus road positioning (order-2 SVD)")
+    for name in ("A", "B", "C"):
+        r = results[name]
+        show(
+            f"  {name}: true {r['true_arc']:6.1f} m   estimated "
+            f"{r['estimated_arc']:6.1f} m   error {r['error_m']:.1f} m"
+        )
+    errors = [results[n]["error_m"] for n in ("A", "B", "C")]
+    show(f"  average error: {sum(errors) / 3:.1f} m (paper: 2 m)")
+
+    for name in ("A", "B", "C"):
+        assert results[name]["error_m"] < 6.0, f"location {name}"
+    assert sum(errors) / 3 < 4.0

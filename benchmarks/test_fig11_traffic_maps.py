@@ -1,0 +1,71 @@
+"""Fig. 11 — rush-hour traffic maps on the corridor: WiLocator vs the
+Transit Agency vs a velocity-threshold (Google-Maps-style) map.
+
+Paper claims: the agency map has *unconfirmed* segments; the velocity map
+misses/garbles segments; WiLocator marks every segment (its temporal-
+consistency inference), flags the true jam, and its anomaly detector
+localises the accident.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.core.traffic import SegmentStatus
+from repro.eval.experiments import run_fig11
+
+
+def test_fig11(world, benchmark):
+    exp = benchmark.pedantic(run_fig11, args=(world,), rounds=1, iterations=1)
+    banner(
+        "Fig. 11: rush-hour traffic maps on the corridor "
+        "('.'=normal 's'=slow 'S'=very slow '?'=unconfirmed)"
+    )
+    order = exp.segment_order
+    show(f"  WiLocator: {exp.wilocator_map.render_ascii(order)}"
+         f"   coverage {exp.wilocator_map.coverage():.2f}")
+    show(f"  Agency:    {exp.agency_map.render_ascii(order)}"
+         f"   coverage {exp.agency_map.coverage():.2f}")
+    show(f"  Velocity:  {exp.velocity_map.render_ascii(order)}"
+         f"   coverage {exp.velocity_map.coverage():.2f}")
+    show(f"  injected accident on: {exp.incident_segment}")
+    for a in exp.detected_anomalies:
+        show(
+            f"  detected anomaly: {a.segment_id} arc "
+            f"[{a.arc_start:.0f}, {a.arc_end:.0f}] for {a.duration_s:.0f} s"
+        )
+
+    # WiLocator marks every segment; the agency leaves unconfirmed ones.
+    assert exp.wilocator_map.coverage() == 1.0
+    assert exp.agency_map.coverage() < 1.0
+    assert exp.agency_map.unknown_segments()
+
+    # WiLocator flags the injected accident's segment as (very) slow.
+    assert exp.wilocator_map.status_of(exp.incident_segment) in (
+        SegmentStatus.SLOW,
+        SegmentStatus.VERY_SLOW,
+    )
+
+    # The velocity map disagrees with the residual map on a meaningful
+    # share of segments (its route-speed-mixing failure mode).
+    diff = sum(
+        1
+        for sid in order
+        if exp.velocity_map.status_of(sid) != exp.wilocator_map.status_of(sid)
+    )
+    assert diff >= len(order) // 4
+
+    # The anomaly detector localises the accident on the right segment.
+    anomaly_segments = {a.segment_id for a in exp.detected_anomalies}
+    assert exp.incident_segment in anomaly_segments
+    the_anomaly = next(
+        a for a in exp.detected_anomalies
+        if a.segment_id == exp.incident_segment
+    )
+    # Injected zone: arcs 150..300 within the segment, route-9 frame.
+    # The detected span must cover the zone; queue spill-back ahead of an
+    # accident legitimately extends the slow stretch, so allow a couple
+    # hundred metres of slack on each side.
+    route = world.routes["9"]
+    seg_start = route.segment_start_arc(exp.incident_segment)
+    true_lo, true_hi = seg_start + 150.0, seg_start + 300.0
+    assert the_anomaly.arc_start < true_hi and the_anomaly.arc_end > true_lo
+    assert the_anomaly.arc_start > true_lo - 300.0
+    assert the_anomaly.arc_end < true_hi + 300.0

@@ -1,0 +1,117 @@
+"""Fig. 2 — structure of the Signal Voronoi Diagram.
+
+The paper's illustration: five APs (a-e) around a road segment generate a
+SVD whose Signal Cells are split into Signal Tiles; SVEs separate cells,
+tile boundaries separate tiles, joint points and bisector joints mark
+their meetings; the road crosses some tiles and misses others (the
+off-road tile maps through its longest-boundary neighbour).
+
+This benchmark builds that scene and checks every structural element,
+plus the degenerate-to-Voronoi special case and the AP-removal rule.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, show
+from repro.core.svd import GridSVD
+from repro.geometry import Point, Polyline
+from repro.radio import RadioEnvironment
+from repro.radio.deployment import deploy_aps_at
+
+POSITIONS = [
+    Point(40.0, 40.0),    # a
+    Point(100.0, -30.0),  # b
+    Point(170.0, 35.0),   # c
+    Point(120.0, 70.0),   # d
+    Point(30.0, -60.0),   # e
+]
+BOUNDS = (Point(-20.0, -100.0), Point(220.0, 110.0))
+
+
+@pytest.fixture(scope="module")
+def env():
+    aps = deploy_aps_at(POSITIONS, ssid_prefix="AP")
+    return RadioEnvironment(
+        aps,
+        shadowing_sigma_db=3.0,
+        fading_sigma_db=0.0,
+        detection_threshold_dbm=-95.0,
+        seed=0,
+    )
+
+
+def test_fig2_structure(env, benchmark):
+    grid2 = benchmark.pedantic(
+        GridSVD.from_environment,
+        args=(env, BOUNDS),
+        kwargs={"order": 2, "resolution_m": 4.0},
+        rounds=1,
+        iterations=1,
+    )
+    grid1 = GridSVD.from_environment(env, BOUNDS, order=1, resolution_m=4.0)
+
+    banner("Fig. 2: Signal Voronoi Diagram structure (5 APs)")
+    show(f"  signal cells (order 1): {len(grid1.tiles)}")
+    show(f"  signal tiles (order 2): {len(grid2.tiles)}")
+    show(f"  signal voronoi edges:   {len(grid2.signal_voronoi_edges())}")
+    show(f"  joint points:           {len(grid1.joint_points())}")
+
+    # Every AP generates a cell; tiles refine cells.
+    assert len(grid1.tiles) == len(POSITIONS)
+    assert len(grid2.tiles) > len(grid1.tiles)
+
+    # SVEs separate different cells; joint points exist where >=3 meet.
+    assert grid2.signal_voronoi_edges()
+    assert grid1.joint_points()
+
+    # The road crosses some tiles; off-road tiles map to the road via the
+    # longest-boundary neighbour rule.
+    road = Polyline([Point(-20.0, 5.0), Point(220.0, 5.0)])
+    spans = grid2.tiles_intersecting(road)
+    assert spans
+    off_road = [t.signature for t in grid2.tiles if t.signature not in spans]
+    mapped = 0
+    for sig in off_road:
+        arc = grid2.map_tile_to_road(sig, road)
+        assert 0.0 <= arc <= road.length
+        mapped += 1
+    show(f"  road-crossing tiles:    {len(spans)}; off-road mapped: {mapped}")
+
+    # AP dynamics: removing AP 'b' merges its cell into the neighbours.
+    victim = env.aps[1].bssid
+    reduced_env = env.without_aps([victim])
+    grid_reduced = GridSVD.from_environment(
+        reduced_env, BOUNDS, order=1, resolution_m=4.0
+    )
+    assert len(grid_reduced.tiles) == len(POSITIONS) - 1
+
+
+def test_fig2_voronoi_special_case(benchmark):
+    """No shadowing + equal powers => SVD == classical Voronoi diagram."""
+    aps = deploy_aps_at(POSITIONS, ssid_prefix="AP")
+    ideal = RadioEnvironment(
+        aps,
+        shadowing_sigma_db=0.0,
+        fading_sigma_db=0.0,
+        detection_threshold_dbm=-95.0,
+        seed=0,
+    )
+    grid = benchmark.pedantic(
+        GridSVD.from_environment,
+        args=(ideal, BOUNDS),
+        kwargs={"order": 1, "resolution_m": 4.0},
+        rounds=1,
+        iterations=1,
+    )
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    mismatches = 0
+    for _ in range(300):
+        p = Point(rng.uniform(-20, 220), rng.uniform(-100, 110))
+        sig = grid.signature_at(p)
+        nearest = min(aps, key=lambda ap: p.distance_to(ap.position))
+        if sig[0] != nearest.bssid:
+            mismatches += 1
+    # Only grid-resolution boundary pixels may disagree.
+    assert mismatches <= 15

@@ -1,0 +1,38 @@
+"""Fig. 8(a) — CDF of positioning errors per route.
+
+Paper claims: despite unstable WiFi signals, WiLocator achieves a high
+accuracy, with the median error less than ~3 m for every route.  In this
+reproduction the shape targets are: metre-scale medians on every route
+(single-digit), tight CDFs (p90 within a few tile lengths), and no route
+behaving qualitatively worse than the others.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, show
+from repro.eval.experiments import run_fig8a
+from repro.eval.tables import format_cdf_table, format_summary_table
+
+
+def test_fig8a(world, benchmark):
+    errors = benchmark.pedantic(
+        run_fig8a, args=(world,), kwargs={"trips_per_route": 2},
+        rounds=1, iterations=1,
+    )
+    banner("Fig. 8(a): CDF of positioning errors (metres)")
+    show(format_cdf_table(errors, thresholds=[2, 3, 4, 5, 10, 20]))
+    show("")
+    show(format_summary_table(errors, unit="m"))
+
+    for route_id, errs in errors.items():
+        assert len(errs) > 100, f"route {route_id}: too few fixes"
+        median = float(np.median(errs))
+        p90 = float(np.percentile(errs, 90))
+        # Paper: median < 3 m.  Our simulated city: metre-scale medians.
+        assert median < 8.0, f"route {route_id}: median {median:.1f} m"
+        assert p90 < 25.0, f"route {route_id}: p90 {p90:.1f} m"
+
+    medians = [float(np.median(e)) for e in errors.values()]
+    assert max(medians) < 2.5 * max(min(medians), 2.0), (
+        "routes should behave comparably"
+    )

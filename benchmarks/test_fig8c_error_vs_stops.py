@@ -1,0 +1,60 @@
+"""Fig. 8(c) — mean prediction error vs number of bus stops (rush hours).
+
+Paper claims: the error grows with the number of stops ahead (more
+uncertainty farther out); the Rapid Line achieves the lowest error (its
+stops are spaced farther apart and it suffers less from jams on the
+overlapped segments); overall errors stay acceptable, max ~210 s over the
+first 19 stops.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, show
+from repro.eval.experiments import run_prediction_experiment
+from repro.eval.tables import format_stops_ahead
+
+MAX_STOPS = 19
+
+
+def test_fig8c(world, benchmark):
+    exp = benchmark.pedantic(
+        run_prediction_experiment,
+        args=(world,),
+        kwargs={"train_days": 3, "eval_days": 2},
+        rounds=1,
+        iterations=1,
+    )
+    per_route = {
+        rid: exp.mean_by_stops_ahead(rid, MAX_STOPS)
+        for rid in ("rapid", "9", "14", "16")
+    }
+    banner("Fig. 8(c): mean prediction error vs #stops ahead (seconds)")
+    show(format_stops_ahead(per_route, max_stops=MAX_STOPS))
+
+    for rid, series in per_route.items():
+        values = [v for v in series if not np.isnan(v)]
+        assert len(values) >= 10, f"route {rid}: too few points"
+        # Increasing trend: late mean above early mean.
+        early = np.mean(values[:3])
+        late = np.mean(values[-3:])
+        assert late > 1.5 * early, f"route {rid}: error must grow with stops"
+
+    def mean_at(rid, k):
+        v = per_route[rid][k]
+        return v if not np.isnan(v) else None
+
+    # The rapid line is the most predictable at matching stop counts.
+    for k in (4, 9, 14):
+        rapid = mean_at("rapid", k)
+        others = [mean_at(r, k) for r in ("9", "14", "16")]
+        others = [o for o in others if o is not None]
+        assert rapid is not None and others
+        assert rapid <= min(others) * 1.1, (
+            f"rapid not lowest at {k + 1} stops ahead"
+        )
+
+    # Magnitudes in the paper's ballpark (max ~210 s over 19 stops).
+    worst = max(
+        v for series in per_route.values() for v in series if not np.isnan(v)
+    )
+    assert worst < 350.0

@@ -1,0 +1,37 @@
+"""Fig. 9(a) — positioning error vs the number of WiFi APs.
+
+Paper claims: as the AP count grows, the mean positioning error decreases
+*slowly* (from ~3.15 m to ~2.8 m in their deployment) — i.e. accuracy is
+not hypersensitive to density once there are "enough" APs (at least three
+geo-tagged per segment).  Shape targets: monotone-ish decrease from the
+sparsest to the densest deployment, with a clearly sub-linear payoff.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.eval.experiments import run_fig9a
+from repro.eval.tables import format_series
+
+
+def test_fig9a(benchmark):
+    series = benchmark.pedantic(
+        run_fig9a,
+        kwargs={"spacings_m": (120.0, 80.0, 60.0, 45.0, 34.0)},
+        rounds=1,
+        iterations=1,
+    )
+    banner("Fig. 9(a): mean positioning error vs number of WiFi APs")
+    show(format_series(series, x_label="# APs", y_label="mean error (m)"))
+
+    counts = [n for n, _ in series]
+    errors = [e for _, e in series]
+    assert counts == sorted(counts)
+
+    # More APs help overall...
+    assert errors[-1] < errors[0]
+    # ...but with diminishing returns: the last doubling gains less than
+    # the first one (slow decrease).
+    first_gain = errors[0] - errors[1]
+    last_gain = errors[-2] - errors[-1]
+    assert last_gain < max(first_gain, 1.0)
+    # Dense deployments reach metre-scale accuracy.
+    assert errors[-1] < 8.0

@@ -1,0 +1,38 @@
+"""Fig. 9(b) — positioning error vs the order of the SVD.
+
+Paper claims: the positioning error "does not change significantly when
+the order of SVD increases, and 2-order SVD is often enough".  Shape
+targets: order 1 (Signal Cells only) is the worst; from order 2 on the
+curve flattens — the gain from 2 to 4 is small compared to the gain from
+1 to 2.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.eval.experiments import run_fig9b
+from repro.eval.tables import format_series
+
+
+def test_fig9b(world, benchmark):
+    series = benchmark.pedantic(
+        run_fig9b,
+        args=(world,),
+        kwargs={"orders": (1, 2, 3, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    banner("Fig. 9(b): mean positioning error vs SVD order")
+    show(format_series(series, x_label="order", y_label="mean error (m)"))
+
+    by_order = dict(series)
+    # Order 1 is the coarsest partition and the least accurate.
+    assert by_order[1] > by_order[2]
+    # Beyond order 2 the curve flattens: any residual change is small
+    # relative to the order-1 -> order-2 improvement.
+    step12 = by_order[1] - by_order[2]
+    residual = max(
+        abs(by_order[2] - by_order[3]), abs(by_order[3] - by_order[4])
+    )
+    assert residual < step12
+    # All orders >= 2 deliver metre-scale accuracy.
+    for order in (2, 3, 4):
+        assert by_order[order] < 10.0

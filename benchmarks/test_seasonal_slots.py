@@ -1,0 +1,70 @@
+"""Section V.B — seasonal index and the five weekday time slots.
+
+"We exploit the real data to compute the seasonal index of travel time on
+each road segment, based on which we divide each weekday into 5 time
+slots: <8:00AM, 8:00-10:00AM (morning rush hours), 10:00AM-6:00PM,
+6:00PM-7:00PM (afternoon rush hours), and >7:00PM."
+
+This benchmark runs the same procedure on simulated history: hourly
+seasonal indices per corridor segment (Eq. 6), rush-slot detection, and
+slot grouping — and checks that the learned scheme recovers the morning
+and afternoon rush boundaries the traffic model actually has.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, show
+from repro.core.arrival.seasonal import (
+    SlotScheme,
+    detect_rush_slots,
+    has_periodicity,
+    seasonal_index,
+)
+from repro.core.server.training import fit_slot_scheme, history_from_ground_truth
+
+
+def test_seasonal_slot_recovery(world, benchmark):
+    def build_history():
+        sim = world.simulator
+        result = sim.run(sim.default_schedules(headway_s=900.0), num_days=3)
+        return history_from_ground_truth(result)
+
+    history = benchmark.pedantic(build_history, rounds=1, iterations=1)
+
+    # Hourly seasonal index of a mid-corridor segment (Eq. 6).
+    segment = world.scenario.corridor_segment_ids[12]
+    hourly = SlotScheme.hourly()
+    si = seasonal_index(history, segment, hourly)
+
+    banner("Section V.B: hourly seasonal index of a corridor segment")
+    rows = []
+    for h in range(6, 22):
+        bar = "#" * int(round((si[h] - 0.5) * 20))
+        rows.append(f"  {h:02d}:00  SI={si[h]:5.2f}  {bar}")
+    show("\n".join(rows))
+
+    # Eq. 7 sanity: indices positive, populated mean ~1, periodicity real.
+    assert all(s > 0 for s in si)
+    assert has_periodicity(si)
+
+    # The rush hours must stand out (the paper saw SI >= 1.6 there).
+    rush = detect_rush_slots(si, threshold=1.15)
+    show(f"\n  detected rush hours: {sorted(rush)}")
+    assert 8 in rush or 9 in rush, "morning rush not detected"
+    assert 18 in rush, "afternoon rush not detected"
+    for quiet in (6, 12, 15, 21):
+        assert quiet not in rush
+
+    # Group hours into slots over the whole corridor; the learned scheme
+    # must isolate both rush windows (a handful of slots, boundaries at
+    # the true 8/10/18/19 o'clock transitions give or take the ramps).
+    slots = fit_slot_scheme(
+        history, world.scenario.corridor_segment_ids, tolerance=0.12
+    )
+    boundaries_h = [b / 3600.0 for b in slots.boundaries]
+    show(f"  learned slot boundaries (h): {boundaries_h}")
+    assert 3 <= slots.num_slots <= 10
+    for target in (8.0, 10.0, 18.0, 19.0):
+        assert any(
+            abs(b - target) <= 1.0 for b in boundaries_h
+        ), f"no slot boundary near {target:02.0f}:00"

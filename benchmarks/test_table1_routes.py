@@ -1,0 +1,38 @@
+"""Table I — the four investigated bus routes.
+
+Paper values:
+
+=========== ======= =========== ===============
+Route       # stops length (km) overlapped (km)
+=========== ======= =========== ===============
+Rapid Line  19      13.7        13
+9           65      16.3        13
+14          74      20.6        16.2
+16          91      18.3        9.5
+=========== ======= =========== ===============
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, show
+from repro.eval.experiments import run_table1
+from repro.roadnet.overlap import format_overlap_table
+
+PAPER = {
+    "rapid": (19, 13.7, 13.0),
+    "9": (65, 16.3, 13.0),
+    "14": (74, 20.6, 16.2),
+    "16": (91, 18.3, 9.5),
+}
+
+
+def test_table1(world, benchmark):
+    rows = benchmark.pedantic(run_table1, args=(world,), rounds=1, iterations=1)
+    banner("Table I: Information of the four investigated bus routes")
+    show(format_overlap_table(rows))
+
+    for row in rows:
+        stops, length_km, overlap_km = PAPER[row.route_id]
+        assert row.num_stops == stops
+        assert row.length_km == pytest.approx(length_km, abs=0.05)
+        assert row.overlapped_length_km == pytest.approx(overlap_km, abs=0.05)

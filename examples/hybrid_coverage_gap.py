@@ -1,0 +1,116 @@
+"""WiFi+GPS hybrid tracking through a coverage gap (paper Section VII).
+
+A suburban stretch of the route has no WiFi hotspots.  A pure WiFi tracker
+goes blind there; the hybrid notices the silence, powers the GPS up just
+for the gap (energy: GPS runs only a fraction of the trip), and hands back
+to WiFi when hotspots reappear — the adaptive behaviour the paper sketches
+as future work.
+
+Run:  python examples/hybrid_coverage_gap.py
+"""
+
+import numpy as np
+
+from repro.core.positioning import (
+    BusTracker,
+    HybridTracker,
+    SimulatedGPSReceiver,
+    SVDPositioner,
+)
+from repro.core.svd import RoadSVD
+from repro.geometry import Point
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.radio import RadioEnvironment
+from repro.radio.ap import AccessPoint, make_bssid
+from repro.roadnet import BusRoute, BusStop, RoadNetwork
+from repro.sensing import CrowdSensingLayer
+from repro.sensing.route_id import PerfectRouteIdentifier
+
+
+def build_scene():
+    """A 4 km route whose middle 1.5 km has no APs."""
+    net = RoadNetwork()
+    ids = []
+    for i in range(8):
+        sid = f"s{i}"
+        net.add_straight_segment(
+            sid, f"n{i}", Point(i * 500.0, 0.0),
+            f"n{i + 1}", Point((i + 1) * 500.0, 0.0),
+        )
+        ids.append(sid)
+    stops = [BusStop("start", "s0", 0.0), BusStop("end", "s7", 500.0)]
+    route = BusRoute("x1", net, ids, stops)
+    aps = [
+        AccessPoint(
+            bssid=make_bssid(i),
+            ssid=f"AP{i}",
+            position=Point(50.0 + i * 90.0, 12.0 if i % 2 else -12.0),
+        )
+        for i in range(44)
+        if not 1200.0 <= 50.0 + i * 90.0 <= 2700.0  # the coverage hole
+    ]
+    env = RadioEnvironment(aps, seed=0)
+    return net, route, env
+
+
+def main() -> None:
+    net, route, env = build_scene()
+    print(f"route: {route}; APs: {len(env)} (hole at 1.2-2.7 km)")
+
+    sim = CitySimulator(net, [route], seed=4)
+    trip = sim.run(
+        [DispatchSchedule("x1", first_s=12 * 3600.0, last_s=12 * 3600.0,
+                          headway_s=3600.0)],
+        num_days=1,
+    ).trips[0]
+
+    sensing = CrowdSensingLayer(
+        env,
+        route_identifier=PerfectRouteIdentifier(),
+        include_empty_scans=True,   # silence is the hybrid's trigger
+        seed=5,
+    )
+    reports = sensing.reports_for_trip(trip)
+    empty = sum(1 for r in reports if not r.readings)
+    print(f"trip {trip.trip_id}: {len(reports)} scans, {empty} with no WiFi")
+
+    svd = RoadSVD.from_environment(route, env, order=3)
+    known = {ap.bssid for ap in env.aps}
+
+    def run(tracker, name):
+        errors, holes = [], 0
+        for report in reports:
+            tp = tracker.update(report)
+            if tp is None:
+                continue
+            errors.append(abs(tp.arc_length - trip.arc_at(report.t)))
+            if 1300.0 < tp.arc_length < 2600.0:
+                holes += 1
+        print(
+            f"  {name:<22} fixes={len(errors):3d}  "
+            f"fixes inside hole={holes:2d}  "
+            f"median err={np.median(errors):5.1f} m  "
+            f"max err={max(errors):6.1f} m"
+        )
+        return tracker
+
+    print("\ntracking the same scan stream:")
+    run(BusTracker(SVDPositioner(svd, known)), "WiFi only")
+    hybrid = run(
+        HybridTracker(
+            BusTracker(SVDPositioner(svd, known)),
+            SimulatedGPSReceiver(trip, sigma_m=10.0, seed=1),
+        ),
+        "WiFi + GPS hybrid",
+    )
+    print(
+        f"\nhybrid energy profile: GPS activated "
+        f"{hybrid.gps_activations}x, {hybrid.gps_fixes} GPS fixes vs "
+        f"{hybrid.wifi_fixes} WiFi fixes "
+        f"({hybrid.gps_fixes / (hybrid.gps_fixes + hybrid.wifi_fixes):.0%} "
+        "of the trip on GPS)"
+    )
+
+
+if __name__ == "__main__":
+    main()

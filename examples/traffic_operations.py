@@ -1,0 +1,61 @@
+"""City traffic operations: real-time traffic map + anomaly detection.
+
+An accident blocks part of the corridor during the morning rush.  This
+example plays the operations-room view: WiLocator's residual-based traffic
+map (full coverage, incident flagged), the transit agency's map (with
+unconfirmed segments), the velocity-threshold map (misled by mixed route
+speeds), and the anomaly detector pinning the accident to ~100 m.
+
+Run:  python examples/traffic_operations.py          (~30 s)
+"""
+
+from repro.eval.experiments import run_fig11
+from repro.eval.scenarios import make_corridor_world
+from repro.mobility.traffic import DAY_S
+
+
+def main() -> None:
+    world = make_corridor_world(seed=0, ap_spacing_m=60.0, riders_per_bus=2)
+    print("simulating 2 training days + 1 incident day on the corridor ...")
+    exp = run_fig11(world, train_days=2)
+
+    order = exp.segment_order
+    tod = exp.snapshot_t % DAY_S
+    print(
+        f"\ntraffic maps at {int(tod // 3600):02d}:"
+        f"{int(tod % 3600 // 60):02d} "
+        "(west -> east; '.'=normal 's'=slow 'S'=very slow '?'=unconfirmed)"
+    )
+    print(f"  WiLocator  {exp.wilocator_map.render_ascii(order)}  "
+          f"coverage {exp.wilocator_map.coverage():.0%}")
+    print(f"  Agency     {exp.agency_map.render_ascii(order)}  "
+          f"coverage {exp.agency_map.coverage():.0%}")
+    print(f"  Velocity   {exp.velocity_map.render_ascii(order)}  "
+          f"coverage {exp.velocity_map.coverage():.0%}")
+
+    print(f"\nground truth: accident on {exp.incident_segment} "
+          "(150-300 m into the segment), 08:12-09:48")
+    print(f"WiLocator status there: "
+          f"{exp.wilocator_map.status_of(exp.incident_segment).value}")
+
+    if exp.detected_anomalies:
+        print("\nanomalies localised from bus trajectories (route-9 km):")
+        for a in exp.detected_anomalies:
+            print(
+                f"  {a.segment_id}: km {a.arc_start / 1000:.2f}-"
+                f"{a.arc_end / 1000:.2f}, buses pinned for "
+                f"{a.duration_s:.0f} s"
+            )
+    else:
+        print("\nno anomalies detected")
+
+    unknown = exp.agency_map.unknown_segments()
+    print(
+        f"\nthe agency map left {len(unknown)} of {len(order)} corridor "
+        "segments unconfirmed; WiLocator's temporal-consistency inference "
+        "marked them all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""WiLocator — WiFi-sensing bus tracking and arrival-time prediction.
+
+A full reproduction of *"WiLocator: WiFi-Sensing Based Real-Time Bus
+Tracking and Arrival Time Prediction in Urban Environments"* (ICDCS 2016),
+including the urban simulation substrate (road networks, RF propagation,
+bus mobility, crowd sensing) that replaces the paper's in-situ data.
+
+See ``examples/quickstart.py`` for the end-to-end flow and ``DESIGN.md``
+for the architecture map.
+"""
+
+from repro.core.arrival import (
+    ArrivalPrediction,
+    ArrivalTimePredictor,
+    SlotScheme,
+    TravelTimeRecord,
+    TravelTimeStore,
+)
+from repro.core.positioning import (
+    BusTracker,
+    PositionEstimate,
+    SVDPositioner,
+    Trajectory,
+    TrajectoryPoint,
+)
+from repro.core.server import WiLocatorServer, train_offline
+from repro.core.svd import GridSVD, RoadSVD, Signature
+from repro.core.traffic import (
+    Anomaly,
+    AnomalyDetector,
+    SegmentStatus,
+    TrafficClassifier,
+    TrafficMap,
+)
+from repro.geometry import GeoPoint, LocalProjection, Point, Polyline
+from repro.mobility import CitySimulator, DispatchSchedule, Incident, TrafficModel
+from repro.radio import AccessPoint, RadioEnvironment
+from repro.roadnet import BusRoute, BusStop, RoadNetwork, RoadSegment
+from repro.sensing import CrowdSensingLayer, ScanReport, Smartphone
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry
+    "Point",
+    "Polyline",
+    "GeoPoint",
+    "LocalProjection",
+    # road network
+    "RoadNetwork",
+    "RoadSegment",
+    "BusRoute",
+    "BusStop",
+    # radio
+    "AccessPoint",
+    "RadioEnvironment",
+    # mobility
+    "CitySimulator",
+    "TrafficModel",
+    "DispatchSchedule",
+    "Incident",
+    # sensing
+    "Smartphone",
+    "ScanReport",
+    "CrowdSensingLayer",
+    # core
+    "RoadSVD",
+    "GridSVD",
+    "Signature",
+    "SVDPositioner",
+    "PositionEstimate",
+    "BusTracker",
+    "Trajectory",
+    "TrajectoryPoint",
+    "TravelTimeStore",
+    "TravelTimeRecord",
+    "SlotScheme",
+    "ArrivalTimePredictor",
+    "ArrivalPrediction",
+    "TrafficClassifier",
+    "SegmentStatus",
+    "TrafficMap",
+    "Anomaly",
+    "AnomalyDetector",
+    "WiLocatorServer",
+    "train_offline",
+]

@@ -1,0 +1,15 @@
+"""Small shared internals."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_seed(*parts: object) -> int:
+    """A 64-bit seed derived stably from the given parts.
+
+    Python's built-in ``hash`` is salted per process; simulations need
+    cross-run stability, so we hash the repr of the parts with SHA-256.
+    """
+    digest = hashlib.sha256("|".join(repr(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big")

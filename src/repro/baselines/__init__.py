@@ -1,0 +1,32 @@
+"""Baselines the paper compares against (or that motivate it).
+
+* :mod:`gps` — GPS/AVL tracking with urban-canyon outages and noise
+  (the EasyTracker / agency-AVL approach the introduction critiques).
+* :mod:`cellid` — Cell-ID sequence matching over a sparse tower layer
+  (the cellular alternative of [15], [27]-[29]).
+* :mod:`agency` — the "Transit Agency" comparator of Fig. 8b / Fig. 11:
+  schedule + per-route history only, no cross-route recency, and a traffic
+  map that leaves unconfirmed segments unmarked.
+* :mod:`centroid` — classic weighted-centroid RSS positioning (no SVD),
+  the non-rank WiFi baseline.
+* :mod:`velocity_map` — a velocity-threshold traffic map (the Google-Maps
+  style comparator of Fig. 11c) that mixes route speed profiles.
+"""
+
+from repro.baselines.agency import AgencyTrafficMapBuilder, TransitAgencyPredictor
+from repro.baselines.cellid import CellIdSequenceTracker, CellTower, CellularLayer
+from repro.baselines.centroid import CentroidPositioner
+from repro.baselines.gps import GPSTracker, UrbanCanyonModel
+from repro.baselines.velocity_map import VelocityMapBuilder
+
+__all__ = [
+    "GPSTracker",
+    "UrbanCanyonModel",
+    "CellTower",
+    "CellularLayer",
+    "CellIdSequenceTracker",
+    "TransitAgencyPredictor",
+    "AgencyTrafficMapBuilder",
+    "CentroidPositioner",
+    "VelocityMapBuilder",
+]

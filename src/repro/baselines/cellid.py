@@ -1,0 +1,172 @@
+"""Cell-ID sequence-matching baseline.
+
+The cellular approach ([15], [27]-[29]): a phone observes the id of its
+serving cell tower; a route induces a characteristic *sequence* of cell
+ids; matching the observed sequence against historical sequences yields a
+(coarse) position.  Its weaknesses — towers ~800 m apart cover multiple
+road segments, sequences take minutes to stabilise, and overlapped
+segments are ambiguous — are what motivate WiLocator.
+
+:class:`CellularLayer` deploys towers sparsely; serving tower = nearest
+(equal-power model).  :class:`CellIdSequenceTracker` learns, per route,
+the arc span each tower serves, then estimates position online as the
+span's progress-weighted point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import stable_seed
+from repro.core.positioning.trajectory import Trajectory, TrajectoryPoint
+from repro.geometry import Point
+from repro.mobility.trip import BusTrip
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import BusRoute
+
+
+@dataclass(frozen=True, slots=True)
+class CellTower:
+    """One cell tower (equal transmit power model)."""
+
+    tower_id: str
+    position: Point
+
+
+class CellularLayer:
+    """Sparse tower deployment and serving-tower lookup."""
+
+    def __init__(self, towers: list[CellTower]) -> None:
+        if not towers:
+            raise ValueError("need at least one tower")
+        self.towers = list(towers)
+
+    @classmethod
+    def deploy_grid(
+        cls,
+        network: RoadNetwork,
+        *,
+        spacing_m: float = 800.0,
+        jitter_m: float = 150.0,
+        seed: int = 0,
+    ) -> "CellularLayer":
+        """Towers on a jittered grid over the network's bounding box."""
+        lo, hi = network.bounding_box()
+        rng = np.random.default_rng(stable_seed("celltowers", seed))
+        towers = []
+        k = 0
+        y = lo.y - spacing_m / 2
+        while y <= hi.y + spacing_m:
+            x = lo.x - spacing_m / 2
+            while x <= hi.x + spacing_m:
+                towers.append(
+                    CellTower(
+                        tower_id=f"cell-{k:04d}",
+                        position=Point(
+                            x + rng.uniform(-jitter_m, jitter_m),
+                            y + rng.uniform(-jitter_m, jitter_m),
+                        ),
+                    )
+                )
+                k += 1
+                x += spacing_m
+            y += spacing_m
+        return cls(towers)
+
+    def serving_tower(self, point: Point) -> CellTower:
+        """Nearest tower — the serving cell under equal power."""
+        return min(
+            self.towers,
+            key=lambda t: (point.distance_to(t.position), t.tower_id),
+        )
+
+
+class CellIdSequenceTracker:
+    """Cell-ID sequence matching for one route.
+
+    The offline phase records, from ground-truth training trips, the arc
+    interval of the route each tower serves.  Online, the estimate for a
+    bus currently served by tower ``c`` is a point inside ``c``'s span,
+    advanced by dwell time within the cell (sequence progress) — the
+    best a Cell-ID matcher can do, and still hundreds of metres coarse.
+    """
+
+    def __init__(self, route: BusRoute, layer: CellularLayer) -> None:
+        self.route = route
+        self.layer = layer
+        self._spans: dict[str, tuple[float, float]] = {}
+        self._mean_dwell: dict[str, float] = {}
+
+    # -- offline ------------------------------------------------------------
+
+    def fit(self, training_trips: list[BusTrip], *, sample_period_s: float = 10.0) -> None:
+        """Learn tower arc spans and mean in-cell dwell from trips."""
+        dwell_acc: dict[str, list[float]] = {}
+        for trip in training_trips:
+            t = trip.departure_s
+            current: str | None = None
+            t_entered = t
+            while t <= trip.end_s:
+                arc = trip.arc_at(t)
+                tower = self.layer.serving_tower(trip.route.point_at(arc)).tower_id
+                lo, hi = self._spans.get(tower, (arc, arc))
+                self._spans[tower] = (min(lo, arc), max(hi, arc))
+                if tower != current:
+                    if current is not None:
+                        dwell_acc.setdefault(current, []).append(t - t_entered)
+                    current = tower
+                    t_entered = t
+                t += sample_period_s
+            if current is not None:
+                dwell_acc.setdefault(current, []).append(trip.end_s - t_entered)
+        self._mean_dwell = {
+            tower: sum(v) / len(v) for tower, v in dwell_acc.items()
+        }
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self._spans)
+
+    def span_of(self, tower_id: str) -> tuple[float, float] | None:
+        return self._spans.get(tower_id)
+
+    # -- online -------------------------------------------------------------
+
+    def track_trip(self, trip: BusTrip, *, period_s: float = 10.0) -> Trajectory:
+        """Estimate a trajectory for a trip using only serving-cell ids."""
+        if not self.fitted:
+            raise RuntimeError("call fit() with training trips first")
+        route = self.route
+        trajectory = Trajectory(route=route)
+        t = trip.departure_s
+        current: str | None = None
+        t_entered = t
+        last_arc = 0.0
+        while t <= trip.end_s:
+            true_point = trip.point_at(t)
+            tower = self.layer.serving_tower(true_point).tower_id
+            if tower != current:
+                current = tower
+                t_entered = t
+            span = self._spans.get(tower)
+            if span is None:
+                arc = last_arc  # never seen in training: hold position
+            else:
+                lo, hi = span
+                dwell = self._mean_dwell.get(tower, period_s)
+                progress = min((t - t_entered) / max(dwell, period_s), 1.0)
+                arc = lo + progress * (hi - lo)
+            arc = max(min(arc, route.length), last_arc)
+            last_arc = arc
+            trajectory.append(
+                TrajectoryPoint(
+                    t=t,
+                    arc_length=arc,
+                    point=route.point_at(arc),
+                    method="cellid",
+                )
+            )
+            t += period_s
+        return trajectory

@@ -1,0 +1,82 @@
+"""Weighted-centroid RSS positioning (the non-SVD WiFi baseline).
+
+The classic lightweight scheme: estimate the position as the RSS-weighted
+centroid of the strongest APs' geo-tags, then map-match onto the route.
+It uses absolute RSS (which the paper argues is too noisy) instead of
+ranks, and no diagram structure — the natural ablation for "what does the
+SVD buy over just having geo-tagged APs?".
+"""
+
+from __future__ import annotations
+
+from repro.core.positioning.locator import PositionEstimate
+from repro.geometry import Point
+from repro.radio.ap import AccessPoint
+from repro.roadnet.route import BusRoute
+from repro.sensing.reports import ScanReport
+
+
+class CentroidPositioner:
+    """RSS-weighted centroid of the top-k APs, projected onto the route.
+
+    Parameters
+    ----------
+    route:
+        The route to map-match onto.
+    aps:
+        Geo-tagged APs (keyed by BSSID internally).
+    top_k:
+        How many strongest readings to use.
+    alpha:
+        Weight exponent: weight = (rss - floor)^alpha with the floor at
+        the weakest used reading; larger alpha trusts strong APs more.
+    """
+
+    def __init__(
+        self,
+        route: BusRoute,
+        aps: list[AccessPoint],
+        *,
+        top_k: int = 4,
+        alpha: float = 1.5,
+    ) -> None:
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.route = route
+        self._positions = {ap.bssid: ap.position for ap in aps if ap.geo_tagged}
+        self.top_k = top_k
+        self.alpha = alpha
+
+    def locate(
+        self,
+        report: ScanReport,
+        *,
+        arc_window: tuple[float, float] | None = None,
+    ) -> PositionEstimate | None:
+        """Estimate the route position for one scan (API-compatible with
+        :class:`~repro.core.positioning.locator.SVDPositioner`)."""
+        usable = [r for r in report.readings if r.bssid in self._positions]
+        if not usable:
+            return None
+        usable.sort(key=lambda r: -r.rss_dbm)
+        usable = usable[: self.top_k]
+        floor = usable[-1].rss_dbm - 1.0
+        wx = wy = wsum = 0.0
+        for r in usable:
+            w = max(r.rss_dbm - floor, 0.1) ** self.alpha
+            p = self._positions[r.bssid]
+            wx += w * p.x
+            wy += w * p.y
+            wsum += w
+        centroid = Point(wx / wsum, wy / wsum)
+        proj = self.route.polyline.project(centroid)
+        arc = proj.arc_length
+        if arc_window is not None:
+            arc = min(max(arc, arc_window[0]), arc_window[1])
+        return PositionEstimate(
+            arc_length=arc,
+            point=self.route.point_at(arc),
+            method="centroid",
+            signature_distance=float("nan"),
+            tile=None,
+        )

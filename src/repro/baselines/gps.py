@@ -1,0 +1,155 @@
+"""GPS / AVL tracking baseline with urban-canyon degradation.
+
+GPS works poorly exactly where WiLocator shines: street canyons block the
+line-of-sight to satellites, so fixes either vanish or degrade badly
+(multipath).  :class:`UrbanCanyonModel` marks seeded arc intervals of a
+route as canyons; :class:`GPSTracker` samples fixes along a ground-truth
+trip with nominal noise in the open and outage/degradation in canyons.
+This is both the EasyTracker-style comparator and the position source of
+the agency's AVL units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import stable_seed
+from repro.core.positioning.trajectory import Trajectory, TrajectoryPoint
+from repro.mobility.trip import BusTrip
+from repro.roadnet.route import BusRoute
+
+
+@dataclass(frozen=True, slots=True)
+class CanyonZone:
+    """An arc interval of a route where buildings block the sky."""
+
+    arc_start: float
+    arc_end: float
+
+    def contains(self, arc: float) -> bool:
+        return self.arc_start <= arc < self.arc_end
+
+
+class UrbanCanyonModel:
+    """Seeded canyon zones covering a fraction of a route.
+
+    Parameters
+    ----------
+    route:
+        The route to lay canyons on.
+    coverage:
+        Fraction of the route's length inside canyons (urban cores are
+        canyon-heavy; suburbs light).
+    mean_zone_m:
+        Average canyon length.
+    seed:
+        Deterministic zone placement.
+    """
+
+    def __init__(
+        self,
+        route: BusRoute,
+        *,
+        coverage: float = 0.35,
+        mean_zone_m: float = 400.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= coverage < 1.0:
+            raise ValueError("coverage must be in [0, 1)")
+        if mean_zone_m <= 0:
+            raise ValueError("mean zone length must be positive")
+        self.route = route
+        self.coverage = coverage
+        rng = np.random.default_rng(stable_seed("canyon", seed, route.route_id))
+        zones: list[CanyonZone] = []
+        target = coverage * route.length
+        covered = 0.0
+        guard = 0
+        while covered < target and guard < 10_000:
+            guard += 1
+            length = float(rng.exponential(mean_zone_m))
+            length = min(max(length, 50.0), route.length / 2.0)
+            start = float(rng.uniform(0.0, route.length - length))
+            zone = CanyonZone(start, start + length)
+            if any(
+                z.arc_start < zone.arc_end and zone.arc_start < z.arc_end
+                for z in zones
+            ):
+                continue
+            zones.append(zone)
+            covered += length
+        self.zones = sorted(zones, key=lambda z: z.arc_start)
+
+    def in_canyon(self, arc: float) -> bool:
+        return any(z.contains(arc) for z in self.zones)
+
+
+class GPSTracker:
+    """Samples GPS fixes for a ground-truth trip.
+
+    Parameters
+    ----------
+    canyon:
+        The route's canyon model.
+    period_s:
+        Fix interval (AVL units typically report every 10-30 s).
+    sigma_open_m / sigma_canyon_m:
+        Along-road fix noise in the open and inside canyons (multipath).
+    canyon_outage_p:
+        Probability a canyon fix is lost entirely.
+    """
+
+    def __init__(
+        self,
+        canyon: UrbanCanyonModel,
+        *,
+        period_s: float = 10.0,
+        sigma_open_m: float = 8.0,
+        sigma_canyon_m: float = 60.0,
+        canyon_outage_p: float = 0.6,
+        seed: int = 0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.canyon = canyon
+        self.period_s = period_s
+        self.sigma_open_m = sigma_open_m
+        self.sigma_canyon_m = sigma_canyon_m
+        self.canyon_outage_p = canyon_outage_p
+        self._seed = seed
+
+    def track_trip(self, trip: BusTrip) -> Trajectory:
+        """The GPS trajectory an AVL unit would report for this trip.
+
+        Fixes are clamped to the route (map matching) and to forward
+        motion, mirroring what the tracking pipeline does with WiFi fixes
+        so the comparison is fair.
+        """
+        route = trip.route
+        rng = np.random.default_rng(stable_seed("gps", self._seed, trip.trip_id))
+        trajectory = Trajectory(route=route)
+        t = trip.departure_s
+        last_arc = 0.0
+        while t <= trip.end_s:
+            true_arc = trip.arc_at(t)
+            in_canyon = self.canyon.in_canyon(true_arc)
+            if in_canyon and rng.random() < self.canyon_outage_p:
+                t += self.period_s
+                continue  # no fix
+            sigma = self.sigma_canyon_m if in_canyon else self.sigma_open_m
+            arc = true_arc + rng.normal(0.0, sigma)
+            arc = min(max(arc, 0.0), route.length)
+            arc = max(arc, last_arc)
+            last_arc = arc
+            trajectory.append(
+                TrajectoryPoint(
+                    t=t,
+                    arc_length=arc,
+                    point=route.point_at(arc),
+                    method="gps",
+                )
+            )
+            t += self.period_s
+        return trajectory

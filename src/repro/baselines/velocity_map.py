@@ -1,0 +1,96 @@
+"""Velocity-threshold traffic map (the Fig. 11c style comparator).
+
+The conventional way to colour a traffic map: compute probe vehicles'
+effective speed on each segment and compare against the speed limit.
+Section V.A.4 explains why this misleads for buses: a rapid line and a
+local route have different regular speeds on the same street, and
+different streets post different limits — so the same residual delay can
+read "slow" on one street and "normal" on another.  This builder exists to
+demonstrate exactly that failure mode against WiLocator's residual-based
+map.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.arrival.history import TravelTimeStore
+from repro.core.traffic.classifier import SegmentStatus
+from repro.core.traffic.map import SegmentState, TrafficMap
+from repro.roadnet.segment import RoadSegment
+
+
+class VelocityMapBuilder:
+    """Classifies segments by probe speed vs. the posted limit.
+
+    Parameters
+    ----------
+    segments:
+        segment id -> :class:`RoadSegment` (for lengths and limits).
+    slow_fraction / very_slow_fraction:
+        Effective speed below ``fraction * speed_limit`` classifies slow /
+        very slow.
+    fresh_window_s:
+        Only probes this fresh count; segments without probes are UNKNOWN.
+    """
+
+    def __init__(
+        self,
+        segments: Mapping[str, RoadSegment],
+        *,
+        slow_fraction: float = 0.4,
+        very_slow_fraction: float = 0.25,
+        fresh_window_s: float = 1800.0,
+    ) -> None:
+        if not 0.0 < very_slow_fraction < slow_fraction < 1.0:
+            raise ValueError("need 0 < very_slow_fraction < slow_fraction < 1")
+        self.segments = dict(segments)
+        self.slow_fraction = slow_fraction
+        self.very_slow_fraction = very_slow_fraction
+        self.fresh_window_s = fresh_window_s
+
+    def effective_speed(self, segment_id: str, travel_time_s: float) -> float:
+        """Probe speed implied by one traversal (length / travel time)."""
+        seg = self.segments[segment_id]
+        return seg.length / max(travel_time_s, 1e-6)
+
+    def build(
+        self,
+        segment_ids: Iterable[str],
+        live: TravelTimeStore,
+        now: float,
+    ) -> TrafficMap:
+        tmap = TrafficMap(t=now)
+        for sid in segment_ids:
+            seg = self.segments.get(sid)
+            recent = live.recent(
+                sid,
+                now=now,
+                window_s=self.fresh_window_s,
+                max_count=3,
+                per_route_latest=False,
+            )
+            if seg is None or not recent:
+                tmap.states[sid] = SegmentState(
+                    segment_id=sid,
+                    status=SegmentStatus.UNKNOWN,
+                    age_s=None,
+                    inferred=False,
+                )
+                continue
+            speeds = [self.effective_speed(sid, r.travel_time) for r in recent]
+            mean_speed = sum(speeds) / len(speeds)
+            limit = seg.speed_limit_mps
+            if mean_speed < self.very_slow_fraction * limit:
+                status = SegmentStatus.VERY_SLOW
+            elif mean_speed < self.slow_fraction * limit:
+                status = SegmentStatus.SLOW
+            else:
+                status = SegmentStatus.NORMAL
+            tmap.states[sid] = SegmentState(
+                segment_id=sid,
+                status=status,
+                age_s=now - recent[0].t_exit,
+                inferred=False,
+            )
+        return tmap

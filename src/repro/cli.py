@@ -1,0 +1,219 @@
+"""Command-line reproduction runner.
+
+Regenerates the paper's tables and figures as text, without pytest:
+
+    python -m repro.cli table1 fig8a
+    python -m repro.cli all            # everything (~3 minutes)
+    python -m repro.cli fig8b --quick  # smaller workloads
+
+Each experiment prints the same rows/series the corresponding
+``benchmarks/test_*.py`` asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _world(quick: bool):
+    from repro.eval.scenarios import make_corridor_world
+
+    if quick:
+        return make_corridor_world(seed=0, ap_spacing_m=60.0, riders_per_bus=2)
+    return make_corridor_world(seed=0)
+
+
+def run_table1(world, quick):
+    from repro.eval.experiments import run_table1
+    from repro.roadnet.overlap import format_overlap_table
+
+    print(format_overlap_table(run_table1(world)))
+
+
+def run_table2(world, quick):
+    from repro.eval.experiments import run_table2
+    from repro.eval.scenarios import make_campus_world
+
+    table = run_table2(make_campus_world(seed=0))
+    for name in ("A", "B", "C"):
+        row = ", ".join(f"{ssid}({rss:.0f})" for ssid, rss in table[name])
+        print(f"  {name}: {row}")
+
+
+def run_fig8a(world, quick):
+    from repro.eval.experiments import run_fig8a
+    from repro.eval.tables import format_cdf_table, format_summary_table
+
+    errors = run_fig8a(world, trips_per_route=1 if quick else 2)
+    print(format_cdf_table(errors, thresholds=[2, 3, 4, 5, 10, 20]))
+    print()
+    print(format_summary_table(errors, unit="m"))
+
+
+def _prediction(world, quick):
+    from repro.eval.experiments import run_prediction_experiment
+
+    return run_prediction_experiment(
+        world, train_days=2 if quick else 3, eval_days=1 if quick else 2
+    )
+
+
+def run_fig8b(world, quick):
+    from repro.eval.tables import format_cdf_table, format_summary_table
+
+    exp = _prediction(world, quick)
+    samples = {
+        "WiLocator": exp.wilocator_errors,
+        "Transit Agency": exp.agency_errors,
+    }
+    print(format_cdf_table(samples, thresholds=[30, 60, 120, 200, 400, 800]))
+    print()
+    print(format_summary_table(samples, unit="s"))
+
+
+def run_fig8c(world, quick):
+    from repro.eval.tables import format_stops_ahead
+
+    exp = _prediction(world, quick)
+    per_route = {
+        rid: exp.mean_by_stops_ahead(rid, 19)
+        for rid in ("rapid", "9", "14", "16")
+    }
+    print(format_stops_ahead(per_route, max_stops=19))
+
+
+def run_fig9a(world, quick):
+    from repro.eval.experiments import run_fig9a
+    from repro.eval.tables import format_series
+
+    spacings = (120.0, 60.0, 34.0) if quick else (120.0, 80.0, 60.0, 45.0, 34.0)
+    print(
+        format_series(
+            run_fig9a(spacings_m=spacings),
+            x_label="# APs",
+            y_label="mean error (m)",
+        )
+    )
+
+
+def run_fig9b(world, quick):
+    from repro.eval.experiments import run_fig9b
+    from repro.eval.tables import format_series
+
+    orders = (1, 2, 3) if quick else (1, 2, 3, 4)
+    print(
+        format_series(
+            run_fig9b(world, orders=orders),
+            x_label="order",
+            y_label="mean error (m)",
+        )
+    )
+
+
+def run_fig10(world, quick):
+    from repro.eval.experiments import run_fig10
+    from repro.eval.scenarios import make_campus_world
+
+    results = run_fig10(make_campus_world(seed=0))
+    for name in ("A", "B", "C"):
+        r = results[name]
+        print(
+            f"  {name}: true {r['true_arc']:6.1f} m  estimated "
+            f"{r['estimated_arc']:6.1f} m  error {r['error_m']:.1f} m"
+        )
+
+
+def run_fig11(world, quick):
+    from repro.eval.experiments import run_fig11
+
+    exp = run_fig11(world, train_days=2)
+    order = exp.segment_order
+    print("  ('.'=normal 's'=slow 'S'=very slow '?'=unconfirmed)")
+    print(f"  WiLocator: {exp.wilocator_map.render_ascii(order)}")
+    print(f"  Agency:    {exp.agency_map.render_ascii(order)}")
+    print(f"  Velocity:  {exp.velocity_map.render_ascii(order)}")
+    print(f"  injected accident: {exp.incident_segment}")
+    for a in exp.detected_anomalies:
+        print(
+            f"  detected anomaly: {a.segment_id} "
+            f"[{a.arc_start:.0f}, {a.arc_end:.0f}] m, {a.duration_s:.0f} s"
+        )
+
+
+def run_seasonal(world, quick):
+    from repro.core.arrival.seasonal import SlotScheme, seasonal_index
+    from repro.core.server.training import (
+        fit_slot_scheme,
+        history_from_ground_truth,
+    )
+    from repro.eval.ascii_viz import render_seasonal
+
+    sim = world.simulator
+    days = 2 if quick else 3
+    history = history_from_ground_truth(
+        sim.run(sim.default_schedules(headway_s=900.0), num_days=days)
+    )
+    segment = world.scenario.corridor_segment_ids[12]
+    si = seasonal_index(history, segment, SlotScheme.hourly())
+    print(f"  hourly seasonal index of {segment} (Eq. 6):")
+    print(render_seasonal(si))
+    slots = fit_slot_scheme(history, world.scenario.corridor_segment_ids)
+    hours = [b / 3600.0 for b in slots.boundaries]
+    print(f"  learned slot boundaries (h): {[round(h, 1) for h in hours]}")
+
+
+EXPERIMENTS = {
+    "table1": ("Table I: the four investigated routes", run_table1),
+    "seasonal": ("Section V.B: seasonal index and learned slots", run_seasonal),
+    "table2": ("Table II: campus RSSI at A/B/C", run_table2),
+    "fig8a": ("Fig. 8(a): positioning error CDF per route", run_fig8a),
+    "fig8b": ("Fig. 8(b): prediction error CDF vs agency", run_fig8b),
+    "fig8c": ("Fig. 8(c): prediction error vs stops ahead", run_fig8c),
+    "fig9a": ("Fig. 9(a): error vs number of APs", run_fig9a),
+    "fig9b": ("Fig. 9(b): error vs SVD order", run_fig9b),
+    "fig10": ("Fig. 10: campus positioning", run_fig10),
+    "fig11": ("Fig. 11: traffic maps + anomaly", run_fig11),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the WiLocator paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"which to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads (sparser APs, fewer days)",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = list(args.experiments) or ["all"]
+    if "all" in chosen:
+        chosen = list(EXPERIMENTS)
+    unknown = [c for c in chosen if c not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    world = _world(args.quick)
+    for name in chosen:
+        title, fn = EXPERIMENTS[name]
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        start = time.perf_counter()
+        fn(world, args.quick)
+        print(f"[{name} done in {time.perf_counter() - start:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""WiLocator core: the paper's contribution.
+
+Subpackages
+-----------
+``svd``
+    Signal Voronoi Diagrams: rank signatures, road-restricted SVD, 2-D
+    grid SVD, and the Euclidean special case (Section III.A).
+``positioning``
+    SVD-based bus positioning under the mobility constraint
+    (Section III.B).
+``arrival``
+    Travel-time history, seasonal index and arrival-time prediction
+    (Section IV).
+``traffic``
+    Traffic-map generation and anomaly detection (Section V.A.4).
+``server``
+    The back-end server tying it all together (Section V.A).
+"""

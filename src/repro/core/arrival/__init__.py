@@ -1,0 +1,28 @@
+"""Arrival-time prediction (Section IV)."""
+
+from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
+from repro.core.arrival.predictor import ArrivalPrediction, ArrivalTimePredictor
+from repro.core.arrival.seasonal import (
+    SlotScheme,
+    detect_rush_slots,
+    group_slots,
+    has_periodicity,
+    seasonal_index,
+    slot_filter,
+)
+from repro.core.arrival.segments import IncrementalExtractor, extract_traversals
+
+__all__ = [
+    "TravelTimeRecord",
+    "TravelTimeStore",
+    "ArrivalTimePredictor",
+    "ArrivalPrediction",
+    "SlotScheme",
+    "seasonal_index",
+    "detect_rush_slots",
+    "group_slots",
+    "has_periodicity",
+    "slot_filter",
+    "extract_traversals",
+    "IncrementalExtractor",
+]

@@ -1,0 +1,153 @@
+"""Seasonal index and time-slot schemes (Eq. 6-7).
+
+Travel times have a diurnal cycle (rush hours).  The seasonal index of
+time slot ``l`` on segment ``i`` is
+
+``SI(i, l) = mean travel time in slot l / overall mean``  (Eq. 6)
+
+so ``sum_l SI(i, l) = L`` whenever every slot has data (Eq. 7).  Slots
+with ``SI >> 1`` (the paper uses >= 1.6) are rush hours; consecutive slots
+with similar index are merged into bigger slots to increase sample size
+(Section IV), yielding the five weekday slots of Section V.B.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
+from repro.mobility.traffic import DAY_S
+
+
+@dataclass(frozen=True)
+class SlotScheme:
+    """A partition of the day into time slots.
+
+    ``boundaries`` are seconds-of-day, strictly increasing, starting at 0;
+    slot ``k`` covers ``[boundaries[k], boundaries[k+1])`` with the last
+    slot wrapping to midnight.
+    """
+
+    boundaries: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.boundaries or self.boundaries[0] != 0.0:
+            raise ValueError("boundaries must start at 0")
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise ValueError("boundaries must be strictly increasing")
+        if self.boundaries[-1] >= DAY_S:
+            raise ValueError("boundaries must lie within one day")
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.boundaries)
+
+    def slot_of(self, t: float) -> int:
+        """Slot index of an absolute time (uses its time-of-day)."""
+        tod = t % DAY_S
+        return bisect.bisect_right(self.boundaries, tod) - 1
+
+    def slot_span(self, index: int) -> tuple[float, float]:
+        """(start, end) seconds-of-day of a slot."""
+        if not 0 <= index < self.num_slots:
+            raise IndexError(f"slot {index} out of range")
+        end = (
+            self.boundaries[index + 1]
+            if index + 1 < self.num_slots
+            else DAY_S
+        )
+        return (self.boundaries[index], end)
+
+    @classmethod
+    def hourly(cls) -> "SlotScheme":
+        """24 one-hour slots — the granularity the seasonal index scans."""
+        return cls(tuple(float(h * 3600) for h in range(24)))
+
+    @classmethod
+    def paper_weekday(cls) -> "SlotScheme":
+        """The five slots of Section V.B: <8, 8-10, 10-18, 18-19, >19."""
+        return cls((0.0, 8 * 3600.0, 10 * 3600.0, 18 * 3600.0, 19 * 3600.0))
+
+
+def seasonal_index(
+    store: TravelTimeStore,
+    segment_id: str,
+    slots: SlotScheme | None = None,
+) -> list[float]:
+    """``SI(i, l)`` for every slot ``l`` of one segment (Eq. 6).
+
+    Computed over all routes and days in the store.  Slots with no data
+    get index 1.0 (indistinguishable from average), keeping the Eq. 7
+    normalisation meaningful for the populated slots.
+    """
+    slots = slots or SlotScheme.hourly()
+    records = store.records(segment_id)
+    if not records:
+        raise ValueError(f"no records for segment {segment_id!r}")
+    per_slot: list[list[float]] = [[] for _ in range(slots.num_slots)]
+    for r in records:
+        per_slot[slots.slot_of(r.t_enter)].append(r.travel_time)
+    overall = sum(r.travel_time for r in records) / len(records)
+    out = []
+    for values in per_slot:
+        if values:
+            out.append((sum(values) / len(values)) / overall)
+        else:
+            out.append(1.0)
+    return out
+
+
+def detect_rush_slots(
+    indices: list[float], *, threshold: float = 1.2
+) -> list[int]:
+    """Slots whose seasonal index flags them as rush hours.
+
+    The paper mentions SI >= 1.6 for its data; the threshold is a knob
+    because rush intensity is scenario-dependent.
+    """
+    return [i for i, si in enumerate(indices) if si >= threshold]
+
+
+def group_slots(
+    indices: list[float],
+    base: SlotScheme | None = None,
+    *,
+    tolerance: float = 0.15,
+) -> SlotScheme:
+    """Merge consecutive slots with similar seasonal index (Section IV).
+
+    Walks the base slots in order and starts a new merged slot whenever
+    the index departs from the running slot's mean by more than
+    ``tolerance``.  Fewer slots mean more samples per slot for the
+    predictor.
+    """
+    base = base or SlotScheme.hourly()
+    if len(indices) != base.num_slots:
+        raise ValueError("one index per base slot required")
+    boundaries = [0.0]
+    run_mean = indices[0]
+    run_len = 1
+    for k in range(1, base.num_slots):
+        if abs(indices[k] - run_mean) > tolerance:
+            boundaries.append(base.boundaries[k])
+            run_mean = indices[k]
+            run_len = 1
+        else:
+            run_mean = (run_mean * run_len + indices[k]) / (run_len + 1)
+            run_len += 1
+    return SlotScheme(tuple(boundaries))
+
+
+def has_periodicity(indices: list[float], *, tolerance: float = 0.05) -> bool:
+    """Eq. 6's test: SI(i, l) == 1 for all l means no diurnal cycle."""
+    return any(abs(si - 1.0) > tolerance for si in indices)
+
+
+def slot_filter(slots: SlotScheme, slot_index: int):
+    """A record predicate keeping records entering within one slot."""
+
+    def accept(record: TravelTimeRecord) -> bool:
+        return slots.slot_of(record.t_enter) == slot_index
+
+    return accept

@@ -1,0 +1,22 @@
+"""SVD-based bus positioning (Section III.B) and the GPS hybrid
+(Section VII)."""
+
+from repro.core.positioning.hybrid import (
+    GPSFixProvider,
+    HybridTracker,
+    SimulatedGPSReceiver,
+)
+from repro.core.positioning.locator import PositionEstimate, SVDPositioner
+from repro.core.positioning.tracker import BusTracker
+from repro.core.positioning.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = [
+    "SVDPositioner",
+    "PositionEstimate",
+    "BusTracker",
+    "Trajectory",
+    "TrajectoryPoint",
+    "HybridTracker",
+    "GPSFixProvider",
+    "SimulatedGPSReceiver",
+]

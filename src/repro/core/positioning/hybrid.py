@@ -1,0 +1,153 @@
+"""WiFi + GPS hybrid tracking (the paper's Section VII extension).
+
+"WiLocator is by no means exclusive; ... when a smartphone scans no WiFi
+information for a while, the GPS module is activated so that the system
+can adaptively work from WiFi-coverage areas to GPS viable environments."
+
+:class:`HybridTracker` wraps the SVD tracker: as long as scans contain
+usable APs it behaves identically (and keeps GPS off — the energy win);
+after ``silence_threshold_s`` without a usable scan it activates a GPS
+receiver and keeps the trajectory alive with GPS fixes until WiFi returns.
+Both kinds of fixes land in the same trajectory, so travel-time extraction
+and arrival prediction keep working across coverage holes.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro._util import stable_seed
+from repro.core.positioning.tracker import BusTracker
+from repro.core.positioning.trajectory import TrajectoryPoint
+from repro.mobility.trip import BusTrip
+from repro.sensing.reports import ScanReport
+
+
+class GPSFixProvider(Protocol):
+    """Source of GPS fixes in route coordinates."""
+
+    def fix_at(self, t: float) -> float | None:
+        """Route arc length at time ``t``, or None (no satellite fix)."""
+        ...
+
+
+class SimulatedGPSReceiver:
+    """A phone's GPS, simulated against ground truth.
+
+    Samples the true trip position with Gaussian along-road noise; inside
+    urban-canyon zones fixes are degraded or lost (that is why WiFi leads
+    and GPS is only the fallback).
+    """
+
+    def __init__(
+        self,
+        trip: BusTrip,
+        *,
+        canyon=None,
+        sigma_m: float = 10.0,
+        sigma_canyon_m: float = 60.0,
+        canyon_outage_p: float = 0.6,
+        seed: int = 0,
+    ) -> None:
+        self._trip = trip
+        self._canyon = canyon
+        self.sigma_m = sigma_m
+        self.sigma_canyon_m = sigma_canyon_m
+        self.canyon_outage_p = canyon_outage_p
+        self._seed = seed
+
+    def fix_at(self, t: float) -> float | None:
+        rng = np.random.default_rng(
+            stable_seed("gpsfix", self._seed, self._trip.trip_id, round(t, 3))
+        )
+        true_arc = self._trip.arc_at(t)
+        in_canyon = self._canyon is not None and self._canyon.in_canyon(true_arc)
+        if in_canyon and rng.random() < self.canyon_outage_p:
+            return None
+        sigma = self.sigma_canyon_m if in_canyon else self.sigma_m
+        arc = true_arc + rng.normal(0.0, sigma)
+        return float(min(max(arc, 0.0), self._trip.route.length))
+
+
+class HybridTracker:
+    """WiFi-first tracking with adaptive GPS fallback.
+
+    Parameters
+    ----------
+    tracker:
+        The underlying SVD bus tracker.
+    gps:
+        GPS fix source, consulted only while WiFi is silent.
+    silence_threshold_s:
+        How long without a usable WiFi scan before GPS activates; the
+        paper's "scans no WiFi information for a while".
+    """
+
+    def __init__(
+        self,
+        tracker: BusTracker,
+        gps: GPSFixProvider,
+        *,
+        silence_threshold_s: float = 25.0,
+    ) -> None:
+        if silence_threshold_s <= 0:
+            raise ValueError("silence threshold must be positive")
+        self.tracker = tracker
+        self.gps = gps
+        self.silence_threshold_s = silence_threshold_s
+        self._last_wifi_t: float | None = None
+        self.gps_active = False
+        self.wifi_fixes = 0
+        self.gps_fixes = 0
+        self.gps_activations = 0
+
+    @property
+    def trajectory(self):
+        return self.tracker.trajectory
+
+    @property
+    def route(self):
+        return self.tracker.route
+
+    def _apply_gps(self, t: float) -> TrajectoryPoint | None:
+        arc = self.gps.fix_at(t)
+        if arc is None:
+            return None
+        last = self.trajectory.last
+        if last is not None:
+            arc = max(arc, last.arc_length)  # mobility constraint
+        point = TrajectoryPoint(
+            t=t,
+            arc_length=arc,
+            point=self.route.point_at(arc),
+            method="gps",
+        )
+        self.trajectory.append(point)
+        self.gps_fixes += 1
+        return point
+
+    def update(self, report: ScanReport) -> TrajectoryPoint | None:
+        """Process one scan report (possibly with zero usable readings)."""
+        usable = self.tracker.positioner.observed_signature(report)
+        if usable:
+            if self.gps_active:
+                self.gps_active = False  # WiFi is back: GPS off (energy)
+            self._last_wifi_t = report.t
+            point = self.tracker.update(report)
+            if point is not None:
+                self.wifi_fixes += 1
+            return point
+
+        # Silent scan: decide whether the silence is long enough for GPS.
+        if self._last_wifi_t is None:
+            silence = float("inf")
+        else:
+            silence = report.t - self._last_wifi_t
+        if silence >= self.silence_threshold_s:
+            if not self.gps_active:
+                self.gps_active = True
+                self.gps_activations += 1
+            return self._apply_gps(report.t)
+        return None

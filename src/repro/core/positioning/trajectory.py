@@ -1,0 +1,104 @@
+"""Bus trajectories (Definition 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import GeoPoint, LocalProjection, Point
+from repro.roadnet.route import BusRoute
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One estimated position with its scan timestamp.
+
+    ``arc_length`` is the route-coordinate view (what tracking and
+    travel-time extraction use); ``point`` is the planar view; the paper's
+    ``<lat, long, t>`` tuple is recovered via a :class:`LocalProjection`.
+    """
+
+    t: float
+    arc_length: float
+    point: Point
+    method: str = "tile"
+
+    def as_geo(self, projection: LocalProjection) -> tuple[float, float, float]:
+        """The paper's ``<lat, long, t>`` trajectory tuple."""
+        g: GeoPoint = projection.to_geo(self.point)
+        return (g.lat, g.lon, self.t)
+
+
+@dataclass
+class Trajectory:
+    """A time-ordered sequence of position estimates for one bus."""
+
+    route: BusRoute
+    points: list[TrajectoryPoint] = field(default_factory=list)
+
+    def append(self, point: TrajectoryPoint) -> None:
+        if self.points and point.t < self.points[-1].t:
+            raise ValueError("trajectory points must be time-ordered")
+        self.points.append(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def last(self) -> TrajectoryPoint | None:
+        return self.points[-1] if self.points else None
+
+    def arc_lengths(self) -> list[float]:
+        return [p.arc_length for p in self.points]
+
+    def times(self) -> list[float]:
+        return [p.t for p in self.points]
+
+    def step_road_distances(self) -> list[float]:
+        """Road distance travelled between consecutive scans.
+
+        ``dr(p_{i-1}, p_i)`` of the anomaly detector — along-route arc
+        differences, not straight-line distances.
+        """
+        arcs = self.arc_lengths()
+        return [b - a for a, b in zip(arcs, arcs[1:])]
+
+    def arc_at_time(self, t: float) -> float:
+        """Linear interpolation of arc length at time ``t`` (clamped)."""
+        if not self.points:
+            raise ValueError("empty trajectory")
+        pts = self.points
+        if t <= pts[0].t:
+            return pts[0].arc_length
+        if t >= pts[-1].t:
+            return pts[-1].arc_length
+        for a, b in zip(pts, pts[1:]):
+            if a.t <= t <= b.t:
+                if b.t == a.t:
+                    return b.arc_length
+                frac = (t - a.t) / (b.t - a.t)
+                return a.arc_length + frac * (b.arc_length - a.arc_length)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def time_at_arc(self, arc: float) -> float | None:
+        """First time the trajectory crosses ``arc`` (Fig. 5 interpolation).
+
+        Linear interpolation between the straddling scan positions: with
+        positions A before and B after the boundary, the crossing time is
+        ``t_A + t(A,B) * d(A, boundary) / d(A, B)``.  Returns None when
+        the trajectory never reaches ``arc``.
+        """
+        pts = self.points
+        if not pts or arc > pts[-1].arc_length:
+            return None
+        if arc <= pts[0].arc_length:
+            return pts[0].t
+        for a, b in zip(pts, pts[1:]):
+            if a.arc_length <= arc <= b.arc_length:
+                if b.arc_length == a.arc_length:
+                    return a.t
+                frac = (arc - a.arc_length) / (b.arc_length - a.arc_length)
+                return a.t + frac * (b.t - a.t)
+        return None

@@ -1,0 +1,194 @@
+"""Rider-facing query API (WiLocator's third component).
+
+Section II: "a user interface for trip plan, such that the real-time bus
+track and schedule, and the traffic map, can be readily available for
+intended bus riders."  :class:`RiderAPI` answers the questions a rider
+app would ask the server:
+
+* *departures board* — the next buses arriving at a stop, across every
+  route serving it, with live ETAs;
+* *trip plan* — ride options between two stops (same-route direct rides,
+  ranked by predicted arrival at the destination);
+* *where is my bus* — the live position of a tracked bus in geo
+  coordinates (Definition 6 tuples) for display on a map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.server.server import WiLocatorServer
+from repro.geometry import LocalProjection
+from repro.roadnet.route import BusRoute, BusStop
+
+
+@dataclass(frozen=True, slots=True)
+class DepartureEntry:
+    """One row of a stop's departures board."""
+
+    route_id: str
+    session_key: str
+    stop_id: str
+    eta_t: float
+    eta_in_s: float
+    distance_away_m: float
+
+
+@dataclass(frozen=True, slots=True)
+class TripOption:
+    """One direct ride option between two stops."""
+
+    route_id: str
+    session_key: str
+    board_stop_id: str
+    alight_stop_id: str
+    board_t: float
+    alight_t: float
+
+    @property
+    def ride_time_s(self) -> float:
+        return self.alight_t - self.board_t
+
+
+class RiderAPI:
+    """Trip-plan queries over a running :class:`WiLocatorServer`."""
+
+    def __init__(
+        self,
+        server: WiLocatorServer,
+        *,
+        projection: LocalProjection | None = None,
+    ) -> None:
+        self.server = server
+        self.projection = projection
+
+    # -- stop resolution -----------------------------------------------------
+
+    def stops_named(self, stop_id: str) -> list[tuple[BusRoute, BusStop]]:
+        """All (route, stop) pairs with the given stop id."""
+        out = []
+        for route in self.server.routes.values():
+            for stop in route.stops:
+                if stop.stop_id == stop_id:
+                    out.append((route, stop))
+        return out
+
+    def stops_of_route(self, route_id: str) -> list[BusStop]:
+        return list(self.server.routes[route_id].stops)
+
+    # -- departures board ------------------------------------------------------
+
+    def departures(
+        self, stop_id: str, now: float, *, max_entries: int = 10
+    ) -> list[DepartureEntry]:
+        """The next buses predicted to arrive at a stop, soonest first.
+
+        Considers every active session whose route serves the stop and
+        whose bus has not passed it yet.
+        """
+        targets = self.stops_named(stop_id)
+        if not targets:
+            raise KeyError(f"no stop {stop_id!r} on any route")
+        entries: list[DepartureEntry] = []
+        for session in self.server.active_sessions(now):
+            route = self.server.routes[session.route_id]
+            match = next(
+                (stop for r, stop in targets if r.route_id == route.route_id),
+                None,
+            )
+            last = session.trajectory.last
+            if match is None or last is None:
+                continue
+            stop_arc = route.stop_arc_length(match)
+            if stop_arc <= last.arc_length:
+                continue  # already passed
+            pred = self.server.predictor.predict_arrival(
+                route, last.arc_length, last.t, match
+            )
+            if pred is None:
+                continue
+            entries.append(
+                DepartureEntry(
+                    route_id=route.route_id,
+                    session_key=session.session_key,
+                    stop_id=stop_id,
+                    eta_t=pred.t_arrival,
+                    eta_in_s=pred.t_arrival - now,
+                    distance_away_m=stop_arc - last.arc_length,
+                )
+            )
+        entries.sort(key=lambda e: e.eta_t)
+        return entries[:max_entries]
+
+    # -- trip planning -----------------------------------------------------------
+
+    def plan_trip(
+        self, from_stop_id: str, to_stop_id: str, now: float
+    ) -> list[TripOption]:
+        """Direct (single-ride) options from one stop to another.
+
+        For every route serving both stops in order, and every active bus
+        of that route not yet past the boarding stop, predicts boarding
+        and alighting times; options come back sorted by arrival.
+        """
+        options: list[TripOption] = []
+        for route in self.server.routes.values():
+            board = next(
+                (s for s in route.stops if s.stop_id == from_stop_id), None
+            )
+            alight = next(
+                (s for s in route.stops if s.stop_id == to_stop_id), None
+            )
+            if board is None or alight is None:
+                continue
+            if route.stop_arc_length(alight) <= route.stop_arc_length(board):
+                continue
+            for session in self.server.active_sessions(now):
+                if session.route_id != route.route_id:
+                    continue
+                last = session.trajectory.last
+                if last is None:
+                    continue
+                if route.stop_arc_length(board) <= last.arc_length:
+                    continue
+                p_board = self.server.predictor.predict_arrival(
+                    route, last.arc_length, last.t, board
+                )
+                p_alight = self.server.predictor.predict_arrival(
+                    route, last.arc_length, last.t, alight
+                )
+                if p_board is None or p_alight is None:
+                    continue
+                options.append(
+                    TripOption(
+                        route_id=route.route_id,
+                        session_key=session.session_key,
+                        board_stop_id=from_stop_id,
+                        alight_stop_id=to_stop_id,
+                        board_t=p_board.t_arrival,
+                        alight_t=p_alight.t_arrival,
+                    )
+                )
+        options.sort(key=lambda o: o.alight_t)
+        return options
+
+    # -- live map -----------------------------------------------------------------
+
+    def live_positions(
+        self, now: float
+    ) -> dict[str, tuple[float, float, float] | tuple[float, float]]:
+        """Current position of every active bus.
+
+        With a projection configured, values are the paper's
+        ``<lat, long, t>`` tuples; otherwise planar ``(x, y)`` metres.
+        """
+        out: dict[str, tuple] = {}
+        for session in self.server.active_sessions(now):
+            last = session.trajectory.last
+            if last is None:
+                continue
+            if self.projection is not None:
+                out[session.session_key] = last.as_geo(self.projection)
+            else:
+                out[session.session_key] = (last.point.x, last.point.y)
+        return out

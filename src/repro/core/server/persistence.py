@@ -1,0 +1,91 @@
+"""Persistence of the server's trained state.
+
+The offline phase (historical travel times, slot scheme, anomaly
+thresholds) is expensive to recompute; a production server snapshots it
+between restarts.  Plain JSON, same spirit as the roadnet / AP databases.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
+from repro.core.arrival.seasonal import SlotScheme
+
+FORMAT_VERSION = 1
+
+
+def store_to_dict(store: TravelTimeStore) -> dict[str, Any]:
+    """Serialise a travel-time store."""
+    return {
+        "version": FORMAT_VERSION,
+        "records": [
+            {
+                "route": r.route_id,
+                "segment": r.segment_id,
+                "t_enter": r.t_enter,
+                "t_exit": r.t_exit,
+                "source": r.source,
+            }
+            for sid in store.segment_ids()
+            for r in store.records(sid)
+        ],
+    }
+
+
+def store_from_dict(data: dict[str, Any]) -> TravelTimeStore:
+    """Rebuild a travel-time store."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported store format version {version}")
+    return TravelTimeStore(
+        TravelTimeRecord(
+            route_id=r["route"],
+            segment_id=r["segment"],
+            t_enter=float(r["t_enter"]),
+            t_exit=float(r["t_exit"]),
+            source=r.get("source", "observed"),
+        )
+        for r in data["records"]
+    )
+
+
+def slots_to_dict(slots: SlotScheme) -> dict[str, Any]:
+    return {"version": FORMAT_VERSION, "boundaries": list(slots.boundaries)}
+
+
+def slots_from_dict(data: dict[str, Any]) -> SlotScheme:
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported slots format version {version}")
+    return SlotScheme(tuple(float(b) for b in data["boundaries"]))
+
+
+def save_training_state(
+    path: str | Path,
+    history: TravelTimeStore,
+    slots: SlotScheme | None = None,
+) -> None:
+    """Snapshot the trained state to one JSON file."""
+    payload: dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "history": store_to_dict(history),
+    }
+    if slots is not None:
+        payload["slots"] = slots_to_dict(slots)
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_training_state(
+    path: str | Path,
+) -> tuple[TravelTimeStore, SlotScheme | None]:
+    """Restore a snapshot written by :func:`save_training_state`."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot version {version}")
+    history = store_from_dict(data["history"])
+    slots = slots_from_dict(data["slots"]) if "slots" in data else None
+    return history, slots

@@ -1,0 +1,246 @@
+"""The WiLocator back-end server (Section V.A).
+
+All computation is shifted here: the server receives scan reports from
+phones, tracks every bus on its route's Signal Voronoi Diagram, extracts
+segment travel times from the trajectories as buses cross intersections,
+feeds them to the arrival-time predictor and the traffic-map builder, and
+answers rider queries (where is my bus / when does it arrive / how is
+traffic).
+
+The class is deliberately synchronous and in-memory: the "distributed"
+link (phone -> server) is the :class:`ScanReport` value, which keeps the
+whole system deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.arrival.history import TravelTimeStore
+from repro.core.arrival.predictor import ArrivalPrediction, ArrivalTimePredictor
+from repro.core.arrival.seasonal import SlotScheme
+from repro.core.positioning.locator import SVDPositioner
+from repro.core.positioning.tracker import BusTracker
+from repro.core.positioning.trajectory import TrajectoryPoint
+from repro.core.server.session import BusSession
+from repro.core.svd.road_svd import RoadSVD
+from repro.core.traffic.anomaly import (
+    Anomaly,
+    AnomalyDetector,
+    DeltaEstimator,
+    merge_anomalies,
+)
+from repro.core.traffic.classifier import TrafficClassifier
+from repro.core.traffic.map import TrafficMap, TrafficMapBuilder
+from repro.roadnet.route import BusRoute
+from repro.sensing.reports import ScanReport
+
+
+@dataclass
+class ServerStats:
+    """Ingestion counters for observability."""
+
+    reports_ingested: int = 0
+    reports_unroutable: int = 0
+    positions_fixed: int = 0
+    traversals_extracted: int = 0
+    sessions_opened: int = 0
+
+
+class WiLocatorServer:
+    """The complete WiLocator pipeline behind a single ``ingest`` call.
+
+    Parameters
+    ----------
+    routes:
+        route id -> :class:`BusRoute` for every operated route.
+    svds:
+        route id -> that route's :class:`RoadSVD` (order 2-3 recommended).
+    known_bssids:
+        Geo-tagged APs the positioner may use.
+    history:
+        Offline-training travel-time store (see
+        :mod:`repro.core.server.training`).
+    slots:
+        Time-slot scheme; defaults to the paper's five weekday slots.
+    delta:
+        Anomaly threshold estimator (trained offline); a fresh default
+        estimator is used when omitted.
+    """
+
+    def __init__(
+        self,
+        routes: Mapping[str, BusRoute],
+        svds: Mapping[str, RoadSVD],
+        known_bssids: set[str],
+        history: TravelTimeStore,
+        *,
+        slots: SlotScheme | None = None,
+        delta: DeltaEstimator | None = None,
+        recent_window_s: float = 1800.0,
+        max_recent: int = 5,
+        use_recent: bool = True,
+    ) -> None:
+        missing = set(routes) - set(svds)
+        if missing:
+            raise ValueError(f"routes without an SVD: {sorted(missing)}")
+        self.routes = dict(routes)
+        self.svds = dict(svds)
+        self.known_bssids = set(known_bssids)
+        self.slots = slots or SlotScheme.paper_weekday()
+        self.predictor = ArrivalTimePredictor(
+            history,
+            self.slots,
+            recent_window_s=recent_window_s,
+            max_recent=max_recent,
+            use_recent=use_recent,
+        )
+        self.classifier = TrafficClassifier(history, self.slots)
+        self.map_builder = TrafficMapBuilder(self.classifier)
+        self.delta = delta or DeltaEstimator()
+        self.anomaly_detector = AnomalyDetector(self.delta)
+        self.sessions: dict[str, BusSession] = {}
+        self.stats = ServerStats()
+        from repro.sensing.grouping import ProximityGrouper
+
+        self._grouper = ProximityGrouper()
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, report: ScanReport) -> TrajectoryPoint | None:
+        """Process one uploaded scan; returns the new position fix."""
+        self.stats.reports_ingested += 1
+        route = self.routes.get(report.route_id)
+        if route is None:
+            # Route identification failed or unknown route: the scan is
+            # unusable for tracking (Section V.A.1).
+            self.stats.reports_unroutable += 1
+            return None
+        session = self.sessions.get(report.session_key)
+        if session is None:
+            session = BusSession(
+                session_key=report.session_key,
+                route_id=report.route_id,
+                tracker=BusTracker(
+                    SVDPositioner(self.svds[report.route_id], self.known_bssids)
+                ),
+            )
+            self.sessions[report.session_key] = session
+            self.stats.sessions_opened += 1
+        self._grouper.observe_driver(report)
+        point, records = session.process(report)
+        if point is not None:
+            self.stats.positions_fixed += 1
+        for record in records:
+            self.predictor.observe(record)
+            self.stats.traversals_extracted += 1
+        return point
+
+    def ingest_many(self, reports: Iterable[ScanReport]) -> None:
+        for report in sorted(reports, key=lambda r: r.t):
+            self.ingest(report)
+
+    def ingest_rider(self, report: ScanReport) -> TrajectoryPoint | None:
+        """Process a rider's scan whose bus is unknown (Section V.A.1).
+
+        Riders do not know their session key; the server matches the scan
+        to the most similar contemporaneous *driver* scan (the proximity
+        grouping) and ingests it under that bus — or drops it when no bus
+        matches (rider waiting at a stop, walking, ...).
+
+        Driver reports must flow through :meth:`ingest` as usual; they
+        feed the grouper automatically.
+        """
+        decision = self._grouper.assign(report)
+        if decision.session_key is None:
+            self.stats.reports_unroutable += 1
+            return None
+        session = self.sessions.get(decision.session_key)
+        if session is None:  # pragma: no cover - grouper only knows live keys
+            self.stats.reports_unroutable += 1
+            return None
+        regrouped = ScanReport(
+            device_id=report.device_id,
+            session_key=decision.session_key,
+            route_id=session.route_id,
+            t=report.t,
+            readings=report.readings,
+        )
+        return self.ingest(regrouped)
+
+    # -- rider queries ----------------------------------------------------------
+
+    def current_position(self, session_key: str) -> TrajectoryPoint | None:
+        """Latest fix of a tracked bus, or None."""
+        session = self.sessions.get(session_key)
+        if session is None:
+            return None
+        return session.trajectory.last
+
+    def active_sessions(self, now: float, *, timeout_s: float = 300.0) -> list[BusSession]:
+        """Sessions still reporting as of ``now``."""
+        return [
+            s for s in self.sessions.values() if not s.is_stale(now, timeout_s=timeout_s)
+        ]
+
+    def predict_arrival(
+        self, session_key: str, stop_id: str
+    ) -> ArrivalPrediction | None:
+        """When will this bus reach the given stop on its route?"""
+        session = self.sessions.get(session_key)
+        if session is None or session.trajectory.last is None:
+            return None
+        route = self.routes[session.route_id]
+        stop = next((s for s in route.stops if s.stop_id == stop_id), None)
+        if stop is None:
+            raise KeyError(
+                f"stop {stop_id!r} is not on route {route.route_id!r}"
+            )
+        last = session.trajectory.last
+        return self.predictor.predict_arrival(route, last.arc_length, last.t, stop)
+
+    def predict_all_arrivals(self, session_key: str) -> list[ArrivalPrediction]:
+        """Predictions for every remaining stop of a tracked bus."""
+        session = self.sessions.get(session_key)
+        if session is None or session.trajectory.last is None:
+            return []
+        route = self.routes[session.route_id]
+        last = session.trajectory.last
+        return self.predictor.predict_all_stops(route, last.arc_length, last.t)
+
+    # -- traffic map ----------------------------------------------------------
+
+    def detect_anomalies(self, now: float, *, lookback_s: float = 3600.0) -> list[Anomaly]:
+        """Anomalies evidenced by any session active within the look-back."""
+        found: list[Anomaly] = []
+        for session in self.sessions.values():
+            if (
+                session.last_report_t is None
+                or session.last_report_t < now - lookback_s
+            ):
+                continue
+            found.extend(self.anomaly_detector.detect(session.trajectory))
+        return merge_anomalies(found)
+
+    def traffic_map(
+        self,
+        now: float,
+        segment_ids: Sequence[str] | None = None,
+        *,
+        with_anomalies: bool = True,
+    ) -> TrafficMap:
+        """The current real-time traffic map."""
+        if segment_ids is None:
+            seen: set[str] = set()
+            ordered: list[str] = []
+            for route in self.routes.values():
+                for sid in route.segment_ids:
+                    if sid not in seen:
+                        seen.add(sid)
+                        ordered.append(sid)
+            segment_ids = ordered
+        anomalies = self.detect_anomalies(now) if with_anomalies else []
+        return self.map_builder.build(
+            segment_ids, self.predictor.live, now, anomalies=anomalies
+        )

@@ -1,0 +1,54 @@
+"""Per-bus server sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.arrival.history import TravelTimeRecord
+from repro.core.arrival.segments import IncrementalExtractor
+from repro.core.positioning.tracker import BusTracker
+from repro.core.positioning.trajectory import TrajectoryPoint
+from repro.sensing.reports import ScanReport
+
+
+@dataclass
+class BusSession:
+    """Server-side state for one physical bus being tracked.
+
+    A session is keyed by the report's ``session_key`` (the proximity
+    grouping of riders to a bus).  It owns the tracker (and through it the
+    trajectory) and the incremental travel-time extractor.
+    """
+
+    session_key: str
+    route_id: str
+    tracker: BusTracker
+    extractor: IncrementalExtractor = field(init=False)
+    last_report_t: float | None = None
+    reports_seen: int = 0
+
+    def __post_init__(self) -> None:
+        self.extractor = IncrementalExtractor(self.tracker.trajectory)
+
+    @property
+    def trajectory(self):
+        return self.tracker.trajectory
+
+    def process(
+        self, report: ScanReport
+    ) -> tuple[TrajectoryPoint | None, list[TravelTimeRecord]]:
+        """Track one report and collect newly completed traversals."""
+        if report.session_key != self.session_key:
+            raise ValueError(
+                f"report for session {report.session_key!r} fed to "
+                f"session {self.session_key!r}"
+            )
+        self.reports_seen += 1
+        self.last_report_t = report.t
+        point = self.tracker.update(report)
+        records = self.extractor.poll() if point is not None else []
+        return point, records
+
+    def is_stale(self, now: float, *, timeout_s: float = 300.0) -> bool:
+        """Whether the session stopped reporting (trip over / phone off)."""
+        return self.last_report_t is not None and now - self.last_report_t > timeout_s

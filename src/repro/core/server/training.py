@@ -1,0 +1,138 @@
+"""Offline training for the WiLocator server (Section V.A.3).
+
+The offline phase builds, from historical crowd-sensed reports:
+
+* the **historical travel-time store** (``Th``) — by running the same
+  tracking + boundary-interpolation pipeline over past reports;
+* the **time-slot scheme** — seasonal indices per segment, grouped into
+  slots (Eq. 6 + the slot-merging step);
+* the **anomaly thresholds** (``delta``) — historical per-scan road
+  distance per segment.
+
+A ground-truth variant exists for experiments that want to isolate the
+online components from historical-positioning error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
+from repro.core.arrival.seasonal import (
+    SlotScheme,
+    group_slots,
+    seasonal_index,
+)
+from repro.core.arrival.segments import extract_traversals
+from repro.core.positioning.locator import SVDPositioner
+from repro.core.positioning.tracker import BusTracker
+from repro.core.positioning.trajectory import Trajectory
+from repro.core.svd.road_svd import RoadSVD
+from repro.core.traffic.anomaly import DeltaEstimator
+from repro.mobility.simulator import SimulationResult
+from repro.roadnet.route import BusRoute
+from repro.sensing.reports import ScanReport
+
+
+@dataclass
+class TrainingResult:
+    """Everything the offline phase hands to the online server."""
+
+    history: TravelTimeStore
+    slots: SlotScheme
+    delta: DeltaEstimator
+    trajectories: list[Trajectory]
+
+
+def history_from_ground_truth(result: SimulationResult) -> TravelTimeStore:
+    """A travel-time store from simulator ground truth (oracle history)."""
+    store = TravelTimeStore()
+    for tr in result.traversals():
+        store.add(
+            TravelTimeRecord(
+                route_id=tr.route_id,
+                segment_id=tr.segment_id,
+                t_enter=tr.t_enter,
+                t_exit=tr.t_exit,
+                source="ground-truth",
+            )
+        )
+    return store
+
+
+def track_report_batch(
+    reports: Iterable[ScanReport],
+    routes: Mapping[str, BusRoute],
+    svds: Mapping[str, RoadSVD],
+    known_bssids: set[str],
+) -> list[Trajectory]:
+    """Track historical reports offline, one trajectory per session."""
+    trackers: dict[str, BusTracker] = {}
+    for report in sorted(reports, key=lambda r: r.t):
+        route = routes.get(report.route_id)
+        if route is None:
+            continue
+        tracker = trackers.get(report.session_key)
+        if tracker is None:
+            tracker = BusTracker(
+                SVDPositioner(svds[report.route_id], known_bssids)
+            )
+            trackers[report.session_key] = tracker
+        tracker.update(report)
+    return [t.trajectory for t in trackers.values() if len(t.trajectory) >= 2]
+
+
+def fit_slot_scheme(
+    history: TravelTimeStore,
+    segment_ids: Sequence[str] | None = None,
+    *,
+    tolerance: float = 0.15,
+) -> SlotScheme:
+    """Derive a slot scheme from the data's seasonal structure.
+
+    Averages the hourly seasonal index over the given segments (default:
+    all segments with data) and merges similar consecutive hours —
+    the paper's procedure for finding when each road's rush hours are.
+    """
+    ids = list(segment_ids) if segment_ids is not None else history.segment_ids()
+    ids = [sid for sid in ids if history.records(sid)]
+    if not ids:
+        raise ValueError("no segments with historical data")
+    hourly = SlotScheme.hourly()
+    acc = [0.0] * hourly.num_slots
+    for sid in ids:
+        for k, si in enumerate(seasonal_index(history, sid, hourly)):
+            acc[k] += si
+    mean_si = [a / len(ids) for a in acc]
+    return group_slots(mean_si, hourly, tolerance=tolerance)
+
+
+def train_offline(
+    reports: Iterable[ScanReport],
+    routes: Mapping[str, BusRoute],
+    svds: Mapping[str, RoadSVD],
+    known_bssids: set[str],
+    *,
+    slot_tolerance: float = 0.15,
+) -> TrainingResult:
+    """The full offline phase over historical reports."""
+    trajectories = track_report_batch(reports, routes, svds, known_bssids)
+    history = TravelTimeStore()
+    delta = DeltaEstimator()
+    for trajectory in trajectories:
+        for record in extract_traversals(trajectory):
+            history.add(
+                TravelTimeRecord(
+                    route_id=record.route_id,
+                    segment_id=record.segment_id,
+                    t_enter=record.t_enter,
+                    t_exit=record.t_exit,
+                    source="trained",
+                )
+            )
+        delta.observe_trajectory(trajectory)
+    slots = fit_slot_scheme(history, tolerance=slot_tolerance)
+    return TrainingResult(
+        history=history, slots=slots, delta=delta, trajectories=trajectories
+    )

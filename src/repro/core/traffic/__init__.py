@@ -1,0 +1,31 @@
+"""Traffic maps and anomaly detection (Section V.A.4)."""
+
+from repro.core.traffic.anomaly import (
+    Anomaly,
+    AnomalyDetector,
+    DeltaEstimator,
+    merge_anomalies,
+)
+from repro.core.traffic.classifier import (
+    ResidualStats,
+    SegmentStatus,
+    TrafficClassifier,
+    Z_SLOW,
+    Z_VERY_SLOW,
+)
+from repro.core.traffic.map import SegmentState, TrafficMap, TrafficMapBuilder
+
+__all__ = [
+    "SegmentStatus",
+    "ResidualStats",
+    "TrafficClassifier",
+    "Z_SLOW",
+    "Z_VERY_SLOW",
+    "Anomaly",
+    "AnomalyDetector",
+    "DeltaEstimator",
+    "merge_anomalies",
+    "SegmentState",
+    "TrafficMap",
+    "TrafficMapBuilder",
+]

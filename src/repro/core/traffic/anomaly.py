@@ -1,0 +1,246 @@
+"""Trajectory-based anomaly detection and localisation (Section V.A.4).
+
+When a segment classifies slow/very slow, WiLocator looks *inside* the
+trajectory for the root cause: a maximal run of consecutive scan positions
+with ``dr(p_{i-1}, p_i) < delta`` pins the anomaly (accident, road works)
+to the stretch between the run's endpoints.  The threshold ``delta`` is
+learned from the historical per-scan road distance on the segment, and
+runs that sit at a bus stop or an intersection (boarding, red light) are
+filtered out as false anomalies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.positioning.trajectory import Trajectory
+from repro.roadnet.route import BusRoute
+
+
+@dataclass(frozen=True, slots=True)
+class Anomaly:
+    """A localised traffic anomaly on a route."""
+
+    route_id: str
+    segment_id: str
+    arc_start: float
+    arc_end: float
+    t_start: float
+    t_end: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+class DeltaEstimator:
+    """Learns the per-segment, per-time-slot slow-step threshold ``delta``.
+
+    ``delta`` is ``factor`` times the historical mean road distance
+    covered per scan interval on that segment *in that time slot* — the
+    paper determines ``delta`` "based on the historical road distance
+    during a scanning period on the corresponding road segment in the
+    similar way as ... c1", i.e. against the matching statistical
+    baseline.  Slot-awareness is what keeps ordinary rush-hour crawling
+    (which is in the slot's history) from flagging as an anomaly while a
+    blocking incident (far below even the rush baseline) still does.
+    """
+
+    def __init__(
+        self,
+        *,
+        factor: float = 0.35,
+        default_step_m: float = 80.0,
+        slots: "SlotScheme | None" = None,
+    ) -> None:
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        from repro.core.arrival.seasonal import SlotScheme
+
+        self.factor = factor
+        self.default_step_m = default_step_m
+        self.slots = slots or SlotScheme.paper_weekday()
+        self._sums: dict[tuple[str, int], list[float]] = {}
+        self._segment_sums: dict[str, list[float]] = {}
+
+    def observe_trajectory(self, trajectory: Trajectory) -> None:
+        """Accumulate historical scan steps, per segment and slot."""
+        route = trajectory.route
+        pts = trajectory.points
+        for a, b in zip(pts, pts[1:]):
+            step = b.arc_length - a.arc_length
+            if step <= 0:
+                continue
+            mid = (a.arc_length + b.arc_length) / 2.0
+            seg_id = route.position_at(mid).segment_id
+            slot = self.slots.slot_of(a.t)
+            for acc in (
+                self._sums.setdefault((seg_id, slot), [0.0, 0.0]),
+                self._segment_sums.setdefault(seg_id, [0.0, 0.0]),
+            ):
+                acc[0] += step
+                acc[1] += 1.0
+
+    def delta_for(self, segment_id: str, t: float | None = None) -> float:
+        """The slow-step threshold in metres.
+
+        Prefers the (segment, slot) statistic, falls back to the
+        segment's all-day statistic, then to the global default.
+        """
+        if t is not None:
+            acc = self._sums.get((segment_id, self.slots.slot_of(t)))
+            if acc is not None and acc[1] > 0:
+                return self.factor * (acc[0] / acc[1])
+        acc = self._segment_sums.get(segment_id)
+        if acc is None or acc[1] == 0:
+            return self.factor * self.default_step_m
+        return self.factor * (acc[0] / acc[1])
+
+
+class AnomalyDetector:
+    """Finds and filters slow-step runs in a trajectory.
+
+    Parameters
+    ----------
+    delta:
+        The learned per-segment thresholds.
+    min_run:
+        Minimum number of consecutive slow steps (``m - k`` in the paper)
+        before a run counts; 2 filters single-scan noise.
+    guard_m:
+        Runs whose whole span lies within this distance of a bus stop or
+        an intersection are discarded as boarding / red-light dwells.
+    min_duration_s:
+        Runs shorter than this are discarded: a red light holds a bus for
+        tens of seconds, boarding similarly, and even a dense rush-hour
+        crawl clears a scan-step run within ~2-3 minutes — a blocking
+        incident pins buses far longer.
+    gap_tolerance:
+        Number of consecutive non-slow steps a run may bridge.  Rank
+        positioning advances in tile-sized jumps, so a bus crawling
+        through an incident occasionally appears to hop a tile forward;
+        one such hop must not split the run.
+    bridge_factor:
+        A bridged step may be at most ``bridge_factor * delta`` long;
+        anything larger is real motion (the bus drove off), not a tile
+        hop, and closes the run.
+    """
+
+    def __init__(
+        self,
+        delta: DeltaEstimator,
+        *,
+        min_run: int = 2,
+        guard_m: float = 40.0,
+        min_duration_s: float = 240.0,
+        gap_tolerance: int = 1,
+        bridge_factor: float = 3.0,
+    ) -> None:
+        if min_run < 1:
+            raise ValueError("min_run must be >= 1")
+        if gap_tolerance < 0:
+            raise ValueError("gap_tolerance must be >= 0")
+        if bridge_factor < 1.0:
+            raise ValueError("bridge_factor must be >= 1")
+        self.delta = delta
+        self.min_run = min_run
+        self.guard_m = guard_m
+        self.min_duration_s = min_duration_s
+        self.gap_tolerance = gap_tolerance
+        self.bridge_factor = bridge_factor
+
+    def _near_stop_or_intersection(
+        self, route: BusRoute, arc_lo: float, arc_hi: float
+    ) -> bool:
+        """Whether [arc_lo, arc_hi] sits entirely inside a guard zone."""
+        anchors = [route.stop_arc_length(s) for s in route.stops]
+        # Segment boundaries are intersections/terminals.
+        anchors += [route.segment_start_arc(sid) for sid in route.segment_ids]
+        anchors.append(route.length)
+        mid = (arc_lo + arc_hi) / 2.0
+        nearest = min(abs(mid - a) for a in anchors)
+        span = arc_hi - arc_lo
+        return nearest <= self.guard_m and span <= 2.0 * self.guard_m
+
+    def detect(self, trajectory: Trajectory) -> list[Anomaly]:
+        """All anomalies evidenced by one trajectory."""
+        route = trajectory.route
+        pts = trajectory.points
+        if len(pts) < self.min_run + 1:
+            return []
+        out: list[Anomaly] = []
+        run_start: int | None = None
+        last_slow: int | None = None
+        gap = 0
+
+        def close_run() -> None:
+            if run_start is None or last_slow is None:
+                return
+            duration = pts[last_slow].t - pts[run_start].t
+            if last_slow - run_start < self.min_run or duration < self.min_duration_s:
+                return
+            arc_lo = pts[run_start].arc_length
+            arc_hi = pts[last_slow].arc_length
+            if self._near_stop_or_intersection(route, arc_lo, arc_hi):
+                return
+            mid_arc = (arc_lo + arc_hi) / 2.0
+            out.append(
+                Anomaly(
+                    route_id=route.route_id,
+                    segment_id=route.position_at(mid_arc).segment_id,
+                    arc_start=arc_lo,
+                    arc_end=arc_hi,
+                    t_start=pts[run_start].t,
+                    t_end=pts[last_slow].t,
+                )
+            )
+
+        for i in range(1, len(pts)):
+            mid = (pts[i - 1].arc_length + pts[i].arc_length) / 2.0
+            seg_id = route.position_at(mid).segment_id
+            step = pts[i].arc_length - pts[i - 1].arc_length
+            delta_here = self.delta.delta_for(seg_id, pts[i - 1].t)
+            slow = step < delta_here
+            if slow:
+                if run_start is None:
+                    run_start = i - 1
+                last_slow = i
+                gap = 0
+            elif run_start is not None:
+                gap += 1
+                if gap > self.gap_tolerance or step > self.bridge_factor * delta_here:
+                    close_run()
+                    run_start, last_slow, gap = None, None, 0
+        close_run()
+        return out
+
+
+def merge_anomalies(anomalies: list[Anomaly], *, gap_m: float = 60.0) -> list[Anomaly]:
+    """Merge overlapping/nearby anomaly reports (e.g. from several buses).
+
+    Reports on the same segment whose arc spans come within ``gap_m`` are
+    fused into one, keeping the union of spans and time windows.
+    """
+    by_segment: dict[str, list[Anomaly]] = {}
+    for a in anomalies:
+        by_segment.setdefault(a.segment_id, []).append(a)
+    out: list[Anomaly] = []
+    for segment_id, group in by_segment.items():
+        group.sort(key=lambda a: a.arc_start)
+        current = group[0]
+        for nxt in group[1:]:
+            if nxt.arc_start - current.arc_end <= gap_m:
+                current = Anomaly(
+                    route_id=current.route_id,
+                    segment_id=segment_id,
+                    arc_start=min(current.arc_start, nxt.arc_start),
+                    arc_end=max(current.arc_end, nxt.arc_end),
+                    t_start=min(current.t_start, nxt.t_start),
+                    t_end=max(current.t_end, nxt.t_end),
+                )
+            else:
+                out.append(current)
+                current = nxt
+        out.append(current)
+    out.sort(key=lambda a: (a.segment_id, a.arc_start))
+    return out

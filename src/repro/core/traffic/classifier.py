@@ -1,0 +1,178 @@
+"""Per-segment traffic-state classification (Section V.A.4).
+
+Traffic maps built from vehicle *velocity* mislead when different routes
+have different regular speeds and different streets different limits; the
+paper classifies on *travel-time residuals* instead.  For each segment and
+time slot, the historical residual ``r = Tr - Th(route, slot)`` (recent
+minus the route's own historical mean) has some mean and standard
+deviation; a fresh traversal's standardised residual
+
+``z = (r - mean) / std``
+
+marks the segment **very slow** beyond the 95% one-sided bound
+(``z > 1.645``, the paper's rule-of-thumb) and **slow** beyond one
+standard deviation (``z > 1.0``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
+from repro.core.arrival.seasonal import SlotScheme, slot_filter
+
+Z_VERY_SLOW = 1.645
+Z_SLOW = 1.0
+
+
+class SegmentStatus(Enum):
+    """Traffic state of one road segment."""
+
+    NORMAL = "normal"
+    SLOW = "slow"
+    VERY_SLOW = "very slow"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class ResidualStats:
+    """Mean/std of the historical travel-time residual on a segment+slot."""
+
+    segment_id: str
+    slot_index: int
+    mean: float
+    std: float
+    count: int
+
+
+class TrafficClassifier:
+    """Classifies segment traffic states from travel-time residuals.
+
+    Parameters
+    ----------
+    history:
+        Offline training data (fills the per-route means and the residual
+        distribution).
+    slots:
+        Slot scheme used for both the means and the residual statistics.
+    z_slow / z_very_slow:
+        Classification thresholds.
+    min_history:
+        Minimum historical residual count; below it the segment/slot
+        classifies as UNKNOWN (the agency map's "unconfirmed segments").
+    """
+
+    def __init__(
+        self,
+        history: TravelTimeStore,
+        slots: SlotScheme | None = None,
+        *,
+        z_slow: float = Z_SLOW,
+        z_very_slow: float = Z_VERY_SLOW,
+        min_history: int = 5,
+    ) -> None:
+        if z_very_slow <= z_slow:
+            raise ValueError("z_very_slow must exceed z_slow")
+        self.history = history
+        self.slots = slots or SlotScheme.paper_weekday()
+        self.z_slow = z_slow
+        self.z_very_slow = z_very_slow
+        self.min_history = min_history
+        self._route_mean_cache: dict[tuple[str, str, int], float | None] = {}
+        self._stats_cache: dict[tuple[str, int], ResidualStats | None] = {}
+
+    def _route_slot_mean(
+        self, segment_id: str, route_id: str, slot_index: int
+    ) -> float | None:
+        key = (segment_id, route_id, slot_index)
+        if key not in self._route_mean_cache:
+            self._route_mean_cache[key] = self.history.mean_travel_time(
+                segment_id,
+                route_id=route_id,
+                accept=slot_filter(self.slots, slot_index),
+            ) or self.history.mean_travel_time(segment_id, route_id=route_id)
+        return self._route_mean_cache[key]
+
+    def residual_of(self, record: TravelTimeRecord) -> float | None:
+        """``Tr - Th`` of one traversal against its route's slot mean."""
+        slot = self.slots.slot_of(record.t_enter)
+        th = self._route_slot_mean(record.segment_id, record.route_id, slot)
+        if th is None:
+            return None
+        return record.travel_time - th
+
+    def residual_stats(self, segment_id: str, slot_index: int) -> ResidualStats | None:
+        """Historical residual distribution of a segment in a slot."""
+        key = (segment_id, slot_index)
+        if key in self._stats_cache:
+            return self._stats_cache[key]
+        residuals = []
+        for r in self.history.records(segment_id):
+            if self.slots.slot_of(r.t_enter) != slot_index:
+                continue
+            res = self.residual_of(r)
+            if res is not None:
+                residuals.append(res)
+        stats: ResidualStats | None
+        if len(residuals) < self.min_history:
+            stats = None
+        else:
+            mean = sum(residuals) / len(residuals)
+            var = sum((x - mean) ** 2 for x in residuals) / max(len(residuals) - 1, 1)
+            stats = ResidualStats(
+                segment_id=segment_id,
+                slot_index=slot_index,
+                mean=mean,
+                std=math.sqrt(var),
+                count=len(residuals),
+            )
+        self._stats_cache[key] = stats
+        return stats
+
+    def z_score(self, record: TravelTimeRecord) -> float | None:
+        """Standardised residual of a fresh traversal."""
+        res = self.residual_of(record)
+        if res is None:
+            return None
+        stats = self.residual_stats(
+            record.segment_id, self.slots.slot_of(record.t_enter)
+        )
+        if stats is None or stats.std <= 1e-9:
+            return None
+        return (res - stats.mean) / stats.std
+
+    def classify_record(self, record: TravelTimeRecord) -> SegmentStatus:
+        """Traffic state evidenced by one fresh traversal."""
+        z = self.z_score(record)
+        if z is None:
+            return SegmentStatus.UNKNOWN
+        if z > self.z_very_slow:
+            return SegmentStatus.VERY_SLOW
+        if z > self.z_slow:
+            return SegmentStatus.SLOW
+        return SegmentStatus.NORMAL
+
+    def classify_segment(
+        self,
+        segment_id: str,
+        live: TravelTimeStore,
+        now: float,
+        *,
+        window_s: float = 1800.0,
+    ) -> SegmentStatus:
+        """Current traffic state of a segment from the freshest traversal.
+
+        With no traversal inside the window the state is UNKNOWN — unless
+        history itself is too thin, which is also UNKNOWN (that case is
+        what WiLocator's temporal-consistency inference fills in at the
+        map level).
+        """
+        recent = live.recent(
+            segment_id, now=now, window_s=window_s, max_count=1,
+            per_route_latest=False,
+        )
+        if not recent:
+            return SegmentStatus.UNKNOWN
+        return self.classify_record(recent[0])

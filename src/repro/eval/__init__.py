@@ -1,0 +1,65 @@
+"""Evaluation harness: metrics, scenarios and per-figure experiments."""
+
+from repro.eval.metrics import (
+    ErrorSummary,
+    cdf_at,
+    empirical_cdf,
+    positioning_error_m,
+    prediction_error_s,
+    quantile,
+    summarize,
+)
+from repro.eval.scenarios import (
+    CampusWorld,
+    CorridorWorld,
+    make_campus_world,
+    make_corridor_world,
+)
+from repro.eval.experiments import (
+    PredictionExperiment,
+    TrafficMapExperiment,
+    positioning_errors_for_trip,
+    run_fig8a,
+    run_fig9a,
+    run_fig9b,
+    run_fig10,
+    run_fig11,
+    run_prediction_experiment,
+    run_table1,
+    run_table2,
+)
+from repro.eval.tables import (
+    format_cdf_table,
+    format_series,
+    format_stops_ahead,
+    format_summary_table,
+)
+
+__all__ = [
+    "ErrorSummary",
+    "summarize",
+    "empirical_cdf",
+    "cdf_at",
+    "quantile",
+    "positioning_error_m",
+    "prediction_error_s",
+    "CorridorWorld",
+    "CampusWorld",
+    "make_corridor_world",
+    "make_campus_world",
+    "PredictionExperiment",
+    "TrafficMapExperiment",
+    "run_table1",
+    "run_table2",
+    "run_fig8a",
+    "run_fig9a",
+    "run_fig9b",
+    "run_fig10",
+    "run_fig11",
+    "run_prediction_experiment",
+    "positioning_errors_for_trip",
+    "format_cdf_table",
+    "format_summary_table",
+    "format_series",
+    "format_stops_ahead",
+]

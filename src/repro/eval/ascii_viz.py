@@ -1,0 +1,104 @@
+"""Dependency-free ASCII visualisations for examples and reports.
+
+Nothing here affects results — these helpers render the system's data
+structures (tile partitions, trajectories, CDFs, seasonal profiles) as
+terminal text so examples and the CLI can *show* what the algorithms
+build, without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.positioning.trajectory import Trajectory
+from repro.core.svd.road_svd import RoadSVD
+
+
+def render_tiles(
+    svd: RoadSVD, *, width: int = 72, arc_from: float = 0.0, arc_to: float | None = None
+) -> str:
+    """One-line strip of the diagram's tiles over an arc window.
+
+    Tiles alternate between two glyph ramps so adjacent tiles are
+    distinguishable; the caption gives the window and tile count.
+    """
+    if width < 10:
+        raise ValueError("width too small")
+    arc_to = arc_to if arc_to is not None else svd.route.length
+    if arc_to <= arc_from:
+        raise ValueError("empty arc window")
+    glyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    cells = []
+    seen: dict[tuple, str] = {}
+    for k in range(width):
+        arc = arc_from + (k + 0.5) * (arc_to - arc_from) / width
+        tile = svd.tile_at(arc)
+        key = (tile.arc_start, tile.arc_end)
+        if key not in seen:
+            seen[key] = glyphs[len(seen) % len(glyphs)]
+        cells.append(seen[key])
+    n_tiles = len(seen)
+    return (
+        "".join(cells)
+        + f"\n[{arc_from:.0f} m .. {arc_to:.0f} m: {n_tiles} tiles]"
+    )
+
+
+def render_trajectory(
+    trajectory: Trajectory, *, width: int = 60, height: int = 12
+) -> str:
+    """Arc-length vs time chart of a trajectory ('*' marks fixes)."""
+    pts = trajectory.points
+    if len(pts) < 2:
+        return "(trajectory too short to draw)"
+    t0, t1 = pts[0].t, pts[-1].t
+    a0 = min(p.arc_length for p in pts)
+    a1 = max(p.arc_length for p in pts)
+    if t1 <= t0 or a1 <= a0:
+        return "(degenerate trajectory)"
+    grid = [[" "] * width for _ in range(height)]
+    for p in pts:
+        x = int((p.t - t0) / (t1 - t0) * (width - 1))
+        y = int((p.arc_length - a0) / (a1 - a0) * (height - 1))
+        grid[height - 1 - y][x] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"time {t0:.0f}..{t1:.0f} s  |  arc {a0:.0f}..{a1:.0f} m  "
+        f"({len(pts)} fixes)"
+    )
+    return "\n".join(lines)
+
+
+def render_cdf(
+    samples: Mapping[str, Sequence[float]],
+    *,
+    width: int = 50,
+    max_value: float | None = None,
+) -> str:
+    """Horizontal-bar CDF sketch: one row per decile per series."""
+    lines = []
+    for name, values in samples.items():
+        arr = np.sort(np.asarray(list(values), dtype=float))
+        if arr.size == 0:
+            continue
+        hi = max_value if max_value is not None else float(arr.max())
+        hi = max(hi, 1e-9)
+        lines.append(f"{name}:")
+        for q in (0.5, 0.9, 0.99):
+            v = float(np.quantile(arr, q))
+            bar = "#" * int(round(min(v / hi, 1.0) * width))
+            lines.append(f"  p{int(q * 100):>2} {v:8.1f} |{bar}")
+    return "\n".join(lines)
+
+
+def render_seasonal(indices: Sequence[float], *, width: int = 40) -> str:
+    """Hourly seasonal-index bars (Eq. 6) around the 1.0 baseline."""
+    lines = []
+    for hour, si in enumerate(indices):
+        bar = "#" * int(round(max(si - 1.0, 0.0) * width))
+        dip = "-" * int(round(max(1.0 - si, 0.0) * width))
+        lines.append(f"{hour:02d}h {si:5.2f} |{bar}{dip}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Evaluation metrics: error summaries and CDFs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorSummary:
+    """Summary statistics of an error sample."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} median={self.median:.2f} "
+            f"p90={self.p90:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(errors: Sequence[float]) -> ErrorSummary:
+    """Mean / median / p90 / max of an error sample."""
+    arr = np.asarray(list(errors), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return ErrorSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        maximum=float(arr.max()),
+    )
+
+
+def empirical_cdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and their empirical CDF probabilities.
+
+    ``probs[i]`` is the fraction of the sample <= ``sorted_values[i]``,
+    i.e. the curve the paper's Fig. 8 plots.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def cdf_at(values: Sequence[float], thresholds: Sequence[float]) -> list[float]:
+    """CDF evaluated at given thresholds (fraction of sample <= t)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot evaluate the CDF of an empty sample")
+    return [float(np.mean(arr <= t)) for t in thresholds]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The q-quantile (q in [0, 1]) of a sample."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    return float(np.quantile(np.asarray(list(values), dtype=float), q))
+
+
+def positioning_error_m(estimated_arc: float, true_arc: float) -> float:
+    """Road-length error of one fix (the paper's positioning error)."""
+    return abs(estimated_arc - true_arc)
+
+
+def prediction_error_s(predicted_t: float, actual_t: float) -> float:
+    """Absolute arrival-time prediction error in seconds."""
+    return abs(predicted_t - actual_t)

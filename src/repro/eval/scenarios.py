@@ -1,0 +1,194 @@
+"""Canned evaluation scenarios.
+
+* :func:`make_corridor_world` — the Metro-Vancouver-like four-route
+  corridor city with APs, radio environment, traffic simulation and crowd
+  sensing, parameterised so benchmarks can trade fidelity for runtime.
+* :func:`make_campus_world` — the one-way campus road of Fig. 10 /
+  Table II with 11 numbered APs and the measurement locations A, B, C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.svd.road_svd import RoadSVD
+from repro.geometry import Point
+from repro.mobility.simulator import CitySimulator
+from repro.radio.ap import AccessPoint
+from repro.radio.deployment import deploy_aps_along_network, deploy_aps_at
+from repro.radio.environment import RadioEnvironment
+from repro.roadnet.generators import (
+    CorridorScenario,
+    build_campus_road,
+    build_corridor_city,
+)
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import BusRoute
+from repro.sensing.crowd import CrowdSensingLayer
+
+
+@dataclass
+class CorridorWorld:
+    """Everything the corridor experiments need, pre-wired."""
+
+    scenario: CorridorScenario
+    aps: list[AccessPoint]
+    env: RadioEnvironment
+    simulator: CitySimulator
+    sensing: CrowdSensingLayer
+    riders_per_bus: int
+    svd_order: int
+    svd_step_m: float
+    _svds: dict[str, RoadSVD] = field(default_factory=dict)
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self.scenario.network
+
+    @property
+    def routes(self) -> dict[str, BusRoute]:
+        return self.scenario.routes
+
+    @property
+    def known_bssids(self) -> set[str]:
+        return {ap.bssid for ap in self.env.geo_tagged_aps()}
+
+    def svd_for(self, route_id: str, *, order: int | None = None) -> RoadSVD:
+        """The (cached) road SVD of one route."""
+        order = order or self.svd_order
+        key = f"{route_id}@{order}"
+        svd = self._svds.get(key)
+        if svd is None:
+            svd = RoadSVD.from_environment(
+                self.routes[route_id],
+                self.env,
+                order=order,
+                step_m=self.svd_step_m,
+            )
+            self._svds[key] = svd
+        return svd
+
+    def svds(self, *, order: int | None = None) -> dict[str, RoadSVD]:
+        return {rid: self.svd_for(rid, order=order) for rid in self.routes}
+
+
+def make_corridor_world(
+    *,
+    seed: int = 0,
+    ap_spacing_m: float = 34.0,
+    shadowing_sigma_db: float = 4.0,
+    fading_sigma_db: float = 3.0,
+    riders_per_bus: int = 4,
+    svd_order: int = 3,
+    svd_step_m: float = 2.0,
+    congestion_sigma: float = 0.18,
+) -> CorridorWorld:
+    """Assemble the corridor city with radio, traffic and sensing layers.
+
+    ``ap_spacing_m`` is the Fig. 9(a) density knob; ``svd_order`` the
+    Fig. 9(b) knob.  Default parameters reproduce the headline numbers.
+    """
+    scenario = build_corridor_city()
+    rng = np.random.default_rng(seed)
+    aps = deploy_aps_along_network(scenario.network, rng, spacing_m=ap_spacing_m)
+    env = RadioEnvironment(
+        aps,
+        shadowing_sigma_db=shadowing_sigma_db,
+        fading_sigma_db=fading_sigma_db,
+        seed=seed + 1,
+    )
+    from repro.mobility.traffic import SeasonalProfile, TrafficModel
+
+    factors = {rid: 1.0 for rid in scenario.routes}
+    factors["rapid"] = 1.15
+    factors["16"] = 0.95
+    traffic = TrafficModel(
+        seasonal=SeasonalProfile(morning_peak=1.5, evening_peak=1.1),
+        route_speed_factors=factors,
+        # The Rapid line runs with queue jumps / bus lanes: it only feels
+        # part of the street congestion (why it predicts best — Fig. 8c).
+        route_congestion_sensitivity={"rapid": 0.3},
+        congestion_sigma=congestion_sigma,
+        congestion_timescale_s=2400.0,
+        day_rush_sigma=0.5,
+        day_rush_segment_sigma=0.18,
+        seed=seed + 2,
+    )
+    simulator = CitySimulator(
+        scenario.network,
+        scenario.route_list,
+        traffic=traffic,
+        seed=seed + 3,
+    )
+    sensing = CrowdSensingLayer(env, seed=seed + 4)
+    return CorridorWorld(
+        scenario=scenario,
+        aps=aps,
+        env=env,
+        simulator=simulator,
+        sensing=sensing,
+        riders_per_bus=riders_per_bus,
+        svd_order=svd_order,
+        svd_step_m=svd_step_m,
+    )
+
+
+@dataclass
+class CampusWorld:
+    """The Fig. 10 / Table II micro-scenario."""
+
+    network: RoadNetwork
+    route: BusRoute
+    aps: list[AccessPoint]
+    env: RadioEnvironment
+    locations: dict[str, float]
+    """Measurement points A, B, C as route arc lengths."""
+
+    @property
+    def known_bssids(self) -> set[str]:
+        return {ap.bssid for ap in self.env.geo_tagged_aps()}
+
+    def location_point(self, name: str) -> Point:
+        return self.route.point_at(self.locations[name])
+
+
+def make_campus_world(*, seed: int = 0) -> CampusWorld:
+    """The one-way campus road with 11 APs and locations A, B, C.
+
+    The AP layout follows the structure of Fig. 10: a cluster (AP1-AP5)
+    near one end where location C sits, a mid-road pair, and a far group
+    (AP9-AP11) around locations A and B.  Campus WiFi is denser and
+    closer to the road than street-side hotspots.
+    """
+    network, route = build_campus_road(length_m=400.0, curved=True)
+    positions = [
+        Point(60.0, 20.0),    # AP1
+        Point(75.0, -14.0),   # AP2
+        Point(40.0, -18.0),   # AP3
+        Point(95.0, 16.0),    # AP4
+        Point(120.0, -12.0),  # AP5
+        Point(160.0, 22.0),   # AP6
+        Point(185.0, -16.0),  # AP7
+        Point(230.0, 18.0),   # AP8
+        Point(255.0, -12.0),  # AP9
+        Point(300.0, 16.0),   # AP10
+        Point(340.0, -18.0),  # AP11
+    ]
+    aps = deploy_aps_at(positions, ssid_prefix="AP", tx_power_dbm=16.0)
+    env = RadioEnvironment(
+        aps,
+        shadowing_sigma_db=3.0,
+        shadowing_correlation_m=25.0,
+        fading_sigma_db=2.5,
+        detection_threshold_dbm=-85.0,
+        seed=seed,
+    )
+    # Measurement spots (route arc lengths): like the paper's, these are
+    # points where the shuttle paused — A by the far AP9-AP11 group, B
+    # mid-road, C inside the AP1-AP5 cluster.
+    locations = {"A": 290.0, "B": 190.0, "C": 120.0}
+    return CampusWorld(
+        network=network, route=route, aps=aps, env=env, locations=locations
+    )

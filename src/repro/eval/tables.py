@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment outputs (paper-style tables/series)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import cdf_at, summarize
+
+
+def format_cdf_table(
+    samples: Mapping[str, Sequence[float]],
+    thresholds: Sequence[float],
+    *,
+    unit: str = "",
+) -> str:
+    """CDF values of several samples at common thresholds."""
+    head = f"{'series':<16}" + "".join(
+        f"{f'<={t:g}{unit}':>12}" for t in thresholds
+    )
+    lines = [head, "-" * len(head)]
+    for name, values in samples.items():
+        row = f"{name:<16}" + "".join(
+            f"{frac:>12.2f}" for frac in cdf_at(values, thresholds)
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_summary_table(samples: Mapping[str, Sequence[float]], *, unit: str = "") -> str:
+    """Mean/median/p90/max per sample."""
+    head = (
+        f"{'series':<16}{'n':>8}{'mean':>10}{'median':>10}{'p90':>10}{'max':>10}"
+    )
+    lines = [head, "-" * len(head)]
+    for name, values in samples.items():
+        s = summarize(values)
+        lines.append(
+            f"{name:<16}{s.count:>8}{s.mean:>10.2f}{s.median:>10.2f}"
+            f"{s.p90:>10.2f}{s.maximum:>10.2f}"
+        )
+    if unit:
+        lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def format_series(
+    pairs: Sequence[tuple[float, float]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Two-column series (e.g. error vs. number of APs)."""
+    head = f"{x_label:>14}{y_label:>16}"
+    lines = [head, "-" * len(head)]
+    for x, y in pairs:
+        lines.append(f"{x:>14g}{y:>16.3f}")
+    return "\n".join(lines)
+
+
+def format_stops_ahead(
+    per_route: Mapping[str, Sequence[float]], *, max_stops: int = 19
+) -> str:
+    """Fig. 8(c) style: mean error per stops-ahead per route."""
+    head = f"{'stops ahead':>12}" + "".join(
+        f"{rid:>12}" for rid in per_route
+    )
+    lines = [head, "-" * len(head)]
+    for k in range(max_stops):
+        row = f"{k + 1:>12}"
+        for rid in per_route:
+            v = per_route[rid][k] if k < len(per_route[rid]) else float("nan")
+            row += f"{'-':>12}" if np.isnan(v) else f"{v:>12.1f}"
+        lines.append(row)
+    return "\n".join(lines)

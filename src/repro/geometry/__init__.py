@@ -1,0 +1,27 @@
+"""Planar and geodetic geometry primitives.
+
+All simulation and positioning code works in a local planar frame measured
+in metres.  :class:`LocalProjection` converts between WGS-84 latitude /
+longitude pairs and that local frame (equirectangular approximation, which
+is accurate to centimetres at city scale), so geo-tagged inputs such as AP
+locations from a map service can be used directly.
+
+The workhorse type is :class:`Polyline`, which supports arc-length
+parametrisation, projection of an arbitrary point onto the line, and
+interpolation — everything road segments and bus routes need.
+"""
+
+from repro.geometry.point import Point, distance, midpoint
+from repro.geometry.polyline import Polyline, ProjectedPoint
+from repro.geometry.projection import GeoPoint, LocalProjection, haversine_m
+
+__all__ = [
+    "Point",
+    "distance",
+    "midpoint",
+    "Polyline",
+    "ProjectedPoint",
+    "GeoPoint",
+    "LocalProjection",
+    "haversine_m",
+]

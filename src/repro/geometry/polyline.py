@@ -1,0 +1,176 @@
+"""Arc-length parametrised polylines.
+
+Road segments and bus routes are polylines.  The operations that matter for
+WiLocator are:
+
+* ``point_at(s)`` — the point at arc length ``s`` from the start (used to
+  place a simulated bus, or to turn an estimated arc length back into a
+  coordinate);
+* ``project(p)`` — the nearest point on the line to an arbitrary planar
+  point, together with its arc length (the *Tile Mapping* of Definition 5
+  projects tile centroids onto the road this way);
+* ``sample(step)`` — dense arc-length samples used to build the road-
+  restricted Signal Voronoi Diagram.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectedPoint:
+    """Result of projecting a point onto a polyline."""
+
+    point: Point
+    """The nearest point on the polyline."""
+    arc_length: float
+    """Arc length from the polyline start to :attr:`point`, in metres."""
+    distance: float
+    """Euclidean distance from the query point to :attr:`point`."""
+
+
+class Polyline:
+    """An immutable planar polyline with arc-length parametrisation.
+
+    Parameters
+    ----------
+    vertices:
+        At least two points.  Consecutive duplicate vertices are dropped so
+        every internal edge has positive length.
+    """
+
+    __slots__ = ("_vertices", "_cumlen")
+
+    def __init__(self, vertices: Iterable[Point]):
+        verts: list[Point] = []
+        for v in vertices:
+            if not verts or v.distance_to(verts[-1]) > 0.0:
+                verts.append(v)
+        if len(verts) < 2:
+            raise ValueError("a polyline needs at least two distinct vertices")
+        self._vertices: tuple[Point, ...] = tuple(verts)
+        cumlen = [0.0]
+        for a, b in zip(verts, verts[1:]):
+            cumlen.append(cumlen[-1] + a.distance_to(b))
+        self._cumlen: tuple[float, ...] = tuple(cumlen)
+
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        return self._vertices
+
+    @property
+    def length(self) -> float:
+        """Total arc length in metres."""
+        return self._cumlen[-1]
+
+    @property
+    def start(self) -> Point:
+        return self._vertices[0]
+
+    @property
+    def end(self) -> Point:
+        return self._vertices[-1]
+
+    def point_at(self, arc_length: float) -> Point:
+        """The point at the given arc length from the start.
+
+        Arc lengths outside ``[0, length]`` are clamped to the endpoints,
+        which is the right behaviour for noisy position estimates.
+        """
+        s = min(max(arc_length, 0.0), self.length)
+        i = bisect.bisect_right(self._cumlen, s) - 1
+        i = min(i, len(self._vertices) - 2)
+        seg_len = self._cumlen[i + 1] - self._cumlen[i]
+        if seg_len <= 0.0:
+            return self._vertices[i]
+        t = (s - self._cumlen[i]) / seg_len
+        a, b = self._vertices[i], self._vertices[i + 1]
+        return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+
+    def heading_at(self, arc_length: float) -> float:
+        """Tangent direction (radians, CCW from +x) at the given arc length."""
+        s = min(max(arc_length, 0.0), self.length)
+        i = bisect.bisect_right(self._cumlen, s) - 1
+        i = min(i, len(self._vertices) - 2)
+        a, b = self._vertices[i], self._vertices[i + 1]
+        return math.atan2(b.y - a.y, b.x - a.x)
+
+    def project(self, p: Point) -> ProjectedPoint:
+        """Project ``p`` onto the polyline.
+
+        Returns the closest point on the line, its arc length and the
+        distance from ``p``.  Ties between edges resolve to the earliest
+        arc length, which keeps the mapping deterministic.
+        """
+        best: ProjectedPoint | None = None
+        for i in range(len(self._vertices) - 1):
+            a, b = self._vertices[i], self._vertices[i + 1]
+            ab = b - a
+            denom = ab.dot(ab)
+            t = 0.0 if denom == 0.0 else (p - a).dot(ab) / denom
+            t = min(max(t, 0.0), 1.0)
+            q = Point(a.x + t * ab.x, a.y + t * ab.y)
+            d = p.distance_to(q)
+            s = self._cumlen[i] + t * math.sqrt(denom)
+            if best is None or d < best.distance - 1e-12:
+                best = ProjectedPoint(point=q, arc_length=s, distance=d)
+        assert best is not None
+        return best
+
+    def sample(self, step: float) -> list[tuple[float, Point]]:
+        """Dense ``(arc_length, point)`` samples every ``step`` metres.
+
+        Always includes both endpoints, so the samples cover the whole
+        line even when ``length`` is not a multiple of ``step``.
+        """
+        if step <= 0.0:
+            raise ValueError("step must be positive")
+        out: list[tuple[float, Point]] = []
+        s = 0.0
+        while s < self.length:
+            out.append((s, self.point_at(s)))
+            s += step
+        out.append((self.length, self.end))
+        return out
+
+    def slice(self, s0: float, s1: float) -> "Polyline":
+        """The sub-polyline between arc lengths ``s0 <= s1``."""
+        s0 = min(max(s0, 0.0), self.length)
+        s1 = min(max(s1, 0.0), self.length)
+        if s1 <= s0:
+            raise ValueError("slice needs s0 < s1")
+        pts = [self.point_at(s0)]
+        for s, v in zip(self._cumlen, self._vertices):
+            if s0 < s < s1:
+                pts.append(v)
+        pts.append(self.point_at(s1))
+        return Polyline(pts)
+
+    def reversed(self) -> "Polyline":
+        """The same geometry traversed in the opposite direction."""
+        return Polyline(reversed(self._vertices))
+
+    @staticmethod
+    def concatenate(lines: Sequence["Polyline"]) -> "Polyline":
+        """Join polylines end-to-start into one line.
+
+        Consecutive lines must share an endpoint (within 1 mm); this is how
+        a bus route is assembled from its road segments (Definition 4).
+        """
+        if not lines:
+            raise ValueError("cannot concatenate zero polylines")
+        pts: list[Point] = list(lines[0].vertices)
+        for ln in lines[1:]:
+            if pts[-1].distance_to(ln.start) > 1e-3:
+                raise ValueError("polylines are not contiguous")
+            pts.extend(ln.vertices[1:])
+        return Polyline(pts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Polyline({len(self._vertices)} vertices, {self.length:.1f} m)"

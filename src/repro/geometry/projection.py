@@ -1,0 +1,70 @@
+"""Geodetic <-> local planar conversion.
+
+WiLocator's inputs are geo-tagged: AP locations come from map services and
+trajectories are reported as ``<lat, long, t>`` tuples (Definition 6).  All
+internal computation, however, happens in a local planar frame in metres.
+:class:`LocalProjection` is an equirectangular projection about a reference
+point — at city scale (tens of kilometres) its distortion is far below the
+positioning error we care about (metres).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A WGS-84 latitude / longitude pair in degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two geo points, in metres."""
+    phi1, phi2 = math.radians(a.lat), math.radians(b.lat)
+    dphi = phi2 - phi1
+    dlam = math.radians(b.lon - a.lon)
+    h = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+class LocalProjection:
+    """Equirectangular projection about a reference geo point.
+
+    ``to_local`` maps latitude/longitude to planar ``(x, y)`` metres with
+    the reference at the origin, x pointing east and y pointing north;
+    ``to_geo`` inverts it.
+    """
+
+    __slots__ = ("_origin", "_coslat")
+
+    def __init__(self, origin: GeoPoint):
+        self._origin = origin
+        self._coslat = math.cos(math.radians(origin.lat))
+
+    @property
+    def origin(self) -> GeoPoint:
+        return self._origin
+
+    def to_local(self, g: GeoPoint) -> Point:
+        x = math.radians(g.lon - self._origin.lon) * EARTH_RADIUS_M * self._coslat
+        y = math.radians(g.lat - self._origin.lat) * EARTH_RADIUS_M
+        return Point(x, y)
+
+    def to_geo(self, p: Point) -> GeoPoint:
+        lat = self._origin.lat + math.degrees(p.y / EARTH_RADIUS_M)
+        lon = self._origin.lon + math.degrees(p.x / (EARTH_RADIUS_M * self._coslat))
+        return GeoPoint(lat, lon)

@@ -1,0 +1,40 @@
+"""Bus mobility and urban traffic simulation.
+
+This substrate replaces the paper's three weeks of in-situ driving.  It
+produces, for any set of routes on a road network:
+
+* ground-truth bus motion (piecewise-linear arc-length vs. time), with
+  stop dwells, traffic-light waits and localized incidents;
+* per-segment travel times whose statistical structure matches what the
+  paper's predictor assumes and exploits: a route-dependent mean
+  (``mu_ij``: speed factor + stop dwells), a *shared*, slowly-varying
+  environment residual (``eps_i``: congestion common to all routes on the
+  segment), and diurnal rush-hour seasonality (what the seasonal index of
+  Eq. 6 detects).
+
+Everything is deterministic given seeds; the shared congestion process is
+a deterministic smooth function of time (seeded random harmonics), so two
+buses minutes apart genuinely see correlated conditions.
+"""
+
+from repro.mobility.traffic import TrafficModel, SeasonalProfile
+from repro.mobility.lights import TrafficLightModel
+from repro.mobility.incidents import Incident, IncidentSet
+from repro.mobility.trip import BusTrip, SegmentTraversal, simulate_trip
+from repro.mobility.schedule import DispatchSchedule, departure_times
+from repro.mobility.simulator import CitySimulator, SimulationResult
+
+__all__ = [
+    "TrafficModel",
+    "SeasonalProfile",
+    "TrafficLightModel",
+    "Incident",
+    "IncidentSet",
+    "BusTrip",
+    "SegmentTraversal",
+    "simulate_trip",
+    "DispatchSchedule",
+    "departure_times",
+    "CitySimulator",
+    "SimulationResult",
+]

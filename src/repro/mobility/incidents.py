@@ -1,0 +1,78 @@
+"""Localized traffic incidents (road construction, accidents).
+
+An incident slows traffic inside a sub-interval of one road segment during
+a time window.  Buses crawl through the affected stretch, producing
+the spatial signature the paper's anomaly detector looks for: a run of
+consecutive scan positions unusually close together (``dr(p_{i-1}, p_i) <
+delta`` for ``k < i <= m``) localized *between* two points of the segment,
+rather than at a stop or intersection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Incident:
+    """A slowdown on part of a segment during a time window.
+
+    Attributes
+    ----------
+    segment_id:
+        The affected road segment.
+    t_start, t_end:
+        Active window, absolute simulation seconds.
+    arc_start, arc_end:
+        Affected stretch, metres from the segment start.
+    speed_factor:
+        Speed multiplier inside the stretch while active (0 < f < 1);
+        0.15 means crawling at 15% of normal speed.
+    kind:
+        Freeform label ("accident", "construction", ...).
+    """
+
+    segment_id: str
+    t_start: float
+    t_end: float
+    arc_start: float
+    arc_end: float
+    speed_factor: float = 0.15
+    kind: str = "incident"
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError("incident must have positive duration")
+        if self.arc_end <= self.arc_start or self.arc_start < 0:
+            raise ValueError("incident must cover a positive arc interval")
+        if not 0.0 < self.speed_factor < 1.0:
+            raise ValueError("speed factor must be in (0, 1)")
+
+    def active_at(self, t: float) -> bool:
+        return self.t_start <= t < self.t_end
+
+
+class IncidentSet:
+    """All incidents of a scenario, queryable per segment and time."""
+
+    def __init__(self, incidents: Iterable[Incident] = ()) -> None:
+        self._by_segment: dict[str, list[Incident]] = {}
+        for inc in incidents:
+            self._by_segment.setdefault(inc.segment_id, []).append(inc)
+
+    def add(self, incident: Incident) -> None:
+        self._by_segment.setdefault(incident.segment_id, []).append(incident)
+
+    def all(self) -> list[Incident]:
+        return [inc for lst in self._by_segment.values() for inc in lst]
+
+    def on_segment(self, segment_id: str) -> list[Incident]:
+        return list(self._by_segment.get(segment_id, ()))
+
+    def active_on(self, segment_id: str, t: float) -> list[Incident]:
+        """Incidents affecting the segment at time ``t``."""
+        return [inc for inc in self._by_segment.get(segment_id, ()) if inc.active_at(t)]
+
+    def __len__(self) -> int:
+        return sum(len(lst) for lst in self._by_segment.values())

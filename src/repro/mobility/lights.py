@@ -1,0 +1,64 @@
+"""Traffic lights at intersections.
+
+Lights matter twice in the paper: they add waiting time at segment ends
+(one of the two cases in the arrival-time interpolation of Fig. 5), and a
+bus idling at a red light must *not* be reported as a traffic anomaly
+(Section V.A.4's false-anomaly filtering).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+
+
+class TrafficLightModel:
+    """Random red-light waits at intersection nodes.
+
+    Parameters
+    ----------
+    network:
+        Used to decide which nodes are intersections (degree > 2); lights
+        only exist there.
+    red_probability:
+        Chance a bus arriving at an intersection hits a red phase.
+    min_wait_s / max_wait_s:
+        Uniform red-wait bounds.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        *,
+        red_probability: float = 0.4,
+        min_wait_s: float = 5.0,
+        max_wait_s: float = 45.0,
+    ) -> None:
+        if not 0.0 <= red_probability <= 1.0:
+            raise ValueError("red probability must be in [0, 1]")
+        if not 0.0 <= min_wait_s <= max_wait_s:
+            raise ValueError("invalid wait bounds")
+        self._network = network
+        self.red_probability = red_probability
+        self.min_wait_s = min_wait_s
+        self.max_wait_s = max_wait_s
+
+    def has_light(self, node_id: str) -> bool:
+        """Whether the node carries a traffic light."""
+        return self._network.is_intersection(node_id)
+
+    def wait_at(self, node_id: str, rng: np.random.Generator) -> float:
+        """Sampled wait (possibly 0) for a bus arriving at the node."""
+        if not self.has_light(node_id):
+            return 0.0
+        if rng.random() >= self.red_probability:
+            return 0.0
+        return float(rng.uniform(self.min_wait_s, self.max_wait_s))
+
+
+class NoTrafficLights(TrafficLightModel):
+    """A light model where every wait is zero (for clean unit tests)."""
+
+    def __init__(self, network: RoadNetwork) -> None:
+        super().__init__(network, red_probability=0.0)

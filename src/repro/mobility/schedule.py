@@ -1,0 +1,76 @@
+"""Dispatch schedules: when buses leave the first stop.
+
+Transit agencies publish these; WiLocator's baseline comparator (the
+"Transit Agency" curve of Fig. 8b) predicts from the schedule plus
+per-route history.  The simulator uses them to decide departure times,
+optionally densified during rush hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mobility.traffic import DAY_S
+
+
+def departure_times(
+    first_s: float, last_s: float, headway_s: float
+) -> list[float]:
+    """Evenly spaced departures in ``[first_s, last_s]`` (time of day)."""
+    if headway_s <= 0:
+        raise ValueError("headway must be positive")
+    if last_s < first_s:
+        raise ValueError("last departure before first")
+    out = []
+    t = first_s
+    while t <= last_s + 1e-9:
+        out.append(t)
+        t += headway_s
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchSchedule:
+    """Daily departures for one route.
+
+    Attributes
+    ----------
+    route_id:
+        The route this schedule dispatches.
+    first_s / last_s:
+        Service span as seconds-of-day (e.g. 6:00 = 21600).
+    headway_s:
+        Off-peak headway.
+    rush_headway_s:
+        Headway inside rush windows (defaults to ``headway_s``).
+    """
+
+    route_id: str
+    first_s: float = 6 * 3600.0
+    last_s: float = 22 * 3600.0
+    headway_s: float = 900.0
+    rush_headway_s: float | None = None
+
+    def daily_departures(
+        self,
+        rush_windows: tuple[tuple[float, float], ...] = (
+            (8 * 3600.0, 10 * 3600.0),
+            (18 * 3600.0, 19 * 3600.0),
+        ),
+    ) -> list[float]:
+        """Departure times-of-day for one service day."""
+        rush = self.rush_headway_s or self.headway_s
+        out: list[float] = []
+        t = self.first_s
+        while t <= self.last_s + 1e-9:
+            out.append(t)
+            in_rush = any(a <= t < b for a, b in rush_windows)
+            t += rush if in_rush else self.headway_s
+        return out
+
+    def departures_for_days(self, num_days: int) -> list[float]:
+        """Absolute departure times over ``num_days`` consecutive days."""
+        if num_days < 1:
+            raise ValueError("need at least one day")
+        daily = self.daily_departures()
+        return [d * DAY_S + tod for d in range(num_days) for tod in daily]

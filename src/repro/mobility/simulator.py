@@ -1,0 +1,150 @@
+"""Multi-route, multi-day city simulation.
+
+:class:`CitySimulator` orchestrates the substrate: it dispatches trips for
+every route according to its schedule over a number of days, simulating
+each trip with the shared traffic model (so that buses of different routes
+on the same segment see the same congestion — the correlation WiLocator's
+predictor leans on).
+
+The output :class:`SimulationResult` is pure ground truth; the sensing
+layer turns it into noisy WiFi scan reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._util import stable_seed
+from repro.mobility.incidents import IncidentSet
+from repro.mobility.lights import TrafficLightModel
+from repro.mobility.schedule import DispatchSchedule
+from repro.mobility.traffic import TrafficModel
+from repro.mobility.trip import BusTrip, SegmentTraversal, simulate_trip
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import BusRoute
+
+
+@dataclass
+class SimulationResult:
+    """Ground truth produced by a simulation run."""
+
+    trips: list[BusTrip] = field(default_factory=list)
+
+    def traversals(self) -> list[SegmentTraversal]:
+        """All ground-truth segment traversals, time-ordered by entry."""
+        out = [tr for trip in self.trips for tr in trip.traversals]
+        out.sort(key=lambda tr: tr.t_enter)
+        return out
+
+    def trips_of_route(self, route_id: str) -> list[BusTrip]:
+        return [t for t in self.trips if t.route_id == route_id]
+
+    def trip(self, trip_id: str) -> BusTrip:
+        for t in self.trips:
+            if t.trip_id == trip_id:
+                return t
+        raise KeyError(f"unknown trip {trip_id!r}")
+
+    @property
+    def time_span(self) -> tuple[float, float]:
+        """(earliest departure, latest arrival) over all trips."""
+        if not self.trips:
+            raise ValueError("no trips simulated")
+        return (
+            min(t.departure_s for t in self.trips),
+            max(t.end_s for t in self.trips),
+        )
+
+
+class CitySimulator:
+    """Dispatch-and-drive simulation over a road network.
+
+    Parameters
+    ----------
+    network:
+        The road network (used for the traffic-light model).
+    routes:
+        Routes to operate.
+    traffic:
+        Shared traffic model; defaults to a seeded :class:`TrafficModel`
+        with a faster "rapid" route if one exists.
+    lights:
+        Traffic-light model; defaults to lights at all intersections.
+    incidents:
+        Optional incidents to inject.
+    seed:
+        Base seed; each trip gets an independent, stable substream.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        routes: Sequence[BusRoute],
+        *,
+        traffic: TrafficModel | None = None,
+        lights: TrafficLightModel | None = None,
+        incidents: IncidentSet | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not routes:
+            raise ValueError("need at least one route")
+        self.network = network
+        self.routes = {r.route_id: r for r in routes}
+        if traffic is None:
+            factors = {rid: 1.0 for rid in self.routes}
+            if "rapid" in factors:
+                factors["rapid"] = 1.15
+            traffic = TrafficModel(route_speed_factors=factors, seed=seed)
+        self.traffic = traffic
+        self.lights = lights or TrafficLightModel(network)
+        self.incidents = incidents or IncidentSet()
+        self._seed = seed
+
+    def default_schedules(
+        self, headway_s: float = 900.0, rush_headway_s: float | None = None
+    ) -> list[DispatchSchedule]:
+        """One schedule per route with a common headway."""
+        return [
+            DispatchSchedule(
+                route_id=rid, headway_s=headway_s, rush_headway_s=rush_headway_s
+            )
+            for rid in self.routes
+        ]
+
+    def run(
+        self,
+        schedules: Iterable[DispatchSchedule],
+        num_days: int,
+        *,
+        dwell_mean_s: float = 16.0,
+        dwell_sigma_s: float = 7.0,
+    ) -> SimulationResult:
+        """Simulate every scheduled trip over ``num_days`` days."""
+        result = SimulationResult()
+        for schedule in schedules:
+            route = self.routes.get(schedule.route_id)
+            if route is None:
+                raise KeyError(f"schedule for unknown route {schedule.route_id!r}")
+            for k, dep in enumerate(schedule.departures_for_days(num_days)):
+                trip_id = f"{route.route_id}#{k:04d}"
+                rng = np.random.default_rng(
+                    stable_seed("trip", self._seed, trip_id)
+                )
+                result.trips.append(
+                    simulate_trip(
+                        route,
+                        dep,
+                        self.traffic,
+                        self.lights,
+                        rng,
+                        incidents=self.incidents,
+                        trip_id=trip_id,
+                        dwell_mean_s=dwell_mean_s,
+                        dwell_sigma_s=dwell_sigma_s,
+                    )
+                )
+        result.trips.sort(key=lambda t: t.departure_s)
+        return result

@@ -1,0 +1,266 @@
+"""Traffic model: per-segment, per-time travel-time structure.
+
+The paper models the travel time of route ``j`` on segment ``i`` as
+
+``Tr(i, j) = mu_ij + eps_i``  (Eq. 3)
+
+with ``mu_ij`` route-dependent and ``eps_i`` an environment residual shared
+by every route on the segment.  The simulator generates exactly this
+structure:
+
+* ``mu_ij`` comes from the segment's speed limit, a per-route speed factor
+  (a Rapid line is faster than ordinary buses on the same street) and the
+  route's stop dwells — handled in :mod:`repro.mobility.trip`;
+* the *seasonal* part is a deterministic diurnal profile peaking in the
+  morning and afternoon rush hours (Section IV's five weekday slots);
+* ``eps_i`` is a deterministic smooth congestion process (seeded random
+  harmonics over time) shared by all routes on the segment — the temporal
+  consistency WiLocator exploits — plus small per-traversal noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import stable_seed
+from repro.roadnet.segment import RoadSegment
+
+DAY_S = 86_400.0
+
+
+@dataclass(frozen=True, slots=True)
+class SeasonalProfile:
+    """A deterministic diurnal congestion multiplier.
+
+    The multiplier is 1 off-peak and rises to ``1 + morning_peak`` /
+    ``1 + evening_peak`` inside the rush windows, with raised-cosine
+    shoulders of width ``ramp_s`` so there are no discontinuities.
+
+    Defaults follow the paper's weekday slots: morning rush 8:00-10:00,
+    afternoon rush 18:00-19:00.
+    """
+
+    morning_start_s: float = 8 * 3600.0
+    morning_end_s: float = 10 * 3600.0
+    morning_peak: float = 0.8
+    evening_start_s: float = 18 * 3600.0
+    evening_end_s: float = 19 * 3600.0
+    evening_peak: float = 0.6
+    ramp_s: float = 1800.0
+
+    def _bump(self, tod: float, start: float, end: float, peak: float) -> float:
+        """Raised-cosine bump: 0 outside [start-ramp, end+ramp], peak inside."""
+        if start <= tod <= end:
+            return peak
+        if start - self.ramp_s < tod < start:
+            x = (tod - (start - self.ramp_s)) / self.ramp_s
+            return peak * 0.5 * (1.0 - math.cos(math.pi * x))
+        if end < tod < end + self.ramp_s:
+            x = (tod - end) / self.ramp_s
+            return peak * 0.5 * (1.0 + math.cos(math.pi * x))
+        return 0.0
+
+    def multiplier(self, time_of_day_s: float) -> float:
+        """Congestion multiplier (>= 1) at the given time of day."""
+        tod = time_of_day_s % DAY_S
+        return (
+            1.0
+            + self._bump(tod, self.morning_start_s, self.morning_end_s, self.morning_peak)
+            + self._bump(tod, self.evening_start_s, self.evening_end_s, self.evening_peak)
+        )
+
+
+class _HarmonicProcess:
+    """A deterministic zero-mean smooth random process over time.
+
+    Sum of seeded random harmonics with periods around ``timescale_s``.
+    Used for the shared congestion residual: smooth in time, so buses that
+    traverse a segment minutes apart see almost the same value.
+    """
+
+    __slots__ = ("_omega", "_phi", "_amp")
+
+    def __init__(self, sigma: float, timescale_s: float, seed: int, num: int = 12):
+        rng = np.random.default_rng(seed)
+        # Periods spread over [timescale, 8*timescale] so the process has
+        # both within-hour and across-day variation.
+        periods = timescale_s * np.exp(rng.uniform(0.0, math.log(8.0), num))
+        self._omega = 2.0 * math.pi / periods
+        self._phi = rng.uniform(0.0, 2.0 * math.pi, num)
+        self._amp = sigma * math.sqrt(2.0 / num)
+
+    def value(self, t: float) -> float:
+        return float(self._amp * np.cos(self._omega * t + self._phi).sum())
+
+
+class TrafficModel:
+    """Per-segment traffic conditions over simulated time.
+
+    Parameters
+    ----------
+    seasonal:
+        The diurnal profile; per-segment amplitude scaling is derived from
+        the segment id (some streets rush harder than others).
+    congestion_sigma:
+        Std-dev of the shared log-congestion residual.  0.15 means the
+        effective speed wobbles ~15% around the seasonal mean.
+    congestion_timescale_s:
+        Smoothness of the shared residual; 1800 s means conditions persist
+        for tens of minutes — the window in which "lately" data helps.
+    route_speed_factors:
+        Route id -> multiplicative speed factor (rapid > 1, locals <= 1).
+    noise_sigma:
+        Std-dev (relative) of per-traversal noise (driver variability).
+    day_rush_sigma / day_rush_segment_sigma:
+        Log-std of the *day-to-day* rush-hour intensity: a city-wide
+        factor per day plus a per-segment wiggle.  This is what makes
+        today's rush different from the historical average — the signal
+        the paper's recency correction (Eq. 8) exists to capture and that
+        no slot-mean predictor can see.
+    day_base_sigma:
+        Log-std of a mild all-day city-wide factor (weather-style).
+    seed:
+        Base seed for all deterministic processes.
+    """
+
+    def __init__(
+        self,
+        *,
+        seasonal: SeasonalProfile | None = None,
+        congestion_sigma: float = 0.12,
+        congestion_timescale_s: float = 1800.0,
+        route_speed_factors: dict[str, float] | None = None,
+        noise_sigma: float = 0.05,
+        day_rush_sigma: float = 0.30,
+        day_rush_segment_sigma: float = 0.15,
+        day_base_sigma: float = 0.06,
+        route_congestion_sensitivity: dict[str, float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if congestion_sigma < 0 or noise_sigma < 0 or congestion_timescale_s <= 0:
+            raise ValueError("invalid traffic parameters")
+        if min(day_rush_sigma, day_rush_segment_sigma, day_base_sigma) < 0:
+            raise ValueError("day-to-day sigmas must be >= 0")
+        self.seasonal = seasonal or SeasonalProfile()
+        self.congestion_sigma = congestion_sigma
+        self.congestion_timescale_s = congestion_timescale_s
+        self.route_speed_factors = dict(route_speed_factors or {})
+        self.noise_sigma = noise_sigma
+        self.day_rush_sigma = day_rush_sigma
+        self.day_rush_segment_sigma = day_rush_segment_sigma
+        self.day_base_sigma = day_base_sigma
+        self.route_congestion_sensitivity = dict(route_congestion_sensitivity or {})
+        self._seed = seed
+        self._processes: dict[str, _HarmonicProcess] = {}
+        self._seasonal_scale: dict[str, float] = {}
+        self._day_cache: dict[tuple[str, int], float] = {}
+
+    def route_speed_factor(self, route_id: str) -> float:
+        return self.route_speed_factors.get(route_id, 1.0)
+
+    def _process(self, segment_id: str) -> _HarmonicProcess:
+        proc = self._processes.get(segment_id)
+        if proc is None:
+            proc = _HarmonicProcess(
+                sigma=self.congestion_sigma,
+                timescale_s=self.congestion_timescale_s,
+                seed=stable_seed("congestion", self._seed, segment_id),
+            )
+            self._processes[segment_id] = proc
+        return proc
+
+    def seasonal_scale(self, segment_id: str) -> float:
+        """Per-segment rush-hour intensity in [0.6, 1.3], deterministic."""
+        scale = self._seasonal_scale.get(segment_id)
+        if scale is None:
+            rng = np.random.default_rng(stable_seed("seasonal", self._seed, segment_id))
+            scale = float(rng.uniform(0.6, 1.3))
+            self._seasonal_scale[segment_id] = scale
+        return scale
+
+    def _cached_lognormal(self, key: str, sigma: float, *parts: object) -> float:
+        if sigma == 0.0:
+            return 1.0
+        cache_key = (key + "|" + "|".join(map(str, parts)), 0)
+        value = self._day_cache.get(cache_key)
+        if value is None:
+            rng = np.random.default_rng(stable_seed(key, self._seed, *parts))
+            value = float(np.exp(rng.normal(0.0, sigma)))
+            self._day_cache[cache_key] = value
+        return value
+
+    def day_rush_factor(self, segment_id: str, day: int) -> float:
+        """Today's rush intensity relative to the average day (>0)."""
+        citywide = self._cached_lognormal("dayrush-city", self.day_rush_sigma, day)
+        local = self._cached_lognormal(
+            "dayrush-seg", self.day_rush_segment_sigma, day, segment_id
+        )
+        return citywide * local
+
+    def day_base_factor(self, day: int) -> float:
+        """Today's all-day city-wide factor (weather-style, >0)."""
+        return self._cached_lognormal("daybase", self.day_base_sigma, day)
+
+    def seasonal_multiplier(self, segment_id: str, t: float) -> float:
+        """Diurnal congestion multiplier for a segment at absolute time t.
+
+        The rush excess is scaled by the segment's intensity and by the
+        day's rush factor, so rush hours differ from day to day.
+        """
+        base = self.seasonal.multiplier(t % DAY_S)
+        day = int(t // DAY_S)
+        # Scale the *excess over 1* so off-peak stays exactly 1.
+        excess = (base - 1.0) * self.seasonal_scale(segment_id)
+        return 1.0 + excess * self.day_rush_factor(segment_id, day)
+
+    def congestion_multiplier(self, segment_id: str, t: float) -> float:
+        """Shared environment congestion (log-normal-ish, mean ~1)."""
+        return math.exp(self._process(segment_id).value(t))
+
+    def free_flow_time(self, segment: RoadSegment, route_id: str) -> float:
+        """Moving time with no congestion, no stops, no lights."""
+        speed = segment.speed_limit_mps * self.route_speed_factor(route_id)
+        return segment.length / speed
+
+    def moving_time(
+        self,
+        segment: RoadSegment,
+        route_id: str,
+        t: float,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Time to drive through the segment entered at absolute time ``t``.
+
+        Excludes stop dwells and traffic-light waits (the trip simulator
+        adds those).  With ``rng`` given, adds per-traversal noise.
+        """
+        base = self.free_flow_time(segment, route_id)
+        multiplier = (
+            self.seasonal_multiplier(segment.segment_id, t)
+            * self.congestion_multiplier(segment.segment_id, t)
+            * self.day_base_factor(int(t // DAY_S))
+        )
+        # A rapid line with bus lanes / queue jumps only feels a fraction
+        # of the street's congestion (its sensitivity < 1).
+        sensitivity = self.route_congestion_sensitivity.get(route_id, 1.0)
+        tt = base * (1.0 + (multiplier - 1.0) * sensitivity)
+        if rng is not None and self.noise_sigma > 0:
+            tt *= max(0.5, 1.0 + rng.normal(0.0, self.noise_sigma))
+        return tt
+
+    def expected_moving_time(self, segment: RoadSegment, route_id: str, t: float) -> float:
+        """Noise-free moving time (for ground-truth comparisons)."""
+        return self.moving_time(segment, route_id, t, rng=None)
+
+    def dwell_scale(self, t: float) -> float:
+        """Passenger-load multiplier for stop dwell times.
+
+        The paper lists "the number of boarding and alighting passengers"
+        among the travel-time factors; ridership peaks with the rush, so
+        dwells stretch with a quarter of the seasonal excess (boarding
+        queues grow much more slowly than car queues do).
+        """
+        return 1.0 + 0.25 * (self.seasonal.multiplier(t % DAY_S) - 1.0)

@@ -1,0 +1,228 @@
+"""Single bus trip simulation.
+
+A trip is the ground-truth motion of one bus along its route: piecewise-
+linear arc-length vs. time, built segment by segment from the traffic
+model's moving time, stop dwells, red-light waits at intersections, and
+crawls through active incident zones.
+
+The trip also records ground-truth :class:`SegmentTraversal` intervals —
+when the bus entered and left every road segment.  These are what the
+travel-time predictor would see with perfect positioning, and the yardstick
+for the interpolation-based extraction the server actually performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.mobility.incidents import IncidentSet
+from repro.mobility.lights import TrafficLightModel
+from repro.mobility.traffic import TrafficModel
+from repro.roadnet.route import BusRoute
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentTraversal:
+    """Ground truth: one bus crossing one road segment.
+
+    ``t_enter`` is when the bus crossed the segment's start node;
+    ``t_exit`` is when it crossed the end node (including any red-light
+    wait there) — so ``travel_time`` matches the paper's segment travel
+    time between adjacent intersections.
+    """
+
+    route_id: str
+    trip_id: str
+    segment_id: str
+    t_enter: float
+    t_exit: float
+
+    @property
+    def travel_time(self) -> float:
+        return self.t_exit - self.t_enter
+
+
+@dataclass
+class BusTrip:
+    """Ground-truth motion of one bus run.
+
+    ``times``/``arcs`` are parallel breakpoint arrays defining a
+    non-decreasing piecewise-linear arc-length trajectory.
+    """
+
+    route: BusRoute
+    trip_id: str
+    departure_s: float
+    times: np.ndarray
+    arcs: np.ndarray
+    traversals: list[SegmentTraversal] = field(default_factory=list)
+
+    @property
+    def route_id(self) -> str:
+        return self.route.route_id
+
+    @property
+    def end_s(self) -> float:
+        return float(self.times[-1])
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.departure_s
+
+    def arc_at(self, t: float) -> float:
+        """Route arc length of the bus at absolute time ``t`` (clamped)."""
+        if t <= self.times[0]:
+            return float(self.arcs[0])
+        if t >= self.times[-1]:
+            return float(self.arcs[-1])
+        i = int(np.searchsorted(self.times, t, side="right")) - 1
+        t0, t1 = self.times[i], self.times[i + 1]
+        a0, a1 = self.arcs[i], self.arcs[i + 1]
+        if t1 <= t0:
+            return float(a1)
+        frac = (t - t0) / (t1 - t0)
+        return float(a0 + frac * (a1 - a0))
+
+    def point_at(self, t: float) -> Point:
+        """Planar position of the bus at absolute time ``t``."""
+        return self.route.point_at(self.arc_at(t))
+
+    def time_at_arc(self, arc: float) -> float | None:
+        """Ground-truth first time the bus reaches a route arc length.
+
+        None when the trip never reaches ``arc`` (beyond the terminal).
+        """
+        if arc <= self.arcs[0]:
+            return float(self.times[0])
+        if arc > self.arcs[-1]:
+            return None
+        i = int(np.searchsorted(self.arcs, arc, side="left"))
+        a0, a1 = self.arcs[i - 1], self.arcs[i]
+        t0, t1 = self.times[i - 1], self.times[i]
+        if a1 <= a0:
+            return float(t0)
+        frac = (arc - a0) / (a1 - a0)
+        return float(t0 + frac * (t1 - t0))
+
+    def active_at(self, t: float) -> bool:
+        """Whether the bus is on the road at time ``t``."""
+        return self.times[0] <= t <= self.times[-1]
+
+
+def _stop_dwell(
+    rng: np.random.Generator, mean_s: float, sigma_s: float
+) -> float:
+    return float(max(0.0, rng.normal(mean_s, sigma_s)))
+
+
+def simulate_trip(
+    route: BusRoute,
+    departure_s: float,
+    traffic: TrafficModel,
+    lights: TrafficLightModel,
+    rng: np.random.Generator,
+    *,
+    incidents: IncidentSet | None = None,
+    trip_id: str | None = None,
+    dwell_mean_s: float = 16.0,
+    dwell_sigma_s: float = 7.0,
+) -> BusTrip:
+    """Simulate one bus run along ``route`` departing at ``departure_s``.
+
+    The bus drives each segment at the constant effective speed implied by
+    the traffic model's moving time, except inside active incident zones
+    where the speed is further multiplied by the incident's factor; it
+    dwells at every stop and may wait at red lights when crossing
+    intersections.
+    """
+    incidents = incidents or IncidentSet()
+    tid = trip_id or f"{route.route_id}@{departure_s:.0f}"
+
+    times: list[float] = [departure_s]
+    arcs: list[float] = [0.0]
+    traversals: list[SegmentTraversal] = []
+
+    def advance(dt: float, new_arc: float) -> None:
+        times.append(times[-1] + dt)
+        arcs.append(new_arc)
+
+    # Stops grouped per segment, ordered by offset.
+    stops_by_segment: dict[str, list[float]] = {}
+    for stop in route.stops:
+        stops_by_segment.setdefault(stop.segment_id, []).append(stop.offset)
+    for offsets in stops_by_segment.values():
+        offsets.sort()
+
+    t_route_arc = 0.0
+    for seg in route.segments:
+        t_enter = times[-1]
+        moving = traffic.moving_time(seg, route.route_id, t_enter, rng)
+        base_speed = seg.length / max(moving, 1e-6)
+
+        # Arc positions (within the segment) where the motion profile can
+        # change: stops and incident-zone boundaries.
+        active = incidents.active_on(seg.segment_id, t_enter)
+        cuts: set[float] = {0.0, seg.length}
+        stop_offsets = stops_by_segment.get(seg.segment_id, [])
+        cuts.update(min(o, seg.length) for o in stop_offsets)
+        for inc in active:
+            cuts.add(min(max(inc.arc_start, 0.0), seg.length))
+            cuts.add(min(max(inc.arc_end, 0.0), seg.length))
+        ordered = sorted(cuts)
+
+        stop_set = {round(min(o, seg.length), 6) for o in stop_offsets}
+
+        def zone_factor(mid: float) -> float:
+            f = 1.0
+            for inc in active:
+                if inc.arc_start <= mid < inc.arc_end:
+                    f = min(f, inc.speed_factor)
+            return f
+
+        # Rush-hour ridership stretches boarding times.
+        dwell_scale = traffic.dwell_scale(t_enter)
+        for a, b in zip(ordered, ordered[1:]):
+            # Dwell when departing a stop located at 'a' (skip the segment
+            # start if there is no stop there).
+            if round(a, 6) in stop_set:
+                dwell = dwell_scale * _stop_dwell(rng, dwell_mean_s, dwell_sigma_s)
+                if dwell > 0:
+                    advance(dwell, t_route_arc + a)
+            speed = base_speed * zone_factor((a + b) / 2.0)
+            advance((b - a) / speed, t_route_arc + b)
+        # A stop exactly at the segment end (e.g. the route terminal).
+        if round(seg.length, 6) in stop_set:
+            dwell = dwell_scale * _stop_dwell(rng, dwell_mean_s, dwell_sigma_s)
+            if dwell > 0:
+                advance(dwell, t_route_arc + seg.length)
+
+        # Red light when crossing the end intersection (not at the final
+        # terminal: the trip simply ends there).
+        is_last = seg is route.segments[-1]
+        if not is_last:
+            wait = lights.wait_at(seg.end_node, rng)
+            if wait > 0:
+                advance(wait, t_route_arc + seg.length)
+
+        traversals.append(
+            SegmentTraversal(
+                route_id=route.route_id,
+                trip_id=tid,
+                segment_id=seg.segment_id,
+                t_enter=t_enter,
+                t_exit=times[-1],
+            )
+        )
+        t_route_arc += seg.length
+
+    return BusTrip(
+        route=route,
+        trip_id=tid,
+        departure_s=departure_s,
+        times=np.asarray(times),
+        arcs=np.asarray(arcs),
+        traversals=traversals,
+    )

@@ -1,0 +1,60 @@
+"""WiFi radio substrate: APs, RF propagation and signal sampling.
+
+The paper's evaluation uses real RSS readings; we have none, so this
+package synthesizes them.  The model is the standard urban picture:
+
+* **log-distance path loss** — mean power falls with ``10 n log10(d)``;
+* **shadowing** — a *static, spatially correlated, deterministic* field per
+  AP (obstacles do not move between scans), built from seeded random plane
+  waves.  This is what makes Signal Voronoi Edges bend away from straight
+  Euclidean bisectors, exactly the paper's argument for why SVD generalises
+  the classical Voronoi diagram;
+* **fast fading / measurement noise** — fresh zero-mean noise per reading,
+  the "RSS can vary up to more than 10 dB at a static point" effect the
+  rank-based design is built to survive;
+* **device bias** — a constant per-device RSS offset, which shifts *all*
+  readings of a device equally and therefore never changes rank order.
+
+The *mean field* (path loss + shadowing) is the ground truth that the
+Signal Voronoi Diagram partitions; sampled scans add fading and bias.
+"""
+
+from repro.radio.ap import AccessPoint
+from repro.radio.propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PathLossModel,
+    ShadowingField,
+)
+from repro.radio.environment import RadioEnvironment, Reading
+from repro.radio.deployment import (
+    deploy_aps_along_network,
+    deploy_aps_along_route,
+    deploy_aps_at,
+)
+from repro.radio.dynamics import APDynamics, Outage
+from repro.radio.io import (
+    aps_from_dict,
+    aps_to_dict,
+    load_aps,
+    save_aps,
+)
+
+__all__ = [
+    "aps_from_dict",
+    "aps_to_dict",
+    "load_aps",
+    "save_aps",
+    "AccessPoint",
+    "PathLossModel",
+    "LogDistancePathLoss",
+    "FreeSpacePathLoss",
+    "ShadowingField",
+    "RadioEnvironment",
+    "Reading",
+    "deploy_aps_along_network",
+    "deploy_aps_along_route",
+    "deploy_aps_at",
+    "APDynamics",
+    "Outage",
+]

@@ -1,0 +1,50 @@
+"""WiFi access points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point
+
+
+@dataclass(frozen=True, slots=True)
+class AccessPoint:
+    """A WiFi access point (a *site*/*generator* of the SVD).
+
+    Attributes
+    ----------
+    bssid:
+        MAC-address-like unique identifier; this is what scans report and
+        what the server keys its diagrams on.
+    ssid:
+        Network name (not unique; informational).
+    position:
+        Planar position in metres.  For *geo-tagged* APs this is the
+        map-service location; WiLocator ignores readings from APs without
+        a geo-tag.
+    tx_power_dbm:
+        Effective transmit power.  The paper assumes all propagation
+        factors equal across APs for SVD construction; the simulator lets
+        them differ so that robustness can be tested.
+    geo_tagged:
+        Whether the AP's location is known to the server.
+    """
+
+    bssid: str
+    ssid: str
+    position: Point
+    tx_power_dbm: float = 18.0
+    geo_tagged: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.bssid:
+            raise ValueError("an AP needs a non-empty BSSID")
+
+
+def make_bssid(index: int) -> str:
+    """A syntactically valid, deterministic fake BSSID for AP ``index``."""
+    if not 0 <= index < 2**40:
+        raise ValueError("index out of range for a 6-byte MAC")
+    raw = (0x02 << 40) | index  # locally administered bit set
+    octets = [(raw >> (8 * i)) & 0xFF for i in reversed(range(6))]
+    return ":".join(f"{o:02x}" for o in octets)

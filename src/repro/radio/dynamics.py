@@ -1,0 +1,97 @@
+"""AP dynamics: outages, replacements, churn.
+
+Section III.B argues that SVD-based positioning survives AP dynamics ("an
+AP being out of function" just coarsens the diagram locally).  This module
+models such dynamics as time-windowed outages so both the simulator (which
+must stop emitting readings from dead APs) and the server (which must
+rebuild its diagram from the surviving APs) can be exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Outage:
+    """An AP being out of service during ``[t_start, t_end)`` (seconds)."""
+
+    bssid: str
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError("outage must have positive duration")
+
+    def active_at(self, t: float) -> bool:
+        return self.t_start <= t < self.t_end
+
+
+class APDynamics:
+    """A schedule of AP outages.
+
+    ``alive(bssids, t)`` filters a BSSID list down to the APs in service at
+    time ``t``; ``random_outages`` draws a churn scenario.
+    """
+
+    def __init__(self, outages: Iterable[Outage] = ()) -> None:
+        self._outages: list[Outage] = list(outages)
+
+    @property
+    def outages(self) -> list[Outage]:
+        return list(self._outages)
+
+    def add(self, outage: Outage) -> None:
+        self._outages.append(outage)
+
+    def is_alive(self, bssid: str, t: float) -> bool:
+        return not any(o.bssid == bssid and o.active_at(t) for o in self._outages)
+
+    def alive(self, bssids: Sequence[str], t: float) -> list[str]:
+        """The subset of ``bssids`` in service at time ``t``."""
+        down = {o.bssid for o in self._outages if o.active_at(t)}
+        return [b for b in bssids if b not in down]
+
+    def dead_at(self, t: float) -> set[str]:
+        """BSSIDs out of service at time ``t``."""
+        return {o.bssid for o in self._outages if o.active_at(t)}
+
+    @classmethod
+    def random_outages(
+        cls,
+        bssids: Sequence[str],
+        rng: np.random.Generator,
+        *,
+        fraction: float = 0.1,
+        horizon_s: float = 86_400.0,
+        mean_duration_s: float = 3_600.0,
+    ) -> "APDynamics":
+        """Draw a churn scenario: ``fraction`` of APs suffer one outage.
+
+        Outage start times are uniform over the horizon and durations
+        exponential with the given mean, clipped to stay inside the
+        horizon.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        n = int(round(fraction * len(bssids)))
+        chosen = rng.choice(len(bssids), size=n, replace=False) if n else []
+        outages = []
+        for i in chosen:
+            start = rng.uniform(0.0, horizon_s)
+            duration = max(60.0, rng.exponential(mean_duration_s))
+            outages.append(
+                Outage(
+                    bssid=bssids[int(i)],
+                    t_start=start,
+                    t_end=min(start + duration, horizon_s + duration),
+                )
+            )
+        return cls(outages)
+
+    def __len__(self) -> int:
+        return len(self._outages)

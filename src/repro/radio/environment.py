@@ -1,0 +1,261 @@
+"""The radio environment: APs + propagation + sampling.
+
+:class:`RadioEnvironment` is the single source of RF truth for the
+simulation.  It exposes two views:
+
+* ``mean_rss(point, ap)`` — the noise-free mean field (path loss +
+  shadowing).  The Signal Voronoi Diagram is defined on this field; it is
+  also what the paper's "average RSS rank ... remains relatively stable"
+  observation converges to.
+* ``scan(point, rng, ...)`` — one noisy WiFi scan: mean field per AP, plus
+  fresh fast-fading noise and an optional per-device bias, thresholded at
+  the detection sensitivity.  This is what smartphones report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.radio.ap import AccessPoint
+from repro.radio.propagation import (
+    LogDistancePathLoss,
+    PathLossModel,
+    ShadowingField,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Reading:
+    """One (AP, RSS) pair inside a scan."""
+
+    bssid: str
+    ssid: str
+    rss_dbm: float
+
+
+class RadioEnvironment:
+    """APs plus a propagation model, with deterministic mean field.
+
+    Parameters
+    ----------
+    aps:
+        The access points in the environment.
+    path_loss:
+        Mean path-loss model; defaults to urban log-distance (n=3).
+    shadowing_sigma_db / shadowing_correlation_m:
+        Static shadowing field parameters; sigma 0 disables shadowing
+        (the "ideal case" where SVD == Euclidean VD if powers are equal).
+    fading_sigma_db:
+        Std-dev of per-reading fast fading noise.
+    detection_threshold_dbm:
+        Readings below this never appear in a scan.
+    seed:
+        Base seed for the per-AP shadowing fields.
+    """
+
+    def __init__(
+        self,
+        aps: Iterable[AccessPoint],
+        *,
+        path_loss: PathLossModel | None = None,
+        shadowing_sigma_db: float = 4.0,
+        shadowing_correlation_m: float = 35.0,
+        fading_sigma_db: float = 3.0,
+        detection_threshold_dbm: float = -88.0,
+        seed: int = 0,
+    ) -> None:
+        self._aps: dict[str, AccessPoint] = {}
+        for ap in aps:
+            if ap.bssid in self._aps:
+                raise ValueError(f"duplicate BSSID {ap.bssid!r}")
+            self._aps[ap.bssid] = ap
+        if fading_sigma_db < 0:
+            raise ValueError("fading sigma must be >= 0")
+        self.path_loss: PathLossModel = path_loss or LogDistancePathLoss()
+        self.fading_sigma_db = fading_sigma_db
+        self.detection_threshold_dbm = detection_threshold_dbm
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.shadowing_correlation_m = shadowing_correlation_m
+        self._seed = seed
+        self._range_cache: dict[float, float] = {}
+        self._grid: dict[tuple[int, int], list[str]] = {}
+        self._grid_cell = 250.0
+        for bssid, ap in self._aps.items():
+            key = (
+                int(ap.position.x // self._grid_cell),
+                int(ap.position.y // self._grid_cell),
+            )
+            self._grid.setdefault(key, []).append(bssid)
+        self._shadowing: dict[str, ShadowingField] = {
+            bssid: ShadowingField.for_key(
+                bssid,
+                sigma_db=shadowing_sigma_db,
+                correlation_m=shadowing_correlation_m,
+                base_seed=seed,
+            )
+            for bssid in self._aps
+        }
+
+    # -- AP bookkeeping ----------------------------------------------------
+
+    @property
+    def aps(self) -> list[AccessPoint]:
+        return list(self._aps.values())
+
+    def ap(self, bssid: str) -> AccessPoint:
+        try:
+            return self._aps[bssid]
+        except KeyError:
+            raise KeyError(f"unknown AP {bssid!r}") from None
+
+    def has_ap(self, bssid: str) -> bool:
+        return bssid in self._aps
+
+    def geo_tagged_aps(self) -> list[AccessPoint]:
+        """APs whose locations the server knows (usable for SVD)."""
+        return [ap for ap in self._aps.values() if ap.geo_tagged]
+
+    def nearby_bssids(self, point: Point, radius_m: float) -> list[str]:
+        """BSSIDs of APs within ``radius_m`` of ``point`` (grid-indexed).
+
+        Used to avoid evaluating the propagation model for APs that are
+        far beyond detection range.  Order follows AP insertion order.
+        """
+        cell = self._grid_cell
+        r_cells = int(radius_m // cell) + 1
+        cx, cy = int(point.x // cell), int(point.y // cell)
+        candidates: list[str] = []
+        for gx in range(cx - r_cells, cx + r_cells + 1):
+            for gy in range(cy - r_cells, cy + r_cells + 1):
+                candidates.extend(self._grid.get((gx, gy), ()))
+        r2 = radius_m * radius_m
+        out = [
+            b
+            for b in candidates
+            if (self._aps[b].position.x - point.x) ** 2
+            + (self._aps[b].position.y - point.y) ** 2
+            <= r2
+        ]
+        order = {b: i for i, b in enumerate(self._aps)}
+        out.sort(key=order.__getitem__)
+        return out
+
+    def max_detection_range_m(self, margin_db: float = 0.0) -> float:
+        """A conservative radius beyond which no AP can be detected.
+
+        Solves ``tx_max - PL(d) + headroom = threshold`` where headroom
+        covers shadowing (3 sigma), fading (4 sigma) and ``margin_db``.
+        Falls back to a large constant for non-log-distance models.
+        """
+        cached = self._range_cache.get(margin_db)
+        if cached is not None:
+            return cached
+        tx_max = max((ap.tx_power_dbm for ap in self._aps.values()), default=18.0)
+        headroom = 3.0 * self.shadowing_sigma_db + 4.0 * self.fading_sigma_db + margin_db
+        budget = tx_max + headroom - self.detection_threshold_dbm
+        pl = self.path_loss
+        if isinstance(pl, LogDistancePathLoss):
+            exp10 = (budget - pl.pl0_db) / (10.0 * pl.exponent)
+            radius = max(pl.d_min_m, pl.d0_m * 10.0**exp10)
+        else:
+            radius = 1_000.0
+        self._range_cache[margin_db] = radius
+        return radius
+
+    # -- fields -------------------------------------------------------------
+
+    def mean_rss(self, point: Point, bssid: str) -> float:
+        """Noise-free mean RSS (dBm) of an AP at a point."""
+        ap = self.ap(bssid)
+        d = point.distance_to(ap.position)
+        return (
+            ap.tx_power_dbm
+            - self.path_loss.path_loss_db(d)
+            + self._shadowing[bssid].value_at(point)
+        )
+
+    def mean_rss_vector(
+        self, point: Point, bssids: Sequence[str] | None = None
+    ) -> dict[str, float]:
+        """Mean RSS for several APs at once (default: all APs)."""
+        keys = list(bssids) if bssids is not None else list(self._aps)
+        return {b: self.mean_rss(point, b) for b in keys}
+
+    def visible_aps(self, point: Point, margin_db: float = 0.0) -> list[str]:
+        """BSSIDs whose *mean* RSS clears the detection threshold.
+
+        ``margin_db`` > 0 demands a margin above threshold (conservative);
+        < 0 includes APs that only sometimes peek above it.
+        """
+        out = []
+        for bssid in self.nearby_bssids(point, self.max_detection_range_m(margin_db)):
+            if self.mean_rss(point, bssid) >= self.detection_threshold_dbm + margin_db:
+                out.append(bssid)
+        return out
+
+    # -- sampling -----------------------------------------------------------
+
+    def scan(
+        self,
+        point: Point,
+        rng: np.random.Generator,
+        *,
+        device_bias_db: float = 0.0,
+        active_bssids: Sequence[str] | None = None,
+    ) -> list[Reading]:
+        """One noisy WiFi scan at ``point``.
+
+        Adds fresh fading noise per reading, applies the device bias, and
+        drops readings below the detection threshold.  ``active_bssids``
+        restricts the scan to currently-alive APs (AP dynamics).  Readings
+        are returned strongest-first, as WiFi scan results usually are.
+        """
+        if active_bssids is not None:
+            keys = list(active_bssids)
+        else:
+            keys = self.nearby_bssids(point, self.max_detection_range_m())
+        readings: list[Reading] = []
+        for bssid in keys:
+            if bssid not in self._aps:
+                continue
+            mean = self.mean_rss(point, bssid)
+            rss = mean + device_bias_db
+            if self.fading_sigma_db > 0:
+                rss += rng.normal(0.0, self.fading_sigma_db)
+            if rss >= self.detection_threshold_dbm:
+                ap = self._aps[bssid]
+                readings.append(Reading(bssid=bssid, ssid=ap.ssid, rss_dbm=rss))
+        readings.sort(key=lambda r: (-r.rss_dbm, r.bssid))
+        return readings
+
+    def without_aps(self, bssids: Iterable[str]) -> "RadioEnvironment":
+        """A copy of the environment with the given APs removed.
+
+        Shadowing fields of the remaining APs are unchanged (same seeds),
+        modelling an AP going out of service while the world stays put —
+        the AP-dynamics scenario of Section III.B.
+        """
+        dropped = set(bssids)
+        return RadioEnvironment(
+            [ap for ap in self._aps.values() if ap.bssid not in dropped],
+            path_loss=self.path_loss,
+            shadowing_sigma_db=self.shadowing_sigma_db,
+            shadowing_correlation_m=self.shadowing_correlation_m,
+            fading_sigma_db=self.fading_sigma_db,
+            detection_threshold_dbm=self.detection_threshold_dbm,
+            seed=self._seed,
+        )
+
+    def __len__(self) -> int:
+        return len(self._aps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RadioEnvironment({len(self._aps)} APs, fading "
+            f"{self.fading_sigma_db} dB, threshold "
+            f"{self.detection_threshold_dbm} dBm)"
+        )

@@ -1,0 +1,92 @@
+"""Import/export of geo-tagged AP databases.
+
+The paper obtains AP geo-tags "from Google Map and Shaw Go WiFi".  This
+module reads/writes the equivalent: a JSON list of APs with either planar
+metre coordinates or WGS-84 latitude/longitude (converted through a
+:class:`~repro.geometry.LocalProjection`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.geometry import GeoPoint, LocalProjection, Point
+from repro.radio.ap import AccessPoint
+
+FORMAT_VERSION = 1
+
+
+def aps_to_dict(
+    aps: list[AccessPoint], *, projection: LocalProjection | None = None
+) -> dict[str, Any]:
+    """Serialise APs; with a projection, positions become lat/lon."""
+    out = []
+    for ap in aps:
+        entry: dict[str, Any] = {
+            "bssid": ap.bssid,
+            "ssid": ap.ssid,
+            "tx_power_dbm": ap.tx_power_dbm,
+            "geo_tagged": ap.geo_tagged,
+        }
+        if projection is not None:
+            geo = projection.to_geo(ap.position)
+            entry["lat"] = geo.lat
+            entry["lon"] = geo.lon
+        else:
+            entry["x"] = ap.position.x
+            entry["y"] = ap.position.y
+        out.append(entry)
+    return {"version": FORMAT_VERSION, "aps": out}
+
+
+def aps_from_dict(
+    data: dict[str, Any], *, projection: LocalProjection | None = None
+) -> list[AccessPoint]:
+    """Rebuild APs from :func:`aps_to_dict` data.
+
+    Entries carrying lat/lon require a projection; planar entries do not.
+    """
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported AP format version {version}")
+    aps = []
+    for entry in data["aps"]:
+        if "lat" in entry:
+            if projection is None:
+                raise ValueError(
+                    "AP database uses lat/lon; a LocalProjection is required"
+                )
+            position = projection.to_local(
+                GeoPoint(float(entry["lat"]), float(entry["lon"]))
+            )
+        else:
+            position = Point(float(entry["x"]), float(entry["y"]))
+        aps.append(
+            AccessPoint(
+                bssid=entry["bssid"],
+                ssid=entry.get("ssid", ""),
+                position=position,
+                tx_power_dbm=float(entry.get("tx_power_dbm", 18.0)),
+                geo_tagged=bool(entry.get("geo_tagged", True)),
+            )
+        )
+    return aps
+
+
+def save_aps(
+    path: str | Path,
+    aps: list[AccessPoint],
+    *,
+    projection: LocalProjection | None = None,
+) -> None:
+    Path(path).write_text(json.dumps(aps_to_dict(aps, projection=projection)))
+
+
+def load_aps(
+    path: str | Path, *, projection: LocalProjection | None = None
+) -> list[AccessPoint]:
+    return aps_from_dict(
+        json.loads(Path(path).read_text()), projection=projection
+    )

@@ -1,0 +1,167 @@
+"""RF propagation models.
+
+The mean received power at distance ``d`` from an AP is
+
+``RSS(x) = P_tx - PL(d) + S(x)``
+
+where ``PL`` is a path-loss model and ``S`` a static shadowing field.  The
+shadowing field is the important part for this paper: it is what makes the
+Signal Voronoi Edges curve, so the SVD genuinely differs from the Euclidean
+Voronoi diagram (Section III.A: "only in the ideal case ... will the SVD be
+the same as the VD").
+
+``ShadowingField`` is a *deterministic function of position*: it is a sum
+of seeded random plane waves (a spectral approximation of a Gaussian random
+field with roughly exponential correlation).  Determinism matters twice
+over: (a) physically, buildings do not move between scans, so two scans at
+the same spot share the same shadowing; (b) experimentally, every run with
+the same seed sees the same city.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro._util import stable_seed
+from repro.geometry import Point
+
+
+class PathLossModel(Protocol):
+    """Mean path loss in dB as a function of link distance in metres."""
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Path loss at the given distance (>= 0)."""
+        ...
+
+
+class LogDistancePathLoss:
+    """The classic log-distance model.
+
+    ``PL(d) = PL(d0) + 10 n log10(max(d, d_min) / d0)``
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent ``n``; ~2 free space, 2.7-3.5 urban outdoor.
+    pl0_db:
+        Loss at the reference distance ``d0``.
+    d0_m:
+        Reference distance (default 1 m).
+    d_min_m:
+        Distances below this are clamped, avoiding the log singularity.
+    """
+
+    __slots__ = ("exponent", "pl0_db", "d0_m", "d_min_m")
+
+    def __init__(
+        self,
+        exponent: float = 3.0,
+        pl0_db: float = 40.0,
+        d0_m: float = 1.0,
+        d_min_m: float = 1.0,
+    ) -> None:
+        if exponent <= 0 or pl0_db < 0 or d0_m <= 0 or d_min_m <= 0:
+            raise ValueError("path loss parameters must be positive")
+        self.exponent = exponent
+        self.pl0_db = pl0_db
+        self.d0_m = d0_m
+        self.d_min_m = d_min_m
+
+    def path_loss_db(self, distance_m: float) -> float:
+        d = max(distance_m, self.d_min_m)
+        return self.pl0_db + 10.0 * self.exponent * math.log10(d / self.d0_m)
+
+
+class FreeSpacePathLoss(LogDistancePathLoss):
+    """Free-space (exponent 2) log-distance model at 2.4 GHz.
+
+    ``PL(1 m) ≈ 40 dB`` for 2.4 GHz.  Provided as the "ideal case" in which
+    the SVD with equal AP parameters degenerates to the Euclidean Voronoi
+    diagram — used by tests of that proposition.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(exponent=2.0, pl0_db=40.0)
+
+
+class ShadowingField:
+    """Static spatially-correlated shadowing for one AP.
+
+    A spectral (random plane-wave) approximation of a Gaussian random
+    field: ``S(x) = sigma * sqrt(2/K) * sum_k cos(w_k . x + phi_k)`` with
+    wave vectors drawn so the field decorrelates over roughly
+    ``correlation_m`` metres (Gudmundson-style).
+
+    Parameters
+    ----------
+    sigma_db:
+        Standard deviation of the field in dB.
+    correlation_m:
+        Decorrelation distance in metres.
+    seed:
+        Base seed; combine with a per-AP key via :meth:`for_key`.
+    num_waves:
+        Number of plane waves; >= ~24 gives a convincingly Gaussian field.
+    """
+
+    __slots__ = ("sigma_db", "correlation_m", "_wx", "_wy", "_phi", "_amp")
+
+    def __init__(
+        self,
+        sigma_db: float,
+        correlation_m: float,
+        seed: int,
+        num_waves: int = 32,
+    ) -> None:
+        if sigma_db < 0 or correlation_m <= 0 or num_waves < 1:
+            raise ValueError("invalid shadowing parameters")
+        self.sigma_db = sigma_db
+        self.correlation_m = correlation_m
+        rng = np.random.default_rng(seed)
+        theta = rng.uniform(0.0, 2.0 * math.pi, num_waves)
+        # Wave numbers around 1/correlation_m with spread, so the field has
+        # energy at several scales rather than being a pure sinusoid.
+        wavenumber = rng.gamma(shape=2.0, scale=1.0 / (2.0 * correlation_m), size=num_waves)
+        self._wx = wavenumber * np.cos(theta)
+        self._wy = wavenumber * np.sin(theta)
+        self._phi = rng.uniform(0.0, 2.0 * math.pi, num_waves)
+        self._amp = sigma_db * math.sqrt(2.0 / num_waves)
+
+    @classmethod
+    def for_key(
+        cls,
+        key: str,
+        *,
+        sigma_db: float = 4.0,
+        correlation_m: float = 35.0,
+        base_seed: int = 0,
+        num_waves: int = 32,
+    ) -> "ShadowingField":
+        """A field deterministically derived from a string key (e.g. BSSID)."""
+        return cls(
+            sigma_db=sigma_db,
+            correlation_m=correlation_m,
+            seed=stable_seed("shadowing", base_seed, key),
+            num_waves=num_waves,
+        )
+
+    def value_at(self, p: Point) -> float:
+        """Shadowing in dB at the given point (deterministic)."""
+        if self.sigma_db == 0.0:
+            return 0.0
+        phase = self._wx * p.x + self._wy * p.y + self._phi
+        return float(self._amp * np.cos(phase).sum())
+
+    def values_at(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value_at` over coordinate arrays."""
+        if self.sigma_db == 0.0:
+            return np.zeros(np.broadcast(xs, ys).shape)
+        phase = (
+            np.multiply.outer(xs, self._wx)
+            + np.multiply.outer(ys, self._wy)
+            + self._phi
+        )
+        return self._amp * np.cos(phase).sum(axis=-1)

@@ -1,0 +1,57 @@
+"""Road networks, road segments and bus routes.
+
+Implements the paper's Definitions 3 (road network: a directed graph whose
+vertices are intersections/terminals and whose edges are directed road
+segments) and 4 (bus route: a chain of connected directed road segments with
+stops on the first and last), plus the overlap analysis behind Table I and
+synthetic network generators used by the evaluation scenarios.
+"""
+
+from repro.roadnet.network import RoadNetwork, RoadNetworkError
+from repro.roadnet.route import BusRoute, BusStop, RoutePosition
+from repro.roadnet.segment import RoadSegment
+from repro.roadnet.overlap import (
+    OverlapStats,
+    format_overlap_table,
+    overlapped_segment_ids,
+    route_overlap_table,
+    routes_sharing_segment,
+    shared_segments,
+)
+from repro.roadnet.generators import (
+    CorridorScenario,
+    add_reverse_direction,
+    build_campus_road,
+    build_corridor_city,
+    build_grid_city,
+)
+from repro.roadnet.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+__all__ = [
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "save_network",
+    "RoadNetwork",
+    "RoadNetworkError",
+    "RoadSegment",
+    "BusRoute",
+    "BusStop",
+    "RoutePosition",
+    "OverlapStats",
+    "format_overlap_table",
+    "overlapped_segment_ids",
+    "route_overlap_table",
+    "routes_sharing_segment",
+    "shared_segments",
+    "CorridorScenario",
+    "add_reverse_direction",
+    "build_corridor_city",
+    "build_grid_city",
+    "build_campus_road",
+]

@@ -1,0 +1,390 @@
+"""Synthetic road network generators.
+
+The paper evaluates on four Metro-Vancouver routes (the Rapid Line and
+routes 9, 14 and 16) that share a main-street corridor (W Broadway), plus a
+campus road for the micro-benchmark of Fig. 10 / Table II.  We do not have
+that map data, so :func:`build_corridor_city` constructs a synthetic city
+whose four routes reproduce the structure of Table I exactly:
+
+=========== ======= =========== ===================
+Route       # stops length (km) overlapped (km)
+=========== ======= =========== ===================
+Rapid Line  19      13.7        13.0
+9           65      16.3        13.0
+14          74      20.6        16.2
+16          91      18.3        9.5
+=========== ======= =========== ===================
+
+Layout (planar metres, corridor along y=0):
+
+* **corridor** — the shared main street, x in [0, 13000], eastbound;
+  traversed fully by Rapid, 9 and 14 and partially (first 6.3 km) by 16.
+* **rapid tail** — 0.7 km unique approach for the Rapid Line at the west
+  end.
+* **route 9 tail** — 3.3 km unique continuation east of the corridor.
+* **north branch** — 3.2 km northbound street at x=13000 shared by routes
+  14 and 16 (their second overlap, beyond the corridor).
+* **route 16 connector** — 8.8 km unique detour south of the corridor that
+  carries route 16 from its corridor exit at x=6300 to the branch foot.
+* **route 14 tail** — 4.4 km unique continuation beyond the branch head.
+
+All shared segments are traversed in the *same direction* by every route
+using them, as the paper's directed-segment model requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Polyline
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import BusRoute, BusStop
+from repro.roadnet.segment import RoadSegment
+
+RAPID = "rapid"
+ROUTE_9 = "9"
+ROUTE_14 = "14"
+ROUTE_16 = "16"
+
+
+@dataclass
+class CorridorScenario:
+    """The synthetic Vancouver-like evaluation scenario.
+
+    Attributes
+    ----------
+    network:
+        The full road network.
+    routes:
+        Route id -> :class:`BusRoute`; keys are ``"rapid"``, ``"9"``,
+        ``"14"``, ``"16"``.
+    corridor_segment_ids:
+        The main-street segments shared by several routes, west to east.
+    """
+
+    network: RoadNetwork
+    routes: dict[str, BusRoute]
+    corridor_segment_ids: list[str] = field(default_factory=list)
+
+    @property
+    def route_list(self) -> list[BusRoute]:
+        return list(self.routes.values())
+
+
+def _chain(
+    network: RoadNetwork,
+    prefix: str,
+    points: list[tuple[str, Point]],
+    *,
+    speed_limit_mps: float,
+    street: str,
+) -> list[str]:
+    """Add straight segments between consecutive named points.
+
+    Returns the new segment ids in order.
+    """
+    ids = []
+    for i, ((node_a, pt_a), (node_b, pt_b)) in enumerate(
+        zip(points, points[1:])
+    ):
+        sid = f"{prefix}_{i:02d}"
+        network.add_segment(
+            RoadSegment(
+                segment_id=sid,
+                start_node=node_a,
+                end_node=node_b,
+                polyline=Polyline([pt_a, pt_b]),
+                speed_limit_mps=speed_limit_mps,
+                street=street,
+            )
+        )
+        ids.append(sid)
+    return ids
+
+
+def _make_stops(
+    network: RoadNetwork, segment_ids: list[str], route_id: str, num_stops: int
+) -> list[BusStop]:
+    """Evenly spaced stops along the chained segments, endpoints included."""
+    if num_stops < 2:
+        raise ValueError("a route needs at least two stops")
+    lengths = [network.segment(sid).length for sid in segment_ids]
+    total = sum(lengths)
+    starts: dict[str, float] = {}
+    acc = 0.0
+    for sid, ln in zip(segment_ids, lengths):
+        starts[sid] = acc
+        acc += ln
+    stops = []
+    for k in range(num_stops):
+        arc = total * k / (num_stops - 1)
+        # Find the segment containing this arc length.
+        chosen = segment_ids[-1]
+        for sid, ln in zip(segment_ids, lengths):
+            if arc < starts[sid] + ln or sid == segment_ids[-1]:
+                chosen = sid
+                break
+        offset = min(arc - starts[chosen], network.segment(chosen).length)
+        stops.append(
+            BusStop(
+                stop_id=f"{route_id}_s{k:03d}",
+                segment_id=chosen,
+                offset=offset,
+                name=f"Route {route_id} stop {k + 1}",
+            )
+        )
+    return stops
+
+
+def _corridor_breakpoints() -> list[float]:
+    """Corridor node x-positions: 500 m blocks with an extra node at 6300 m.
+
+    The extra node lets route 16 leave the corridor exactly 6.3 km in, which
+    is what makes its Table I overlap come out to 9.5 km.
+    """
+    xs = [float(x) for x in range(0, 6001, 500)]
+    xs += [6300.0, 6500.0]
+    xs += [float(x) for x in range(7000, 13001, 500)]
+    return xs
+
+
+def build_corridor_city() -> CorridorScenario:
+    """Build the Table-I-matching four-route corridor city."""
+    net = RoadNetwork()
+
+    # Main corridor, eastbound along y=0.
+    corridor_pts = [
+        (f"C{int(x)}", Point(x, 0.0)) for x in _corridor_breakpoints()
+    ]
+    corridor_ids = _chain(
+        net, "broadway", corridor_pts, speed_limit_mps=13.9, street="W Broadway"
+    )
+    # Route 16 leaves the corridor at node C6300; keep every corridor
+    # segment that ends at or before it.
+    corridor_node_names = [name for name, _ in corridor_pts]
+    corridor_to_6300 = corridor_ids[: corridor_node_names.index("C6300")]
+
+    # Rapid Line unique western approach: (0, 700) -> (0, 0), 0.7 km.
+    rapid_tail_ids = _chain(
+        net,
+        "rapid_tail",
+        [("RT0", Point(0.0, 700.0)), ("C0", Point(0.0, 0.0))],
+        speed_limit_mps=13.9,
+        street="Rapid Approach",
+    )
+
+    # Route 9 unique eastern continuation: (13000, 0) -> (16300, 0), 3.3 km.
+    r9_tail_pts = [("C13000", Point(13000.0, 0.0))] + [
+        (f"E{int(x)}", Point(x, 0.0)) for x in range(13500, 16301, 500)
+    ]
+    # range step lands on 16000; add the 16300 terminal explicitly
+    if r9_tail_pts[-1][1].x != 16300.0:
+        r9_tail_pts.append(("E16300", Point(16300.0, 0.0)))
+    r9_tail_ids = _chain(
+        net, "r9_tail", r9_tail_pts, speed_limit_mps=11.1, street="E Broadway"
+    )
+
+    # North branch shared by 14 and 16: (13000, 0) -> (13000, 3200), 3.2 km.
+    branch_pts = [("C13000", Point(13000.0, 0.0))] + [
+        (f"B{int(y)}", Point(13000.0, float(y))) for y in range(400, 3201, 400)
+    ]
+    branch_ids = _chain(
+        net, "branch", branch_pts, speed_limit_mps=13.9, street="Commercial Dr N"
+    )
+
+    # Route 16 unique connector (8.8 km) from C6300 south and around to the
+    # branch foot: (6300,0) -> (6300,-1050) -> (13000,-1050) -> (13000,0).
+    conn_pts = (
+        [("C6300", Point(6300.0, 0.0)), ("K0", Point(6300.0, -1050.0))]
+        + [
+            (f"K{int(x)}", Point(float(x), -1050.0))
+            for x in range(7000, 13001, 500)
+        ]
+        + [("C13000", Point(13000.0, 0.0))]
+    )
+    r16_conn_ids = _chain(
+        net, "r16_conn", conn_pts, speed_limit_mps=11.1, street="16 Connector"
+    )
+
+    # Route 14 unique tail beyond the branch head (4.4 km):
+    # (13000,3200) -> (13000,5200) -> (15400,5200).
+    r14_tail_pts = (
+        [("B3200", Point(13000.0, 3200.0))]
+        + [
+            (f"N{int(y)}", Point(13000.0, float(y)))
+            for y in range(3700, 5201, 500)
+        ]
+        + [
+            (f"T{int(x)}", Point(float(x), 5200.0))
+            for x in range(13500, 15401, 500)
+        ]
+    )
+    if r14_tail_pts[-1][1].x != 15400.0:
+        r14_tail_pts.append(("T15400", Point(15400.0, 5200.0)))
+    r14_tail_ids = _chain(
+        net, "r14_tail", r14_tail_pts, speed_limit_mps=11.1, street="14 Tail"
+    )
+
+    # -- assemble routes ---------------------------------------------------
+    routes: dict[str, BusRoute] = {}
+
+    rapid_segments = rapid_tail_ids + corridor_ids
+    routes[RAPID] = BusRoute(
+        RAPID, net, rapid_segments, _make_stops(net, rapid_segments, RAPID, 19)
+    )
+
+    r9_segments = corridor_ids + r9_tail_ids
+    routes[ROUTE_9] = BusRoute(
+        ROUTE_9, net, r9_segments, _make_stops(net, r9_segments, ROUTE_9, 65)
+    )
+
+    r14_segments = corridor_ids + branch_ids + r14_tail_ids
+    routes[ROUTE_14] = BusRoute(
+        ROUTE_14, net, r14_segments, _make_stops(net, r14_segments, ROUTE_14, 74)
+    )
+
+    r16_segments = corridor_to_6300 + r16_conn_ids + branch_ids
+    routes[ROUTE_16] = BusRoute(
+        ROUTE_16, net, r16_segments, _make_stops(net, r16_segments, ROUTE_16, 91)
+    )
+
+    return CorridorScenario(
+        network=net, routes=routes, corridor_segment_ids=corridor_ids
+    )
+
+
+def add_reverse_direction(scenario: CorridorScenario) -> CorridorScenario:
+    """Extend the corridor city with return-direction service.
+
+    Real bus lines run both ways.  Directions are distinct in the paper's
+    model — road segments are *directed* (Definition 3), so eastbound and
+    westbound traffic have separate travel-time statistics, seasonal
+    indices and diagrams (morning rush jams inbound, evening outbound).
+
+    For every street segment a forward route uses, this adds the opposing
+    directed segment (same geometry, reversed; id suffixed ``_r``) and,
+    for every route, a return route (id suffixed ``_r``) traversing the
+    reversed chain with mirrored stops.  The returned scenario contains
+    both directions; Table I statistics of the forward routes are
+    unchanged (a route never shares a *directed* segment with any return
+    route).
+    """
+    net = scenario.network
+    reversed_ids: dict[str, str] = {}
+    for route in scenario.route_list:
+        for sid in route.segment_ids:
+            if sid in reversed_ids:
+                continue
+            seg = net.segment(sid)
+            rid = f"{sid}_r"
+            if not net.has_segment(rid):
+                net.add_segment(
+                    RoadSegment(
+                        segment_id=rid,
+                        start_node=seg.end_node,
+                        end_node=seg.start_node,
+                        polyline=seg.polyline.reversed(),
+                        speed_limit_mps=seg.speed_limit_mps,
+                        street=seg.street,
+                    )
+                )
+            reversed_ids[sid] = rid
+
+    routes = dict(scenario.routes)
+    for route in scenario.route_list:
+        rev_segments = [
+            reversed_ids[sid] for sid in reversed(route.segment_ids)
+        ]
+        rev_stops = []
+        for k, stop in enumerate(reversed(route.stops)):
+            seg = net.segment(stop.segment_id)
+            rev_stops.append(
+                BusStop(
+                    stop_id=f"{stop.stop_id}_r",
+                    segment_id=reversed_ids[stop.segment_id],
+                    offset=seg.length - stop.offset,
+                    name=f"{stop.name} (return)" if stop.name else "",
+                )
+            )
+        rev_id = f"{route.route_id}_r"
+        routes[rev_id] = BusRoute(rev_id, net, rev_segments, rev_stops)
+
+    return CorridorScenario(
+        network=net,
+        routes=routes,
+        corridor_segment_ids=list(scenario.corridor_segment_ids),
+    )
+
+
+def build_grid_city(
+    rows: int = 4,
+    cols: int = 4,
+    block_m: float = 400.0,
+    *,
+    speed_limit_mps: float = 11.1,
+) -> RoadNetwork:
+    """A Manhattan grid with eastbound and northbound one-way streets.
+
+    Useful for tests and examples that need a generic urban topology
+    rather than the calibrated corridor city.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid needs at least 2x2 intersections")
+    net = RoadNetwork()
+
+    def node(r: int, c: int) -> tuple[str, Point]:
+        return f"G{r}_{c}", Point(c * block_m, r * block_m)
+
+    for r in range(rows):
+        for c in range(cols - 1):
+            (na, pa), (nb, pb) = node(r, c), node(r, c + 1)
+            net.add_straight_segment(
+                f"ew_{r}_{c}", na, pa, nb, pb,
+                speed_limit_mps=speed_limit_mps, street=f"Street {r}",
+            )
+    for c in range(cols):
+        for r in range(rows - 1):
+            (na, pa), (nb, pb) = node(r, c), node(r + 1, c)
+            net.add_straight_segment(
+                f"ns_{c}_{r}", na, pa, nb, pb,
+                speed_limit_mps=speed_limit_mps, street=f"Avenue {c}",
+            )
+    return net
+
+
+def build_campus_road(
+    length_m: float = 400.0, *, curved: bool = True
+) -> tuple[RoadNetwork, BusRoute]:
+    """The one-way campus road of Fig. 10 / Table II.
+
+    A single directed road segment with a gentle curve (so headings vary),
+    and a two-stop shuttle route along it.
+    """
+    net = RoadNetwork()
+    if curved:
+        import math
+
+        pts = []
+        n = 16
+        for i in range(n + 1):
+            x = length_m * i / n
+            y = 12.0 * math.sin(math.pi * i / n)
+            pts.append(Point(x, y))
+        poly = Polyline(pts)
+    else:
+        poly = Polyline([Point(0.0, 0.0), Point(length_m, 0.0)])
+    seg = RoadSegment(
+        segment_id="campus_00",
+        start_node="campus_start",
+        end_node="campus_end",
+        polyline=poly,
+        speed_limit_mps=8.3,
+        street="Campus Loop",
+    )
+    net.add_segment(seg)
+    stops = [
+        BusStop("campus_s0", "campus_00", 0.0, "Campus West"),
+        BusStop("campus_s1", "campus_00", seg.length, "Campus East"),
+    ]
+    route = BusRoute("campus", net, ["campus_00"], stops)
+    return net, route

@@ -1,0 +1,129 @@
+"""JSON serialisation of road networks and bus routes.
+
+A deployment of WiLocator gets its map data from outside (the transit
+agency's website for routes, a map service for roads — Section V.A.2:
+"with the route information and the road map downloaded from the transit
+agency and Google maps").  This module defines a plain-JSON interchange
+format so networks and routes round-trip to disk:
+
+```json
+{
+  "nodes":    {"C0": [0.0, 0.0], ...},
+  "segments": [{"id": "broadway_00", "start": "C0", "end": "C500",
+                 "polyline": [[0,0],[500,0]], "speed_limit_mps": 13.9,
+                 "street": "W Broadway"}, ...],
+  "routes":   [{"id": "9", "segments": ["broadway_00", ...],
+                 "stops": [{"id": "9_s000", "segment": "broadway_00",
+                            "offset": 0.0, "name": "..."}]}]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.geometry import Point, Polyline
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import BusRoute, BusStop
+from repro.roadnet.segment import RoadSegment
+
+FORMAT_VERSION = 1
+
+
+def network_to_dict(
+    network: RoadNetwork, routes: list[BusRoute] | None = None
+) -> dict[str, Any]:
+    """Serialise a network (and optionally its routes) to plain data."""
+    data: dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "nodes": {
+            node: [network.node_position(node).x, network.node_position(node).y]
+            for node in network.nodes()
+        },
+        "segments": [
+            {
+                "id": seg.segment_id,
+                "start": seg.start_node,
+                "end": seg.end_node,
+                "polyline": [[v.x, v.y] for v in seg.polyline.vertices],
+                "speed_limit_mps": seg.speed_limit_mps,
+                "street": seg.street,
+            }
+            for seg in network.segments()
+        ],
+    }
+    if routes is not None:
+        data["routes"] = [
+            {
+                "id": route.route_id,
+                "segments": list(route.segment_ids),
+                "stops": [
+                    {
+                        "id": stop.stop_id,
+                        "segment": stop.segment_id,
+                        "offset": stop.offset,
+                        "name": stop.name,
+                    }
+                    for stop in route.stops
+                ],
+            }
+            for route in routes
+        ]
+    return data
+
+
+def network_from_dict(
+    data: dict[str, Any]
+) -> tuple[RoadNetwork, list[BusRoute]]:
+    """Rebuild a network and its routes from :func:`network_to_dict` data."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported roadnet format version {version}")
+    network = RoadNetwork()
+    for node, (x, y) in data.get("nodes", {}).items():
+        network.add_node(node, Point(float(x), float(y)))
+    for seg in data["segments"]:
+        network.add_segment(
+            RoadSegment(
+                segment_id=seg["id"],
+                start_node=seg["start"],
+                end_node=seg["end"],
+                polyline=Polyline(
+                    [Point(float(x), float(y)) for x, y in seg["polyline"]]
+                ),
+                speed_limit_mps=float(seg.get("speed_limit_mps", 13.9)),
+                street=seg.get("street", ""),
+            )
+        )
+    routes = []
+    for r in data.get("routes", ()):
+        stops = [
+            BusStop(
+                stop_id=s["id"],
+                segment_id=s["segment"],
+                offset=float(s["offset"]),
+                name=s.get("name", ""),
+            )
+            for s in r["stops"]
+        ]
+        routes.append(BusRoute(r["id"], network, r["segments"], stops))
+    return network, routes
+
+
+def save_network(
+    path: str | Path,
+    network: RoadNetwork,
+    routes: list[BusRoute] | None = None,
+) -> None:
+    """Write a network (and routes) to a JSON file."""
+    Path(path).write_text(
+        json.dumps(network_to_dict(network, routes), indent=1)
+    )
+
+
+def load_network(path: str | Path) -> tuple[RoadNetwork, list[BusRoute]]:
+    """Read a network and its routes back from a JSON file."""
+    return network_from_dict(json.loads(Path(path).read_text()))

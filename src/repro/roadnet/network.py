@@ -1,0 +1,191 @@
+"""The road network directed graph (Definition 3)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.geometry import Point, Polyline
+from repro.roadnet.segment import RoadSegment
+
+
+class RoadNetworkError(ValueError):
+    """Raised for structurally invalid road networks or routes."""
+
+
+class RoadNetwork:
+    """A directed graph ``G(V, E)`` of intersections and road segments.
+
+    Vertices are intersections and road terminals; edges are directed road
+    segments between adjacent vertices.  Geometry is attached to both:
+    every node has a planar position and every edge a polyline whose
+    endpoints coincide with its node positions.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.MultiDiGraph()
+        self._segments: dict[str, RoadSegment] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node_id: str, position: Point) -> None:
+        """Register an intersection/terminal at ``position``.
+
+        Re-adding an existing node with the same position is a no-op;
+        a conflicting position raises :class:`RoadNetworkError`.
+        """
+        if node_id in self._graph:
+            old = self._graph.nodes[node_id]["position"]
+            if old.distance_to(position) > 1e-6:
+                raise RoadNetworkError(
+                    f"node {node_id!r} already exists at a different position"
+                )
+            return
+        self._graph.add_node(node_id, position=position)
+
+    def add_segment(self, segment: RoadSegment) -> None:
+        """Add a directed road segment; creates missing endpoint nodes."""
+        if segment.segment_id in self._segments:
+            raise RoadNetworkError(f"duplicate segment id {segment.segment_id!r}")
+        self.add_node(segment.start_node, segment.polyline.start)
+        self.add_node(segment.end_node, segment.polyline.end)
+        for node, pt in (
+            (segment.start_node, segment.polyline.start),
+            (segment.end_node, segment.polyline.end),
+        ):
+            if self.node_position(node).distance_to(pt) > 1e-3:
+                raise RoadNetworkError(
+                    f"segment {segment.segment_id!r} geometry does not meet "
+                    f"node {node!r}"
+                )
+        self._graph.add_edge(
+            segment.start_node, segment.end_node, key=segment.segment_id
+        )
+        self._segments[segment.segment_id] = segment
+
+    def add_straight_segment(
+        self,
+        segment_id: str,
+        start_node: str,
+        start: Point,
+        end_node: str,
+        end: Point,
+        *,
+        speed_limit_mps: float = 13.9,
+        street: str = "",
+    ) -> RoadSegment:
+        """Convenience: add a straight-line segment between two points."""
+        seg = RoadSegment(
+            segment_id=segment_id,
+            start_node=start_node,
+            end_node=end_node,
+            polyline=Polyline([start, end]),
+            speed_limit_mps=speed_limit_mps,
+            street=street,
+        )
+        self.add_segment(seg)
+        return seg
+
+    # -- lookup -----------------------------------------------------------
+
+    def node_position(self, node_id: str) -> Point:
+        try:
+            return self._graph.nodes[node_id]["position"]
+        except KeyError:
+            raise RoadNetworkError(f"unknown node {node_id!r}") from None
+
+    def segment(self, segment_id: str) -> RoadSegment:
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise RoadNetworkError(f"unknown segment {segment_id!r}") from None
+
+    def has_segment(self, segment_id: str) -> bool:
+        return segment_id in self._segments
+
+    def segments(self) -> Iterator[RoadSegment]:
+        """All segments, in insertion order."""
+        return iter(self._segments.values())
+
+    def segment_ids(self) -> list[str]:
+        return list(self._segments)
+
+    def nodes(self) -> list[str]:
+        return list(self._graph.nodes)
+
+    def out_segments(self, node_id: str) -> list[RoadSegment]:
+        """Segments leaving ``node_id``."""
+        if node_id not in self._graph:
+            raise RoadNetworkError(f"unknown node {node_id!r}")
+        return [
+            self._segments[key]
+            for _, _, key in self._graph.out_edges(node_id, keys=True)
+        ]
+
+    def in_segments(self, node_id: str) -> list[RoadSegment]:
+        """Segments entering ``node_id``."""
+        if node_id not in self._graph:
+            raise RoadNetworkError(f"unknown node {node_id!r}")
+        return [
+            self._segments[key]
+            for _, _, key in self._graph.in_edges(node_id, keys=True)
+        ]
+
+    def node_degree(self, node_id: str) -> int:
+        """Total (in + out) edge count at a node."""
+        return self._graph.in_degree(node_id) + self._graph.out_degree(node_id)
+
+    def is_intersection(self, node_id: str) -> bool:
+        """True when more than two segment ends meet at the node.
+
+        Terminals (degree 1) and mid-street nodes that merely split one
+        street into consecutive segments (degree 2) are not intersections;
+        the mobility simulator only places traffic lights at intersections.
+        """
+        return self.node_degree(node_id) > 2
+
+    def total_length(self) -> float:
+        """Total road length of the network in metres."""
+        return sum(seg.length for seg in self._segments.values())
+
+    def bounding_box(self) -> tuple[Point, Point]:
+        """Axis-aligned bounding box (min corner, max corner) of all geometry."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for seg in self._segments.values():
+            for v in seg.polyline.vertices:
+                xs.append(v.x)
+                ys.append(v.y)
+        if not xs:
+            raise RoadNetworkError("empty network has no bounding box")
+        return Point(min(xs), min(ys)), Point(max(xs), max(ys))
+
+    def validate_chain(self, segment_ids: Iterable[str]) -> None:
+        """Check that the segments form a connected directed chain.
+
+        This is the well-formedness condition of Definition 4:
+        ``e_i.end == e_{i+1}.start`` for consecutive segments.
+        """
+        ids = list(segment_ids)
+        if not ids:
+            raise RoadNetworkError("a route needs at least one segment")
+        for sid in ids:
+            if sid not in self._segments:
+                raise RoadNetworkError(f"unknown segment {sid!r}")
+        for a, b in zip(ids, ids[1:]):
+            if self._segments[a].end_node != self._segments[b].start_node:
+                raise RoadNetworkError(
+                    f"segments {a!r} and {b!r} are not connected "
+                    f"({self._segments[a].end_node!r} != "
+                    f"{self._segments[b].start_node!r})"
+                )
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RoadNetwork({self._graph.number_of_nodes()} nodes, "
+            f"{len(self._segments)} segments, {self.total_length() / 1000:.1f} km)"
+        )

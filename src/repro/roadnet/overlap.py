@@ -1,0 +1,92 @@
+"""Route overlap analysis (the structure behind Table I).
+
+Two routes *overlap* on a road segment when both routes traverse that
+directed segment.  The paper's arrival-time predictor draws its power from
+overlapped segments: the most recent traversal by a bus of *any* route is
+the freshest evidence about the segment's current travel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.roadnet.route import BusRoute
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapStats:
+    """Per-route overlap summary, one row of Table I."""
+
+    route_id: str
+    num_stops: int
+    length_m: float
+    overlapped_length_m: float
+
+    @property
+    def length_km(self) -> float:
+        return self.length_m / 1000.0
+
+    @property
+    def overlapped_length_km(self) -> float:
+        return self.overlapped_length_m / 1000.0
+
+
+def shared_segments(routes: Sequence[BusRoute]) -> dict[str, set[str]]:
+    """Map each segment id to the set of route ids traversing it.
+
+    Only segments used by at least one of the given routes appear.
+    """
+    usage: dict[str, set[str]] = {}
+    for route in routes:
+        for sid in route.segment_ids:
+            usage.setdefault(sid, set()).add(route.route_id)
+    return usage
+
+
+def overlapped_segment_ids(routes: Sequence[BusRoute]) -> set[str]:
+    """Segments traversed by two or more of the given routes."""
+    return {sid for sid, rids in shared_segments(routes).items() if len(rids) >= 2}
+
+
+def route_overlap_table(routes: Sequence[BusRoute]) -> list[OverlapStats]:
+    """Compute Table I: stops, length and overlapped length per route.
+
+    A route's *overlapped length* is the total length of its segments that
+    are shared with one or more other routes.
+    """
+    shared = overlapped_segment_ids(routes)
+    table = []
+    for route in routes:
+        overlap = sum(
+            seg.length for seg in route.segments if seg.segment_id in shared
+        )
+        table.append(
+            OverlapStats(
+                route_id=route.route_id,
+                num_stops=route.num_stops,
+                length_m=route.length,
+                overlapped_length_m=overlap,
+            )
+        )
+    return table
+
+
+def routes_sharing_segment(
+    segment_id: str, routes: Iterable[BusRoute]
+) -> list[BusRoute]:
+    """All routes (of the given collection) that traverse ``segment_id``."""
+    return [r for r in routes if r.contains_segment(segment_id)]
+
+
+def format_overlap_table(stats: Mapping | Sequence[OverlapStats]) -> str:
+    """Render Table I as fixed-width text, mirroring the paper's layout."""
+    rows = list(stats.values()) if isinstance(stats, Mapping) else list(stats)
+    header = f"{'Route':<12}{'# of Stops':>12}{'Length(km)':>12}{'Overlapped(km)':>16}"
+    lines = [header, "-" * len(header)]
+    for s in rows:
+        lines.append(
+            f"{s.route_id:<12}{s.num_stops:>12}{s.length_km:>12.1f}"
+            f"{s.overlapped_length_km:>16.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Directed road segments (the edges of Definition 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Polyline
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A directed road segment between two adjacent intersections.
+
+    The paper's travel-time model, traffic map and arrival-time predictor
+    are all *per road segment*: a segment is the unit on which travel times
+    are recorded, seasonal indices computed and traffic state classified.
+
+    Attributes
+    ----------
+    segment_id:
+        Unique string id, e.g. ``"broadway_07"``.
+    start_node, end_node:
+        Ids of the intersection/terminal vertices this edge connects
+        (``ei.start`` / ``ei.end`` in the paper).
+    polyline:
+        Geometry from start to end; its length is the road length
+        ``dr(ei.start, ei.end)``.
+    speed_limit_mps:
+        Posted speed limit in m/s.  Traffic maps must *not* depend on it
+        (Section V.A.4) but the mobility simulator does.
+    street:
+        Human-readable street name; segments of the same street share it.
+    """
+
+    segment_id: str
+    start_node: str
+    end_node: str
+    polyline: Polyline
+    speed_limit_mps: float = 13.9  # ~50 km/h urban default
+    street: str = ""
+    tags: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.speed_limit_mps <= 0:
+            raise ValueError("speed limit must be positive")
+        if self.start_node == self.end_node:
+            raise ValueError("self-loop road segments are not allowed")
+
+    @property
+    def length(self) -> float:
+        """Road length of the segment in metres."""
+        return self.polyline.length
+
+    def point_at(self, arc_length: float) -> Point:
+        """Point on the segment at the given arc length from its start."""
+        return self.polyline.point_at(arc_length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RoadSegment({self.segment_id!r}, {self.start_node!r}->"
+            f"{self.end_node!r}, {self.length:.0f} m)"
+        )

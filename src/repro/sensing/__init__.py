@@ -1,0 +1,38 @@
+"""Crowd sensing: smartphones on buses reporting WiFi scans.
+
+The paper's data source is COTS smartphones carried by the driver and the
+riders, each periodically scanning surrounding WiFi (SSID, BSSID, RSS) and
+uploading the result with a timestamp — with *zero effort* from riders.
+This package turns ground-truth bus trips into exactly those reports:
+
+* :class:`Smartphone` — per-device RSS bias (hardware heterogeneity) and
+  scan period (the paper uses 10 s);
+* :class:`ScanReport` — what the server receives;
+* :class:`CrowdSensingLayer` — samples scans along a trip for one or more
+  devices, respecting AP dynamics;
+* :class:`RouteIdentifier` — Section V.A.1's route identification step
+  (driver input / voice announcement / proximity grouping), modelled with
+  configurable reliability.
+"""
+
+from repro.sensing.accelerometer import AccelerometerTrigger, MotionEvent
+from repro.sensing.device import Smartphone
+from repro.sensing.energy import EnergyModel
+from repro.sensing.reports import ScanReport
+from repro.sensing.crowd import CrowdSensingLayer
+from repro.sensing.grouping import GroupingDecision, ProximityGrouper, scan_similarity
+from repro.sensing.route_id import IdentifiedRoute, RouteIdentifier
+
+__all__ = [
+    "AccelerometerTrigger",
+    "MotionEvent",
+    "Smartphone",
+    "EnergyModel",
+    "ScanReport",
+    "CrowdSensingLayer",
+    "ProximityGrouper",
+    "GroupingDecision",
+    "scan_similarity",
+    "RouteIdentifier",
+    "IdentifiedRoute",
+]

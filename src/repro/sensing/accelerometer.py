@@ -1,0 +1,95 @@
+"""Accelerometer-triggered scanning (the paper's footnote 5).
+
+"We can also use the built-in accelerometer sensor to trigger a WiFi
+scanning and upload the report to the server when the bus stops."
+
+A stop/start event is exactly the moment the arrival-time interpolation
+of Fig. 5 cares about (case 1: the bus stopped at the end of the last road
+segment).  :class:`AccelerometerTrigger` detects halt and resume events in
+a ground-truth trip (what a phone's accelerometer would feel) and the
+sensing layer can emit extra scans at those instants, tightening the
+segment entry/exit timestamps beyond the 10-second scan grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mobility.trip import BusTrip
+
+
+@dataclass(frozen=True, slots=True)
+class MotionEvent:
+    """A halt or resume event sensed by the accelerometer."""
+
+    t: float
+    kind: str  # "halt" | "resume"
+
+
+class AccelerometerTrigger:
+    """Detects halt/resume instants of a trip.
+
+    Parameters
+    ----------
+    speed_threshold_mps:
+        Below this the bus counts as stopped (accelerometers cannot
+        distinguish a crawl below walking pace from a stop).
+    min_halt_s:
+        Halts shorter than this produce no events (braking jitter).
+    """
+
+    def __init__(
+        self,
+        *,
+        speed_threshold_mps: float = 0.5,
+        min_halt_s: float = 3.0,
+    ) -> None:
+        if speed_threshold_mps <= 0 or min_halt_s < 0:
+            raise ValueError("invalid trigger parameters")
+        self.speed_threshold_mps = speed_threshold_mps
+        self.min_halt_s = min_halt_s
+
+    def events_for_trip(self, trip: BusTrip) -> list[MotionEvent]:
+        """Halt/resume events over the whole trip, time-ordered.
+
+        Works on the trip's piecewise-linear breakpoints: a breakpoint
+        interval with speed below the threshold is a halt.
+        """
+        events: list[MotionEvent] = []
+        halted_since: float | None = None
+        for (t0, a0), (t1, a1) in zip(
+            zip(trip.times, trip.arcs), zip(trip.times[1:], trip.arcs[1:])
+        ):
+            dt = t1 - t0
+            if dt <= 0:
+                continue
+            speed = (a1 - a0) / dt
+            if speed < self.speed_threshold_mps:
+                if halted_since is None:
+                    halted_since = t0
+            else:
+                if halted_since is not None:
+                    if t0 - halted_since >= self.min_halt_s:
+                        events.append(MotionEvent(t=halted_since, kind="halt"))
+                        events.append(MotionEvent(t=t0, kind="resume"))
+                    halted_since = None
+        if halted_since is not None and trip.end_s - halted_since >= self.min_halt_s:
+            events.append(MotionEvent(t=halted_since, kind="halt"))
+        return events
+
+    def scan_times_for_trip(
+        self, trip: BusTrip, *, base_period_s: float = 10.0
+    ) -> list[float]:
+        """Periodic scan instants plus event-triggered extras, sorted.
+
+        Event scans within half a period of a periodic scan are dropped
+        (they would duplicate it).
+        """
+        base = list(np.arange(trip.departure_s, trip.end_s, base_period_s))
+        extra = []
+        for ev in self.events_for_trip(trip):
+            if all(abs(ev.t - t) > base_period_s / 2 for t in base):
+                extra.append(ev.t)
+        return sorted(base + extra)

@@ -1,0 +1,196 @@
+"""Turning ground-truth trips into uploaded scan reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._util import stable_seed
+from repro.mobility.trip import BusTrip
+from repro.radio.dynamics import APDynamics
+from repro.radio.environment import RadioEnvironment
+from repro.sensing.device import Smartphone
+from repro.sensing.reports import ScanReport
+from repro.sensing.accelerometer import AccelerometerTrigger
+from repro.sensing.route_id import RouteIdentifier
+
+
+class CrowdSensingLayer:
+    """Samples WiFi scan reports along simulated trips.
+
+    Parameters
+    ----------
+    environment:
+        The radio truth to sample from.
+    dynamics:
+        AP outage schedule; dead APs never appear in scans.
+    route_identifier:
+        How trips get their route labels (Section V.A.1).
+    merge_riders:
+        When several devices ride one bus, merge their per-instant scans
+        into one averaged report (the paper's multi-device rank averaging)
+        instead of uploading them separately.
+    include_empty_scans:
+        Upload scans that saw no AP at all (normally dropped).  The
+        WiFi+GPS hybrid tracker needs them: an empty scan is the signal
+        that the bus has left WiFi coverage.
+    accelerometer:
+        Optional :class:`AccelerometerTrigger`; when set, the timeline
+        device also scans at halt/resume instants (the paper's footnote
+        5), pinning segment entry/exit times beyond the periodic grid.
+    seed:
+        Base seed for scan noise; every (trip, device) pair gets a stable
+        substream.
+    """
+
+    def __init__(
+        self,
+        environment: RadioEnvironment,
+        *,
+        dynamics: APDynamics | None = None,
+        route_identifier: RouteIdentifier | None = None,
+        merge_riders: bool = True,
+        include_empty_scans: bool = False,
+        accelerometer: "AccelerometerTrigger | None" = None,
+        seed: int = 0,
+    ) -> None:
+        self.environment = environment
+        self.dynamics = dynamics or APDynamics()
+        self.route_identifier = route_identifier or RouteIdentifier(seed=seed)
+        self.merge_riders = merge_riders
+        self.include_empty_scans = include_empty_scans
+        self.accelerometer = accelerometer
+        self._seed = seed
+
+    def _scan_times(self, trip: BusTrip, device: Smartphone, rng) -> list[float]:
+        times = []
+        t = trip.departure_s
+        while t <= trip.end_s:
+            jitter = rng.uniform(-device.scan_jitter_s, device.scan_jitter_s)
+            times.append(max(trip.departure_s, t + jitter))
+            t += device.scan_period_s
+        if self.accelerometer is not None:
+            extra = [
+                ev.t
+                for ev in self.accelerometer.events_for_trip(trip)
+                if all(abs(ev.t - t0) > device.scan_period_s / 2 for t0 in times)
+            ]
+            times = sorted(times + extra)
+        return times
+
+    def reports_for_trip(
+        self,
+        trip: BusTrip,
+        devices: Sequence[Smartphone] | None = None,
+    ) -> list[ScanReport]:
+        """All reports uploaded by the devices riding one trip.
+
+        With ``merge_riders`` (default), the driver device's scan schedule
+        is the timeline and every rider's reading is merged per instant —
+        which matches how the server would fuse same-bus reports anyway.
+        """
+        if devices is None:
+            devices = [Smartphone(device_id=f"driver-{trip.trip_id}")]
+        if not devices:
+            raise ValueError("need at least one device on the bus")
+        identified = self.route_identifier.identify(trip.route_id, trip.trip_id)
+        session_key = f"bus:{trip.trip_id}"
+
+        if self.merge_riders and len(devices) > 1:
+            timeline_device = devices[0]
+            rng0 = np.random.default_rng(
+                stable_seed("scan-times", self._seed, trip.trip_id)
+            )
+            times = self._scan_times(trip, timeline_device, rng0)
+            reports = []
+            for t in times:
+                per_device = []
+                for dev in devices:
+                    rep = self._single_scan(trip, dev, t, session_key, identified.route_id)
+                    if rep.readings:
+                        per_device.append(rep)
+                if per_device:
+                    reports.append(ScanReport.merge(per_device))
+                elif self.include_empty_scans:
+                    reports.append(
+                        ScanReport(
+                            device_id=timeline_device.device_id,
+                            session_key=session_key,
+                            route_id=identified.route_id,
+                            t=t,
+                            readings=(),
+                        )
+                    )
+            return reports
+
+        reports = []
+        for dev in devices:
+            rng0 = np.random.default_rng(
+                stable_seed("scan-times", self._seed, trip.trip_id, dev.device_id)
+            )
+            for t in self._scan_times(trip, dev, rng0):
+                rep = self._single_scan(trip, dev, t, session_key, identified.route_id)
+                if rep.readings or self.include_empty_scans:
+                    reports.append(rep)
+        reports.sort(key=lambda r: r.t)
+        return reports
+
+    def _single_scan(
+        self,
+        trip: BusTrip,
+        device: Smartphone,
+        t: float,
+        session_key: str,
+        route_id: str,
+    ) -> ScanReport:
+        rng = np.random.default_rng(
+            stable_seed("scan", self._seed, trip.trip_id, device.device_id, round(t, 3))
+        )
+        point = trip.point_at(t)
+        candidates = self.environment.nearby_bssids(
+            point, self.environment.max_detection_range_m()
+        )
+        active = self.dynamics.alive(candidates, t)
+        readings = self.environment.scan(
+            point,
+            rng,
+            device_bias_db=device.rss_bias_db,
+            active_bssids=active,
+        )
+        return ScanReport(
+            device_id=device.device_id,
+            session_key=session_key,
+            route_id=route_id,
+            t=t,
+            readings=tuple(readings),
+        )
+
+    def reports_for_trips(
+        self,
+        trips: Iterable[BusTrip],
+        *,
+        riders_per_bus: int = 0,
+        rider_bias_sigma_db: float = 2.5,
+    ) -> list[ScanReport]:
+        """Reports for many trips, time-ordered.
+
+        Each bus carries its driver's phone plus ``riders_per_bus``
+        riders with random device biases.
+        """
+        out: list[ScanReport] = []
+        for trip in trips:
+            devices = [Smartphone(device_id=f"driver-{trip.trip_id}")]
+            if riders_per_bus > 0:
+                rng = np.random.default_rng(
+                    stable_seed("riders", self._seed, trip.trip_id)
+                )
+                devices += Smartphone.fleet(
+                    riders_per_bus,
+                    rng,
+                    prefix=f"rider-{trip.trip_id}",
+                    bias_sigma_db=rider_bias_sigma_db,
+                )
+            out.extend(self.reports_for_trip(trip, devices))
+        out.sort(key=lambda r: r.t)
+        return out

@@ -1,0 +1,61 @@
+"""Smartphone model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Smartphone:
+    """A WiFi-scanning COTS smartphone.
+
+    Attributes
+    ----------
+    device_id:
+        Unique id of the device.
+    rss_bias_db:
+        Constant RSS offset of this device's radio relative to the
+        reference.  Real phones differ by several dB; crucially, a constant
+        offset shifts *every* AP's reading equally and therefore never
+        changes the RSS rank order — one of the reasons the paper
+        positions on ranks rather than absolute RSS.
+    scan_period_s:
+        Scan interval; the paper's prototype uses 10 s.
+    scan_jitter_s:
+        Uniform jitter applied to each scan instant (OS scheduling).
+    """
+
+    device_id: str
+    rss_bias_db: float = 0.0
+    scan_period_s: float = 10.0
+    scan_jitter_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.scan_period_s <= 0:
+            raise ValueError("scan period must be positive")
+        if self.scan_jitter_s < 0 or self.scan_jitter_s >= self.scan_period_s:
+            raise ValueError("jitter must be in [0, period)")
+
+    @classmethod
+    def fleet(
+        cls,
+        count: int,
+        rng: np.random.Generator,
+        *,
+        prefix: str = "phone",
+        bias_sigma_db: float = 2.5,
+        scan_period_s: float = 10.0,
+    ) -> list["Smartphone"]:
+        """A heterogeneous fleet with Gaussian per-device biases."""
+        if count < 1:
+            raise ValueError("need at least one device")
+        return [
+            cls(
+                device_id=f"{prefix}-{i:03d}",
+                rss_bias_db=float(rng.normal(0.0, bias_sigma_db)),
+                scan_period_s=scan_period_s,
+            )
+            for i in range(count)
+        ]

@@ -1,0 +1,113 @@
+"""Grouping rider reports to buses (Section V.A.1).
+
+"Since we assume that each driver carries a smartphone installed
+WiLocator, ... the bus riders, close to the driver by proximity sensor,
+have approximately the same trajectory, therefore we can easily determine
+which bus the riders are on."
+
+We model the net effect without Bluetooth: two phones on the same bus see
+nearly the same WiFi world at the same instant, so a rider's scan is
+matched to the driver whose *contemporaneous* scan ranks the same APs the
+same way.  :class:`ProximityGrouper` keeps a sliding window of driver
+scans and assigns each incoming rider report the session key of the most
+similar driver — or leaves it unassigned when nothing is similar enough
+(rider at a bus stop, in a car, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.svd.rank import full_ranking_from_readings
+from repro.sensing.reports import ScanReport
+
+
+def scan_similarity(a: ScanReport, b: ScanReport, *, top_k: int = 6) -> float:
+    """Similarity in [0, 1] between two scans' top-k AP rankings.
+
+    Weighted overlap: sharing the strongest APs counts more than sharing
+    weak ones (two phones on one bus agree on the near field; distant APs
+    flicker).
+    """
+    ra = full_ranking_from_readings(a.readings)[:top_k]
+    rb = full_ranking_from_readings(b.readings)[:top_k]
+    if not ra or not rb:
+        return 0.0
+    weights = {bssid: 1.0 / (i + 1) for i, bssid in enumerate(ra)}
+    total = sum(weights.values())
+    shared = sum(w for bssid, w in weights.items() if bssid in rb)
+    return shared / total
+
+
+@dataclass(frozen=True, slots=True)
+class GroupingDecision:
+    """Outcome of assigning one rider report to a bus."""
+
+    report: ScanReport
+    session_key: str | None
+    similarity: float
+
+
+class ProximityGrouper:
+    """Assigns rider scans to driver sessions by scan similarity.
+
+    Parameters
+    ----------
+    time_window_s:
+        A rider scan is only compared with driver scans this recent
+        (buses move ~100 m per scan period; older scans are elsewhere).
+    min_similarity:
+        Below this the rider is left unassigned rather than guessed.
+    """
+
+    def __init__(
+        self,
+        *,
+        time_window_s: float = 15.0,
+        min_similarity: float = 0.5,
+    ) -> None:
+        if time_window_s <= 0:
+            raise ValueError("time window must be positive")
+        if not 0.0 <= min_similarity <= 1.0:
+            raise ValueError("min similarity must be in [0, 1]")
+        self.time_window_s = time_window_s
+        self.min_similarity = min_similarity
+        self._driver_scans: dict[str, ScanReport] = {}
+
+    def observe_driver(self, report: ScanReport) -> None:
+        """Feed a driver's scan (its session key is ground truth)."""
+        self._driver_scans[report.session_key] = report
+
+    def assign(self, rider_report: ScanReport) -> GroupingDecision:
+        """Choose the bus whose driver's recent scan matches best."""
+        best_key: str | None = None
+        best_sim = 0.0
+        for key, driver_scan in self._driver_scans.items():
+            if abs(driver_scan.t - rider_report.t) > self.time_window_s:
+                continue
+            sim = scan_similarity(driver_scan, rider_report)
+            if sim > best_sim:
+                best_key, best_sim = key, sim
+        if best_sim < self.min_similarity:
+            best_key = None
+        return GroupingDecision(
+            report=rider_report, session_key=best_key, similarity=best_sim
+        )
+
+    def assign_stream(
+        self,
+        driver_reports: list[ScanReport],
+        rider_reports: list[ScanReport],
+    ) -> list[GroupingDecision]:
+        """Replay interleaved streams in time order; return rider decisions."""
+        events: list[tuple[float, int, ScanReport]] = [
+            (r.t, 0, r) for r in driver_reports
+        ] + [(r.t, 1, r) for r in rider_reports]
+        events.sort(key=lambda e: (e[0], e[1]))
+        decisions = []
+        for _, kind, report in events:
+            if kind == 0:
+                self.observe_driver(report)
+            else:
+                decisions.append(self.assign(report))
+        return decisions

@@ -1,0 +1,78 @@
+"""Bus route identification (Section V.A.1).
+
+WiLocator assumes the route can be identified cheaply: the driver's phone
+runs the app (driver input), the bus announces its route when it starts
+(voice recognition on riders' phones), and riders are matched to a bus by
+proximity to the driver's phone.  We model the net effect: identification
+succeeds with a configurable probability per trip; failures yield an empty
+route id (the server then ignores those reports for prediction, as the
+Cell-ID baseline must on overlapped first segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import stable_seed
+
+
+@dataclass(frozen=True, slots=True)
+class IdentifiedRoute:
+    """Outcome of route identification for one trip."""
+
+    route_id: str
+    method: str
+    confident: bool
+
+
+class RouteIdentifier:
+    """Per-trip route identification with configurable reliability.
+
+    Parameters
+    ----------
+    driver_app_fraction:
+        Fraction of buses whose driver runs the app (identification is
+        then certain).
+    announcement_success:
+        Probability that voice-recognition of the start-of-trip
+        announcement succeeds when there is no driver app.
+    seed:
+        Stable per-trip outcomes across runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        driver_app_fraction: float = 0.8,
+        announcement_success: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        for name, v in (
+            ("driver_app_fraction", driver_app_fraction),
+            ("announcement_success", announcement_success),
+        ):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.driver_app_fraction = driver_app_fraction
+        self.announcement_success = announcement_success
+        self._seed = seed
+
+    def identify(self, true_route_id: str, trip_id: str) -> IdentifiedRoute:
+        """Identify the route of a trip (deterministic per trip)."""
+        rng = np.random.default_rng(stable_seed("routeid", self._seed, trip_id))
+        if rng.random() < self.driver_app_fraction:
+            return IdentifiedRoute(true_route_id, method="driver", confident=True)
+        if rng.random() < self.announcement_success:
+            return IdentifiedRoute(
+                true_route_id, method="announcement", confident=True
+            )
+        return IdentifiedRoute("", method="failed", confident=False)
+
+
+class PerfectRouteIdentifier(RouteIdentifier):
+    """Identification that never fails (for isolating other error sources)."""
+
+    def __init__(self) -> None:
+        super().__init__(driver_app_fraction=1.0, announcement_success=1.0)

@@ -1,0 +1,298 @@
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AgencyTrafficMapBuilder,
+    CellIdSequenceTracker,
+    CellularLayer,
+    CentroidPositioner,
+    GPSTracker,
+    TransitAgencyPredictor,
+    UrbanCanyonModel,
+    VelocityMapBuilder,
+)
+from repro.core.arrival import TravelTimeRecord, TravelTimeStore
+from repro.core.traffic import SegmentStatus, TrafficClassifier
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.mobility.traffic import DAY_S
+from repro.radio import RadioEnvironment
+from repro.sensing.reports import ScanReport
+from tests.conftest import make_line_aps, make_straight_route
+
+
+@pytest.fixture(scope="module")
+def scene():
+    net, route = make_straight_route(length_m=2000.0, num_segments=4)
+    sim = CitySimulator(net, [route], seed=2)
+    result = sim.run(
+        [DispatchSchedule("r1", first_s=6 * 3600.0, last_s=10 * 3600.0,
+                          headway_s=1800.0)],
+        num_days=1,
+    )
+    return net, route, result.trips
+
+
+class TestGPSBaseline:
+    def test_canyon_coverage(self, scene):
+        _, route, _ = scene
+        canyon = UrbanCanyonModel(route, coverage=0.3, mean_zone_m=150.0, seed=0)
+        total = sum(z.arc_end - z.arc_start for z in canyon.zones)
+        # The last zone can overshoot the target by up to one zone length.
+        assert 0.3 * route.length <= total <= 0.3 * route.length + 800.0
+
+    def test_zones_disjoint(self, scene):
+        _, route, _ = scene
+        canyon = UrbanCanyonModel(route, coverage=0.4, seed=0)
+        zones = canyon.zones
+        for a, b in zip(zones, zones[1:]):
+            assert a.arc_end <= b.arc_start + 1e-9
+
+    def test_open_sky_tracking_accurate(self, scene):
+        _, route, trips = scene
+        canyon = UrbanCanyonModel(route, coverage=0.0, seed=0)
+        tracker = GPSTracker(canyon, sigma_open_m=5.0, seed=0)
+        traj = tracker.track_trip(trips[0])
+        errors = [
+            abs(p.arc_length - trips[0].arc_at(p.t)) for p in traj.points
+        ]
+        assert np.median(errors) < 20.0
+
+    def test_canyon_causes_outages(self, scene):
+        _, route, trips = scene
+        open_sky = GPSTracker(
+            UrbanCanyonModel(route, coverage=0.0, seed=0), seed=0
+        ).track_trip(trips[0])
+        canyons = GPSTracker(
+            UrbanCanyonModel(route, coverage=0.6, seed=0),
+            canyon_outage_p=1.0,
+            seed=0,
+        ).track_trip(trips[0])
+        assert len(canyons) < len(open_sky)
+
+    def test_canyon_degrades_accuracy(self, scene):
+        _, route, trips = scene
+        def med_err(coverage):
+            tracker = GPSTracker(
+                UrbanCanyonModel(route, coverage=coverage, seed=1),
+                canyon_outage_p=0.0,
+                sigma_canyon_m=80.0,
+                seed=1,
+            )
+            traj = tracker.track_trip(trips[0])
+            return np.median(
+                [abs(p.arc_length - trips[0].arc_at(p.t)) for p in traj.points]
+            )
+        assert med_err(0.8) > med_err(0.0)
+
+    def test_gps_track_monotone(self, scene):
+        _, route, trips = scene
+        tracker = GPSTracker(UrbanCanyonModel(route, coverage=0.3, seed=0), seed=0)
+        arcs = tracker.track_trip(trips[0]).arc_lengths()
+        assert all(b >= a for a, b in zip(arcs, arcs[1:]))
+
+
+class TestCellIdBaseline:
+    def test_tower_grid_covers_network(self, scene):
+        net, _, _ = scene
+        layer = CellularLayer.deploy_grid(net, spacing_m=800.0, seed=0)
+        assert len(layer.towers) >= 4
+
+    def test_serving_tower_nearest(self, scene):
+        net, _, _ = scene
+        layer = CellularLayer.deploy_grid(net, spacing_m=800.0, seed=0)
+        from repro.geometry import Point
+
+        p = Point(500.0, 0.0)
+        serving = layer.serving_tower(p)
+        dmin = min(p.distance_to(t.position) for t in layer.towers)
+        assert p.distance_to(serving.position) == pytest.approx(dmin)
+
+    def test_requires_fit(self, scene):
+        net, route, trips = scene
+        layer = CellularLayer.deploy_grid(net, spacing_m=800.0, seed=0)
+        tracker = CellIdSequenceTracker(route, layer)
+        with pytest.raises(RuntimeError):
+            tracker.track_trip(trips[0])
+
+    def test_cellid_much_coarser_than_wifi(self, scene):
+        """The motivating comparison: Cell-ID errors are 10x WiFi's."""
+        net, route, trips = scene
+        layer = CellularLayer.deploy_grid(net, spacing_m=800.0, seed=0)
+        tracker = CellIdSequenceTracker(route, layer)
+        tracker.fit(trips[:-1])
+        traj = tracker.track_trip(trips[-1])
+        errors = [
+            abs(p.arc_length - trips[-1].arc_at(p.t)) for p in traj.points
+        ]
+        assert 30.0 < np.median(errors) < 900.0
+
+    def test_cellid_track_monotone(self, scene):
+        net, route, trips = scene
+        layer = CellularLayer.deploy_grid(net, spacing_m=800.0, seed=0)
+        tracker = CellIdSequenceTracker(route, layer)
+        tracker.fit(trips[:-1])
+        arcs = tracker.track_trip(trips[-1]).arc_lengths()
+        assert all(b >= a for a, b in zip(arcs, arcs[1:]))
+
+
+class TestCentroidBaseline:
+    def test_locates_roughly(self, scene, rng):
+        _, route, _ = scene
+        env = RadioEnvironment(make_line_aps(20, spacing=100.0), seed=0)
+        positioner = CentroidPositioner(route, env.aps)
+        errors = []
+        for arc in np.linspace(100, 1900, 10):
+            p = route.point_at(arc)
+            rep = ScanReport(
+                device_id="d", session_key="s", route_id="r1", t=0.0,
+                readings=tuple(env.scan(p, rng)),
+            )
+            est = positioner.locate(rep)
+            assert est is not None
+            errors.append(abs(est.arc_length - arc))
+        assert np.median(errors) < 60.0
+
+    def test_empty_scan_none(self, scene):
+        _, route, _ = scene
+        env = RadioEnvironment(make_line_aps(5), seed=0)
+        positioner = CentroidPositioner(route, env.aps)
+        rep = ScanReport(
+            device_id="d", session_key="s", route_id="r1", t=0.0, readings=()
+        )
+        assert positioner.locate(rep) is None
+
+    def test_window_clamps(self, scene, rng):
+        _, route, _ = scene
+        env = RadioEnvironment(make_line_aps(20, spacing=100.0), seed=0)
+        positioner = CentroidPositioner(route, env.aps)
+        p = route.point_at(1000.0)
+        rep = ScanReport(
+            device_id="d", session_key="s", route_id="r1", t=0.0,
+            readings=tuple(env.scan(p, rng)),
+        )
+        est = positioner.locate(rep, arc_window=(0.0, 500.0))
+        assert est.arc_length <= 500.0
+
+
+def _history_store(segments, tt=60.0, days=12):
+    rng = np.random.default_rng(0)
+    store = TravelTimeStore()
+    for day in range(days):
+        for seg in segments:
+            t0 = day * DAY_S + 12 * 3600.0
+            store.add(
+                TravelTimeRecord(
+                    route_id="r1", segment_id=seg, t_enter=t0,
+                    t_exit=t0 + tt + rng.normal(0, 4),
+                )
+            )
+    return store
+
+
+class TestAgencyBaseline:
+    def test_predictor_ignores_recent(self, scene):
+        _, route, _ = scene
+        history = _history_store(route.segment_ids)
+        agency = TransitAgencyPredictor(history)
+        t = 20 * DAY_S + 12 * 3600.0
+        base = agency.predict_segment_time("s0", "r1", t)
+        agency.observe(
+            TravelTimeRecord(
+                route_id="r1", segment_id="s0", t_enter=t - 300.0,
+                t_exit=t - 100.0,
+            )
+        )
+        assert agency.predict_segment_time("s0", "r1", t) == base
+
+    def test_agency_map_leaves_unconfirmed(self, scene):
+        _, route, _ = scene
+        history = _history_store(route.segment_ids)
+        clf = TrafficClassifier(history, min_history=5)
+        builder = AgencyTrafficMapBuilder(clf, fresh_window_s=900.0)
+        now = 20 * DAY_S + 12 * 3600.0
+        live = TravelTimeStore(
+            [
+                TravelTimeRecord(
+                    route_id="r1", segment_id="s0",
+                    t_enter=now - 400.0, t_exit=now - 340.0,
+                )
+            ]
+        )
+        tmap = builder.build(route.segment_ids, live, now)
+        assert tmap.states["s0"].status is not SegmentStatus.UNKNOWN
+        assert tmap.states["s1"].status is SegmentStatus.UNKNOWN
+
+    def test_route_scoping(self, scene):
+        _, route, _ = scene
+        history = _history_store(route.segment_ids)
+        clf = TrafficClassifier(history, min_history=5)
+        builder = AgencyTrafficMapBuilder(clf)
+        now = 20 * DAY_S + 12 * 3600.0
+        live = TravelTimeStore(
+            [
+                TravelTimeRecord(
+                    route_id="other", segment_id="s0",
+                    t_enter=now - 400.0, t_exit=now - 340.0,
+                )
+            ]
+        )
+        tmap = builder.build(route.segment_ids, live, now, route_id="r1")
+        assert tmap.states["s0"].status is SegmentStatus.UNKNOWN
+
+
+class TestVelocityMap:
+    def test_misleads_on_slow_route(self, scene):
+        """A dwell-heavy local bus drags effective speed below the slow
+        threshold even in free-flowing traffic — the Fig. 11c failure."""
+        net, route, _ = scene
+        segments = {s.segment_id: s for s in net.segments()}
+        builder = VelocityMapBuilder(segments)
+        now = 1000.0
+        seg = route.segments[0]
+        crawl_tt = seg.length / (0.3 * seg.speed_limit_mps)
+        live = TravelTimeStore(
+            [
+                TravelTimeRecord(
+                    route_id="local", segment_id=seg.segment_id,
+                    t_enter=now - crawl_tt - 10, t_exit=now - 10,
+                )
+            ]
+        )
+        tmap = builder.build([seg.segment_id], live, now)
+        assert tmap.states[seg.segment_id].status in (
+            SegmentStatus.SLOW,
+            SegmentStatus.VERY_SLOW,
+        )
+
+    def test_normal_speed_normal(self, scene):
+        net, route, _ = scene
+        segments = {s.segment_id: s for s in net.segments()}
+        builder = VelocityMapBuilder(segments)
+        now = 1000.0
+        seg = route.segments[0]
+        fast_tt = seg.length / (0.8 * seg.speed_limit_mps)
+        live = TravelTimeStore(
+            [
+                TravelTimeRecord(
+                    route_id="r1", segment_id=seg.segment_id,
+                    t_enter=now - fast_tt - 10, t_exit=now - 10,
+                )
+            ]
+        )
+        tmap = builder.build([seg.segment_id], live, now)
+        assert tmap.states[seg.segment_id].status is SegmentStatus.NORMAL
+
+    def test_no_probe_unknown(self, scene):
+        net, route, _ = scene
+        segments = {s.segment_id: s for s in net.segments()}
+        builder = VelocityMapBuilder(segments)
+        tmap = builder.build(["s0"], TravelTimeStore(), 1000.0)
+        assert tmap.states["s0"].status is SegmentStatus.UNKNOWN
+
+    def test_rejects_bad_thresholds(self, scene):
+        net, _, _ = scene
+        segments = {s.segment_id: s for s in net.segments()}
+        with pytest.raises(ValueError):
+            VelocityMapBuilder(
+                segments, slow_fraction=0.2, very_slow_fraction=0.4
+            )

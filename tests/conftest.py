@@ -1,0 +1,113 @@
+"""Shared fixtures.
+
+Expensive scenario objects are session-scoped; tests must not mutate them
+(make a private copy or build a fresh small scene instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.scenarios import make_campus_world, make_corridor_world
+from repro.geometry import Point
+from repro.radio.ap import AccessPoint
+from repro.radio.environment import RadioEnvironment
+from repro.roadnet.generators import build_corridor_city
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import BusRoute, BusStop
+
+
+@pytest.fixture(scope="session")
+def corridor_scenario():
+    """The Table-I city (network + routes), no radio/traffic layers."""
+    return build_corridor_city()
+
+
+@pytest.fixture(scope="session")
+def campus_world():
+    """The Fig. 10 / Table II campus scene."""
+    return make_campus_world(seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A lighter corridor world for integration tests (sparser APs)."""
+    return make_corridor_world(seed=0, ap_spacing_m=60.0, riders_per_bus=2)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_straight_route(
+    length_m: float = 1000.0,
+    num_segments: int = 2,
+    num_stops: int = 3,
+    route_id: str = "r1",
+) -> tuple[RoadNetwork, BusRoute]:
+    """A straight west-east test route with evenly spaced stops."""
+    net = RoadNetwork()
+    seg_len = length_m / num_segments
+    ids = []
+    for i in range(num_segments):
+        sid = f"s{i}"
+        net.add_straight_segment(
+            sid,
+            f"n{i}",
+            Point(i * seg_len, 0.0),
+            f"n{i + 1}",
+            Point((i + 1) * seg_len, 0.0),
+        )
+        ids.append(sid)
+    stops = []
+    for k in range(num_stops):
+        arc = length_m * k / (num_stops - 1)
+        seg_idx = min(int(arc // seg_len), num_segments - 1)
+        stops.append(
+            BusStop(
+                stop_id=f"{route_id}_stop{k}",
+                segment_id=ids[seg_idx],
+                offset=min(arc - seg_idx * seg_len, seg_len),
+            )
+        )
+    return net, BusRoute(route_id, net, ids, stops)
+
+
+@pytest.fixture()
+def straight_route():
+    return make_straight_route()
+
+
+def make_line_aps(
+    n: int = 6, spacing: float = 100.0, offset_y: float = 10.0
+) -> list[AccessPoint]:
+    """APs in a line parallel to the x-axis."""
+    from repro.radio.ap import make_bssid
+
+    return [
+        AccessPoint(
+            bssid=make_bssid(i),
+            ssid=f"AP{i + 1}",
+            position=Point(spacing / 2 + i * spacing, offset_y),
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def line_env():
+    """A deterministic environment over a 1 km line of APs (no noise)."""
+    return RadioEnvironment(
+        make_line_aps(10),
+        shadowing_sigma_db=0.0,
+        fading_sigma_db=0.0,
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def noisy_line_env():
+    """Same line of APs, realistic shadowing and fading."""
+    return RadioEnvironment(make_line_aps(10), seed=0)

@@ -1,0 +1,174 @@
+import pytest
+
+from repro.core.positioning import Trajectory, TrajectoryPoint
+from repro.core.traffic import Anomaly, AnomalyDetector, DeltaEstimator, merge_anomalies
+from tests.conftest import make_straight_route
+
+
+@pytest.fixture()
+def route():
+    # 1000 m, 2 segments, stops at 0/500/1000
+    return make_straight_route(length_m=1000.0, num_segments=2, num_stops=3)[1]
+
+
+def traj(route, pts):
+    t = Trajectory(route=route)
+    for time, arc in pts:
+        t.append(TrajectoryPoint(t=time, arc_length=arc, point=route.point_at(arc)))
+    return t
+
+
+def normal_steps(route, step=100.0, period=10.0):
+    """A healthy trajectory: 100 m per 10 s scan."""
+    pts = []
+    arc, t = 0.0, 0.0
+    while arc <= route.length:
+        pts.append((t, arc))
+        arc += step
+        t += period
+    return pts
+
+
+@pytest.fixture()
+def delta(route):
+    d = DeltaEstimator(factor=0.35)
+    d.observe_trajectory(traj(route, normal_steps(route)))
+    return d
+
+
+class TestDeltaEstimator:
+    def test_learned_threshold(self, delta):
+        assert delta.delta_for("s0") == pytest.approx(35.0)
+
+    def test_default_for_unseen_segment(self):
+        d = DeltaEstimator(factor=0.5, default_step_m=80.0)
+        assert d.delta_for("zz") == 40.0
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            DeltaEstimator(factor=1.5)
+
+
+class TestDetection:
+    def crawl_trajectory(self, route, crawl_from=200.0, crawl_to=320.0):
+        """Normal motion with a crawl (5 m per scan) mid-segment."""
+        pts = []
+        arc, t = 0.0, 0.0
+        while arc < route.length:
+            pts.append((t, arc))
+            step = 5.0 if crawl_from <= arc < crawl_to else 100.0
+            arc += step
+            t += 10.0
+        pts.append((t, route.length))
+        return traj(route, pts)
+
+    def test_detects_crawl(self, route, delta):
+        detector = AnomalyDetector(delta, min_duration_s=60.0)
+        anomalies = detector.detect(self.crawl_trajectory(route))
+        assert len(anomalies) == 1
+        a = anomalies[0]
+        assert a.segment_id == "s0"
+        assert 150.0 <= a.arc_start <= 250.0
+        assert 280.0 <= a.arc_end <= 400.0
+
+    def test_healthy_trajectory_clean(self, route, delta):
+        detector = AnomalyDetector(delta, min_duration_s=60.0)
+        assert detector.detect(traj(route, normal_steps(route))) == []
+
+    def test_short_pause_filtered_by_duration(self, route, delta):
+        detector = AnomalyDetector(delta, min_duration_s=300.0)
+        anomalies = detector.detect(self.crawl_trajectory(route))
+        assert anomalies == []
+
+    def test_dwell_at_stop_filtered(self, route, delta):
+        """A pause at the mid-route stop (arc 500) is boarding, not an
+        anomaly."""
+        pts = [(0, 0), (10, 100), (20, 200), (30, 300), (40, 400),
+               (50, 490), (60, 495), (70, 500), (80, 505),
+               (90, 600), (100, 700), (110, 800), (120, 900), (130, 1000)]
+        detector = AnomalyDetector(delta, min_duration_s=20.0)
+        assert detector.detect(traj(route, pts)) == []
+
+    def test_short_trajectory_clean(self, route, delta):
+        detector = AnomalyDetector(delta)
+        assert detector.detect(traj(route, [(0, 0), (10, 100)])) == []
+
+    def test_rejects_bad_min_run(self, delta):
+        with pytest.raises(ValueError):
+            AnomalyDetector(delta, min_run=0)
+        with pytest.raises(ValueError):
+            AnomalyDetector(delta, bridge_factor=0.5)
+
+    def test_small_hop_bridged_large_jump_splits(self, route, delta):
+        """A tile-sized hop inside a crawl is bridged; real motion is not.
+
+        delta here is 35 m: a 60 m hop (≤ 3x delta) must not split the
+        run, while a 300 m jump must.
+        """
+        def run_with_jump(jump):
+            pts = [(0, 0), (10, 100), (20, 200)]
+            arc, t = 200.0, 20.0
+            # crawl, one jump, crawl again
+            for step in [5, 5, 5, jump, 5, 5, 5]:
+                arc += step
+                t += 50.0  # long intervals so duration clears the filter
+                pts.append((t, arc))
+            arc += 100
+            while arc <= route.length:
+                t += 10
+                pts.append((t, arc))
+                arc += 100
+            detector = AnomalyDetector(delta, min_duration_s=100.0)
+            return detector.detect(traj(route, pts))
+
+        bridged = run_with_jump(60.0)
+        split = run_with_jump(300.0)
+        assert len(bridged) == 1
+        # The 300 m jump ends the first run; the two crawl halves are each
+        # too short (3 steps of 50 s > 100 s... still long) — they remain
+        # but as separate, shorter runs.
+        assert len(split) >= 1
+        assert max(a.duration_s for a in split) < max(
+            a.duration_s for a in bridged
+        )
+
+
+class TestMergeAnomalies:
+    def make(self, seg, a0, a1, t0=0.0, t1=100.0):
+        return Anomaly(
+            route_id="r", segment_id=seg, arc_start=a0, arc_end=a1,
+            t_start=t0, t_end=t1,
+        )
+
+    def test_merges_nearby(self):
+        merged = merge_anomalies(
+            [self.make("s0", 100, 150), self.make("s0", 180, 220)], gap_m=60.0
+        )
+        assert len(merged) == 1
+        assert merged[0].arc_start == 100
+        assert merged[0].arc_end == 220
+
+    def test_keeps_distant(self):
+        merged = merge_anomalies(
+            [self.make("s0", 100, 150), self.make("s0", 400, 450)], gap_m=60.0
+        )
+        assert len(merged) == 2
+
+    def test_different_segments_not_merged(self):
+        merged = merge_anomalies(
+            [self.make("s0", 100, 150), self.make("s1", 120, 160)]
+        )
+        assert len(merged) == 2
+
+    def test_time_windows_union(self):
+        merged = merge_anomalies(
+            [
+                self.make("s0", 100, 150, t0=0.0, t1=50.0),
+                self.make("s0", 140, 200, t0=40.0, t1=120.0),
+            ]
+        )
+        assert merged[0].t_start == 0.0
+        assert merged[0].t_end == 120.0
+
+    def test_empty(self):
+        assert merge_anomalies([]) == []

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.core.svd.euclidean import (
+    bisector_crossing_on_segment,
+    distance_rank_signature,
+    nearest_ap,
+)
+from repro.geometry import Point
+from repro.radio.deployment import deploy_aps_at
+
+
+@pytest.fixture()
+def aps():
+    return deploy_aps_at([Point(0, 10), Point(100, 10), Point(200, 10)])
+
+
+class TestDistanceRank:
+    def test_orders_by_proximity(self, aps):
+        sig = distance_rank_signature(Point(10, 0), aps, order=3)
+        assert sig == (aps[0].bssid, aps[1].bssid, aps[2].bssid)
+
+    def test_max_range_cutoff(self, aps):
+        sig = distance_rank_signature(Point(0, 0), aps, order=3, max_range_m=50.0)
+        assert sig == (aps[0].bssid,)
+
+    def test_rejects_bad_order(self, aps):
+        with pytest.raises(ValueError):
+            distance_rank_signature(Point(0, 0), aps, order=0)
+
+
+class TestNearestAp:
+    def test_nearest(self, aps):
+        assert nearest_ap(Point(90, 0), aps) is aps[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_ap(Point(0, 0), [])
+
+    def test_tie_breaks_by_bssid(self, aps):
+        # Equidistant between APs 0 and 1.
+        winner = nearest_ap(Point(50, 10), [aps[1], aps[0]])
+        assert winner.bssid == min(aps[0].bssid, aps[1].bssid)
+
+
+class TestBisectorCrossing:
+    def test_midpoint_crossing(self):
+        t = bisector_crossing_on_segment(
+            Point(0, 0), Point(100, 0), Point(0, 10), Point(100, 10)
+        )
+        assert t == pytest.approx(0.5)
+
+    def test_no_crossing(self):
+        t = bisector_crossing_on_segment(
+            Point(0, 0), Point(10, 0), Point(0, 10), Point(100, 10)
+        )
+        assert t is None
+
+    def test_crossing_point_equidistant(self):
+        a, b = Point(0, 0), Point(100, 0)
+        p, q = Point(30, 20), Point(80, 30)
+        t = bisector_crossing_on_segment(a, b, p, q)
+        assert t is not None
+        x = Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+        assert x.distance_to(p) == pytest.approx(x.distance_to(q), abs=1e-6)

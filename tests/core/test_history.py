@@ -1,0 +1,124 @@
+import pytest
+
+from repro.core.arrival import TravelTimeRecord, TravelTimeStore
+
+
+def rec(seg="s0", route="r1", t0=0.0, tt=60.0, **kw):
+    return TravelTimeRecord(
+        route_id=route, segment_id=seg, t_enter=t0, t_exit=t0 + tt, **kw
+    )
+
+
+class TestRecord:
+    def test_travel_time(self):
+        assert rec(t0=100.0, tt=42.0).travel_time == 42.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TravelTimeRecord(
+                route_id="r", segment_id="s", t_enter=10.0, t_exit=5.0
+            )
+
+    def test_time_of_day_and_day(self):
+        r = rec(t0=86_400.0 + 3_600.0)
+        assert r.time_of_day == 3_600.0
+        assert r.day == 1
+
+
+class TestStore:
+    def test_add_and_len(self):
+        store = TravelTimeStore([rec(), rec(seg="s1")])
+        assert len(store) == 2
+
+    def test_records_sorted_by_entry(self):
+        store = TravelTimeStore()
+        store.add(rec(t0=100.0))
+        store.add(rec(t0=50.0))
+        store.add(rec(t0=75.0))
+        entries = [r.t_enter for r in store.records("s0")]
+        assert entries == [50.0, 75.0, 100.0]
+
+    def test_segment_ids(self):
+        store = TravelTimeStore([rec(seg="a"), rec(seg="b")])
+        assert set(store.segment_ids()) == {"a", "b"}
+
+    def test_routes_on(self):
+        store = TravelTimeStore([rec(route="r1"), rec(route="r2")])
+        assert store.routes_on("s0") == {"r1", "r2"}
+
+    def test_unknown_segment_empty(self):
+        assert TravelTimeStore().records("zz") == []
+
+
+class TestMeanTravelTime:
+    def test_plain_mean(self):
+        store = TravelTimeStore([rec(tt=60.0), rec(t0=100.0, tt=120.0)])
+        assert store.mean_travel_time("s0") == pytest.approx(90.0)
+
+    def test_route_filter(self):
+        store = TravelTimeStore(
+            [rec(route="r1", tt=60.0), rec(route="r2", t0=10.0, tt=100.0)]
+        )
+        assert store.mean_travel_time("s0", route_id="r1") == 60.0
+
+    def test_accept_filter(self):
+        store = TravelTimeStore([rec(tt=60.0), rec(t0=50_000.0, tt=100.0)])
+        mean = store.mean_travel_time("s0", accept=lambda r: r.t_enter < 1000)
+        assert mean == 60.0
+
+    def test_no_data_none(self):
+        assert TravelTimeStore().mean_travel_time("s0") is None
+
+
+class TestRecent:
+    def test_only_completed_traversals(self):
+        store = TravelTimeStore([rec(t0=100.0, tt=60.0)])
+        # at t=120 the traversal has not finished yet
+        assert store.recent("s0", now=120.0, window_s=600.0) == []
+        assert len(store.recent("s0", now=200.0, window_s=600.0)) == 1
+
+    def test_window_excludes_old(self):
+        store = TravelTimeStore([rec(t0=0.0, tt=60.0)])
+        assert store.recent("s0", now=1000.0, window_s=100.0) == []
+
+    def test_newest_first(self):
+        store = TravelTimeStore(
+            [rec(route=f"r{i}", t0=i * 100.0, tt=50.0) for i in range(3)]
+        )
+        recents = store.recent("s0", now=1000.0, window_s=1000.0)
+        exits = [r.t_exit for r in recents]
+        assert exits == sorted(exits, reverse=True)
+
+    def test_per_route_latest_dedup(self):
+        store = TravelTimeStore(
+            [rec(route="r1", t0=0.0), rec(route="r1", t0=100.0)]
+        )
+        recents = store.recent("s0", now=1000.0, window_s=1000.0)
+        assert len(recents) == 1
+        assert recents[0].t_enter == 100.0
+
+    def test_per_route_latest_disabled(self):
+        store = TravelTimeStore(
+            [rec(route="r1", t0=0.0), rec(route="r1", t0=100.0)]
+        )
+        recents = store.recent(
+            "s0", now=1000.0, window_s=1000.0, per_route_latest=False
+        )
+        assert len(recents) == 2
+
+    def test_max_count(self):
+        store = TravelTimeStore(
+            [rec(route=f"r{i}", t0=i * 10.0) for i in range(10)]
+        )
+        recents = store.recent("s0", now=1000.0, window_s=1000.0, max_count=3)
+        assert len(recents) == 3
+
+
+class TestFiltered:
+    def test_filtered_subset(self):
+        store = TravelTimeStore(
+            [rec(route="r1"), rec(route="r2", t0=5.0), rec(route="r1", t0=10.0)]
+        )
+        only_r1 = store.filtered(lambda r: r.route_id == "r1")
+        assert len(only_r1) == 2
+        assert only_r1.routes_on("s0") == {"r1"}

@@ -1,0 +1,132 @@
+"""Learning the SVD from crowd observations (the paper's construction).
+
+"The server constructs the Signal Voronoi Diagram according to the
+average rank of RSS values from each of surrounding WiFi APs."  These
+tests learn the diagram from noisy position-annotated scans and check it
+converges to the oracle mean-field diagram and positions as well.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.positioning import BusTracker, SVDPositioner
+from repro.core.svd import RoadSVD
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.radio import RadioEnvironment
+from repro.sensing import CrowdSensingLayer
+from repro.sensing.route_id import PerfectRouteIdentifier
+from tests.conftest import make_line_aps, make_straight_route
+
+
+@pytest.fixture(scope="module")
+def scene():
+    net, route = make_straight_route(length_m=1000.0, num_segments=2)
+    env = RadioEnvironment(make_line_aps(10), seed=0)
+    sim = CitySimulator(net, [route], seed=8)
+    result = sim.run(
+        [DispatchSchedule("r1", first_s=6 * 3600.0, last_s=20 * 3600.0,
+                          headway_s=1200.0)],
+        num_days=1,
+    )
+    layer = CrowdSensingLayer(
+        env, route_identifier=PerfectRouteIdentifier(), seed=9
+    )
+    # Position-annotated observations: scan + ground-truth arc (a GPS-
+    # annotated calibration ride in the open).
+    observations = []
+    for trip in result.trips:
+        for report in layer.reports_for_trip(trip):
+            rss = {r.bssid: r.rss_dbm for r in report.readings}
+            observations.append((trip.arc_at(report.t), rss))
+    return {
+        "route": route,
+        "env": env,
+        "observations": observations,
+        "result": result,
+        "layer": layer,
+    }
+
+
+class TestLearnedDiagram:
+    def test_learns_valid_partition(self, scene):
+        svd = RoadSVD.from_observations(
+            scene["route"], scene["observations"], order=2
+        )
+        assert svd.tiles[0].arc_start == pytest.approx(0.0)
+        assert svd.tiles[-1].arc_end == pytest.approx(scene["route"].length)
+        for a, b in zip(svd.tiles, svd.tiles[1:]):
+            assert b.arc_start == pytest.approx(a.arc_end)
+
+    def test_matches_oracle_signatures(self, scene):
+        learned = RoadSVD.from_observations(
+            scene["route"], scene["observations"], order=2, bin_m=5.0
+        )
+        oracle = RoadSVD.from_environment(
+            scene["route"], scene["env"], order=2, step_m=2.0
+        )
+        probe_arcs = np.linspace(20, 980, 97)
+        agree = sum(
+            1
+            for arc in probe_arcs
+            if learned.tile_at(arc).signature[:1]
+            == oracle.tile_at(arc).signature[:1]
+        )
+        # Leading-AP agreement nearly everywhere (boundary bins may differ).
+        assert agree >= 0.85 * len(probe_arcs)
+
+    def test_positions_as_well_as_oracle(self, scene):
+        learned = RoadSVD.from_observations(
+            scene["route"], scene["observations"], order=2
+        )
+        oracle = RoadSVD.from_environment(
+            scene["route"], scene["env"], order=2
+        )
+        trip = scene["result"].trips[-1]
+        reports = scene["layer"].reports_for_trip(trip)
+        known = {ap.bssid for ap in scene["env"].aps}
+
+        def med(svd):
+            tracker = BusTracker(SVDPositioner(svd, known))
+            errs = []
+            for r in reports:
+                tp = tracker.update(r)
+                if tp is not None:
+                    errs.append(abs(tp.arc_length - trip.arc_at(r.t)))
+            return float(np.median(errs))
+
+        assert med(learned) < med(oracle) * 1.5 + 3.0
+
+    def test_needs_enough_data(self, scene):
+        with pytest.raises(ValueError):
+            RoadSVD.from_observations(scene["route"], [], order=2)
+        with pytest.raises(ValueError):
+            RoadSVD.from_observations(
+                scene["route"], scene["observations"][:1], order=2
+            )
+
+    def test_rejects_bad_bin(self, scene):
+        with pytest.raises(ValueError):
+            RoadSVD.from_observations(
+                scene["route"], scene["observations"], bin_m=0.0
+            )
+
+    def test_out_of_route_observations_ignored(self, scene):
+        polluted = scene["observations"] + [
+            (-50.0, {"zz": -40.0}),
+            (99_999.0, {"zz": -40.0}),
+        ]
+        svd = RoadSVD.from_observations(scene["route"], polluted, order=2)
+        members = {b for t in svd.tiles for b in t.signature}
+        assert "zz" not in members
+
+    def test_min_samples_per_bin(self, scene):
+        sparse = RoadSVD.from_observations(
+            scene["route"],
+            scene["observations"][:200],
+            order=2,
+            min_samples_per_bin=3,
+        )
+        dense = RoadSVD.from_observations(
+            scene["route"], scene["observations"][:200], order=2
+        )
+        assert sparse.num_tiles <= dense.num_tiles

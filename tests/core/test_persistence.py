@@ -1,0 +1,79 @@
+import pytest
+
+from repro.core.arrival import SlotScheme, TravelTimeRecord, TravelTimeStore
+from repro.core.server.persistence import (
+    load_training_state,
+    save_training_state,
+    slots_from_dict,
+    slots_to_dict,
+    store_from_dict,
+    store_to_dict,
+)
+
+
+@pytest.fixture()
+def store():
+    return TravelTimeStore(
+        [
+            TravelTimeRecord(
+                route_id="9", segment_id="s0", t_enter=100.0, t_exit=160.0
+            ),
+            TravelTimeRecord(
+                route_id="rapid", segment_id="s1", t_enter=50.0, t_exit=95.0,
+                source="trained",
+            ),
+        ]
+    )
+
+
+class TestStoreRoundTrip:
+    def test_roundtrip(self, store):
+        restored = store_from_dict(store_to_dict(store))
+        assert len(restored) == len(store)
+        assert restored.records("s0")[0].travel_time == 60.0
+        assert restored.records("s1")[0].source == "trained"
+
+    def test_empty_store(self):
+        restored = store_from_dict(store_to_dict(TravelTimeStore()))
+        assert len(restored) == 0
+
+    def test_bad_version(self, store):
+        data = store_to_dict(store)
+        data["version"] = 9
+        with pytest.raises(ValueError):
+            store_from_dict(data)
+
+
+class TestSlotsRoundTrip:
+    def test_roundtrip(self):
+        slots = SlotScheme.paper_weekday()
+        assert slots_from_dict(slots_to_dict(slots)) == slots
+
+    def test_bad_version(self):
+        data = slots_to_dict(SlotScheme.hourly())
+        data["version"] = 9
+        with pytest.raises(ValueError):
+            slots_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_full_snapshot(self, tmp_path, store):
+        path = tmp_path / "state.json"
+        slots = SlotScheme.paper_weekday()
+        save_training_state(path, store, slots)
+        history, restored_slots = load_training_state(path)
+        assert len(history) == len(store)
+        assert restored_slots == slots
+
+    def test_snapshot_without_slots(self, tmp_path, store):
+        path = tmp_path / "state.json"
+        save_training_state(path, store)
+        history, slots = load_training_state(path)
+        assert slots is None
+        assert len(history) == 2
+
+    def test_mean_survives_roundtrip(self, tmp_path, store):
+        path = tmp_path / "state.json"
+        save_training_state(path, store)
+        history, _ = load_training_state(path)
+        assert history.mean_travel_time("s0") == store.mean_travel_time("s0")

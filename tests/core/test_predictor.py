@@ -1,0 +1,201 @@
+import pytest
+
+from repro.core.arrival import (
+    ArrivalTimePredictor,
+    SlotScheme,
+    TravelTimeRecord,
+    TravelTimeStore,
+)
+from repro.mobility.traffic import DAY_S
+from tests.conftest import make_straight_route
+
+
+def rec(seg, route, t0, tt):
+    return TravelTimeRecord(
+        route_id=route, segment_id=seg, t_enter=t0, t_exit=t0 + tt
+    )
+
+
+@pytest.fixture()
+def route():
+    # 4 segments of 250 m, 5 stops every 250 m
+    return make_straight_route(length_m=1000.0, num_segments=4, num_stops=5)[1]
+
+
+def flat_history(route, tt=50.0, days=3, per_day=4, routes=("r1", "r2")):
+    """Same travel time everywhere, off-peak hours."""
+    store = TravelTimeStore()
+    for day in range(days):
+        for k in range(per_day):
+            t0 = day * DAY_S + (11 + k) * 3600.0
+            for rid in routes:
+                for seg in route.segment_ids:
+                    store.add(rec(seg, rid, t0, tt))
+    return store
+
+
+class TestHistoricalTime:
+    def test_plain_mean(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        assert pred.historical_time("s0", "r1", t) == pytest.approx(50.0)
+
+    def test_fallback_to_any_slot(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        # 9 AM slot has no data; falls back to the route's all-slot mean.
+        t = 3 * DAY_S + 9 * 3600.0
+        assert pred.historical_time("s0", "r1", t) == pytest.approx(50.0)
+
+    def test_fallback_to_other_routes(self, route):
+        pred = ArrivalTimePredictor(flat_history(route, routes=("r2",)))
+        t = 3 * DAY_S + 12 * 3600.0
+        assert pred.historical_time("s0", "r1", t) == pytest.approx(50.0)
+
+    def test_no_data_none(self, route):
+        pred = ArrivalTimePredictor(TravelTimeStore())
+        assert pred.historical_time("s0", "r1", 0.0) is None
+
+
+class TestEq8:
+    def test_reduces_to_history_without_recent(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        assert pred.predict_segment_time("s0", "r1", t) == pytest.approx(50.0)
+
+    def test_recent_residual_shifts_prediction(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        # A bus of another route just took 30 s longer than its history.
+        pred.observe(rec("s0", "r2", t - 300.0, 80.0))
+        assert pred.predict_segment_time("s0", "r1", t) == pytest.approx(80.0)
+
+    def test_correction_averages_recent_buses(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        pred.observe(rec("s0", "r2", t - 400.0, 90.0))  # +40
+        pred.observe(rec("s0", "r1", t - 300.0, 70.0))  # +20
+        assert pred.predict_segment_time("s0", "r1", t) == pytest.approx(80.0)
+
+    def test_old_recent_data_ignored(self, route):
+        pred = ArrivalTimePredictor(flat_history(route), recent_window_s=600.0)
+        t = 3 * DAY_S + 12 * 3600.0
+        pred.observe(rec("s0", "r2", t - 5000.0, 90.0))
+        assert pred.predict_segment_time("s0", "r1", t) == pytest.approx(50.0)
+
+    def test_future_records_invisible(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        pred.observe(rec("s0", "r2", t + 100.0, 90.0))
+        assert pred.predict_segment_time("s0", "r1", t) == pytest.approx(50.0)
+
+    def test_use_recent_false_is_agency(self, route):
+        pred = ArrivalTimePredictor(flat_history(route), use_recent=False)
+        t = 3 * DAY_S + 12 * 3600.0
+        pred.observe(rec("s0", "r2", t - 300.0, 90.0))
+        assert pred.predict_segment_time("s0", "r1", t) == pytest.approx(50.0)
+
+    def test_correction_floor(self, route):
+        """A wild negative correction cannot make traversals instant."""
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        pred.observe(rec("s0", "r2", t - 300.0, 1.0))
+        assert pred.predict_segment_time("s0", "r1", t) >= 12.5
+
+    def test_equal_scales_reduce_to_plain_eq8(self, route):
+        """With all route scales equal, the extension IS Eq. 8."""
+        t = 3 * DAY_S + 12 * 3600.0
+        plain = ArrivalTimePredictor(flat_history(route))
+        scaled = ArrivalTimePredictor(
+            flat_history(route),
+            route_residual_scale={"r1": 1.0, "r2": 1.0, "rapid": 1.0},
+        )
+        for pred in (plain, scaled):
+            pred.observe(rec("s0", "r2", t - 400.0, 95.0))
+            pred.observe(rec("s0", "r1", t - 200.0, 65.0))
+        assert scaled.predict_segment_time("s0", "r1", t) == pytest.approx(
+            plain.predict_segment_time("s0", "r1", t)
+        )
+
+    def test_residual_scaling(self, route):
+        pred = ArrivalTimePredictor(
+            flat_history(route),
+            route_residual_scale={"rapid": 0.5, "r2": 1.0},
+        )
+        t = 3 * DAY_S + 12 * 3600.0
+        pred.observe(rec("s0", "r2", t - 300.0, 90.0))  # residual +40
+        # rapid has no history of its own -> falls back to pooled 50, but
+        # the +40 residual is scaled by 0.5.
+        assert pred.predict_segment_time("s0", "rapid", t) == pytest.approx(
+            70.0
+        )
+
+
+class TestEq9:
+    def test_full_segment_chain(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        stop = route.stops[-1]  # arc 1000
+        out = pred.predict_arrival(route, 0.0, t, stop)
+        assert out is not None
+        assert out.t_arrival - t == pytest.approx(200.0)  # 4 x 50 s
+
+    def test_partial_first_segment_prorated(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        stop = route.stops[-1]
+        out = pred.predict_arrival(route, 125.0, t, stop)
+        # half of s0 (25 s) + 3 x 50 s
+        assert out.t_arrival - t == pytest.approx(175.0)
+
+    def test_partial_last_segment_prorated(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        stop = route.stops[1]  # arc 250 == end of s0
+        out = pred.predict_arrival(route, 125.0, t, stop)
+        assert out.t_arrival - t == pytest.approx(25.0)
+
+    def test_stop_behind_returns_none(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        assert pred.predict_arrival(route, 600.0, t, route.stops[0]) is None
+
+    def test_stops_ahead_counter(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        out = pred.predict_arrival(route, 0.0, t, route.stops[-1])
+        assert out.stops_ahead == 4
+
+    def test_predict_all_stops(self, route):
+        pred = ArrivalTimePredictor(flat_history(route))
+        t = 3 * DAY_S + 12 * 3600.0
+        outs = pred.predict_all_stops(route, 300.0, t)
+        assert len(outs) == 3
+        arrivals = [o.t_arrival for o in outs]
+        assert arrivals == sorted(arrivals)
+
+    def test_slot_by_slot_chaining(self, route):
+        """A ride crossing a slot boundary uses the later slot's history."""
+        store = TravelTimeStore()
+        slots = SlotScheme((0.0, 8 * 3600.0))  # night / day
+        for day in range(3):
+            for seg in route.segment_ids:
+                # night: 100 s per segment, day: 400 s per segment
+                store.add(rec(seg, "r1", day * DAY_S + 4 * 3600.0, 100.0))
+                store.add(rec(seg, "r1", day * DAY_S + 10 * 3600.0, 400.0))
+        pred = ArrivalTimePredictor(store, slots)
+        # Start 150 s before the 8:00 boundary: first segment ends at
+        # 7:57:30+... the cursor crosses into the day slot mid-chain.
+        t = 3 * DAY_S + 8 * 3600.0 - 150.0
+        out = pred.predict_arrival(route, 0.0, t, route.stops[-1])
+        ride = out.t_arrival - t
+        # Segment 1 fits in the night slot (100 s, cursor now -50 s before
+        # 8:00).  Segment 2 crosses the boundary: half of it at night pace
+        # (50 s to the boundary) then the remaining half at day pace
+        # (0.5 x 400 = 200 s).  Segments 3 and 4 are fully day (400 each).
+        assert ride == pytest.approx(100.0 + 50.0 + 200.0 + 2 * 400.0, rel=1e-6)
+
+    def test_rejects_bad_params(self, route):
+        with pytest.raises(ValueError):
+            ArrivalTimePredictor(TravelTimeStore(), recent_window_s=0.0)
+        with pytest.raises(ValueError):
+            ArrivalTimePredictor(TravelTimeStore(), max_recent=0)

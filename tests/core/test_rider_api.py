@@ -1,0 +1,115 @@
+import pytest
+
+from repro.core.server import RiderAPI, WiLocatorServer, history_from_ground_truth
+from repro.core.svd import RoadSVD
+from repro.geometry import GeoPoint, LocalProjection
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.radio import RadioEnvironment
+from repro.sensing import CrowdSensingLayer
+from repro.sensing.route_id import PerfectRouteIdentifier
+from tests.conftest import make_line_aps, make_straight_route
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net, route = make_straight_route(
+        length_m=1000.0, num_segments=4, num_stops=5
+    )
+    env = RadioEnvironment(make_line_aps(10), seed=0)
+    sim = CitySimulator(net, [route], seed=1)
+    training = sim.run(
+        [DispatchSchedule("r1", first_s=6 * 3600.0, last_s=20 * 3600.0,
+                          headway_s=3600.0)],
+        num_days=2,
+    )
+    server = WiLocatorServer(
+        routes={"r1": route},
+        svds={"r1": RoadSVD.from_environment(route, env, order=2)},
+        known_bssids={ap.bssid for ap in env.aps},
+        history=history_from_ground_truth(training),
+    )
+    # One live bus mid-trip on day 2.
+    live = sim.run(
+        [DispatchSchedule("r1", first_s=12 * 3600.0, last_s=12 * 3600.0,
+                          headway_s=3600.0)],
+        num_days=3,
+    )
+    trip = [t for t in live.trips if t.departure_s >= 2 * 86_400.0][0]
+    sensing = CrowdSensingLayer(
+        env, route_identifier=PerfectRouteIdentifier(), seed=3
+    )
+    reports = sensing.reports_for_trip(trip)
+    half = len(reports) // 2
+    for report in reports[:half]:
+        server.ingest(report)
+    now = reports[half - 1].t
+    return {"server": server, "route": route, "trip": trip, "now": now}
+
+
+class TestDepartures:
+    def test_upcoming_stop_listed(self, setup):
+        api = RiderAPI(setup["server"])
+        # the last stop is certainly still ahead at mid-trip
+        entries = api.departures("r1_stop4", setup["now"])
+        assert len(entries) == 1
+        e = entries[0]
+        assert e.route_id == "r1"
+        assert e.eta_in_s > 0
+        assert e.distance_away_m > 0
+
+    def test_passed_stop_not_listed(self, setup):
+        api = RiderAPI(setup["server"])
+        assert api.departures("r1_stop0", setup["now"]) == []
+
+    def test_unknown_stop_raises(self, setup):
+        api = RiderAPI(setup["server"])
+        with pytest.raises(KeyError):
+            api.departures("nope", setup["now"])
+
+    def test_eta_close_to_truth(self, setup):
+        api = RiderAPI(setup["server"])
+        entries = api.departures("r1_stop4", setup["now"])
+        actual = setup["trip"].time_at_arc(
+            setup["route"].stop_arc_length(setup["route"].stops[4])
+        )
+        assert entries[0].eta_t == pytest.approx(actual, abs=90.0)
+
+
+class TestTripPlan:
+    def test_direct_option_found(self, setup):
+        api = RiderAPI(setup["server"])
+        options = api.plan_trip("r1_stop3", "r1_stop4", setup["now"])
+        assert len(options) == 1
+        o = options[0]
+        assert o.board_t < o.alight_t
+        assert o.ride_time_s > 0
+
+    def test_backwards_trip_empty(self, setup):
+        api = RiderAPI(setup["server"])
+        assert api.plan_trip("r1_stop4", "r1_stop3", setup["now"]) == []
+
+    def test_unknown_stops_empty(self, setup):
+        api = RiderAPI(setup["server"])
+        assert api.plan_trip("zz", "r1_stop4", setup["now"]) == []
+
+
+class TestLivePositions:
+    def test_planar_positions(self, setup):
+        api = RiderAPI(setup["server"])
+        positions = api.live_positions(setup["now"])
+        assert len(positions) == 1
+        (x, y), = positions.values()
+        assert 0.0 <= x <= 1000.0
+
+    def test_geo_positions(self, setup):
+        proj = LocalProjection(GeoPoint(49.26, -123.14))
+        api = RiderAPI(setup["server"], projection=proj)
+        positions = api.live_positions(setup["now"])
+        (lat, lon, t), = positions.values()
+        assert 49.0 < lat < 49.5
+        assert t <= setup["now"]
+
+    def test_stops_named_and_of_route(self, setup):
+        api = RiderAPI(setup["server"])
+        assert len(api.stops_named("r1_stop2")) == 1
+        assert len(api.stops_of_route("r1")) == 5

@@ -1,0 +1,141 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arrival import (
+    SlotScheme,
+    TravelTimeRecord,
+    TravelTimeStore,
+    detect_rush_slots,
+    group_slots,
+    has_periodicity,
+    seasonal_index,
+    slot_filter,
+)
+from repro.mobility.traffic import DAY_S
+
+
+def rec(hour, tt, day=0, route="r1", seg="s0"):
+    t0 = day * DAY_S + hour * 3600.0
+    return TravelTimeRecord(
+        route_id=route, segment_id=seg, t_enter=t0, t_exit=t0 + tt
+    )
+
+
+class TestSlotScheme:
+    def test_hourly(self):
+        slots = SlotScheme.hourly()
+        assert slots.num_slots == 24
+        assert slots.slot_of(3600.0 * 5 + 10) == 5
+
+    def test_paper_weekday(self):
+        slots = SlotScheme.paper_weekday()
+        assert slots.num_slots == 5
+        assert slots.slot_of(7 * 3600.0) == 0
+        assert slots.slot_of(9 * 3600.0) == 1
+        assert slots.slot_of(12 * 3600.0) == 2
+        assert slots.slot_of(18.5 * 3600.0) == 3
+        assert slots.slot_of(22 * 3600.0) == 4
+
+    def test_slot_of_uses_time_of_day(self):
+        slots = SlotScheme.paper_weekday()
+        assert slots.slot_of(9 * 3600.0 + 3 * DAY_S) == 1
+
+    def test_slot_span(self):
+        slots = SlotScheme.paper_weekday()
+        assert slots.slot_span(1) == (8 * 3600.0, 10 * 3600.0)
+        assert slots.slot_span(4) == (19 * 3600.0, DAY_S)
+
+    def test_slot_span_out_of_range(self):
+        with pytest.raises(IndexError):
+            SlotScheme.paper_weekday().slot_span(9)
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            SlotScheme((3600.0,))  # must start at 0
+        with pytest.raises(ValueError):
+            SlotScheme((0.0, 100.0, 100.0))
+        with pytest.raises(ValueError):
+            SlotScheme((0.0, DAY_S))
+
+
+class TestSeasonalIndex:
+    def make_store(self):
+        """Rush at hour 8 twice as slow as the rest."""
+        records = []
+        for day in range(3):
+            for hour in (6, 8, 12, 20):
+                tt = 120.0 if hour == 8 else 60.0
+                records.append(rec(hour, tt, day=day))
+        return TravelTimeStore(records)
+
+    def test_rush_hour_index_above_one(self):
+        si = seasonal_index(self.make_store(), "s0")
+        assert si[8] > 1.3
+        assert si[12] < 1.0
+
+    def test_empty_slots_get_one(self):
+        si = seasonal_index(self.make_store(), "s0")
+        assert si[3] == 1.0
+
+    def test_eq7_sum_over_populated_slots(self):
+        """Eq. 7: populated slots weighted by counts average to 1."""
+        store = self.make_store()
+        si = seasonal_index(store, "s0")
+        populated = [6, 8, 12, 20]
+        # Each populated slot has equal record counts here.
+        assert sum(si[h] for h in populated) / len(populated) == pytest.approx(
+            1.0, rel=0.01
+        )
+
+    def test_no_records_raises(self):
+        with pytest.raises(ValueError):
+            seasonal_index(TravelTimeStore(), "s0")
+
+    def test_detect_rush_slots(self):
+        si = seasonal_index(self.make_store(), "s0")
+        assert 8 in detect_rush_slots(si, threshold=1.2)
+
+    def test_has_periodicity(self):
+        si = seasonal_index(self.make_store(), "s0")
+        assert has_periodicity(si)
+        assert not has_periodicity([1.0] * 24)
+
+
+class TestGroupSlots:
+    def test_merges_flat_profile(self):
+        grouped = group_slots([1.0] * 24)
+        assert grouped.num_slots == 1
+
+    def test_splits_at_rush(self):
+        si = [1.0] * 24
+        si[8] = si[9] = 1.8
+        grouped = group_slots(si, tolerance=0.2)
+        assert grouped.num_slots == 3
+        assert 8 * 3600.0 in grouped.boundaries
+        assert 10 * 3600.0 in grouped.boundaries
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            group_slots([1.0] * 3)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.5, max_value=2.0),
+            min_size=24,
+            max_size=24,
+        )
+    )
+    @settings(max_examples=30)
+    def test_grouped_scheme_always_valid(self, indices):
+        grouped = group_slots(indices)
+        assert 1 <= grouped.num_slots <= 24
+        assert grouped.boundaries[0] == 0.0
+
+
+class TestSlotFilter:
+    def test_filter_keeps_slot_records(self):
+        slots = SlotScheme.paper_weekday()
+        accept = slot_filter(slots, 1)
+        assert accept(rec(9, 60.0))
+        assert not accept(rec(12, 60.0))

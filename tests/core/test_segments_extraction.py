@@ -1,0 +1,98 @@
+import pytest
+
+from repro.core.arrival.segments import IncrementalExtractor, extract_traversals
+from repro.core.positioning import Trajectory, TrajectoryPoint
+from tests.conftest import make_straight_route
+
+
+@pytest.fixture()
+def route():
+    # two segments of 500 m each
+    return make_straight_route(length_m=1000.0, num_segments=2)[1]
+
+
+def traj(route, pts):
+    t = Trajectory(route=route)
+    for time, arc in pts:
+        t.append(TrajectoryPoint(t=time, arc_length=arc, point=route.point_at(arc)))
+    return t
+
+
+class TestExtractTraversals:
+    def test_full_trip_yields_all_segments(self, route):
+        trajectory = traj(route, [(0, 0), (50, 500), (100, 1000)])
+        records = extract_traversals(trajectory)
+        assert [r.segment_id for r in records] == ["s0", "s1"]
+        assert records[0].t_enter == 0.0
+        assert records[0].t_exit == 50.0
+        assert records[1].t_exit == 100.0
+
+    def test_interpolates_boundary_crossing(self, route):
+        """Fig. 5: boundary crossed between scans is interpolated."""
+        trajectory = traj(route, [(0, 0), (40, 400), (60, 600), (100, 1000)])
+        records = extract_traversals(trajectory)
+        # boundary at 500 crossed midway between t=40 (400 m) and t=60 (600 m)
+        assert records[0].t_exit == pytest.approx(50.0)
+        assert records[1].t_enter == pytest.approx(50.0)
+
+    def test_partial_trip_yields_completed_only(self, route):
+        trajectory = traj(route, [(0, 0), (50, 500), (70, 700)])
+        records = extract_traversals(trajectory)
+        assert [r.segment_id for r in records] == ["s0"]
+
+    def test_trip_starting_mid_segment_skips_it(self, route):
+        trajectory = traj(route, [(0, 200), (60, 600), (100, 1000)])
+        records = extract_traversals(trajectory)
+        # s0's entry (arc 0) is clamped to the first point's time; the
+        # traversal of s0 was not really observed from its start, but the
+        # crossing of s1 is fully observed.
+        ids = [r.segment_id for r in records]
+        assert "s1" in ids
+
+    def test_route_id_propagates(self, route):
+        trajectory = traj(route, [(0, 0), (100, 1000)])
+        for r in extract_traversals(trajectory):
+            assert r.route_id == "r1"
+
+
+class TestIncrementalExtractor:
+    def test_streams_once_per_segment(self, route):
+        trajectory = Trajectory(route=route)
+        extractor = IncrementalExtractor(trajectory)
+        seen = []
+
+        for time, arc in [(0, 0), (30, 300), (55, 550), (80, 800), (101, 1000)]:
+            trajectory.append(
+                TrajectoryPoint(t=time, arc_length=arc, point=route.point_at(arc))
+            )
+            seen += extractor.poll()
+        assert [r.segment_id for r in seen] == ["s0", "s1"]
+
+    def test_no_duplicates_on_repeat_polls(self, route):
+        trajectory = traj(route, [(0, 0), (50, 500), (100, 1000)])
+        extractor = IncrementalExtractor(trajectory)
+        first = extractor.poll()
+        second = extractor.poll()
+        assert len(first) == 2
+        assert second == []
+
+    def test_empty_trajectory(self, route):
+        extractor = IncrementalExtractor(Trajectory(route=route))
+        assert extractor.poll() == []
+
+    def test_matches_batch_extraction(self, route):
+        pts = [(0, 0), (20, 180), (45, 470), (62, 640), (100, 1000)]
+        trajectory = traj(route, pts)
+        batch = extract_traversals(trajectory)
+
+        growing = Trajectory(route=route)
+        extractor = IncrementalExtractor(growing)
+        streamed = []
+        for time, arc in pts:
+            growing.append(
+                TrajectoryPoint(t=time, arc_length=arc, point=route.point_at(arc))
+            )
+            streamed += extractor.poll()
+        assert [(r.segment_id, r.t_enter, r.t_exit) for r in streamed] == [
+            (r.segment_id, r.t_enter, r.t_exit) for r in batch
+        ]

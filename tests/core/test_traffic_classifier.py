@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.core.arrival import SlotScheme, TravelTimeRecord, TravelTimeStore
+from repro.core.traffic import SegmentStatus, TrafficClassifier
+from repro.mobility.traffic import DAY_S
+
+
+def rec(seg="s0", route="r1", t0=0.0, tt=60.0):
+    return TravelTimeRecord(
+        route_id=route, segment_id=seg, t_enter=t0, t_exit=t0 + tt
+    )
+
+
+@pytest.fixture()
+def history():
+    """20 days of off-peak traversals, ~N(60, 5) per route, by seed."""
+    rng = np.random.default_rng(0)
+    store = TravelTimeStore()
+    for day in range(20):
+        for route, base in (("r1", 60.0), ("rapid", 40.0)):
+            t0 = day * DAY_S + 12 * 3600.0
+            store.add(rec(route=route, t0=t0, tt=base + rng.normal(0, 5)))
+    return store
+
+
+@pytest.fixture()
+def classifier(history):
+    return TrafficClassifier(history, min_history=5)
+
+
+def eval_t(tt, route="r1"):
+    return rec(t0=25 * DAY_S + 12 * 3600.0, tt=tt, route=route)
+
+
+class TestResidualStats:
+    def test_stats_centered_near_zero(self, classifier):
+        stats = classifier.residual_stats("s0", 2)
+        assert stats is not None
+        assert abs(stats.mean) < 3.0
+        assert 2.0 < stats.std < 10.0
+
+    def test_thin_history_none(self, history):
+        clf = TrafficClassifier(history, min_history=10_000)
+        assert clf.residual_stats("s0", 2) is None
+
+    def test_unknown_segment_none(self, classifier):
+        assert classifier.residual_stats("zz", 2) is None
+
+
+class TestClassification:
+    def test_normal_travel_time(self, classifier):
+        assert classifier.classify_record(eval_t(60.0)) is SegmentStatus.NORMAL
+
+    def _tt_at_z(self, classifier, z_target):
+        """Invert the classifier's z-score to a travel time."""
+        stats = classifier.residual_stats("s0", 2)
+        route_mean = 60.0 - classifier.residual_of(eval_t(60.0))
+        return route_mean + stats.mean + z_target * stats.std
+
+    def test_slow(self, classifier):
+        tt = self._tt_at_z(classifier, 1.3)
+        assert classifier.classify_record(eval_t(tt)) is SegmentStatus.SLOW
+
+    def test_very_slow(self, classifier):
+        tt = self._tt_at_z(classifier, 3.0)
+        assert classifier.classify_record(eval_t(tt)) is SegmentStatus.VERY_SLOW
+
+    def test_route_specific_baseline(self, classifier):
+        """A rapid bus at its own normal pace is NORMAL even though it is
+        faster than route r1's mean — the velocity-map failure mode."""
+        assert (
+            classifier.classify_record(eval_t(40.0, route="rapid"))
+            is SegmentStatus.NORMAL
+        )
+
+    def test_unknown_without_history(self, classifier):
+        r = rec(seg="unseen", t0=25 * DAY_S, tt=60.0)
+        assert classifier.classify_record(r) is SegmentStatus.UNKNOWN
+
+    def test_z_score_sign(self, classifier):
+        z_fast = classifier.z_score(eval_t(40.0))
+        z_slow = classifier.z_score(eval_t(90.0))
+        assert z_fast < 0 < z_slow
+
+
+class TestClassifySegment:
+    def test_uses_freshest_live_record(self, classifier):
+        live = TravelTimeStore()
+        now = 25 * DAY_S + 12.5 * 3600.0
+        live.add(eval_t(120.0))
+        assert (
+            classifier.classify_segment("s0", live, now)
+            is SegmentStatus.VERY_SLOW
+        )
+
+    def test_no_live_data_unknown(self, classifier):
+        assert (
+            classifier.classify_segment("s0", TravelTimeStore(), 0.0)
+            is SegmentStatus.UNKNOWN
+        )
+
+    def test_rejects_bad_thresholds(self, history):
+        with pytest.raises(ValueError):
+            TrafficClassifier(history, z_slow=2.0, z_very_slow=1.0)

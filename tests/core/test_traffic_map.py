@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.core.arrival import TravelTimeRecord, TravelTimeStore
+from repro.core.traffic import (
+    SegmentStatus,
+    TrafficClassifier,
+    TrafficMap,
+    TrafficMapBuilder,
+)
+from repro.core.traffic.map import SegmentState
+from repro.mobility.traffic import DAY_S
+
+
+def rec(seg, t0, tt, route="r1"):
+    return TravelTimeRecord(
+        route_id=route, segment_id=seg, t_enter=t0, t_exit=t0 + tt
+    )
+
+
+@pytest.fixture()
+def history():
+    rng = np.random.default_rng(1)
+    store = TravelTimeStore()
+    for day in range(15):
+        for seg in ("a", "b", "c"):
+            t0 = day * DAY_S + 12 * 3600.0
+            store.add(rec(seg, t0, 60.0 + rng.normal(0, 5)))
+    return store
+
+
+@pytest.fixture()
+def builder(history):
+    return TrafficMapBuilder(
+        TrafficClassifier(history, min_history=5),
+        fresh_window_s=1800.0,
+        inference_window_s=5400.0,
+    )
+
+
+NOW = 20 * DAY_S + 12.5 * 3600.0
+
+
+class TestBuilder:
+    def test_fresh_evidence_direct(self, builder):
+        live = TravelTimeStore([rec("a", NOW - 600.0, 60.0)])
+        tmap = builder.build(["a"], live, NOW)
+        state = tmap.states["a"]
+        assert state.status is SegmentStatus.NORMAL
+        assert not state.inferred
+        assert state.age_s is not None
+
+    def test_slow_segment_flagged(self, builder):
+        live = TravelTimeStore([rec("a", NOW - 600.0, 150.0)])
+        tmap = builder.build(["a"], live, NOW)
+        assert tmap.states["a"].status is SegmentStatus.VERY_SLOW
+
+    def test_aged_evidence_inferred(self, builder):
+        live = TravelTimeStore([rec("a", NOW - 4000.0, 150.0)])
+        tmap = builder.build(["a"], live, NOW)
+        state = tmap.states["a"]
+        assert state.status is SegmentStatus.VERY_SLOW
+        assert state.inferred
+
+    def test_no_evidence_defaults_to_normal_with_history(self, builder):
+        """WiLocator's temporal-consistency rule: never leave a known
+        segment unmarked (unlike the agency map)."""
+        tmap = builder.build(["a"], TravelTimeStore(), NOW)
+        assert tmap.states["a"].status is SegmentStatus.NORMAL
+        assert tmap.states["a"].inferred
+
+    def test_truly_unknown_segment(self, builder):
+        tmap = builder.build(["never-seen"], TravelTimeStore(), NOW)
+        assert tmap.states["never-seen"].status is SegmentStatus.UNKNOWN
+
+    def test_rejects_bad_windows(self, history):
+        clf = TrafficClassifier(history)
+        with pytest.raises(ValueError):
+            TrafficMapBuilder(clf, fresh_window_s=100.0, inference_window_s=50.0)
+
+
+class TestTrafficMap:
+    def make_map(self):
+        tmap = TrafficMap(t=0.0)
+        for sid, status in (
+            ("a", SegmentStatus.NORMAL),
+            ("b", SegmentStatus.SLOW),
+            ("c", SegmentStatus.VERY_SLOW),
+            ("d", SegmentStatus.UNKNOWN),
+        ):
+            tmap.states[sid] = SegmentState(
+                segment_id=sid, status=status, age_s=None, inferred=False
+            )
+        return tmap
+
+    def test_status_of(self):
+        tmap = self.make_map()
+        assert tmap.status_of("b") is SegmentStatus.SLOW
+        assert tmap.status_of("zz") is SegmentStatus.UNKNOWN
+
+    def test_slow_segments(self):
+        assert set(self.make_map().slow_segments()) == {"b", "c"}
+
+    def test_unknown_segments(self):
+        assert self.make_map().unknown_segments() == ["d"]
+
+    def test_coverage(self):
+        assert self.make_map().coverage() == pytest.approx(0.75)
+
+    def test_coverage_empty(self):
+        assert TrafficMap(t=0.0).coverage() == 0.0
+
+    def test_render_ascii(self):
+        out = self.make_map().render_ascii(["a", "b", "c", "d"])
+        assert out == ".sS?"

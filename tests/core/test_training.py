@@ -1,0 +1,154 @@
+import numpy as np
+import pytest
+
+from repro.core.arrival import TravelTimeRecord, TravelTimeStore
+from repro.core.server.training import (
+    fit_slot_scheme,
+    history_from_ground_truth,
+    track_report_batch,
+    train_offline,
+)
+from repro.core.svd import RoadSVD
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.mobility.traffic import DAY_S, SeasonalProfile, TrafficModel
+from repro.radio import RadioEnvironment
+from repro.sensing import CrowdSensingLayer
+from repro.sensing.route_id import PerfectRouteIdentifier
+from tests.conftest import make_line_aps, make_straight_route
+
+
+@pytest.fixture(scope="module")
+def scene():
+    net, route = make_straight_route(length_m=1000.0, num_segments=4)
+    env = RadioEnvironment(make_line_aps(10), seed=0)
+    traffic = TrafficModel(
+        seasonal=SeasonalProfile(morning_peak=1.2),
+        route_speed_factors={"r1": 1.0},
+        seed=6,
+    )
+    sim = CitySimulator(net, [route], traffic=traffic, seed=6)
+    result = sim.run(
+        [DispatchSchedule("r1", first_s=6 * 3600.0, last_s=21 * 3600.0,
+                          headway_s=1800.0)],
+        num_days=2,
+    )
+    sensing = CrowdSensingLayer(
+        env, route_identifier=PerfectRouteIdentifier(), seed=7
+    )
+    reports = sensing.reports_for_trips(result.trips)
+    svd = RoadSVD.from_environment(route, env, order=2, step_m=2.0)
+    known = {ap.bssid for ap in env.aps}
+    return {
+        "route": route,
+        "result": result,
+        "reports": reports,
+        "svd": svd,
+        "known": known,
+    }
+
+
+class TestTrackReportBatch:
+    def test_one_trajectory_per_trip(self, scene):
+        trajectories = track_report_batch(
+            scene["reports"],
+            {"r1": scene["route"]},
+            {"r1": scene["svd"]},
+            scene["known"],
+        )
+        assert len(trajectories) == len(scene["result"].trips)
+
+    def test_unroutable_reports_skipped(self, scene):
+        bad = [
+            type(r)(
+                device_id=r.device_id,
+                session_key=r.session_key,
+                route_id="unknown",
+                t=r.t,
+                readings=r.readings,
+            )
+            for r in scene["reports"][:50]
+        ]
+        assert (
+            track_report_batch(
+                bad, {"r1": scene["route"]}, {"r1": scene["svd"]}, scene["known"]
+            )
+            == []
+        )
+
+
+class TestTrainOffline:
+    @pytest.fixture(scope="class")
+    def trained(self, scene):
+        return train_offline(
+            scene["reports"],
+            {"r1": scene["route"]},
+            {"r1": scene["svd"]},
+            scene["known"],
+        )
+
+    def test_history_covers_all_segments(self, trained, scene):
+        assert set(trained.history.segment_ids()) == set(
+            scene["route"].segment_ids
+        )
+
+    def test_history_close_to_ground_truth(self, trained, scene):
+        oracle = history_from_ground_truth(scene["result"])
+        total_learned = total_truth = 0.0
+        for sid in scene["route"].segment_ids:
+            learned = trained.history.mean_travel_time(sid)
+            truth = oracle.mean_travel_time(sid)
+            # Per-segment boundary interpolation is coarse in this sparse
+            # test scene (50 m tiles on 250 m segments)...
+            assert learned == pytest.approx(truth, rel=0.4)
+            total_learned += learned
+            total_truth += truth
+        # ...but the boundary errors cancel along the route.
+        assert total_learned == pytest.approx(total_truth, rel=0.1)
+
+    def test_slots_valid(self, trained):
+        assert trained.slots.num_slots >= 1
+        assert trained.slots.boundaries[0] == 0.0
+
+    def test_delta_learned_for_route_segments(self, trained, scene):
+        default = trained.delta.factor * trained.delta.default_step_m
+        learned = [
+            trained.delta.delta_for(sid) for sid in scene["route"].segment_ids
+        ]
+        assert any(d != default for d in learned)
+
+    def test_trajectories_returned(self, trained, scene):
+        assert len(trained.trajectories) == len(scene["result"].trips)
+
+
+class TestFitSlotScheme:
+    def test_detects_rush(self):
+        store = TravelTimeStore()
+        for day in range(5):
+            for hour in range(6, 22):
+                tt = 120.0 if 8 <= hour < 10 else 60.0
+                t0 = day * DAY_S + hour * 3600.0
+                store.add(
+                    TravelTimeRecord(
+                        route_id="r", segment_id="s", t_enter=t0, t_exit=t0 + tt
+                    )
+                )
+        slots = fit_slot_scheme(store, ["s"])
+        # The 8:00 and 10:00 boundaries must appear.
+        assert 8 * 3600.0 in slots.boundaries
+        assert 10 * 3600.0 in slots.boundaries
+
+    def test_flat_data_one_slot(self):
+        store = TravelTimeStore()
+        for day in range(3):
+            for hour in range(24):
+                t0 = day * DAY_S + hour * 3600.0
+                store.add(
+                    TravelTimeRecord(
+                        route_id="r", segment_id="s", t_enter=t0, t_exit=t0 + 60.0
+                    )
+                )
+        assert fit_slot_scheme(store, ["s"]).num_slots == 1
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            fit_slot_scheme(TravelTimeStore())

@@ -1,0 +1,89 @@
+import pytest
+
+from repro.core.positioning import Trajectory, TrajectoryPoint
+from repro.core.svd import RoadSVD
+from repro.eval.ascii_viz import (
+    render_cdf,
+    render_seasonal,
+    render_tiles,
+    render_trajectory,
+)
+from repro.radio import RadioEnvironment
+from tests.conftest import make_line_aps, make_straight_route
+
+
+@pytest.fixture(scope="module")
+def svd():
+    _, route = make_straight_route(length_m=1000.0)
+    env = RadioEnvironment(
+        make_line_aps(10), shadowing_sigma_db=0.0, fading_sigma_db=0.0, seed=0
+    )
+    return RoadSVD.from_environment(route, env, order=2, step_m=5.0)
+
+
+class TestRenderTiles:
+    def test_width_respected(self, svd):
+        out = render_tiles(svd, width=40)
+        assert len(out.splitlines()[0]) == 40
+
+    def test_caption_counts_tiles(self, svd):
+        out = render_tiles(svd, width=72)
+        assert "tiles]" in out
+
+    def test_window(self, svd):
+        out = render_tiles(svd, width=30, arc_from=100.0, arc_to=300.0)
+        assert "[100 m .. 300 m" in out
+
+    def test_rejects_bad_args(self, svd):
+        with pytest.raises(ValueError):
+            render_tiles(svd, width=3)
+        with pytest.raises(ValueError):
+            render_tiles(svd, arc_from=500.0, arc_to=100.0)
+
+    def test_adjacent_tiles_distinct_glyphs(self, svd):
+        strip = render_tiles(svd, width=72).splitlines()[0]
+        # wherever the glyph changes, neighbours must differ (trivially
+        # true); also the strip must contain more than one glyph.
+        assert len(set(strip)) > 1
+
+
+class TestRenderTrajectory:
+    def make_trajectory(self):
+        _, route = make_straight_route(length_m=1000.0)
+        traj = Trajectory(route=route)
+        for k in range(20):
+            arc = k * 50.0
+            traj.append(
+                TrajectoryPoint(
+                    t=k * 10.0, arc_length=arc, point=route.point_at(arc)
+                )
+            )
+        return traj
+
+    def test_renders_grid(self):
+        out = render_trajectory(self.make_trajectory(), width=40, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 10  # 8 rows + separator + caption
+        assert any("*" in line for line in lines[:8])
+
+    def test_short_trajectory(self):
+        _, route = make_straight_route()
+        traj = Trajectory(route=route)
+        assert "short" in render_trajectory(traj)
+
+
+class TestRenderCdfAndSeasonal:
+    def test_cdf_rows(self):
+        out = render_cdf({"wil": [1.0, 2.0, 10.0], "agc": [5.0, 9.0, 30.0]})
+        assert "wil:" in out and "agc:" in out
+        assert "p50" in out and "p99" in out
+
+    def test_cdf_empty_series_skipped(self):
+        assert render_cdf({"empty": []}) == ""
+
+    def test_seasonal_bars(self):
+        indices = [1.0] * 24
+        indices[8] = 1.5
+        out = render_seasonal(indices)
+        assert "08h" in out
+        assert "#" in out

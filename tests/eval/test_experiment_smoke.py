@@ -1,0 +1,40 @@
+"""Fast smoke tests of the experiment runners (the benchmarks exercise
+them at full scale; these just pin the public API)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_fig10, run_table1, run_table2
+from repro.eval.scenarios import make_campus_world
+
+
+class TestTableRunners:
+    def test_run_table1_rows(self, small_world):
+        rows = run_table1(small_world)
+        assert {r.route_id for r in rows} == {"rapid", "9", "14", "16"}
+
+    def test_run_table2_structure(self, campus_world):
+        table = run_table2(campus_world)
+        assert set(table) == {"A", "B", "C"}
+        for readings in table.values():
+            assert readings
+            assert all(isinstance(ssid, str) for ssid, _ in readings)
+
+
+class TestFig10Runner:
+    def test_errors_small(self, campus_world):
+        results = run_fig10(campus_world)
+        for name in ("A", "B", "C"):
+            assert results[name]["error_m"] < 10.0
+
+    def test_deterministic(self, campus_world):
+        a = run_fig10(campus_world, seed=9)
+        b = run_fig10(campus_world, seed=9)
+        assert a == b
+
+    def test_higher_order_not_worse_on_average(self, campus_world):
+        low = run_fig10(campus_world, order=1)
+        high = run_fig10(campus_world, order=3)
+        mean_low = np.mean([low[n]["error_m"] for n in "ABC"])
+        mean_high = np.mean([high[n]["error_m"] for n in "ABC"])
+        assert mean_high <= mean_low + 2.0

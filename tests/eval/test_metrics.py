@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    cdf_at,
+    empirical_cdf,
+    positioning_error_m,
+    prediction_error_s,
+    quantile,
+    summarize,
+)
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.maximum == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str(self):
+        assert "median" in str(summarize([1.0]))
+
+    @given(samples)
+    @settings(max_examples=50)
+    def test_order_invariants(self, values):
+        s = summarize(values)
+        assert s.median <= s.p90 + 1e-9 <= s.maximum + 1e-9
+        # float summation tolerance
+        assert min(values) - 1e-6 <= s.mean <= s.maximum + 1e-6
+
+
+class TestCdf:
+    def test_empirical_cdf_shape(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(vals, [0.0, 2.0, 10.0]) == [0.0, 0.5, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+        with pytest.raises(ValueError):
+            cdf_at([], [1.0])
+
+    @given(samples)
+    @settings(max_examples=50)
+    def test_cdf_monotone_in_01(self, values):
+        _, ps = empirical_cdf(values)
+        assert np.all(np.diff(ps) >= 0)
+        assert 0.0 < ps[0] <= 1.0
+        assert ps[-1] == pytest.approx(1.0)
+
+    @given(samples)
+    @settings(max_examples=50)
+    def test_cdf_at_monotone(self, values):
+        thresholds = [0.0, 10.0, 100.0, 1e4]
+        fracs = cdf_at(values, thresholds)
+        assert fracs == sorted(fracs)
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestErrorHelpers:
+    def test_positioning_error(self):
+        assert positioning_error_m(105.0, 100.0) == 5.0
+        assert positioning_error_m(95.0, 100.0) == 5.0
+
+    def test_prediction_error(self):
+        assert prediction_error_s(120.0, 100.0) == 20.0

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.eval import (
+    format_cdf_table,
+    format_series,
+    format_stops_ahead,
+    format_summary_table,
+    make_campus_world,
+)
+from repro.eval.scenarios import make_corridor_world
+
+
+class TestCampusWorld:
+    def test_eleven_aps(self, campus_world):
+        assert len(campus_world.aps) == 11
+        assert [ap.ssid for ap in campus_world.aps] == [
+            f"AP{i}" for i in range(1, 12)
+        ]
+
+    def test_locations_on_route(self, campus_world):
+        for name in ("A", "B", "C"):
+            arc = campus_world.locations[name]
+            assert 0.0 <= arc <= campus_world.route.length
+
+    def test_several_aps_visible_at_each_location(self, campus_world):
+        for name in ("A", "B", "C"):
+            point = campus_world.location_point(name)
+            assert len(campus_world.env.visible_aps(point)) >= 3
+
+    def test_deterministic(self):
+        a = make_campus_world(seed=0)
+        b = make_campus_world(seed=0)
+        pa = a.location_point("A")
+        assert a.env.mean_rss(pa, a.aps[0].bssid) == b.env.mean_rss(
+            pa, b.aps[0].bssid
+        )
+
+
+class TestCorridorWorldWiring:
+    def test_world_components(self, small_world):
+        assert set(small_world.routes) == {"rapid", "9", "14", "16"}
+        assert len(small_world.aps) > 100
+        assert small_world.known_bssids
+
+    def test_svd_cache(self, small_world):
+        svd1 = small_world.svd_for("rapid")
+        svd2 = small_world.svd_for("rapid")
+        assert svd1 is svd2
+
+    def test_svd_order_variants_distinct(self, small_world):
+        assert small_world.svd_for("rapid", order=1) is not small_world.svd_for(
+            "rapid"
+        )
+
+    def test_rapid_runs_in_bus_lanes(self, small_world):
+        sens = small_world.simulator.traffic.route_congestion_sensitivity
+        assert sens.get("rapid", 1.0) < 1.0
+
+
+class TestTables:
+    def test_cdf_table(self):
+        text = format_cdf_table(
+            {"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0]}, thresholds=[2.0, 5.0]
+        )
+        assert "a" in text and "b" in text and "<=2" in text
+
+    def test_summary_table(self):
+        text = format_summary_table({"x": [1.0, 2.0]}, unit="m")
+        assert "median" in text and "(values in m)" in text
+
+    def test_series(self):
+        text = format_series([(1, 2.0), (3, 4.0)], x_label="aps", y_label="err")
+        assert "aps" in text and "4.000" in text
+
+    def test_stops_ahead_handles_nan(self):
+        text = format_stops_ahead(
+            {"rapid": [1.0, float("nan")]}, max_stops=2
+        )
+        assert "-" in text

@@ -1,0 +1,84 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, distance, midpoint
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPointArithmetic:
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_scalar_multiply(self):
+        assert Point(1, -2) * 3 == Point(3, -6)
+
+    def test_rmul(self):
+        assert 2 * Point(1, 1) == Point(2, 2)
+
+    def test_truediv(self):
+        assert Point(4, 6) / 2 == Point(2, 3)
+
+    def test_dot(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestDistances:
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5
+
+    def test_distance_function_matches_method(self):
+        a, b = Point(1, 1), Point(4, 5)
+        assert distance(a, b) == a.distance_to(b)
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_distance_zero_to_self(self):
+        p = Point(7.7, -2.2)
+        assert p.distance_to(p) == 0.0
+
+
+class TestHashability:
+    def test_points_are_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(1, 2).x = 5  # type: ignore[misc]
+
+
+class TestPointProperties:
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(finite, finite, finite, finite)
+    def test_midpoint_equidistant(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        m = midpoint(a, b)
+        assert m.distance_to(a) == pytest.approx(m.distance_to(b), abs=1e-6)
+
+    @given(finite, finite)
+    def test_norm_matches_hypot(self, x, y):
+        assert Point(x, y).norm() == pytest.approx(math.hypot(x, y))

@@ -1,0 +1,194 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polyline
+
+coord = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coord, coord)
+
+
+def polylines(min_vertices=2, max_vertices=8):
+    return (
+        st.lists(points, min_size=min_vertices, max_size=max_vertices)
+        .filter(
+            lambda pts: sum(
+                a.distance_to(b) for a, b in zip(pts, pts[1:])
+            )
+            > 1.0
+        )
+        .map(Polyline)
+    )
+
+
+class TestConstruction:
+    def test_needs_two_distinct_vertices(self):
+        with pytest.raises(ValueError):
+            Polyline([Point(0, 0)])
+        with pytest.raises(ValueError):
+            Polyline([Point(0, 0), Point(0, 0)])
+
+    def test_drops_duplicate_vertices(self):
+        pl = Polyline([Point(0, 0), Point(0, 0), Point(1, 0), Point(1, 0)])
+        assert len(pl.vertices) == 2
+
+    def test_length(self):
+        pl = Polyline([Point(0, 0), Point(3, 0), Point(3, 4)])
+        assert pl.length == 7
+
+    def test_start_end(self):
+        pl = Polyline([Point(1, 1), Point(2, 2)])
+        assert pl.start == Point(1, 1)
+        assert pl.end == Point(2, 2)
+
+
+class TestPointAt:
+    def test_at_zero(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        assert pl.point_at(0.0) == Point(0, 0)
+
+    def test_at_length(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        assert pl.point_at(10.0) == Point(10, 0)
+
+    def test_midway_on_second_edge(self):
+        pl = Polyline([Point(0, 0), Point(10, 0), Point(10, 10)])
+        assert pl.point_at(15.0) == Point(10, 5)
+
+    def test_clamps_below(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        assert pl.point_at(-5.0) == Point(0, 0)
+
+    def test_clamps_above(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        assert pl.point_at(25.0) == Point(10, 0)
+
+
+class TestHeading:
+    def test_east(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        assert pl.heading_at(5.0) == pytest.approx(0.0)
+
+    def test_north_on_second_edge(self):
+        pl = Polyline([Point(0, 0), Point(10, 0), Point(10, 10)])
+        assert pl.heading_at(12.0) == pytest.approx(math.pi / 2)
+
+
+class TestProject:
+    def test_point_on_line(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        proj = pl.project(Point(4, 0))
+        assert proj.arc_length == pytest.approx(4.0)
+        assert proj.distance == pytest.approx(0.0)
+
+    def test_perpendicular_offset(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        proj = pl.project(Point(6, 3))
+        assert proj.point == Point(6, 0)
+        assert proj.distance == pytest.approx(3.0)
+
+    def test_beyond_end_clamps_to_endpoint(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        proj = pl.project(Point(15, 2))
+        assert proj.point == Point(10, 0)
+        assert proj.arc_length == pytest.approx(10.0)
+
+    def test_corner(self):
+        pl = Polyline([Point(0, 0), Point(10, 0), Point(10, 10)])
+        proj = pl.project(Point(12, -2))
+        assert proj.point == Point(10, 0)
+
+
+class TestSample:
+    def test_includes_endpoints(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        samples = pl.sample(3.0)
+        assert samples[0][0] == 0.0
+        assert samples[-1][0] == pytest.approx(10.0)
+
+    def test_step_spacing(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        arcs = [s for s, _ in pl.sample(2.0)]
+        assert arcs == pytest.approx([0, 2, 4, 6, 8, 10])
+
+    def test_rejects_bad_step(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        with pytest.raises(ValueError):
+            pl.sample(0.0)
+
+
+class TestSliceAndConcat:
+    def test_slice_length(self):
+        pl = Polyline([Point(0, 0), Point(10, 0), Point(10, 10)])
+        assert pl.slice(2.0, 12.0).length == pytest.approx(10.0)
+
+    def test_slice_preserves_interior_vertex(self):
+        pl = Polyline([Point(0, 0), Point(10, 0), Point(10, 10)])
+        sliced = pl.slice(5.0, 15.0)
+        assert Point(10, 0) in sliced.vertices
+
+    def test_slice_rejects_empty(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        with pytest.raises(ValueError):
+            pl.slice(5.0, 5.0)
+
+    def test_concatenate(self):
+        a = Polyline([Point(0, 0), Point(5, 0)])
+        b = Polyline([Point(5, 0), Point(5, 5)])
+        joined = Polyline.concatenate([a, b])
+        assert joined.length == pytest.approx(10.0)
+
+    def test_concatenate_rejects_gap(self):
+        a = Polyline([Point(0, 0), Point(5, 0)])
+        b = Polyline([Point(6, 0), Point(6, 5)])
+        with pytest.raises(ValueError):
+            Polyline.concatenate([a, b])
+
+    def test_concatenate_empty(self):
+        with pytest.raises(ValueError):
+            Polyline.concatenate([])
+
+    def test_reversed(self):
+        pl = Polyline([Point(0, 0), Point(10, 0)])
+        rev = pl.reversed()
+        assert rev.start == pl.end
+        assert rev.length == pl.length
+
+
+class TestPolylineProperties:
+    @given(polylines())
+    @settings(max_examples=50)
+    def test_point_at_zero_is_start(self, pl):
+        assert pl.point_at(0.0).distance_to(pl.start) < 1e-9
+
+    @given(polylines())
+    @settings(max_examples=50)
+    def test_point_at_length_is_end(self, pl):
+        assert pl.point_at(pl.length).distance_to(pl.end) < 1e-6
+
+    @given(polylines(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_projection_of_on_line_point_roundtrips(self, pl, frac):
+        arc = frac * pl.length
+        p = pl.point_at(arc)
+        proj = pl.project(p)
+        assert proj.distance < 1e-6
+        assert pl.point_at(proj.arc_length).distance_to(p) < 1e-6
+
+    @given(polylines(), points)
+    @settings(max_examples=50)
+    def test_projection_is_nearest_among_samples(self, pl, q):
+        proj = pl.project(q)
+        for arc, p in pl.sample(pl.length / 17 + 0.01):
+            assert proj.distance <= q.distance_to(p) + 1e-6
+
+    @given(polylines(), st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=50)
+    def test_arc_distance_bounds_euclidean(self, pl, f1, f2):
+        a1, a2 = sorted((f1 * pl.length, f2 * pl.length))
+        p1, p2 = pl.point_at(a1), pl.point_at(a2)
+        assert p1.distance_to(p2) <= (a2 - a1) + 1e-6

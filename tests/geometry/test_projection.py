@@ -1,0 +1,85 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import GeoPoint, LocalProjection, Point, haversine_m
+
+VANCOUVER = GeoPoint(49.2634, -123.1385)
+
+lat = st.floats(min_value=-80, max_value=80, allow_nan=False)
+lon = st.floats(min_value=-179, max_value=179, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_valid(self):
+        g = GeoPoint(49.0, -123.0)
+        assert g.lat == 49.0
+
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(VANCOUVER, VANCOUVER) == 0.0
+
+    def test_known_distance_one_degree_lat(self):
+        a = GeoPoint(49.0, -123.0)
+        b = GeoPoint(50.0, -123.0)
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=0.01)
+
+    def test_symmetry(self):
+        a = GeoPoint(49.0, -123.0)
+        b = GeoPoint(49.3, -122.8)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        proj = LocalProjection(VANCOUVER)
+        p = proj.to_local(VANCOUVER)
+        assert p.x == pytest.approx(0.0)
+        assert p.y == pytest.approx(0.0)
+
+    def test_north_is_positive_y(self):
+        proj = LocalProjection(VANCOUVER)
+        north = GeoPoint(VANCOUVER.lat + 0.01, VANCOUVER.lon)
+        assert proj.to_local(north).y > 0
+        assert proj.to_local(north).x == pytest.approx(0.0, abs=1e-6)
+
+    def test_east_is_positive_x(self):
+        proj = LocalProjection(VANCOUVER)
+        east = GeoPoint(VANCOUVER.lat, VANCOUVER.lon + 0.01)
+        assert proj.to_local(east).x > 0
+
+    def test_roundtrip(self):
+        proj = LocalProjection(VANCOUVER)
+        g = GeoPoint(49.28, -123.10)
+        back = proj.to_geo(proj.to_local(g))
+        assert back.lat == pytest.approx(g.lat, abs=1e-9)
+        assert back.lon == pytest.approx(g.lon, abs=1e-9)
+
+    def test_local_distance_matches_haversine_at_city_scale(self):
+        proj = LocalProjection(VANCOUVER)
+        g = GeoPoint(49.30, -123.00)  # ~11 km away
+        local = proj.to_local(g)
+        d_proj = Point(0, 0).distance_to(local)
+        d_hav = haversine_m(VANCOUVER, g)
+        assert d_proj == pytest.approx(d_hav, rel=0.005)
+
+    @given(
+        st.floats(min_value=-0.1, max_value=0.1),
+        st.floats(min_value=-0.1, max_value=0.1),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, dlat, dlon):
+        proj = LocalProjection(VANCOUVER)
+        g = GeoPoint(VANCOUVER.lat + dlat, VANCOUVER.lon + dlon)
+        back = proj.to_geo(proj.to_local(g))
+        assert back.lat == pytest.approx(g.lat, abs=1e-9)
+        assert back.lon == pytest.approx(g.lon, abs=1e-9)

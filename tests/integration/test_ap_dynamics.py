@@ -1,0 +1,94 @@
+"""AP-dynamics robustness (Section III.B), end to end.
+
+An AP goes out of service mid-day: scans stop containing it, the server
+rebuilds the route diagram without it, and tracking accuracy degrades only
+marginally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.positioning import BusTracker, SVDPositioner
+from repro.mobility import DispatchSchedule
+from repro.radio.dynamics import APDynamics, Outage
+from repro.sensing import CrowdSensingLayer
+from repro.sensing.route_id import PerfectRouteIdentifier
+
+
+@pytest.fixture(scope="module")
+def trip(small_world):
+    result = small_world.simulator.run(
+        [DispatchSchedule(route_id="rapid", first_s=12 * 3600.0,
+                          last_s=12 * 3600.0, headway_s=3600.0)],
+        num_days=1,
+    )
+    return result.trips[0]
+
+
+def median_error(world, trip, svd, reports):
+    tracker = BusTracker(SVDPositioner(svd, world.known_bssids))
+    errors = []
+    for report in reports:
+        tp = tracker.update(report)
+        if tp is not None:
+            errors.append(abs(tp.arc_length - trip.arc_at(report.t)))
+    return float(np.median(errors))
+
+
+class TestAPDynamicsEndToEnd:
+    def test_outage_degrades_gracefully(self, small_world, trip):
+        svd = small_world.svd_for("rapid")
+        # Kill the 15 APs that lead tiles around mid-route.
+        mid = small_world.routes["rapid"].length / 2
+        victims = {
+            svd.tile_at(mid + off).signature[0] for off in range(-300, 301, 40)
+        }
+        outages = [Outage(b, 0.0, 10**9) for b in victims]
+        layer = CrowdSensingLayer(
+            small_world.env,
+            dynamics=APDynamics(outages),
+            route_identifier=PerfectRouteIdentifier(),
+            seed=11,
+        )
+        reports = layer.reports_for_trip(trip)
+        # No dead AP ever appears in a scan.
+        for report in reports:
+            assert not victims & set(report.bssids)
+
+        rebuilt = svd.without_aps(victims)
+        err = median_error(small_world, trip, rebuilt, reports)
+        # Baseline with all APs alive:
+        healthy_layer = CrowdSensingLayer(
+            small_world.env,
+            route_identifier=PerfectRouteIdentifier(),
+            seed=11,
+        )
+        healthy = median_error(
+            small_world, trip, svd, healthy_layer.reports_for_trip(trip)
+        )
+        assert err < 4.0 * max(healthy, 3.0)
+
+    def test_stale_diagram_worse_than_rebuilt(self, small_world, trip):
+        """Rebuilding the diagram after churn must not hurt.
+
+        (With heavy churn a stale diagram's tiles reference dead APs and
+        matching degrades; the rebuilt diagram uses only live evidence.)
+        """
+        svd = small_world.svd_for("rapid")
+        rng = np.random.default_rng(5)
+        all_members = sorted({b for t in svd.tiles for b in t.signature})
+        victims = set(
+            rng.choice(all_members, size=len(all_members) // 3, replace=False)
+        )
+        layer = CrowdSensingLayer(
+            small_world.env,
+            dynamics=APDynamics([Outage(b, 0.0, 10**9) for b in victims]),
+            route_identifier=PerfectRouteIdentifier(),
+            seed=12,
+        )
+        reports = layer.reports_for_trip(trip)
+        rebuilt_err = median_error(
+            small_world, trip, svd.without_aps(victims), reports
+        )
+        stale_err = median_error(small_world, trip, svd, reports)
+        assert rebuilt_err <= stale_err * 1.25 + 2.0

@@ -1,0 +1,133 @@
+"""WiFi+GPS hybrid tracking across a coverage hole (Section VII).
+
+A route whose middle kilometre has no APs: the pure WiFi tracker goes
+blind there; the hybrid activates GPS after the silence threshold, keeps
+the trajectory alive, and hands back to WiFi (GPS off) once coverage
+returns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.positioning import (
+    BusTracker,
+    HybridTracker,
+    SimulatedGPSReceiver,
+    SVDPositioner,
+)
+from repro.core.svd import RoadSVD
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.radio import RadioEnvironment
+from repro.sensing import CrowdSensingLayer
+from repro.sensing.route_id import PerfectRouteIdentifier
+from tests.conftest import make_line_aps, make_straight_route
+
+
+@pytest.fixture(scope="module")
+def scene():
+    net, route = make_straight_route(length_m=3000.0, num_segments=6)
+    # APs only on the first and last kilometre: a coverage hole in the
+    # middle (x in [1000, 2000] has nothing within range).
+    aps = [
+        ap
+        for ap in make_line_aps(30, spacing=100.0)
+        if not 800.0 <= ap.position.x <= 2200.0
+    ]
+    env = RadioEnvironment(aps, seed=0)
+    sim = CitySimulator(net, [route], seed=4)
+    trip = sim.run(
+        [DispatchSchedule("r1", first_s=12 * 3600.0, last_s=12 * 3600.0,
+                          headway_s=3600.0)],
+        num_days=1,
+    ).trips[0]
+    sensing = CrowdSensingLayer(
+        env,
+        route_identifier=PerfectRouteIdentifier(),
+        include_empty_scans=True,
+        seed=5,
+    )
+    reports = sensing.reports_for_trip(trip)
+    svd = RoadSVD.from_environment(route, env, order=2, step_m=2.0)
+    known = {ap.bssid for ap in env.aps}
+    return {
+        "route": route,
+        "env": env,
+        "trip": trip,
+        "reports": reports,
+        "svd": svd,
+        "known": known,
+    }
+
+
+def make_hybrid(scene, **kw):
+    tracker = BusTracker(SVDPositioner(scene["svd"], scene["known"]))
+    gps = SimulatedGPSReceiver(scene["trip"], sigma_m=10.0, seed=1)
+    return HybridTracker(tracker, gps, **kw)
+
+
+class TestCoverageHole:
+    def test_empty_scans_present(self, scene):
+        empties = [r for r in scene["reports"] if not r.readings]
+        assert len(empties) > 5, "the coverage hole must produce silence"
+
+    def test_wifi_only_goes_blind(self, scene):
+        tracker = BusTracker(SVDPositioner(scene["svd"], scene["known"]))
+        fixes = []
+        for report in scene["reports"]:
+            tp = tracker.update(report)
+            if tp is not None:
+                fixes.append(tp)
+        in_hole = [p for p in fixes if 1200.0 < p.arc_length < 1800.0]
+        assert len(in_hole) <= 2
+
+    def test_hybrid_tracks_through_hole(self, scene):
+        hybrid = make_hybrid(scene)
+        for report in scene["reports"]:
+            hybrid.update(report)
+        arcs = hybrid.trajectory.arc_lengths()
+        in_hole = [a for a in arcs if 1200.0 < a < 1800.0]
+        assert len(in_hole) >= 3
+        assert hybrid.gps_fixes > 0
+        assert hybrid.wifi_fixes > 0
+
+    def test_gps_deactivates_when_wifi_returns(self, scene):
+        hybrid = make_hybrid(scene)
+        for report in scene["reports"]:
+            hybrid.update(report)
+        assert not hybrid.gps_active  # back on WiFi by trip end
+        assert hybrid.gps_activations == 1
+
+    def test_hybrid_accuracy(self, scene):
+        hybrid = make_hybrid(scene)
+        trip = scene["trip"]
+        errors = []
+        for report in scene["reports"]:
+            tp = hybrid.update(report)
+            if tp is not None:
+                errors.append(abs(tp.arc_length - trip.arc_at(report.t)))
+        assert np.median(errors) < 25.0
+
+    def test_trajectory_monotone_across_handover(self, scene):
+        hybrid = make_hybrid(scene)
+        for report in scene["reports"]:
+            hybrid.update(report)
+        arcs = hybrid.trajectory.arc_lengths()
+        assert all(b >= a for a, b in zip(arcs, arcs[1:]))
+
+    def test_methods_labelled(self, scene):
+        hybrid = make_hybrid(scene)
+        for report in scene["reports"]:
+            hybrid.update(report)
+        methods = {p.method for p in hybrid.trajectory.points}
+        assert "gps" in methods
+        assert methods - {"gps"}  # and WiFi methods too
+
+    def test_silence_threshold_respected(self, scene):
+        patient = make_hybrid(scene, silence_threshold_s=10_000.0)
+        for report in scene["reports"]:
+            patient.update(report)
+        assert patient.gps_fixes == 0
+
+    def test_rejects_bad_threshold(self, scene):
+        with pytest.raises(ValueError):
+            make_hybrid(scene, silence_threshold_s=0.0)

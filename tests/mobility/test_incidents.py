@@ -1,0 +1,59 @@
+import pytest
+
+from repro.mobility.incidents import Incident, IncidentSet
+
+
+def make(seg="s0", t0=0.0, t1=100.0, a0=0.0, a1=50.0, f=0.2):
+    return Incident(
+        segment_id=seg, t_start=t0, t_end=t1, arc_start=a0, arc_end=a1,
+        speed_factor=f,
+    )
+
+
+class TestIncident:
+    def test_active_window(self):
+        inc = make(t0=10.0, t1=20.0)
+        assert inc.active_at(10.0)
+        assert inc.active_at(19.99)
+        assert not inc.active_at(20.0)
+        assert not inc.active_at(5.0)
+
+    def test_rejects_empty_time_window(self):
+        with pytest.raises(ValueError):
+            make(t0=10.0, t1=10.0)
+
+    def test_rejects_empty_arc_interval(self):
+        with pytest.raises(ValueError):
+            make(a0=50.0, a1=50.0)
+
+    def test_rejects_negative_arc(self):
+        with pytest.raises(ValueError):
+            make(a0=-5.0, a1=10.0)
+
+    def test_rejects_bad_speed_factor(self):
+        with pytest.raises(ValueError):
+            make(f=0.0)
+        with pytest.raises(ValueError):
+            make(f=1.0)
+
+
+class TestIncidentSet:
+    def test_on_segment(self):
+        s = IncidentSet([make(seg="a"), make(seg="b")])
+        assert len(s.on_segment("a")) == 1
+        assert s.on_segment("c") == []
+
+    def test_active_on(self):
+        s = IncidentSet([make(seg="a", t0=0, t1=10), make(seg="a", t0=20, t1=30)])
+        assert len(s.active_on("a", 5.0)) == 1
+        assert len(s.active_on("a", 15.0)) == 0
+
+    def test_add_and_len(self):
+        s = IncidentSet()
+        assert len(s) == 0
+        s.add(make())
+        assert len(s) == 1
+
+    def test_all(self):
+        s = IncidentSet([make(seg="a"), make(seg="b")])
+        assert len(s.all()) == 2

@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.mobility.lights import NoTrafficLights, TrafficLightModel
+from repro.roadnet import RoadNetwork
+
+
+@pytest.fixture()
+def network_with_intersection():
+    net = RoadNetwork()
+    net.add_straight_segment("a", "n0", Point(0, 0), "x", Point(100, 0))
+    net.add_straight_segment("b", "x", Point(100, 0), "n2", Point(200, 0))
+    net.add_straight_segment("c", "x", Point(100, 0), "n3", Point(100, 100))
+    return net
+
+
+class TestTrafficLightModel:
+    def test_light_only_at_intersection(self, network_with_intersection):
+        lights = TrafficLightModel(network_with_intersection)
+        assert lights.has_light("x")
+        assert not lights.has_light("n0")
+        assert not lights.has_light("n2")
+
+    def test_wait_zero_without_light(self, network_with_intersection, rng):
+        lights = TrafficLightModel(
+            network_with_intersection, red_probability=1.0
+        )
+        assert lights.wait_at("n0", rng) == 0.0
+
+    def test_wait_bounds(self, network_with_intersection, rng):
+        lights = TrafficLightModel(
+            network_with_intersection,
+            red_probability=1.0,
+            min_wait_s=5.0,
+            max_wait_s=45.0,
+        )
+        waits = [lights.wait_at("x", rng) for _ in range(100)]
+        assert all(5.0 <= w <= 45.0 for w in waits)
+
+    def test_red_probability(self, network_with_intersection):
+        lights = TrafficLightModel(
+            network_with_intersection, red_probability=0.3
+        )
+        rng = np.random.default_rng(0)
+        reds = sum(
+            1 for _ in range(2000) if lights.wait_at("x", rng) > 0
+        )
+        assert reds / 2000 == pytest.approx(0.3, abs=0.05)
+
+    def test_no_lights_subclass(self, network_with_intersection, rng):
+        lights = NoTrafficLights(network_with_intersection)
+        assert lights.wait_at("x", rng) == 0.0
+
+    def test_rejects_bad_params(self, network_with_intersection):
+        with pytest.raises(ValueError):
+            TrafficLightModel(network_with_intersection, red_probability=1.5)
+        with pytest.raises(ValueError):
+            TrafficLightModel(
+                network_with_intersection, min_wait_s=50.0, max_wait_s=10.0
+            )

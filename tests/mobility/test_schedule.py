@@ -1,0 +1,50 @@
+import pytest
+
+from repro.mobility.schedule import DispatchSchedule, departure_times
+from repro.mobility.traffic import DAY_S
+
+
+class TestDepartureTimes:
+    def test_even_spacing(self):
+        times = departure_times(0.0, 3600.0, 900.0)
+        assert times == [0.0, 900.0, 1800.0, 2700.0, 3600.0]
+
+    def test_includes_last(self):
+        assert departure_times(0.0, 1000.0, 500.0)[-1] == 1000.0
+
+    def test_rejects_bad_headway(self):
+        with pytest.raises(ValueError):
+            departure_times(0.0, 100.0, 0.0)
+
+    def test_rejects_reversed_span(self):
+        with pytest.raises(ValueError):
+            departure_times(100.0, 0.0, 10.0)
+
+
+class TestDispatchSchedule:
+    def test_daily_count(self):
+        s = DispatchSchedule("r", first_s=0.0, last_s=3600.0, headway_s=600.0)
+        assert len(s.daily_departures()) == 7
+
+    def test_rush_headway_densifies(self):
+        base = DispatchSchedule("r", headway_s=900.0)
+        dense = DispatchSchedule("r", headway_s=900.0, rush_headway_s=300.0)
+        assert len(dense.daily_departures()) > len(base.daily_departures())
+
+    def test_rush_departures_in_window(self):
+        s = DispatchSchedule("r", headway_s=1800.0, rush_headway_s=300.0)
+        deps = s.daily_departures()
+        rush = [d for d in deps if 8 * 3600 <= d < 10 * 3600]
+        gaps = [b - a for a, b in zip(rush, rush[1:])]
+        assert gaps and max(gaps) <= 300.0 + 1e-9
+
+    def test_departures_for_days_offsets(self):
+        s = DispatchSchedule("r", first_s=100.0, last_s=200.0, headway_s=100.0)
+        deps = s.departures_for_days(2)
+        assert deps[0] == 100.0
+        assert DAY_S + 100.0 in deps
+
+    def test_rejects_zero_days(self):
+        s = DispatchSchedule("r")
+        with pytest.raises(ValueError):
+            s.departures_for_days(0)

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.mobility.traffic import TrafficModel
+from tests.conftest import make_straight_route
+
+
+@pytest.fixture()
+def sim():
+    net, route = make_straight_route(length_m=1000.0, num_segments=2)
+    return CitySimulator(net, [route], seed=1)
+
+
+class TestRun:
+    def test_trip_count_matches_schedule(self, sim):
+        schedules = [
+            DispatchSchedule("r1", first_s=0.0, last_s=3600.0, headway_s=1800.0)
+        ]
+        result = sim.run(schedules, num_days=2)
+        assert len(result.trips) == 3 * 2
+
+    def test_trips_sorted_by_departure(self, sim):
+        result = sim.run(sim.default_schedules(headway_s=3600.0), num_days=1)
+        deps = [t.departure_s for t in result.trips]
+        assert deps == sorted(deps)
+
+    def test_unique_trip_ids(self, sim):
+        result = sim.run(sim.default_schedules(headway_s=3600.0), num_days=2)
+        ids = [t.trip_id for t in result.trips]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic_across_runs(self):
+        net, route = make_straight_route()
+        r1 = CitySimulator(net, [route], seed=9).run(
+            [DispatchSchedule("r1", first_s=0, last_s=7200, headway_s=3600)], 1
+        )
+        r2 = CitySimulator(net, [route], seed=9).run(
+            [DispatchSchedule("r1", first_s=0, last_s=7200, headway_s=3600)], 1
+        )
+        for a, b in zip(r1.trips, r2.trips):
+            assert np.array_equal(a.times, b.times)
+            assert np.array_equal(a.arcs, b.arcs)
+
+    def test_unknown_route_in_schedule(self, sim):
+        with pytest.raises(KeyError):
+            sim.run([DispatchSchedule("nope")], 1)
+
+    def test_needs_routes(self):
+        net, _ = make_straight_route()
+        with pytest.raises(ValueError):
+            CitySimulator(net, [], seed=0)
+
+
+class TestResult:
+    def test_traversals_time_ordered(self, sim):
+        result = sim.run(sim.default_schedules(headway_s=3600.0), num_days=1)
+        entries = [tr.t_enter for tr in result.traversals()]
+        assert entries == sorted(entries)
+
+    def test_trips_of_route(self, sim):
+        result = sim.run(sim.default_schedules(headway_s=3600.0), num_days=1)
+        assert all(t.route_id == "r1" for t in result.trips_of_route("r1"))
+
+    def test_trip_lookup(self, sim):
+        result = sim.run(sim.default_schedules(headway_s=3600.0), num_days=1)
+        tid = result.trips[0].trip_id
+        assert result.trip(tid).trip_id == tid
+        with pytest.raises(KeyError):
+            result.trip("missing")
+
+    def test_time_span(self, sim):
+        result = sim.run(sim.default_schedules(headway_s=3600.0), num_days=1)
+        lo, hi = result.time_span
+        assert lo < hi
+
+
+class TestSharedCongestion:
+    def test_two_routes_same_segment_correlated(self):
+        """Buses of different routes minutes apart see similar conditions."""
+        net, r1 = make_straight_route(route_id="r1")
+        from repro.roadnet import BusRoute
+
+        r2 = BusRoute(
+            "r2",
+            net,
+            list(r1.segment_ids),
+            [
+                type(r1.stops[0])(
+                    stop_id=f"r2_{s.stop_id}",
+                    segment_id=s.segment_id,
+                    offset=s.offset,
+                )
+                for s in r1.stops
+            ],
+        )
+        traffic = TrafficModel(
+            congestion_sigma=0.4,
+            noise_sigma=0.0,
+            day_rush_sigma=0.0,
+            day_rush_segment_sigma=0.0,
+            day_base_sigma=0.0,
+            seed=3,
+        )
+        sim = CitySimulator(net, [r1, r2], traffic=traffic, seed=3)
+        # Sample the shared multiplier both routes would see.
+        seg = r1.segments[0]
+        m1 = traffic.moving_time(seg, "r1", 40_000.0)
+        m2 = traffic.moving_time(seg, "r2", 40_060.0)
+        assert m2 == pytest.approx(m1, rel=0.1)

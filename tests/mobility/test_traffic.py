@@ -1,0 +1,154 @@
+import numpy as np
+import pytest
+
+from repro.mobility.traffic import DAY_S, SeasonalProfile, TrafficModel
+from tests.conftest import make_straight_route
+
+
+@pytest.fixture()
+def segment():
+    net, route = make_straight_route(length_m=500.0, num_segments=1)
+    return route.segments[0]
+
+
+class TestSeasonalProfile:
+    def test_offpeak_is_one(self):
+        p = SeasonalProfile()
+        assert p.multiplier(3 * 3600.0) == pytest.approx(1.0)
+        assert p.multiplier(14 * 3600.0) == pytest.approx(1.0)
+
+    def test_morning_peak(self):
+        p = SeasonalProfile(morning_peak=0.8)
+        assert p.multiplier(9 * 3600.0) == pytest.approx(1.8)
+
+    def test_evening_peak(self):
+        p = SeasonalProfile(evening_peak=0.6)
+        assert p.multiplier(18.5 * 3600.0) == pytest.approx(1.6)
+
+    def test_ramp_is_continuous(self):
+        p = SeasonalProfile(ramp_s=1800.0)
+        start = 8 * 3600.0
+        values = [p.multiplier(start - 1800 + k * 100) for k in range(19)]
+        diffs = np.abs(np.diff(values))
+        assert diffs.max() < 0.15  # no jumps
+
+    def test_wraps_day(self):
+        p = SeasonalProfile()
+        assert p.multiplier(9 * 3600.0 + DAY_S) == p.multiplier(9 * 3600.0)
+
+    def test_never_below_one(self):
+        p = SeasonalProfile()
+        for h in range(0, 24):
+            assert p.multiplier(h * 3600.0) >= 1.0
+
+
+class TestTrafficModel:
+    def test_free_flow_time(self, segment):
+        model = TrafficModel(seed=0)
+        assert model.free_flow_time(segment, "r") == pytest.approx(
+            segment.length / segment.speed_limit_mps
+        )
+
+    def test_route_speed_factor(self, segment):
+        model = TrafficModel(route_speed_factors={"fast": 1.25}, seed=0)
+        slow = model.free_flow_time(segment, "other")
+        fast = model.free_flow_time(segment, "fast")
+        assert fast == pytest.approx(slow / 1.25)
+
+    def test_moving_time_deterministic_without_rng(self, segment):
+        model = TrafficModel(seed=0)
+        t1 = model.moving_time(segment, "r", 9 * 3600.0)
+        t2 = model.moving_time(segment, "r", 9 * 3600.0)
+        assert t1 == t2
+
+    def test_rush_slower_than_offpeak(self, segment):
+        model = TrafficModel(congestion_sigma=0.0, seed=0)
+        offpeak = model.moving_time(segment, "r", 14 * 3600.0)
+        rush = model.moving_time(segment, "r", 9 * 3600.0)
+        assert rush > offpeak
+
+    def test_congestion_shared_across_routes(self, segment):
+        model = TrafficModel(seed=0)
+        t = 9 * 3600.0
+        assert model.congestion_multiplier(
+            segment.segment_id, t
+        ) == model.congestion_multiplier(segment.segment_id, t)
+
+    def test_congestion_smooth_in_time(self, segment):
+        model = TrafficModel(congestion_timescale_s=1800.0, seed=0)
+        c0 = model.congestion_multiplier(segment.segment_id, 30_000.0)
+        c1 = model.congestion_multiplier(segment.segment_id, 30_060.0)
+        assert abs(c1 - c0) < 0.1 * max(c0, c1)
+
+    def test_day_rush_factor_varies_by_day(self, segment):
+        model = TrafficModel(day_rush_sigma=0.4, seed=0)
+        factors = {
+            model.day_rush_factor(segment.segment_id, d) for d in range(10)
+        }
+        assert len(factors) == 10
+
+    def test_day_factors_deterministic(self, segment):
+        m1 = TrafficModel(seed=5)
+        m2 = TrafficModel(seed=5)
+        assert m1.day_rush_factor("s", 3) == m2.day_rush_factor("s", 3)
+        assert m1.day_base_factor(3) == m2.day_base_factor(3)
+
+    def test_zero_day_sigmas_give_unit_factors(self, segment):
+        model = TrafficModel(
+            day_rush_sigma=0.0, day_rush_segment_sigma=0.0, day_base_sigma=0.0, seed=0
+        )
+        assert model.day_rush_factor("s", 1) == 1.0
+        assert model.day_base_factor(1) == 1.0
+
+    def test_congestion_sensitivity_damps_rush(self, segment):
+        base = dict(
+            congestion_sigma=0.0,
+            day_rush_sigma=0.0,
+            day_rush_segment_sigma=0.0,
+            day_base_sigma=0.0,
+            seed=0,
+        )
+        full = TrafficModel(**base)
+        damped = TrafficModel(
+            route_congestion_sensitivity={"rapid": 0.3}, **base
+        )
+        t_rush = 9 * 3600.0
+        tt_full = full.moving_time(segment, "rapid", t_rush)
+        tt_damped = damped.moving_time(segment, "rapid", t_rush)
+        free = full.free_flow_time(segment, "rapid")
+        assert tt_damped < tt_full
+        assert tt_damped == pytest.approx(free + 0.3 * (tt_full - free))
+
+    def test_noise_with_rng(self, segment):
+        model = TrafficModel(noise_sigma=0.1, seed=0)
+        rng = np.random.default_rng(0)
+        samples = {
+            model.moving_time(segment, "r", 14 * 3600.0, rng) for _ in range(5)
+        }
+        assert len(samples) == 5
+
+    def test_moving_time_positive(self, segment):
+        model = TrafficModel(seed=0)
+        rng = np.random.default_rng(0)
+        for t in np.linspace(0, 3 * DAY_S, 50):
+            assert model.moving_time(segment, "r", float(t), rng) > 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TrafficModel(congestion_sigma=-0.1)
+        with pytest.raises(ValueError):
+            TrafficModel(congestion_timescale_s=0.0)
+        with pytest.raises(ValueError):
+            TrafficModel(day_rush_sigma=-1.0)
+
+    def test_dwell_scale_peaks_in_rush(self, segment):
+        model = TrafficModel(seed=0)
+        offpeak = model.dwell_scale(14 * 3600.0)
+        rush = model.dwell_scale(9 * 3600.0)
+        assert offpeak == pytest.approx(1.0)
+        assert rush > 1.1
+
+    def test_seasonal_scale_in_range(self, segment):
+        model = TrafficModel(seed=0)
+        for sid in ("a", "b", "c", "d"):
+            assert 0.6 <= model.seasonal_scale(sid) <= 1.3

@@ -1,0 +1,224 @@
+import numpy as np
+import pytest
+
+from repro.mobility.incidents import Incident, IncidentSet
+from repro.mobility.lights import NoTrafficLights, TrafficLightModel
+from repro.mobility.traffic import TrafficModel
+from repro.mobility.trip import simulate_trip
+from tests.conftest import make_straight_route
+
+
+@pytest.fixture()
+def world():
+    net, route = make_straight_route(length_m=1000.0, num_segments=4, num_stops=5)
+    traffic = TrafficModel(
+        congestion_sigma=0.0,
+        noise_sigma=0.0,
+        day_rush_sigma=0.0,
+        day_rush_segment_sigma=0.0,
+        day_base_sigma=0.0,
+        seed=0,
+    )
+    return net, route, traffic
+
+
+def quiet_trip(net, route, traffic, t0=14 * 3600.0, **kw):
+    rng = np.random.default_rng(0)
+    return simulate_trip(
+        route,
+        t0,
+        traffic,
+        NoTrafficLights(net),
+        rng,
+        dwell_mean_s=0.0,
+        dwell_sigma_s=0.0,
+        **kw,
+    )
+
+
+class TestTripBasics:
+    def test_starts_at_departure(self, world):
+        trip = quiet_trip(*world)
+        assert trip.times[0] == 14 * 3600.0
+        assert trip.arcs[0] == 0.0
+
+    def test_ends_at_route_end(self, world):
+        trip = quiet_trip(*world)
+        assert trip.arcs[-1] == pytest.approx(1000.0)
+
+    def test_monotone_time_and_arc(self, world):
+        trip = quiet_trip(*world)
+        assert np.all(np.diff(trip.times) >= -1e-9)
+        assert np.all(np.diff(trip.arcs) >= -1e-9)
+
+    def test_duration_matches_traffic_model(self, world):
+        net, route, traffic = world
+        trip = quiet_trip(net, route, traffic)
+        expected = sum(
+            traffic.moving_time(seg, route.route_id, 14 * 3600.0)
+            for seg in route.segments
+        )
+        assert trip.duration_s == pytest.approx(expected, rel=0.01)
+
+    def test_one_traversal_per_segment(self, world):
+        net, route, traffic = world
+        trip = quiet_trip(net, route, traffic)
+        assert [tr.segment_id for tr in trip.traversals] == list(route.segment_ids)
+
+    def test_traversals_contiguous(self, world):
+        trip = quiet_trip(*world)
+        for a, b in zip(trip.traversals, trip.traversals[1:]):
+            assert b.t_enter == pytest.approx(a.t_exit)
+
+
+class TestArcAtAndTimeAt:
+    def test_arc_at_before_start(self, world):
+        trip = quiet_trip(*world)
+        assert trip.arc_at(trip.departure_s - 100) == 0.0
+
+    def test_arc_at_after_end(self, world):
+        trip = quiet_trip(*world)
+        assert trip.arc_at(trip.end_s + 100) == pytest.approx(1000.0)
+
+    def test_roundtrip_time_arc(self, world):
+        trip = quiet_trip(*world)
+        t = trip.departure_s + trip.duration_s / 3
+        arc = trip.arc_at(t)
+        assert trip.time_at_arc(arc) == pytest.approx(t, abs=0.5)
+
+    def test_time_at_arc_beyond_end(self, world):
+        trip = quiet_trip(*world)
+        assert trip.time_at_arc(5000.0) is None
+
+    def test_active_at(self, world):
+        trip = quiet_trip(*world)
+        assert trip.active_at(trip.departure_s + 1)
+        assert not trip.active_at(trip.departure_s - 1)
+
+
+class TestDwellsAndLights:
+    def test_dwell_increases_duration(self, world):
+        net, route, traffic = world
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        no_dwell = simulate_trip(
+            route, 0.0, traffic, NoTrafficLights(net), rng1,
+            dwell_mean_s=0.0, dwell_sigma_s=0.0,
+        )
+        with_dwell = simulate_trip(
+            route, 0.0, traffic, NoTrafficLights(net), rng2,
+            dwell_mean_s=30.0, dwell_sigma_s=0.0,
+        )
+        # 5 stops x 30 s dwell
+        assert with_dwell.duration_s - no_dwell.duration_s == pytest.approx(
+            150.0, abs=1.0
+        )
+
+    def test_dwell_pauses_at_stop_arcs(self, world):
+        net, route, traffic = world
+        rng = np.random.default_rng(0)
+        trip = simulate_trip(
+            route, 0.0, traffic, NoTrafficLights(net), rng,
+            dwell_mean_s=20.0, dwell_sigma_s=0.0,
+        )
+        # At a dwell the arc repeats in consecutive breakpoints.
+        pauses = {
+            round(float(a), 1)
+            for a, b, t0, t1 in zip(
+                trip.arcs, trip.arcs[1:], trip.times, trip.times[1:]
+            )
+            if a == b and t1 > t0
+        }
+        stop_arcs = {round(a, 1) for a in route.stop_arc_lengths()}
+        assert stop_arcs <= pauses
+
+    def test_lights_only_at_intersections(self, world):
+        net, route, traffic = world
+        # straight chain: interior nodes have degree 2, no lights
+        lights = TrafficLightModel(net, red_probability=1.0)
+        assert not lights.has_light("n1")
+
+    def test_red_light_waits_at_intersection(self):
+        # Build a network with a genuine intersection mid-route.
+        from repro.geometry import Point
+        from repro.roadnet import BusStop, BusRoute, RoadNetwork
+
+        net = RoadNetwork()
+        net.add_straight_segment("a", "n0", Point(0, 0), "n1", Point(500, 0))
+        net.add_straight_segment("b", "n1", Point(500, 0), "n2", Point(1000, 0))
+        net.add_straight_segment("x", "n1", Point(500, 0), "n3", Point(500, 500))
+        route = BusRoute(
+            "r", net, ["a", "b"],
+            [BusStop("s0", "a", 0.0), BusStop("s1", "b", 500.0)],
+        )
+        traffic = TrafficModel(
+            congestion_sigma=0.0, noise_sigma=0.0, day_rush_sigma=0.0,
+            day_rush_segment_sigma=0.0, day_base_sigma=0.0, seed=0,
+        )
+        always_red = TrafficLightModel(
+            net, red_probability=1.0, min_wait_s=30.0, max_wait_s=30.0
+        )
+        never_red = TrafficLightModel(net, red_probability=0.0)
+        t_red = simulate_trip(
+            route, 0.0, traffic, always_red, np.random.default_rng(0),
+            dwell_mean_s=0.0, dwell_sigma_s=0.0,
+        )
+        t_green = simulate_trip(
+            route, 0.0, traffic, never_red, np.random.default_rng(0),
+            dwell_mean_s=0.0, dwell_sigma_s=0.0,
+        )
+        assert t_red.duration_s - t_green.duration_s == pytest.approx(30.0, abs=0.5)
+
+
+class TestIncidents:
+    def test_incident_slows_trip(self, world):
+        net, route, traffic = world
+        incident = Incident(
+            segment_id="s1",
+            t_start=0.0,
+            t_end=10_000.0,
+            arc_start=50.0,
+            arc_end=200.0,
+            speed_factor=0.2,
+        )
+        normal = quiet_trip(net, route, traffic, t0=100.0)
+        slowed = quiet_trip(
+            net, route, traffic, t0=100.0, incidents=IncidentSet([incident])
+        )
+        assert slowed.duration_s > normal.duration_s * 1.5
+
+    def test_incident_outside_window_ignored(self, world):
+        net, route, traffic = world
+        incident = Incident(
+            segment_id="s1",
+            t_start=50_000.0,
+            t_end=60_000.0,
+            arc_start=50.0,
+            arc_end=200.0,
+            speed_factor=0.2,
+        )
+        normal = quiet_trip(net, route, traffic, t0=100.0)
+        same = quiet_trip(
+            net, route, traffic, t0=100.0, incidents=IncidentSet([incident])
+        )
+        assert same.duration_s == pytest.approx(normal.duration_s)
+
+    def test_slowdown_localised_to_zone(self, world):
+        net, route, traffic = world
+        incident = Incident(
+            segment_id="s1",  # covers route arcs 250..500
+            t_start=0.0,
+            t_end=100_000.0,
+            arc_start=100.0,
+            arc_end=200.0,  # route arcs 350..450
+            speed_factor=0.1,
+        )
+        trip = quiet_trip(
+            net, route, traffic, t0=100.0, incidents=IncidentSet([incident])
+        )
+        t_into_zone = trip.time_at_arc(350.0)
+        t_out_zone = trip.time_at_arc(450.0)
+        t_before = trip.time_at_arc(250.0)
+        zone_time = t_out_zone - t_into_zone
+        before_time = t_into_zone - t_before
+        # 100 m in the zone at 10% speed takes ~10x longer than 100 m before.
+        assert zone_time > 5 * before_time

@@ -1,0 +1,44 @@
+import pytest
+
+from repro.geometry import Point
+from repro.radio import AccessPoint
+from repro.radio.ap import make_bssid
+
+
+class TestAccessPoint:
+    def test_defaults(self):
+        ap = AccessPoint(bssid="02:00:00:00:00:01", ssid="x", position=Point(0, 0))
+        assert ap.geo_tagged
+        assert ap.tx_power_dbm == 18.0
+
+    def test_requires_bssid(self):
+        with pytest.raises(ValueError):
+            AccessPoint(bssid="", ssid="x", position=Point(0, 0))
+
+    def test_hashable(self):
+        ap = AccessPoint(bssid="02:00:00:00:00:01", ssid="x", position=Point(0, 0))
+        assert ap in {ap}
+
+
+class TestMakeBssid:
+    def test_format(self):
+        b = make_bssid(0)
+        parts = b.split(":")
+        assert len(parts) == 6
+        assert all(len(p) == 2 for p in parts)
+
+    def test_unique(self):
+        assert len({make_bssid(i) for i in range(1000)}) == 1000
+
+    def test_locally_administered_bit(self):
+        first_octet = int(make_bssid(5).split(":")[0], 16)
+        assert first_octet & 0x02
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_bssid(-1)
+        with pytest.raises(ValueError):
+            make_bssid(2**40)
+
+    def test_deterministic(self):
+        assert make_bssid(42) == make_bssid(42)

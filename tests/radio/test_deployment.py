@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.radio import deploy_aps_along_network, deploy_aps_along_route, deploy_aps_at
+from repro.roadnet.generators import build_corridor_city
+from tests.conftest import make_straight_route
+
+
+class TestDeployAt:
+    def test_positions_and_names(self):
+        aps = deploy_aps_at([Point(0, 0), Point(10, 10)], ssid_prefix="AP")
+        assert [ap.ssid for ap in aps] == ["AP1", "AP2"]
+        assert aps[1].position == Point(10, 10)
+
+    def test_unique_bssids(self):
+        aps = deploy_aps_at([Point(i, 0) for i in range(20)])
+        assert len({ap.bssid for ap in aps}) == 20
+
+    def test_start_index(self):
+        aps = deploy_aps_at([Point(0, 0)], start_index=5)
+        assert aps[0].ssid == "AP6"
+
+
+class TestDeployAlongRoute:
+    def test_density_scales_with_spacing(self):
+        _, route = make_straight_route(length_m=2000.0)
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        dense = deploy_aps_along_route(route, rng1, spacing_m=40.0)
+        sparse = deploy_aps_along_route(route, rng2, spacing_m=120.0)
+        assert len(dense) > 2 * len(sparse)
+
+    def test_aps_near_road(self):
+        _, route = make_straight_route(length_m=1000.0)
+        rng = np.random.default_rng(0)
+        aps = deploy_aps_along_route(route, rng, spacing_m=50.0, setback_m=(5.0, 15.0))
+        for ap in aps:
+            proj = route.polyline.project(ap.position)
+            assert proj.distance <= 15.0 + 1e-6
+
+    def test_deterministic_given_rng_seed(self):
+        _, route = make_straight_route(length_m=1000.0)
+        a = deploy_aps_along_route(route, np.random.default_rng(7))
+        b = deploy_aps_along_route(route, np.random.default_rng(7))
+        assert [ap.position for ap in a] == [ap.position for ap in b]
+
+
+class TestDeployAlongNetwork:
+    def test_covers_all_segments(self):
+        scenario = build_corridor_city()
+        rng = np.random.default_rng(0)
+        aps = deploy_aps_along_network(scenario.network, rng, spacing_m=100.0)
+        # every 500 m segment gets at least a few APs
+        assert len(aps) >= len(scenario.network)
+
+    def test_segment_subset(self):
+        scenario = build_corridor_city()
+        rng = np.random.default_rng(0)
+        subset = scenario.corridor_segment_ids[:2]
+        aps = deploy_aps_along_network(
+            scenario.network, rng, spacing_m=100.0, segment_ids=subset
+        )
+        for ap in aps:
+            assert ap.position.x <= 1100.0
+
+    def test_geo_tag_fraction(self):
+        scenario = build_corridor_city()
+        rng = np.random.default_rng(0)
+        aps = deploy_aps_along_network(
+            scenario.network, rng, spacing_m=100.0, geo_tag_fraction=0.0
+        )
+        assert all(not ap.geo_tagged for ap in aps)
+
+    def test_unique_bssids_across_network(self):
+        scenario = build_corridor_city()
+        rng = np.random.default_rng(0)
+        aps = deploy_aps_along_network(scenario.network, rng, spacing_m=80.0)
+        assert len({ap.bssid for ap in aps}) == len(aps)

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.radio import APDynamics, Outage
+
+
+class TestOutage:
+    def test_active_window(self):
+        o = Outage(bssid="a", t_start=100.0, t_end=200.0)
+        assert not o.active_at(99.9)
+        assert o.active_at(100.0)
+        assert o.active_at(199.9)
+        assert not o.active_at(200.0)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            Outage(bssid="a", t_start=100.0, t_end=100.0)
+
+
+class TestAPDynamics:
+    def test_alive_filters_down_aps(self):
+        dyn = APDynamics([Outage("b", 10.0, 20.0)])
+        assert dyn.alive(["a", "b", "c"], 15.0) == ["a", "c"]
+        assert dyn.alive(["a", "b", "c"], 25.0) == ["a", "b", "c"]
+
+    def test_is_alive(self):
+        dyn = APDynamics([Outage("b", 10.0, 20.0)])
+        assert not dyn.is_alive("b", 15.0)
+        assert dyn.is_alive("b", 5.0)
+        assert dyn.is_alive("a", 15.0)
+
+    def test_dead_at(self):
+        dyn = APDynamics([Outage("b", 10.0, 20.0), Outage("c", 12.0, 30.0)])
+        assert dyn.dead_at(15.0) == {"b", "c"}
+        assert dyn.dead_at(25.0) == {"c"}
+
+    def test_add(self):
+        dyn = APDynamics()
+        dyn.add(Outage("x", 0.0, 1.0))
+        assert len(dyn) == 1
+
+    def test_empty_dynamics_all_alive(self):
+        dyn = APDynamics()
+        assert dyn.alive(["a", "b"], 0.0) == ["a", "b"]
+
+
+class TestRandomOutages:
+    def test_fraction(self):
+        bssids = [f"ap{i}" for i in range(100)]
+        rng = np.random.default_rng(0)
+        dyn = APDynamics.random_outages(bssids, rng, fraction=0.2)
+        assert len(dyn) == 20
+
+    def test_distinct_victims(self):
+        bssids = [f"ap{i}" for i in range(50)]
+        rng = np.random.default_rng(0)
+        dyn = APDynamics.random_outages(bssids, rng, fraction=0.5)
+        victims = [o.bssid for o in dyn.outages]
+        assert len(set(victims)) == len(victims)
+
+    def test_zero_fraction(self):
+        rng = np.random.default_rng(0)
+        dyn = APDynamics.random_outages(["a", "b"], rng, fraction=0.0)
+        assert len(dyn) == 0
+
+    def test_rejects_bad_fraction(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            APDynamics.random_outages(["a"], rng, fraction=1.5)
+
+    def test_minimum_duration(self):
+        bssids = [f"ap{i}" for i in range(30)]
+        rng = np.random.default_rng(1)
+        dyn = APDynamics.random_outages(
+            bssids, rng, fraction=1.0, mean_duration_s=1.0
+        )
+        for o in dyn.outages:
+            assert o.t_end - o.t_start >= 60.0

@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.radio import AccessPoint, RadioEnvironment
+from repro.radio.ap import make_bssid
+from tests.conftest import make_line_aps
+
+
+class TestMeanField:
+    def test_deterministic(self, line_env):
+        p = Point(300, 0)
+        b = line_env.aps[0].bssid
+        assert line_env.mean_rss(p, b) == line_env.mean_rss(p, b)
+
+    def test_closer_ap_stronger_without_shadowing(self, line_env):
+        p = Point(55, 10)  # almost exactly at AP 1 (index 0)
+        rss0 = line_env.mean_rss(p, line_env.aps[0].bssid)
+        rss5 = line_env.mean_rss(p, line_env.aps[5].bssid)
+        assert rss0 > rss5
+
+    def test_unknown_ap_raises(self, line_env):
+        with pytest.raises(KeyError):
+            line_env.mean_rss(Point(0, 0), "no:such:ap")
+
+    def test_mean_rss_vector_all(self, line_env):
+        vec = line_env.mean_rss_vector(Point(100, 0))
+        assert len(vec) == len(line_env)
+
+    def test_duplicate_bssid_rejected(self):
+        ap = AccessPoint(bssid=make_bssid(1), ssid="x", position=Point(0, 0))
+        with pytest.raises(ValueError):
+            RadioEnvironment([ap, ap])
+
+
+class TestVisibility:
+    def test_visible_aps_above_threshold(self, line_env):
+        p = Point(55, 10)
+        visible = line_env.visible_aps(p)
+        assert line_env.aps[0].bssid in visible
+        for b in visible:
+            assert line_env.mean_rss(p, b) >= line_env.detection_threshold_dbm
+
+    def test_margin_reduces_visibility(self, line_env):
+        p = Point(500, 0)
+        assert len(line_env.visible_aps(p, margin_db=20.0)) <= len(
+            line_env.visible_aps(p)
+        )
+
+    def test_nearby_bssids_radius(self, line_env):
+        near = line_env.nearby_bssids(Point(55, 10), 60.0)
+        assert line_env.aps[0].bssid in near
+        assert line_env.aps[9].bssid not in near
+
+    def test_detection_range_covers_plain_budget(self, line_env):
+        # tx 18, threshold -88, n=3 -> ~158 m nominal; the conservative
+        # radius must exceed that.
+        assert line_env.max_detection_range_m() > 150.0
+
+
+class TestScan:
+    def test_readings_sorted_strongest_first(self, noisy_line_env, rng):
+        readings = noisy_line_env.scan(Point(300, 0), rng)
+        values = [r.rss_dbm for r in readings]
+        assert values == sorted(values, reverse=True)
+
+    def test_all_readings_above_threshold(self, noisy_line_env, rng):
+        for r in noisy_line_env.scan(Point(300, 0), rng):
+            assert r.rss_dbm >= noisy_line_env.detection_threshold_dbm
+
+    def test_noise_varies_between_scans(self, noisy_line_env, rng):
+        p = Point(300, 0)
+        s1 = noisy_line_env.scan(p, rng)
+        s2 = noisy_line_env.scan(p, rng)
+        assert any(
+            a.rss_dbm != b.rss_dbm for a, b in zip(s1, s2) if a.bssid == b.bssid
+        )
+
+    def test_zero_noise_scan_matches_mean(self, line_env, rng):
+        p = Point(300, 0)
+        for r in line_env.scan(p, rng):
+            assert r.rss_dbm == pytest.approx(line_env.mean_rss(p, r.bssid))
+
+    def test_device_bias_shifts_all_readings(self, line_env, rng):
+        p = Point(300, 0)
+        plain = {r.bssid: r.rss_dbm for r in line_env.scan(p, rng)}
+        biased = {
+            r.bssid: r.rss_dbm
+            for r in line_env.scan(p, rng, device_bias_db=5.0)
+        }
+        for b in plain:
+            assert biased[b] == pytest.approx(plain[b] + 5.0)
+
+    def test_bias_never_changes_rank_order(self, line_env, rng):
+        p = Point(320, 3)
+        order_plain = [r.bssid for r in line_env.scan(p, rng)]
+        order_biased = [
+            r.bssid for r in line_env.scan(p, rng, device_bias_db=-7.0)
+        ]
+        # Negative bias may drop weak APs below threshold, but the order
+        # of the survivors is unchanged.
+        assert order_biased == [b for b in order_plain if b in order_biased]
+
+    def test_active_bssids_restricts(self, line_env, rng):
+        p = Point(300, 0)
+        only = [line_env.aps[2].bssid]
+        readings = line_env.scan(p, rng, active_bssids=only)
+        assert {r.bssid for r in readings} <= set(only)
+
+
+class TestWithoutAps:
+    def test_removes_ap(self, line_env):
+        victim = line_env.aps[0].bssid
+        reduced = line_env.without_aps([victim])
+        assert not reduced.has_ap(victim)
+        assert len(reduced) == len(line_env) - 1
+
+    def test_surviving_fields_unchanged(self, line_env):
+        victim = line_env.aps[0].bssid
+        keeper = line_env.aps[1].bssid
+        reduced = line_env.without_aps([victim])
+        p = Point(123, 4)
+        assert reduced.mean_rss(p, keeper) == line_env.mean_rss(p, keeper)
+
+
+class TestGeoTagging:
+    def test_geo_tagged_filter(self):
+        aps = make_line_aps(4)
+        untagged = AccessPoint(
+            bssid=make_bssid(99),
+            ssid="mystery",
+            position=Point(0, 0),
+            geo_tagged=False,
+        )
+        env = RadioEnvironment(aps + [untagged], seed=0)
+        tagged = {ap.bssid for ap in env.geo_tagged_aps()}
+        assert untagged.bssid not in tagged
+        assert len(tagged) == 4

@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.geometry import GeoPoint, LocalProjection
+from repro.radio import aps_from_dict, aps_to_dict, load_aps, save_aps
+from tests.conftest import make_line_aps
+
+
+@pytest.fixture()
+def aps():
+    return make_line_aps(8)
+
+
+class TestPlanarRoundTrip:
+    def test_roundtrip(self, tmp_path, aps):
+        path = tmp_path / "aps.json"
+        save_aps(path, aps)
+        loaded = load_aps(path)
+        assert loaded == aps
+
+    def test_dict_roundtrip(self, aps):
+        assert aps_from_dict(aps_to_dict(aps)) == aps
+
+
+class TestGeoRoundTrip:
+    def test_roundtrip_via_projection(self, tmp_path, aps):
+        proj = LocalProjection(GeoPoint(49.26, -123.14))
+        path = tmp_path / "aps_geo.json"
+        save_aps(path, aps, projection=proj)
+        loaded = load_aps(path, projection=proj)
+        for a, b in zip(aps, loaded):
+            assert a.bssid == b.bssid
+            assert a.position.distance_to(b.position) < 0.01
+
+    def test_geo_requires_projection(self, aps):
+        proj = LocalProjection(GeoPoint(49.26, -123.14))
+        data = aps_to_dict(aps, projection=proj)
+        with pytest.raises(ValueError):
+            aps_from_dict(data)
+
+
+class TestValidation:
+    def test_bad_version(self, aps):
+        data = aps_to_dict(aps)
+        data["version"] = 42
+        with pytest.raises(ValueError):
+            aps_from_dict(data)
+
+    def test_defaults_fill_in(self):
+        data = {"aps": [{"bssid": "aa:bb", "x": 1.0, "y": 2.0}]}
+        (ap,) = aps_from_dict(data)
+        assert ap.geo_tagged
+        assert ap.tx_power_dbm == 18.0

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.radio import FreeSpacePathLoss, LogDistancePathLoss, ShadowingField
+
+
+class TestLogDistance:
+    def test_loss_at_reference(self):
+        pl = LogDistancePathLoss(exponent=3.0, pl0_db=40.0)
+        assert pl.path_loss_db(1.0) == pytest.approx(40.0)
+
+    def test_decade_adds_10n(self):
+        pl = LogDistancePathLoss(exponent=3.0, pl0_db=40.0)
+        assert pl.path_loss_db(10.0) - pl.path_loss_db(1.0) == pytest.approx(30.0)
+
+    def test_clamps_below_dmin(self):
+        pl = LogDistancePathLoss(d_min_m=1.0)
+        assert pl.path_loss_db(0.01) == pl.path_loss_db(1.0)
+
+    def test_monotone_in_distance(self):
+        pl = LogDistancePathLoss()
+        losses = [pl.path_loss_db(d) for d in (1, 5, 20, 100, 400)]
+        assert losses == sorted(losses)
+
+    def test_free_space_exponent(self):
+        assert FreeSpacePathLoss().exponent == 2.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=-1.0)
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(d0_m=0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=50)
+    def test_loss_nonnegative_beyond_reference(self, d):
+        pl = LogDistancePathLoss(exponent=3.0, pl0_db=40.0)
+        assert pl.path_loss_db(d) >= 40.0
+
+
+class TestShadowingField:
+    def test_deterministic(self):
+        f1 = ShadowingField.for_key("aa:bb", base_seed=7)
+        f2 = ShadowingField.for_key("aa:bb", base_seed=7)
+        p = Point(12.3, 45.6)
+        assert f1.value_at(p) == f2.value_at(p)
+
+    def test_different_keys_differ(self):
+        p = Point(10, 10)
+        f1 = ShadowingField.for_key("aa:bb", base_seed=7)
+        f2 = ShadowingField.for_key("cc:dd", base_seed=7)
+        assert f1.value_at(p) != f2.value_at(p)
+
+    def test_zero_sigma_is_flat(self):
+        f = ShadowingField(sigma_db=0.0, correlation_m=30.0, seed=1)
+        assert f.value_at(Point(5, 5)) == 0.0
+
+    def test_spatial_correlation(self):
+        """Nearby points correlate strongly; distant ones much less."""
+        f = ShadowingField(sigma_db=4.0, correlation_m=40.0, seed=3)
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 5000, size=(400, 2))
+        v0 = np.array([f.value_at(Point(x, y)) for x, y in base])
+        v_near = np.array([f.value_at(Point(x + 2.0, y)) for x, y in base])
+        v_far = np.array([f.value_at(Point(x + 500.0, y)) for x, y in base])
+        corr_near = np.corrcoef(v0, v_near)[0, 1]
+        corr_far = np.corrcoef(v0, v_far)[0, 1]
+        assert corr_near > 0.9
+        assert abs(corr_far) < 0.4
+
+    def test_marginal_std_close_to_sigma(self):
+        f = ShadowingField(sigma_db=4.0, correlation_m=40.0, seed=3)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 10_000, size=(2000, 2))
+        vals = np.array([f.value_at(Point(x, y)) for x, y in pts])
+        assert vals.std() == pytest.approx(4.0, rel=0.3)
+
+    def test_vectorised_matches_scalar(self):
+        f = ShadowingField(sigma_db=4.0, correlation_m=40.0, seed=3)
+        xs = np.array([0.0, 10.0, 100.0])
+        ys = np.array([5.0, -3.0, 7.0])
+        vec = f.values_at(xs, ys)
+        for x, y, v in zip(xs, ys, vec):
+            assert v == pytest.approx(f.value_at(Point(x, y)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ShadowingField(sigma_db=-1.0, correlation_m=10.0, seed=0)
+        with pytest.raises(ValueError):
+            ShadowingField(sigma_db=1.0, correlation_m=0.0, seed=0)

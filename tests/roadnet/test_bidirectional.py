@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.roadnet import (
+    add_reverse_direction,
+    build_corridor_city,
+    overlapped_segment_ids,
+    route_overlap_table,
+)
+
+
+@pytest.fixture(scope="module")
+def both_ways():
+    return add_reverse_direction(build_corridor_city())
+
+
+class TestStructure:
+    def test_eight_routes(self, both_ways):
+        assert len(both_ways.routes) == 8
+        assert {rid for rid in both_ways.routes if rid.endswith("_r")} == {
+            "rapid_r", "9_r", "14_r", "16_r",
+        }
+
+    def test_reverse_routes_valid_chains(self, both_ways):
+        for rid, route in both_ways.routes.items():
+            both_ways.network.validate_chain(route.segment_ids)
+
+    def test_reverse_lengths_match_forward(self, both_ways):
+        for rid in ("rapid", "9", "14", "16"):
+            assert both_ways.routes[f"{rid}_r"].length == pytest.approx(
+                both_ways.routes[rid].length
+            )
+
+    def test_reverse_stop_counts_match(self, both_ways):
+        for rid in ("rapid", "9", "14", "16"):
+            assert (
+                both_ways.routes[f"{rid}_r"].num_stops
+                == both_ways.routes[rid].num_stops
+            )
+
+    def test_directions_never_share_directed_segments(self, both_ways):
+        forward = {
+            sid
+            for rid, r in both_ways.routes.items()
+            if not rid.endswith("_r")
+            for sid in r.segment_ids
+        }
+        backward = {
+            sid
+            for rid, r in both_ways.routes.items()
+            if rid.endswith("_r")
+            for sid in r.segment_ids
+        }
+        assert not forward & backward
+
+    def test_table1_unchanged_for_forward_routes(self, both_ways):
+        fwd = [
+            r for rid, r in both_ways.routes.items() if not rid.endswith("_r")
+        ]
+        for row in route_overlap_table(fwd):
+            assert row.overlapped_length_km in (13.0, 16.2, 9.5)
+
+    def test_reverse_overlap_mirrors_forward(self, both_ways):
+        rev = [r for rid, r in both_ways.routes.items() if rid.endswith("_r")]
+        table = {s.route_id: s.overlapped_length_km for s in route_overlap_table(rev)}
+        assert table["rapid_r"] == pytest.approx(13.0, abs=0.05)
+        assert table["16_r"] == pytest.approx(9.5, abs=0.05)
+
+    def test_reverse_geometry_mirrored(self, both_ways):
+        fwd = both_ways.routes["rapid"]
+        rev = both_ways.routes["rapid_r"]
+        # The reverse route starts where the forward one ends.
+        assert rev.point_at(0.0).distance_to(
+            fwd.point_at(fwd.length)
+        ) < 1e-6
+        # Midpoints coincide (same street, opposite heading).
+        assert rev.point_at(rev.length / 2).distance_to(
+            fwd.point_at(fwd.length / 2)
+        ) < 1e-6
+
+    def test_mirrored_stop_positions(self, both_ways):
+        fwd = both_ways.routes["9"]
+        rev = both_ways.routes["9_r"]
+        fwd_arcs = fwd.stop_arc_lengths()
+        rev_arcs = rev.stop_arc_lengths()
+        for a, b in zip(fwd_arcs, reversed(rev_arcs)):
+            assert a == pytest.approx(fwd.length - b, abs=1e-6)
+
+    def test_idempotent_network_extension(self, both_ways):
+        # Re-deriving from an already-extended network must not error on
+        # duplicate reverse segments for the forward routes.
+        again = add_reverse_direction(
+            type(both_ways)(
+                network=both_ways.network,
+                routes={
+                    rid: r
+                    for rid, r in both_ways.routes.items()
+                    if not rid.endswith("_r")
+                },
+                corridor_segment_ids=both_ways.corridor_segment_ids,
+            )
+        )
+        assert len(again.routes) == 8
+
+
+class TestBidirectionalSimulation:
+    def test_both_directions_run(self, both_ways):
+        sim = CitySimulator(
+            both_ways.network, list(both_ways.routes.values()), seed=5
+        )
+        result = sim.run(
+            [
+                DispatchSchedule(route_id=rid, first_s=8 * 3600.0,
+                                 last_s=8 * 3600.0, headway_s=3600.0)
+                for rid in ("9", "9_r")
+            ],
+            num_days=1,
+        )
+        fwd = result.trips_of_route("9")[0]
+        rev = result.trips_of_route("9_r")[0]
+        # Opposite directions: positions diverge over the trip.
+        t = fwd.departure_s + 600.0
+        assert fwd.point_at(t).distance_to(rev.point_at(t)) > 1000.0
+
+    def test_directions_have_independent_travel_times(self, both_ways):
+        """Morning rush hits directions differently (separate directed
+        segments, separate congestion processes)."""
+        sim = CitySimulator(
+            both_ways.network, list(both_ways.routes.values()), seed=5
+        )
+        traffic = sim.traffic
+        seg_f = both_ways.network.segment("broadway_10")
+        seg_r = both_ways.network.segment("broadway_10_r")
+        t = 9 * 3600.0
+        m_f = traffic.congestion_multiplier(seg_f.segment_id, t)
+        m_r = traffic.congestion_multiplier(seg_r.segment_id, t)
+        assert m_f != m_r

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.roadnet.generators import (
+    build_campus_road,
+    build_corridor_city,
+    build_grid_city,
+)
+
+
+class TestCorridorCity:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_corridor_city()
+
+    def test_four_routes(self, scenario):
+        assert set(scenario.routes) == {"rapid", "9", "14", "16"}
+
+    def test_routes_are_connected_chains(self, scenario):
+        for route in scenario.route_list:
+            scenario.network.validate_chain(route.segment_ids)
+
+    def test_corridor_is_13km(self, scenario):
+        total = sum(
+            scenario.network.segment(sid).length
+            for sid in scenario.corridor_segment_ids
+        )
+        assert total == pytest.approx(13_000.0)
+
+    def test_route_16_leaves_corridor_at_6300(self, scenario):
+        r16 = scenario.routes["16"]
+        corridor_part = [
+            sid for sid in r16.segment_ids if sid.startswith("broadway")
+        ]
+        total = sum(scenario.network.segment(s).length for s in corridor_part)
+        assert total == pytest.approx(6_300.0)
+
+    def test_stop_counts(self, scenario):
+        assert scenario.routes["rapid"].num_stops == 19
+        assert scenario.routes["9"].num_stops == 65
+        assert scenario.routes["14"].num_stops == 74
+        assert scenario.routes["16"].num_stops == 91
+
+    def test_stops_ordered_along_route(self, scenario):
+        for route in scenario.route_list:
+            arcs = route.stop_arc_lengths()
+            assert arcs == sorted(arcs)
+
+    def test_first_and_last_stop_at_route_ends(self, scenario):
+        for route in scenario.route_list:
+            arcs = route.stop_arc_lengths()
+            assert arcs[0] == pytest.approx(0.0, abs=1.0)
+            assert arcs[-1] == pytest.approx(route.length, abs=1.0)
+
+    def test_shared_segments_traversed_same_direction(self, scenario):
+        # A segment id appearing in two routes is by construction the same
+        # directed edge; verify the chains agree on its orientation.
+        for route in scenario.route_list:
+            for sid in route.segment_ids:
+                seg = scenario.network.segment(sid)
+                assert seg.start_node != seg.end_node
+
+
+class TestGridCity:
+    def test_dimensions(self):
+        net = build_grid_city(rows=3, cols=4, block_m=100.0)
+        # 3 rows x 3 EW segments + 4 cols x 2 NS segments
+        assert len(net) == 3 * 3 + 4 * 2
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            build_grid_city(rows=1, cols=5)
+
+    def test_interior_nodes_are_intersections(self):
+        net = build_grid_city(rows=3, cols=3, block_m=100.0)
+        assert net.is_intersection("G1_1")
+
+
+class TestCampusRoad:
+    def test_single_segment_route(self):
+        net, route = build_campus_road()
+        assert len(route.segment_ids) == 1
+        assert route.num_stops == 2
+
+    def test_curved_longer_than_straight(self):
+        _, curved = build_campus_road(curved=True)
+        _, straight = build_campus_road(curved=False)
+        assert curved.length > straight.length
+
+    def test_requested_length_straight(self):
+        _, route = build_campus_road(length_m=250.0, curved=False)
+        assert route.length == pytest.approx(250.0)

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.roadnet import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    route_overlap_table,
+    save_network,
+)
+from repro.roadnet.generators import build_corridor_city
+
+
+class TestRoundTrip:
+    def test_network_roundtrip(self, tmp_path, corridor_scenario):
+        path = tmp_path / "city.json"
+        save_network(
+            path, corridor_scenario.network, corridor_scenario.route_list
+        )
+        network, routes = load_network(path)
+        assert len(network) == len(corridor_scenario.network)
+        assert network.total_length() == pytest.approx(
+            corridor_scenario.network.total_length()
+        )
+        assert {r.route_id for r in routes} == set(corridor_scenario.routes)
+
+    def test_routes_preserve_structure(self, tmp_path, corridor_scenario):
+        path = tmp_path / "city.json"
+        save_network(
+            path, corridor_scenario.network, corridor_scenario.route_list
+        )
+        _, routes = load_network(path)
+        original = {r.route_id: r for r in corridor_scenario.route_list}
+        for route in routes:
+            orig = original[route.route_id]
+            assert route.segment_ids == orig.segment_ids
+            assert route.num_stops == orig.num_stops
+            assert route.length == pytest.approx(orig.length)
+
+    def test_table1_survives_roundtrip(self, tmp_path, corridor_scenario):
+        path = tmp_path / "city.json"
+        save_network(
+            path, corridor_scenario.network, corridor_scenario.route_list
+        )
+        _, routes = load_network(path)
+        before = {
+            s.route_id: s.overlapped_length_m
+            for s in route_overlap_table(corridor_scenario.route_list)
+        }
+        after = {
+            s.route_id: s.overlapped_length_m
+            for s in route_overlap_table(routes)
+        }
+        assert after == pytest.approx(before)
+
+    def test_without_routes(self, corridor_scenario):
+        data = network_to_dict(corridor_scenario.network)
+        network, routes = network_from_dict(data)
+        assert routes == []
+        assert len(network) == len(corridor_scenario.network)
+
+    def test_bad_version_rejected(self, corridor_scenario):
+        data = network_to_dict(corridor_scenario.network)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            network_from_dict(data)

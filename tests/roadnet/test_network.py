@@ -1,0 +1,111 @@
+import pytest
+
+from repro.geometry import Point, Polyline
+from repro.roadnet import RoadNetwork, RoadNetworkError, RoadSegment
+
+
+def seg(sid, a, pa, b, pb):
+    return RoadSegment(
+        segment_id=sid, start_node=a, end_node=b, polyline=Polyline([pa, pb])
+    )
+
+
+@pytest.fixture()
+def tee_network():
+    """Three segments meeting at node 'm' (an intersection)."""
+    net = RoadNetwork()
+    net.add_segment(seg("w", "a", Point(0, 0), "m", Point(100, 0)))
+    net.add_segment(seg("e", "m", Point(100, 0), "b", Point(200, 0)))
+    net.add_segment(seg("n", "m", Point(100, 0), "c", Point(100, 100)))
+    return net
+
+
+class TestConstruction:
+    def test_add_segment_creates_nodes(self, tee_network):
+        assert set(tee_network.nodes()) == {"a", "m", "b", "c"}
+
+    def test_duplicate_segment_id_rejected(self, tee_network):
+        with pytest.raises(RoadNetworkError):
+            tee_network.add_segment(
+                seg("w", "x", Point(0, 50), "y", Point(50, 50))
+            )
+
+    def test_conflicting_node_position_rejected(self, tee_network):
+        with pytest.raises(RoadNetworkError):
+            tee_network.add_node("a", Point(5, 5))
+
+    def test_readding_node_same_position_ok(self, tee_network):
+        tee_network.add_node("a", Point(0, 0))
+
+    def test_geometry_must_meet_nodes(self):
+        net = RoadNetwork()
+        net.add_node("a", Point(0, 0))
+        bad = seg("s", "a", Point(10, 10), "b", Point(20, 20))
+        with pytest.raises(RoadNetworkError):
+            net.add_segment(bad)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            RoadSegment(
+                segment_id="x",
+                start_node="a",
+                end_node="a",
+                polyline=Polyline([Point(0, 0), Point(1, 1)]),
+            )
+
+
+class TestQueries:
+    def test_segment_lookup(self, tee_network):
+        assert tee_network.segment("w").length == pytest.approx(100.0)
+
+    def test_unknown_segment_raises(self, tee_network):
+        with pytest.raises(RoadNetworkError):
+            tee_network.segment("nope")
+
+    def test_unknown_node_raises(self, tee_network):
+        with pytest.raises(RoadNetworkError):
+            tee_network.node_position("nope")
+
+    def test_out_segments(self, tee_network):
+        out_ids = {s.segment_id for s in tee_network.out_segments("m")}
+        assert out_ids == {"e", "n"}
+
+    def test_in_segments(self, tee_network):
+        in_ids = {s.segment_id for s in tee_network.in_segments("m")}
+        assert in_ids == {"w"}
+
+    def test_is_intersection(self, tee_network):
+        assert tee_network.is_intersection("m")
+        assert not tee_network.is_intersection("a")
+
+    def test_total_length(self, tee_network):
+        assert tee_network.total_length() == pytest.approx(300.0)
+
+    def test_len(self, tee_network):
+        assert len(tee_network) == 3
+
+    def test_bounding_box(self, tee_network):
+        lo, hi = tee_network.bounding_box()
+        assert lo == Point(0, 0)
+        assert hi == Point(200, 100)
+
+    def test_empty_bounding_box_raises(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork().bounding_box()
+
+
+class TestValidateChain:
+    def test_valid_chain(self, tee_network):
+        tee_network.validate_chain(["w", "e"])
+
+    def test_disconnected_chain_rejected(self, tee_network):
+        with pytest.raises(RoadNetworkError):
+            tee_network.validate_chain(["e", "n"])
+
+    def test_empty_chain_rejected(self, tee_network):
+        with pytest.raises(RoadNetworkError):
+            tee_network.validate_chain([])
+
+    def test_unknown_segment_in_chain(self, tee_network):
+        with pytest.raises(RoadNetworkError):
+            tee_network.validate_chain(["w", "zz"])

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.roadnet import (
+    format_overlap_table,
+    overlapped_segment_ids,
+    route_overlap_table,
+    routes_sharing_segment,
+    shared_segments,
+)
+from repro.roadnet.generators import build_corridor_city
+
+
+@pytest.fixture(scope="module")
+def routes():
+    return build_corridor_city().route_list
+
+
+class TestSharedSegments:
+    def test_corridor_shared_by_three(self, routes):
+        usage = shared_segments(routes)
+        assert usage["broadway_00"] >= {"rapid", "9", "14"}
+
+    def test_tails_unique(self, routes):
+        usage = shared_segments(routes)
+        assert usage["rapid_tail_00"] == {"rapid"}
+        assert usage["r9_tail_00"] == {"9"}
+
+    def test_branch_shared_by_14_and_16(self, routes):
+        usage = shared_segments(routes)
+        assert usage["branch_00"] == {"14", "16"}
+
+    def test_overlapped_ids_exclude_unique(self, routes):
+        overlapped = overlapped_segment_ids(routes)
+        assert "broadway_00" in overlapped
+        assert "rapid_tail_00" not in overlapped
+
+    def test_routes_sharing_segment(self, routes):
+        sharing = routes_sharing_segment("branch_00", routes)
+        assert {r.route_id for r in sharing} == {"14", "16"}
+
+
+class TestTable1:
+    """The reproduction of Table I must match the paper exactly."""
+
+    PAPER = {
+        "rapid": (19, 13.7, 13.0),
+        "9": (65, 16.3, 13.0),
+        "14": (74, 20.6, 16.2),
+        "16": (91, 18.3, 9.5),
+    }
+
+    def test_all_rows_match_paper(self, routes):
+        for row in route_overlap_table(routes):
+            stops, length, overlap = self.PAPER[row.route_id]
+            assert row.num_stops == stops
+            assert row.length_km == pytest.approx(length, abs=0.05)
+            assert row.overlapped_length_km == pytest.approx(overlap, abs=0.05)
+
+    def test_overlap_never_exceeds_length(self, routes):
+        for row in route_overlap_table(routes):
+            assert row.overlapped_length_m <= row.length_m + 1e-6
+
+    def test_format_contains_all_routes(self, routes):
+        text = format_overlap_table(route_overlap_table(routes))
+        for rid in self.PAPER:
+            assert rid in text

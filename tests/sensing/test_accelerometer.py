@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.mobility.lights import NoTrafficLights
+from repro.mobility.traffic import TrafficModel
+from repro.mobility.trip import simulate_trip
+from repro.sensing import AccelerometerTrigger, CrowdSensingLayer
+from repro.radio import RadioEnvironment
+from repro.sensing.route_id import PerfectRouteIdentifier
+from tests.conftest import make_line_aps, make_straight_route
+
+
+@pytest.fixture()
+def dwelling_trip():
+    """A trip with deterministic 30 s dwells at its 3 stops."""
+    net, route = make_straight_route(length_m=1000.0, num_segments=2, num_stops=3)
+    traffic = TrafficModel(
+        congestion_sigma=0.0, noise_sigma=0.0, day_rush_sigma=0.0,
+        day_rush_segment_sigma=0.0, day_base_sigma=0.0, seed=0,
+    )
+    rng = np.random.default_rng(0)
+    return simulate_trip(
+        route, 1000.0, traffic, NoTrafficLights(net), rng,
+        dwell_mean_s=30.0, dwell_sigma_s=0.0,
+    )
+
+
+class TestEvents:
+    def test_halts_at_stops(self, dwelling_trip):
+        trigger = AccelerometerTrigger(min_halt_s=5.0)
+        events = trigger.events_for_trip(dwelling_trip)
+        halts = [e for e in events if e.kind == "halt"]
+        # stops at arcs 0, 500, 1000 -> three dwells
+        assert len(halts) == 3
+
+    def test_resume_follows_halt(self, dwelling_trip):
+        trigger = AccelerometerTrigger(min_halt_s=5.0)
+        events = trigger.events_for_trip(dwelling_trip)
+        kinds = [e.kind for e in events]
+        for a, b in zip(kinds, kinds[1:]):
+            if a == "halt":
+                assert b == "resume" or b == "halt" and False
+
+    def test_events_time_ordered(self, dwelling_trip):
+        trigger = AccelerometerTrigger(min_halt_s=5.0)
+        times = [e.t for e in trigger.events_for_trip(dwelling_trip)]
+        assert times == sorted(times)
+
+    def test_min_halt_filters_short_pauses(self, dwelling_trip):
+        strict = AccelerometerTrigger(min_halt_s=100.0)
+        assert strict.events_for_trip(dwelling_trip) == []
+
+    def test_halt_duration_matches_dwell(self, dwelling_trip):
+        trigger = AccelerometerTrigger(min_halt_s=5.0)
+        events = trigger.events_for_trip(dwelling_trip)
+        halt = next(e for e in events if e.kind == "halt")
+        resume = next(e for e in events if e.kind == "resume")
+        assert resume.t - halt.t == pytest.approx(30.0, abs=1.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AccelerometerTrigger(speed_threshold_mps=0.0)
+
+
+class TestScanTimes:
+    def test_extra_scans_added(self, dwelling_trip):
+        trigger = AccelerometerTrigger(min_halt_s=5.0)
+        base = np.arange(
+            dwelling_trip.departure_s, dwelling_trip.end_s, 10.0
+        )
+        times = trigger.scan_times_for_trip(dwelling_trip, base_period_s=10.0)
+        assert len(times) >= len(base)
+        assert times == sorted(times)
+
+    def test_crowd_layer_integration(self, dwelling_trip):
+        env = RadioEnvironment(make_line_aps(10), seed=0)
+        plain = CrowdSensingLayer(
+            env, route_identifier=PerfectRouteIdentifier(), seed=1
+        )
+        triggered = CrowdSensingLayer(
+            env,
+            route_identifier=PerfectRouteIdentifier(),
+            accelerometer=AccelerometerTrigger(min_halt_s=5.0),
+            seed=1,
+        )
+        n_plain = len(plain.reports_for_trip(dwelling_trip))
+        n_triggered = len(triggered.reports_for_trip(dwelling_trip))
+        assert n_triggered >= n_plain

@@ -1,0 +1,48 @@
+import pytest
+
+from repro.sensing.energy import EnergyModel
+
+
+class TestEnergyModel:
+    def test_wifi_trip_cost(self):
+        m = EnergyModel(wifi_scan_j=0.5, upload_j=0.1)
+        assert m.wifi_trip_cost(10) == pytest.approx(6.0)
+
+    def test_gps_trip_cost_includes_acquisition(self):
+        m = EnergyModel(gps_fix_j=0.4, gps_acquisition_j=15.0, upload_j=0.0)
+        assert m.gps_trip_cost(10) == pytest.approx(15.0 + 4.0)
+
+    def test_multiple_activations(self):
+        m = EnergyModel(gps_acquisition_j=10.0, gps_fix_j=0.0, upload_j=0.0)
+        assert m.gps_trip_cost(0, activations=3) == 30.0
+
+    def test_hybrid_sum(self):
+        m = EnergyModel()
+        assert m.hybrid_trip_cost(10, 5, 1) == pytest.approx(
+            m.wifi_trip_cost(10) + m.gps_trip_cost(5, activations=1)
+        )
+
+    def test_wifi_cheaper_than_continuous_gps(self):
+        """The paper's motivating energy claim, quantified: a one-hour
+        trip scanned every 10 s costs far less on WiFi than on GPS."""
+        m = EnergyModel()
+        events = 360  # one hour at 10 s cadence
+        assert m.wifi_trip_cost(events) < 0.7 * m.gps_trip_cost(events)
+
+    def test_rejects_negative_counts(self):
+        m = EnergyModel()
+        with pytest.raises(ValueError):
+            m.wifi_trip_cost(-1)
+        with pytest.raises(ValueError):
+            m.gps_trip_cost(-1)
+
+    def test_hybrid_cost_of_tracker_shape(self):
+        class FakeHybrid:
+            wifi_fixes = 20
+            gps_fixes = 5
+            gps_activations = 2
+
+        m = EnergyModel()
+        assert m.hybrid_cost_of(FakeHybrid()) == pytest.approx(
+            m.hybrid_trip_cost(20, 5, 2)
+        )

@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.radio import RadioEnvironment
+from repro.sensing import CrowdSensingLayer, Smartphone
+from repro.sensing.grouping import ProximityGrouper, scan_similarity
+from repro.sensing.reports import ScanReport
+from repro.sensing.route_id import PerfectRouteIdentifier
+from repro.radio.environment import Reading
+from tests.conftest import make_line_aps, make_straight_route
+
+
+def report(t, readings, key="bus:a", device="d"):
+    return ScanReport(
+        device_id=device, session_key=key, route_id="r1", t=t,
+        readings=tuple(readings),
+    )
+
+
+class TestScanSimilarity:
+    def test_identical_scans(self):
+        r = [Reading("a", "", -50.0), Reading("b", "", -60.0)]
+        assert scan_similarity(report(0, r), report(0, r)) == 1.0
+
+    def test_disjoint_scans(self):
+        a = [Reading("a", "", -50.0)]
+        b = [Reading("z", "", -50.0)]
+        assert scan_similarity(report(0, a), report(0, b)) == 0.0
+
+    def test_partial_overlap_between(self):
+        a = [Reading("a", "", -50.0), Reading("b", "", -60.0)]
+        b = [Reading("a", "", -52.0), Reading("z", "", -58.0)]
+        sim = scan_similarity(report(0, a), report(0, b))
+        assert 0.0 < sim < 1.0
+
+    def test_strong_ap_weighs_more(self):
+        base = [Reading("a", "", -50.0), Reading("b", "", -60.0)]
+        share_strong = [Reading("a", "", -51.0), Reading("z", "", -65.0)]
+        share_weak = [Reading("z", "", -51.0), Reading("b", "", -65.0)]
+        s1 = scan_similarity(report(0, base), report(0, share_strong))
+        s2 = scan_similarity(report(0, base), report(0, share_weak))
+        assert s1 > s2
+
+    def test_empty_scan_zero(self):
+        assert scan_similarity(report(0, []), report(0, [])) == 0.0
+
+
+class TestGrouperUnit:
+    def test_assigns_to_matching_driver(self):
+        grouper = ProximityGrouper()
+        readings = [Reading("a", "", -50.0), Reading("b", "", -60.0)]
+        grouper.observe_driver(report(100.0, readings, key="bus:a"))
+        decision = grouper.assign(report(103.0, readings, key="?", device="rider"))
+        assert decision.session_key == "bus:a"
+        assert decision.similarity == 1.0
+
+    def test_stale_driver_scan_ignored(self):
+        grouper = ProximityGrouper(time_window_s=15.0)
+        readings = [Reading("a", "", -50.0)]
+        grouper.observe_driver(report(100.0, readings, key="bus:a"))
+        decision = grouper.assign(report(200.0, readings, key="?"))
+        assert decision.session_key is None
+
+    def test_low_similarity_unassigned(self):
+        grouper = ProximityGrouper(min_similarity=0.5)
+        grouper.observe_driver(
+            report(100.0, [Reading("a", "", -50.0)], key="bus:a")
+        )
+        decision = grouper.assign(
+            report(102.0, [Reading("z", "", -50.0)], key="?")
+        )
+        assert decision.session_key is None
+
+    def test_picks_best_of_two_buses(self):
+        grouper = ProximityGrouper()
+        grouper.observe_driver(
+            report(100.0, [Reading("a", "", -50.0), Reading("b", "", -55.0)],
+                   key="bus:a")
+        )
+        grouper.observe_driver(
+            report(100.0, [Reading("x", "", -50.0), Reading("y", "", -55.0)],
+                   key="bus:x")
+        )
+        decision = grouper.assign(
+            report(101.0, [Reading("x", "", -51.0), Reading("y", "", -57.0)],
+                   key="?")
+        )
+        assert decision.session_key == "bus:x"
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ProximityGrouper(time_window_s=0.0)
+        with pytest.raises(ValueError):
+            ProximityGrouper(min_similarity=2.0)
+
+
+class TestGrouperEndToEnd:
+    def test_riders_matched_to_their_buses(self):
+        """Two buses, staggered on the same route; riders' anonymous scans
+        must group to the right driver by WiFi similarity alone."""
+        net, route = make_straight_route(length_m=2000.0, num_segments=4)
+        env = RadioEnvironment(make_line_aps(20, spacing=100.0), seed=0)
+        sim = CitySimulator(net, [route], seed=2)
+        result = sim.run(
+            [DispatchSchedule("r1", first_s=1000.0, last_s=1240.0,
+                              headway_s=240.0)],
+            num_days=1,
+        )
+        trip_a, trip_b = result.trips[:2]
+        layer = CrowdSensingLayer(
+            env,
+            route_identifier=PerfectRouteIdentifier(),
+            merge_riders=False,
+            seed=3,
+        )
+        driver_reports = layer.reports_for_trip(trip_a) + layer.reports_for_trip(
+            trip_b
+        )
+        rider_a = layer.reports_for_trip(
+            trip_a, [Smartphone(device_id="rider-a", rss_bias_db=2.0)]
+        )
+        rider_b = layer.reports_for_trip(
+            trip_b, [Smartphone(device_id="rider-b", rss_bias_db=-2.0)]
+        )
+
+        grouper = ProximityGrouper()
+        decisions = grouper.assign_stream(driver_reports, rider_a + rider_b)
+        assigned = [d for d in decisions if d.session_key is not None]
+        assert len(assigned) > 0.8 * len(decisions)
+        correct = sum(
+            1 for d in assigned if d.session_key == d.report.session_key
+        )
+        assert correct / len(assigned) > 0.95

@@ -1,0 +1,191 @@
+import numpy as np
+import pytest
+
+from repro.mobility import CitySimulator, DispatchSchedule
+from repro.radio import RadioEnvironment
+from repro.radio.dynamics import APDynamics, Outage
+from repro.radio.environment import Reading
+from repro.sensing import CrowdSensingLayer, ScanReport, Smartphone
+from repro.sensing.route_id import PerfectRouteIdentifier, RouteIdentifier
+from tests.conftest import make_line_aps, make_straight_route
+
+
+@pytest.fixture()
+def trip():
+    net, route = make_straight_route(length_m=1000.0, num_segments=2)
+    sim = CitySimulator(net, [route], seed=1)
+    result = sim.run(
+        [DispatchSchedule("r1", first_s=0.0, last_s=0.0, headway_s=600.0)], 1
+    )
+    return result.trips[0]
+
+
+@pytest.fixture()
+def layer():
+    env = RadioEnvironment(make_line_aps(10), seed=0)
+    return CrowdSensingLayer(
+        env, route_identifier=PerfectRouteIdentifier(), seed=2
+    )
+
+
+class TestSmartphone:
+    def test_defaults(self):
+        d = Smartphone(device_id="x")
+        assert d.scan_period_s == 10.0
+
+    def test_fleet_unique_ids(self, rng):
+        fleet = Smartphone.fleet(5, rng)
+        assert len({d.device_id for d in fleet}) == 5
+
+    def test_fleet_bias_spread(self, rng):
+        fleet = Smartphone.fleet(50, rng, bias_sigma_db=3.0)
+        biases = [d.rss_bias_db for d in fleet]
+        assert np.std(biases) == pytest.approx(3.0, rel=0.5)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            Smartphone(device_id="x", scan_period_s=0.0)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            Smartphone(device_id="x", scan_period_s=10.0, scan_jitter_s=10.0)
+
+    def test_fleet_needs_positive_count(self, rng):
+        with pytest.raises(ValueError):
+            Smartphone.fleet(0, rng)
+
+
+class TestScanReport:
+    def test_bssids_in_order(self):
+        rep = ScanReport(
+            device_id="d",
+            session_key="s",
+            route_id="r",
+            t=0.0,
+            readings=(
+                Reading("b1", "x", -50.0),
+                Reading("b2", "y", -60.0),
+            ),
+        )
+        assert rep.bssids == ["b1", "b2"]
+
+    def test_rss_of(self):
+        rep = ScanReport(
+            device_id="d", session_key="s", route_id="r", t=0.0,
+            readings=(Reading("b1", "x", -50.0),),
+        )
+        assert rep.rss_of("b1") == -50.0
+        assert rep.rss_of("zz") is None
+
+    def test_merge_averages_per_ap(self):
+        r1 = ScanReport(
+            device_id="d1", session_key="s", route_id="r", t=0.0,
+            readings=(Reading("b1", "x", -50.0), Reading("b2", "y", -70.0)),
+        )
+        r2 = ScanReport(
+            device_id="d2", session_key="s", route_id="r", t=0.5,
+            readings=(Reading("b1", "x", -60.0),),
+        )
+        merged = ScanReport.merge([r1, r2])
+        assert merged.rss_of("b1") == pytest.approx(-55.0)
+        assert merged.rss_of("b2") == pytest.approx(-70.0)
+        assert merged.t == 0.0
+
+    def test_merge_sorted(self):
+        r1 = ScanReport(
+            device_id="d1", session_key="s", route_id="r", t=0.0,
+            readings=(Reading("b2", "y", -70.0), Reading("b1", "x", -50.0)),
+        )
+        merged = ScanReport.merge([r1])
+        assert merged.bssids == ["b1", "b2"]
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ScanReport.merge([])
+
+
+class TestRouteIdentifier:
+    def test_perfect_never_fails(self):
+        ident = PerfectRouteIdentifier()
+        for k in range(20):
+            out = ident.identify("9", f"trip{k}")
+            assert out.route_id == "9"
+            assert out.confident
+
+    def test_deterministic_per_trip(self):
+        ident = RouteIdentifier(seed=3)
+        a = ident.identify("9", "trip1")
+        b = ident.identify("9", "trip1")
+        assert a == b
+
+    def test_failure_rate_reasonable(self):
+        ident = RouteIdentifier(
+            driver_app_fraction=0.0, announcement_success=0.5, seed=0
+        )
+        outcomes = [ident.identify("9", f"t{k}") for k in range(200)]
+        failures = sum(1 for o in outcomes if not o.confident)
+        assert 50 < failures < 150
+
+    def test_failed_identification_empty_route(self):
+        ident = RouteIdentifier(
+            driver_app_fraction=0.0, announcement_success=0.0, seed=0
+        )
+        assert ident.identify("9", "t").route_id == ""
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            RouteIdentifier(driver_app_fraction=1.5)
+
+
+class TestCrowdSensing:
+    def test_report_cadence(self, trip, layer):
+        reports = layer.reports_for_trip(trip)
+        assert len(reports) == pytest.approx(trip.duration_s / 10.0, abs=2)
+
+    def test_reports_time_ordered(self, trip, layer):
+        reports = layer.reports_for_trip(trip)
+        times = [r.t for r in reports]
+        assert times == sorted(times)
+
+    def test_session_key_consistent(self, trip, layer):
+        reports = layer.reports_for_trip(trip)
+        assert len({r.session_key for r in reports}) == 1
+
+    def test_route_identified(self, trip, layer):
+        reports = layer.reports_for_trip(trip)
+        assert all(r.route_id == "r1" for r in reports)
+
+    def test_deterministic(self, trip, layer):
+        a = layer.reports_for_trip(trip)
+        b = layer.reports_for_trip(trip)
+        assert [r.t for r in a] == [r.t for r in b]
+        assert [r.readings for r in a] == [r.readings for r in b]
+
+    def test_merged_riders_single_stream(self, trip, layer, rng):
+        devices = [Smartphone(device_id="driver")] + Smartphone.fleet(3, rng)
+        merged = layer.reports_for_trip(trip, devices)
+        solo = layer.reports_for_trip(trip)
+        assert len(merged) == pytest.approx(len(solo), abs=2)
+
+    def test_dead_ap_never_reported(self, trip):
+        env = RadioEnvironment(make_line_aps(10), seed=0)
+        victim = env.aps[0].bssid
+        dyn = APDynamics([Outage(victim, 0.0, 10**9)])
+        layer = CrowdSensingLayer(
+            env,
+            dynamics=dyn,
+            route_identifier=PerfectRouteIdentifier(),
+            seed=2,
+        )
+        for report in layer.reports_for_trip(trip):
+            assert victim not in report.bssids
+
+    def test_reports_for_trips_sorted(self, layer):
+        net, route = make_straight_route(length_m=600.0)
+        sim = CitySimulator(net, [route], seed=1)
+        result = sim.run(
+            [DispatchSchedule("r1", first_s=0.0, last_s=600.0, headway_s=600.0)], 1
+        )
+        reports = layer.reports_for_trips(result.trips)
+        times = [r.t for r in reports]
+        assert times == sorted(times)

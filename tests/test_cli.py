@@ -1,0 +1,28 @@
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "rapid" in out
+        assert "18.3" in out
+
+    def test_fig10_runs(self, capsys):
+        assert main(["fig10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "error" in out
+
+    def test_experiment_registry_complete(self):
+        expected = {
+            "table1", "table2", "fig8a", "fig8b", "fig8c",
+            "fig9a", "fig9b", "fig10", "fig11", "seasonal",
+        }
+        assert set(EXPERIMENTS) == expected

@@ -1,0 +1,77 @@
+"""Coverage for small convenience helpers."""
+
+import pytest
+
+from repro.core.arrival import (
+    ArrivalTimePredictor,
+    TravelTimeRecord,
+    TravelTimeStore,
+)
+from repro.mobility.traffic import TrafficModel
+from tests.conftest import make_straight_route
+
+
+def rec(t0=0.0, tt=60.0):
+    return TravelTimeRecord(
+        route_id="r", segment_id="s", t_enter=t0, t_exit=t0 + tt
+    )
+
+
+class TestStoreAddMany:
+    def test_add_many(self):
+        store = TravelTimeStore()
+        store.add_many([rec(0.0), rec(100.0), rec(50.0)])
+        assert len(store) == 3
+        entries = [r.t_enter for r in store.records("s")]
+        assert entries == sorted(entries)
+
+
+class TestPredictorObserveMany:
+    def test_observe_many(self):
+        pred = ArrivalTimePredictor(TravelTimeStore([rec()]))
+        pred.observe_many([rec(10.0), rec(20.0)])
+        assert len(pred.live) == 2
+
+
+class TestNetworkHasSegment:
+    def test_has_segment(self):
+        net, route = make_straight_route()
+        assert net.has_segment("s0")
+        assert not net.has_segment("zz")
+
+
+class TestExpectedMovingTime:
+    def test_matches_noise_free_moving_time(self):
+        net, route = make_straight_route(num_segments=1)
+        seg = route.segments[0]
+        model = TrafficModel(seed=0)
+        t = 9.5 * 3600.0
+        assert model.expected_moving_time(seg, "r", t) == model.moving_time(
+            seg, "r", t, rng=None
+        )
+
+
+class TestCellIdSpanOf:
+    def test_span_after_fit(self):
+        from repro.baselines import CellIdSequenceTracker, CellularLayer
+        from repro.mobility import CitySimulator, DispatchSchedule
+
+        net, route = make_straight_route(length_m=2000.0)
+        sim = CitySimulator(net, [route], seed=1)
+        trips = sim.run(
+            [DispatchSchedule("r1", first_s=0.0, last_s=0.0, headway_s=600.0)],
+            num_days=1,
+        ).trips
+        layer = CellularLayer.deploy_grid(net, spacing_m=800.0, seed=0)
+        tracker = CellIdSequenceTracker(route, layer)
+        tracker.fit(trips)
+        # Every tower seen in training has a sane span.
+        seen_any = False
+        for tower in layer.towers:
+            span = tracker.span_of(tower.tower_id)
+            if span is not None:
+                lo, hi = span
+                assert 0.0 <= lo <= hi <= route.length
+                seen_any = True
+        assert seen_any
+        assert tracker.span_of("cell-nope") is None
