@@ -1,0 +1,137 @@
+"""Indexed query fast path: traversal-count benchmark (machine-independent).
+
+Builds a 50-route / 2000-session synthetic city, replays it through the
+server, and compares the *work units* (routes + stops + sessions examined)
+of the indexed ``RiderAPI`` queries against the seed's linear-scan
+implementations preserved in :mod:`repro.core.server.reference`.  Both
+sides count the same units — the indexed path in the ``query.traversals``
+server metric, the linear path in a :class:`TraversalCounter` — so the
+assertion is independent of machine speed.
+
+Acceptance criteria exercised here:
+
+* ``departures`` touches >= 5x fewer route/stop/session units than the
+  un-indexed path (the measured ratio is ~50x at this scale);
+* results stay byte-identical to the linear implementations;
+* ``metrics_snapshot()`` reports non-zero SVD match-cache hit rates after
+  the warm replay (each session uploads repeat scans).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import banner, show
+from repro.core.server.reference import (
+    TraversalCounter,
+    linear_departures,
+    linear_live_positions,
+    linear_plan_trip,
+)
+from repro.eval.synth_city import build_linear_city
+
+pytestmark = pytest.mark.perf
+
+NUM_ROUTES = 50
+SESSIONS_PER_ROUTE = 40
+
+
+@pytest.fixture(scope="module")
+def city():
+    c = build_linear_city(
+        num_routes=NUM_ROUTES, sessions_per_route=SESSIONS_PER_ROUTE
+    )
+    c.replay()
+    return c
+
+
+def indexed_traversals(city, fn):
+    """Run ``fn()`` and return the ``query.traversals`` delta it caused."""
+    metrics = city.server.metrics
+    before = metrics.counter("query.traversals")
+    result = fn()
+    return result, metrics.counter("query.traversals") - before
+
+
+class TestPerfServerQueries:
+    def test_city_is_at_scale(self, city):
+        assert len(city.routes) == NUM_ROUTES
+        sessions = city.server.active_sessions(now=city.now)
+        assert len(sessions) == NUM_ROUTES * SESSIONS_PER_ROUTE
+
+    def test_departures_traversal_reduction(self, city):
+        api = city.api
+        indexed, touched = indexed_traversals(
+            # huge max_entries: compare the full boards, not a prefix
+            city,
+            lambda: api.departures(
+                city.hub_stop_id, now=city.now, max_entries=10**9
+            ),
+        )
+        counter = TraversalCounter()
+        linear = linear_departures(
+            city.server,
+            city.hub_stop_id,
+            city.now,
+            max_entries=10**9,
+            counter=counter,
+        )
+        assert indexed == linear  # byte-identical boards
+        assert touched > 0
+        ratio = counter.total / touched
+        banner("Perf: indexed departures vs linear scan")
+        show(
+            f"  hub departures: indexed touched {touched} units, "
+            f"linear touched {counter.total} "
+            f"(routes={counter.routes} stops={counter.stops} "
+            f"sessions={counter.sessions}) -> {ratio:.1f}x"
+        )
+        assert ratio >= 5.0
+
+    def test_plan_trip_traversal_reduction(self, city):
+        api = city.api
+        hub_rid = city.hub_route_ids[0]
+        origin = city.stop_id_on(hub_rid, 0)
+        indexed, touched = indexed_traversals(
+            city,
+            lambda: api.plan_trip(origin, city.hub_stop_id, now=city.now),
+        )
+        counter = TraversalCounter()
+        linear = linear_plan_trip(
+            city.server, origin, city.hub_stop_id, city.now, counter=counter
+        )
+        assert indexed == linear
+        assert touched > 0
+        ratio = counter.total / touched
+        show(
+            f"  trip plan:      indexed touched {touched} units, "
+            f"linear touched {counter.total} -> {ratio:.1f}x"
+        )
+        assert ratio >= 5.0
+
+    def test_live_positions_parity(self, city):
+        api = city.api
+        typed = api.live_positions(now=city.now)
+        counter = TraversalCounter()
+        linear = linear_live_positions(city.server, city.now, counter=counter)
+        assert {k: v.as_tuple() for k, v in typed.items()} == linear
+        assert len(typed) == NUM_ROUTES * SESSIONS_PER_ROUTE
+
+    def test_cache_hit_rate_after_warm_replay(self, city):
+        snap = city.server.metrics_snapshot()
+        svd_cache = snap["caches"]["svd_match"]
+        show(
+            f"  svd match cache: hits={svd_cache['hits']} "
+            f"misses={svd_cache['misses']} "
+            f"hit_rate={svd_cache['hit_rate']:.2f}"
+        )
+        assert svd_cache["hits"] > 0
+        assert svd_cache["hit_rate"] > 0.0
+
+    def test_latency_histograms_populated(self, city):
+        snap = city.server.metrics_snapshot()
+        assert snap["latency"]["ingest"]["count"] == len(city.reports)
+        assert snap["latency"]["position_fix"]["count"] == len(city.reports)
+        assert snap["latency"]["query"]["count"] > 0
+        assert snap["latency"]["predict"]["count"] > 0
+        assert snap["latency"]["ingest"]["mean_s"] > 0.0

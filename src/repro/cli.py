@@ -5,9 +5,13 @@ Regenerates the paper's tables and figures as text, without pytest:
     python -m repro.cli table1 fig8a
     python -m repro.cli all            # everything (~3 minutes)
     python -m repro.cli fig8b --quick  # smaller workloads
+    python -m repro.cli metrics        # server observability snapshot
 
 Each experiment prints the same rows/series the corresponding
-``benchmarks/test_*.py`` asserts on.
+``benchmarks/test_*.py`` asserts on; ``metrics`` replays a synthetic
+many-route city through the server and prints the
+``WiLocatorServer.metrics_snapshot()`` report (stage latencies, cache hit
+rates, index counters).
 """
 
 from __future__ import annotations
@@ -164,6 +168,34 @@ def run_seasonal(world, quick):
     print(f"  learned slot boundaries (h): {[round(h, 1) for h in hours]}")
 
 
+def run_metrics(world, quick):
+    from repro.core.server.metrics import format_snapshot
+    from repro.eval.synth_city import build_linear_city
+
+    city = build_linear_city(
+        num_routes=4 if quick else 10,
+        sessions_per_route=3 if quick else 8,
+        hub_every=2,
+    )
+    city.replay()
+    api = city.api
+    api.departures(city.hub_stop_id, now=city.now)
+    hub_rid = city.hub_route_ids[0]
+    api.plan_trip(
+        city.stop_id_on(hub_rid, 0), city.hub_stop_id, now=city.now
+    )
+    api.live_positions(now=city.now)
+    print(
+        f"  synthetic city: {len(city.routes)} routes, "
+        f"{city.server.stats.sessions_opened} sessions, "
+        f"{len(city.reports)} reports replayed"
+    )
+    print(format_snapshot(city.server.metrics_snapshot()))
+
+
+# Experiments that never touch the (expensive) corridor world.
+WORLDLESS = {"metrics"}
+
 EXPERIMENTS = {
     "table1": ("Table I: the four investigated routes", run_table1),
     "seasonal": ("Section V.B: seasonal index and learned slots", run_seasonal),
@@ -175,6 +207,7 @@ EXPERIMENTS = {
     "fig9b": ("Fig. 9(b): error vs SVD order", run_fig9b),
     "fig10": ("Fig. 10: campus positioning", run_fig10),
     "fig11": ("Fig. 11: traffic maps + anomaly", run_fig11),
+    "metrics": ("Server metrics snapshot (synthetic replay)", run_metrics),
 }
 
 
@@ -203,8 +236,10 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
-    world = _world(args.quick)
+    world = None
     for name in chosen:
+        if name not in WORLDLESS and world is None:
+            world = _world(args.quick)
         title, fn = EXPERIMENTS[name]
         print("=" * 72)
         print(title)

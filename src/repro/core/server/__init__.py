@@ -1,6 +1,18 @@
 """The WiLocator back-end server (Section V.A)."""
 
-from repro.core.server.api import DepartureEntry, RiderAPI, TripOption
+from repro.core.server.api import (
+    DepartureEntry,
+    LivePosition,
+    RiderAPI,
+    TripOption,
+    UnknownStopError,
+)
+from repro.core.server.metrics import (
+    CacheStats,
+    LatencyHistogram,
+    ServerMetrics,
+    format_snapshot,
+)
 from repro.core.server.persistence import (
     load_training_state,
     save_training_state,
@@ -22,8 +34,14 @@ from repro.core.server.training import (
 __all__ = [
     "WiLocatorServer",
     "ServerStats",
+    "ServerMetrics",
+    "LatencyHistogram",
+    "CacheStats",
+    "format_snapshot",
     "BusSession",
     "RiderAPI",
+    "LivePosition",
+    "UnknownStopError",
     "save_training_state",
     "load_training_state",
     "store_to_dict",

@@ -9,17 +9,42 @@ app would ask the server:
   route serving it, with live ETAs;
 * *trip plan* — ride options between two stops (same-route direct rides,
   ranked by predicted arrival at the destination);
-* *where is my bus* — the live position of a tracked bus in geo
-  coordinates (Definition 6 tuples) for display on a map.
+* *where is my bus* — the live position of a tracked bus as a typed
+  :class:`LivePosition` (planar and, with a projection, geographic).
+
+Design rules of the redesigned surface:
+
+* every query takes its clock as a keyword-only ``now`` argument;
+* unknown stops raise :class:`UnknownStopError` uniformly (a
+  :class:`KeyError` subclass — the seed raised bare ``KeyError`` from
+  ``departures`` but silently returned ``[]`` from ``plan_trip``);
+* results are frozen dataclasses, never bare tuples of varying arity
+  (:meth:`RiderAPI.live_positions_tuples` remains as a deprecated shim
+  for one release);
+* all lookups route through the server's
+  :class:`~repro.roadnet.index.RouteIndex` instead of scanning
+  ``routes x stops`` and the full session table, and each call is
+  recorded in the server's ``query`` latency histogram.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
 
 from repro.core.server.server import WiLocatorServer
 from repro.geometry import LocalProjection
+from repro.roadnet.index import IndexedStop, UnknownStopError
 from repro.roadnet.route import BusRoute, BusStop
+
+__all__ = [
+    "DepartureEntry",
+    "TripOption",
+    "LivePosition",
+    "RiderAPI",
+    "UnknownStopError",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +75,40 @@ class TripOption:
         return self.alight_t - self.board_t
 
 
+@dataclass(frozen=True, slots=True)
+class LivePosition:
+    """The current position of one tracked bus.
+
+    Attributes
+    ----------
+    session_key:
+        The bus's server session.
+    route_id:
+        The route the bus runs.
+    x, y:
+        Planar position in metres (always present).
+    lat, lon:
+        Geographic position; ``None`` unless the API was built with a
+        :class:`LocalProjection`.
+    t:
+        Timestamp of the underlying position fix.
+    """
+
+    session_key: str
+    route_id: str
+    x: float
+    y: float
+    lat: float | None
+    lon: float | None
+    t: float
+
+    def as_tuple(self) -> tuple[float, float, float] | tuple[float, float]:
+        """The seed's heterogeneous tuple: ``(lat, lon, t)`` or ``(x, y)``."""
+        if self.lat is not None and self.lon is not None:
+            return (self.lat, self.lon, self.t)
+        return (self.x, self.y)
+
+
 class RiderAPI:
     """Trip-plan queries over a running :class:`WiLocatorServer`."""
 
@@ -62,16 +121,17 @@ class RiderAPI:
         self.server = server
         self.projection = projection
 
+    @property
+    def index(self):
+        return self.server.index
+
     # -- stop resolution -----------------------------------------------------
 
     def stops_named(self, stop_id: str) -> list[tuple[BusRoute, BusStop]]:
-        """All (route, stop) pairs with the given stop id."""
-        out = []
-        for route in self.server.routes.values():
-            for stop in route.stops:
-                if stop.stop_id == stop_id:
-                    out.append((route, stop))
-        return out
+        """All (route, stop) pairs with the given stop id (indexed)."""
+        return [
+            (entry.route, entry.stop) for entry in self.index.stops_named(stop_id)
+        ]
 
     def stops_of_route(self, route_id: str) -> list[BusStop]:
         return list(self.server.routes[route_id].stops)
@@ -79,116 +139,189 @@ class RiderAPI:
     # -- departures board ------------------------------------------------------
 
     def departures(
-        self, stop_id: str, now: float, *, max_entries: int = 10
+        self, stop_id: str, *, now: float, max_entries: int = 10
     ) -> list[DepartureEntry]:
         """The next buses predicted to arrive at a stop, soonest first.
 
         Considers every active session whose route serves the stop and
-        whose bus has not passed it yet.
+        whose bus has not passed it yet.  Raises
+        :class:`UnknownStopError` when no route serves ``stop_id``.
         """
-        targets = self.stops_named(stop_id)
-        if not targets:
-            raise KeyError(f"no stop {stop_id!r} on any route")
-        entries: list[DepartureEntry] = []
-        for session in self.server.active_sessions(now):
-            route = self.server.routes[session.route_id]
-            match = next(
-                (stop for r, stop in targets if r.route_id == route.route_id),
-                None,
-            )
+        metrics = self.server.metrics
+        t0 = time.perf_counter()
+        metrics.incr("query.departures")
+        try:
+            targets = self.index.require_stop(stop_id)
+            entries: list[DepartureEntry] = []
+            seen_routes: set[str] = set()
+            for entry in targets:
+                route_id = entry.route.route_id
+                if route_id in seen_routes:
+                    continue  # duplicate stop id on one route: first wins
+                seen_routes.add(route_id)
+                metrics.incr("query.traversals")
+                entries.extend(
+                    self._departures_on_route(entry, stop_id, now, metrics)
+                )
+            entries.sort(key=lambda e: e.eta_t)
+            return entries[:max_entries]
+        finally:
+            metrics.observe("query", time.perf_counter() - t0)
+
+    def _departures_on_route(
+        self, entry: IndexedStop, stop_id: str, now: float, metrics
+    ) -> list[DepartureEntry]:
+        out: list[DepartureEntry] = []
+        for session in self.server.sessions_on_route(
+            entry.route.route_id, now=now
+        ):
+            metrics.incr("query.traversals")
             last = session.trajectory.last
-            if match is None or last is None:
+            if last is None:
                 continue
-            stop_arc = route.stop_arc_length(match)
-            if stop_arc <= last.arc_length:
+            if entry.arc_length <= last.arc_length:
                 continue  # already passed
-            pred = self.server.predictor.predict_arrival(
-                route, last.arc_length, last.t, match
+            pred = self.server.timed_predict_arrival(
+                entry.route, last.arc_length, last.t, entry.stop
             )
             if pred is None:
                 continue
-            entries.append(
+            out.append(
                 DepartureEntry(
-                    route_id=route.route_id,
+                    route_id=entry.route.route_id,
                     session_key=session.session_key,
                     stop_id=stop_id,
                     eta_t=pred.t_arrival,
                     eta_in_s=pred.t_arrival - now,
-                    distance_away_m=stop_arc - last.arc_length,
+                    distance_away_m=entry.arc_length - last.arc_length,
                 )
             )
-        entries.sort(key=lambda e: e.eta_t)
-        return entries[:max_entries]
+        return out
 
     # -- trip planning -----------------------------------------------------------
 
     def plan_trip(
-        self, from_stop_id: str, to_stop_id: str, now: float
+        self, from_stop_id: str, to_stop_id: str, *, now: float
     ) -> list[TripOption]:
         """Direct (single-ride) options from one stop to another.
 
         For every route serving both stops in order, and every active bus
         of that route not yet past the boarding stop, predicts boarding
-        and alighting times; options come back sorted by arrival.
+        and alighting times; options come back sorted by arrival.  Raises
+        :class:`UnknownStopError` when either stop id is served by no
+        route at all (the seed silently returned ``[]``).
         """
-        options: list[TripOption] = []
-        for route in self.server.routes.values():
-            board = next(
-                (s for s in route.stops if s.stop_id == from_stop_id), None
-            )
-            alight = next(
-                (s for s in route.stops if s.stop_id == to_stop_id), None
-            )
-            if board is None or alight is None:
-                continue
-            if route.stop_arc_length(alight) <= route.stop_arc_length(board):
-                continue
-            for session in self.server.active_sessions(now):
-                if session.route_id != route.route_id:
+        metrics = self.server.metrics
+        t0 = time.perf_counter()
+        metrics.incr("query.plan_trip")
+        try:
+            board_entries = self.index.require_stop(from_stop_id)
+            self.index.require_stop(to_stop_id)
+            options: list[TripOption] = []
+            seen_routes: set[str] = set()
+            for board in board_entries:
+                route_id = board.route.route_id
+                if route_id in seen_routes:
                     continue
-                last = session.trajectory.last
-                if last is None:
-                    continue
-                if route.stop_arc_length(board) <= last.arc_length:
-                    continue
-                p_board = self.server.predictor.predict_arrival(
-                    route, last.arc_length, last.t, board
+                seen_routes.add(route_id)
+                metrics.incr("query.traversals")
+                try:
+                    alight = self.index.stop_on_route(route_id, to_stop_id)
+                except UnknownStopError:
+                    continue  # route serves only the boarding stop
+                if alight.arc_length <= board.arc_length:
+                    continue  # wrong direction on this route
+                options.extend(
+                    self._trip_options_on_route(board, alight, now, metrics)
                 )
-                p_alight = self.server.predictor.predict_arrival(
-                    route, last.arc_length, last.t, alight
-                )
-                if p_board is None or p_alight is None:
-                    continue
-                options.append(
-                    TripOption(
-                        route_id=route.route_id,
-                        session_key=session.session_key,
-                        board_stop_id=from_stop_id,
-                        alight_stop_id=to_stop_id,
-                        board_t=p_board.t_arrival,
-                        alight_t=p_alight.t_arrival,
-                    )
-                )
-        options.sort(key=lambda o: o.alight_t)
-        return options
+            options.sort(key=lambda o: o.alight_t)
+            return options
+        finally:
+            metrics.observe("query", time.perf_counter() - t0)
 
-    # -- live map -----------------------------------------------------------------
-
-    def live_positions(
-        self, now: float
-    ) -> dict[str, tuple[float, float, float] | tuple[float, float]]:
-        """Current position of every active bus.
-
-        With a projection configured, values are the paper's
-        ``<lat, long, t>`` tuples; otherwise planar ``(x, y)`` metres.
-        """
-        out: dict[str, tuple] = {}
-        for session in self.server.active_sessions(now):
+    def _trip_options_on_route(
+        self, board: IndexedStop, alight: IndexedStop, now: float, metrics
+    ) -> list[TripOption]:
+        out: list[TripOption] = []
+        route = board.route
+        for session in self.server.sessions_on_route(route.route_id, now=now):
+            metrics.incr("query.traversals")
             last = session.trajectory.last
             if last is None:
                 continue
-            if self.projection is not None:
-                out[session.session_key] = last.as_geo(self.projection)
-            else:
-                out[session.session_key] = (last.point.x, last.point.y)
+            if board.arc_length <= last.arc_length:
+                continue
+            p_board = self.server.timed_predict_arrival(
+                route, last.arc_length, last.t, board.stop
+            )
+            p_alight = self.server.timed_predict_arrival(
+                route, last.arc_length, last.t, alight.stop
+            )
+            if p_board is None or p_alight is None:
+                continue
+            out.append(
+                TripOption(
+                    route_id=route.route_id,
+                    session_key=session.session_key,
+                    board_stop_id=board.stop.stop_id,
+                    alight_stop_id=alight.stop.stop_id,
+                    board_t=p_board.t_arrival,
+                    alight_t=p_alight.t_arrival,
+                )
+            )
         return out
+
+    # -- live map -----------------------------------------------------------------
+
+    def live_positions(self, *, now: float) -> dict[str, LivePosition]:
+        """Current position of every active bus, as typed records.
+
+        ``lat``/``lon`` are filled when the API has a projection,
+        otherwise ``None``; planar ``x``/``y`` are always present.
+        """
+        metrics = self.server.metrics
+        t0 = time.perf_counter()
+        metrics.incr("query.live_positions")
+        try:
+            out: dict[str, LivePosition] = {}
+            for session in self.server.active_sessions(now=now):
+                metrics.incr("query.traversals")
+                last = session.trajectory.last
+                if last is None:
+                    continue
+                lat = lon = None
+                if self.projection is not None:
+                    lat, lon, _ = last.as_geo(self.projection)
+                out[session.session_key] = LivePosition(
+                    session_key=session.session_key,
+                    route_id=session.route_id,
+                    x=last.point.x,
+                    y=last.point.y,
+                    lat=lat,
+                    lon=lon,
+                    t=last.t,
+                )
+            return out
+        finally:
+            metrics.observe("query", time.perf_counter() - t0)
+
+    def live_positions_tuples(
+        self, now: float
+    ) -> dict[str, tuple[float, float, float] | tuple[float, float]]:
+        """Deprecated: the seed's heterogeneous-tuple view of live positions.
+
+        With a projection configured, values are the paper's
+        ``<lat, long, t>`` tuples; otherwise planar ``(x, y)`` metres.
+        Use :meth:`live_positions` instead; this shim will be removed one
+        release after the typed API landed.
+        """
+        warnings.warn(
+            "RiderAPI.live_positions_tuples() is deprecated; use "
+            "live_positions(now=...) which returns LivePosition records",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            key: pos.as_tuple()
+            for key, pos in self.live_positions(now=now).items()
+        }

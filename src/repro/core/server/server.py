@@ -7,6 +7,12 @@ feeds them to the arrival-time predictor and the traffic-map builder, and
 answers rider queries (where is my bus / when does it arrive / how is
 traffic).
 
+Queries route through a :class:`~repro.roadnet.index.RouteIndex` — an
+inverted stop index plus sessions-by-route and active-session structures
+maintained incrementally by :meth:`WiLocatorServer.ingest` — and every hot
+stage is instrumented through :class:`~repro.core.server.metrics.ServerMetrics`
+(see :meth:`WiLocatorServer.metrics_snapshot`).
+
 The class is deliberately synchronous and in-memory: the "distributed"
 link (phone -> server) is the :class:`ScanReport` value, which keeps the
 whole system deterministic and unit-testable.
@@ -14,7 +20,8 @@ whole system deterministic and unit-testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import asdict, dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.arrival.history import TravelTimeStore
@@ -23,6 +30,7 @@ from repro.core.arrival.seasonal import SlotScheme
 from repro.core.positioning.locator import SVDPositioner
 from repro.core.positioning.tracker import BusTracker
 from repro.core.positioning.trajectory import TrajectoryPoint
+from repro.core.server.metrics import ServerMetrics
 from repro.core.server.session import BusSession
 from repro.core.svd.road_svd import RoadSVD
 from repro.core.traffic.anomaly import (
@@ -33,8 +41,11 @@ from repro.core.traffic.anomaly import (
 )
 from repro.core.traffic.classifier import TrafficClassifier
 from repro.core.traffic.map import TrafficMap, TrafficMapBuilder
+from repro.roadnet.index import RouteIndex, UnknownStopError
 from repro.roadnet.route import BusRoute
 from repro.sensing.reports import ScanReport
+
+__all__ = ["ServerStats", "WiLocatorServer", "UnknownStopError"]
 
 
 @dataclass
@@ -102,6 +113,8 @@ class WiLocatorServer:
         self.anomaly_detector = AnomalyDetector(self.delta)
         self.sessions: dict[str, BusSession] = {}
         self.stats = ServerStats()
+        self.index = RouteIndex(self.routes)
+        self.metrics = ServerMetrics()
         from repro.sensing.grouping import ProximityGrouper
 
         self._grouper = ProximityGrouper()
@@ -110,12 +123,16 @@ class WiLocatorServer:
 
     def ingest(self, report: ScanReport) -> TrajectoryPoint | None:
         """Process one uploaded scan; returns the new position fix."""
+        t0 = time.perf_counter()
         self.stats.reports_ingested += 1
+        self.metrics.incr("ingest.reports")
         route = self.routes.get(report.route_id)
         if route is None:
             # Route identification failed or unknown route: the scan is
             # unusable for tracking (Section V.A.1).
             self.stats.reports_unroutable += 1
+            self.metrics.incr("ingest.unroutable")
+            self.metrics.observe("ingest", time.perf_counter() - t0)
             return None
         session = self.sessions.get(report.session_key)
         if session is None:
@@ -127,19 +144,37 @@ class WiLocatorServer:
                 ),
             )
             self.sessions[report.session_key] = session
+            self.index.open_session(report.session_key, report.route_id)
             self.stats.sessions_opened += 1
+            self.metrics.incr("ingest.sessions_opened")
         self._grouper.observe_driver(report)
+        t_fix = time.perf_counter()
         point, records = session.process(report)
+        self.metrics.observe("position_fix", time.perf_counter() - t_fix)
+        self.index.note_report(report.session_key, report.t)
         if point is not None:
             self.stats.positions_fixed += 1
+            self.metrics.incr("ingest.positions_fixed")
         for record in records:
             self.predictor.observe(record)
             self.stats.traversals_extracted += 1
+            self.metrics.incr("ingest.traversals_extracted")
+        self.metrics.observe("ingest", time.perf_counter() - t0)
         return point
 
-    def ingest_many(self, reports: Iterable[ScanReport]) -> None:
-        for report in sorted(reports, key=lambda r: r.t):
+    def ingest_many(
+        self, reports: Iterable[ScanReport]
+    ) -> list[TrajectoryPoint | None]:
+        """Ingest a batch in timestamp order.
+
+        Returns the per-report position fixes, aligned with the
+        time-sorted processing order (the seed discarded them).  Stats and
+        metrics advance exactly as per-report :meth:`ingest` calls would.
+        """
+        return [
             self.ingest(report)
+            for report in sorted(reports, key=lambda r: r.t)
+        ]
 
     def ingest_rider(self, report: ScanReport) -> TrajectoryPoint | None:
         """Process a rider's scan whose bus is unknown (Section V.A.1).
@@ -155,6 +190,7 @@ class WiLocatorServer:
         decision = self._grouper.assign(report)
         if decision.session_key is None:
             self.stats.reports_unroutable += 1
+            self.metrics.incr("ingest.unroutable")
             return None
         session = self.sessions.get(decision.session_key)
         if session is None:  # pragma: no cover - grouper only knows live keys
@@ -178,27 +214,54 @@ class WiLocatorServer:
             return None
         return session.trajectory.last
 
-    def active_sessions(self, now: float, *, timeout_s: float = 300.0) -> list[BusSession]:
-        """Sessions still reporting as of ``now``."""
+    def active_sessions(
+        self, *, now: float, timeout_s: float = 300.0
+    ) -> list[BusSession]:
+        """Sessions still reporting as of ``now``.
+
+        Served from the index's active-session heap: cost follows the
+        number of active sessions, not the number ever opened.
+        """
         return [
-            s for s in self.sessions.values() if not s.is_stale(now, timeout_s=timeout_s)
+            self.sessions[key]
+            for key in self.index.active_session_keys(now, timeout_s=timeout_s)
         ]
+
+    def sessions_on_route(
+        self, route_id: str, *, now: float, timeout_s: float = 300.0
+    ) -> list[BusSession]:
+        """Active sessions of one route, in session-creation order."""
+        return [
+            self.sessions[key]
+            for key in self.index.session_keys_on_route(route_id)
+            if self.index.is_active(key, now, timeout_s=timeout_s)
+        ]
+
+    def timed_predict_arrival(
+        self, route: BusRoute, current_arc: float, t: float, stop
+    ) -> ArrivalPrediction | None:
+        """One predictor call, recorded in the ``predict`` histogram."""
+        t0 = time.perf_counter()
+        pred = self.predictor.predict_arrival(route, current_arc, t, stop)
+        self.metrics.observe("predict", time.perf_counter() - t0)
+        self.metrics.incr("predict.calls")
+        return pred
 
     def predict_arrival(
         self, session_key: str, stop_id: str
     ) -> ArrivalPrediction | None:
-        """When will this bus reach the given stop on its route?"""
+        """When will this bus reach the given stop on its route?
+
+        Raises :class:`UnknownStopError` when the stop is not on the bus's
+        route (a :class:`KeyError` subclass, as the seed raised).
+        """
         session = self.sessions.get(session_key)
         if session is None or session.trajectory.last is None:
             return None
         route = self.routes[session.route_id]
-        stop = next((s for s in route.stops if s.stop_id == stop_id), None)
-        if stop is None:
-            raise KeyError(
-                f"stop {stop_id!r} is not on route {route.route_id!r}"
-            )
+        entry = self.index.stop_on_route(route.route_id, stop_id)
         last = session.trajectory.last
-        return self.predictor.predict_arrival(route, last.arc_length, last.t, stop)
+        return self.timed_predict_arrival(route, last.arc_length, last.t, entry.stop)
 
     def predict_all_arrivals(self, session_key: str) -> list[ArrivalPrediction]:
         """Predictions for every remaining stop of a tracked bus."""
@@ -209,18 +272,40 @@ class WiLocatorServer:
         last = session.trajectory.last
         return self.predictor.predict_all_stops(route, last.arc_length, last.t)
 
+    # -- observability ---------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Counters, latency histograms, cache rates and index state.
+
+        The rank-vector match caches live inside the per-route
+        :class:`RoadSVD` objects; their hit/miss totals are folded into
+        the ``caches`` section under ``svd_match``.
+        """
+        snap = self.metrics.snapshot()
+        hits = misses = 0
+        for svd in {id(s): s for s in self.svds.values()}.values():
+            info = svd.cache_info()
+            hits += info["hits"]
+            misses += info["misses"]
+        total = hits + misses
+        snap["caches"]["svd_match"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+        snap["stats"] = asdict(self.stats)
+        snap["index"] = self.index.snapshot()
+        return snap
+
     # -- traffic map ----------------------------------------------------------
 
     def detect_anomalies(self, now: float, *, lookback_s: float = 3600.0) -> list[Anomaly]:
         """Anomalies evidenced by any session active within the look-back."""
         found: list[Anomaly] = []
-        for session in self.sessions.values():
-            if (
-                session.last_report_t is None
-                or session.last_report_t < now - lookback_s
-            ):
-                continue
-            found.extend(self.anomaly_detector.detect(session.trajectory))
+        for key in self.index.active_session_keys(now, timeout_s=lookback_s):
+            found.extend(
+                self.anomaly_detector.detect(self.sessions[key].trajectory)
+            )
         return merge_anomalies(found)
 
     def traffic_map(

@@ -29,6 +29,7 @@ the cached per-sample RSS vectors without touching the environment.
 from __future__ import annotations
 
 import bisect
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -69,9 +70,24 @@ _Sample = tuple[float, dict[str, float]]
 
 
 class RoadSVD:
-    """The SVD of one route: ordered tiles over the route's arc length."""
+    """The SVD of one route: ordered tiles over the route's arc length.
 
-    def __init__(self, route: BusRoute, order: int, samples: list[_Sample]):
+    Tile matching keeps an LRU cache keyed by the observed rank vector:
+    repeated scans with an identical ranking (a bus dwelling at a stop, or
+    several riders on one bus) skip the candidate scoring entirely.  The
+    cache never needs explicit invalidation for AP churn — AP dynamics go
+    through :meth:`without_aps`/:meth:`reordered`, which build a *new*
+    diagram with a fresh, empty cache.
+    """
+
+    def __init__(
+        self,
+        route: BusRoute,
+        order: int,
+        samples: list[_Sample],
+        *,
+        match_cache_size: int = 256,
+    ):
         if order < 1:
             raise ValueError("order must be >= 1")
         if len(samples) < 2:
@@ -87,6 +103,12 @@ class RoadSVD:
             self._by_signature.setdefault(tile.signature, []).append(i)
             for bssid in tile.signature:
                 self._by_member.setdefault(bssid, []).append(i)
+        self._match_cache: OrderedDict[Signature, list[tuple[RoadTile, float]]] = (
+            OrderedDict()
+        )
+        self._match_cache_size = max(int(match_cache_size), 0)
+        self._match_cache_hits = 0
+        self._match_cache_misses = 0
 
     # -- construction -------------------------------------------------------
 
@@ -261,6 +283,39 @@ class RoadSVD:
         """All tiles whose signature equals ``signature`` exactly."""
         return [self.tiles[i] for i in self._by_signature.get(signature, [])]
 
+    def _scored_matches(self, observed: Signature) -> list[tuple[RoadTile, float]]:
+        """All candidate tiles scored against ``observed``, best first.
+
+        The window-independent part of :meth:`best_matches`, memoised in an
+        LRU cache keyed by the observed rank vector.  Candidate generation
+        is index-accelerated by signature membership, falling back to a
+        full sweep when nothing shares an AP with the observation.  Ties in
+        distance prefer the more specific (longer) signature, then the
+        earlier tile — a short coverage-fringe signature must not shadow an
+        exact full-rank match elsewhere on the route.
+        """
+        cached = self._match_cache.get(observed)
+        if cached is not None:
+            self._match_cache_hits += 1
+            self._match_cache.move_to_end(observed)
+            return cached
+        self._match_cache_misses += 1
+        candidate_ids: set[int] = set()
+        for bssid in observed[: max(self.order, 3)]:
+            candidate_ids.update(self._by_member.get(bssid, ()))
+        if not candidate_ids:
+            candidate_ids = set(range(len(self.tiles)))
+        scored = [
+            (self.tiles[i], signature_distance(observed, self.tiles[i].signature))
+            for i in candidate_ids
+        ]
+        scored.sort(key=lambda ts: (ts[1], -len(ts[0].signature), ts[0].arc_start))
+        if self._match_cache_size:
+            self._match_cache[observed] = scored
+            while len(self._match_cache) > self._match_cache_size:
+                self._match_cache.popitem(last=False)
+        return scored
+
     def best_matches(
         self,
         observed: Signature,
@@ -274,30 +329,35 @@ class RoadSVD:
         candidate set the positioner chooses from (with the mobility
         constraint as tie-breaker).  ``arc_window`` restricts candidates to
         tiles overlapping the given arc interval (the tracker's feasible
-        window); candidate generation is index-accelerated by signature
-        membership, falling back to a full sweep when nothing shares an AP
-        with the observation.
+        window); when no candidate overlaps the window the unrestricted
+        ranking is used instead.  Scoring is served from the rank-vector
+        LRU cache (see :meth:`cache_info`).
         """
-        candidate_ids: set[int] = set()
-        for bssid in observed[: max(self.order, 3)]:
-            candidate_ids.update(self._by_member.get(bssid, ()))
-        if not candidate_ids:
-            candidate_ids = set(range(len(self.tiles)))
+        scored = self._scored_matches(observed)
         if arc_window is not None:
             lo, hi = arc_window
-            windowed = {
-                i
-                for i in candidate_ids
-                if self.tiles[i].arc_end > lo and self.tiles[i].arc_start < hi
-            }
+            windowed = [
+                ts for ts in scored if ts[0].arc_end > lo and ts[0].arc_start < hi
+            ]
             if windowed:
-                candidate_ids = windowed
-        scored = [
-            (self.tiles[i], signature_distance(observed, self.tiles[i].signature))
-            for i in candidate_ids
-        ]
-        scored.sort(key=lambda ts: (ts[1], ts[0].arc_start))
+                scored = windowed
         return scored[:top]
+
+    def cache_info(self) -> dict[str, int | float]:
+        """Hit/miss statistics of the rank-vector match cache."""
+        hits, misses = self._match_cache_hits, self._match_cache_misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "size": len(self._match_cache),
+            "maxsize": self._match_cache_size,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    def clear_match_cache(self) -> None:
+        """Drop all cached match rankings (statistics are kept)."""
+        self._match_cache.clear()
 
     def boundary_between(self, arc_hint: float, bssid_a: str, bssid_b: str) -> float | None:
         """Arc of the tile boundary nearest ``arc_hint`` where APs a, b swap rank.

@@ -1,0 +1,203 @@
+"""Synthetic many-route city for perf benchmarks and metrics demos.
+
+The paper-faithful corridor world is expensive to build (radio sampling,
+multi-day traffic simulation), which makes it a poor substrate for
+query-cost experiments that want *lots* of routes and sessions.  This
+module fabricates the cheapest city that still exercises the full server
+pipeline:
+
+* ``num_routes`` straight, disjoint routes, each with its own line of
+  APs and a :meth:`RoadSVD.from_distance` diagram (rank = proximity);
+* scan reports whose readings are the exact proximity pseudo-RSS
+  (``-distance``), so every scan positions deterministically;
+* a seeded historical travel-time store, so arrival predictions resolve;
+* a shared ``hub`` stop id on every ``hub_every``-th route, giving
+  multi-route departures/trip queries something to fan out over.
+
+Every session uploads ``reports_per_session`` scans from the same spot,
+so a warm replay exercises the rank-vector match cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
+from repro.core.server.api import RiderAPI
+from repro.core.server.server import WiLocatorServer
+from repro.core.svd.road_svd import RoadSVD
+from repro.geometry import Point
+from repro.radio.ap import AccessPoint, make_bssid
+from repro.radio.environment import Reading
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import BusRoute, BusStop
+from repro.sensing.reports import ScanReport
+
+HUB_STOP_ID = "hub"
+
+
+@dataclass
+class SynthCity:
+    """A pre-wired synthetic city plus the reports to replay into it."""
+
+    server: WiLocatorServer
+    api: RiderAPI
+    reports: list[ScanReport]
+    now: float
+    hub_stop_id: str
+    hub_route_ids: list[str]
+    routes: dict[str, BusRoute]
+
+    def replay(self) -> None:
+        """Ingest every fabricated report (time-ordered)."""
+        self.server.ingest_many(self.reports)
+
+    def stop_id_on(self, route_id: str, stop_index: int) -> str:
+        return self.routes[route_id].stops[stop_index].stop_id
+
+
+def _route_aps(
+    route_idx: int, route_length_m: float, y: float, aps_per_route: int
+) -> list[AccessPoint]:
+    spacing = route_length_m / aps_per_route
+    return [
+        AccessPoint(
+            bssid=make_bssid(route_idx * aps_per_route + i),
+            ssid=f"R{route_idx}AP{i}",
+            position=Point(spacing / 2 + i * spacing, y + 15.0),
+        )
+        for i in range(aps_per_route)
+    ]
+
+
+def _readings_at(
+    point: Point, aps: list[AccessPoint], *, max_range_m: float
+) -> tuple[Reading, ...]:
+    """Proximity pseudo-RSS readings matching ``RoadSVD.from_distance``."""
+    visible = [
+        Reading(bssid=ap.bssid, ssid=ap.ssid, rss_dbm=-point.distance_to(ap.position))
+        for ap in aps
+        if point.distance_to(ap.position) <= max_range_m
+    ]
+    visible.sort(key=lambda r: (-r.rss_dbm, r.bssid))
+    return tuple(visible)
+
+
+def build_linear_city(
+    *,
+    num_routes: int = 50,
+    sessions_per_route: int = 40,
+    reports_per_session: int = 2,
+    stops_per_route: int = 10,
+    segments_per_route: int = 5,
+    route_length_m: float = 2000.0,
+    hub_every: int = 10,
+    aps_per_route: int = 10,
+    svd_step_m: float = 10.0,
+    now: float = 12 * 3600.0,
+) -> SynthCity:
+    """Build the city, its server and the report stream (nothing ingested).
+
+    Every ``hub_every``-th route carries the shared :data:`HUB_STOP_ID`
+    at its middle stop; all other stop ids are route-unique.  Sessions
+    are spread along the first 90 % of each route, each reporting
+    ``reports_per_session`` identical scans just before ``now`` (so all
+    are active at ``now`` and repeat rank vectors warm the match cache).
+    """
+    if num_routes < 1 or sessions_per_route < 1:
+        raise ValueError("need at least one route and one session per route")
+    max_range_m = 2.5 * route_length_m / aps_per_route
+    net = RoadNetwork()
+    routes: dict[str, BusRoute] = {}
+    svds: dict[str, RoadSVD] = {}
+    aps_of: dict[str, list[AccessPoint]] = {}
+    known: set[str] = set()
+    hub_route_ids: list[str] = []
+    history = TravelTimeStore()
+    seg_len = route_length_m / segments_per_route
+
+    for r in range(num_routes):
+        rid = f"R{r:03d}"
+        y = r * 10_000.0  # far apart; routes never share radio space
+        seg_ids = []
+        for i in range(segments_per_route):
+            sid = f"{rid}_seg{i}"
+            net.add_straight_segment(
+                sid,
+                f"{rid}_n{i}",
+                Point(i * seg_len, y),
+                f"{rid}_n{i + 1}",
+                Point((i + 1) * seg_len, y),
+            )
+            seg_ids.append(sid)
+        is_hub_route = r % hub_every == 0
+        if is_hub_route:
+            hub_route_ids.append(rid)
+        stops = []
+        for k in range(stops_per_route):
+            arc = route_length_m * k / (stops_per_route - 1)
+            seg_idx = min(int(arc // seg_len), segments_per_route - 1)
+            stop_id = (
+                HUB_STOP_ID
+                if is_hub_route and k == stops_per_route // 2
+                else f"{rid}_st{k}"
+            )
+            stops.append(
+                BusStop(
+                    stop_id=stop_id,
+                    segment_id=seg_ids[seg_idx],
+                    offset=min(arc - seg_idx * seg_len, seg_len),
+                )
+            )
+        route = BusRoute(rid, net, seg_ids, stops)
+        routes[rid] = route
+        aps = _route_aps(r, route_length_m, y, aps_per_route)
+        aps_of[rid] = aps
+        known.update(ap.bssid for ap in aps)
+        svds[rid] = RoadSVD.from_distance(
+            route, aps, order=2, step_m=svd_step_m, max_range_m=max_range_m
+        )
+        # Seeded history: steady ~8 m/s traversals through the morning.
+        for sid in seg_ids:
+            for j in range(3):
+                t_enter = 7 * 3600.0 + j * 1800.0
+                history.add(
+                    TravelTimeRecord(
+                        route_id=rid,
+                        segment_id=sid,
+                        t_enter=t_enter,
+                        t_exit=t_enter + seg_len / 8.0,
+                        source="synthetic",
+                    )
+                )
+
+    server = WiLocatorServer(
+        routes=routes, svds=svds, known_bssids=known, history=history
+    )
+
+    reports: list[ScanReport] = []
+    for r, (rid, route) in enumerate(routes.items()):
+        aps = aps_of[rid]
+        for s in range(sessions_per_route):
+            arc = 0.9 * route_length_m * (s + 0.5) / sessions_per_route
+            point = route.point_at(arc)
+            readings = _readings_at(point, aps, max_range_m=max_range_m)
+            for j in range(reports_per_session):
+                reports.append(
+                    ScanReport(
+                        device_id=f"dev:{rid}:{s}",
+                        session_key=f"bus:{rid}:{s}",
+                        route_id=rid,
+                        t=now - 10.0 * (reports_per_session - j),
+                        readings=readings,
+                    )
+                )
+    return SynthCity(
+        server=server,
+        api=RiderAPI(server),
+        reports=reports,
+        now=now,
+        hub_stop_id=HUB_STOP_ID,
+        hub_route_ids=hub_route_ids,
+        routes=routes,
+    )

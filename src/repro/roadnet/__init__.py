@@ -9,6 +9,12 @@ synthetic network generators used by the evaluation scenarios.
 
 from repro.roadnet.network import RoadNetwork, RoadNetworkError
 from repro.roadnet.route import BusRoute, BusStop, RoutePosition
+from repro.roadnet.index import (
+    IndexedStop,
+    IndexStats,
+    RouteIndex,
+    UnknownStopError,
+)
 from repro.roadnet.segment import RoadSegment
 from repro.roadnet.overlap import (
     OverlapStats,
@@ -43,6 +49,10 @@ __all__ = [
     "BusRoute",
     "BusStop",
     "RoutePosition",
+    "RouteIndex",
+    "IndexedStop",
+    "IndexStats",
+    "UnknownStopError",
     "OverlapStats",
     "format_overlap_table",
     "overlapped_segment_ids",

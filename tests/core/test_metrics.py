@@ -1,0 +1,108 @@
+"""ServerMetrics: counters, latency histograms, cache stats, rendering."""
+
+import pytest
+
+from repro.core.server.metrics import (
+    CacheStats,
+    LatencyHistogram,
+    ServerMetrics,
+    format_snapshot,
+)
+
+
+class TestCounters:
+    def test_incr_and_read(self):
+        m = ServerMetrics()
+        assert m.counter("x") == 0
+        m.incr("x")
+        m.incr("x", 4)
+        assert m.counter("x") == 5
+        assert m.snapshot()["counters"] == {"x": 5}
+
+
+class TestLatencyHistogram:
+    def test_observe_updates_summary(self):
+        h = LatencyHistogram()
+        for s in (0.001, 0.002, 0.004):
+            h.observe(s)
+        assert h.count == 3
+        assert h.mean_s == pytest.approx(0.007 / 3)
+        assert h.min_s == 0.001
+        assert h.max_s == 0.004
+
+    def test_empty_snapshot_is_zeroed(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap == {
+            "count": 0, "mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0,
+            "min_s": 0.0, "max_s": 0.0,
+        }
+
+    def test_quantiles_are_bucket_bounds(self):
+        h = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+        for _ in range(9):
+            h.observe(0.005)  # bucket <= 0.01
+        h.observe(0.5)  # bucket <= 1.0
+        assert h.quantile(0.5) == 0.01
+        assert h.quantile(0.95) == 1.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_overflow_bucket(self):
+        h = LatencyHistogram(bounds=(0.01,))
+        h.observe(3.0)
+        assert h.bucket_counts == [0, 1]
+        assert h.quantile(1.0) == 3.0  # overflow reports the observed max
+
+    def test_negative_durations_clamped(self):
+        h = LatencyHistogram()
+        h.observe(-1.0)  # clock weirdness must not corrupt the histogram
+        assert h.min_s == 0.0
+        assert h.count == 1
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(1.0, 0.1))
+
+    def test_timer_contextmanager(self):
+        m = ServerMetrics()
+        with m.timer("stage"):
+            pass
+        assert m.latency("stage").count == 1
+        assert m.latency("stage").max_s >= 0.0
+
+
+class TestCacheStats:
+    def test_rates(self):
+        c = CacheStats()
+        assert c.hit_rate == 0.0
+        c.hit(3)
+        c.miss()
+        assert c.hit_rate == pytest.approx(0.75)
+        assert c.snapshot() == {"hits": 3, "misses": 1, "hit_rate": 0.75}
+
+    def test_server_metrics_cache_registry(self):
+        m = ServerMetrics()
+        m.cache("a").hit()
+        m.cache("a").miss()
+        assert m.snapshot()["caches"]["a"]["hit_rate"] == 0.5
+
+
+class TestFormatSnapshot:
+    def test_empty(self):
+        assert format_snapshot({}) == "(no metrics recorded)"
+
+    def test_sections_rendered(self):
+        m = ServerMetrics()
+        m.incr("ingest.reports", 7)
+        m.observe("ingest", 0.002)
+        m.cache("svd_match").hit(2)
+        snap = m.snapshot()
+        snap["stats"] = {"sessions_opened": 3}
+        snap["index"] = {"heap_size": 1}
+        text = format_snapshot(snap)
+        assert "counters:" in text
+        assert "ingest.reports" in text and "7" in text
+        assert "latency (seconds):" in text
+        assert "hit_rate=100.0%" in text
+        assert "sessions_opened" in text
+        assert "heap_size" in text

@@ -1,6 +1,12 @@
 import pytest
 
-from repro.core.server import RiderAPI, WiLocatorServer, history_from_ground_truth
+from repro.core.server import (
+    LivePosition,
+    RiderAPI,
+    UnknownStopError,
+    WiLocatorServer,
+    history_from_ground_truth,
+)
 from repro.core.svd import RoadSVD
 from repro.geometry import GeoPoint, LocalProjection
 from repro.mobility import CitySimulator, DispatchSchedule
@@ -50,7 +56,7 @@ class TestDepartures:
     def test_upcoming_stop_listed(self, setup):
         api = RiderAPI(setup["server"])
         # the last stop is certainly still ahead at mid-trip
-        entries = api.departures("r1_stop4", setup["now"])
+        entries = api.departures("r1_stop4", now=setup["now"])
         assert len(entries) == 1
         e = entries[0]
         assert e.route_id == "r1"
@@ -59,16 +65,16 @@ class TestDepartures:
 
     def test_passed_stop_not_listed(self, setup):
         api = RiderAPI(setup["server"])
-        assert api.departures("r1_stop0", setup["now"]) == []
+        assert api.departures("r1_stop0", now=setup["now"]) == []
 
     def test_unknown_stop_raises(self, setup):
         api = RiderAPI(setup["server"])
         with pytest.raises(KeyError):
-            api.departures("nope", setup["now"])
+            api.departures("nope", now=setup["now"])
 
     def test_eta_close_to_truth(self, setup):
         api = RiderAPI(setup["server"])
-        entries = api.departures("r1_stop4", setup["now"])
+        entries = api.departures("r1_stop4", now=setup["now"])
         actual = setup["trip"].time_at_arc(
             setup["route"].stop_arc_length(setup["route"].stops[4])
         )
@@ -78,7 +84,7 @@ class TestDepartures:
 class TestTripPlan:
     def test_direct_option_found(self, setup):
         api = RiderAPI(setup["server"])
-        options = api.plan_trip("r1_stop3", "r1_stop4", setup["now"])
+        options = api.plan_trip("r1_stop3", "r1_stop4", now=setup["now"])
         assert len(options) == 1
         o = options[0]
         assert o.board_t < o.alight_t
@@ -86,28 +92,44 @@ class TestTripPlan:
 
     def test_backwards_trip_empty(self, setup):
         api = RiderAPI(setup["server"])
-        assert api.plan_trip("r1_stop4", "r1_stop3", setup["now"]) == []
+        assert api.plan_trip("r1_stop4", "r1_stop3", now=setup["now"]) == []
 
-    def test_unknown_stops_empty(self, setup):
+    def test_unknown_stops_raise(self, setup):
         api = RiderAPI(setup["server"])
-        assert api.plan_trip("zz", "r1_stop4", setup["now"]) == []
+        # the seed returned [] silently; the typed API raises uniformly
+        with pytest.raises(UnknownStopError):
+            api.plan_trip("zz", "r1_stop4", now=setup["now"])
+        with pytest.raises(UnknownStopError):
+            api.plan_trip("r1_stop0", "zz", now=setup["now"])
 
 
 class TestLivePositions:
     def test_planar_positions(self, setup):
         api = RiderAPI(setup["server"])
-        positions = api.live_positions(setup["now"])
+        positions = api.live_positions(now=setup["now"])
         assert len(positions) == 1
-        (x, y), = positions.values()
-        assert 0.0 <= x <= 1000.0
+        pos, = positions.values()
+        assert isinstance(pos, LivePosition)
+        assert pos.route_id == "r1"
+        assert 0.0 <= pos.x <= 1000.0
+        assert pos.lat is None and pos.lon is None
+        assert pos.as_tuple() == (pos.x, pos.y)
 
     def test_geo_positions(self, setup):
         proj = LocalProjection(GeoPoint(49.26, -123.14))
         api = RiderAPI(setup["server"], projection=proj)
-        positions = api.live_positions(setup["now"])
-        (lat, lon, t), = positions.values()
-        assert 49.0 < lat < 49.5
-        assert t <= setup["now"]
+        positions = api.live_positions(now=setup["now"])
+        pos, = positions.values()
+        assert 49.0 < pos.lat < 49.5
+        assert pos.t <= setup["now"]
+        assert pos.as_tuple() == (pos.lat, pos.lon, pos.t)
+
+    def test_deprecated_tuple_shim(self, setup):
+        api = RiderAPI(setup["server"])
+        with pytest.warns(DeprecationWarning):
+            tuples = api.live_positions_tuples(setup["now"])
+        typed = api.live_positions(now=setup["now"])
+        assert tuples == {k: v.as_tuple() for k, v in typed.items()}
 
     def test_stops_named_and_of_route(self, setup):
         api = RiderAPI(setup["server"])

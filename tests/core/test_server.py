@@ -66,6 +66,17 @@ class TestIngestion:
         assert server.stats.positions_fixed > 0
         assert server.stats.sessions_opened == 1
 
+    def test_ingest_many_returns_fixes(self, scene):
+        # Seed bug: ingest_many discarded the per-report fixes.
+        server = make_server(scene)
+        fixes = server.ingest_many(scene["reports"])
+        assert len(fixes) == len(scene["reports"])
+        fixed = [tp for tp in fixes if tp is not None]
+        assert len(fixed) == server.stats.positions_fixed
+        assert all(
+            a.t <= b.t for a, b in zip(fixed, fixed[1:])
+        )  # time-sorted processing order
+
     def test_position_accuracy(self, scene):
         server = make_server(scene)
         trip = scene["trip"]
@@ -164,8 +175,33 @@ class TestQueries:
         server = make_server(scene)
         server.ingest_many(scene["reports"])
         end = scene["trip"].end_s
-        assert len(server.active_sessions(end + 60.0)) == 1
-        assert len(server.active_sessions(end + 3600.0)) == 0
+        assert len(server.active_sessions(now=end + 60.0)) == 1
+        assert len(server.active_sessions(now=end + 3600.0)) == 0
+
+    def test_sessions_on_route(self, scene):
+        server = make_server(scene)
+        server.ingest_many(scene["reports"])
+        end = scene["trip"].end_s
+        sessions = server.sessions_on_route("r1", now=end + 60.0)
+        assert [s.session_key for s in sessions] == [
+            scene["reports"][0].session_key
+        ]
+        assert server.sessions_on_route("r1", now=end + 3600.0) == []
+        assert server.sessions_on_route("nope", now=end) == []
+
+
+class TestMetricsApi:
+    def test_snapshot_shape(self, scene):
+        server = make_server(scene)
+        server.ingest_many(scene["reports"])
+        snap = server.metrics_snapshot()
+        assert snap["counters"]["ingest.reports"] == len(scene["reports"])
+        assert snap["latency"]["ingest"]["count"] == len(scene["reports"])
+        assert snap["latency"]["position_fix"]["count"] == len(scene["reports"])
+        assert "svd_match" in snap["caches"]
+        assert snap["stats"]["reports_ingested"] == len(scene["reports"])
+        assert snap["index"]["sessions_opened"] == 1
+        assert snap["index"]["reports_noted"] == len(scene["reports"])
 
 
 class TestTrafficMapApi:

@@ -24,5 +24,14 @@ class TestCli:
         expected = {
             "table1", "table2", "fig8a", "fig8b", "fig8c",
             "fig9a", "fig9b", "fig10", "fig11", "seasonal",
+            "metrics",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_metrics_runs(self, capsys):
+        assert main(["metrics", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic city" in out
+        assert "counters:" in out
+        assert "latency (seconds):" in out
+        assert "svd_match" in out

@@ -1,0 +1,30 @@
+"""Lint pre-step of the tier-1 run.
+
+Runs ``ruff check`` with the configuration in ``pyproject.toml`` when the
+binary is available; skips cleanly otherwise so minimal environments stay
+green.  Keeping this inside the test suite wires linting into the tier-1
+command without a separate CI job.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_ruff_clean():
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        pytest.skip("ruff is not installed in this environment")
+    proc = subprocess.run(
+        [ruff, "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}{proc.stderr}"
