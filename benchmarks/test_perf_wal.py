@@ -1,0 +1,63 @@
+"""Durable ingest cost: WAL flush-amortisation benchmark (counter-based).
+
+Replays the 20-route synthetic city through a :class:`DurableServer`
+twice — once with per-report durability (``max_batch=1``) and once with
+micro-batching — and compares the ``wal.flushes`` counters at an equal
+``wal.appends`` count.  The batch size bounds the ratio from below, so
+the assertion is independent of machine speed, like the traversal-count
+benchmarks.
+
+Acceptance criterion exercised here: micro-batching performs >= 5x fewer
+WAL flush/fsync calls than per-report durability (the measured ratio is
+the batch size, ~32x at this configuration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import banner, show
+from repro.eval.synth_city import build_linear_city
+from repro.pipeline.durable import DurableServer
+
+pytestmark = pytest.mark.durability
+
+CITY = dict(
+    num_routes=20,
+    sessions_per_route=10,
+    reports_per_session=6,
+    stops_per_route=6,
+    aps_per_route=8,
+    route_length_m=1500.0,
+    move_m_per_report=150.0,
+)
+BATCH = 32
+
+
+def _durable_ingest(tmp_path, *, max_batch):
+    city = build_linear_city(**CITY)
+    durable = DurableServer(
+        city.server, tmp_path, max_batch=max_batch, fsync=False
+    )
+    durable.submit_many(city.reports)
+    durable.close(checkpoint=False)
+    return city.server.metrics
+
+
+def test_flush_amortisation(tmp_path):
+    per_report = _durable_ingest(tmp_path / "per-report", max_batch=1)
+    batched = _durable_ingest(tmp_path / "batched", max_batch=BATCH)
+    n = per_report.counter("wal.appends")
+    assert batched.counter("wal.appends") == n
+    flushes_1 = per_report.counter("wal.flushes")
+    flushes_b = batched.counter("wal.flushes")
+    ratio = flushes_1 / flushes_b
+
+    banner("WAL flush amortisation (durable ingest, equal record counts)")
+    show(f"  {'mode':<22}{'records':>9}{'flushes':>9}{'records/flush':>15}")
+    show(f"  {'per-report':<22}{n:>9}{flushes_1:>9}{n / flushes_1:>15.1f}")
+    show(f"  {f'batched (max={BATCH})':<22}{n:>9}{flushes_b:>9}{n / flushes_b:>15.1f}")
+    show(f"  flush reduction: {ratio:.1f}x (acceptance: >= 5x)")
+
+    assert flushes_1 == n
+    assert ratio >= 5.0

@@ -12,6 +12,19 @@ Each experiment prints the same rows/series the corresponding
 many-route city through the server and prints the
 ``WiLocatorServer.metrics_snapshot()`` report (stage latencies, cache hit
 rates, index counters).
+
+Durability subcommands drive the :mod:`repro.pipeline` subsystem against
+the same synthetic city (all take ``--data-dir``, default
+``./wilocator-data``):
+
+    python -m repro.cli checkpoint --data-dir /tmp/wilo --quick
+    python -m repro.cli wal-stat   --data-dir /tmp/wilo
+    python -m repro.cli replay     --data-dir /tmp/wilo --quick
+
+``checkpoint`` ingests the city durably (WAL + micro-batches + periodic
+checkpoints), ``wal-stat`` prints the log's segment table, ``replay``
+rebuilds a virgin server from the durable state and proves the recovered
+rider-query answers.
 """
 
 from __future__ import annotations
@@ -193,8 +206,119 @@ def run_metrics(world, quick):
     print(format_snapshot(city.server.metrics_snapshot()))
 
 
+# -- durability subcommands (repro.pipeline against the synthetic city) -----
+
+
+def _durable_city(quick: bool):
+    """The synthetic city the durability subcommands share.
+
+    Sessions *move* (180 m per 10 s scan), so buses cross segment
+    boundaries and the durable pipeline has live travel times to log,
+    checkpoint and recover.  Deterministic: ``checkpoint`` and ``replay``
+    invocations with the same ``--quick`` flag build identical twins.
+    """
+    from repro.eval.synth_city import build_linear_city
+
+    return build_linear_city(
+        num_routes=3 if quick else 8,
+        sessions_per_route=3 if quick else 6,
+        reports_per_session=6,
+        stops_per_route=6,
+        segments_per_route=5,
+        route_length_m=1500.0,
+        hub_every=3,
+        aps_per_route=8,
+        move_m_per_report=180.0,
+    )
+
+
+def run_checkpoint_cmd(args) -> None:
+    from repro.pipeline import DurableServer
+
+    city = _durable_city(args.quick)
+    with DurableServer(
+        city.server,
+        args.data_dir,
+        max_batch=16,
+        checkpoint_every=50,
+        max_segment_records=256,
+    ) as durable:
+        recovery = durable.last_recovery
+        if recovery is not None and recovery.last_seq is not None:
+            print(f"  resumed from existing state (seq {recovery.last_seq})")
+        durable.submit_many(city.reports)
+    counters = city.server.metrics.counters
+    print(
+        f"  ingested {len(city.reports)} reports durably into {args.data_dir}"
+    )
+    print(
+        f"  wal: {counters.get('wal.appends', 0)} appends in "
+        f"{counters.get('wal.flushes', 0)} flushes "
+        f"({counters.get('wal.fsyncs', 0)} fsyncs, "
+        f"{counters.get('wal.rotations', 0)} rotations)"
+    )
+    print(
+        f"  batch: {counters.get('batch.flushes', 0)} batches, "
+        f"{counters.get('batch.dropped', 0)} dropped; "
+        f"checkpoints written: {counters.get('checkpoint.writes', 0)}"
+    )
+
+
+def run_wal_stat(args) -> None:
+    from repro.pipeline import wal_stat
+    from repro.pipeline.replay import WAL_SUBDIR
+
+    stat = wal_stat(f"{args.data_dir}/{WAL_SUBDIR}")
+    print(
+        f"  {stat['records']} records (seq {stat['first_seq']}..."
+        f"{stat['last_seq']}) in {stat['segments']} segments, "
+        f"{stat['bytes']} bytes"
+    )
+    for seg in stat["per_segment"]:
+        line = (
+            f"  {seg['file']}: {seg['records']} records "
+            f"(seq {seg['first_seq']}...{seg['last_seq']}), {seg['bytes']} B"
+        )
+        if seg["error"]:
+            line += f"  [DAMAGED: {seg['error']}]"
+        print(line)
+    if stat["truncated"]:
+        print(f"  log truncated early: {stat['error']}")
+
+
+def run_replay_cmd(args) -> None:
+    from repro.core.server.metrics import format_snapshot
+    from repro.pipeline import recover
+
+    city = _durable_city(args.quick)  # virgin twin: same static config
+    report = recover(city.server, args.data_dir)
+    for line in report.summary().splitlines():
+        print(f"  {line}")
+    print(
+        f"  recovered {city.server.stats.sessions_opened} sessions, "
+        f"{len(city.server.predictor.live.segment_ids())} segments with "
+        "live travel times"
+    )
+    departures = city.api.departures(city.hub_stop_id, now=city.now)
+    for entry in departures[:5]:
+        print(
+            f"  departure {entry.route_id}/{entry.session_key}: "
+            f"eta {entry.eta_in_s:.0f} s, {entry.distance_away_m:.0f} m away"
+        )
+    print(format_snapshot(city.server.metrics_snapshot()))
+
+
+DURABILITY_CMDS = {
+    "checkpoint": (
+        "Durable ingest of the synthetic city (WAL + checkpoints)",
+        run_checkpoint_cmd,
+    ),
+    "wal-stat": ("Write-ahead-log segment table", run_wal_stat),
+    "replay": ("Crash recovery: checkpoint + WAL suffix replay", run_replay_cmd),
+}
+
 # Experiments that never touch the (expensive) corridor world.
-WORLDLESS = {"metrics"}
+WORLDLESS = {"metrics"} | set(DURABILITY_CMDS)
 
 EXPERIMENTS = {
     "table1": ("Table I: the four investigated routes", run_table1),
@@ -220,19 +344,29 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help=f"which to run: {', '.join(EXPERIMENTS)} or 'all'",
+        help=(
+            f"which to run: {', '.join(EXPERIMENTS)} or 'all'; durability "
+            f"subcommands: {', '.join(DURABILITY_CMDS)}"
+        ),
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="smaller workloads (sparser APs, fewer days)",
     )
+    parser.add_argument(
+        "--data-dir",
+        default="./wilocator-data",
+        help="durable state directory for checkpoint/wal-stat/replay",
+    )
     args = parser.parse_args(argv)
 
     chosen = list(args.experiments) or ["all"]
     if "all" in chosen:
+        # 'all' covers the paper experiments; durability subcommands
+        # mutate --data-dir and only run when named explicitly.
         chosen = list(EXPERIMENTS)
-    unknown = [c for c in chosen if c not in EXPERIMENTS]
+    unknown = [c for c in chosen if c not in EXPERIMENTS and c not in DURABILITY_CMDS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
@@ -240,12 +374,15 @@ def main(argv: list[str] | None = None) -> int:
     for name in chosen:
         if name not in WORLDLESS and world is None:
             world = _world(args.quick)
-        title, fn = EXPERIMENTS[name]
+        title, fn = EXPERIMENTS.get(name, DURABILITY_CMDS.get(name))
         print("=" * 72)
         print(title)
         print("=" * 72)
         start = time.perf_counter()
-        fn(world, args.quick)
+        if name in DURABILITY_CMDS:
+            fn(args)
+        else:
+            fn(world, args.quick)
         print(f"[{name} done in {time.perf_counter() - start:.1f} s]\n")
     return 0
 

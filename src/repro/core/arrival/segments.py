@@ -82,6 +82,15 @@ class IncrementalExtractor:
             self._boundaries.append((seg.segment_id, s0, s0 + seg.length))
         self._emitted: set[str] = set()
 
+    @property
+    def emitted_segments(self) -> frozenset[str]:
+        """Segments already reported (or skipped as degenerate) by :meth:`poll`."""
+        return frozenset(self._emitted)
+
+    def mark_emitted(self, segment_ids) -> None:
+        """Restore emission state from a checkpoint: never re-emit these."""
+        self._emitted.update(segment_ids)
+
     def poll(self, *, min_travel_time_s: float = 1.0) -> list[TravelTimeRecord]:
         """Newly completed traversals since the last call."""
         last = self._trajectory.last

@@ -19,8 +19,8 @@ Design rules of the redesigned surface:
   :class:`KeyError` subclass — the seed raised bare ``KeyError`` from
   ``departures`` but silently returned ``[]`` from ``plan_trip``);
 * results are frozen dataclasses, never bare tuples of varying arity
-  (:meth:`RiderAPI.live_positions_tuples` remains as a deprecated shim
-  for one release);
+  (the seed's heterogeneous-tuple view is gone; ``LivePosition.as_tuple``
+  keeps a per-record escape hatch);
 * all lookups route through the server's
   :class:`~repro.roadnet.index.RouteIndex` instead of scanning
   ``routes x stops`` and the full session table, and each call is
@@ -30,7 +30,6 @@ Design rules of the redesigned surface:
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 
 from repro.core.server.server import WiLocatorServer
@@ -304,24 +303,3 @@ class RiderAPI:
             return out
         finally:
             metrics.observe("query", time.perf_counter() - t0)
-
-    def live_positions_tuples(
-        self, now: float
-    ) -> dict[str, tuple[float, float, float] | tuple[float, float]]:
-        """Deprecated: the seed's heterogeneous-tuple view of live positions.
-
-        With a projection configured, values are the paper's
-        ``<lat, long, t>`` tuples; otherwise planar ``(x, y)`` metres.
-        Use :meth:`live_positions` instead; this shim will be removed one
-        release after the typed API landed.
-        """
-        warnings.warn(
-            "RiderAPI.live_positions_tuples() is deprecated; use "
-            "live_positions(now=...) which returns LivePosition records",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return {
-            key: pos.as_tuple()
-            for key, pos in self.live_positions(now=now).items()
-        }

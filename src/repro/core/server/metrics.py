@@ -2,7 +2,10 @@
 
 A production WiLocator deployment lives or dies by per-query cost, so the
 server instruments its hot stages — report ingestion, position fixing,
-arrival prediction and rider queries — with:
+arrival prediction and rider queries, plus the durable pipeline's
+``wal_flush``, ``batch_flush``, ``checkpoint`` and ``replay`` stages when
+a :class:`~repro.pipeline.durable.DurableServer` shares the metrics —
+with:
 
 * monotonic **counters** (reports ingested, queries served, index
   traversals, ...);

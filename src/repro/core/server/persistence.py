@@ -3,18 +3,57 @@
 The offline phase (historical travel times, slot scheme, anomaly
 thresholds) is expensive to recompute; a production server snapshots it
 between restarts.  Plain JSON, same spirit as the roadnet / AP databases.
+
+Two durability rules, shared with the checkpoint files of
+:mod:`repro.pipeline.checkpoint`:
+
+* **atomic writes** — payloads land in a ``*.tmp`` sibling first and are
+  published with ``os.replace``, so a crash mid-write can never leave a
+  half-written file where a reader expects a snapshot;
+* **strict versioning** — every payload carries a ``version`` field that
+  is checked on read (:func:`check_version`); files from a future or
+  unknown format fail loudly instead of silently misparsing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
 from repro.core.arrival.seasonal import SlotScheme
 
 FORMAT_VERSION = 1
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a tmp sibling + ``os.replace``."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def check_version(
+    data: Mapping[str, Any], *, kind: str, expected: int = FORMAT_VERSION
+) -> int:
+    """Validate a payload's ``version`` field; returns it.
+
+    Raises a descriptive :class:`ValueError` when the field is missing
+    (the payload is not one of ours) or names a version this build does
+    not read (written by a newer build).
+    """
+    version = data.get("version")
+    if version is None:
+        raise ValueError(f"{kind} payload has no 'version' field")
+    if version != expected:
+        raise ValueError(
+            f"unsupported {kind} format version {version!r} "
+            f"(this build reads version {expected})"
+        )
+    return version
 
 
 def store_to_dict(store: TravelTimeStore) -> dict[str, Any]:
@@ -37,9 +76,7 @@ def store_to_dict(store: TravelTimeStore) -> dict[str, Any]:
 
 def store_from_dict(data: dict[str, Any]) -> TravelTimeStore:
     """Rebuild a travel-time store."""
-    version = data.get("version", FORMAT_VERSION)
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported store format version {version}")
+    check_version(data, kind="travel-time store")
     return TravelTimeStore(
         TravelTimeRecord(
             route_id=r["route"],
@@ -57,9 +94,7 @@ def slots_to_dict(slots: SlotScheme) -> dict[str, Any]:
 
 
 def slots_from_dict(data: dict[str, Any]) -> SlotScheme:
-    version = data.get("version", FORMAT_VERSION)
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported slots format version {version}")
+    check_version(data, kind="slot scheme")
     return SlotScheme(tuple(float(b) for b in data["boundaries"]))
 
 
@@ -68,14 +103,14 @@ def save_training_state(
     history: TravelTimeStore,
     slots: SlotScheme | None = None,
 ) -> None:
-    """Snapshot the trained state to one JSON file."""
+    """Snapshot the trained state to one JSON file (atomically)."""
     payload: dict[str, Any] = {
         "version": FORMAT_VERSION,
         "history": store_to_dict(history),
     }
     if slots is not None:
         payload["slots"] = slots_to_dict(slots)
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_text(path, json.dumps(payload))
 
 
 def load_training_state(
@@ -83,9 +118,7 @@ def load_training_state(
 ) -> tuple[TravelTimeStore, SlotScheme | None]:
     """Restore a snapshot written by :func:`save_training_state`."""
     data = json.loads(Path(path).read_text())
-    version = data.get("version", FORMAT_VERSION)
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported snapshot version {version}")
+    check_version(data, kind="training snapshot")
     history = store_from_dict(data["history"])
     slots = slots_from_dict(data["slots"]) if "slots" in data else None
     return history, slots

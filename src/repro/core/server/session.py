@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any
+
 from repro.core.arrival.history import TravelTimeRecord
 from repro.core.arrival.segments import IncrementalExtractor
 from repro.core.positioning.tracker import BusTracker
@@ -52,3 +54,46 @@ class BusSession:
     def is_stale(self, now: float, *, timeout_s: float = 300.0) -> bool:
         """Whether the session stopped reporting (trip over / phone off)."""
         return self.last_report_t is not None and now - self.last_report_t > timeout_s
+
+    # -- durability (checkpoint round-trip) ----------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """The session's replayable state (JSON-safe).
+
+        Planar trajectory points are not stored — they are recomputed
+        from the route's polyline on restore, so arc lengths stay the
+        single source of truth.
+        """
+        return {
+            "session_key": self.session_key,
+            "route_id": self.route_id,
+            "reports_seen": self.reports_seen,
+            "last_report_t": self.last_report_t,
+            "points": [[p.t, p.arc_length, p.method] for p in self.trajectory],
+            "emitted": sorted(self.extractor.emitted_segments),
+        }
+
+    @classmethod
+    def from_state(cls, data: dict[str, Any], tracker: BusTracker) -> "BusSession":
+        """Rebuild a session around a freshly constructed tracker."""
+        session = cls(
+            session_key=data["session_key"],
+            route_id=data["route_id"],
+            tracker=tracker,
+        )
+        route = tracker.route
+        for t, arc, method in data["points"]:
+            arc = float(arc)
+            tracker.trajectory.append(
+                TrajectoryPoint(
+                    t=float(t),
+                    arc_length=arc,
+                    point=route.point_at(arc),
+                    method=method,
+                )
+            )
+        session.extractor.mark_emitted(data["emitted"])
+        session.reports_seen = int(data["reports_seen"])
+        last_t = data["last_report_t"]
+        session.last_report_t = None if last_t is None else float(last_t)
+        return session

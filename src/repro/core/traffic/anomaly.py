@@ -96,6 +96,40 @@ class DeltaEstimator:
             return self.factor * self.default_step_m
         return self.factor * (acc[0] / acc[1])
 
+    # -- durability (checkpoint round-trip) ----------------------------------
+
+    def state_dict(self) -> dict:
+        """The learned thresholds as a JSON-safe payload."""
+        return {
+            "factor": self.factor,
+            "default_step_m": self.default_step_m,
+            "boundaries": list(self.slots.boundaries),
+            "slot_sums": [
+                [seg, slot, acc[0], acc[1]]
+                for (seg, slot), acc in sorted(self._sums.items())
+            ],
+            "segment_sums": [
+                [seg, acc[0], acc[1]]
+                for seg, acc in sorted(self._segment_sums.items())
+            ],
+        }
+
+    def load_state(self, data: dict) -> None:
+        """Replace the learned state in place (detectors keep their reference)."""
+        from repro.core.arrival.seasonal import SlotScheme
+
+        self.factor = float(data["factor"])
+        self.default_step_m = float(data["default_step_m"])
+        self.slots = SlotScheme(tuple(float(b) for b in data["boundaries"]))
+        self._sums = {
+            (seg, int(slot)): [float(total), float(count)]
+            for seg, slot, total, count in data["slot_sums"]
+        }
+        self._segment_sums = {
+            seg: [float(total), float(count)]
+            for seg, total, count in data["segment_sums"]
+        }
+
 
 class AnomalyDetector:
     """Finds and filters slow-step runs in a trajectory.

@@ -20,7 +20,7 @@ so a warm replay exercises the rank-vector match cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
 from repro.core.server.api import RiderAPI
@@ -47,6 +47,7 @@ class SynthCity:
     hub_stop_id: str
     hub_route_ids: list[str]
     routes: dict[str, BusRoute]
+    params: dict = field(default_factory=dict)
 
     def replay(self) -> None:
         """Ingest every fabricated report (time-ordered)."""
@@ -54,6 +55,16 @@ class SynthCity:
 
     def stop_id_on(self, route_id: str, stop_index: int) -> str:
         return self.routes[route_id].stops[stop_index].stop_id
+
+    def fresh_twin(self) -> "SynthCity":
+        """An identically configured city with a virgin server.
+
+        The build is deterministic, so the twin's routes, SVDs, history
+        and fabricated reports are equal to this city's — the substrate
+        crash-recovery tests (and the ``replay`` CLI) need to rebuild the
+        static configuration a checkpoint must be restored into.
+        """
+        return build_linear_city(**self.params)
 
 
 def _route_aps(
@@ -95,17 +106,36 @@ def build_linear_city(
     aps_per_route: int = 10,
     svd_step_m: float = 10.0,
     now: float = 12 * 3600.0,
+    move_m_per_report: float = 0.0,
 ) -> SynthCity:
     """Build the city, its server and the report stream (nothing ingested).
 
     Every ``hub_every``-th route carries the shared :data:`HUB_STOP_ID`
-    at its middle stop; all other stop ids are route-unique.  Sessions
-    are spread along the first 90 % of each route, each reporting
-    ``reports_per_session`` identical scans just before ``now`` (so all
-    are active at ``now`` and repeat rank vectors warm the match cache).
+    at its middle stop; all other stop ids are route-unique.  By default
+    sessions are spread along the first 90 % of each route, each
+    reporting ``reports_per_session`` identical scans just before ``now``
+    (so all are active at ``now`` and repeat rank vectors warm the match
+    cache).  With ``move_m_per_report`` > 0 sessions instead start in the
+    first 20 % and advance that many metres per scan (10 s apart, so keep
+    it under 250 m to stay inside the tracker's speed bound) — buses then
+    cross segment boundaries and the server extracts live travel times,
+    which the durability pipeline needs to exercise its live store.
     """
     if num_routes < 1 or sessions_per_route < 1:
         raise ValueError("need at least one route and one session per route")
+    params = dict(
+        num_routes=num_routes,
+        sessions_per_route=sessions_per_route,
+        reports_per_session=reports_per_session,
+        stops_per_route=stops_per_route,
+        segments_per_route=segments_per_route,
+        route_length_m=route_length_m,
+        hub_every=hub_every,
+        aps_per_route=aps_per_route,
+        svd_step_m=svd_step_m,
+        now=now,
+        move_m_per_report=move_m_per_report,
+    )
     max_range_m = 2.5 * route_length_m / aps_per_route
     net = RoadNetwork()
     routes: dict[str, BusRoute] = {}
@@ -176,13 +206,19 @@ def build_linear_city(
     )
 
     reports: list[ScanReport] = []
+    start_frac = 0.2 if move_m_per_report > 0.0 else 0.9
     for r, (rid, route) in enumerate(routes.items()):
         aps = aps_of[rid]
         for s in range(sessions_per_route):
-            arc = 0.9 * route_length_m * (s + 0.5) / sessions_per_route
-            point = route.point_at(arc)
-            readings = _readings_at(point, aps, max_range_m=max_range_m)
+            arc0 = start_frac * route_length_m * (s + 0.5) / sessions_per_route
+            readings: tuple[Reading, ...] | None = None
             for j in range(reports_per_session):
+                if readings is None or move_m_per_report > 0.0:
+                    arc = min(
+                        arc0 + j * move_m_per_report, route_length_m - 1e-6
+                    )
+                    point = route.point_at(arc)
+                    readings = _readings_at(point, aps, max_range_m=max_range_m)
                 reports.append(
                     ScanReport(
                         device_id=f"dev:{rid}:{s}",
@@ -200,4 +236,5 @@ def build_linear_city(
         hub_stop_id=HUB_STOP_ID,
         hub_route_ids=hub_route_ids,
         routes=routes,
+        params=params,
     )

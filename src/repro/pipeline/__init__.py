@@ -1,0 +1,45 @@
+"""Durable ingest pipeline: WAL, micro-batching, checkpoints, recovery.
+
+The in-memory :class:`~repro.core.server.server.WiLocatorServer` stays
+the default everywhere; wrap it in :class:`DurableServer` to make the
+ingest stream crash-recoverable.  See DESIGN.md §11 ("Durability &
+recovery") for the format and invariants.
+"""
+
+from repro.pipeline.batcher import Backpressure, MicroBatcher
+from repro.pipeline.checkpoint import (
+    checkpoint_to_dict,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_into,
+    write_checkpoint,
+)
+from repro.pipeline.durable import DurableServer
+from repro.pipeline.replay import RecoveryReport, recover
+from repro.pipeline.wal import (
+    WalCorruptionError,
+    WalReadResult,
+    WalRecord,
+    WalWriter,
+    read_wal,
+    wal_stat,
+)
+
+__all__ = [
+    "Backpressure",
+    "MicroBatcher",
+    "DurableServer",
+    "RecoveryReport",
+    "recover",
+    "WalCorruptionError",
+    "WalReadResult",
+    "WalRecord",
+    "WalWriter",
+    "read_wal",
+    "wal_stat",
+    "checkpoint_to_dict",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "restore_into",
+    "write_checkpoint",
+]

@@ -1,0 +1,143 @@
+"""Bounded micro-batching front-end for durable ingestion.
+
+Per-report durability costs one WAL flush (and fsync) per scan; at city
+scale that is the dominant ingest cost.  :class:`MicroBatcher` groups
+submitted reports and hands them to a *sink* callable — one batch, one
+flush — when either trigger fires:
+
+* the batch reached ``max_batch`` reports, or
+* the oldest buffered report has waited ``max_delay_s`` (checked on
+  every :meth:`submit` and on explicit :meth:`tick` calls — the pipeline
+  is synchronous and deterministic, so there is no background timer
+  thread; whoever drives the loop drives the clock).
+
+Backpressure: the buffer is bounded by ``max_queue``.  The bound can
+only bind when the sink *fails* (a failed batch stays buffered for
+retry); a healthy sink always drains.  On overflow the configured policy
+applies: ``"drop"`` rejects the newest report and counts it, ``"block"``
+raises :class:`Backpressure` — the synchronous stand-in for blocking the
+transport until the sink recovers.
+
+Counters (in ``metrics``): ``batch.submitted``, ``batch.flushes``,
+``batch.flushed_reports``, ``batch.dropped``, ``batch.sink_errors``;
+sink latency lands in the ``batch_flush`` histogram.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from repro.core.server.metrics import ServerMetrics
+from repro.sensing.reports import ScanReport
+
+__all__ = ["Backpressure", "MicroBatcher"]
+
+Sink = Callable[[Sequence[ScanReport]], None]
+
+
+class Backpressure(RuntimeError):
+    """The batcher's bounded queue is full and the policy is ``"block"``."""
+
+
+class MicroBatcher:
+    """Flush-on-max-batch / flush-on-max-delay report batching."""
+
+    def __init__(
+        self,
+        sink: Sink,
+        *,
+        max_batch: int = 32,
+        max_delay_s: float = 0.2,
+        max_queue: int = 1024,
+        overflow: str = "block",
+        clock: Callable[[], float] = time.monotonic,
+        metrics: ServerMetrics | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        if max_queue < max_batch:
+            raise ValueError("max_queue must be >= max_batch")
+        if overflow not in ("block", "drop"):
+            raise ValueError("overflow policy must be 'block' or 'drop'")
+        self.sink = sink
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.max_queue = max_queue
+        self.overflow = overflow
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._queue: list[ScanReport] = []
+        self._oldest_at: float | None = None
+        self._flushing = False
+
+    @property
+    def pending(self) -> int:
+        """Reports buffered but not yet handed to the sink."""
+        return len(self._queue)
+
+    def submit(self, report: ScanReport) -> bool:
+        """Buffer one report; returns False only when it was dropped.
+
+        Flushes first when the queue is full (the retry path after a sink
+        failure), then applies the overflow policy if it still is.
+        """
+        self.metrics.incr("batch.submitted")
+        if len(self._queue) >= self.max_queue:
+            try:
+                self.flush()
+            except Exception:
+                self.metrics.incr("batch.sink_errors")
+            if len(self._queue) >= self.max_queue:
+                if self.overflow == "drop":
+                    self.metrics.incr("batch.dropped")
+                    return False
+                raise Backpressure(
+                    f"batch queue full ({self.max_queue} reports) and the "
+                    "sink is not draining"
+                )
+        if not self._queue:
+            self._oldest_at = self.clock()
+        self._queue.append(report)
+        if len(self._queue) >= self.max_batch:
+            self.flush()
+        else:
+            self.tick()
+        return True
+
+    def submit_many(self, reports: Sequence[ScanReport]) -> int:
+        """Submit several reports; returns how many were accepted."""
+        return sum(1 for r in reports if self.submit(r))
+
+    def tick(self, now: float | None = None) -> int:
+        """Flush if the oldest buffered report outwaited ``max_delay_s``."""
+        if self._oldest_at is None:
+            return 0
+        if (now if now is not None else self.clock()) - self._oldest_at >= self.max_delay_s:
+            return self.flush()
+        return 0
+
+    def flush(self) -> int:
+        """Hand the whole buffer to the sink as one batch.
+
+        The batch leaves the queue only after the sink returns; a raising
+        sink keeps it buffered for retry (at-least-once hand-off).
+        Re-entrant calls (a sink that flushes, e.g. to checkpoint
+        mid-commit) are no-ops — the outer flush already owns the batch.
+        """
+        if not self._queue or self._flushing:
+            return 0
+        batch = tuple(self._queue)
+        self._flushing = True
+        try:
+            with self.metrics.timer("batch_flush"):
+                self.sink(batch)
+        finally:
+            self._flushing = False
+        self._queue.clear()
+        self._oldest_at = None
+        self.metrics.incr("batch.flushes")
+        self.metrics.incr("batch.flushed_reports", len(batch))
+        return len(batch)

@@ -1,0 +1,210 @@
+"""The durable server: WAL + micro-batching + periodic checkpoints.
+
+:class:`DurableServer` wraps an in-memory :class:`WiLocatorServer` (which
+stays the default everywhere else — tests, experiments, benchmarks run
+the plain server) and makes its ingest stream crash-recoverable:
+
+* every submitted report is appended to the write-ahead log
+  (:mod:`repro.pipeline.wal`) and made durable with one flush per
+  micro-batch (:mod:`repro.pipeline.batcher`), not one per report;
+* a report mutates server state only after the batch holding it is
+  durable, so recovery can never know *less* than the WAL and the WAL
+  can never know less than the state;
+* every ``checkpoint_every`` committed reports a snapshot stamped with
+  the covered WAL sequence is published atomically
+  (:mod:`repro.pipeline.checkpoint`).
+
+Crash semantics: reports buffered in the batcher but not yet flushed are
+lost on a crash — exactly as if the phones' uploads had not arrived.
+Everything flushed is recovered byte-identically by
+:func:`repro.pipeline.replay.recover`.
+
+All pipeline counters and latencies share the wrapped server's
+:class:`~repro.core.server.metrics.ServerMetrics`, so
+``metrics_snapshot()`` reports the wal/batch/checkpoint/replay stages
+alongside ingest and query.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.positioning.trajectory import TrajectoryPoint
+from repro.core.server.server import WiLocatorServer
+from repro.pipeline.batcher import MicroBatcher
+from repro.pipeline.checkpoint import write_checkpoint
+from repro.pipeline.replay import (
+    CHECKPOINT_SUBDIR,
+    WAL_SUBDIR,
+    RecoveryReport,
+    recover as run_recovery,
+)
+from repro.pipeline.wal import WalWriter
+from repro.sensing.reports import ScanReport
+
+__all__ = ["DurableServer"]
+
+
+class DurableServer:
+    """Durability wrapper around a configured :class:`WiLocatorServer`.
+
+    Parameters
+    ----------
+    server:
+        The freshly configured in-memory server to wrap.  Construct it
+        exactly as for a non-durable deployment; queries go straight to
+        it (``durable.server.predict_arrival(...)`` or via
+        :meth:`__getattr__` delegation).
+    data_dir:
+        Root of the durable layout (``wal/`` and ``checkpoints/``).
+    max_batch / max_delay_s / max_queue / overflow:
+        Micro-batching knobs, see :class:`MicroBatcher`.
+    checkpoint_every:
+        Publish a checkpoint after at least this many committed reports
+        (0 disables periodic checkpoints; :meth:`close` still writes a
+        final one unless told not to).
+    max_segment_records / max_segment_bytes / fsync:
+        WAL knobs, see :class:`WalWriter`.
+    recover:
+        When True (default), replay existing durable state in
+        ``data_dir`` into ``server`` before accepting new reports.
+    """
+
+    def __init__(
+        self,
+        server: WiLocatorServer,
+        data_dir: str | Path,
+        *,
+        max_batch: int = 32,
+        max_delay_s: float = 0.2,
+        max_queue: int = 1024,
+        overflow: str = "block",
+        checkpoint_every: int = 0,
+        checkpoint_retain: int = 2,
+        max_segment_records: int = 1024,
+        max_segment_bytes: int = 1 << 20,
+        fsync: bool = True,
+        recover: bool = True,
+    ) -> None:
+        self.server = server
+        self.data_dir = Path(data_dir)
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_retain = checkpoint_retain
+        self.last_recovery: RecoveryReport | None = None
+        if recover:
+            self.last_recovery = run_recovery(server, self.data_dir)
+        self.wal = WalWriter(
+            self.data_dir / WAL_SUBDIR,
+            max_segment_records=max_segment_records,
+            max_segment_bytes=max_segment_bytes,
+            fsync=fsync,
+            metrics=server.metrics,
+        )
+        self.batcher = MicroBatcher(
+            self._commit,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            max_queue=max_queue,
+            overflow=overflow,
+            metrics=server.metrics,
+        )
+        self._since_checkpoint = 0
+        self._closed = False
+
+    # -- durable ingestion ---------------------------------------------------
+
+    def submit(self, report: ScanReport) -> bool:
+        """Batched durable ingest; the report takes effect at batch commit.
+
+        Returns False only when the report was dropped by the overflow
+        policy.  State and position fixes become visible once the batch
+        holding the report commits (max-batch reached, max-delay elapsed,
+        or an explicit :meth:`flush`).
+        """
+        self._check_open()
+        return self.batcher.submit(report)
+
+    def submit_many(self, reports: Iterable[ScanReport]) -> int:
+        """Submit a report stream in timestamp order; returns accepted count."""
+        self._check_open()
+        return self.batcher.submit_many(sorted(reports, key=lambda r: r.t))
+
+    def ingest(self, report: ScanReport) -> TrajectoryPoint | None:
+        """Unbatched durable ingest: WAL-commit this report alone, then apply.
+
+        The synchronous path for callers that need the position fix
+        immediately; costs one flush/fsync per report.  Any batched
+        reports already waiting are committed first, preserving
+        submission order in the log.
+        """
+        self._check_open()
+        self.batcher.flush()
+        self.wal.append(report)
+        self.wal.flush()
+        fix = self.server.ingest(report)
+        self._note_committed(1)
+        return fix
+
+    def flush(self) -> int:
+        """Commit any buffered batch now; returns reports committed."""
+        self._check_open()
+        return self.batcher.flush()
+
+    def _commit(self, batch: Sequence[ScanReport]) -> None:
+        """Batcher sink: one WAL flush for the whole batch, then apply it."""
+        for report in batch:
+            self.wal.append(report)
+        self.wal.flush()
+        for report in batch:
+            self.server.ingest(report)
+        self._note_committed(len(batch))
+
+    def _note_committed(self, n: int) -> None:
+        self._since_checkpoint += n
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint(self) -> Path:
+        """Publish a checkpoint covering everything committed so far."""
+        self._check_open()
+        self.batcher.flush()
+        seq = self.wal.last_durable_seq
+        metrics = self.server.metrics
+        with metrics.timer("checkpoint"):
+            path = write_checkpoint(
+                self.data_dir / CHECKPOINT_SUBDIR,
+                self.server,
+                wal_seq=seq if seq is not None else -1,
+                retain=self.checkpoint_retain,
+            )
+        metrics.incr("checkpoint.writes")
+        self._since_checkpoint = 0
+        return path
+
+    def close(self, *, checkpoint: bool = True) -> None:
+        """Commit buffered reports, optionally checkpoint, release the WAL."""
+        if self._closed:
+            return
+        self.batcher.flush()
+        if checkpoint:
+            self.checkpoint()
+        self.wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "DurableServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("durable server is closed")
+
+    # -- queries delegate to the wrapped server ------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self.server, name)

@@ -1,7 +1,11 @@
+import json
+
 import pytest
 
 from repro.core.arrival import SlotScheme, TravelTimeRecord, TravelTimeStore
 from repro.core.server.persistence import (
+    atomic_write_text,
+    check_version,
     load_training_state,
     save_training_state,
     slots_from_dict,
@@ -77,3 +81,41 @@ class TestFileRoundTrip:
         save_training_state(path, store)
         history, _ = load_training_state(path)
         assert history.mean_travel_time("s0") == store.mean_travel_time("s0")
+
+
+class TestAtomicWrite:
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_leaves_no_temp_sibling(self, tmp_path):
+        path = tmp_path / "state.json"
+        atomic_write_text(path, "payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_save_is_atomic(self, tmp_path, store):
+        path = tmp_path / "state.json"
+        save_training_state(path, store)
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+        assert json.loads(path.read_text())["version"] == 1
+
+
+class TestCheckVersion:
+    def test_accepts_expected(self):
+        assert check_version({"version": 1}, kind="thing") == 1
+
+    def test_missing_version_names_kind(self):
+        with pytest.raises(ValueError, match="training snapshot"):
+            check_version({}, kind="training snapshot")
+
+    def test_mismatch_names_both_versions(self):
+        with pytest.raises(ValueError, match=r"version 9.*reads version 1"):
+            check_version({"version": 9}, kind="thing")
+
+    def test_load_rejects_versionless_file(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"history": {"records": []}}))
+        with pytest.raises(ValueError, match="version"):
+            load_training_state(path)

@@ -120,9 +120,3 @@ class TestQueryParity:
         assert {
             k: v.as_tuple() for k, v in typed.items()
         } == linear_live_positions(setup["server"], now, projection=proj)
-
-    def test_deprecated_tuple_shim_matches_linear(self, setup):
-        api, server, now = setup["api"], setup["server"], setup["now"]
-        with pytest.warns(DeprecationWarning):
-            shim = api.live_positions_tuples(now)
-        assert shim == linear_live_positions(server, now)

@@ -124,12 +124,8 @@ class TestLivePositions:
         assert pos.t <= setup["now"]
         assert pos.as_tuple() == (pos.lat, pos.lon, pos.t)
 
-    def test_deprecated_tuple_shim(self, setup):
-        api = RiderAPI(setup["server"])
-        with pytest.warns(DeprecationWarning):
-            tuples = api.live_positions_tuples(setup["now"])
-        typed = api.live_positions(now=setup["now"])
-        assert tuples == {k: v.as_tuple() for k, v in typed.items()}
+    def test_tuple_shim_removed(self):
+        assert not hasattr(RiderAPI, "live_positions_tuples")
 
     def test_stops_named_and_of_route(self, setup):
         api = RiderAPI(setup["server"])

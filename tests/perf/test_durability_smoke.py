@@ -1,0 +1,61 @@
+"""Durability smoke job: counter-based, runs inside the tier-1 suite.
+
+A scaled-down version of ``benchmarks/test_perf_wal.py`` asserting the
+pipeline's machine-independent cost claim: micro-batching must cut the
+number of WAL flush (and fsync) calls by >= 5x against per-report
+durability at an identical record count — the counters are the proof, no
+wall clocks involved.  Select with ``-m durability`` (or the combined
+``-m "perf or durability"`` smoke).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.synth_city import build_linear_city
+from repro.pipeline.durable import DurableServer
+
+pytestmark = pytest.mark.durability
+
+CITY = dict(
+    num_routes=2,
+    sessions_per_route=5,
+    reports_per_session=8,
+    stops_per_route=4,
+    aps_per_route=5,
+    route_length_m=1000.0,
+    move_m_per_report=100.0,
+)
+
+
+def _durable_ingest(tmp_path, *, max_batch):
+    city = build_linear_city(**CITY)
+    durable = DurableServer(
+        city.server, tmp_path, max_batch=max_batch, fsync=False
+    )
+    durable.submit_many(city.reports)
+    durable.close(checkpoint=False)
+    return city.server.metrics
+
+
+def test_batching_cuts_flushes_5x(tmp_path):
+    n_reports = 2 * 5 * 8
+    per_report = _durable_ingest(tmp_path / "a", max_batch=1)
+    batched = _durable_ingest(tmp_path / "b", max_batch=16)
+    assert per_report.counter("wal.appends") == n_reports
+    assert batched.counter("wal.appends") == n_reports
+    assert per_report.counter("wal.flushes") == n_reports
+    assert batched.counter("wal.flushes") <= n_reports / 16 + 1
+    ratio = per_report.counter("wal.flushes") / batched.counter("wal.flushes")
+    assert ratio >= 5.0
+
+
+def test_fsync_count_tracks_flush_count(tmp_path):
+    city = build_linear_city(**CITY)
+    durable = DurableServer(
+        city.server, tmp_path, max_batch=16, fsync=True
+    )
+    durable.submit_many(city.reports)
+    durable.close(checkpoint=False)
+    m = city.server.metrics
+    assert m.counter("wal.fsyncs") == m.counter("wal.flushes")

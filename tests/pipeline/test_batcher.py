@@ -1,0 +1,163 @@
+"""Micro-batcher triggers, backpressure policies and retry semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.batcher import Backpressure, MicroBatcher
+from tests.pipeline.conftest import make_report
+
+pytestmark = pytest.mark.durability
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class RecordingSink:
+    def __init__(self) -> None:
+        self.batches: list[tuple] = []
+        self.fail_next = 0
+
+    def __call__(self, batch) -> None:
+        if self.fail_next:
+            self.fail_next -= 1
+            raise OSError("disk full")
+        self.batches.append(tuple(batch))
+
+
+@pytest.fixture()
+def sink():
+    return RecordingSink()
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def test_flush_on_max_batch(sink, clock):
+    b = MicroBatcher(sink, max_batch=3, max_delay_s=60.0, clock=clock)
+    for i in range(7):
+        b.submit(make_report(i))
+    assert [len(batch) for batch in sink.batches] == [3, 3]
+    assert b.pending == 1
+    assert b.flush() == 1
+    assert len(sink.batches) == 3
+
+
+def test_flush_on_max_delay(sink, clock):
+    b = MicroBatcher(sink, max_batch=100, max_delay_s=0.5, clock=clock)
+    b.submit(make_report(0))
+    assert sink.batches == []
+    clock.advance(0.4)
+    assert b.tick() == 0
+    clock.advance(0.2)  # oldest report has now waited 0.6 s
+    assert b.tick() == 1
+    assert len(sink.batches) == 1
+
+
+def test_delay_measured_from_oldest(sink, clock):
+    b = MicroBatcher(sink, max_batch=100, max_delay_s=0.5, clock=clock)
+    b.submit(make_report(0))
+    clock.advance(0.45)
+    # Submitting near the deadline flushes both: the *oldest* waited long
+    # enough by the next submit's tick.
+    clock.advance(0.1)
+    b.submit(make_report(1))
+    assert [len(batch) for batch in sink.batches] == [2]
+
+
+def test_flush_empty_is_noop(sink, clock):
+    b = MicroBatcher(sink, clock=clock)
+    assert b.flush() == 0
+    assert sink.batches == []
+
+
+def test_failed_sink_keeps_batch_for_retry(sink, clock):
+    b = MicroBatcher(sink, max_batch=2, max_delay_s=60.0, clock=clock)
+    sink.fail_next = 1
+    b.submit(make_report(0))
+    with pytest.raises(OSError):
+        b.submit(make_report(1))  # triggers the failing flush
+    assert b.pending == 2  # at-least-once: nothing was lost
+    assert b.flush() == 2  # sink recovered
+    assert sink.batches == [(make_report(0), make_report(1))]
+
+
+def test_drop_policy_counts_and_rejects(sink, clock):
+    b = MicroBatcher(
+        sink, max_batch=2, max_queue=2, overflow="drop", clock=clock
+    )
+    sink.fail_next = 100  # sink is down; queue cannot drain
+    b.submit(make_report(0))
+    with pytest.raises(OSError):
+        b.submit(make_report(1))  # max-batch flush hits the dead sink
+    assert b.pending == 2
+    assert b.submit(make_report(2)) is False
+    assert b.metrics.counter("batch.dropped") == 1
+    assert b.metrics.counter("batch.sink_errors") == 1
+
+
+def test_block_policy_raises_backpressure(sink, clock):
+    b = MicroBatcher(
+        sink, max_batch=2, max_queue=2, overflow="block", clock=clock
+    )
+    sink.fail_next = 100
+    b.submit(make_report(0))
+    with pytest.raises(OSError):
+        b.submit(make_report(1))  # max-batch flush hits the dead sink
+    with pytest.raises(Backpressure):
+        b.submit(make_report(2))
+    sink.fail_next = 0
+    assert b.submit(make_report(2)) is True  # full queue drains, then accepts
+    assert b.pending == 1
+
+
+def test_submit_many_counts_accepted(sink, clock):
+    b = MicroBatcher(
+        sink, max_batch=4, max_queue=4, overflow="drop", clock=clock
+    )
+    assert b.submit_many([make_report(i) for i in range(10)]) == 10
+    assert b.metrics.counter("batch.submitted") == 10
+
+
+def test_counters_and_latency_stage(sink, clock):
+    b = MicroBatcher(sink, max_batch=2, clock=clock)
+    for i in range(4):
+        b.submit(make_report(i))
+    m = b.metrics
+    assert m.counter("batch.flushes") == 2
+    assert m.counter("batch.flushed_reports") == 4
+    assert m.snapshot()["latency"]["batch_flush"]["count"] == 2
+
+
+def test_reentrant_flush_is_noop(clock):
+    calls = []
+
+    def sink(batch):
+        calls.append(tuple(batch))
+        assert b.flush() == 0  # e.g. a checkpoint taken mid-commit
+
+    b = MicroBatcher(sink, max_batch=2, clock=clock)
+    b.submit(make_report(0))
+    b.submit(make_report(1))
+    assert len(calls) == 1
+
+
+def test_constructor_validation(sink):
+    with pytest.raises(ValueError):
+        MicroBatcher(sink, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(sink, max_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(sink, max_batch=8, max_queue=4)
+    with pytest.raises(ValueError):
+        MicroBatcher(sink, overflow="spill")

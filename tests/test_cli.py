@@ -1,6 +1,6 @@
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import DURABILITY_CMDS, EXPERIMENTS, main
 
 
 class TestCli:
@@ -35,3 +35,37 @@ class TestCli:
         assert "counters:" in out
         assert "latency (seconds):" in out
         assert "svd_match" in out
+
+
+class TestDurabilityCli:
+    def test_registry(self):
+        assert set(DURABILITY_CMDS) == {"checkpoint", "wal-stat", "replay"}
+        assert not set(DURABILITY_CMDS) & set(EXPERIMENTS)
+
+    def test_checkpoint_then_stat_then_replay(self, capsys, tmp_path):
+        data_dir = str(tmp_path / "wilo")
+        args = ["--quick", "--data-dir", data_dir]
+        assert main(["checkpoint"] + args) == 0
+        out = capsys.readouterr().out
+        assert "ingested 54 reports durably" in out
+        assert "checkpoints written" in out
+
+        assert main(["wal-stat"] + args) == 0
+        out = capsys.readouterr().out
+        assert "54 records" in out
+        assert "wal-0000000000.jsonl" in out
+
+        assert main(["replay"] + args) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint:" in out
+        assert "recovered seq:  53" in out
+        assert "counters:" in out
+
+    def test_wal_stat_empty_dir(self, capsys, tmp_path):
+        assert main(["wal-stat", "--data-dir", str(tmp_path)]) == 0
+        assert "0 records" in capsys.readouterr().out
+
+    def test_all_excludes_durability_cmds(self):
+        # 'all' must not require a --data-dir or touch the filesystem.
+        for name in DURABILITY_CMDS:
+            assert name not in EXPERIMENTS

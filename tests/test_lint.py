@@ -28,3 +28,28 @@ def test_ruff_clean():
         text=True,
     )
     assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}{proc.stderr}"
+
+
+def test_ruff_clean_pipeline_extended():
+    """The new durability pipeline gates on a wider rule set than the seed.
+
+    Code that postdates the linter has no legacy-style excuse, so the
+    pipeline package (and its tests) also pass pycodestyle warnings.
+    """
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        pytest.skip("ruff is not installed in this environment")
+    proc = subprocess.run(
+        [
+            ruff,
+            "check",
+            "--select",
+            "E4,E7,E9,F,W",
+            "src/repro/pipeline",
+            "tests/pipeline",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}{proc.stderr}"
