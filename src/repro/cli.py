@@ -20,11 +20,16 @@ the same synthetic city (all take ``--data-dir``, default
     python -m repro.cli checkpoint --data-dir /tmp/wilo --quick
     python -m repro.cli wal-stat   --data-dir /tmp/wilo
     python -m repro.cli replay     --data-dir /tmp/wilo --quick
+    python -m repro.cli health     --quick
 
 ``checkpoint`` ingests the city durably (WAL + micro-batches + periodic
 checkpoints), ``wal-stat`` prints the log's segment table, ``replay``
 rebuilds a virgin server from the durable state and proves the recovered
-rider-query answers.
+rider-query answers.  ``health`` runs a self-contained chaos drill — a
+corrupted report stream plus injected disk faults in a temporary
+directory — and prints the resulting ``health()`` report (admission
+reason codes, breaker state, WAL damage accounting); it never touches
+``--data-dir``.
 """
 
 from __future__ import annotations
@@ -308,6 +313,80 @@ def run_replay_cmd(args) -> None:
     print(format_snapshot(city.server.metrics_snapshot()))
 
 
+def _print_health(health: dict) -> None:
+    print(f"  status: {health['status']}")
+    for key in ("breaker", "wal", "guard", "stats", "sessions"):
+        section = health.get(key)
+        if not isinstance(section, dict):
+            continue
+        print(f"  {key}:")
+        for name, value in section.items():
+            if isinstance(value, dict):
+                inner = ", ".join(f"{k}={v}" for k, v in value.items())
+                print(f"    {name}: {inner}")
+            else:
+                print(f"    {name}: {value}")
+    print(f"  degraded_reports: {health.get('degraded_reports', 0)}")
+
+
+def run_health_cmd(args) -> None:
+    """A self-contained chaos drill, then the server's health report.
+
+    The synthetic city's report stream is corrupted by a seeded
+    :class:`ChaosInjector` (duplicates, clock skew, truncated scans,
+    drops) and ingested through a strict-guarded :class:`DurableServer`
+    whose disk injects fsync failures — all in a temporary directory.
+    The printed health report shows what a degraded deployment looks
+    like: quarantine reason codes, breaker state, WAL damage accounting.
+    """
+    import tempfile
+
+    from repro.guard import (
+        ChaosConfig,
+        ChaosInjector,
+        FaultyFS,
+        GuardConfig,
+        IngestGuard,
+    )
+    from repro.pipeline import DurableServer
+
+    city = _durable_city(args.quick)
+    server = city.server
+    # The paper-plausible strict profile, minus the dBm band: the synthetic
+    # city uses a pseudo-RSS scale a real band would falsely reject.
+    server.guard = IngestGuard(
+        GuardConfig.strict(rss_band_dbm=None, reject_negative_t=False),
+        metrics=server.metrics,
+    )
+    injector = ChaosInjector(
+        ChaosConfig(drop_p=0.02, duplicate_p=0.05, clock_skew_p=0.03, truncate_p=0.03),
+        seed=11,
+    )
+    corrupted = injector.corrupt(sorted(city.reports, key=lambda r: r.t))
+    fs = FaultyFS()
+    with tempfile.TemporaryDirectory() as tmp:
+        durable = DurableServer(
+            server,
+            tmp,
+            max_batch=16,
+            fs=fs,
+            breaker_threshold=2,
+            breaker_probe_after=32,
+        )
+        fs.schedule_fsync_failures(3)
+        for report in corrupted:  # delivered order — sorting would undo faults
+            durable.submit(report)
+        durable.flush()
+        health = durable.health()
+        durable.close()
+    print(
+        f"  chaos drill: {len(corrupted)} reports delivered "
+        f"({injector.total_injected} stream faults injected, "
+        f"{fs.counters.get('fsync_failures', 0)} fsync failures)"
+    )
+    _print_health(health)
+
+
 DURABILITY_CMDS = {
     "checkpoint": (
         "Durable ingest of the synthetic city (WAL + checkpoints)",
@@ -315,6 +394,10 @@ DURABILITY_CMDS = {
     ),
     "wal-stat": ("Write-ahead-log segment table", run_wal_stat),
     "replay": ("Crash recovery: checkpoint + WAL suffix replay", run_replay_cmd),
+    "health": (
+        "Chaos drill: guarded ingest under injected faults, then health",
+        run_health_cmd,
+    ),
 }
 
 # Experiments that never touch the (expensive) corridor world.

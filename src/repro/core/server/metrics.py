@@ -85,6 +85,7 @@ class LatencyHistogram:
     def snapshot(self) -> dict[str, float | int]:
         return {
             "count": self.count,
+            "total_s": self.total_s,
             "mean_s": self.mean_s,
             "p50_s": self.quantile(0.5),
             "p95_s": self.quantile(0.95),
@@ -127,6 +128,7 @@ class ServerMetrics:
     Stage names used by the server and rider API:
 
     ============== =====================================================
+    ``admission``   one :meth:`IngestGuard.admit` decision (guard layer)
     ``ingest``      one full :meth:`WiLocatorServer.ingest` call
     ``position_fix``the tracking step inside ingest (locate + extract)
     ``predict``     one arrival-time prediction (Eq. 8/9 chain)

@@ -41,6 +41,8 @@ from repro.core.traffic.anomaly import (
 )
 from repro.core.traffic.classifier import TrafficClassifier
 from repro.core.traffic.map import TrafficMap, TrafficMapBuilder
+from repro.guard.admission import IngestGuard
+from repro.guard.validate import AdmissionDecision, GuardConfig
 from repro.roadnet.index import RouteIndex, UnknownStopError
 from repro.roadnet.route import BusRoute
 from repro.sensing.reports import ScanReport
@@ -54,6 +56,7 @@ class ServerStats:
 
     reports_ingested: int = 0
     reports_unroutable: int = 0
+    reports_quarantined: int = 0
     positions_fixed: int = 0
     traversals_extracted: int = 0
     sessions_opened: int = 0
@@ -78,6 +81,12 @@ class WiLocatorServer:
     delta:
         Anomaly threshold estimator (trained offline); a fresh default
         estimator is used when omitted.
+    guard / guard_config:
+        Admission control (see :mod:`repro.guard`).  By default the
+        server builds an :class:`IngestGuard` with the permissive
+        default :class:`GuardConfig`, sharing the server's metrics; pass
+        ``guard_config=GuardConfig.strict()`` for the deployment
+        profile, or a fully built ``guard`` to share one across servers.
     """
 
     def __init__(
@@ -92,6 +101,8 @@ class WiLocatorServer:
         recent_window_s: float = 1800.0,
         max_recent: int = 5,
         use_recent: bool = True,
+        guard: IngestGuard | None = None,
+        guard_config: GuardConfig | None = None,
     ) -> None:
         missing = set(routes) - set(svds)
         if missing:
@@ -115,15 +126,54 @@ class WiLocatorServer:
         self.stats = ServerStats()
         self.index = RouteIndex(self.routes)
         self.metrics = ServerMetrics()
+        if guard is not None and guard_config is not None:
+            raise ValueError("pass either guard or guard_config, not both")
+        self.guard = (
+            guard
+            if guard is not None
+            else IngestGuard(guard_config, metrics=self.metrics)
+        )
         from repro.sensing.grouping import ProximityGrouper
 
         self._grouper = ProximityGrouper()
 
     # -- ingestion -----------------------------------------------------------
 
+    def admit(self, report: ScanReport) -> AdmissionDecision:
+        """Run admission control on one report (never raises).
+
+        Rejected reports are quarantined and counted by the guard; the
+        server additionally tracks them in ``stats.reports_quarantined``.
+        """
+        decision = self.guard.admit(report)
+        if not decision:
+            self.stats.reports_quarantined += 1
+        return decision
+
     def ingest(self, report: ScanReport) -> TrajectoryPoint | None:
-        """Process one uploaded scan; returns the new position fix."""
+        """Process one uploaded scan; returns the new position fix.
+
+        Every report passes admission control first: rejects land in the
+        guard's quarantine ring (with a reason code) and never touch
+        positioning state.
+        """
         t0 = time.perf_counter()
+        if not self.admit(report):
+            return None
+        return self._apply(report, t0)
+
+    def ingest_admitted(self, report: ScanReport) -> TrajectoryPoint | None:
+        """Apply a report that already passed :meth:`admit`.
+
+        The durable pipeline admits at submission time (so rejects never
+        reach the WAL) and applies committed batches through this method
+        — running admission twice would corrupt duplicate-suppression
+        state.
+        """
+        return self._apply(report, time.perf_counter())
+
+    def _apply(self, report: ScanReport, t0: float) -> TrajectoryPoint | None:
+        """The post-admission ingest body (route, track, extract, index)."""
         self.stats.reports_ingested += 1
         self.metrics.incr("ingest.reports")
         route = self.routes.get(report.route_id)
@@ -134,6 +184,7 @@ class WiLocatorServer:
             self.metrics.incr("ingest.unroutable")
             self.metrics.observe("ingest", time.perf_counter() - t0)
             return None
+        report = self.guard.screen_readings(report)
         session = self.sessions.get(report.session_key)
         if session is None:
             session = BusSession(
@@ -187,14 +238,28 @@ class WiLocatorServer:
         Driver reports must flow through :meth:`ingest` as usual; they
         feed the grouper automatically.
         """
+        t0 = time.perf_counter()
+        if not self.admit(report):
+            return None
         decision = self._grouper.assign(report)
         if decision.session_key is None:
+            # Unmatched rider scans are still ingested work: count them
+            # and observe the latency like the driver-path unroutable
+            # branch does, so the histograms reconcile with the counters.
+            self.stats.reports_ingested += 1
             self.stats.reports_unroutable += 1
+            self.metrics.incr("ingest.reports")
             self.metrics.incr("ingest.unroutable")
+            self.metrics.incr("ingest.rider_unmatched")
+            self.metrics.observe("ingest", time.perf_counter() - t0)
             return None
         session = self.sessions.get(decision.session_key)
         if session is None:  # pragma: no cover - grouper only knows live keys
+            self.stats.reports_ingested += 1
             self.stats.reports_unroutable += 1
+            self.metrics.incr("ingest.reports")
+            self.metrics.incr("ingest.unroutable")
+            self.metrics.observe("ingest", time.perf_counter() - t0)
             return None
         regrouped = ScanReport(
             device_id=report.device_id,
@@ -203,7 +268,7 @@ class WiLocatorServer:
             t=report.t,
             readings=report.readings,
         )
-        return self.ingest(regrouped)
+        return self._apply(regrouped, t0)
 
     # -- rider queries ----------------------------------------------------------
 
@@ -296,6 +361,20 @@ class WiLocatorServer:
         snap["stats"] = asdict(self.stats)
         snap["index"] = self.index.snapshot()
         return snap
+
+    def health(self) -> dict:
+        """Operator-facing health: guard state, counters, open sessions.
+
+        :class:`~repro.pipeline.durable.DurableServer` extends this with
+        the storage breaker and WAL state; the ``health`` CLI subcommand
+        renders it.
+        """
+        return {
+            "status": "ok",
+            "guard": self.guard.health(),
+            "stats": asdict(self.stats),
+            "sessions": {"open": len(self.sessions)},
+        }
 
     # -- traffic map ----------------------------------------------------------
 

@@ -1,0 +1,74 @@
+"""Ingest admission control, AP health, chaos injection and breakers.
+
+The guard layer sits between the network edge and
+:class:`~repro.core.server.server.WiLocatorServer`: every uploaded scan
+report is validated, rate-limited and deduplicated before it can touch
+positioning state; rejects land in a bounded quarantine ring with
+machine-readable reason codes.  The same package ships the fault
+injectors (:class:`ChaosInjector`, :class:`FaultyFS`) used by the chaos
+drills, and the :class:`CircuitBreaker` the durable pipeline uses to
+degrade gracefully when storage misbehaves.  See DESIGN.md section 12.
+"""
+
+from repro.guard.admission import IngestGuard
+from repro.guard.bssid_health import BssidHealthTracker
+from repro.guard.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.guard.chaos import (
+    FAULTS,
+    REASON_OF_FAULT,
+    ChaosConfig,
+    ChaosInjector,
+    FaultyFS,
+)
+from repro.guard.quarantine import QuarantinedReport, QuarantineRing
+from repro.guard.ratelimit import DeviceRateLimiter, TokenBucket
+from repro.guard.validate import (
+    REASON_BAD_TIMESTAMP,
+    REASON_CLOCK_SKEW,
+    REASON_DUPLICATE,
+    REASON_EMPTY_READINGS,
+    REASON_MALFORMED,
+    REASON_OUT_OF_ORDER,
+    REASON_OVERSIZED_READINGS,
+    REASON_RATE_LIMITED,
+    REASON_RSS_NOT_FINITE,
+    REASON_RSS_OUT_OF_BAND,
+    REASON_UNSORTED_READINGS,
+    REASONS,
+    AdmissionDecision,
+    GuardConfig,
+    ReportValidator,
+)
+
+__all__ = [
+    "IngestGuard",
+    "BssidHealthTracker",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ChaosConfig",
+    "ChaosInjector",
+    "FaultyFS",
+    "FAULTS",
+    "REASON_OF_FAULT",
+    "QuarantinedReport",
+    "QuarantineRing",
+    "DeviceRateLimiter",
+    "TokenBucket",
+    "AdmissionDecision",
+    "GuardConfig",
+    "ReportValidator",
+    "REASONS",
+    "REASON_MALFORMED",
+    "REASON_BAD_TIMESTAMP",
+    "REASON_CLOCK_SKEW",
+    "REASON_EMPTY_READINGS",
+    "REASON_OVERSIZED_READINGS",
+    "REASON_RSS_NOT_FINITE",
+    "REASON_RSS_OUT_OF_BAND",
+    "REASON_UNSORTED_READINGS",
+    "REASON_DUPLICATE",
+    "REASON_OUT_OF_ORDER",
+    "REASON_RATE_LIMITED",
+]

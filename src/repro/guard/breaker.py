@@ -1,0 +1,133 @@
+"""Circuit breaker for the durable storage path.
+
+State machine (DESIGN.md section 12):
+
+::
+
+            N consecutive failures
+    CLOSED ------------------------> OPEN
+      ^                               |  skip work; count skipped units
+      |  probe succeeds               v  after `probe_after` units
+      +---------------------- HALF_OPEN
+                                      |  probe fails
+                                      +--> OPEN (skip counter resets)
+
+While OPEN the owner skips the protected work entirely (for the durable
+pipeline: WAL appends and checkpoints — ingest continues in memory,
+loudly counted).  Progress toward the half-open probe is measured in
+*work units* (reports), not wall time, keeping the pipeline
+deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from repro.core.server.metrics import ServerMetrics
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with unit-counted half-open probing.
+
+    Counters (in ``metrics``, prefixed ``breaker.<name>.``): ``opened``,
+    ``reopened``, ``recovered``, ``probes``, ``failures``,
+    ``skipped_units``.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        probe_after: int = 64,
+        name: str = "storage",
+        metrics: ServerMetrics | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if probe_after < 1:
+            raise ValueError("probe_after must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.probe_after = probe_after
+        self.name = name
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.failures_total = 0
+        self.skipped_units = 0
+        self._skipped_since_open = 0
+        self.last_error: str | None = None
+
+    def _incr(self, what: str, n: int = 1) -> None:
+        self.metrics.incr(f"breaker.{self.name}.{what}", n)
+
+    # -- the owner's protocol ------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the protected work be attempted right now?
+
+        CLOSED: yes.  OPEN: no, until ``probe_after`` skipped units have
+        accumulated — then the breaker turns HALF_OPEN and the next
+        attempt is the probe.  HALF_OPEN: yes (the probe).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._skipped_since_open >= self.probe_after:
+                self.state = HALF_OPEN
+                self._incr("probes")
+                return True
+            return False
+        return True  # HALF_OPEN: probe in flight
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self._skipped_since_open = 0
+            self._incr("recovered")
+
+    def record_failure(self, detail: str = "") -> None:
+        self.failures_total += 1
+        self.consecutive_failures += 1
+        self.last_error = detail or None
+        self._incr("failures")
+        if self.state == HALF_OPEN:
+            # The probe failed: back to OPEN, wait out another window.
+            self.state = OPEN
+            self._skipped_since_open = 0
+            self._incr("reopened")
+        elif self.state == CLOSED and self.consecutive_failures >= self.failure_threshold:
+            self.state = OPEN
+            self._skipped_since_open = 0
+            self._incr("opened")
+
+    def note_skipped(self, units: int = 1) -> None:
+        """Count work units skipped while OPEN (drives the probe timer)."""
+        self.skipped_units += units
+        self._skipped_since_open += units
+        self._incr("skipped_units", units)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        """Component status for health reports: ok / degraded / failed."""
+        if self.state == CLOSED:
+            return "ok"
+        return "failed" if self.state == OPEN else "degraded"
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "status": self.status,
+            "consecutive_failures": self.consecutive_failures,
+            "failures_total": self.failures_total,
+            "skipped_units": self.skipped_units,
+            "probe_after": self.probe_after,
+            "failure_threshold": self.failure_threshold,
+            "last_error": self.last_error,
+        }

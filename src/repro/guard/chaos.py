@@ -1,0 +1,329 @@
+"""Deterministic fault injection: corrupted report streams and bad disks.
+
+Robustness must be *testable*, not asserted.  Two injectors live here:
+
+* :class:`ChaosInjector` corrupts a scan-report stream with the faults a
+  crowd-sensed fleet actually produces — drops, duplicates, reorders,
+  clock skew, RSS spikes, truncated scans and Byzantine devices.  It is
+  seeded and counts every fault it injects (``injected``), so tests can
+  reconcile quarantine reason-code counters *exactly* against ground
+  truth.  At most one fault is applied per report, and the first report
+  of a stream is never faulted (it anchors the guard's server clock).
+* :class:`FaultyFS` is a scriptable filesystem proxy for the WAL and
+  checkpoint layer: fail the next N fsyncs, tear the next write (partial
+  bytes then ``EIO``), return ``ENOSPC``, or fail checkpoint publishes.
+  Healthy operations pass through to the real filesystem.
+
+:data:`REASON_OF_FAULT` maps each stream fault to the quarantine reason
+a strict guard files it under.
+"""
+
+from __future__ import annotations
+
+import errno
+import math
+import os
+import random
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.radio.environment import Reading
+from repro.sensing.reports import ScanReport
+from repro.guard.validate import (
+    REASON_CLOCK_SKEW,
+    REASON_DUPLICATE,
+    REASON_EMPTY_READINGS,
+    REASON_OUT_OF_ORDER,
+    REASON_RSS_NOT_FINITE,
+    REASON_RSS_OUT_OF_BAND,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "FaultyFS",
+    "FAULTS",
+    "REASON_OF_FAULT",
+]
+
+FAULT_DROP = "drop"
+FAULT_DUPLICATE = "duplicate"
+FAULT_REORDER = "reorder"
+FAULT_CLOCK_SKEW = "clock_skew"
+FAULT_RSS_SPIKE = "rss_spike"
+FAULT_TRUNCATE = "truncate"
+FAULT_BYZANTINE = "byzantine"
+
+FAULTS: tuple[str, ...] = (
+    FAULT_DROP,
+    FAULT_DUPLICATE,
+    FAULT_REORDER,
+    FAULT_CLOCK_SKEW,
+    FAULT_RSS_SPIKE,
+    FAULT_TRUNCATE,
+    FAULT_BYZANTINE,
+)
+
+# Which quarantine reason a strict guard files each delivered fault under
+# (drops are never delivered, so they have no reason).
+REASON_OF_FAULT: dict[str, str] = {
+    FAULT_DUPLICATE: REASON_DUPLICATE,
+    FAULT_REORDER: REASON_OUT_OF_ORDER,
+    FAULT_CLOCK_SKEW: REASON_CLOCK_SKEW,
+    FAULT_RSS_SPIKE: REASON_RSS_OUT_OF_BAND,
+    FAULT_TRUNCATE: REASON_EMPTY_READINGS,
+    FAULT_BYZANTINE: REASON_RSS_NOT_FINITE,
+}
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-report fault probabilities (at most one fault per report)."""
+
+    drop_p: float = 0.0
+    duplicate_p: float = 0.0
+    reorder_p: float = 0.0
+    clock_skew_p: float = 0.0
+    clock_skew_s: float = 7200.0
+    rss_spike_p: float = 0.0
+    rss_spike_dbm: float = 40.0
+    truncate_p: float = 0.0
+    byzantine_devices: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        total = (
+            self.drop_p + self.duplicate_p + self.reorder_p
+            + self.clock_skew_p + self.rss_spike_p + self.truncate_p
+        )
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault probabilities sum to {total} > 1")
+
+
+class ChaosInjector:
+    """Seeded, counting corruption of a report stream."""
+
+    def __init__(self, config: ChaosConfig, *, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.injected: dict[str, int] = {f: 0 for f in FAULTS}
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _count(self, fault: str) -> None:
+        self.injected[fault] += 1
+
+    def _roll(self) -> str | None:
+        cfg = self.config
+        u = self._rng.random()
+        for fault, p in (
+            (FAULT_DROP, cfg.drop_p),
+            (FAULT_DUPLICATE, cfg.duplicate_p),
+            (FAULT_REORDER, cfg.reorder_p),
+            (FAULT_CLOCK_SKEW, cfg.clock_skew_p),
+            (FAULT_RSS_SPIKE, cfg.rss_spike_p),
+            (FAULT_TRUNCATE, cfg.truncate_p),
+        ):
+            if u < p:
+                return fault
+            u -= p
+        return None
+
+    @staticmethod
+    def _byzantine(report: ScanReport) -> ScanReport:
+        """A device gone rogue: every RSS it reports is garbage (NaN)."""
+        readings = report.readings or (
+            Reading(bssid="de:ad:be:ef:00:00", ssid="byzantine", rss_dbm=0.0),
+        )
+        return replace(
+            report,
+            readings=tuple(
+                Reading(bssid=r.bssid, ssid=r.ssid, rss_dbm=math.nan)
+                for r in readings
+            ),
+        )
+
+    def corrupt(self, reports: Iterable[ScanReport]) -> list[ScanReport]:
+        """The corrupted stream: same order, faults applied and counted."""
+        cfg = self.config
+        out: list[ScanReport] = []
+        clean: list[bool] = []  # unfaulted entries, eligible as swap partners
+        reorder_picks: list[int] = []
+
+        def emit(report: ScanReport, *, is_clean: bool) -> None:
+            out.append(report)
+            clean.append(is_clean)
+
+        for i, report in enumerate(reports):
+            if report.device_id in cfg.byzantine_devices:
+                emit(self._byzantine(report), is_clean=False)
+                self._count(FAULT_BYZANTINE)
+                continue
+            fault = None if i == 0 else self._roll()
+            if fault == FAULT_DROP:
+                self._count(FAULT_DROP)
+                continue
+            if fault == FAULT_DUPLICATE:
+                emit(report, is_clean=False)
+                emit(report, is_clean=False)
+                self._count(FAULT_DUPLICATE)
+                continue
+            if fault == FAULT_CLOCK_SKEW:
+                emit(replace(report, t=report.t + cfg.clock_skew_s), is_clean=False)
+                self._count(FAULT_CLOCK_SKEW)
+                continue
+            if fault == FAULT_RSS_SPIKE and report.readings:
+                first = report.readings[0]
+                spiked = Reading(
+                    bssid=first.bssid, ssid=first.ssid, rss_dbm=cfg.rss_spike_dbm
+                )
+                emit(
+                    replace(report, readings=(spiked,) + report.readings[1:]),
+                    is_clean=False,
+                )
+                self._count(FAULT_RSS_SPIKE)
+                continue
+            if fault == FAULT_TRUNCATE:
+                emit(replace(report, readings=()), is_clean=False)
+                self._count(FAULT_TRUNCATE)
+                continue
+            if fault == FAULT_REORDER:
+                reorder_picks.append(len(out))
+            emit(report, is_clean=True)
+        self._apply_reorders(out, reorder_picks, clean)
+        return out
+
+    def _apply_reorders(
+        self, out: list[ScanReport], picks: Sequence[int], clean: Sequence[bool]
+    ) -> None:
+        """Swap each picked report with the next clean one of the same session.
+
+        Swapped pairs are kept disjoint and partners must be unfaulted:
+        a faulted partner would be quarantined for its own reason and
+        never advance the session frontier, letting the displaced report
+        sneak back in without an out-of-order verdict.  With both
+        constraints every performed reorder produces exactly one
+        out-of-order delivery (and one counted fault) — reconciliation
+        stays exact.
+        """
+        used: set[int] = set()
+        for i in picks:
+            if i in used:
+                continue
+            session = out[i].session_key
+            j = next(
+                (
+                    k
+                    for k in range(i + 1, len(out))
+                    if k not in used and clean[k]
+                    and out[k].session_key == session
+                    and out[k].t > out[i].t
+                ),
+                None,
+            )
+            if j is None:
+                continue
+            out[i], out[j] = out[j], out[i]
+            used.update((i, j))
+            self._count(FAULT_REORDER)
+
+
+# -- filesystem fault proxy ---------------------------------------------------
+
+
+class _FaultyFile:
+    """File wrapper that can tear or ENOSPC-fail scheduled writes."""
+
+    def __init__(self, real, fs: "FaultyFS") -> None:
+        self._real = real
+        self._fs = fs
+
+    def write(self, data: bytes) -> int:
+        fs = self._fs
+        if fs._enospc_writes > 0:
+            fs._enospc_writes -= 1
+            fs._count("enospc_writes")
+            raise OSError(errno.ENOSPC, "injected ENOSPC on write")
+        if fs._torn_writes > 0:
+            fs._torn_writes -= 1
+            fs._count("torn_writes")
+            # Half the payload lands on disk, then the device "dies".
+            self._real.write(data[: max(1, len(data) // 2)])
+            self._real.flush()
+            raise OSError(errno.EIO, "injected torn write")
+        return self._real.write(data)
+
+    def __enter__(self) -> "_FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._real.close()
+
+    def __getattr__(self, name: str):
+        return getattr(self._real, name)
+
+
+class FaultyFS:
+    """Scriptable storage faults for the WAL/checkpoint layer.
+
+    Pass as ``fs=`` to :class:`~repro.pipeline.durable.DurableServer`
+    (or :class:`~repro.pipeline.wal.WalWriter`).  All operations behave
+    like the real filesystem until a failure is scheduled; injected
+    failures are counted in ``counters``.
+    """
+
+    def __init__(self) -> None:
+        self._fail_fsyncs = 0
+        self._torn_writes = 0
+        self._enospc_writes = 0
+        self._fail_atomic_writes = 0
+        self.counters: dict[str, int] = {}
+
+    def _count(self, what: str) -> None:
+        self.counters[what] = self.counters.get(what, 0) + 1
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_fsync_failures(self, n: int = 1) -> None:
+        self._fail_fsyncs += n
+
+    def schedule_torn_writes(self, n: int = 1) -> None:
+        self._torn_writes += n
+
+    def schedule_enospc_writes(self, n: int = 1) -> None:
+        self._enospc_writes += n
+
+    def schedule_checkpoint_failures(self, n: int = 1) -> None:
+        self._fail_atomic_writes += n
+
+    @property
+    def pending_faults(self) -> int:
+        return (
+            self._fail_fsyncs + self._torn_writes
+            + self._enospc_writes + self._fail_atomic_writes
+        )
+
+    # -- the filesystem protocol ---------------------------------------------
+
+    def open(self, path, mode: str):
+        return _FaultyFile(open(path, mode), self)
+
+    def fsync(self, fileno: int) -> None:
+        if self._fail_fsyncs > 0:
+            self._fail_fsyncs -= 1
+            self._count("fsync_failures")
+            raise OSError(errno.EIO, "injected fsync failure")
+        os.fsync(fileno)
+
+    def atomic_write_text(self, path, text: str) -> None:
+        if self._fail_atomic_writes > 0:
+            self._fail_atomic_writes -= 1
+            self._count("checkpoint_failures")
+            raise OSError(errno.ENOSPC, "injected checkpoint write failure")
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)

@@ -1,0 +1,78 @@
+"""Bounded quarantine ring for rejected reports.
+
+Rejects are evidence, not garbage: operators debugging a misbehaving
+fleet need to see *what* was turned away and *why*.  The ring keeps the
+most recent ``capacity`` rejected reports with their reason codes while
+per-reason counters keep exact totals forever — bounded memory, unbounded
+accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sensing.reports import ScanReport
+
+__all__ = ["QuarantinedReport", "QuarantineRing"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedReport:
+    """One rejected report with its verdict."""
+
+    report: ScanReport
+    reason: str
+    detail: str = ""
+    server_clock: float | None = None
+
+
+class QuarantineRing:
+    """A bounded ring of recent rejects plus exact per-reason totals."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque[QuarantinedReport] = deque(maxlen=capacity)
+        self._by_reason: dict[str, int] = {}
+        self.total = 0
+
+    def push(
+        self,
+        report: ScanReport,
+        reason: str,
+        detail: str = "",
+        *,
+        server_clock: float | None = None,
+    ) -> QuarantinedReport:
+        entry = QuarantinedReport(
+            report=report, reason=reason, detail=detail, server_clock=server_clock
+        )
+        self._ring.append(entry)
+        self._by_reason[reason] = self._by_reason.get(reason, 0) + 1
+        self.total += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def entries(self) -> list[QuarantinedReport]:
+        """The retained rejects, oldest first."""
+        return list(self._ring)
+
+    def by_reason(self, reason: str) -> list[QuarantinedReport]:
+        return [e for e in self._ring if e.reason == reason]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Exact per-reason totals (not bounded by the ring)."""
+        return dict(self._by_reason)
+
+    def snapshot(self) -> dict:
+        return {
+            "size": len(self._ring),
+            "capacity": self.capacity,
+            "total": self.total,
+            "by_reason": dict(sorted(self._by_reason.items())),
+        }

@@ -1,0 +1,85 @@
+"""Per-device token-bucket rate limiting for the ingest path.
+
+A Byzantine or buggy phone must not be able to crowd out honest
+uploaders: each device gets a :class:`TokenBucket` refilled at
+``rate_per_s`` up to ``burst``, clocked by *report* time (the only
+deterministic clock the simulation-driven server has).  Device state is
+LRU-bounded, so admission memory cannot grow with the number of devices
+ever seen.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["TokenBucket", "DeviceRateLimiter"]
+
+
+class TokenBucket:
+    """A classic token bucket clocked by caller-supplied timestamps."""
+
+    __slots__ = ("rate", "burst", "tokens", "last_t")
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s < 0:
+            raise ValueError("rate must be >= 0")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_t: float | None = None
+
+    def try_take(self, now: float, n: float = 1.0) -> bool:
+        """Refill by elapsed time, then take ``n`` tokens if available.
+
+        A ``now`` earlier than the last call refills nothing (clocks that
+        run backwards never mint tokens) but still charges normally.
+        """
+        if self.last_t is not None and now > self.last_t:
+            self.tokens = min(self.burst, self.tokens + (now - self.last_t) * self.rate)
+        if self.last_t is None or now > self.last_t:
+            self.last_t = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+
+class DeviceRateLimiter:
+    """One token bucket per device id, LRU-bounded to ``max_devices``."""
+
+    def __init__(
+        self,
+        *,
+        rate_per_s: float,
+        burst: float,
+        max_devices: int = 4096,
+    ) -> None:
+        if max_devices < 1:
+            raise ValueError("max_devices must be >= 1")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.max_devices = max_devices
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def allow(self, device_id: str, now: float) -> bool:
+        """Charge one report against ``device_id``'s bucket."""
+        bucket = self._buckets.get(device_id)
+        if bucket is None:
+            bucket = TokenBucket(self.rate_per_s, self.burst)
+            self._buckets[device_id] = bucket
+        self._buckets.move_to_end(device_id)
+        while len(self._buckets) > self.max_devices:
+            self._buckets.popitem(last=False)
+        return bucket.try_take(now)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def snapshot(self) -> dict:
+        return {
+            "tracked_devices": len(self._buckets),
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+        }

@@ -140,15 +140,22 @@ def write_checkpoint(
     *,
     wal_seq: int,
     retain: int = 2,
+    write_text=None,
 ) -> Path:
-    """Atomically publish a checkpoint; prunes all but the ``retain`` newest."""
+    """Atomically publish a checkpoint; prunes all but the ``retain`` newest.
+
+    ``write_text`` overrides the atomic publish function — the chaos
+    drills pass ``FaultyFS.atomic_write_text`` to exercise checkpoint
+    failure; ``None`` uses the real
+    :func:`~repro.core.server.persistence.atomic_write_text`.
+    """
     if retain < 1:
         raise ValueError("retain must be >= 1")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{CHECKPOINT_PREFIX}{wal_seq:010d}{CHECKPOINT_SUFFIX}"
     payload = checkpoint_to_dict(server, wal_seq=wal_seq)
-    atomic_write_text(path, json.dumps(payload))
+    (write_text or atomic_write_text)(path, json.dumps(payload))
     for old in checkpoint_paths(directory)[:-retain]:
         old.unlink()
     return path

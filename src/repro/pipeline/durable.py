@@ -19,6 +19,21 @@ lost on a crash — exactly as if the phones' uploads had not arrived.
 Everything flushed is recovered byte-identically by
 :func:`repro.pipeline.replay.recover`.
 
+Admission control runs at *submission* time: a rejected report is
+quarantined by the wrapped server's guard and never reaches the WAL, so
+the log only ever contains admitted reports (and replay can trust it).
+Committed batches apply through
+:meth:`WiLocatorServer.ingest_admitted` — admission never runs twice.
+
+Storage faults degrade, they do not crash: a
+:class:`~repro.guard.breaker.CircuitBreaker` watches WAL flushes and
+checkpoint publishes.  After ``breaker_threshold`` consecutive failures
+it opens — ingest continues **in memory** with
+``pipeline.degraded_reports`` counting every report that lost
+durability — and after ``breaker_probe_after`` skipped reports it
+half-opens and re-probes the disk.  ``health()`` surfaces the whole
+story (breaker state, WAL lag, quarantine).
+
 All pipeline counters and latencies share the wrapped server's
 :class:`~repro.core.server.metrics.ServerMetrics`, so
 ``metrics_snapshot()`` reports the wal/batch/checkpoint/replay stages
@@ -32,6 +47,7 @@ from typing import Iterable, Sequence
 
 from repro.core.positioning.trajectory import TrajectoryPoint
 from repro.core.server.server import WiLocatorServer
+from repro.guard.breaker import CircuitBreaker
 from repro.pipeline.batcher import MicroBatcher
 from repro.pipeline.checkpoint import write_checkpoint
 from repro.pipeline.replay import (
@@ -69,6 +85,16 @@ class DurableServer:
     recover:
         When True (default), replay existing durable state in
         ``data_dir`` into ``server`` before accepting new reports.
+    breaker_threshold / breaker_probe_after:
+        Storage circuit breaker: consecutive WAL/checkpoint failures
+        before opening, and reports skipped while open before a
+        half-open probe (see :class:`CircuitBreaker`).
+    fs:
+        Optional filesystem hooks (``open``/``fsync``/
+        ``atomic_write_text``) threaded into the WAL and checkpoint
+        writers — the chaos drills pass
+        :class:`~repro.guard.chaos.FaultyFS`; ``None`` uses the real
+        filesystem.
     """
 
     def __init__(
@@ -86,11 +112,21 @@ class DurableServer:
         max_segment_bytes: int = 1 << 20,
         fsync: bool = True,
         recover: bool = True,
+        breaker_threshold: int = 3,
+        breaker_probe_after: int = 64,
+        fs=None,
     ) -> None:
         self.server = server
         self.data_dir = Path(data_dir)
         self.checkpoint_every = checkpoint_every
         self.checkpoint_retain = checkpoint_retain
+        self.fs = fs
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            probe_after=breaker_probe_after,
+            name="storage",
+            metrics=server.metrics,
+        )
         self.last_recovery: RecoveryReport | None = None
         if recover:
             self.last_recovery = run_recovery(server, self.data_dir)
@@ -100,6 +136,7 @@ class DurableServer:
             max_segment_bytes=max_segment_bytes,
             fsync=fsync,
             metrics=server.metrics,
+            fs=fs,
         )
         self.batcher = MicroBatcher(
             self._commit,
@@ -117,18 +154,31 @@ class DurableServer:
     def submit(self, report: ScanReport) -> bool:
         """Batched durable ingest; the report takes effect at batch commit.
 
-        Returns False only when the report was dropped by the overflow
-        policy.  State and position fixes become visible once the batch
-        holding the report commits (max-batch reached, max-delay elapsed,
-        or an explicit :meth:`flush`).
+        Admission control runs now: a rejected report is quarantined (see
+        the guard's reason counters) and returns False without touching
+        the WAL.  Otherwise False only when the report was dropped by the
+        overflow policy.  State and position fixes become visible once
+        the batch holding the report commits (max-batch reached,
+        max-delay elapsed, or an explicit :meth:`flush`).
         """
         self._check_open()
+        if not self.server.admit(report):
+            return False
         return self.batcher.submit(report)
 
     def submit_many(self, reports: Iterable[ScanReport]) -> int:
-        """Submit a report stream in timestamp order; returns accepted count."""
+        """Submit a report stream in timestamp order; returns accepted count.
+
+        Reports are admitted in timestamp order (admission state is
+        clocked by report time); quarantined ones never enter the batch.
+        """
         self._check_open()
-        return self.batcher.submit_many(sorted(reports, key=lambda r: r.t))
+        admitted = [
+            report
+            for report in sorted(reports, key=lambda r: r.t)
+            if self.server.admit(report)
+        ]
+        return self.batcher.submit_many(admitted)
 
     def ingest(self, report: ScanReport) -> TrajectoryPoint | None:
         """Unbatched durable ingest: WAL-commit this report alone, then apply.
@@ -139,10 +189,11 @@ class DurableServer:
         submission order in the log.
         """
         self._check_open()
+        if not self.server.admit(report):
+            return None
         self.batcher.flush()
-        self.wal.append(report)
-        self.wal.flush()
-        fix = self.server.ingest(report)
+        self._wal_commit([report])
+        fix = self.server.ingest_admitted(report)
         self._note_committed(1)
         return fix
 
@@ -152,13 +203,37 @@ class DurableServer:
         return self.batcher.flush()
 
     def _commit(self, batch: Sequence[ScanReport]) -> None:
-        """Batcher sink: one WAL flush for the whole batch, then apply it."""
+        """Batcher sink: one WAL flush for the whole batch, then apply it.
+
+        The batch is already admitted (see :meth:`submit`), so it applies
+        through :meth:`WiLocatorServer.ingest_admitted`.  Storage failure
+        does not raise: the breaker records it and the batch is applied
+        in memory, loudly counted as degraded.
+        """
+        self._wal_commit(batch)
         for report in batch:
-            self.wal.append(report)
-        self.wal.flush()
-        for report in batch:
-            self.server.ingest(report)
+            self.server.ingest_admitted(report)
         self._note_committed(len(batch))
+
+    def _wal_commit(self, batch: Sequence[ScanReport]) -> bool:
+        """Try to make a batch durable; False means degraded (memory only)."""
+        metrics = self.server.metrics
+        if not self.breaker.allow():
+            self.breaker.note_skipped(len(batch))
+            metrics.incr("pipeline.degraded_reports", len(batch))
+            return False
+        try:
+            for report in batch:
+                self.wal.append(report)
+            self.wal.flush()
+        except OSError as exc:
+            # The WAL already unwound itself (_abort_flush); the reports
+            # live on in memory only.
+            self.breaker.record_failure(repr(exc))
+            metrics.incr("pipeline.degraded_reports", len(batch))
+            return False
+        self.breaker.record_success()
+        return True
 
     def _note_committed(self, n: int) -> None:
         self._since_checkpoint += n
@@ -167,31 +242,62 @@ class DurableServer:
 
     # -- checkpoints ---------------------------------------------------------
 
-    def checkpoint(self) -> Path:
-        """Publish a checkpoint covering everything committed so far."""
+    def checkpoint(self) -> Path | None:
+        """Publish a checkpoint covering everything committed so far.
+
+        Returns None when the storage breaker is open (the attempt is
+        skipped) or the publish itself fails — checkpointing degrades
+        like the WAL does instead of taking ingest down.
+        """
         self._check_open()
         self.batcher.flush()
-        seq = self.wal.last_durable_seq
+        return self._write_checkpoint()
+
+    def _write_checkpoint(self) -> Path | None:
         metrics = self.server.metrics
-        with metrics.timer("checkpoint"):
-            path = write_checkpoint(
-                self.data_dir / CHECKPOINT_SUBDIR,
-                self.server,
-                wal_seq=seq if seq is not None else -1,
-                retain=self.checkpoint_retain,
-            )
+        if not self.breaker.allow():
+            self.breaker.note_skipped(1)
+            metrics.incr("checkpoint.skipped")
+            return None
+        seq = self.wal.last_durable_seq
+        try:
+            with metrics.timer("checkpoint"):
+                path = write_checkpoint(
+                    self.data_dir / CHECKPOINT_SUBDIR,
+                    self.server,
+                    wal_seq=seq if seq is not None else -1,
+                    retain=self.checkpoint_retain,
+                    write_text=(
+                        self.fs.atomic_write_text if self.fs is not None else None
+                    ),
+                )
+        except OSError as exc:
+            self.breaker.record_failure(repr(exc))
+            metrics.incr("checkpoint.failures")
+            return None
+        self.breaker.record_success()
         metrics.incr("checkpoint.writes")
         self._since_checkpoint = 0
         return path
 
     def close(self, *, checkpoint: bool = True) -> None:
-        """Commit buffered reports, optionally checkpoint, release the WAL."""
+        """Commit buffered reports, optionally checkpoint, release the WAL.
+
+        Never raises on storage failure: the final flush and checkpoint
+        degrade through the breaker like any other.  A successful final
+        checkpoint also *heals* earlier degradation — it snapshots the
+        in-memory state, including reports that never reached the WAL.
+        """
         if self._closed:
             return
         self.batcher.flush()
         if checkpoint:
-            self.checkpoint()
-        self.wal.close()
+            self._write_checkpoint()
+        try:
+            self.wal.close()
+        except OSError as exc:
+            self.breaker.record_failure(repr(exc))
+            self.wal.close()  # the failed buffer was dropped; releases the segment
         self._closed = True
 
     def __enter__(self) -> "DurableServer":
@@ -203,6 +309,29 @@ class DurableServer:
     def _check_open(self) -> None:
         if self._closed:
             raise ValueError("durable server is closed")
+
+    # -- observability -------------------------------------------------------
+
+    def health(self) -> dict:
+        """The wrapped server's health plus storage-path state.
+
+        ``status`` follows the breaker: ``ok`` (closed), ``degraded``
+        (half-open, probing) or ``failed`` (open, ingest is in-memory
+        only).
+        """
+        metrics = self.server.metrics
+        health = self.server.health()
+        health["status"] = self.breaker.status
+        health["breaker"] = self.breaker.snapshot()
+        health["wal"] = {
+            "next_seq": self.wal.next_seq,
+            "pending": self.wal.pending,
+            "last_durable_seq": self.wal.last_durable_seq,
+            "flush_failures": metrics.counter("wal.flush_failures"),
+            "dropped_records": metrics.counter("wal.dropped_records"),
+        }
+        health["degraded_reports"] = metrics.counter("pipeline.degraded_reports")
+        return health
 
     # -- queries delegate to the wrapped server ------------------------------
 

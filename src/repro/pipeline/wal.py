@@ -263,9 +263,16 @@ class WalWriter:
     new segment happens between flushes once the current segment reaches
     ``max_segment_records`` or ``max_segment_bytes``.
 
+    A failed flush (fsync error, torn write, ``ENOSPC``) never poisons
+    the log: the buffered records are dropped, their sequence numbers are
+    reused (the numbering stays dense), and the current segment is
+    truncated back to its last known-durable byte before the ``OSError``
+    propagates to the caller — see :meth:`_abort_flush`.
+
     Counters (in ``metrics``): ``wal.appends``, ``wal.flushes``,
-    ``wal.fsyncs``, ``wal.rotations``, ``wal.repaired_bytes``; flush
-    latency lands in the ``wal_flush`` histogram.
+    ``wal.fsyncs``, ``wal.rotations``, ``wal.repaired_bytes``,
+    ``wal.flush_failures``, ``wal.dropped_records``; flush latency lands
+    in the ``wal_flush`` histogram.
 
     Parameters
     ----------
@@ -278,6 +285,11 @@ class WalWriter:
         benchmarks where the flush *count* is what matters).
     metrics:
         Shared :class:`ServerMetrics`; a private one is created if omitted.
+    fs:
+        Optional filesystem hooks providing ``open(path, mode)`` and
+        ``fsync(fileno)`` — the chaos drills pass
+        :class:`~repro.guard.chaos.FaultyFS` here; ``None`` uses the real
+        filesystem.
     """
 
     def __init__(
@@ -288,6 +300,7 @@ class WalWriter:
         max_segment_bytes: int = 1 << 20,
         fsync: bool = True,
         metrics: ServerMetrics | None = None,
+        fs=None,
     ) -> None:
         if max_segment_records < 1 or max_segment_bytes < 1:
             raise ValueError("rotation thresholds must be positive")
@@ -297,8 +310,10 @@ class WalWriter:
         self.max_segment_bytes = max_segment_bytes
         self.fsync = fsync
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.fs = fs
         self._buffer: list[str] = []
         self._file: BinaryIO | None = None
+        self._seg_path: Path | None = None
         self._seg_records = 0
         self._seg_bytes = 0
         self._closed = False
@@ -342,23 +357,33 @@ class WalWriter:
         return seq
 
     def flush(self) -> int:
-        """Write and sync the buffer; returns the record count made durable."""
+        """Write and sync the buffer; returns the record count made durable.
+
+        On storage failure the buffered records are dropped and the
+        segment repaired (:meth:`_abort_flush`); the ``OSError``
+        propagates so the caller can degrade or retry.
+        """
         if self._closed:
             raise ValueError("writer is closed")
         if not self._buffer:
             return 0
         with self.metrics.timer("wal_flush"):
-            if self._file is None:
-                self._open_segment(self._next_seq - len(self._buffer))
-            payload = "".join(self._buffer).encode("utf-8")
-            assert self._file is not None
-            self._file.write(payload)
-            self._file.flush()
-            if self.fsync:
-                os.fsync(self._file.fileno())
-                self.metrics.incr("wal.fsyncs")
-            self.metrics.incr("wal.flushes")
             n = len(self._buffer)
+            payload = "".join(self._buffer).encode("utf-8")
+            try:
+                if self._file is None:
+                    self._ensure_segment(self._next_seq - n)
+                assert self._file is not None
+                self._file.write(payload)
+                self._file.flush()
+                if self.fsync:
+                    fsync_fn = self.fs.fsync if self.fs is not None else os.fsync
+                    fsync_fn(self._file.fileno())
+                    self.metrics.incr("wal.fsyncs")
+            except OSError:
+                self._abort_flush(n)
+                raise
+            self.metrics.incr("wal.flushes")
             self._seg_records += n
             self._seg_bytes += len(payload)
             self.last_durable_seq = self._next_seq - 1
@@ -370,6 +395,38 @@ class WalWriter:
                 self._close_segment()
                 self.metrics.incr("wal.rotations")
         return n
+
+    def _abort_flush(self, n: int) -> None:
+        """Unwind a failed flush without poisoning the log.
+
+        The buffered records are dropped (the phones' uploads simply
+        never landed), their sequence numbers are reused so the log stays
+        densely numbered, and the segment is truncated back to its last
+        known-durable byte — a torn half-record or unsynced suffix must
+        not masquerade as log damage on the next recovery.
+        """
+        self.metrics.incr("wal.flush_failures")
+        self.metrics.incr("wal.dropped_records", n)
+        self._buffer.clear()
+        self._next_seq -= n
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - close-on-error best effort
+                pass
+            self._file = None
+        self._repair_segment()
+
+    def _repair_segment(self) -> None:
+        """Truncate the current segment to its last known-durable byte."""
+        path = self._seg_path
+        if path is None or not path.exists():
+            return
+        size = path.stat().st_size
+        if size > self._seg_bytes:
+            with open(path, "rb+") as fh:
+                fh.truncate(self._seg_bytes)
+            self.metrics.incr("wal.repaired_bytes", size - self._seg_bytes)
 
     def close(self) -> None:
         """Flush outstanding records and release the segment file."""
@@ -387,13 +444,23 @@ class WalWriter:
 
     # -- segment management --------------------------------------------------
 
-    def _open_segment(self, first_seq: int) -> None:
-        name = f"{SEGMENT_PREFIX}{first_seq:010d}{SEGMENT_SUFFIX}"
-        self._file = open(self.directory / name, "ab")
-        self._seg_records = 0
-        self._seg_bytes = 0
+    def _ensure_segment(self, first_seq: int) -> None:
+        """Open the current segment, or start a new one.
+
+        After :meth:`_abort_flush` the repaired segment is re-opened in
+        append mode (its durable prefix is intact); otherwise a fresh
+        segment named for ``first_seq`` begins.
+        """
+        if self._seg_path is None:
+            name = f"{SEGMENT_PREFIX}{first_seq:010d}{SEGMENT_SUFFIX}"
+            self._seg_path = self.directory / name
+            self._seg_records = 0
+            self._seg_bytes = 0
+        open_fn = self.fs.open if self.fs is not None else open
+        self._file = open_fn(self._seg_path, "ab")
 
     def _close_segment(self) -> None:
         if self._file is not None:
             self._file.close()
             self._file = None
+        self._seg_path = None

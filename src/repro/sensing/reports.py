@@ -61,9 +61,19 @@ class ScanReport:
         sensed by multiple devices remains relatively stable" observation
         put to work.  The merged report keeps the first report's identity
         fields and the earliest timestamp.
+
+        Raises :class:`ValueError` on an empty sequence or when the
+        reports span more than one session key — merging scans of
+        *different* buses would fabricate a bus that never existed.
         """
         if not reports:
             raise ValueError("cannot merge zero reports")
+        keys = {rep.session_key for rep in reports}
+        if len(keys) > 1:
+            raise ValueError(
+                "cannot merge reports from different sessions: "
+                f"{sorted(keys)!r} — merge fuses scans of one physical bus"
+            )
         sums: dict[str, list[float]] = {}
         ssids: dict[str, str] = {}
         for rep in reports:

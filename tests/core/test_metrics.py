@@ -33,8 +33,8 @@ class TestLatencyHistogram:
     def test_empty_snapshot_is_zeroed(self):
         snap = LatencyHistogram().snapshot()
         assert snap == {
-            "count": 0, "mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0,
-            "min_s": 0.0, "max_s": 0.0,
+            "count": 0, "total_s": 0.0, "mean_s": 0.0, "p50_s": 0.0,
+            "p95_s": 0.0, "min_s": 0.0, "max_s": 0.0,
         }
 
     def test_quantiles_are_bucket_bounds(self):

@@ -93,9 +93,29 @@ class TestServerRiderGrouping:
 
     def test_unmatchable_rider_dropped(self, setup):
         server = setup["server"]
+        from repro.radio import Reading
+
+        ghost = ScanReport(
+            device_id="ghost", session_key="", route_id="", t=1e9,
+            readings=(Reading(bssid="aa:bb:cc:dd:ee:ff", ssid="x", rss_dbm=-60.0),),
+        )
+        before = server.stats.reports_unroutable
+        hist_before = server.metrics.latency("ingest").count
+        assert server.ingest_rider(ghost) is None
+        assert server.stats.reports_unroutable == before + 1
+        # The fixed unroutable branch observes the ingest histogram and
+        # records the unmatched-rider context.
+        assert server.metrics.latency("ingest").count == hist_before + 1
+        assert server.metrics.counter("ingest.rider_unmatched") >= 1
+
+    def test_empty_rider_scan_quarantined(self, setup):
+        server = setup["server"]
         empty = ScanReport(
             device_id="ghost", session_key="", route_id="", t=1e9, readings=()
         )
-        before = server.stats.reports_unroutable
+        before = server.stats.reports_quarantined
+        unroutable_before = server.stats.reports_unroutable
         assert server.ingest_rider(empty) is None
-        assert server.stats.reports_unroutable == before + 1
+        assert server.stats.reports_quarantined == before + 1
+        assert server.stats.reports_unroutable == unroutable_before
+        assert server.guard.quarantine.counts.get("empty_readings", 0) >= 1

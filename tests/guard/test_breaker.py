@@ -1,0 +1,89 @@
+"""The storage circuit breaker's state machine, unit by unit."""
+
+import pytest
+
+from repro.core.server.metrics import ServerMetrics
+from repro.guard.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make(threshold=2, probe_after=4):
+    return CircuitBreaker(
+        failure_threshold=threshold, probe_after=probe_after,
+        metrics=ServerMetrics(),
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = make()
+        assert b.state == CLOSED
+        assert b.allow()
+        assert b.status == "ok"
+
+    def test_opens_after_consecutive_failures(self):
+        b = make(threshold=3)
+        b.record_failure("x")
+        b.record_failure("x")
+        assert b.state == CLOSED
+        b.record_failure("x")
+        assert b.state == OPEN
+        assert not b.allow()
+        assert b.status == "failed"
+
+    def test_success_resets_consecutive_count(self):
+        b = make(threshold=2)
+        b.record_failure("x")
+        b.record_success()
+        b.record_failure("x")
+        assert b.state == CLOSED  # never two *consecutive* failures
+
+    def test_half_open_probe_after_skipped_units(self):
+        b = make(threshold=1, probe_after=3)
+        b.record_failure("x")
+        assert not b.allow()
+        b.note_skipped(2)
+        assert not b.allow()
+        b.note_skipped(1)
+        assert b.allow()  # the probe
+        assert b.state == HALF_OPEN
+        assert b.status == "degraded"
+
+    def test_probe_success_closes(self):
+        b = make(threshold=1, probe_after=1)
+        b.record_failure("x")
+        b.note_skipped(1)
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.metrics.counter("breaker.storage.recovered") == 1
+
+    def test_probe_failure_reopens_and_waits_again(self):
+        b = make(threshold=1, probe_after=2)
+        b.record_failure("x")
+        b.note_skipped(2)
+        assert b.allow()
+        b.record_failure("probe died")
+        assert b.state == OPEN
+        assert b.metrics.counter("breaker.storage.reopened") == 1
+        # the skip counter restarted: a fresh window must elapse
+        assert not b.allow()
+        b.note_skipped(2)
+        assert b.allow()
+
+    def test_counters_and_snapshot(self):
+        b = make(threshold=1, probe_after=1)
+        b.record_failure("boom")
+        b.note_skipped(5)
+        snap = b.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["failures_total"] == 1
+        assert snap["skipped_units"] == 5
+        assert snap["last_error"] == "boom"
+        assert b.metrics.counter("breaker.storage.opened") == 1
+        assert b.metrics.counter("breaker.storage.skipped_units") == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_after=0)

@@ -1,0 +1,103 @@
+"""Flap/vanish detection and demotion cooldowns."""
+
+from repro.guard.bssid_health import BssidHealthTracker
+from repro.radio import Reading
+from repro.sensing import ScanReport
+
+
+def scan(t, bssids, session="bus:1"):
+    return ScanReport(
+        device_id="d1",
+        session_key=session,
+        route_id="r1",
+        t=t,
+        readings=tuple(
+            Reading(bssid=b, ssid=b, rss_dbm=-40.0 - i)
+            for i, b in enumerate(bssids)
+        ),
+    )
+
+
+def make_tracker(**kw):
+    defaults = dict(flap_threshold=2, flap_horizon_s=100.0, demote_cooldown_s=50.0)
+    defaults.update(kw)
+    return BssidHealthTracker(**defaults)
+
+
+class TestVanishDetection:
+    def test_flapper_demoted_across_sessions(self):
+        tr = make_tracker()
+        # 'flap' vanishes once in each of two sessions within the horizon
+        tr.observe(scan(0.0, ["flap", "stable"], session="bus:1"))
+        tr.observe(scan(10.0, ["stable"], session="bus:1"))
+        tr.observe(scan(11.0, ["flap", "stable"], session="bus:2"))
+        newly = tr.observe(scan(20.0, ["stable"], session="bus:2"))
+        assert newly == ["flap"]
+        assert tr.is_demoted("flap", 20.0)
+        assert not tr.is_demoted("stable", 20.0)
+
+    def test_single_vanish_is_not_a_flap(self):
+        tr = make_tracker()
+        tr.observe(scan(0.0, ["a", "b"]))
+        assert tr.observe(scan(10.0, ["b"])) == []
+        assert not tr.is_demoted("a", 10.0)
+
+    def test_vanishes_outside_horizon_ignored(self):
+        tr = make_tracker(flap_horizon_s=5.0)
+        tr.observe(scan(0.0, ["a", "b"], session="s1"))
+        tr.observe(scan(1.0, ["b"], session="s1"))  # vanish at t=1
+        tr.observe(scan(100.0, ["a", "b"], session="s2"))
+        tr.observe(scan(101.0, ["b"], session="s2"))  # vanish at t=101
+        assert not tr.is_demoted("a", 101.0)
+
+    def test_demotion_expires_after_cooldown(self):
+        tr = make_tracker()
+        tr.observe(scan(0.0, ["a", "x"], session="s1"))
+        tr.observe(scan(1.0, ["x"], session="s1"))
+        tr.observe(scan(2.0, ["a", "x"], session="s2"))
+        tr.observe(scan(3.0, ["x"], session="s2"))
+        assert tr.is_demoted("a", 3.0)
+        assert tr.is_demoted("a", 53.0)  # 3 + 50 cooldown boundary
+        assert not tr.is_demoted("a", 53.1)
+
+
+class TestFilterReport:
+    def demoted_tracker(self):
+        tr = make_tracker()
+        tr.observe(scan(0.0, ["bad", "x"], session="s1"))
+        tr.observe(scan(1.0, ["x"], session="s1"))
+        tr.observe(scan(2.0, ["bad", "x"], session="s2"))
+        tr.observe(scan(3.0, ["x"], session="s2"))
+        assert tr.is_demoted("bad", 3.0)
+        return tr
+
+    def test_demoted_readings_dropped(self):
+        tr = self.demoted_tracker()
+        filtered = tr.filter_report(scan(4.0, ["bad", "good"]))
+        assert [r.bssid for r in filtered.readings] == ["good"]
+
+    def test_never_empties_a_report(self):
+        tr = self.demoted_tracker()
+        original = scan(4.0, ["bad"])
+        assert tr.filter_report(original) is original
+
+    def test_no_demotions_returns_same_object(self):
+        tr = make_tracker()
+        original = scan(0.0, ["a"])
+        assert tr.filter_report(original) is original
+
+
+class TestBoundedState:
+    def test_session_state_lru_bounded(self):
+        tr = make_tracker(max_tracked_sessions=2)
+        for i in range(6):
+            tr.observe(scan(float(i), ["a"], session=f"s{i}"))
+        assert tr.snapshot()["tracked_sessions"] == 2
+
+    def test_bssid_state_lru_bounded(self):
+        tr = make_tracker(max_tracked_bssids=2)
+        for i in range(5):
+            s = f"s{i}"
+            tr.observe(scan(float(2 * i), [f"ap{i}", "keep"], session=s))
+            tr.observe(scan(float(2 * i + 1), ["keep"], session=s))
+        assert tr.snapshot()["tracked_bssids"] <= 2

@@ -1,0 +1,160 @@
+"""The fault injectors themselves: determinism and exact counting."""
+
+import math
+
+import pytest
+
+from repro.guard.chaos import (
+    FAULTS,
+    REASON_OF_FAULT,
+    ChaosConfig,
+    ChaosInjector,
+    FaultyFS,
+)
+from repro.radio import Reading
+from repro.sensing import ScanReport
+
+
+def stream(n=40, session="bus:1"):
+    return [
+        ScanReport(
+            device_id=f"d{i % 3}",
+            session_key=session,
+            route_id="r1",
+            t=10.0 * i,
+            readings=(
+                Reading(bssid="a", ssid="a", rss_dbm=-40.0),
+                Reading(bssid="b", ssid="b", rss_dbm=-60.0),
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+class TestChaosInjector:
+    def test_no_faults_is_identity(self):
+        inj = ChaosInjector(ChaosConfig(), seed=0)
+        reports = stream()
+        assert inj.corrupt(reports) == reports
+        assert inj.total_injected == 0
+
+    def test_deterministic_for_seed(self):
+        cfg = ChaosConfig(drop_p=0.1, duplicate_p=0.1, clock_skew_p=0.1)
+        a = ChaosInjector(cfg, seed=42).corrupt(stream())
+        b = ChaosInjector(cfg, seed=42).corrupt(stream())
+        assert a == b
+        c = ChaosInjector(cfg, seed=43).corrupt(stream())
+        assert a != c
+
+    def test_counts_reconcile_with_stream_delta(self):
+        cfg = ChaosConfig(drop_p=0.15, duplicate_p=0.15)
+        inj = ChaosInjector(cfg, seed=7)
+        reports = stream(60)
+        out = inj.corrupt(reports)
+        assert inj.injected["drop"] > 0 and inj.injected["duplicate"] > 0
+        assert len(out) == len(reports) - inj.injected["drop"] + inj.injected["duplicate"]
+
+    def test_first_report_never_faulted(self):
+        cfg = ChaosConfig(drop_p=1.0)
+        inj = ChaosInjector(cfg, seed=0)
+        reports = stream(10)
+        out = inj.corrupt(reports)
+        assert out == [reports[0]]
+        assert inj.injected["drop"] == 9
+
+    def test_clock_skew_shifts_t(self):
+        cfg = ChaosConfig(clock_skew_p=1.0, clock_skew_s=123.0)
+        out = ChaosInjector(cfg, seed=0).corrupt(stream(3))
+        assert out[1].t == pytest.approx(10.0 + 123.0)
+
+    def test_truncate_empties_readings(self):
+        cfg = ChaosConfig(truncate_p=1.0)
+        out = ChaosInjector(cfg, seed=0).corrupt(stream(3))
+        assert out[1].readings == () and out[2].readings == ()
+
+    def test_rss_spike_hits_strongest(self):
+        cfg = ChaosConfig(rss_spike_p=1.0, rss_spike_dbm=55.0)
+        out = ChaosInjector(cfg, seed=0).corrupt(stream(2))
+        assert out[1].readings[0].rss_dbm == 55.0
+        assert out[1].readings[1].rss_dbm == -60.0
+
+    def test_byzantine_device_reports_nan(self):
+        cfg = ChaosConfig(byzantine_devices=frozenset({"d0"}))
+        inj = ChaosInjector(cfg, seed=0)
+        out = inj.corrupt(stream(6))
+        byz = [r for r in out if r.device_id == "d0"]
+        assert byz and all(
+            math.isnan(rd.rss_dbm) for r in byz for rd in r.readings
+        )
+        assert inj.injected["byzantine"] == len(byz)
+
+    def test_reorder_swaps_within_session(self):
+        cfg = ChaosConfig(reorder_p=0.5)
+        inj = ChaosInjector(cfg, seed=1)
+        reports = stream(30)
+        out = inj.corrupt(reports)
+        assert sorted(out, key=lambda r: r.t) == reports
+        inversions = sum(
+            1 for i in range(len(out) - 1) if out[i].t > out[i + 1].t
+        )
+        assert inj.injected["reorder"] > 0
+        assert inversions > 0
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(drop_p=0.6, duplicate_p=0.6)
+
+    def test_fault_reason_map_covers_delivered_faults(self):
+        assert set(REASON_OF_FAULT) == set(FAULTS) - {"drop"}
+
+
+class TestFaultyFS:
+    def test_passthrough_when_healthy(self, tmp_path):
+        fs = FaultyFS()
+        p = tmp_path / "x.bin"
+        with fs.open(p, "wb") as fh:
+            fh.write(b"hello")
+            fs.fsync(fh.fileno())
+        assert p.read_bytes() == b"hello"
+        assert fs.counters == {}
+
+    def test_fsync_failure_scheduled(self, tmp_path):
+        fs = FaultyFS()
+        fs.schedule_fsync_failures(1)
+        p = tmp_path / "x.bin"
+        with fs.open(p, "wb") as fh:
+            fh.write(b"hello")
+            with pytest.raises(OSError):
+                fs.fsync(fh.fileno())
+            fs.fsync(fh.fileno())  # only the scheduled one fails
+        assert fs.counters == {"fsync_failures": 1}
+        assert fs.pending_faults == 0
+
+    def test_torn_write_leaves_partial_bytes(self, tmp_path):
+        fs = FaultyFS()
+        fs.schedule_torn_writes(1)
+        p = tmp_path / "x.bin"
+        with fs.open(p, "wb") as fh:
+            with pytest.raises(OSError):
+                fh.write(b"0123456789")
+        assert p.read_bytes() == b"01234"
+
+    def test_enospc_writes_nothing(self, tmp_path):
+        fs = FaultyFS()
+        fs.schedule_enospc_writes(1)
+        p = tmp_path / "x.bin"
+        with fs.open(p, "wb") as fh:
+            with pytest.raises(OSError):
+                fh.write(b"data")
+            fh.write(b"ok")
+        assert p.read_bytes() == b"ok"
+
+    def test_atomic_write_failure_leaves_no_file(self, tmp_path):
+        fs = FaultyFS()
+        fs.schedule_checkpoint_failures(1)
+        p = tmp_path / "ckpt.json"
+        with pytest.raises(OSError):
+            fs.atomic_write_text(p, "{}")
+        assert not p.exists()
+        fs.atomic_write_text(p, "{}")
+        assert p.read_text() == "{}"

@@ -1,0 +1,50 @@
+"""Quarantine ring: bounded retention, exact accounting."""
+
+import pytest
+
+from repro.guard.quarantine import QuarantineRing
+from repro.sensing import ScanReport
+
+
+def report(i):
+    return ScanReport(
+        device_id=f"d{i}", session_key="bus:1", route_id="r1", t=float(i)
+    )
+
+
+class TestQuarantineRing:
+    def test_push_and_entries(self):
+        ring = QuarantineRing(capacity=4)
+        entry = ring.push(report(0), "empty_readings", "detail", server_clock=9.0)
+        assert entry.reason == "empty_readings"
+        assert entry.server_clock == 9.0
+        assert len(ring) == 1
+        assert ring.entries()[0] is entry
+
+    def test_ring_is_bounded_but_totals_are_exact(self):
+        ring = QuarantineRing(capacity=3)
+        for i in range(10):
+            ring.push(report(i), "duplicate" if i % 2 else "clock_skew")
+        assert len(ring) == 3
+        assert ring.total == 10
+        assert ring.counts == {"duplicate": 5, "clock_skew": 5}
+
+    def test_by_reason_filters_retained(self):
+        ring = QuarantineRing(capacity=10)
+        ring.push(report(0), "duplicate")
+        ring.push(report(1), "clock_skew")
+        assert [e.report.t for e in ring.by_reason("duplicate")] == [0.0]
+
+    def test_snapshot(self):
+        ring = QuarantineRing(capacity=2)
+        ring.push(report(0), "malformed")
+        assert ring.snapshot() == {
+            "size": 1,
+            "capacity": 2,
+            "total": 1,
+            "by_reason": {"malformed": 1},
+        }
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            QuarantineRing(capacity=0)

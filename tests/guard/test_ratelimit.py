@@ -1,0 +1,64 @@
+"""Token bucket and per-device limiter behaviour."""
+
+import pytest
+
+from repro.guard.ratelimit import DeviceRateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        b = TokenBucket(rate_per_s=1.0, burst=3.0)
+        assert [b.try_take(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_with_time(self):
+        b = TokenBucket(rate_per_s=1.0, burst=2.0)
+        assert b.try_take(0.0) and b.try_take(0.0)
+        assert not b.try_take(0.0)
+        assert b.try_take(1.0)  # one second minted one token
+
+    def test_refill_caps_at_burst(self):
+        b = TokenBucket(rate_per_s=10.0, burst=2.0)
+        assert b.try_take(0.0)
+        assert b.try_take(100.0)
+        assert b.try_take(100.0)
+        assert not b.try_take(100.0)
+
+    def test_backwards_clock_never_mints(self):
+        b = TokenBucket(rate_per_s=1.0, burst=1.0)
+        assert b.try_take(100.0)
+        # going back in time refills nothing but still charges
+        assert not b.try_take(50.0)
+        assert not b.try_take(100.0)
+        assert b.try_take(101.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0.0)
+
+
+class TestDeviceRateLimiter:
+    def test_devices_are_independent(self):
+        lim = DeviceRateLimiter(rate_per_s=0.0, burst=1.0)
+        assert lim.allow("a", 0.0)
+        assert not lim.allow("a", 0.0)
+        assert lim.allow("b", 0.0)
+
+    def test_lru_bound_evicts_oldest(self):
+        lim = DeviceRateLimiter(rate_per_s=0.0, burst=1.0, max_devices=2)
+        assert lim.allow("a", 0.0)
+        assert lim.allow("b", 0.0)
+        assert lim.allow("c", 0.0)  # evicts a
+        assert len(lim) == 2
+        # a's bucket was forgotten, so it gets a fresh burst
+        assert lim.allow("a", 0.0)
+
+    def test_snapshot(self):
+        lim = DeviceRateLimiter(rate_per_s=2.0, burst=30.0)
+        lim.allow("a", 0.0)
+        assert lim.snapshot() == {
+            "tracked_devices": 1,
+            "rate_per_s": 2.0,
+            "burst": 30.0,
+        }

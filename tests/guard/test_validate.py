@@ -1,0 +1,169 @@
+"""Unit tests of the admission validator and its reason taxonomy."""
+
+import math
+
+import pytest
+
+from repro.guard.validate import (
+    REASON_BAD_TIMESTAMP,
+    REASON_CLOCK_SKEW,
+    REASON_DUPLICATE,
+    REASON_EMPTY_READINGS,
+    REASON_OUT_OF_ORDER,
+    REASON_OVERSIZED_READINGS,
+    REASON_RSS_NOT_FINITE,
+    REASON_RSS_OUT_OF_BAND,
+    REASON_UNSORTED_READINGS,
+    REASONS,
+    GuardConfig,
+    ReportValidator,
+)
+from repro.radio import Reading
+from repro.sensing import ScanReport
+
+
+def report(t=100.0, readings=None, device="d1", session="bus:1"):
+    if readings is None:
+        readings = ((-40.0, "ap1"), (-60.0, "ap2"))
+    return ScanReport(
+        device_id=device,
+        session_key=session,
+        route_id="r1",
+        t=t,
+        readings=tuple(
+            Reading(bssid=b, ssid=b, rss_dbm=rss) for rss, b in readings
+        ),
+    )
+
+
+class TestDefaultConfig:
+    def test_clean_report_admitted(self):
+        v = ReportValidator()
+        decision = v.check(report())
+        assert decision
+        assert decision.reason is None
+
+    def test_pseudo_rss_scales_admitted(self):
+        """Default config must not band-check RSS: simulation streams use
+        pseudo-RSS (e.g. -distance) far below any real dBm value."""
+        v = ReportValidator()
+        assert v.check(report(readings=((-80.0, "a"), (-500.0, "b"))))
+
+    def test_empty_readings_rejected(self):
+        decision = ReportValidator().check(report(readings=()))
+        assert not decision
+        assert decision.reason == REASON_EMPTY_READINGS
+
+    def test_non_finite_t_rejected(self):
+        v = ReportValidator()
+        for bad in (math.nan, math.inf, -math.inf):
+            decision = v.check(report(t=bad))
+            assert decision.reason == REASON_BAD_TIMESTAMP
+
+    def test_nan_rss_rejected(self):
+        decision = ReportValidator().check(
+            report(readings=((-40.0, "a"), (math.nan, "b")))
+        )
+        assert decision.reason == REASON_RSS_NOT_FINITE
+
+    def test_unsorted_readings_rejected(self):
+        decision = ReportValidator().check(
+            report(readings=((-60.0, "a"), (-40.0, "b")))
+        )
+        assert decision.reason == REASON_UNSORTED_READINGS
+
+    def test_duplicate_rejected_after_admission(self):
+        v = ReportValidator()
+        r = report()
+        assert v.check(r)
+        v.note_admitted(r)
+        decision = v.check(r)
+        assert decision.reason == REASON_DUPLICATE
+
+    def test_negative_t_allowed_by_default(self):
+        assert ReportValidator().check(report(t=-5.0))
+
+
+class TestStrictConfig:
+    def test_strict_band_rejects_out_of_band(self):
+        v = ReportValidator(GuardConfig.strict())
+        decision = v.check(report(readings=((40.0, "a"),)))
+        assert decision.reason == REASON_RSS_OUT_OF_BAND
+
+    def test_strict_negative_t_rejected(self):
+        v = ReportValidator(GuardConfig.strict())
+        assert v.check(report(t=-1.0)).reason == REASON_BAD_TIMESTAMP
+
+    def test_future_skew_rejected(self):
+        v = ReportValidator(GuardConfig.strict())
+        first = report(t=1000.0)
+        assert v.check(first)
+        v.note_admitted(first)
+        decision = v.check(report(t=1000.0 + 601.0, device="d2"))
+        assert decision.reason == REASON_CLOCK_SKEW
+
+    def test_past_skew_rejected(self):
+        v = ReportValidator(GuardConfig.strict())
+        first = report(t=10 * 3600.0)
+        v.note_admitted(first)
+        decision = v.check(report(t=3.0 * 3600.0, device="d2"))
+        assert decision.reason == REASON_CLOCK_SKEW
+
+    def test_out_of_order_beyond_window_rejected(self):
+        v = ReportValidator(GuardConfig.strict())
+        v.note_admitted(report(t=1000.0))
+        # within the 30 s window: fine
+        assert v.check(report(t=980.0, device="d2"))
+        # behind the frontier by more than the window: rejected
+        decision = v.check(report(t=900.0, device="d3"))
+        assert decision.reason == REASON_OUT_OF_ORDER
+
+    def test_oversized_readings_rejected(self):
+        v = ReportValidator(GuardConfig.strict())
+        big = tuple((-40.0 - i * 0.1, f"ap{i}") for i in range(65))
+        assert v.check(report(readings=big)).reason == REASON_OVERSIZED_READINGS
+
+    def test_server_clock_never_retreats(self):
+        v = ReportValidator(GuardConfig.strict())
+        v.note_admitted(report(t=1000.0))
+        v.note_admitted(report(t=990.0, device="d2"))
+        assert v.server_clock == 1000.0
+
+
+class TestBoundedState:
+    def test_dedup_window_is_lru_bounded(self):
+        v = ReportValidator(GuardConfig(dedup_window=4))
+        for i in range(10):
+            v.note_admitted(report(t=float(i), device=f"d{i}"))
+        assert len(v._recent) == 4
+        # the oldest key fell out, so its duplicate is admitted again
+        assert v.check(report(t=0.0, device="d0"))
+
+    def test_session_frontier_is_lru_bounded(self):
+        v = ReportValidator(
+            GuardConfig(monotonicity_window_s=10.0, max_tracked_sessions=3)
+        )
+        for i in range(8):
+            v.note_admitted(report(t=float(i), session=f"bus:{i}"))
+        assert len(v._session_last_t) == 3
+
+    def test_snapshot_shape(self):
+        v = ReportValidator()
+        v.note_admitted(report())
+        snap = v.snapshot()
+        assert snap["server_clock"] == 100.0
+        assert set(snap) == {"server_clock", "tracked_sessions", "dedup_entries"}
+
+
+class TestTaxonomy:
+    def test_reasons_unique_and_complete(self):
+        assert len(set(REASONS)) == len(REASONS) == 11
+
+    def test_strict_overrides(self):
+        cfg = GuardConfig.strict(rate_per_s=None)
+        assert cfg.rate_per_s is None
+        assert cfg.rss_band_dbm == (-110.0, 0.0)
+
+    def test_config_conflict_raises(self):
+        with pytest.raises(TypeError):
+            GuardConfig(nonsense=1)

@@ -79,3 +79,16 @@ def test_cache_hits_after_warm_replay(city):
     cache = city.server.metrics_snapshot()["caches"]["svd_match"]
     assert cache["hits"] > 0
     assert cache["hit_rate"] > 0.0
+
+
+def test_admission_overhead_bounded(city):
+    """The guard runs on every report but must stay a rounding error.
+
+    Admission is dict lookups and float comparisons; ingest does SVD
+    rank matching.  If admission ever costs a noticeable fraction of
+    ingest, the guard has grown state it was not supposed to have.
+    """
+    admission = city.server.metrics.latency("admission")
+    ingest = city.server.metrics.latency("ingest")
+    assert admission.count == ingest.count == len(city.reports)
+    assert admission.total_s < 0.15 * ingest.total_s

@@ -103,6 +103,36 @@ class TestScanReport:
         with pytest.raises(ValueError):
             ScanReport.merge([])
 
+    def test_merge_mixed_sessions_rejected(self):
+        r1 = ScanReport(
+            device_id="d1", session_key="bus:a", route_id="r", t=0.0,
+            readings=(Reading("b1", "x", -50.0),),
+        )
+        r2 = ScanReport(
+            device_id="d2", session_key="bus:b", route_id="r", t=0.1,
+            readings=(Reading("b1", "x", -60.0),),
+        )
+        with pytest.raises(ValueError) as excinfo:
+            ScanReport.merge([r1, r2])
+        # the message names the offending sessions, for the on-call log
+        assert "bus:a" in str(excinfo.value)
+        assert "bus:b" in str(excinfo.value)
+
+    def test_merge_same_session_different_devices_ok(self):
+        r1 = ScanReport(
+            device_id="d1", session_key="bus:a", route_id="r", t=1.0,
+            readings=(Reading("b1", "x", -50.0),),
+        )
+        r2 = ScanReport(
+            device_id="d2", session_key="bus:a", route_id="r", t=0.5,
+            readings=(Reading("b1", "x", -70.0),),
+        )
+        merged = ScanReport.merge([r2, r1])
+        assert merged.session_key == "bus:a"
+        assert merged.device_id == "d2"  # first report's identity
+        assert merged.t == 0.5
+        assert merged.rss_of("b1") == pytest.approx(-60.0)
+
 
 class TestRouteIdentifier:
     def test_perfect_never_fails(self):

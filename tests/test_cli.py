@@ -39,7 +39,7 @@ class TestCli:
 
 class TestDurabilityCli:
     def test_registry(self):
-        assert set(DURABILITY_CMDS) == {"checkpoint", "wal-stat", "replay"}
+        assert set(DURABILITY_CMDS) == {"checkpoint", "wal-stat", "replay", "health"}
         assert not set(DURABILITY_CMDS) & set(EXPERIMENTS)
 
     def test_checkpoint_then_stat_then_replay(self, capsys, tmp_path):

@@ -31,10 +31,11 @@ def test_ruff_clean():
 
 
 def test_ruff_clean_pipeline_extended():
-    """The new durability pipeline gates on a wider rule set than the seed.
+    """Post-seed subsystems gate on a wider rule set than the seed.
 
     Code that postdates the linter has no legacy-style excuse, so the
-    pipeline package (and its tests) also pass pycodestyle warnings.
+    pipeline and guard packages (and their tests) also pass pycodestyle
+    warnings.
     """
     ruff = shutil.which("ruff")
     if ruff is None:
@@ -46,7 +47,9 @@ def test_ruff_clean_pipeline_extended():
             "--select",
             "E4,E7,E9,F,W",
             "src/repro/pipeline",
+            "src/repro/guard",
             "tests/pipeline",
+            "tests/guard",
         ],
         cwd=REPO_ROOT,
         capture_output=True,
