@@ -21,6 +21,12 @@ the same synthetic city (all take ``--data-dir``, default
     python -m repro.cli wal-stat   --data-dir /tmp/wilo
     python -m repro.cli replay     --data-dir /tmp/wilo --quick
     python -m repro.cli health     --quick
+    python -m repro.cli cluster    --quick --json
+
+``cluster`` runs the sharded serving layer's acceptance story (cross-
+shard accuracy parity over the delta bus, then a chaos crash/recover
+drill); ``--json`` switches ``metrics``, ``health`` and ``cluster`` to
+machine-readable output.
 
 ``checkpoint`` ingests the city durably (WAL + micro-batches + periodic
 checkpoints), ``wal-stat`` prints the log's segment table, ``replay``
@@ -47,14 +53,14 @@ def _world(quick: bool):
     return make_corridor_world(seed=0)
 
 
-def run_table1(world, quick):
+def run_table1(world, args):
     from repro.eval.experiments import run_table1
     from repro.roadnet.overlap import format_overlap_table
 
     print(format_overlap_table(run_table1(world)))
 
 
-def run_table2(world, quick):
+def run_table2(world, args):
     from repro.eval.experiments import run_table2
     from repro.eval.scenarios import make_campus_world
 
@@ -64,11 +70,11 @@ def run_table2(world, quick):
         print(f"  {name}: {row}")
 
 
-def run_fig8a(world, quick):
+def run_fig8a(world, args):
     from repro.eval.experiments import run_fig8a
     from repro.eval.tables import format_cdf_table, format_summary_table
 
-    errors = run_fig8a(world, trips_per_route=1 if quick else 2)
+    errors = run_fig8a(world, trips_per_route=1 if args.quick else 2)
     print(format_cdf_table(errors, thresholds=[2, 3, 4, 5, 10, 20]))
     print()
     print(format_summary_table(errors, unit="m"))
@@ -82,10 +88,10 @@ def _prediction(world, quick):
     )
 
 
-def run_fig8b(world, quick):
+def run_fig8b(world, args):
     from repro.eval.tables import format_cdf_table, format_summary_table
 
-    exp = _prediction(world, quick)
+    exp = _prediction(world, args.quick)
     samples = {
         "WiLocator": exp.wilocator_errors,
         "Transit Agency": exp.agency_errors,
@@ -95,10 +101,10 @@ def run_fig8b(world, quick):
     print(format_summary_table(samples, unit="s"))
 
 
-def run_fig8c(world, quick):
+def run_fig8c(world, args):
     from repro.eval.tables import format_stops_ahead
 
-    exp = _prediction(world, quick)
+    exp = _prediction(world, args.quick)
     per_route = {
         rid: exp.mean_by_stops_ahead(rid, 19)
         for rid in ("rapid", "9", "14", "16")
@@ -106,11 +112,11 @@ def run_fig8c(world, quick):
     print(format_stops_ahead(per_route, max_stops=19))
 
 
-def run_fig9a(world, quick):
+def run_fig9a(world, args):
     from repro.eval.experiments import run_fig9a
     from repro.eval.tables import format_series
 
-    spacings = (120.0, 60.0, 34.0) if quick else (120.0, 80.0, 60.0, 45.0, 34.0)
+    spacings = (120.0, 60.0, 34.0) if args.quick else (120.0, 80.0, 60.0, 45.0, 34.0)
     print(
         format_series(
             run_fig9a(spacings_m=spacings),
@@ -120,11 +126,11 @@ def run_fig9a(world, quick):
     )
 
 
-def run_fig9b(world, quick):
+def run_fig9b(world, args):
     from repro.eval.experiments import run_fig9b
     from repro.eval.tables import format_series
 
-    orders = (1, 2, 3) if quick else (1, 2, 3, 4)
+    orders = (1, 2, 3) if args.quick else (1, 2, 3, 4)
     print(
         format_series(
             run_fig9b(world, orders=orders),
@@ -134,7 +140,7 @@ def run_fig9b(world, quick):
     )
 
 
-def run_fig10(world, quick):
+def run_fig10(world, args):
     from repro.eval.experiments import run_fig10
     from repro.eval.scenarios import make_campus_world
 
@@ -147,7 +153,7 @@ def run_fig10(world, quick):
         )
 
 
-def run_fig11(world, quick):
+def run_fig11(world, args):
     from repro.eval.experiments import run_fig11
 
     exp = run_fig11(world, train_days=2)
@@ -164,7 +170,7 @@ def run_fig11(world, quick):
         )
 
 
-def run_seasonal(world, quick):
+def run_seasonal(world, args):
     from repro.core.arrival.seasonal import SlotScheme, seasonal_index
     from repro.core.server.training import (
         fit_slot_scheme,
@@ -173,7 +179,7 @@ def run_seasonal(world, quick):
     from repro.eval.ascii_viz import render_seasonal
 
     sim = world.simulator
-    days = 2 if quick else 3
+    days = 2 if args.quick else 3
     history = history_from_ground_truth(
         sim.run(sim.default_schedules(headway_s=900.0), num_days=days)
     )
@@ -186,13 +192,15 @@ def run_seasonal(world, quick):
     print(f"  learned slot boundaries (h): {[round(h, 1) for h in hours]}")
 
 
-def run_metrics(world, quick):
+def run_metrics(world, args):
+    import json
+
     from repro.core.server.metrics import format_snapshot
     from repro.eval.synth_city import build_linear_city
 
     city = build_linear_city(
-        num_routes=4 if quick else 10,
-        sessions_per_route=3 if quick else 8,
+        num_routes=4 if args.quick else 10,
+        sessions_per_route=3 if args.quick else 8,
         hub_every=2,
     )
     city.replay()
@@ -203,6 +211,9 @@ def run_metrics(world, quick):
         city.stop_id_on(hub_rid, 0), city.hub_stop_id, now=city.now
     )
     api.live_positions(now=city.now)
+    if getattr(args, "json", False):
+        print(json.dumps(city.server.metrics_snapshot(), indent=2))
+        return
     print(
         f"  synthetic city: {len(city.routes)} routes, "
         f"{city.server.stats.sessions_opened} sessions, "
@@ -379,12 +390,54 @@ def run_health_cmd(args) -> None:
         durable.flush()
         health = durable.health()
         durable.close()
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(health, indent=2))
+        return
     print(
         f"  chaos drill: {len(corrupted)} reports delivered "
         f"({injector.total_injected} stream faults injected, "
         f"{fs.counters.get('fsync_failures', 0)} fsync failures)"
     )
     _print_health(health)
+
+
+def run_cluster_cmd(args) -> None:
+    """The cluster acceptance story: accuracy parity, then failover.
+
+    Runs the cross-shard accuracy experiment (single server vs a
+    pair-splitting cluster with and without the delta bus) and the
+    chaos-crash failover drill in a temporary directory; ``--json``
+    emits both results machine-readably for CI smoke to consume.
+    """
+    import tempfile
+    from dataclasses import asdict
+
+    from repro.cluster import run_accuracy, run_failover_drill
+
+    accuracy = run_accuracy(
+        num_pairs=1 if args.quick else 2,
+        feeder_sessions=2 if args.quick else 3,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        drill = run_failover_drill(tmp)
+    if getattr(args, "json", False):
+        import json
+
+        print(
+            json.dumps(
+                {"accuracy": asdict(accuracy), "failover": asdict(drill)},
+                indent=2,
+            )
+        )
+        return
+    print("  accuracy (overlapped pairs split across shards):")
+    for line in accuracy.summary().splitlines():
+        print(f"    {line}")
+    print("  failover drill (crash the feeder shard mid-run):")
+    for line in drill.summary().splitlines():
+        print(f"    {line}")
 
 
 DURABILITY_CMDS = {
@@ -397,6 +450,10 @@ DURABILITY_CMDS = {
     "health": (
         "Chaos drill: guarded ingest under injected faults, then health",
         run_health_cmd,
+    ),
+    "cluster": (
+        "Sharded cluster: cross-shard accuracy parity + failover drill",
+        run_cluster_cmd,
     ),
 }
 
@@ -442,6 +499,11 @@ def main(argv: list[str] | None = None) -> int:
         default="./wilocator-data",
         help="durable state directory for checkpoint/wal-stat/replay",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (metrics, health, cluster)",
+    )
     args = parser.parse_args(argv)
 
     chosen = list(args.experiments) or ["all"]
@@ -465,7 +527,7 @@ def main(argv: list[str] | None = None) -> int:
         if name in DURABILITY_CMDS:
             fn(args)
         else:
-            fn(world, args.quick)
+            fn(world, args)
         print(f"[{name} done in {time.perf_counter() - start:.1f} s]\n")
     return 0
 

@@ -1,0 +1,52 @@
+"""repro.cluster — sharded scale-out serving with delta replication.
+
+The single :class:`~repro.core.server.server.WiLocatorServer` scales to
+one process; this package scales it out while keeping the repo's
+determinism contract (in-process, threadless, unit-testable):
+
+* :class:`ShardPlan` — consistent-hash placement of routes onto shards,
+  with the overlap metadata that decides which segment traversals must
+  replicate (Eq. 8 borrows residuals across routes, and overlapped
+  routes may live on different shards);
+* :class:`ShardNode` — one shard: a per-shard server (plain or durable
+  with its own WAL/checkpoints) plus a bounded, seq-numbered outbox of
+  fresh segment deltas;
+* :class:`DeltaBus` — at-least-once delivery of those deltas to the
+  subscribing shards, deduplicated on apply, with lag/backlog metrics
+  and an optional staleness bound;
+* :class:`ClusterRouter` — the front door: routes driver ingest, fans
+  rider scans, scatter-gathers queries with per-shard breaker-style
+  error isolation, merges metrics and health into cluster views;
+* :func:`run_accuracy` / :func:`run_failover_drill` — the acceptance
+  experiments: prediction parity with the single server (and measurable
+  degradation without the bus), and crash/recover/parity under chaos
+  faults.
+"""
+
+from repro.cluster.bus import DeltaBus
+from repro.cluster.build import build_cluster, shard_server
+from repro.cluster.drill import FailoverResult, run_failover_drill
+from repro.cluster.experiment import (
+    ClusterAccuracy,
+    run_accuracy,
+    split_pairs_plan,
+)
+from repro.cluster.node import SegmentDelta, ShardNode
+from repro.cluster.plan import PlanDiff, ShardPlan
+from repro.cluster.router import ClusterRouter
+
+__all__ = [
+    "ShardPlan",
+    "PlanDiff",
+    "ShardNode",
+    "SegmentDelta",
+    "DeltaBus",
+    "ClusterRouter",
+    "shard_server",
+    "build_cluster",
+    "ClusterAccuracy",
+    "split_pairs_plan",
+    "run_accuracy",
+    "FailoverResult",
+    "run_failover_drill",
+]

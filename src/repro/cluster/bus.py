@@ -1,0 +1,142 @@
+"""Cross-shard delta replication: at-least-once, seq-numbered, dedup'd.
+
+The :class:`DeltaBus` is the cluster's only cross-shard data path.  Every
+shard appends freshly extracted travel times on overlapped segments to
+its outbox (:class:`~repro.cluster.node.ShardNode`); :meth:`DeltaBus.pump`
+delivers each origin's outbox, in sequence order, to every *other*
+attached shard.  Delivery is cursor-based — the bus remembers, per
+``(origin, subscriber)`` pair, the next sequence it owes — and the
+subscriber's :meth:`~repro.cluster.node.ShardNode.apply_delta` resolves
+at-least-once semantics (duplicates dropped, gaps counted, non-subscribed
+segments filtered, stale deltas bounded by ``max_staleness_s``).
+
+Like everything else in this repo the bus is deterministic and
+in-process: ``pump()`` stands in for the network round; tests and drills
+call it at whatever cadence they model.  Failover is
+:meth:`replace_node`: when a crashed shard rejoins after recovery, the
+cursors *toward* it rewind to its restored high-water marks (re-delivering
+whatever its durable state never saw), while cursors *from* it stand —
+its replayed outbox re-emits post-checkpoint deltas under their original
+sequence numbers, which subscribers that already saw them skip.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import ShardNode
+
+__all__ = ["DeltaBus"]
+
+
+class DeltaBus:
+    """Deterministic replication fabric between attached shard nodes.
+
+    Parameters
+    ----------
+    enabled:
+        With False, :meth:`pump` is a no-op — the ablation switch the
+        accuracy experiment flips to prove replication is load-bearing.
+    max_staleness_s:
+        Optional staleness bound: a delta whose traversal finished more
+        than this many seconds before the pump's ``now`` is dropped at
+        the subscriber (counted ``cluster.deltas_stale``) instead of
+        applied.  None applies regardless of age (the predictor's own
+        recency window already ignores old evidence).
+    """
+
+    def __init__(
+        self, *, enabled: bool = True, max_staleness_s: float | None = None
+    ) -> None:
+        self.enabled = enabled
+        self.max_staleness_s = max_staleness_s
+        self.nodes: dict[int, ShardNode] = {}
+        self.cursors: dict[tuple[int, int], int] = {}
+        self.delivered_total = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def attach(self, node: ShardNode) -> None:
+        if node.shard_id in self.nodes:
+            raise ValueError(f"shard {node.shard_id} already attached")
+        self.nodes[node.shard_id] = node
+
+    def replace_node(self, node: ShardNode) -> None:
+        """Swap in a recovered incarnation of an attached shard.
+
+        Cursors toward the recovered shard rewind to its restored
+        ``cluster.applied_from.*`` high-water marks: anything applied
+        after its last durable point was lost with the crash and is owed
+        again.  Cursors from it are left alone — recovery replay already
+        re-emitted the surviving suffix under the original sequence
+        numbers, so subscribers past those sequences skip them.
+        """
+        if node.shard_id not in self.nodes:
+            raise ValueError(f"shard {node.shard_id} was never attached")
+        self.nodes[node.shard_id] = node
+        for origin_id in self.nodes:
+            if origin_id == node.shard_id:
+                continue
+            self.cursors[(origin_id, node.shard_id)] = node.applied_from(origin_id)
+
+    # -- delivery ------------------------------------------------------------
+
+    def pump(self, *, now: float | None = None, only: set[int] | None = None) -> int:
+        """Deliver every owed delta to every attached subscriber.
+
+        ``only`` restricts delivery to the given subscriber shard ids
+        (the router uses it to keep pumping healthy shards while one is
+        down).  Returns the number of deltas delivered this call.
+        """
+        if not self.enabled:
+            return 0
+        delivered = 0
+        for origin_id in sorted(self.nodes):
+            origin = self.nodes[origin_id]
+            for sub_id in sorted(self.nodes):
+                if sub_id == origin_id:
+                    continue
+                if only is not None and sub_id not in only:
+                    continue
+                subscriber = self.nodes[sub_id]
+                key = (origin_id, sub_id)
+                cursor = self.cursors.get(key, 0)
+                for delta in origin.outbox:
+                    if delta.seq < cursor:
+                        continue
+                    subscriber.apply_delta(
+                        delta, now=now, max_staleness_s=self.max_staleness_s
+                    )
+                    cursor = delta.seq + 1
+                    delivered += 1
+                self.cursors[key] = cursor
+        self.delivered_total += delivered
+        return delivered
+
+    # -- observability -------------------------------------------------------
+
+    def lag(self) -> dict[tuple[int, int], int]:
+        """Undelivered deltas per (origin, subscriber) pair."""
+        out: dict[tuple[int, int], int] = {}
+        for origin_id, origin in self.nodes.items():
+            head = origin.next_out_seq
+            for sub_id in self.nodes:
+                if sub_id == origin_id:
+                    continue
+                cursor = self.cursors.get((origin_id, sub_id), 0)
+                out[(origin_id, sub_id)] = max(0, head - cursor)
+        return out
+
+    def backlog(self) -> int:
+        """Total undelivered deltas across all pairs."""
+        return sum(self.lag().values())
+
+    def health(self) -> dict:
+        lag = self.lag()
+        return {
+            "enabled": self.enabled,
+            "nodes": sorted(self.nodes),
+            "delivered_total": self.delivered_total,
+            "backlog": sum(lag.values()),
+            "max_lag": max(lag.values(), default=0),
+            "max_staleness_s": self.max_staleness_s,
+            "lag": {f"{o}->{s}": n for (o, s), n in sorted(lag.items())},
+        }

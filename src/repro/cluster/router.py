@@ -1,0 +1,346 @@
+"""The cluster's front door: routing, scatter-gather, error isolation.
+
+:class:`ClusterRouter` presents (most of) the single-server surface over
+a set of :class:`~repro.cluster.node.ShardNode` members:
+
+* **driver ingest** routes by session -> route -> shard (the plan's
+  consistent hash), so a bus session always lands on one shard;
+* **rider ingest** fans the scan out: every healthy shard's proximity
+  grouper is probed read-only (:meth:`WiLocatorServer.rider_candidate`)
+  and the scan commits to the shard whose driver matched best;
+* **queries** scatter-gather with per-shard error isolation — a shard
+  that is down, or whose :class:`~repro.guard.breaker.CircuitBreaker`
+  has opened after repeated faults, is skipped and the remaining shards'
+  answers are served *degraded* rather than failing the call.  Every
+  skip and error lands under the router's ``cluster.*`` counters.
+
+The router never hides a caller bug: :class:`UnknownStopError` from a
+shard propagates, exactly as the single server raises it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.arrival.predictor import ArrivalPrediction
+from repro.core.positioning.trajectory import TrajectoryPoint
+from repro.core.server.metrics import ServerMetrics
+from repro.core.server.server import UnknownStopError
+from repro.core.server.session import BusSession
+from repro.core.traffic.anomaly import Anomaly, merge_anomalies
+from repro.core.traffic.classifier import SegmentStatus
+from repro.core.traffic.map import TrafficMap
+from repro.guard.breaker import CircuitBreaker
+from repro.sensing.reports import ScanReport
+
+from repro.cluster.bus import DeltaBus
+from repro.cluster.node import ShardNode
+from repro.cluster.plan import ShardPlan
+
+__all__ = ["ClusterRouter"]
+
+_SKIPPED = object()
+
+
+class ClusterRouter:
+    """Scatter-gather facade over the shard nodes of one plan."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        nodes: Mapping[int, ShardNode],
+        bus: DeltaBus,
+        *,
+        breaker_threshold: int = 3,
+        breaker_probe_after: int = 8,
+    ) -> None:
+        missing = set(plan.shard_ids()) - set(nodes)
+        if missing:
+            raise ValueError(f"plan shards without a node: {sorted(missing)}")
+        self.plan = plan
+        self.nodes = dict(nodes)
+        self.bus = bus
+        self.metrics = ServerMetrics()
+        self.breakers = {
+            sid: CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                probe_after=breaker_probe_after,
+                name=f"shard{sid}",
+                metrics=self.metrics,
+            )
+            for sid in self.nodes
+        }
+        self._down: set[int] = set()
+        self._session_shard: dict[str, int] = {}
+
+    # -- membership / failover ----------------------------------------------
+
+    def live_shard_ids(self) -> list[int]:
+        return [sid for sid in sorted(self.nodes) if sid not in self._down]
+
+    def crash_shard(self, shard_id: int) -> None:
+        """Administratively mark a shard dead (the failover drill's kill).
+
+        Its node object is abandoned where it stands — no close, no
+        flush — exactly like a process crash; queries degrade around it
+        until :meth:`restore_shard`.
+        """
+        if shard_id not in self.nodes:
+            raise ValueError(f"unknown shard {shard_id}")
+        self._down.add(shard_id)
+        self.metrics.incr("cluster.shard_crashes")
+
+    def restore_shard(self, shard_id: int, node: ShardNode) -> None:
+        """Rejoin a recovered shard and rewire the delta bus to it."""
+        if node.shard_id != shard_id:
+            raise ValueError("node's shard id does not match")
+        self.nodes[shard_id] = node
+        self._down.discard(shard_id)
+        self.bus.replace_node(node)
+        self.breakers[shard_id].record_success()
+        self.metrics.incr("cluster.shard_restores")
+
+    # -- error isolation -----------------------------------------------------
+
+    def _guarded(self, shard_id: int, fn, *args, **kwargs):
+        """Run one shard call behind its breaker; ``_SKIPPED`` on degrade."""
+        if shard_id in self._down or not self.breakers[shard_id].allow():
+            self.breakers[shard_id].note_skipped(1)
+            self.metrics.incr("cluster.query_shard_skipped")
+            return _SKIPPED
+        try:
+            result = fn(*args, **kwargs)
+        except UnknownStopError:
+            raise  # a caller bug, not a shard fault
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            self.breakers[shard_id].record_failure(repr(exc))
+            self.metrics.incr("cluster.shard_errors")
+            return _SKIPPED
+        self.breakers[shard_id].record_success()
+        return result
+
+    # -- driver ingest -------------------------------------------------------
+
+    def shard_of_session(self, session_key: str) -> int | None:
+        """Which shard tracks a session, or None if never seen."""
+        shard_id = self._session_shard.get(session_key)
+        if shard_id is not None:
+            return shard_id
+        for sid in sorted(self.nodes):
+            if session_key in self.nodes[sid].core.sessions:
+                self._session_shard[session_key] = sid
+                return sid
+        return None
+
+    def ingest(self, report: ScanReport) -> bool:
+        """Route one driver report to its shard; True when admitted.
+
+        A report for a downed shard is refused (False, counted
+        ``cluster.ingest_rejected``) — callers park and resubmit after
+        :meth:`restore_shard`, mirroring a load balancer's 503.
+        """
+        shard_id = self.plan.shard_of(report.route_id)
+        if shard_id in self._down:
+            self.metrics.incr("cluster.ingest_rejected")
+            return False
+        accepted = self._guarded(shard_id, self.nodes[shard_id].submit, report)
+        if accepted is _SKIPPED:
+            self.metrics.incr("cluster.ingest_rejected")
+            return False
+        self.metrics.incr("cluster.ingest_routed")
+        if accepted:
+            self._session_shard[report.session_key] = shard_id
+        return bool(accepted)
+
+    def ingest_many(self, reports: Iterable[ScanReport]) -> int:
+        """Route a report stream in timestamp order; returns admitted count."""
+        return sum(
+            1 for r in sorted(reports, key=lambda r: r.t) if self.ingest(r)
+        )
+
+    def flush(self) -> int:
+        """Flush every live shard's batched reports."""
+        return sum(
+            flushed
+            for sid in self.live_shard_ids()
+            if (flushed := self._guarded(sid, self.nodes[sid].flush))
+            is not _SKIPPED
+        )
+
+    def pump(self, *, now: float | None = None) -> int:
+        """One replication round over the live shards."""
+        return self.bus.pump(now=now, only=set(self.live_shard_ids()))
+
+    # -- rider ingest --------------------------------------------------------
+
+    def ingest_rider(self, report: ScanReport) -> TrajectoryPoint | None:
+        """Fan a rider scan to candidate shards; commit to the best match.
+
+        Every live shard's grouper is probed read-only; the scan is then
+        ingested on the shard whose contemporaneous driver scan was most
+        similar (ties break toward the lowest shard id).  No match
+        anywhere counts ``cluster.rider_unmatched`` and drops the scan,
+        like the single server's unmatched branch.
+        """
+        best_sid: int | None = None
+        best_sim = 0.0
+        for sid in self.live_shard_ids():
+            decision = self._guarded(
+                sid, self.nodes[sid].core.rider_candidate, report
+            )
+            if decision is _SKIPPED or decision.session_key is None:
+                continue
+            if decision.similarity > best_sim:
+                best_sid, best_sim = sid, decision.similarity
+        if best_sid is None:
+            self.metrics.incr("cluster.rider_unmatched")
+            return None
+        self.metrics.incr("cluster.rider_routed")
+        fix = self._guarded(
+            best_sid, self.nodes[best_sid].core.ingest_rider, report
+        )
+        return None if fix is _SKIPPED else fix
+
+    # -- scatter-gather queries ----------------------------------------------
+
+    def predict_arrival(
+        self, session_key: str, stop_id: str
+    ) -> ArrivalPrediction | None:
+        """The session's shard answers; a downed shard degrades to None."""
+        shard_id = self.shard_of_session(session_key)
+        if shard_id is None:
+            return None
+        pred = self._guarded(
+            shard_id, self.nodes[shard_id].core.predict_arrival,
+            session_key, stop_id,
+        )
+        if pred is _SKIPPED:
+            self.metrics.incr("cluster.predict_degraded")
+            return None
+        return pred
+
+    def current_position(self, session_key: str) -> TrajectoryPoint | None:
+        shard_id = self.shard_of_session(session_key)
+        if shard_id is None:
+            return None
+        fix = self._guarded(
+            shard_id, self.nodes[shard_id].core.current_position, session_key
+        )
+        return None if fix is _SKIPPED else fix
+
+    def active_sessions(
+        self, *, now: float, timeout_s: float = 300.0
+    ) -> list[BusSession]:
+        """All live shards' active sessions, merged by session key."""
+        merged: list[BusSession] = []
+        for sid in self.live_shard_ids():
+            got = self._guarded(
+                sid,
+                self.nodes[sid].core.active_sessions,
+                now=now,
+                timeout_s=timeout_s,
+            )
+            if got is not _SKIPPED:
+                merged.extend(got)
+        merged.sort(key=lambda s: s.session_key)
+        return merged
+
+    def detect_anomalies(
+        self, now: float, *, lookback_s: float = 3600.0
+    ) -> list[Anomaly]:
+        found: list[Anomaly] = []
+        for sid in self.live_shard_ids():
+            got = self._guarded(
+                sid,
+                self.nodes[sid].core.detect_anomalies,
+                now,
+                lookback_s=lookback_s,
+            )
+            if got is not _SKIPPED:
+                found.extend(got)
+        return merge_anomalies(found)
+
+    def traffic_map(
+        self,
+        now: float,
+        segment_ids: Sequence[str] | None = None,
+        *,
+        with_anomalies: bool = True,
+    ) -> TrafficMap:
+        """Union of the live shards' maps.
+
+        Shards disagree only in confidence, never in substance — their
+        live stores converge through the delta bus — so for a segment
+        several shards cover, the first non-UNKNOWN state (lowest shard
+        id) wins; UNKNOWN only survives when every covering shard says
+        UNKNOWN.
+        """
+        merged = TrafficMap(t=now)
+        anomalies: list[Anomaly] = []
+        for sid in self.live_shard_ids():
+            got = self._guarded(
+                sid,
+                self.nodes[sid].core.traffic_map,
+                now,
+                segment_ids,
+                with_anomalies=with_anomalies,
+            )
+            if got is _SKIPPED:
+                continue
+            anomalies.extend(got.anomalies)
+            for seg_id, state in got.states.items():
+                have = merged.states.get(seg_id)
+                if have is None or (
+                    have.status is SegmentStatus.UNKNOWN
+                    and state.status is not SegmentStatus.UNKNOWN
+                ):
+                    merged.states[seg_id] = state
+        merged.anomalies = merge_anomalies(anomalies)
+        return merged
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Router counters plus per-shard snapshots and cluster totals."""
+        shards = {}
+        totals: dict[str, int] = {}
+        for sid in sorted(self.nodes):
+            if sid in self._down:
+                shards[str(sid)] = {"down": True}
+                continue
+            snap = self.nodes[sid].metrics_snapshot()
+            shards[str(sid)] = snap
+            for name, value in snap["counters"].items():
+                totals[name] = totals.get(name, 0) + value
+        return {
+            "cluster": self.metrics.snapshot(),
+            "totals": dict(sorted(totals.items())),
+            "shards": shards,
+        }
+
+    def health(self) -> dict:
+        """Cluster status: degraded the moment any shard is impaired."""
+        shards = {}
+        worst = "ok"
+        for sid in sorted(self.nodes):
+            if sid in self._down:
+                shards[str(sid)] = {"status": "down"}
+                worst = "degraded"
+                continue
+            got = self._guarded(sid, self.nodes[sid].health)
+            if got is _SKIPPED:
+                shards[str(sid)] = {"status": "unreachable"}
+                worst = "degraded"
+                continue
+            shards[str(sid)] = got
+            if got.get("status") != "ok":
+                worst = "degraded"
+        return {
+            "status": worst,
+            "plan": self.plan.snapshot(),
+            "bus": self.bus.health(),
+            "breakers": {
+                str(sid): b.snapshot() for sid, b in sorted(self.breakers.items())
+            },
+            "shards": shards,
+        }

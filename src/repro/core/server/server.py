@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.core.arrival.history import TravelTimeStore
+from repro.core.arrival.history import TravelTimeRecord, TravelTimeStore
 from repro.core.arrival.predictor import ArrivalPrediction, ArrivalTimePredictor
 from repro.core.arrival.seasonal import SlotScheme
 from repro.core.positioning.locator import SVDPositioner
@@ -124,6 +124,11 @@ class WiLocatorServer:
         self.anomaly_detector = AnomalyDetector(self.delta)
         self.sessions: dict[str, BusSession] = {}
         self.stats = ServerStats()
+        #: Optional tap on freshly extracted segment traversals.  Invoked
+        #: once per :class:`TravelTimeRecord` right after the predictor
+        #: observes it — the cluster layer's :class:`ShardNode` uses it to
+        #: publish cross-shard segment deltas.  Must not raise.
+        self.on_traversal: Callable[[TravelTimeRecord], None] | None = None
         self.index = RouteIndex(self.routes)
         self.metrics = ServerMetrics()
         if guard is not None and guard_config is not None:
@@ -210,20 +215,30 @@ class WiLocatorServer:
             self.predictor.observe(record)
             self.stats.traversals_extracted += 1
             self.metrics.incr("ingest.traversals_extracted")
+            if self.on_traversal is not None:
+                self.on_traversal(record)
         self.metrics.observe("ingest", time.perf_counter() - t0)
         return point
 
     def ingest_many(
-        self, reports: Iterable[ScanReport]
+        self, reports: Iterable[ScanReport], *, admitted: bool = False
     ) -> list[TrajectoryPoint | None]:
         """Ingest a batch in timestamp order.
 
         Returns the per-report position fixes, aligned with the
         time-sorted processing order (the seed discarded them).  Stats and
         metrics advance exactly as per-report :meth:`ingest` calls would.
+
+        With ``admitted=True`` every report routes through
+        :meth:`ingest_admitted` instead: batch callers whose stream
+        already passed admission control (the durable pipeline's WAL
+        replay, a cluster :class:`ShardNode` applying a committed batch)
+        must not run it a second time — re-admitting would corrupt
+        duplicate-suppression state and double the admission counters.
         """
+        apply = self.ingest_admitted if admitted else self.ingest
         return [
-            self.ingest(report)
+            apply(report)
             for report in sorted(reports, key=lambda r: r.t)
         ]
 
@@ -254,7 +269,9 @@ class WiLocatorServer:
             self.metrics.observe("ingest", time.perf_counter() - t0)
             return None
         session = self.sessions.get(decision.session_key)
-        if session is None:  # pragma: no cover - grouper only knows live keys
+        if session is None:
+            # The grouper matched a driver whose session the server no
+            # longer tracks (dropped, or fed out-of-band): unroutable.
             self.stats.reports_ingested += 1
             self.stats.reports_unroutable += 1
             self.metrics.incr("ingest.reports")
@@ -269,6 +286,17 @@ class WiLocatorServer:
             readings=report.readings,
         )
         return self._apply(regrouped, t0)
+
+    def rider_candidate(self, report: ScanReport):
+        """Which bus would :meth:`ingest_rider` assign this scan to?
+
+        A read-only probe of the proximity grouper (no admission, no
+        state change) returning the grouper's
+        :class:`~repro.sensing.grouping.GroupingDecision`.  The cluster
+        router polls every shard with this before committing the rider's
+        scan to the best-matching shard.
+        """
+        return self._grouper.assign(report)
 
     # -- rider queries ----------------------------------------------------------
 

@@ -62,9 +62,13 @@ class SynthCity:
         The build is deterministic, so the twin's routes, SVDs, history
         and fabricated reports are equal to this city's — the substrate
         crash-recovery tests (and the ``replay`` CLI) need to rebuild the
-        static configuration a checkpoint must be restored into.
+        static configuration a checkpoint must be restored into.  The
+        ``builder`` param records which fabric built this city (linear
+        or overlap), so twins of either kind rebuild correctly.
         """
-        return build_linear_city(**self.params)
+        params = dict(self.params)
+        builder = params.pop("builder", "linear")
+        return _BUILDERS[builder](**params)
 
 
 def _route_aps(
@@ -238,3 +242,172 @@ def build_linear_city(
         routes=routes,
         params=params,
     )
+
+
+def build_overlap_city(
+    *,
+    num_pairs: int = 2,
+    feeder_sessions: int = 3,
+    query_sessions: int = 3,
+    feeder_reports: int = 12,
+    query_reports: int = 2,
+    stops_per_route: int = 6,
+    segments_per_pair: int = 5,
+    pair_length_m: float = 2000.0,
+    aps_per_pair: int = 10,
+    svd_step_m: float = 10.0,
+    now: float = 12 * 3600.0,
+    feeder_speed_mps: float = 12.0,
+    historical_speed_mps: float = 8.0,
+) -> SynthCity:
+    """A city of *overlapped route pairs* — the cluster substrate.
+
+    Each pair shares one physical road (every segment is traversed by
+    both routes, the paper's Table-I overlap structure) but carries two
+    distinct routes:
+
+    * route ``B<p>`` (the *feeder*): buses start near the route head and
+      move at ``feeder_speed_mps``, crossing segment boundaries — the
+      server extracts fresh travel times from them;
+    * route ``A<p>`` (the *query* route): buses sit near the route head
+      (no boundary crossed, so **no own traversals**) and their arrival
+      predictions depend entirely on Eq. 8's cross-route recency term.
+
+    Historical travel times for both routes are seeded at
+    ``historical_speed_mps``, so when the live fleet runs at a different
+    speed the residual correction is *load-bearing*: a predictor that
+    sees the feeder's traversals predicts the live pace, one that does
+    not falls back to the stale historical pace.  Placing ``A<p>`` and
+    ``B<p>`` on different shards therefore makes cross-shard delta
+    replication measurable (the `repro.cluster` acceptance experiment).
+    """
+    if num_pairs < 1 or feeder_sessions < 1 or query_sessions < 1:
+        raise ValueError("need at least one pair and one session per role")
+    move_per_report = feeder_speed_mps * 10.0
+    if (feeder_reports - 1) * move_per_report >= pair_length_m:
+        raise ValueError("feeder sessions would run off the end of the route")
+    params = dict(
+        builder="overlap",
+        num_pairs=num_pairs,
+        feeder_sessions=feeder_sessions,
+        query_sessions=query_sessions,
+        feeder_reports=feeder_reports,
+        query_reports=query_reports,
+        stops_per_route=stops_per_route,
+        segments_per_pair=segments_per_pair,
+        pair_length_m=pair_length_m,
+        aps_per_pair=aps_per_pair,
+        svd_step_m=svd_step_m,
+        now=now,
+        feeder_speed_mps=feeder_speed_mps,
+        historical_speed_mps=historical_speed_mps,
+    )
+    max_range_m = 2.5 * pair_length_m / aps_per_pair
+    net = RoadNetwork()
+    routes: dict[str, BusRoute] = {}
+    svds: dict[str, RoadSVD] = {}
+    known: set[str] = set()
+    history = TravelTimeStore()
+    reports: list[ScanReport] = []
+    seg_len = pair_length_m / segments_per_pair
+
+    for p in range(num_pairs):
+        y = p * 10_000.0  # pairs never share radio space with each other
+        seg_ids = []
+        for i in range(segments_per_pair):
+            sid = f"P{p:02d}s{i}"
+            net.add_straight_segment(
+                sid,
+                f"P{p:02d}n{i}",
+                Point(i * seg_len, y),
+                f"P{p:02d}n{i + 1}",
+                Point((i + 1) * seg_len, y),
+            )
+            seg_ids.append(sid)
+        aps = _route_aps(p, pair_length_m, y, aps_per_pair)
+        known.update(ap.bssid for ap in aps)
+
+        for rid in (f"A{p:02d}", f"B{p:02d}"):
+            stops = []
+            for k in range(stops_per_route):
+                arc = pair_length_m * k / (stops_per_route - 1)
+                seg_idx = min(int(arc // seg_len), segments_per_pair - 1)
+                stops.append(
+                    BusStop(
+                        stop_id=f"{rid}_st{k}",
+                        segment_id=seg_ids[seg_idx],
+                        offset=min(arc - seg_idx * seg_len, seg_len),
+                    )
+                )
+            route = BusRoute(rid, net, seg_ids, stops)
+            routes[rid] = route
+            svds[rid] = RoadSVD.from_distance(
+                route, aps, order=2, step_m=svd_step_m, max_range_m=max_range_m
+            )
+            # Seeded history at the historical pace, through the morning.
+            for sid in seg_ids:
+                for j in range(3):
+                    t_enter = 7 * 3600.0 + j * 1800.0
+                    history.add(
+                        TravelTimeRecord(
+                            route_id=rid,
+                            segment_id=sid,
+                            t_enter=t_enter,
+                            t_exit=t_enter + seg_len / historical_speed_mps,
+                            source="synthetic",
+                        )
+                    )
+
+        route_a, route_b = routes[f"A{p:02d}"], routes[f"B{p:02d}"]
+        # Feeder buses: move at the live pace, crossing boundaries.
+        for s in range(feeder_sessions):
+            arc0 = 5.0 + 37.0 * s
+            for j in range(feeder_reports):
+                arc = min(
+                    arc0 + j * move_per_report, pair_length_m - 1e-6
+                )
+                point = route_b.point_at(arc)
+                reports.append(
+                    ScanReport(
+                        device_id=f"dev:{route_b.route_id}:{s}",
+                        session_key=f"bus:{route_b.route_id}:{s}",
+                        route_id=route_b.route_id,
+                        t=now - 10.0 * (feeder_reports - j),
+                        readings=_readings_at(point, aps, max_range_m=max_range_m),
+                    )
+                )
+        # Query buses: parked inside the first segment, no traversals.
+        for s in range(query_sessions):
+            arc0 = 0.04 * pair_length_m + 17.0 * s
+            point = route_a.point_at(arc0)
+            readings = _readings_at(point, aps, max_range_m=max_range_m)
+            for j in range(query_reports):
+                reports.append(
+                    ScanReport(
+                        device_id=f"dev:{route_a.route_id}:{s}",
+                        session_key=f"bus:{route_a.route_id}:{s}",
+                        route_id=route_a.route_id,
+                        t=now - 10.0 * (query_reports - j),
+                        readings=readings,
+                    )
+                )
+
+    server = WiLocatorServer(
+        routes=routes, svds=svds, known_bssids=known, history=history
+    )
+    return SynthCity(
+        server=server,
+        api=RiderAPI(server),
+        reports=reports,
+        now=now,
+        hub_stop_id="",
+        hub_route_ids=[],
+        routes=routes,
+        params=params,
+    )
+
+
+_BUILDERS = {
+    "linear": build_linear_city,
+    "overlap": build_overlap_city,
+}

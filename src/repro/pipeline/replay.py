@@ -4,9 +4,10 @@ The recovery invariant the pipeline tests prove: for a server killed at
 any record boundary, :func:`recover` run against a freshly configured
 server reconstructs exactly the sessions, live travel-time store, stats,
 ingest counters and rider-query answers of an uninterrupted server that
-ingested the same WAL prefix.  Replay goes through the real
-:meth:`WiLocatorServer.ingest` — there is no second ingestion code path
-to drift.
+ingested the same WAL prefix.  Replay goes through the real ingest body
+(:meth:`WiLocatorServer.ingest_many` with ``admitted=True`` — the WAL
+only ever holds admitted reports, so admission must not run twice) —
+there is no second ingestion code path to drift.
 """
 
 from __future__ import annotations
@@ -66,7 +67,7 @@ def recover(
     of log segments and a ``checkpoints/`` directory of snapshots.  The
     newest loadable checkpoint is restored first (a damaged newest file
     falls back to the previous one), then every readable WAL record past
-    its stamped sequence is replayed through ``server.ingest``.
+    its stamped sequence is replayed through the admitted ingest path.
 
     With ``strict=True`` a damaged WAL raises
     :class:`~repro.pipeline.wal.WalCorruptionError` after restoring what
@@ -84,13 +85,14 @@ def recover(
         ckpt_seq = -1
         checkpoint_path = None
     result = read_wal(data_dir / WAL_SUBDIR)
-    replayed = skipped = 0
-    for record in result.records:
-        if record.seq <= ckpt_seq:
-            skipped += 1
-            continue
-        server.ingest(record.report)
-        replayed += 1
+    # The WAL only ever contains admitted reports (DurableServer admits at
+    # submission time), so the suffix replays through the admitted batch
+    # path — running admission a second time would double the admission
+    # counters and corrupt duplicate-suppression state.
+    to_replay = [r.report for r in result.records if r.seq > ckpt_seq]
+    skipped = len(result.records) - len(to_replay)
+    server.ingest_many(to_replay, admitted=True)
+    replayed = len(to_replay)
     server.metrics.incr("replay.records", replayed)
     server.metrics.incr("replay.runs")
     duration = time.perf_counter() - t0

@@ -1,0 +1,31 @@
+"""Shared fixtures for the cluster test suite.
+
+Every test runs over the *overlap city*
+(:func:`repro.eval.synth_city.build_overlap_city`): pairs of routes
+sharing every segment, with the ``A`` (query) buses depending entirely on
+Eq. 8 residuals from the ``B`` (feeder) buses — the configuration where
+cross-shard replication is load-bearing.  The module-scoped ``city`` is a
+*blueprint* (never ingested); tests that need a live system build fresh
+shard servers or routers from it per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import split_pairs_plan
+from repro.eval.synth_city import build_overlap_city
+
+
+@pytest.fixture(scope="module")
+def city():
+    """One overlapped A/B pair, small enough for per-test rebuilds."""
+    return build_overlap_city(
+        num_pairs=1, feeder_sessions=2, query_sessions=2
+    )
+
+
+@pytest.fixture(scope="module")
+def plan(city):
+    """The worst-case placement: every A/B pair split across shards."""
+    return split_pairs_plan(city, 2)

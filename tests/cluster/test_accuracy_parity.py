@@ -1,0 +1,48 @@
+"""Acceptance: sharded MAE parity with the bus, degradation without.
+
+ISSUE 4's accuracy criterion: with every overlapped pair split across
+shards, the cluster's arrival-prediction MAE must stay within 5% of the
+single server's *because of* the delta bus — the ablation with
+replication disabled must be measurably worse.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import run_accuracy
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_accuracy(num_pairs=1, feeder_sessions=2, query_sessions=2)
+
+
+class TestAccuracyParity:
+    def test_experiment_produced_predictions(self, result):
+        assert result.num_shards == 2
+        assert result.n_predictions > 0
+        assert not math.isnan(result.mae_single_s)
+
+    def test_cluster_within_five_percent_of_single(self, result):
+        assert result.mae_cluster_s <= result.mae_single_s * 1.05
+
+    def test_per_prediction_parity_is_exact(self, result):
+        """Same evidence, same arithmetic: the gap is numerical noise."""
+        assert result.max_abs_diff_vs_single_s < 1e-6
+
+    def test_ablation_is_measurably_worse(self, result):
+        """Without replication the predictor falls back to stale history."""
+        assert result.mae_cluster_nobus_s > 2.0 * result.mae_cluster_s
+        assert result.mae_cluster_nobus_s > result.mae_cluster_s + 10.0
+
+    def test_replication_actually_flowed(self, result):
+        assert result.deltas_published > 0
+        assert result.deltas_applied > 0
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "MAE single server" in text
+        assert "MAE cluster nobus" in text

@@ -1,0 +1,176 @@
+"""ShardNode outbox/apply semantics and DeltaBus delivery."""
+
+import pytest
+
+from repro.cluster import DeltaBus, SegmentDelta, ShardNode, shard_server
+from repro.cluster.node import REPLICATED_SOURCE
+from repro.core.arrival.history import TravelTimeRecord
+
+pytestmark = pytest.mark.cluster
+
+FEEDER, QUERY = 1, 0  # split_pairs_plan: A* -> shard 0, B* -> shard 1
+
+
+def make_node(city, plan, shard_id, **kwargs):
+    return ShardNode(
+        shard_id, shard_server(city.server, plan, shard_id), plan, **kwargs
+    )
+
+
+def traversal(city, seg_index=0, *, rid="B00", t_enter=None) -> TravelTimeRecord:
+    seg = f"P00s{seg_index}"
+    t0 = city.now - 100.0 if t_enter is None else t_enter
+    return TravelTimeRecord(
+        route_id=rid, segment_id=seg, t_enter=t0, t_exit=t0 + 30.0,
+        source="live",
+    )
+
+
+class TestOutbox:
+    def test_overlapped_traversals_publish_dense_seqs(self, city, plan):
+        node = make_node(city, plan, FEEDER)
+        for i in range(3):
+            node.core.on_traversal(traversal(city, i))
+        assert [d.seq for d in node.outbox] == [0, 1, 2]
+        assert node.next_out_seq == 3
+        assert node.core.metrics.counter("cluster.deltas_published") == 3
+        delta = node.outbox[0]
+        assert delta.origin == FEEDER
+        assert delta.travel_time == pytest.approx(30.0)
+        assert delta.record().source == REPLICATED_SOURCE
+
+    def test_unpublished_segments_stay_local(self, city, plan):
+        node = make_node(city, plan, FEEDER)
+        record = TravelTimeRecord(
+            route_id="B00", segment_id="not-shared",
+            t_enter=0.0, t_exit=30.0, source="live",
+        )
+        node.core.on_traversal(record)
+        assert node.outbox == []
+        assert node.next_out_seq == 0
+
+    def test_overflow_drops_oldest_and_counts(self, city, plan):
+        node = make_node(city, plan, FEEDER, outbox_limit=2)
+        for i in range(4):
+            node.core.on_traversal(traversal(city, i % 3))
+        assert len(node.outbox) == 2
+        assert [d.seq for d in node.outbox] == [2, 3]
+        assert node.core.metrics.counter("cluster.outbox_dropped") == 2
+
+
+class TestApplyDelta:
+    def delta(self, seq, *, segment_id="P00s0", t_exit=100.0):
+        return SegmentDelta(
+            origin=FEEDER, seq=seq, segment_id=segment_id, route_id="B00",
+            slot=0, t_enter=t_exit - 30.0, t_exit=t_exit,
+        )
+
+    def test_duplicate_seq_is_deduped(self, city, plan):
+        node = make_node(city, plan, QUERY)
+        assert node.apply_delta(self.delta(0)) is True
+        assert node.applied_from(FEEDER) == 1
+        assert node.apply_delta(self.delta(0)) is False
+        assert node.core.metrics.counter("cluster.deltas_deduped") == 1
+        assert node.core.metrics.counter("cluster.deltas_applied") == 1
+        assert node.applied_from(FEEDER) == 1  # high-water unchanged
+
+    def test_gap_is_counted_then_accepted(self, city, plan):
+        node = make_node(city, plan, QUERY)
+        assert node.apply_delta(self.delta(0)) is True
+        assert node.apply_delta(self.delta(3)) is True
+        assert node.core.metrics.counter("cluster.delta_gaps") == 2
+        assert node.applied_from(FEEDER) == 4
+
+    def test_unsubscribed_segment_filtered_but_advances(self, city, plan):
+        node = make_node(city, plan, QUERY)
+        assert node.apply_delta(self.delta(0, segment_id="elsewhere")) is False
+        assert node.core.metrics.counter("cluster.deltas_filtered") == 1
+        assert node.applied_from(FEEDER) == 1  # stream stays dense
+
+    def test_stale_delta_dropped_but_advances(self, city, plan):
+        node = make_node(city, plan, QUERY)
+        ok = node.apply_delta(
+            self.delta(0, t_exit=100.0), now=1000.0, max_staleness_s=60.0
+        )
+        assert ok is False
+        assert node.core.metrics.counter("cluster.deltas_stale") == 1
+        assert node.applied_from(FEEDER) == 1
+        # A fresh one under the same bound applies.
+        assert node.apply_delta(
+            self.delta(1, t_exit=990.0), now=1000.0, max_staleness_s=60.0
+        ) is True
+
+    def test_applied_delta_reaches_the_predictor(self, city, plan):
+        node = make_node(city, plan, QUERY)
+        live = node.core.predictor.live
+        assert node.apply_delta(self.delta(0)) is True
+        records = list(live.records("P00s0"))
+        assert any(r.source == REPLICATED_SOURCE for r in records)
+
+
+class TestDeltaBus:
+    def test_attach_twice_rejected(self, city, plan):
+        bus = DeltaBus()
+        bus.attach(make_node(city, plan, QUERY))
+        with pytest.raises(ValueError, match="already attached"):
+            bus.attach(make_node(city, plan, QUERY))
+
+    def test_replace_never_attached_rejected(self, city, plan):
+        bus = DeltaBus()
+        with pytest.raises(ValueError, match="never attached"):
+            bus.replace_node(make_node(city, plan, QUERY))
+
+    def wire(self, city, plan):
+        bus = DeltaBus()
+        feeder = make_node(city, plan, FEEDER)
+        query = make_node(city, plan, QUERY)
+        bus.attach(feeder)
+        bus.attach(query)
+        return bus, feeder, query
+
+    def test_pump_delivers_once_and_cursors_hold(self, city, plan):
+        bus, feeder, query = self.wire(city, plan)
+        for i in range(3):
+            feeder.core.on_traversal(traversal(city, i))
+        assert bus.lag()[(FEEDER, QUERY)] == 3
+        assert bus.pump() == 3
+        assert query.applied_from(FEEDER) == 3
+        assert query.core.metrics.counter("cluster.deltas_applied") == 3
+        assert bus.backlog() == 0
+        assert bus.pump() == 0  # nothing owed; no re-delivery
+        assert query.core.metrics.counter("cluster.deltas_deduped") == 0
+
+    def test_disabled_bus_is_a_no_op(self, city, plan):
+        bus, feeder, query = self.wire(city, plan)
+        bus.enabled = False
+        feeder.core.on_traversal(traversal(city))
+        assert bus.pump() == 0
+        assert query.applied_from(FEEDER) == 0
+        assert bus.backlog() == 1  # the debt is visible, not hidden
+
+    def test_only_restricts_subscribers(self, city, plan):
+        bus, feeder, query = self.wire(city, plan)
+        feeder.core.on_traversal(traversal(city))
+        assert bus.pump(only={FEEDER}) == 0  # query shard excluded
+        assert bus.pump(only={QUERY}) == 1
+
+    def test_replace_node_rewinds_toward_recovered_shard(self, city, plan):
+        bus, feeder, query = self.wire(city, plan)
+        for i in range(4):
+            feeder.core.on_traversal(traversal(city, i % 3))
+        assert bus.pump() == 4
+        # The query shard "crashes" losing everything: a virgin node
+        # rejoins with applied_from == 0, so the bus owes it all four.
+        recovered = make_node(city, plan, QUERY)
+        bus.replace_node(recovered)
+        assert bus.cursors[(FEEDER, QUERY)] == 0
+        assert bus.pump() == 4
+        assert recovered.applied_from(FEEDER) == 4
+
+    def test_health_reports_lag_pairs(self, city, plan):
+        bus, feeder, query = self.wire(city, plan)
+        feeder.core.on_traversal(traversal(city))
+        health = bus.health()
+        assert health["enabled"] is True
+        assert health["backlog"] == 1
+        assert health["lag"][f"{FEEDER}->{QUERY}"] == 1

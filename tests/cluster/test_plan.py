@@ -1,0 +1,124 @@
+"""ShardPlan: consistent hashing, overlap metadata, rebalance diffs."""
+
+import json
+
+import pytest
+
+from repro.cluster import ShardPlan, split_pairs_plan
+from repro.eval.synth_city import build_overlap_city
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture(scope="module")
+def big_city():
+    """Eight overlapped pairs -> sixteen routes, enough to see balance."""
+    return build_overlap_city(
+        num_pairs=8, feeder_sessions=1, query_sessions=1, feeder_reports=2
+    )
+
+
+class TestConsistentHash:
+    def test_build_is_deterministic(self, big_city):
+        a = ShardPlan.build(big_city.routes, 4)
+        b = ShardPlan.build(big_city.routes, 4)
+        assert a.assignment == b.assignment
+
+    def test_every_route_lands_on_a_valid_shard(self, big_city):
+        plan = ShardPlan.build(big_city.routes, 4)
+        assert set(plan.assignment) == set(big_city.routes)
+        assert all(0 <= sid < 4 for sid in plan.assignment.values())
+
+    def test_unknown_routes_still_resolve_stably(self, big_city):
+        plan = ShardPlan.build(big_city.routes, 4)
+        sid = plan.shard_of("never-planned")
+        assert 0 <= sid < 4
+        assert plan.shard_of("never-planned") == sid  # stable across calls
+
+    def test_growing_by_one_shard_moves_a_minority(self, big_city):
+        before = ShardPlan.build(big_city.routes, 4)
+        after = ShardPlan.build(big_city.routes, 5)
+        diff = before.diff(after)
+        assert diff.routes_total == len(big_city.routes)
+        # Consistent hashing's whole point: ~1/N of the routes move, not
+        # the (N-1)/N a modulo placement would reshuffle.
+        assert 0 < diff.moved_fraction < 0.5
+        for rid in big_city.routes:
+            if rid not in diff.moved:
+                assert before.shard_of(rid) == after.shard_of(rid)
+
+    def test_same_plan_diffs_empty(self, big_city):
+        plan = ShardPlan.build(big_city.routes, 4)
+        diff = plan.diff(ShardPlan.build(big_city.routes, 4))
+        assert diff.moved == {}
+        assert diff.moved_fraction == 0.0
+        assert diff.subscriptions_gained == {}
+        assert diff.subscriptions_lost == {}
+
+
+class TestExplicitAssignment:
+    def test_missing_route_rejected(self, big_city):
+        partial = {rid: 0 for rid in list(big_city.routes)[:-1]}
+        with pytest.raises(ValueError, match="without a shard"):
+            ShardPlan.from_assignment(partial, big_city.routes)
+
+    def test_negative_shard_rejected(self, big_city):
+        bad = {rid: -1 for rid in big_city.routes}
+        with pytest.raises(ValueError, match="non-negative"):
+            ShardPlan.from_assignment(bad, big_city.routes)
+
+    def test_split_pairs_separates_every_pair(self, big_city):
+        plan = split_pairs_plan(big_city, 2)
+        for p in range(big_city.params["num_pairs"]):
+            a = plan.shard_of(f"A{p:02d}")
+            b = plan.shard_of(f"B{p:02d}")
+            assert a != b
+
+
+class TestOverlapMetadata:
+    def test_published_equals_subscribed(self, big_city):
+        """Replication is symmetric: both sides want all traversals."""
+        plan = split_pairs_plan(big_city, 2)
+        for sid in plan.shard_ids():
+            assert plan.published_segments(sid) == plan.subscribed_segments(sid)
+
+    def test_split_pairs_replicate_every_shared_segment(self, big_city):
+        plan = split_pairs_plan(big_city, 2)
+        all_shared = set(plan.segment_routes)
+        assert all_shared  # the overlap city shares every segment
+        replicated = set()
+        for sid in plan.shard_ids():
+            replicated |= plan.published_segments(sid)
+        assert replicated == all_shared
+
+    def test_colocated_pairs_replicate_nothing(self, big_city):
+        """Pairs kept on one shard need no cross-shard deltas."""
+        assignment = {
+            rid: int(rid[1:]) % 2 for rid in big_city.routes
+        }  # A03 and B03 together
+        plan = ShardPlan.from_assignment(assignment, big_city.routes)
+        for sid in plan.shard_ids():
+            assert plan.published_segments(sid) == set()
+
+    def test_rebalance_reports_subscription_changes(self, big_city):
+        colocated = ShardPlan.from_assignment(
+            {rid: int(rid[1:]) % 2 for rid in big_city.routes},
+            big_city.routes,
+        )
+        split = split_pairs_plan(big_city, 2)
+        diff = colocated.diff(split)
+        assert diff.moved  # some routes must relocate
+        # Splitting pairs turns every shared segment into a subscription.
+        gained = set()
+        for segs in diff.subscriptions_gained.values():
+            gained |= segs
+        assert gained == set(split.segment_routes)
+
+    def test_snapshot_is_json_safe(self, big_city):
+        plan = split_pairs_plan(big_city, 2)
+        snap = json.loads(json.dumps(plan.snapshot()))
+        assert snap["num_shards"] == 2
+        assert snap["routes"] == len(big_city.routes)
+        assert set(snap["shards"]) == {"0", "1"}
+        for shard in snap["shards"].values():
+            assert shard["published_segments"] == shard["subscribed_segments"]

@@ -1,0 +1,164 @@
+"""ClusterRouter: routing, fan-out, breaker isolation, merged views."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core.server.server import UnknownStopError
+from repro.guard.breaker import OPEN
+from repro.sensing.reports import ScanReport
+
+pytestmark = pytest.mark.cluster
+
+QUERY, FEEDER = 0, 1  # split_pairs_plan: A* -> shard 0, B* -> shard 1
+
+
+@pytest.fixture()
+def router(city, plan):
+    return build_cluster(city.fresh_twin().server, plan)
+
+
+def loaded(router, city):
+    admitted = router.ingest_many(city.reports)
+    router.pump(now=city.now)
+    return admitted
+
+
+def anonymise(report: ScanReport, device_id: str, dt: float = 1.0) -> ScanReport:
+    """A rider's view of a driver's scan: same radio world, no identity."""
+    return ScanReport(
+        device_id=device_id, session_key="", route_id="",
+        t=report.t + dt, readings=report.readings,
+    )
+
+
+class TestDriverIngest:
+    def test_sessions_land_on_their_planned_shard(self, router, city):
+        admitted = loaded(router, city)
+        assert admitted == len(city.reports)
+        assert router.metrics.counter("cluster.ingest_routed") == len(city.reports)
+        query_keys = set(router.nodes[QUERY].core.sessions)
+        feeder_keys = set(router.nodes[FEEDER].core.sessions)
+        assert query_keys and all(":A" in k for k in query_keys)
+        assert feeder_keys and all(":B" in k for k in feeder_keys)
+        for key in query_keys:
+            assert router.shard_of_session(key) == QUERY
+
+    def test_downed_shard_refuses_ingest(self, router, city):
+        loaded(router, city)
+        router.crash_shard(FEEDER)
+        feeder_report = next(r for r in city.reports if r.route_id == "B00")
+        assert router.ingest(feeder_report) is False
+        assert router.metrics.counter("cluster.ingest_rejected") == 1
+        # The healthy shard still ingests (a fresh scan: the guard's
+        # duplicate suppression would reject a byte-identical resend).
+        seen = next(r for r in city.reports if r.route_id == "A00")
+        fresh = ScanReport(
+            device_id=seen.device_id, session_key=seen.session_key,
+            route_id="A00", t=city.now + 60.0, readings=seen.readings,
+        )
+        assert router.ingest(fresh) is True
+
+    def test_unknown_session_resolves_to_none(self, router):
+        assert router.shard_of_session("bus:never-seen:9") is None
+        assert router.predict_arrival("bus:never-seen:9", "whatever") is None
+        assert router.current_position("bus:never-seen:9") is None
+
+
+class TestErrorIsolation:
+    def test_downed_shard_degrades_predictions(self, router, city):
+        loaded(router, city)
+        stop = city.routes["B00"].stops[-1].stop_id
+        assert router.predict_arrival("bus:B00:0", stop) is not None
+        router.crash_shard(FEEDER)
+        assert router.predict_arrival("bus:B00:0", stop) is None
+        assert router.metrics.counter("cluster.predict_degraded") == 1
+        assert router.metrics.counter("cluster.query_shard_skipped") == 1
+
+    def test_breaker_opens_after_repeated_shard_faults(self, router, city):
+        loaded(router, city)
+        stop = city.routes["B00"].stops[-1].stop_id
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("shard wedged")
+
+        router.nodes[FEEDER].core.predict_arrival = explode
+        for _ in range(3):  # breaker_threshold
+            assert router.predict_arrival("bus:B00:0", stop) is None
+        assert router.metrics.counter("cluster.shard_errors") == 3
+        assert router.breakers[FEEDER].state == OPEN
+        # Open breaker: the shard is skipped without touching it again.
+        assert router.predict_arrival("bus:B00:0", stop) is None
+        assert router.metrics.counter("cluster.shard_errors") == 3
+        assert router.metrics.counter("cluster.query_shard_skipped") >= 1
+
+    def test_unknown_stop_is_a_caller_bug_not_a_shard_fault(self, router, city):
+        loaded(router, city)
+        with pytest.raises(UnknownStopError):
+            router.predict_arrival("bus:B00:0", "no-such-stop")
+        assert router.metrics.counter("cluster.shard_errors") == 0
+
+
+class TestRiderFanOut:
+    def test_rider_commits_to_best_matching_shard(self, router, city):
+        loaded(router, city)
+        driver = max(
+            (r for r in city.reports if r.route_id == "B00"),
+            key=lambda r: r.t,
+        )
+        fix = router.ingest_rider(anonymise(driver, "rider-1"))
+        assert fix is not None
+        assert router.metrics.counter("cluster.rider_routed") == 1
+        # The fix must have landed in the feeder shard's session.
+        pos = router.nodes[FEEDER].core.current_position(driver.session_key)
+        assert pos is not None and pos.t == driver.t + 1.0
+
+    def test_unmatched_rider_counted_and_dropped(self, router, city):
+        loaded(router, city)
+        from repro.radio import Reading
+
+        ghost = ScanReport(
+            device_id="ghost", session_key="", route_id="", t=1e9,
+            readings=(
+                Reading(bssid="aa:bb:cc:dd:ee:ff", ssid="x", rss_dbm=-60.0),
+            ),
+        )
+        assert router.ingest_rider(ghost) is None
+        assert router.metrics.counter("cluster.rider_unmatched") == 1
+
+
+class TestMergedViews:
+    def test_active_sessions_merge_sorted(self, router, city):
+        loaded(router, city)
+        sessions = router.active_sessions(now=city.now)
+        keys = [s.session_key for s in sessions]
+        assert keys == sorted(keys)
+        assert any(":A00:" in k for k in keys)
+        assert any(":B00:" in k for k in keys)
+
+    def test_traffic_map_unions_shard_views(self, router, city):
+        loaded(router, city)
+        tmap = router.traffic_map(city.now)
+        # The feeder shard drove across shared segments; the merged map
+        # must carry their states.
+        assert any(seg.startswith("P00s") for seg in tmap.states)
+        assert isinstance(router.detect_anomalies(city.now), list)
+
+    def test_metrics_snapshot_totals_reconcile(self, router, city):
+        loaded(router, city)
+        snap = router.metrics_snapshot()
+        assert set(snap) == {"cluster", "totals", "shards"}
+        per_shard = sum(
+            shard["counters"].get("ingest.reports", 0)
+            for shard in snap["shards"].values()
+        )
+        assert per_shard == snap["totals"]["ingest.reports"] == len(city.reports)
+
+    def test_health_degrades_when_a_shard_is_down(self, router, city):
+        loaded(router, city)
+        assert router.health()["status"] == "ok"
+        router.crash_shard(FEEDER)
+        health = router.health()
+        assert health["status"] == "degraded"
+        assert health["shards"][str(FEEDER)] == {"status": "down"}
+        assert health["shards"][str(QUERY)]["status"] == "ok"
+        assert health["bus"]["nodes"] == [QUERY, FEEDER]

@@ -108,6 +108,41 @@ class TestServerRiderGrouping:
         assert server.metrics.latency("ingest").count == hist_before + 1
         assert server.metrics.counter("ingest.rider_unmatched") >= 1
 
+    def test_matched_but_untracked_session_unroutable(self, setup):
+        """The grouper can match a driver the server no longer tracks.
+
+        That branch must account like the driver-path unroutable one:
+        the report counts as ingested work, the unroutable counter and
+        the ingest histogram advance, and no session state appears.
+        """
+        server = setup["server"]
+        trip = setup["trips"][0]
+        driver = setup["layer"].reports_for_trip(trip)[0]
+        # A driver scan fed straight to the grouper, bypassing ingest:
+        # the server never opened a session for it.
+        ghost_key = "bus:never-ingested"
+        server._grouper.observe_driver(
+            ScanReport(
+                device_id="ghost-driver", session_key=ghost_key,
+                route_id=driver.route_id, t=2e9, readings=driver.readings,
+            )
+        )
+        rider = ScanReport(
+            device_id="rider-x", session_key="", route_id="", t=2e9 + 1.0,
+            readings=driver.readings,
+        )
+        before = server.stats.reports_unroutable
+        ingested_before = server.stats.reports_ingested
+        hist_before = server.metrics.latency("ingest").count
+        unmatched_before = server.metrics.counter("ingest.rider_unmatched")
+        assert server.ingest_rider(rider) is None
+        assert server.stats.reports_unroutable == before + 1
+        assert server.stats.reports_ingested == ingested_before + 1
+        assert server.metrics.latency("ingest").count == hist_before + 1
+        # This is the *matched-but-untracked* branch, not the unmatched one.
+        assert server.metrics.counter("ingest.rider_unmatched") == unmatched_before
+        assert ghost_key not in server.sessions
+
     def test_empty_rider_scan_quarantined(self, setup):
         server = setup["server"]
         empty = ScanReport(

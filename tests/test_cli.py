@@ -39,7 +39,9 @@ class TestCli:
 
 class TestDurabilityCli:
     def test_registry(self):
-        assert set(DURABILITY_CMDS) == {"checkpoint", "wal-stat", "replay", "health"}
+        assert set(DURABILITY_CMDS) == {
+            "checkpoint", "wal-stat", "replay", "health", "cluster",
+        }
         assert not set(DURABILITY_CMDS) & set(EXPERIMENTS)
 
     def test_checkpoint_then_stat_then_replay(self, capsys, tmp_path):
@@ -69,3 +71,42 @@ class TestDurabilityCli:
         # 'all' must not require a --data-dir or touch the filesystem.
         for name in DURABILITY_CMDS:
             assert name not in EXPERIMENTS
+
+
+class TestClusterCli:
+    def test_cluster_quick(self, capsys):
+        assert main(["cluster", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "MAE single server" in out
+        assert "MAE cluster nobus" in out
+        assert "parity:" in out
+        assert "OK" in out
+
+    def test_cluster_json(self, capsys):
+        import json
+
+        assert main(["cluster", "--quick", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"): out.rindex("}") + 1])
+        assert payload["accuracy"]["n_predictions"] > 0
+        assert payload["accuracy"]["num_shards"] == 2
+        assert payload["failover"]["parity_ok"] is True
+
+
+class TestJsonOutput:
+    def test_metrics_json(self, capsys):
+        import json
+
+        assert main(["metrics", "--quick", "--json"]) == 0
+        out = capsys.readouterr().out
+        snap = json.loads(out[out.index("{"): out.rindex("}") + 1])
+        assert "counters" in snap
+        assert snap["counters"]["ingest.reports"] > 0
+
+    def test_health_json(self, capsys):
+        import json
+
+        assert main(["health", "--quick", "--json"]) == 0
+        out = capsys.readouterr().out
+        health = json.loads(out[out.index("{"): out.rindex("}") + 1])
+        assert "status" in health

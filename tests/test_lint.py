@@ -34,8 +34,8 @@ def test_ruff_clean_pipeline_extended():
     """Post-seed subsystems gate on a wider rule set than the seed.
 
     Code that postdates the linter has no legacy-style excuse, so the
-    pipeline and guard packages (and their tests) also pass pycodestyle
-    warnings.
+    pipeline, guard and cluster packages (and their tests) also pass
+    pycodestyle warnings.
     """
     ruff = shutil.which("ruff")
     if ruff is None:
@@ -48,8 +48,10 @@ def test_ruff_clean_pipeline_extended():
             "E4,E7,E9,F,W",
             "src/repro/pipeline",
             "src/repro/guard",
+            "src/repro/cluster",
             "tests/pipeline",
             "tests/guard",
+            "tests/cluster",
         ],
         cwd=REPO_ROOT,
         capture_output=True,
