@@ -1,0 +1,67 @@
+"""AST-based invariant checker for the repo's load-bearing contracts.
+
+``ruff`` checks style; this package checks *structure* — the same move
+WiLocator makes when it trusts RSS rank order over fragile absolute
+values.  Five project-specific rules machine-enforce what previous PRs
+only stated in prose:
+
+========  ===========================================================
+WL001     determinism in ``core``/``pipeline``/``guard``/``cluster``/
+          ``eval`` (WAL replay and shard failover demand byte parity)
+WL002     every metric name is declared in
+          ``repro/core/server/metric_names.py`` (checkpointed counters
+          are crash state; a typo is a recovery bug)
+WL003     ``state_dict``/``from_state`` classes checkpoint every
+          constructed attribute
+WL004     the package import DAG points strictly downward
+WL005     broad ``except`` handlers must count/quarantine/log/re-raise
+========  ===========================================================
+
+Stdlib-only by design (``ast`` + ``json``): the tier-1 gate built on it
+(``tests/analysis/test_gate.py``) can never skip for a missing binary,
+and the tool parses — never imports — the code under scan.  Deliberate
+contract exclusions live in ``analysis-baseline.json`` at the repo root,
+each with a one-line justification.
+
+Quickstart::
+
+    PYTHONPATH=src python -m repro.cli analyze src          # or -m repro.analysis
+    PYTHONPATH=src python -m repro.cli analyze src --json
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    dumps_baseline,
+    load_baseline,
+    loads_baseline,
+    save_baseline,
+)
+from repro.analysis.cli import main
+from repro.analysis.engine import AnalysisResult, analyze, find_repo_root
+from repro.analysis.findings import FileContext, Finding, ProjectContext, Rule
+from repro.analysis.report import format_json, format_text, to_dict
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "ProjectContext",
+    "Rule",
+    "analyze",
+    "default_rules",
+    "dumps_baseline",
+    "find_repo_root",
+    "format_json",
+    "format_text",
+    "load_baseline",
+    "loads_baseline",
+    "main",
+    "save_baseline",
+    "to_dict",
+]

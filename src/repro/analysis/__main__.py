@@ -1,0 +1,7 @@
+"""``python -m repro.analysis [paths...]`` — run the invariant checker."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

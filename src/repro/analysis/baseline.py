@@ -1,0 +1,131 @@
+"""Versioned baseline of grandfathered findings.
+
+A baseline entry suppresses findings of one rule in one file whose
+message contains ``match``, and must carry a one-line ``justification``
+— the baseline is where deliberate contract exclusions are written down
+(e.g. ``BusSession.tracker`` is rebuilt by the restore caller, so its
+absence from ``state_dict`` is by design, not a forgotten field).
+
+The file format is JSON with an explicit ``version`` so future schema
+changes can migrate instead of silently misreading; serialisation is
+canonical (entries sorted, 2-space indent, trailing newline) so the file
+diffs cleanly and round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing required structure or wrong version."""
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class BaselineEntry:
+    """Suppress ``rule`` findings in ``file`` whose message contains ``match``."""
+
+    rule: str
+    file: str
+    match: str
+    justification: str
+
+    def suppresses(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule_id
+            and self.file == finding.file
+            and self.match in finding.message
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Baseline:
+    version: int = BASELINE_VERSION
+    entries: tuple[BaselineEntry, ...] = ()
+
+    def normalized(self) -> "Baseline":
+        """Entries sorted and deduplicated — the canonical form."""
+        return Baseline(self.version, tuple(sorted(set(self.entries))))
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """(active, suppressed, stale-entries) for one analysis run."""
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        used: set[BaselineEntry] = set()
+        for finding in findings:
+            hit = next((e for e in self.entries if e.suppresses(finding)), None)
+            if hit is None:
+                active.append(finding)
+            else:
+                suppressed.append(finding)
+                used.add(hit)
+        stale = [e for e in self.entries if e not in used]
+        return active, suppressed, stale
+
+
+def loads_baseline(text: str) -> Baseline:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise BaselineError("baseline must be a JSON object")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"unsupported baseline version {version!r} "
+            f"(this tool reads version {BASELINE_VERSION})"
+        )
+    raw_entries = data.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise BaselineError("baseline 'entries' must be a list")
+    entries = []
+    for i, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"baseline entry {i} must be an object")
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    file=str(raw["file"]),
+                    match=str(raw["match"]),
+                    justification=str(raw["justification"]),
+                )
+            )
+        except KeyError as exc:
+            raise BaselineError(f"baseline entry {i} is missing {exc}") from exc
+    return Baseline(version=BASELINE_VERSION, entries=tuple(entries))
+
+
+def dumps_baseline(baseline: Baseline) -> str:
+    canonical = baseline.normalized()
+    data = {
+        "version": canonical.version,
+        "entries": [
+            {
+                "rule": e.rule,
+                "file": e.file,
+                "match": e.match,
+                "justification": e.justification,
+            }
+            for e in canonical.entries
+        ],
+    }
+    return json.dumps(data, indent=2, sort_keys=False) + "\n"
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    return loads_baseline(Path(path).read_text(encoding="utf-8"))
+
+
+def save_baseline(path: str | Path, baseline: Baseline) -> None:
+    Path(path).write_text(dumps_baseline(baseline), encoding="utf-8")

@@ -1,0 +1,120 @@
+"""``repro.cli analyze`` / ``python -m repro.analysis`` entry point.
+
+Exit codes: 0 clean (no non-baselined findings), 1 findings, 2 bad
+invocation or unreadable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import analyze, find_repo_root
+from repro.analysis.report import format_json, format_text
+
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+def default_baseline_path(paths: list[Path]) -> Path | None:
+    for p in paths:
+        root = find_repo_root(p if p.is_dir() else p.parent)
+        if root is not None:
+            return root / DEFAULT_BASELINE_NAME
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli analyze",
+        description=(
+            "AST-based invariant checker: enforces the repo's load-bearing "
+            "contracts (WL001 determinism, WL002 metric-name registry, WL003 "
+            "checkpoint completeness, WL004 import layering, WL005 silent-"
+            "swallow ban).  Stdlib-only; never imports the scanned code."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to scan"
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE_NAME} at the repo root; pass 'none' to disable)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to cover every current finding (existing "
+            "justifications are kept; new entries get a TODO placeholder)"
+        ),
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also list baselined findings"
+    )
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"analyze: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    if args.baseline == "none":
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = default_baseline_path(paths)
+
+    baseline = None
+    if baseline_path is not None and baseline_path.is_file():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"analyze: {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    result = analyze(paths, baseline=baseline)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("analyze: --write-baseline needs --baseline PATH", file=sys.stderr)
+            return 2
+        kept = tuple(
+            e for e in (baseline.entries if baseline else ()) if e not in result.stale_entries
+        )
+        fresh = tuple(
+            BaselineEntry(
+                rule=f.rule_id,
+                file=f.file,
+                match=f.message,
+                justification="TODO: justify or fix",
+            )
+            for f in result.findings
+        )
+        save_baseline(baseline_path, Baseline(entries=kept + fresh))
+        print(
+            f"analyze: wrote {baseline_path} ({len(kept) + len(fresh)} entries; "
+            f"{len(fresh)} new need justification)"
+        )
+        return 0
+
+    print(format_json(result) if args.json else format_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

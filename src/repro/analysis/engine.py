@@ -1,0 +1,185 @@
+"""Engine: discover files, parse once, run every rule, apply the baseline.
+
+Dependency policy: stdlib only, and the scanned tree is *parsed*, never
+imported — the gate must work in an environment where the project's own
+third-party dependencies (numpy, scipy) are absent, and must keep
+working on a tree that is too broken to import.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import FileContext, Finding, ProjectContext, Rule
+from repro.analysis.rules import default_rules
+
+PARSE_RULE_ID = "WL000"
+REGISTRY_BASENAME = "metric_names.py"
+
+
+def find_repo_root(start: Path) -> Path | None:
+    """Nearest ancestor (or self) holding a ``pyproject.toml``."""
+    start = start.resolve()
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            found: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found = [path]
+        else:
+            found = []
+        for f in found:
+            r = f.resolve()
+            if r not in seen:
+                seen.add(r)
+                out.append(f)
+    return out
+
+
+def _rel_label(path: Path, root: Path | None) -> str:
+    resolved = path.resolve()
+    for base in (root, Path.cwd()):
+        if base is not None:
+            try:
+                return resolved.relative_to(base.resolve()).as_posix()
+            except ValueError:
+                continue
+    return resolved.as_posix()
+
+
+def package_of(path: Path) -> str | None:
+    """First package segment under ``repro`` (``cli`` for ``repro/cli.py``)."""
+    parts = path.resolve().parts
+    try:
+        i = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+    except ValueError:
+        return None
+    below = parts[i + 1:]
+    if not below:
+        return None
+    head = below[0]
+    if head.endswith(".py"):
+        head = head[:-3]
+    return head
+
+
+def _registry_strings(tree: ast.Module, var: str) -> list[str]:
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        if any(isinstance(t, ast.Name) and t.id == var for t in targets):
+            value = getattr(node, "value", None)
+            if value is None:
+                return []
+            return [
+                n.value
+                for n in ast.walk(value)
+                if isinstance(n, ast.Constant) and isinstance(n.value, str)
+            ]
+    return []
+
+
+def load_registry(files: Sequence[Path], root: Path | None) -> ProjectContext:
+    """Parse the metric-name registry out of the scanned tree.
+
+    Falls back to the copy that ships next to this package so that
+    scanning a partial tree (a single file, a fixture dir) still checks
+    against the real registry.
+    """
+    candidates = [
+        f
+        for f in files
+        if f.resolve().parts[-3:] == ("core", "server", REGISTRY_BASENAME)
+    ]
+    if not candidates:
+        shipped = Path(__file__).resolve().parent.parent / "core" / "server" / REGISTRY_BASENAME
+        if shipped.is_file():
+            candidates = [shipped]
+    for candidate in candidates:
+        try:
+            tree = ast.parse(candidate.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            continue
+        return ProjectContext(
+            metric_names=frozenset(_registry_strings(tree, "METRIC_NAMES")),
+            metric_prefixes=tuple(sorted(_registry_strings(tree, "METRIC_PREFIXES"))),
+            registry_file=_rel_label(candidate, root),
+        )
+    return ProjectContext(registry_file=None)
+
+
+@dataclass(slots=True)
+class AnalysisResult:
+    """Everything one run produced, pre-split against the baseline."""
+
+    findings: list[Finding] = field(default_factory=list)    # active (not baselined)
+    suppressed: list[Finding] = field(default_factory=list)  # baselined
+    stale_entries: list[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def all_findings(self) -> list[Finding]:
+        return sorted(self.findings + self.suppressed)
+
+
+def analyze(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+    root: Path | None = None,
+) -> AnalysisResult:
+    """Run ``rules`` over every ``*.py`` under ``paths``."""
+    path_objs = [Path(p) for p in paths]
+    if root is None:
+        for p in path_objs:
+            root = find_repo_root(p if p.is_dir() else p.parent)
+            if root is not None:
+                break
+    files = iter_python_files(path_objs)
+    project = load_registry(files, root)
+    active_rules = list(rules) if rules is not None else default_rules()
+
+    findings: list[Finding] = []
+    for path in files:
+        rel = _rel_label(path, root)
+        try:
+            text = path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(path))
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            findings.append(
+                Finding(rel, int(line), PARSE_RULE_ID, f"file could not be analysed: {exc}")
+            )
+            continue
+        ctx = FileContext(
+            rel=rel, text=text, tree=tree, package=package_of(path), project=project
+        )
+        for rule in active_rules:
+            findings.extend(rule.check(ctx))
+
+    findings.sort()
+    result = AnalysisResult(files_scanned=len(files))
+    if baseline is None:
+        result.findings = findings
+    else:
+        result.findings, result.suppressed, result.stale_entries = baseline.split(findings)
+    return result

@@ -1,0 +1,116 @@
+"""Core types of the invariant checker: findings, rules, file context.
+
+The analyzer deliberately depends on nothing but the standard library
+(``ast`` + ``dataclasses``): the whole point of the gate is that it can
+*never* skip the way an optional ``ruff``/``mypy`` binary can.  Each rule
+machine-enforces one of the repo's load-bearing contracts (determinism on
+the replay path, checkpointed counter names, checkpoint completeness,
+package layering, the guard's no-silent-swallow rule); see
+``repro/analysis/rules/`` and DESIGN.md §14 for the contracts themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class Finding:
+    """One violation at one source location.
+
+    ``file`` is the repo-relative posix path (stable across machines so
+    the baseline file can be committed); ``line`` is 1-based.
+    """
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectContext:
+    """Project-wide facts shared by every rule.
+
+    The metric-name registry is *parsed* (never imported) from
+    ``repro/core/server/metric_names.py`` inside the scanned tree, so the
+    analyzer stays import-free and the gate fails the moment a registry
+    entry is deleted out from under a live call site.
+    """
+
+    metric_names: frozenset[str] = frozenset()
+    metric_prefixes: tuple[str, ...] = ()
+    registry_file: str | None = None
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule may look at for one parsed source file."""
+
+    rel: str                       # repo-relative posix path (finding label)
+    text: str
+    tree: ast.Module
+    package: str | None = None     # first package under ``repro``, if any
+    project: ProjectContext = field(default_factory=ProjectContext)
+
+    def finding(self, node: ast.AST | int, rule_id: str, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(file=self.rel, line=line, rule_id=rule_id, message=message)
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """One machine-checked invariant.
+
+    ``check`` yields findings for a single file; project-wide state comes
+    in through ``ctx.project``.  Rules must be pure (no I/O) so the engine
+    can run them in any order over any file set.
+    """
+
+    rule_id: str
+    description: str
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]: ...
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str] | None = None) -> str | None:
+    """Resolve ``a.b.c`` attribute chains to a dotted string.
+
+    ``aliases`` maps local names to their imported dotted origin
+    (``np`` -> ``numpy``, and for ``from datetime import datetime`` maps
+    ``datetime`` -> ``datetime.datetime``), so rules can match on the
+    canonical module path regardless of import spelling.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    if aliases and root in aliases:
+        root = aliases[root]
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted origin for every import in ``tree``."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases

@@ -1,0 +1,59 @@
+"""Reporters: human text and machine ``--json`` views of one run."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+
+
+def to_dict(result: AnalysisResult) -> dict:
+    """JSON-serialisable view (consumed by CI smoke and the CLI test)."""
+    return {
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "rule": f.rule_id,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+        "suppressed": len(result.suppressed),
+        "stale_baseline_entries": [
+            {
+                "rule": e.rule,
+                "file": e.file,
+                "match": e.match,
+                "justification": e.justification,
+            }
+            for e in result.stale_entries
+        ],
+    }
+
+
+def format_json(result: AnalysisResult) -> str:
+    return json.dumps(to_dict(result), indent=2)
+
+
+def format_text(result: AnalysisResult, *, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if verbose and result.suppressed:
+        lines.append("baselined (suppressed):")
+        for finding in result.suppressed:
+            lines.append(f"  {finding.render()}")
+    for entry in result.stale_entries:
+        lines.append(
+            f"warning: stale baseline entry {entry.rule} {entry.file} "
+            f"(match={entry.match!r}) no longer suppresses anything — remove it"
+        )
+    verdict = "ok" if result.ok else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"analyze: {verdict} ({result.files_scanned} files scanned, "
+        f"{len(result.suppressed)} baselined)"
+    )
+    return "\n".join(lines)

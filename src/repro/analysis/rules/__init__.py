@@ -1,0 +1,33 @@
+"""The project-specific rule set (WL001–WL005).
+
+Each module machine-enforces one contract a prior PR introduced in
+prose; DESIGN.md §14 is the human-readable side of the same registry.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.checkpoint import CheckpointCompletenessRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.layering import ImportLayeringRule
+from repro.analysis.rules.metric_names import MetricNameRule
+from repro.analysis.rules.swallow import SilentSwallowRule
+
+__all__ = [
+    "CheckpointCompletenessRule",
+    "DeterminismRule",
+    "ImportLayeringRule",
+    "MetricNameRule",
+    "SilentSwallowRule",
+    "default_rules",
+]
+
+
+def default_rules() -> list:
+    """Fresh instances of every shipped rule, in rule-id order."""
+    return [
+        DeterminismRule(),
+        MetricNameRule(),
+        CheckpointCompletenessRule(),
+        ImportLayeringRule(),
+        SilentSwallowRule(),
+    ]

@@ -1,0 +1,116 @@
+"""WL003 — checkpoint round-trips must cover every instance attribute.
+
+Contract (PR 2 durable checkpoints): any class offering the
+``state_dict()`` / ``from_state()`` pair participates in crash recovery;
+an attribute that ``__init__`` (or a dataclass field) establishes but
+``state_dict`` never reads is state that silently evaporates across a
+crash.  The rule flags exactly that: for every class defining *both*
+methods, each attribute assigned in ``__init__``/``__post_init__`` (or
+declared as a dataclass field) must be read somewhere inside
+``state_dict`` — directly (``self.attr``) counts, whatever the
+serialised spelling.
+
+Deliberate exclusions (state the restore *caller* reconstructs, like
+``BusSession.tracker``) belong in the baseline with a justification,
+not silently out of the checkpoint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import FileContext, Finding, dotted_name
+
+
+def _is_dataclass_decorated(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name in {"dataclass", "dataclasses.dataclass"}:
+            return True
+    return False
+
+
+def _annotation_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return dotted_name(node)
+
+
+def _self_attr_targets(fn: ast.FunctionDef) -> Iterable[tuple[str, int]]:
+    """(attribute, line) for every ``self.X = ...`` style assignment."""
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                targets.extend(target.elts)
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield target.attr, node.lineno
+
+
+def _self_attr_reads(fn: ast.FunctionDef) -> set[str]:
+    return {
+        node.attr
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    }
+
+
+class CheckpointCompletenessRule:
+    rule_id = "WL003"
+    description = (
+        "classes with state_dict/from_state must read every __init__-assigned "
+        "attribute in state_dict (unserialised state evaporates across a crash)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterable[Finding]:
+        methods = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        state_dict = methods.get("state_dict")
+        if state_dict is None or "from_state" not in methods:
+            return
+
+        attrs: dict[str, int] = {}
+        if _is_dataclass_decorated(cls):
+            for item in cls.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                    ann = _annotation_name(item.annotation)
+                    if ann in {"ClassVar", "typing.ClassVar", "InitVar", "dataclasses.InitVar"}:
+                        continue
+                    attrs.setdefault(item.target.id, item.lineno)
+        for init_name in ("__init__", "__post_init__"):
+            init = methods.get(init_name)
+            if init is not None:
+                for attr, line in _self_attr_targets(init):
+                    attrs.setdefault(attr, line)
+
+        read = _self_attr_reads(state_dict)
+        for attr, line in sorted(attrs.items(), key=lambda kv: kv[1]):
+            if attr not in read:
+                yield ctx.finding(
+                    line,
+                    self.rule_id,
+                    f"{cls.name}.{attr} is established at construction but never "
+                    "read by state_dict(); checkpoint it or baseline the "
+                    "exclusion with a justification",
+                )

@@ -1,0 +1,136 @@
+"""WL001 — determinism inside the replay-path subsystems.
+
+Contract (PR 2 crash recovery, PR 4 byte-parity failover): recovery
+replays the WAL through the *real* ingest path and must reproduce the
+pre-crash state byte for byte, and a restored shard must converge to the
+exact state of a never-failed twin.  That only holds if nothing on the
+path reads a wall clock, an OS entropy source, or an unseeded RNG, and
+nothing iterates a freshly built ``set`` of strings (hash randomisation
+makes that order differ between the original process and the replaying
+one).
+
+The rule therefore bans, inside ``core``, ``pipeline``, ``guard``,
+``cluster`` and ``eval``:
+
+* ``time.time`` / ``time.time_ns`` (event time must come from reports;
+  ``time.perf_counter`` stays legal — latency histograms are
+  observability, not replayed state);
+* ``datetime.now`` / ``utcnow`` / ``today``;
+* ``os.urandom``, anything in ``secrets``, ``uuid.uuid1`` / ``uuid4``;
+* the module-level ``random.*`` functions (shared unseeded RNG),
+  ``random.Random()`` / ``default_rng()`` with no seed argument,
+  ``random.SystemRandom``, and the legacy ``numpy.random.*`` global
+  functions;
+* ``for``/comprehension iteration directly over a set display, set
+  comprehension or ``set()``/``frozenset()`` call (sort it first).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import FileContext, Finding, dotted_name, import_aliases
+
+DETERMINISTIC_PACKAGES = frozenset({"core", "pipeline", "guard", "cluster", "eval"})
+
+_BANNED_EXACT = {
+    "time.time": "wall-clock read; derive event time from report timestamps",
+    "time.time_ns": "wall-clock read; derive event time from report timestamps",
+    "os.urandom": "OS entropy source; use a seeded RNG",
+    "uuid.uuid1": "host/clock-derived id; derive ids from report content",
+    "uuid.uuid4": "random id; derive ids from report content or a seeded RNG",
+    "datetime.datetime.now": "wall-clock read; derive event time from reports",
+    "datetime.datetime.utcnow": "wall-clock read; derive event time from reports",
+    "datetime.datetime.today": "wall-clock read; derive event time from reports",
+    "datetime.date.today": "wall-clock read; derive event time from reports",
+}
+
+# numpy.random functions that build an explicitly seeded generator (legal
+# when given a seed argument, which is separately enforced below).
+_SEEDED_CONSTRUCTORS = {"numpy.random.default_rng", "random.Random"}
+_NUMPY_RANDOM_OK = {"numpy.random.Generator", "numpy.random.SeedSequence"}
+
+
+class DeterminismRule:
+    rule_id = "WL001"
+    description = (
+        "no wall clocks, entropy sources, unseeded RNGs or set-order "
+        "iteration in the deterministic subsystems (replay/failover parity)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.package not in DETERMINISTIC_PACKAGES:
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, aliases)
+            elif isinstance(node, ast.For):
+                yield from self._check_iterable(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield from self._check_iterable(ctx, gen.iter)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, aliases: dict[str, str]
+    ) -> Iterable[Finding]:
+        name = dotted_name(node.func, aliases)
+        if name is None:
+            return
+        # normalise the common numpy alias
+        if name.startswith("np.random."):
+            name = "numpy" + name[2:]
+        why = _BANNED_EXACT.get(name)
+        if why is not None:
+            yield ctx.finding(node, self.rule_id, f"call to {name}: {why}")
+            return
+        if name in _SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{name}() without a seed is nondeterministic; pass an "
+                    "explicit seed",
+                )
+            return
+        if name.startswith("secrets."):
+            yield ctx.finding(
+                node, self.rule_id, f"call to {name}: entropy source; use a seeded RNG"
+            )
+        elif name == "random.SystemRandom" or name.startswith("random.SystemRandom."):
+            yield ctx.finding(
+                node, self.rule_id, "random.SystemRandom is an entropy source"
+            )
+        elif name.startswith("random.") and "." not in name[len("random."):]:
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                f"module-level {name}() uses the shared unseeded RNG; use a "
+                "random.Random(seed) instance",
+            )
+        elif name.startswith("numpy.random.") and name not in _NUMPY_RANDOM_OK:
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                f"legacy global-state {name}() is unseeded per process; use "
+                "numpy.random.default_rng(seed)",
+            )
+
+    def _check_iterable(self, ctx: FileContext, iter_node: ast.expr) -> Iterable[Finding]:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            yield ctx.finding(
+                iter_node,
+                self.rule_id,
+                "iteration over a set display/comprehension follows hash order, "
+                "which string-hash randomisation varies per process; sort first",
+            )
+        elif isinstance(iter_node, ast.Call):
+            name = dotted_name(iter_node.func)
+            if name in {"set", "frozenset"}:
+                yield ctx.finding(
+                    iter_node,
+                    self.rule_id,
+                    f"iteration over a fresh {name}() follows hash order, which "
+                    "string-hash randomisation varies per process; sort first",
+                )

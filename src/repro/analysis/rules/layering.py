@@ -1,0 +1,108 @@
+"""WL004 — the package import DAG points strictly downward.
+
+Contract (ROADMAP architecture): the spine is
+``geometry/roadnet/radio/sensing -> core -> pipeline/guard -> cluster ->
+cli``; refactoring "freely and aggressively" stays safe only while the
+layering holds, because an upward edge makes the lower layer untestable
+in isolation and invites import cycles that break lazy recovery paths.
+
+Every package gets a rank; an import is legal only if its target ranks
+*strictly below* the importer (same-package imports are always fine).
+Function-local imports count too — a lazy upward import is still an
+upward edge.  ``repro/__init__.py`` is exempt: it is the public facade
+and re-exports from everywhere by design.
+
+Known deliberate exception, carried in the baseline rather than the
+rank table: ``core.server.server`` builds its default ``IngestGuard``
+(PR 3 wired admission into ingest), an acknowledged core->guard edge
+pending a protocol inversion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import FileContext, Finding
+
+# Rank = distance from the foundation; imports must strictly descend.
+# Equal ranks (radio/mobility, baselines/guard) may not import each other.
+LAYER_RANKS: dict[str, int] = {
+    "_util": 0,
+    "analysis": 0,   # the checker itself depends on nothing but stdlib
+    "geometry": 1,
+    "roadnet": 2,
+    "radio": 3,
+    "mobility": 3,
+    "sensing": 4,
+    "core": 5,
+    "baselines": 6,
+    "guard": 6,
+    "pipeline": 7,
+    "eval": 8,
+    "cluster": 9,
+    "cli": 10,
+}
+
+
+def _import_edges(tree: ast.Module) -> Iterable[tuple[str, int]]:
+    """(imported repro package, line) for every repro-internal import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                parts = a.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    yield parts[1], node.lineno
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            parts = node.module.split(".")
+            if parts[0] != "repro":
+                continue
+            if len(parts) > 1:
+                yield parts[1], node.lineno
+            else:
+                # ``from repro import X`` — each name is a top-level package
+                for a in node.names:
+                    yield a.name, node.lineno
+
+
+class ImportLayeringRule:
+    rule_id = "WL004"
+    description = (
+        "package imports must follow the layering DAG "
+        "(geometry/roadnet/radio/sensing -> core -> pipeline/guard -> "
+        "cluster -> cli); no upward or same-rank edges"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        source = ctx.package
+        if source is None or source == "__init__":
+            return
+        source_rank = LAYER_RANKS.get(source)
+        if source_rank is None:
+            yield ctx.finding(
+                1,
+                self.rule_id,
+                f"package {source!r} has no rank in the layering map; add it "
+                "to LAYER_RANKS so its edges are checked",
+            )
+            return
+        for target, line in _import_edges(ctx.tree):
+            if target == source:
+                continue
+            target_rank = LAYER_RANKS.get(target)
+            if target_rank is None:
+                yield ctx.finding(
+                    line,
+                    self.rule_id,
+                    f"import of unranked package repro.{target}; add it to "
+                    "LAYER_RANKS so its edges are checked",
+                )
+            elif target_rank >= source_rank:
+                direction = "same-rank" if target_rank == source_rank else "upward"
+                yield ctx.finding(
+                    line,
+                    self.rule_id,
+                    f"{direction} import: repro.{source} (rank {source_rank}) "
+                    f"imports repro.{target} (rank {target_rank}); the DAG "
+                    "requires strictly lower-ranked targets",
+                )

@@ -1,0 +1,128 @@
+"""WL002 — every metric name used must be declared in the registry.
+
+Contract (PR 2/PR 4): checkpointed metrics counters are *crash state*,
+not just observability — ``cluster.delta_out_seq`` and the
+``cluster.applied_from.*`` family carry replication sequence numbers
+through checkpoint/restore, and recovery replays against the counter
+values it reads back.  A typo'd counter name therefore silently forks
+the recovered state instead of failing loudly.
+
+The registry is ``repro/core/server/metric_names.py`` (parsed from the
+scanned tree, never imported).  Any string that reaches
+``metrics.incr/counter/observe/timer/latency`` must be:
+
+* a literal (or a module-level string constant) declared exactly in
+  ``METRIC_NAMES``; or
+* an f-string whose literal head matches one of the declared
+  ``METRIC_PREFIXES`` (dynamic families such as ``guard.rejected.<reason>``).
+
+Names the checker cannot resolve statically (arbitrary expressions) are
+skipped — the convention is to route dynamic names through a declared
+prefix so the head stays checkable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import FileContext, Finding
+
+_METRIC_METHODS = frozenset({"incr", "counter", "observe", "timer", "latency"})
+
+
+def _module_string_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments (counter-name constants)."""
+    out: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            if isinstance(node.value.value, str):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out[target.id] = node.value.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            out[node.target.id] = node.value.value
+    return out
+
+
+class MetricNameRule:
+    rule_id = "WL002"
+    description = (
+        "metric names passed to incr/counter/observe must be declared in "
+        "repro/core/server/metric_names.py (checkpointed counters are crash state)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.rel == ctx.project.registry_file:
+            return
+        constants = _module_string_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+                and node.args
+            ):
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                yield from self._check_name(ctx, node, arg.value)
+            elif isinstance(arg, ast.JoinedStr):
+                yield from self._check_fstring(ctx, node, arg)
+            elif isinstance(arg, ast.Name) and arg.id in constants:
+                yield from self._check_name(ctx, node, constants[arg.id])
+            # anything else (call results, attributes) is not statically
+            # resolvable; dynamic names must go through a declared prefix.
+
+    def _check_name(self, ctx: FileContext, node: ast.Call, name: str) -> Iterable[Finding]:
+        project = ctx.project
+        if project.registry_file is None:
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                f"metric name {name!r} used but no metric_names.py registry "
+                "was found in the scanned tree",
+            )
+            return
+        if name in project.metric_names:
+            return
+        if any(name.startswith(p) for p in project.metric_prefixes):
+            return
+        yield ctx.finding(
+            node,
+            self.rule_id,
+            f"metric name {name!r} is not declared in {project.registry_file}; "
+            "declare it (checkpointed counters are crash state, so a typo "
+            "here is a recovery bug)",
+        )
+
+    def _check_fstring(
+        self, ctx: FileContext, node: ast.Call, arg: ast.JoinedStr
+    ) -> Iterable[Finding]:
+        head = ""
+        for part in arg.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                head += part.value
+            else:
+                break
+        project = ctx.project
+        if head and any(
+            head.startswith(p) or p.startswith(head) for p in project.metric_prefixes
+        ):
+            # the literal head lies on a declared dynamic family
+            if any(head.startswith(p) for p in project.metric_prefixes):
+                return
+            # head is shorter than every candidate prefix: cannot prove the
+            # runtime value stays inside the family — fall through to report.
+        yield ctx.finding(
+            node,
+            self.rule_id,
+            f"dynamic metric name starting with {head!r} does not match any "
+            f"declared prefix in {project.registry_file or 'metric_names.py'}; "
+            "add the family to METRIC_PREFIXES",
+        )

@@ -1,0 +1,62 @@
+"""WL005 — no silent exception swallowing of broad exception classes.
+
+Contract (PR 3 guard): "never raises, always a verdict + counter".  A
+handler that catches ``Exception`` (or everything) and does nothing
+erases evidence that the system misbehaved — the guard's whole design is
+that even its own internal faults surface as a counted, quarantined
+rejection.  Narrow handlers (``except KeyError: pass``) are legitimate
+control flow and stay legal; it is the broad catch-and-drop shape that
+is banned.
+
+A broad handler must do at least one observable thing: call something
+(count a metric, quarantine the payload, log), raise/re-raise, or
+``assert``.  Pure ``pass``/constant-return bodies are findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import FileContext, Finding, dotted_name
+
+_BROAD = {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for t in types:
+        if isinstance(t, ast.Call):  # e.g. a re-raised constructed type — skip
+            continue
+        if dotted_name(t) in _BROAD:
+            return True
+    return False
+
+
+def _observes_failure(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Call, ast.Raise, ast.Assert)):
+            return True
+    return False
+
+
+class SilentSwallowRule:
+    rule_id = "WL005"
+    description = (
+        "broad except handlers must count, quarantine, log or re-raise — "
+        "never silently drop the failure (the guard contract)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if _is_broad(node) and not _observes_failure(node):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        "broad except handler swallows the exception without "
+                        "counting, quarantining, logging or re-raising; a "
+                        "failure no counter ever sees cannot be operated on",
+                    )

@@ -36,6 +36,13 @@ corrupted report stream plus injected disk faults in a temporary
 directory — and prints the resulting ``health()`` report (admission
 reason codes, breaker state, WAL damage accounting); it never touches
 ``--data-dir``.
+
+``analyze`` runs the AST-based invariant checker (:mod:`repro.analysis`,
+rules WL001–WL005) over the given paths and exits non-zero on any
+non-baselined finding:
+
+    python -m repro.cli analyze src
+    python -m repro.cli analyze src --json
 """
 
 from __future__ import annotations
@@ -476,6 +483,14 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        # The invariant checker has its own argument surface (paths,
+        # --baseline, --write-baseline, --json); delegate wholesale.
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Regenerate the WiLocator paper's tables and figures.",

@@ -25,6 +25,7 @@ from __future__ import annotations
 import bisect
 import time
 from contextlib import contextmanager
+from typing import Iterator
 
 # Geometric bucket upper bounds in seconds, 10 us .. 5 s.  Anything slower
 # lands in the +Inf overflow bucket.
@@ -161,7 +162,7 @@ class ServerMetrics:
         self.latency(stage).observe(seconds)
 
     @contextmanager
-    def timer(self, stage: str):
+    def timer(self, stage: str) -> Iterator[None]:
         """``with metrics.timer("query"): ...`` records the block duration."""
         t0 = time.perf_counter()
         try:

@@ -15,7 +15,9 @@ Metrics written (all through the shared :class:`ServerMetrics`):
 ``guard.admitted``, ``guard.rejected``, ``guard.rejected.<reason>``,
 ``guard.rate_limited_devices`` is derivable from the reason counters;
 ``guard.bssid_demotions`` and ``guard.readings_filtered`` track AP
-health; the ``admission`` latency histogram times :meth:`admit`.
+health; ``guard.internal_errors`` counts double faults (quarantine
+itself failed); the ``admission`` latency histogram times :meth:`admit`.
+All names are declared in :mod:`repro.core.server.metric_names` (WL002).
 """
 
 from __future__ import annotations
@@ -95,7 +97,9 @@ class IngestGuard:
             try:
                 self._quarantine(report, _REJECT_MALFORMED)
             except Exception:
-                pass
+                # Double fault: even quarantine failed.  The report is lost,
+                # but the loss itself must stay countable (WL005).
+                self.metrics.incr("guard.internal_errors")
             return _REJECT_MALFORMED
 
     def _quarantine(self, report: ScanReport, decision: AdmissionDecision) -> None:

@@ -21,9 +21,19 @@ from repro.sensing.energy import EnergyModel
 from repro.sensing.reports import ScanReport
 from repro.sensing.crowd import CrowdSensingLayer
 from repro.sensing.grouping import GroupingDecision, ProximityGrouper, scan_similarity
+from repro.sensing.rank import (
+    Signature,
+    full_ranking_from_readings,
+    signature_from_readings,
+    signature_from_rss,
+)
 from repro.sensing.route_id import IdentifiedRoute, RouteIdentifier
 
 __all__ = [
+    "Signature",
+    "full_ranking_from_readings",
+    "signature_from_readings",
+    "signature_from_rss",
     "AccelerometerTrigger",
     "MotionEvent",
     "Smartphone",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.svd.rank import full_ranking_from_readings
+from repro.sensing.rank import full_ranking_from_readings
 from repro.sensing.reports import ScanReport
 
 

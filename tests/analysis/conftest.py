@@ -1,0 +1,35 @@
+"""Helpers for the invariant-checker tests: parse snippets into contexts."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis import FileContext, ProjectContext
+
+
+@pytest.fixture()
+def make_ctx():
+    """Build a FileContext from an inline source snippet."""
+
+    def _make(
+        source: str,
+        *,
+        package: str | None = "core",
+        rel: str = "src/repro/core/example.py",
+        project: ProjectContext | None = None,
+    ) -> FileContext:
+        return FileContext(
+            rel=rel,
+            text=source,
+            tree=ast.parse(source),
+            package=package,
+            project=project or ProjectContext(),
+        )
+
+    return _make
+
+
+def findings_of(rule, ctx):
+    return sorted(rule.check(ctx))

@@ -1,0 +1,82 @@
+"""Baseline file format: round-trip property, validation, matching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    Finding,
+    dumps_baseline,
+    load_baseline,
+    loads_baseline,
+    save_baseline,
+)
+
+pytestmark = pytest.mark.analysis
+
+text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+)
+entries = st.builds(
+    BaselineEntry, rule=text, file=text, match=text, justification=text
+)
+baselines = st.builds(
+    Baseline,
+    version=st.just(1),
+    entries=st.lists(entries, max_size=8).map(tuple),
+)
+
+
+@given(baselines)
+def test_round_trip_is_exact_after_normalisation(baseline):
+    assert loads_baseline(dumps_baseline(baseline)) == baseline.normalized()
+
+
+@given(baselines)
+def test_dumps_is_canonical(baseline):
+    once = dumps_baseline(baseline)
+    again = dumps_baseline(loads_baseline(once))
+    assert once == again
+    assert once.endswith("\n")
+
+
+@given(baselines)
+def test_file_round_trip(tmp_path_factory, baseline):
+    path = tmp_path_factory.mktemp("bl") / "analysis-baseline.json"
+    save_baseline(path, baseline)
+    assert load_baseline(path) == baseline.normalized()
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all {",
+        "[]",
+        '{"version": 99, "entries": []}',
+        '{"entries": []}',
+        '{"version": 1, "entries": {}}',
+        '{"version": 1, "entries": [{"rule": "WL001"}]}',
+        '{"version": 1, "entries": ["nope"]}',
+    ],
+)
+def test_malformed_baselines_raise(payload):
+    with pytest.raises(BaselineError):
+        loads_baseline(payload)
+
+
+def test_split_suppresses_and_reports_stale():
+    entry = BaselineEntry("WL003", "a.py", "tracker", "rebuilt by caller")
+    stale = BaselineEntry("WL001", "b.py", "time.time", "gone since PR 5")
+    baseline = Baseline(entries=(entry, stale))
+    hit = Finding("a.py", 10, "WL003", "attribute tracker missing")
+    other_file = Finding("c.py", 3, "WL003", "attribute tracker missing")
+    other_rule = Finding("a.py", 10, "WL004", "attribute tracker missing")
+    active, suppressed, stale_out = baseline.split([hit, other_file, other_rule])
+    assert suppressed == [hit]
+    assert active == [other_file, other_rule]
+    assert stale_out == [stale]

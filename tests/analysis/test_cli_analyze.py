@@ -1,0 +1,122 @@
+"""End-to-end CLI behaviour of ``repro.cli analyze`` / ``-m repro.analysis``."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import loads_baseline
+
+pytestmark = pytest.mark.analysis
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def run_cli(*args: str, cwd: pathlib.Path | None = None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "analyze", *args],
+        cwd=cwd or REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path: pathlib.Path) -> pathlib.Path:
+    """A minimal fake repo tree with one WL001 and one WL005 violation."""
+    pkg = tmp_path / "src" / "repro" / "cluster"
+    pkg.mkdir(parents=True)
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    (pkg / "bad.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def stamp():
+                try:
+                    return time.time()
+                except Exception:
+                    pass
+            """
+        )
+    )
+    return tmp_path
+
+
+def test_repo_src_is_clean_via_cli():
+    proc = run_cli("src", "--json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["suppressed"] >= 2  # the justified WL003/WL004 exclusions
+    assert payload["stale_baseline_entries"] == []
+    assert payload["files_scanned"] > 100
+
+
+def test_findings_exit_code_and_json_shape(dirty_tree):
+    proc = run_cli("src", cwd=dirty_tree)
+    assert proc.returncode == 1
+    assert "WL001" in proc.stdout and "WL005" in proc.stdout
+    assert "src/repro/cluster/bad.py" in proc.stdout
+
+    proc_json = run_cli("src", "--json", cwd=dirty_tree)
+    assert proc_json.returncode == 1
+    payload = json.loads(proc_json.stdout)
+    rules = {f["rule"] for f in payload["findings"]}
+    assert rules == {"WL001", "WL005"}
+    for f in payload["findings"]:
+        assert f["file"] == "src/repro/cluster/bad.py"
+        assert f["line"] > 0
+
+
+def test_write_baseline_then_clean(dirty_tree):
+    baseline = dirty_tree / "analysis-baseline.json"
+    wrote = run_cli("src", "--write-baseline", cwd=dirty_tree)
+    assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+    entries = loads_baseline(baseline.read_text()).entries
+    assert {e.rule for e in entries} == {"WL001", "WL005"}
+    assert all("TODO" in e.justification for e in entries)
+
+    proc = run_cli("src", cwd=dirty_tree)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "baselined" in proc.stdout
+
+
+def test_disabled_baseline_exposes_grandfathered_findings():
+    proc = run_cli("src", "--baseline", "none")
+    assert proc.returncode == 1
+    assert "WL003" in proc.stdout and "WL004" in proc.stdout
+
+
+def test_unknown_path_is_usage_error():
+    proc = run_cli("does-not-exist-anywhere")
+    assert proc.returncode == 2
+    assert "no such path" in proc.stderr
+
+
+def test_module_entry_point_matches_cli():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src", "--json"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert json.loads(proc.stdout)["ok"] is True

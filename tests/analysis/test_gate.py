@@ -1,0 +1,107 @@
+"""The tier-1 invariant gate — this test can never skip.
+
+Unlike the ruff/mypy pre-steps (which skip when the binary is missing),
+the invariant checker is stdlib-only and runs in-process: every tier-1
+run machine-checks WL001–WL005 over ``src/`` against the committed
+baseline.  The companion tests prove the gate has teeth: deleting a
+registry entry or adding a wall-clock call to a deterministic subsystem
+flips it red with a ``file:line`` finding.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+
+import pytest
+
+from repro.analysis import Baseline, analyze, load_baseline
+
+pytestmark = pytest.mark.analysis
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+
+def test_src_has_zero_nonbaselined_findings():
+    result = analyze([SRC], baseline=load_baseline(BASELINE), root=REPO_ROOT)
+    assert result.files_scanned > 100
+    assert result.findings == [], "\n" + "\n".join(
+        f.render() for f in result.findings
+    )
+
+
+def test_baseline_carries_no_stale_entries_and_justifies_everything():
+    baseline = load_baseline(BASELINE)
+    result = analyze([SRC], baseline=baseline, root=REPO_ROOT)
+    assert result.stale_entries == []
+    for entry in baseline.entries:
+        assert entry.justification.strip(), entry
+        assert "TODO" not in entry.justification, entry
+
+
+def _mutated_src(tmp_path: pathlib.Path, rel: str, old: str, new: str) -> pathlib.Path:
+    """Copy ``src`` and apply one textual mutation."""
+    dst = tmp_path / "src"
+    shutil.copytree(SRC, dst)
+    target = dst / rel
+    text = target.read_text()
+    assert old in text, f"mutation anchor {old!r} missing from {rel}"
+    target.write_text(text.replace(old, new, 1))
+    return dst
+
+
+def test_gate_fails_when_a_registry_entry_is_deleted(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/core/server/metric_names.py",
+        '    "cluster.delta_out_seq",\n',
+        "",
+    )
+    result = analyze([mutated], baseline=load_baseline(BASELINE), root=tmp_path)
+    assert result.findings, "deleting a registry entry must trip the gate"
+    assert all(f.rule_id == "WL002" for f in result.findings)
+    assert any(
+        "cluster.delta_out_seq" in f.message
+        and f.file.endswith("repro/cluster/node.py")
+        and f.line > 0
+        for f in result.findings
+    )
+
+
+def test_gate_fails_on_wall_clock_in_cluster(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/cluster/plan.py",
+        "from __future__ import annotations",
+        "from __future__ import annotations\nimport time\n_BOOT = time.time()",
+    )
+    result = analyze([mutated], baseline=Baseline(), root=tmp_path)
+    wl001 = [f for f in result.findings if f.rule_id == "WL001"]
+    assert len(wl001) == 1
+    assert wl001[0].file.endswith("repro/cluster/plan.py")
+    injected_at = (
+        (mutated / "repro/cluster/plan.py").read_text().splitlines().index(
+            "_BOOT = time.time()"
+        )
+        + 1
+    )
+    assert wl001[0].line == injected_at
+    assert "time.time" in wl001[0].message
+
+
+def test_every_declared_metric_prefix_is_syntactically_sane():
+    from repro.core.server.metric_names import (
+        METRIC_NAMES,
+        METRIC_PREFIXES,
+        is_declared,
+    )
+
+    for name in METRIC_NAMES:
+        assert name == name.strip() and name, name
+        assert is_declared(name)
+    for prefix in METRIC_PREFIXES:
+        assert prefix.endswith("."), prefix
+        assert is_declared(prefix + "anything")
+    assert not is_declared("no.such.metric")

@@ -1,0 +1,312 @@
+"""Per-rule good/bad fixture snippets for WL001–WL005."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import ProjectContext
+from repro.analysis.rules import (
+    CheckpointCompletenessRule,
+    DeterminismRule,
+    ImportLayeringRule,
+    MetricNameRule,
+    SilentSwallowRule,
+    default_rules,
+)
+
+from tests.analysis.conftest import findings_of
+
+pytestmark = pytest.mark.analysis
+
+
+def src(snippet: str) -> str:
+    return textwrap.dedent(snippet).lstrip("\n")
+
+
+def test_default_rules_cover_wl001_to_wl005():
+    ids = [r.rule_id for r in default_rules()]
+    assert ids == ["WL001", "WL002", "WL003", "WL004", "WL005"]
+    assert all(r.description for r in default_rules())
+
+
+# -- WL001 determinism -------------------------------------------------------
+
+
+class TestDeterminism:
+    rule = DeterminismRule()
+
+    @pytest.mark.parametrize(
+        "snippet, fragment",
+        [
+            ("import time\nt = time.time()", "time.time"),
+            ("import time\nt = time.time_ns()", "time.time_ns"),
+            ("from time import time\nt = time()", "time.time"),
+            ("import os\nb = os.urandom(8)", "os.urandom"),
+            ("import uuid\nu = uuid.uuid4()", "uuid.uuid4"),
+            ("import secrets\ns = secrets.token_hex()", "secrets.token_hex"),
+            ("import datetime\nd = datetime.datetime.now()", "datetime.now"),
+            ("from datetime import datetime\nd = datetime.now()", "datetime.now"),
+            ("from datetime import date\nd = date.today()", "date.today"),
+            ("import random\nx = random.random()", "unseeded RNG"),
+            ("import random\nx = random.randint(0, 5)", "unseeded RNG"),
+            ("import random\nr = random.Random()", "without a seed"),
+            ("import random\nr = random.SystemRandom()", "entropy source"),
+            ("import numpy as np\nr = np.random.default_rng()", "without a seed"),
+            ("import numpy as np\nx = np.random.rand(3)", "global-state"),
+            ("for x in {1, 2, 3}:\n    pass", "hash order"),
+            ("for x in set(items):\n    pass", "hash order"),
+            ("out = [f(x) for x in frozenset(items)]", "hash order"),
+            ("out = {x for x in {a for a in items}}", "hash order"),
+        ],
+    )
+    def test_bad(self, make_ctx, snippet, fragment):
+        found = findings_of(self.rule, make_ctx(src(snippet)))
+        assert found, snippet
+        assert any(fragment in f.message for f in found), (snippet, found)
+        assert all(f.rule_id == "WL001" for f in found)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # perf_counter is observability, not replayed state
+            "import time\nt = time.perf_counter()",
+            "import random\nr = random.Random(42)",
+            "import numpy as np\nr = np.random.default_rng(7)",
+            "import numpy as np\nr = np.random.default_rng(seed)",
+            # sorting neutralises set order
+            "for x in sorted({1, 2, 3}):\n    pass",
+            "for x in sorted(set(items)):\n    pass",
+            # instance methods of a seeded RNG are fine
+            "r = get_rng()\nx = r.random()",
+            # iterating lists/dicts is ordered
+            "for x in [1, 2]:\n    pass",
+            "for k in d.keys():\n    pass",
+        ],
+    )
+    def test_good(self, make_ctx, snippet):
+        assert findings_of(self.rule, make_ctx(src(snippet))) == []
+
+    def test_only_applies_to_deterministic_packages(self, make_ctx):
+        snippet = "import time\nt = time.time()"
+        for package in ("core", "pipeline", "guard", "cluster", "eval"):
+            assert findings_of(self.rule, make_ctx(snippet, package=package))
+        for package in ("mobility", "radio", "sensing", "cli", None):
+            assert not findings_of(self.rule, make_ctx(snippet, package=package))
+
+
+# -- WL002 metric-name registry ----------------------------------------------
+
+
+PROJECT = ProjectContext(
+    metric_names=frozenset({"ingest.reports", "query"}),
+    metric_prefixes=("guard.rejected.",),
+    registry_file="src/repro/core/server/metric_names.py",
+)
+
+
+class TestMetricNames:
+    rule = MetricNameRule()
+
+    def ctx(self, make_ctx, snippet):
+        return make_ctx(src(snippet), project=PROJECT)
+
+    def test_declared_literals_pass(self, make_ctx):
+        good = """
+            self.metrics.incr("ingest.reports")
+            self.metrics.counter("ingest.reports")
+            with self.metrics.timer("query"):
+                pass
+            metrics.observe("query", 0.5)
+            metrics.latency("query")
+        """
+        assert findings_of(self.rule, self.ctx(make_ctx, good)) == []
+
+    def test_undeclared_literal_fails_with_location(self, make_ctx):
+        found = findings_of(
+            self.rule, self.ctx(make_ctx, 'self.metrics.incr("ingest.reportz")')
+        )
+        assert len(found) == 1
+        assert found[0].rule_id == "WL002"
+        assert found[0].line == 1
+        assert "'ingest.reportz'" in found[0].message
+
+    def test_fstring_prefix_family(self, make_ctx):
+        ok = 'self.metrics.incr(f"guard.rejected.{reason}")'
+        assert findings_of(self.rule, self.ctx(make_ctx, ok)) == []
+        bad = 'self.metrics.incr(f"guard.unknown.{reason}")'
+        found = findings_of(self.rule, self.ctx(make_ctx, bad))
+        assert len(found) == 1
+        assert "METRIC_PREFIXES" in found[0].message
+
+    def test_module_constant_resolves(self, make_ctx):
+        ok = 'NAME = "ingest.reports"\nmetrics.incr(NAME)'
+        assert findings_of(self.rule, self.ctx(make_ctx, ok)) == []
+        bad = 'NAME = "ingest.reportz"\nmetrics.incr(NAME)'
+        assert len(findings_of(self.rule, self.ctx(make_ctx, bad))) == 1
+
+    def test_non_string_observe_is_ignored(self, make_ctx):
+        # LatencyHistogram.observe(seconds) takes a float, not a name
+        snippet = "hist.observe(0.25)\nhist.observe(seconds)"
+        assert findings_of(self.rule, self.ctx(make_ctx, snippet)) == []
+
+    def test_missing_registry_is_itself_a_finding(self, make_ctx):
+        ctx = make_ctx('metrics.incr("anything")', project=ProjectContext())
+        found = findings_of(self.rule, ctx)
+        assert len(found) == 1
+        assert "no metric_names.py registry" in found[0].message
+
+
+# -- WL003 checkpoint completeness -------------------------------------------
+
+
+class TestCheckpointCompleteness:
+    rule = CheckpointCompletenessRule()
+
+    def test_complete_class_passes(self, make_ctx):
+        snippet = """
+            class Good:
+                def __init__(self):
+                    self.a = 1
+                    self.b = []
+                def state_dict(self):
+                    return {"a": self.a, "b": list(self.b)}
+                @classmethod
+                def from_state(cls, data):
+                    return cls()
+        """
+        assert findings_of(self.rule, make_ctx(src(snippet))) == []
+
+    def test_missing_attribute_is_flagged(self, make_ctx):
+        snippet = """
+            class Leaky:
+                def __init__(self):
+                    self.kept = 1
+                    self.lost = {}
+                def state_dict(self):
+                    return {"kept": self.kept}
+                @classmethod
+                def from_state(cls, data):
+                    return cls()
+        """
+        found = findings_of(self.rule, make_ctx(src(snippet)))
+        assert len(found) == 1
+        assert "Leaky.lost" in found[0].message
+        assert found[0].rule_id == "WL003"
+
+    def test_dataclass_fields_and_post_init(self, make_ctx):
+        snippet = """
+            @dataclass
+            class Session:
+                key: str
+                helper: Helper = field(init=False)
+                cached: ClassVar[int] = 0
+                def __post_init__(self):
+                    self.derived = compute()
+                def state_dict(self):
+                    return {"key": self.key, "helper": self.helper.dump()}
+                @classmethod
+                def from_state(cls, data):
+                    return cls(**data)
+        """
+        found = findings_of(self.rule, make_ctx(src(snippet)))
+        # 'derived' is missing; the ClassVar must not be flagged
+        assert [f.message.split(" ")[0] for f in found] == ["Session.derived"]
+
+    def test_classes_without_the_pair_are_ignored(self, make_ctx):
+        snippet = """
+            class OnlyDict:
+                def __init__(self):
+                    self.x = 1
+                def state_dict(self):
+                    return {}
+        """
+        assert findings_of(self.rule, make_ctx(src(snippet))) == []
+
+
+# -- WL004 import layering ---------------------------------------------------
+
+
+class TestImportLayering:
+    rule = ImportLayeringRule()
+
+    def test_downward_imports_pass(self, make_ctx):
+        snippet = """
+            from repro.core.server.metrics import ServerMetrics
+            from repro.roadnet.route import BusRoute
+            import repro.geometry
+        """
+        ctx = make_ctx(src(snippet), package="pipeline")
+        assert findings_of(self.rule, ctx) == []
+
+    def test_upward_import_is_flagged(self, make_ctx):
+        ctx = make_ctx("from repro.cluster.plan import ShardPlan", package="core")
+        found = findings_of(self.rule, ctx)
+        assert len(found) == 1
+        assert "upward import" in found[0].message
+
+    def test_same_rank_import_is_flagged(self, make_ctx):
+        ctx = make_ctx("from repro.mobility.trip import BusTrip", package="radio")
+        found = findings_of(self.rule, ctx)
+        assert len(found) == 1
+        assert "same-rank" in found[0].message
+
+    def test_lazy_function_level_import_still_counts(self, make_ctx):
+        snippet = """
+            def later():
+                from repro.cluster.router import ClusterRouter
+                return ClusterRouter
+        """
+        ctx = make_ctx(src(snippet), package="guard")
+        assert len(findings_of(self.rule, ctx)) == 1
+
+    def test_intra_package_and_facade_are_exempt(self, make_ctx):
+        ctx = make_ctx("from repro.core.svd import rank", package="core")
+        assert findings_of(self.rule, ctx) == []
+        facade = make_ctx("from repro.cluster.plan import ShardPlan", package="__init__")
+        assert findings_of(self.rule, facade) == []
+
+    def test_unranked_package_is_flagged(self, make_ctx):
+        ctx = make_ctx("from repro.newpkg.thing import x", package="core")
+        found = findings_of(self.rule, ctx)
+        assert len(found) == 1
+        assert "unranked" in found[0].message
+
+
+# -- WL005 silent swallow ----------------------------------------------------
+
+
+class TestSilentSwallow:
+    rule = SilentSwallowRule()
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "try:\n    f()\nexcept Exception:\n    pass",
+            "try:\n    f()\nexcept BaseException:\n    pass",
+            "try:\n    f()\nexcept:\n    pass",
+            "try:\n    f()\nexcept (ValueError, Exception):\n    x = None",
+            "for i in r:\n    try:\n        f()\n    except Exception:\n        continue",
+        ],
+    )
+    def test_bad(self, make_ctx, snippet):
+        found = findings_of(self.rule, make_ctx(snippet))
+        assert len(found) == 1
+        assert found[0].rule_id == "WL005"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # narrow handlers are legitimate control flow
+            "try:\n    f()\nexcept KeyError:\n    pass",
+            "try:\n    f()\nexcept (KeyError, ValueError):\n    pass",
+            # counting, re-raising, logging or asserting observes the failure
+            'try:\n    f()\nexcept Exception:\n    metrics.incr("guard.internal_errors")',
+            "try:\n    f()\nexcept Exception:\n    raise",
+            "try:\n    f()\nexcept Exception as exc:\n    log.warning('%s', exc)",
+            "try:\n    f()\nexcept Exception:\n    assert recovering",
+        ],
+    )
+    def test_good(self, make_ctx, snippet):
+        assert findings_of(self.rule, make_ctx(snippet)) == []

@@ -1,0 +1,72 @@
+"""Regression tests for the guard's internal-fault accounting.
+
+WL005 surfaced that the double-fault path in :meth:`IngestGuard.admit`
+(validator blew up *and* quarantining the report blew up) dropped the
+report without incrementing anything — an uncounted loss violating the
+guard's "never raises, always a verdict + counter" contract.  These
+tests pin the fixed behaviour: the verdict is still a rejection and the
+loss is visible as ``guard.internal_errors``.
+"""
+
+from __future__ import annotations
+
+from repro.guard import IngestGuard
+from repro.guard.validate import REASON_MALFORMED
+from repro.radio import Reading
+from repro.sensing import ScanReport
+
+
+def report(t=100.0, device="d1", session="bus:1"):
+    return ScanReport(
+        device_id=device,
+        session_key=session,
+        route_id="r1",
+        t=t,
+        readings=(
+            Reading(bssid="ap1", ssid="ap1", rss_dbm=-40.0),
+            Reading(bssid="ap2", ssid="ap2", rss_dbm=-60.0),
+        ),
+    )
+
+
+class _Boom(Exception):
+    pass
+
+
+def test_validator_fault_is_quarantined_and_counted():
+    guard = IngestGuard()
+
+    def explode(_report):
+        raise _Boom("validator internal fault")
+
+    guard.validator.check = explode
+    decision = guard.admit(report())
+    assert not decision
+    assert decision.reason == REASON_MALFORMED
+    assert guard.metrics.counter("guard.rejected") == 1
+    assert guard.metrics.counter(f"guard.rejected.{REASON_MALFORMED}") == 1
+    assert guard.metrics.counter("guard.internal_errors") == 0
+    assert guard.quarantine.total == 1
+
+
+def test_double_fault_increments_internal_errors_and_never_raises():
+    guard = IngestGuard()
+
+    def explode(_report):
+        raise _Boom("validator internal fault")
+
+    def explode_push(*args, **kwargs):
+        raise _Boom("quarantine also down")
+
+    guard.validator.check = explode
+    guard.quarantine.push = explode_push
+
+    decision = guard.admit(report())  # must not raise
+    assert not decision
+    assert decision.reason == REASON_MALFORMED
+    # the loss itself is counted even though quarantine never saw it
+    assert guard.metrics.counter("guard.internal_errors") == 1
+
+    decision = guard.admit(report(t=110.0))
+    assert not decision
+    assert guard.metrics.counter("guard.internal_errors") == 2

@@ -1,0 +1,33 @@
+"""Optional typing gate, mirroring the ruff pattern in ``test_lint.py``.
+
+Runs ``mypy`` with the targeted-strict ``[tool.mypy]`` configuration in
+``pyproject.toml`` (the metrics registry, shard plan, guard validator and
+the invariant checker itself) when the binary is available; skips cleanly
+otherwise.  Unlike the invariant gate (``tests/analysis/test_gate.py``),
+this one *may* skip — typing is defence in depth, not a load-bearing
+contract.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_mypy_clean_targeted():
+    mypy = shutil.which("mypy")
+    if mypy is None:
+        pytest.skip("mypy is not installed in this environment")
+    proc = subprocess.run(
+        [mypy, "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert proc.returncode == 0, f"mypy findings:\n{proc.stdout}{proc.stderr}"
