@@ -114,7 +114,7 @@ class TestPerfServerQueries:
         typed = api.live_positions(now=city.now)
         counter = TraversalCounter()
         linear = linear_live_positions(city.server, city.now, counter=counter)
-        assert {k: v.as_tuple() for k, v in typed.items()} == linear
+        assert {k: (v.x, v.y) for k, v in typed.items()} == linear
         assert len(typed) == NUM_ROUTES * SESSIONS_PER_ROUTE
 
     def test_cache_hit_rate_after_warm_replay(self, city):

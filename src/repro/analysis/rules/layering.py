@@ -2,7 +2,8 @@
 
 Contract (ROADMAP architecture): the spine is
 ``geometry/roadnet/radio/sensing -> core -> pipeline/guard -> cluster ->
-cli``; refactoring "freely and aggressively" stays safe only while the
+serving -> cli``; refactoring "freely and aggressively" stays safe only
+while the
 layering holds, because an upward edge makes the lower layer untestable
 in isolation and invites import cycles that break lazy recovery paths.
 
@@ -41,7 +42,8 @@ LAYER_RANKS: dict[str, int] = {
     "pipeline": 7,
     "eval": 8,
     "cluster": 9,
-    "cli": 10,
+    "serving": 10,
+    "cli": 11,
 }
 
 

@@ -37,6 +37,18 @@ directory — and prints the resulting ``health()`` report (admission
 reason codes, breaker state, WAL damage accounting); it never touches
 ``--data-dir``.
 
+Serving subcommands expose the HTTP front door (:mod:`repro.serving`)
+over the same synthetic city:
+
+    python -m repro.cli serve   --backend cluster --port 8080
+    python -m repro.cli loadgen --out BENCH_serving.json
+
+``serve`` replays the city into the chosen backend (``plain`` /
+``durable`` / ``cluster``) and blocks serving JSON over HTTP;
+``loadgen`` fires the deterministic rising-QPS open-loop schedule at
+both the durable and 4-shard deployments and writes the per-endpoint
+latency artifact.
+
 ``analyze`` runs the AST-based invariant checker (:mod:`repro.analysis`,
 rules WL001–WL005) over the given paths and exits non-zero on any
 non-baselined finding:
@@ -447,6 +459,95 @@ def run_cluster_cmd(args) -> None:
         print(f"    {line}")
 
 
+def run_serve_cmd(args) -> None:
+    """Start the HTTP front door on a warm synthetic-city backend.
+
+    ``--backend`` picks the deployment shape: ``plain`` (in-memory
+    server), ``durable`` (WAL + micro-batcher under ``--data-dir``) or
+    ``cluster`` (4 in-memory shards behind the router).  The city's
+    reports are replayed first so rider queries answer immediately;
+    the hub stop id and clock are printed for curl-ability.
+    """
+    import asyncio
+
+    from repro.serving import HttpServer, make_app
+
+    city = _durable_city(args.quick)
+    if args.backend == "plain":
+        backend = city.server
+        city.replay()
+    elif args.backend == "cluster":
+        from repro.cluster.build import build_cluster
+        from repro.cluster.plan import ShardPlan
+
+        backend = build_cluster(city.server, ShardPlan.build(city.routes, 4))
+        backend.ingest_many(city.reports)
+        backend.flush()
+    else:
+        from repro.pipeline import DurableServer
+
+        backend = DurableServer(city.server, args.data_dir, max_batch=64)
+        backend.submit_many(city.reports)
+        backend.flush()
+    app = make_app(backend)
+    print(f"  backend: {args.backend}; hub stop: {city.hub_stop_id!r}; "
+          f"query clock now={city.now}")
+    print(f"  try: curl 'http://{args.host}:{args.port}"
+          f"/v1/departures?stop={city.hub_stop_id}&now={city.now}'")
+    try:
+        asyncio.run(HttpServer(app.dispatch).serve_forever(
+            args.host, args.port
+        ))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.backend == "durable":
+            backend.close()
+
+
+def run_loadgen_cmd(args) -> None:
+    """Run the open-loop serving benchmark and write ``BENCH_serving.json``.
+
+    Fires the deterministic rising-QPS schedule at both the durable
+    single node and the 4-shard cluster (each behind the real asyncio
+    front door on an ephemeral port) and writes per-endpoint
+    p50/p95/p99 per stage to ``--out``.
+    """
+    from repro.serving.experiment import run_serving_benchmark
+
+    artifact = run_serving_benchmark(args.out, quick=args.quick)
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+        return
+    for backend_name, backend in artifact["backends"].items():
+        print(f"  {backend_name}:")
+        for stage in backend["stages"]:
+            worst = max(
+                (ep["p99_ms"] for ep in stage["endpoints"].values()),
+                default=0.0,
+            )
+            print(
+                f"    {stage['offered_qps']:6.0f} qps offered -> "
+                f"{stage['achieved_qps']:6.1f} achieved, "
+                f"errors={stage['errors']}, worst p99={worst:.2f} ms"
+                f"{'  [SATURATED]' if stage['saturated'] else ''}"
+            )
+    print(f"  wrote {args.out}")
+
+
+SERVING_CMDS = {
+    "serve": (
+        "HTTP front door over a warm synthetic-city backend",
+        run_serve_cmd,
+    ),
+    "loadgen": (
+        "Open-loop serving benchmark -> BENCH_serving.json",
+        run_loadgen_cmd,
+    ),
+}
+
 DURABILITY_CMDS = {
     "checkpoint": (
         "Durable ingest of the synthetic city (WAL + checkpoints)",
@@ -465,7 +566,7 @@ DURABILITY_CMDS = {
 }
 
 # Experiments that never touch the (expensive) corridor world.
-WORLDLESS = {"metrics"} | set(DURABILITY_CMDS)
+WORLDLESS = {"metrics"} | set(DURABILITY_CMDS) | set(SERVING_CMDS)
 
 EXPERIMENTS = {
     "table1": ("Table I: the four investigated routes", run_table1),
@@ -501,7 +602,8 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=(
             f"which to run: {', '.join(EXPERIMENTS)} or 'all'; durability "
-            f"subcommands: {', '.join(DURABILITY_CMDS)}"
+            f"subcommands: {', '.join(DURABILITY_CMDS)}; serving "
+            f"subcommands: {', '.join(SERVING_CMDS)}"
         ),
     )
     parser.add_argument(
@@ -517,7 +619,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="machine-readable output (metrics, health, cluster)",
+        help="machine-readable output (metrics, health, cluster, loadgen)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address for 'serve'"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port for 'serve'"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("plain", "durable", "cluster"),
+        default="durable",
+        help="deployment shape behind 'serve'",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_serving.json",
+        help="output artifact path for 'loadgen'",
     )
     args = parser.parse_args(argv)
 
@@ -526,7 +645,13 @@ def main(argv: list[str] | None = None) -> int:
         # 'all' covers the paper experiments; durability subcommands
         # mutate --data-dir and only run when named explicitly.
         chosen = list(EXPERIMENTS)
-    unknown = [c for c in chosen if c not in EXPERIMENTS and c not in DURABILITY_CMDS]
+    unknown = [
+        c
+        for c in chosen
+        if c not in EXPERIMENTS
+        and c not in DURABILITY_CMDS
+        and c not in SERVING_CMDS
+    ]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
@@ -534,12 +659,14 @@ def main(argv: list[str] | None = None) -> int:
     for name in chosen:
         if name not in WORLDLESS and world is None:
             world = _world(args.quick)
-        title, fn = EXPERIMENTS.get(name, DURABILITY_CMDS.get(name))
+        title, fn = EXPERIMENTS.get(
+            name, DURABILITY_CMDS.get(name, SERVING_CMDS.get(name))
+        )
         print("=" * 72)
         print(title)
         print("=" * 72)
         start = time.perf_counter()
-        if name in DURABILITY_CMDS:
+        if name in DURABILITY_CMDS or name in SERVING_CMDS:
             fn(args)
         else:
             fn(world, args)

@@ -20,10 +20,12 @@ shard propagates, exactly as the single server raises it.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.arrival.predictor import ArrivalPrediction
 from repro.core.positioning.trajectory import TrajectoryPoint
+from repro.core.server.api import DepartureEntry, LivePosition, RiderAPI, TripOption
 from repro.core.server.metrics import ServerMetrics
 from repro.core.server.server import UnknownStopError
 from repro.core.server.session import BusSession
@@ -72,6 +74,7 @@ class ClusterRouter:
         }
         self._down: set[int] = set()
         self._session_shard: dict[str, int] = {}
+        self._rider_apis: dict[int, RiderAPI] = {}
 
     # -- membership / failover ----------------------------------------------
 
@@ -152,11 +155,41 @@ class ClusterRouter:
             self._session_shard[report.session_key] = shard_id
         return bool(accepted)
 
-    def ingest_many(self, reports: Iterable[ScanReport]) -> int:
-        """Route a report stream in timestamp order; returns admitted count."""
-        return sum(
-            1 for r in sorted(reports, key=lambda r: r.t) if self.ingest(r)
-        )
+    def ingest_many(
+        self, reports: Iterable[ScanReport], *, admitted: bool = False
+    ) -> int:
+        """Route a report stream in timestamp order; returns admitted count.
+
+        ``admitted=True`` marks a stream that already passed admission
+        control *and* durability elsewhere (a recovery replay being
+        re-routed, a committed batch handed over during resharding): the
+        reports apply straight through each shard core's
+        ``ingest_admitted`` — running admission again would corrupt
+        duplicate-suppression state, exactly as on the single server.
+        The keyword existed only on :class:`WiLocatorServer` before this
+        method grew it; the :class:`~repro.core.server.backend.ServingBackend`
+        protocol requires it everywhere.
+        """
+        if not admitted:
+            return sum(
+                1 for r in sorted(reports, key=lambda r: r.t) if self.ingest(r)
+            )
+        routed = 0
+        for report in sorted(reports, key=lambda r: r.t):
+            shard_id = self.plan.shard_of(report.route_id)
+            if shard_id in self._down:
+                self.metrics.incr("cluster.ingest_rejected")
+                continue
+            got = self._guarded(
+                shard_id, self.nodes[shard_id].core.ingest_admitted, report
+            )
+            if got is _SKIPPED:
+                self.metrics.incr("cluster.ingest_rejected")
+                continue
+            self.metrics.incr("cluster.ingest_routed")
+            self._session_shard[report.session_key] = shard_id
+            routed += 1
+        return routed
 
     def flush(self) -> int:
         """Flush every live shard's batched reports."""
@@ -200,6 +233,115 @@ class ClusterRouter:
             best_sid, self.nodes[best_sid].core.ingest_rider, report
         )
         return None if fix is _SKIPPED else fix
+
+    # -- rider trip-plan queries (scatter-gather over per-shard RiderAPIs) ----
+
+    def _rider_api(self, shard_id: int) -> RiderAPI:
+        """The shard's :class:`RiderAPI`, rebuilt if the node was replaced."""
+        api = self._rider_apis.get(shard_id)
+        core = self.nodes[shard_id].core
+        if api is None or api.server is not core:
+            api = self._rider_apis[shard_id] = RiderAPI(core)
+        return api
+
+    def _stop_known(self, stop_id: str) -> bool:
+        """Whether any reachable shard's route set serves the stop."""
+        for sid in self.live_shard_ids():
+            got = self._guarded(sid, self._rider_api(sid).stops_named, stop_id)
+            if got is not _SKIPPED and got:
+                return True
+        return False
+
+    def departures(
+        self, stop_id: str, *, now: float, max_entries: int = 10
+    ) -> list[DepartureEntry]:
+        """The stop's departures board, merged across every live shard.
+
+        Shards serving the stop contribute their boards; the merge is
+        re-sorted with the single server's deterministic key, so a
+        cluster and a single node produce byte-identical boards over the
+        same traffic.  Raises :class:`UnknownStopError` when no
+        reachable shard's routes serve the stop (the caller-bug
+        contract), never when a covering shard is merely down.
+        """
+        t0 = time.perf_counter()
+        self.metrics.incr("query.departures")
+        try:
+            if not self._stop_known(stop_id):
+                raise UnknownStopError(f"no stop {stop_id!r} on any route")
+            entries: list[DepartureEntry] = []
+            for sid in self.live_shard_ids():
+                try:
+                    got = self._guarded(
+                        sid,
+                        self._rider_api(sid).departures,
+                        stop_id,
+                        now=now,
+                        max_entries=max_entries,
+                    )
+                except UnknownStopError:
+                    continue  # this shard's routes do not serve the stop
+                if got is not _SKIPPED:
+                    entries.extend(got)
+            entries.sort(key=lambda e: (e.eta_t, e.route_id, e.session_key))
+            return entries[:max_entries]
+        finally:
+            self.metrics.observe("query", time.perf_counter() - t0)
+
+    def plan_trip(
+        self, from_stop_id: str, to_stop_id: str, *, now: float
+    ) -> list[TripOption]:
+        """Direct ride options merged across shards (routes never span
+        shards, so every option lives wholly on one shard).
+
+        Stop existence is resolved cluster-wide first: a shard that
+        serves only one of the two stops contributes no options but must
+        not fail the query (on the single server both stops resolve
+        globally and the route intersection is simply empty).
+        """
+        t0 = time.perf_counter()
+        self.metrics.incr("query.plan_trip")
+        try:
+            if not self._stop_known(from_stop_id):
+                raise UnknownStopError(f"no stop {from_stop_id!r} on any route")
+            if not self._stop_known(to_stop_id):
+                raise UnknownStopError(f"no stop {to_stop_id!r} on any route")
+            options: list[TripOption] = []
+            for sid in self.live_shard_ids():
+                try:
+                    got = self._guarded(
+                        sid,
+                        self._rider_api(sid).plan_trip,
+                        from_stop_id,
+                        to_stop_id,
+                        now=now,
+                    )
+                except UnknownStopError:
+                    continue  # shard serves at most one of the stops
+                if got is not _SKIPPED:
+                    options.extend(got)
+            options.sort(
+                key=lambda o: (o.alight_t, o.board_t, o.route_id, o.session_key)
+            )
+            return options
+        finally:
+            self.metrics.observe("query", time.perf_counter() - t0)
+
+    def live_positions(self, *, now: float) -> dict[str, LivePosition]:
+        """Current position of every active bus on every live shard."""
+        t0 = time.perf_counter()
+        self.metrics.incr("query.live_positions")
+        try:
+            merged: dict[str, LivePosition] = {}
+            for sid in self.live_shard_ids():
+                got = self._guarded(
+                    sid, self._rider_api(sid).live_positions, now=now
+                )
+                if got is not _SKIPPED:
+                    merged.update(got)
+            return merged
+        finally:
+            self.metrics.observe("query", time.perf_counter() - t0)
 
     # -- scatter-gather queries ----------------------------------------------
 
@@ -319,9 +461,20 @@ class ClusterRouter:
         }
 
     def health(self) -> dict:
-        """Cluster status: degraded the moment any shard is impaired."""
+        """Cluster status: degraded the moment any shard is impaired.
+
+        Carries the same ``status`` / ``stats`` / ``sessions`` core keys
+        as the single-node backends (the
+        :class:`~repro.core.server.backend.ServingBackend` health
+        contract) — ``stats`` sums the reachable shards' ingest counters
+        and ``sessions.open`` their open sessions — plus the
+        cluster-specific ``plan`` / ``bus`` / ``breakers`` / ``shards``
+        sections.
+        """
         shards = {}
         worst = "ok"
+        stats_total: dict[str, int] = {}
+        open_sessions = 0
         for sid in sorted(self.nodes):
             if sid in self._down:
                 shards[str(sid)] = {"status": "down"}
@@ -335,8 +488,14 @@ class ClusterRouter:
             shards[str(sid)] = got
             if got.get("status") != "ok":
                 worst = "degraded"
+            for name, value in got.get("stats", {}).items():
+                if isinstance(value, int):
+                    stats_total[name] = stats_total.get(name, 0) + value
+            open_sessions += got.get("sessions", {}).get("open", 0)
         return {
             "status": worst,
+            "stats": dict(sorted(stats_total.items())),
+            "sessions": {"open": open_sessions},
             "plan": self.plan.snapshot(),
             "bus": self.bus.health(),
             "breakers": {

@@ -7,6 +7,7 @@ from repro.core.server.api import (
     TripOption,
     UnknownStopError,
 )
+from repro.core.server.backend import BACKEND_METHODS, ServingBackend
 from repro.core.server.metrics import (
     CacheStats,
     LatencyHistogram,
@@ -33,6 +34,8 @@ from repro.core.server.training import (
 
 __all__ = [
     "WiLocatorServer",
+    "ServingBackend",
+    "BACKEND_METHODS",
     "ServerStats",
     "ServerMetrics",
     "LatencyHistogram",

@@ -19,8 +19,12 @@ Design rules of the redesigned surface:
   :class:`KeyError` subclass — the seed raised bare ``KeyError`` from
   ``departures`` but silently returned ``[]`` from ``plan_trip``);
 * results are frozen dataclasses, never bare tuples of varying arity
-  (the seed's heterogeneous-tuple view is gone; ``LivePosition.as_tuple``
-  keeps a per-record escape hatch);
+  (the seed's heterogeneous-tuple view — and the ``LivePosition.as_tuple``
+  escape hatch that briefly survived it — are gone; the wire codec in
+  :mod:`repro.serving.wire` is the one serialisation surface);
+* result lists sort deterministically — ties on the primary key (ETA,
+  alighting time) break by route id then session key, so a sharded
+  deployment's merged answers are byte-identical to a single node's;
 * all lookups route through the server's
   :class:`~repro.roadnet.index.RouteIndex` instead of scanning
   ``routes x stops`` and the full session table, and each call is
@@ -101,12 +105,6 @@ class LivePosition:
     lon: float | None
     t: float
 
-    def as_tuple(self) -> tuple[float, float, float] | tuple[float, float]:
-        """The seed's heterogeneous tuple: ``(lat, lon, t)`` or ``(x, y)``."""
-        if self.lat is not None and self.lon is not None:
-            return (self.lat, self.lon, self.t)
-        return (self.x, self.y)
-
 
 class RiderAPI:
     """Trip-plan queries over a running :class:`WiLocatorServer`."""
@@ -162,7 +160,7 @@ class RiderAPI:
                 entries.extend(
                     self._departures_on_route(entry, stop_id, now, metrics)
                 )
-            entries.sort(key=lambda e: e.eta_t)
+            entries.sort(key=lambda e: (e.eta_t, e.route_id, e.session_key))
             return entries[:max_entries]
         finally:
             metrics.observe("query", time.perf_counter() - t0)
@@ -233,7 +231,9 @@ class RiderAPI:
                 options.extend(
                     self._trip_options_on_route(board, alight, now, metrics)
                 )
-            options.sort(key=lambda o: o.alight_t)
+            options.sort(
+                key=lambda o: (o.alight_t, o.board_t, o.route_id, o.session_key)
+            )
             return options
         finally:
             metrics.observe("query", time.perf_counter() - t0)

@@ -84,6 +84,21 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "cluster.shard_crashes",
     "cluster.shard_restores",
     "cluster.shard_errors",
+    # -- serving front door (PR 6); per-endpoint latency stages + counters ---
+    "serving.requests",
+    "serving.errors",
+    "serving.slo_violations",
+    "serving.scans",
+    "serving.rider_scans",
+    "serving.departures",
+    "serving.trip_plan",
+    "serving.positions",
+    "serving.position",
+    "serving.arrival",
+    "serving.sessions",
+    "serving.traffic_map",
+    "serving.health",
+    "serving.metrics",
 })
 
 # Dynamic families: the literal head of an f-string metric name must match
@@ -93,6 +108,8 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "breaker.",
     "cluster.applied_from.",
     "guard.rejected.",
+    "serving.errors.",
+    "serving.slo.",
 )
 
 

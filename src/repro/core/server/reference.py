@@ -115,7 +115,7 @@ def linear_departures(
                 distance_away_m=stop_arc - last.arc_length,
             )
         )
-    entries.sort(key=lambda e: e.eta_t)
+    entries.sort(key=lambda e: (e.eta_t, e.route_id, e.session_key))
     return entries[:max_entries]
 
 
@@ -171,7 +171,9 @@ def linear_plan_trip(
                     alight_t=p_alight.t_arrival,
                 )
             )
-    options.sort(key=lambda o: o.alight_t)
+    options.sort(
+        key=lambda o: (o.alight_t, o.board_t, o.route_id, o.session_key)
+    )
     return options
 
 

@@ -242,6 +242,15 @@ class WiLocatorServer:
             for report in sorted(reports, key=lambda r: r.t)
         ]
 
+    def flush(self) -> int:
+        """Make buffered ingest visible — a plain server buffers nothing.
+
+        Exists so every :class:`~repro.core.server.backend.ServingBackend`
+        can be flushed uniformly; the durable and cluster backends
+        implement real batch commits under the same name.
+        """
+        return 0
+
     def ingest_rider(self, report: ScanReport) -> TrajectoryPoint | None:
         """Process a rider's scan whose bus is unknown (Section V.A.1).
 

@@ -45,8 +45,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.core.arrival.predictor import ArrivalPrediction
 from repro.core.positioning.trajectory import TrajectoryPoint
 from repro.core.server.server import WiLocatorServer
+from repro.core.server.session import BusSession
+from repro.core.traffic.map import TrafficMap
 from repro.guard.breaker import CircuitBreaker
 from repro.pipeline.batcher import MicroBatcher
 from repro.pipeline.checkpoint import write_checkpoint
@@ -197,6 +200,44 @@ class DurableServer:
         self._note_committed(1)
         return fix
 
+    def ingest_many(
+        self, reports: Iterable[ScanReport], *, admitted: bool = False
+    ) -> int:
+        """Durable batch ingest; returns the accepted count.
+
+        The protocol-surface twin of :meth:`submit_many`: reports are
+        admitted, micro-batched into the WAL, and *committed before the
+        call returns* (a front-door batch must be queryable once the
+        request is acknowledged).  Before this method existed the name
+        fell through ``__getattr__`` to the wrapped server's
+        ``ingest_many`` — silently bypassing the WAL, so a crash lost
+        reports that the caller believed durable.
+
+        ``admitted=True`` marks a stream that already passed admission
+        *and* durability (recovery replay, a committed cluster batch):
+        it applies directly through the wrapped server without touching
+        admission state or the log again.
+        """
+        self._check_open()
+        if admitted:
+            return len(self.server.ingest_many(reports, admitted=True))
+        accepted = self.submit_many(reports)
+        self.batcher.flush()
+        return accepted
+
+    def ingest_rider(self, report: ScanReport) -> TrajectoryPoint | None:
+        """Rider-scan ingest (proximity grouping); served from memory.
+
+        Rider scans are advisory evidence — the grouper may or may not
+        match them to a bus, and the match depends on in-memory grouper
+        state that a replay cannot reproduce — so they are deliberately
+        *not* WAL-logged: durability covers the driver stream, which is
+        the system of record.  Explicit (rather than ``__getattr__``)
+        so the contract is visible and typed.
+        """
+        self._check_open()
+        return self.server.ingest_rider(report)
+
     def flush(self) -> int:
         """Commit any buffered batch now; returns reports committed."""
         self._check_open()
@@ -334,6 +375,37 @@ class DurableServer:
         return health
 
     # -- queries delegate to the wrapped server ------------------------------
+    #
+    # The ServingBackend query surface is delegated *explicitly* (typed,
+    # visible to mypy and to readers); __getattr__ remains only for the
+    # long tail of server attributes (routes, predictor, index, ...).
+
+    def predict_arrival(
+        self, session_key: str, stop_id: str
+    ) -> ArrivalPrediction | None:
+        return self.server.predict_arrival(session_key, stop_id)
+
+    def current_position(self, session_key: str) -> TrajectoryPoint | None:
+        return self.server.current_position(session_key)
+
+    def active_sessions(
+        self, *, now: float, timeout_s: float = 300.0
+    ) -> list[BusSession]:
+        return self.server.active_sessions(now=now, timeout_s=timeout_s)
+
+    def traffic_map(
+        self,
+        now: float,
+        segment_ids: Sequence[str] | None = None,
+        *,
+        with_anomalies: bool = True,
+    ) -> TrafficMap:
+        return self.server.traffic_map(
+            now, segment_ids, with_anomalies=with_anomalies
+        )
+
+    def metrics_snapshot(self) -> dict:
+        return self.server.metrics_snapshot()
 
     def __getattr__(self, name: str):
         return getattr(self.server, name)

@@ -1,0 +1,99 @@
+"""The closed wire-error taxonomy of the serving front door.
+
+Every failure a client can observe maps to exactly one
+:class:`WireErrorCode` with a fixed HTTP status — the taxonomy is
+*closed*: handlers may only raise :class:`WireError` with one of these
+codes, and the dispatcher converts anything else (i.e. a bug in a
+handler) to :data:`WireErrorCode.INTERNAL`.  A caller mistake can
+therefore never surface as a bare 500 with a traceback body; the worst
+case is a structured ``{"error": {"code": "internal", ...}}`` 503.
+
+The fixed statuses, chosen once and frozen:
+
+========================  ======  =============================================
+code                      status  raised when
+========================  ======  =============================================
+``bad_request``           422     malformed HTTP, bad JSON, missing/invalid
+                                  query parameters, wrong method for a path
+``rejected``              422     the admission guard refused every report in
+                                  an ingest batch (content-level rejection)
+``not_found``             404     unknown URL path, or an unknown session key
+                                  on ``/v1/position`` / ``/v1/arrival``
+``unknown_stop``          404     :class:`repro.roadnet.index.UnknownStopError`
+                                  from a rider query
+``rate_limited``          429     backpressure: the durable batcher dropped
+                                  the batch (queue full), retry later
+``unavailable``           503     breaker open / degraded storage path or a
+                                  downed shard refused the whole batch
+``internal``              503     any unexpected exception inside a handler
+========================  ======  =============================================
+
+Each error increments the ``serving.errors`` counter and the
+``serving.errors.<code>`` family (a declared
+:data:`~repro.core.server.metric_names.METRIC_PREFIXES` entry), so the
+taxonomy is observable without log scraping.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+__all__ = ["WireErrorCode", "WireError", "HTTP_STATUS_OF"]
+
+
+class WireErrorCode(Enum):
+    """Every error code the front door may put on the wire."""
+
+    BAD_REQUEST = "bad_request"
+    REJECTED = "rejected"
+    NOT_FOUND = "not_found"
+    UNKNOWN_STOP = "unknown_stop"
+    RATE_LIMITED = "rate_limited"
+    UNAVAILABLE = "unavailable"
+    INTERNAL = "internal"
+
+
+HTTP_STATUS_OF: dict[WireErrorCode, int] = {
+    WireErrorCode.BAD_REQUEST: 422,
+    WireErrorCode.REJECTED: 422,
+    WireErrorCode.NOT_FOUND: 404,
+    WireErrorCode.UNKNOWN_STOP: 404,
+    WireErrorCode.RATE_LIMITED: 429,
+    WireErrorCode.UNAVAILABLE: 503,
+    WireErrorCode.INTERNAL: 503,
+}
+
+
+class WireError(Exception):
+    """A failure with a wire representation.
+
+    Handlers raise this (never anything else) for every client-visible
+    failure; the dispatcher renders it as the canonical error body::
+
+        {"error": {"code": "<code>", "message": "...", ...detail}}
+    """
+
+    def __init__(
+        self,
+        code: WireErrorCode,
+        message: str,
+        **detail: Any,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+    @property
+    def status(self) -> int:
+        return HTTP_STATUS_OF[self.code]
+
+    def body(self) -> dict[str, Any]:
+        """The JSON error envelope sent to the client."""
+        error: dict[str, Any] = {
+            "code": self.code.value,
+            "message": self.message,
+        }
+        error.update(self.detail)
+        return {"error": error}

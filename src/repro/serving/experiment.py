@@ -1,0 +1,153 @@
+"""The serving benchmark: rising-QPS stages against two deployments.
+
+``python -m repro.cli loadgen`` runs this and writes ``BENCH_serving.json``
+— the repo's first committed benchmark artifact.  The run:
+
+1. builds a deterministic moving synth-city (buses cross segment
+   boundaries, so ingest exercises tracking + travel-time extraction,
+   not a cache);
+2. for each backend — a durable single node (WAL + micro-batcher +
+   checkpoints on a scratch dir) and a 4-shard in-memory cluster —
+   starts the asyncio front door on an ephemeral localhost port, warms
+   it with one replay of the city's reports, then fires the identical
+   pre-built open-loop schedule at it;
+3. records per-endpoint p50/p95/p99 per stage, achieved vs offered QPS
+   and the saturation verdict, and writes the combined JSON artifact.
+
+The *schedule* (request bytes, arrival offsets) is deterministic given
+the seed; the measured latencies are of course machine-dependent — the
+tier-1 artifact test checks structure (stages present, QPS monotone
+rising, percentiles ordered), never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+from repro.cluster.build import build_cluster
+from repro.cluster.plan import ShardPlan
+from repro.eval.synth_city import build_linear_city
+from repro.pipeline.durable import DurableServer
+from repro.serving.app import make_app
+from repro.serving.http import HttpServer
+from repro.serving.loadgen import (
+    StageConfig,
+    build_schedule,
+    build_workload,
+    run_schedule,
+)
+
+__all__ = ["run_serving_benchmark", "DEFAULT_STAGES", "QUICK_STAGES"]
+
+DEFAULT_STAGES: tuple[StageConfig, ...] = (
+    StageConfig(qps=50.0, duration_s=3.0),
+    StageConfig(qps=100.0, duration_s=3.0),
+    StageConfig(qps=200.0, duration_s=3.0),
+)
+
+QUICK_STAGES: tuple[StageConfig, ...] = (
+    StageConfig(qps=20.0, duration_s=1.0),
+    StageConfig(qps=40.0, duration_s=1.0),
+    StageConfig(qps=80.0, duration_s=1.0),
+)
+
+
+def _bench_city(quick: bool):
+    return build_linear_city(
+        num_routes=4 if quick else 8,
+        sessions_per_route=3 if quick else 5,
+        reports_per_session=6,
+        stops_per_route=6,
+        segments_per_route=5,
+        route_length_m=1500.0,
+        hub_every=2,
+        aps_per_route=8,
+        move_m_per_report=180.0,
+    )
+
+
+async def _drive_backend(
+    backend, stages: Sequence[StageConfig], schedule, *, concurrency: int
+) -> list[dict]:
+    app = make_app(backend)
+    server = HttpServer(app.dispatch)
+    port = await server.start()
+    try:
+        results = await run_schedule(
+            "127.0.0.1", port, stages, schedule, concurrency=concurrency
+        )
+    finally:
+        await server.stop()
+    return [r.as_dict() for r in results]
+
+
+def run_serving_benchmark(
+    out_path: str | Path,
+    *,
+    quick: bool = False,
+    seed: int = 42,
+    concurrency: int = 16,
+) -> dict:
+    """Run both backends through the ramp and write the artifact."""
+    stages = list(QUICK_STAGES if quick else DEFAULT_STAGES)
+    city = _bench_city(quick)
+
+    artifact: dict = {
+        "version": 1,
+        "benchmark": "serving_front_door",
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "concurrency": concurrency,
+            "stages": [
+                {"qps": s.qps, "duration_s": s.duration_s} for s in stages
+            ],
+            "city": dict(city.params),
+        },
+        "backends": {},
+    }
+
+    # durable single node on a scratch dir
+    twin = city.fresh_twin()
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as scratch:
+        durable = DurableServer(
+            twin.server, scratch, max_batch=64, checkpoint_every=500
+        )
+        try:
+            durable.submit_many(twin.reports)  # warm: tracked sessions exist
+            durable.flush()
+            workload = build_workload(city, seed=seed)
+            schedule = build_schedule(workload, stages)
+            artifact["backends"]["durable"] = {
+                "description": "single node, WAL + micro-batcher",
+                "stages": asyncio.run(
+                    _drive_backend(
+                        durable, stages, schedule, concurrency=concurrency
+                    )
+                ),
+            }
+        finally:
+            durable.close()
+
+    # 4-shard in-memory cluster behind the router
+    twin = city.fresh_twin()
+    plan = ShardPlan.build(twin.routes, 4)
+    router = build_cluster(twin.server, plan)
+    router.ingest_many(twin.reports)
+    router.flush()
+    workload = build_workload(city, seed=seed)
+    schedule = build_schedule(workload, stages)
+    artifact["backends"]["cluster4"] = {
+        "description": "4-shard cluster router, in-memory shards",
+        "stages": asyncio.run(
+            _drive_backend(router, stages, schedule, concurrency=concurrency)
+        ),
+    }
+
+    out = Path(out_path)
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return artifact

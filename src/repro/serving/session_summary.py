@@ -1,0 +1,24 @@
+"""The wire-facing summary of a live tracking session.
+
+:class:`~repro.core.server.session.BusSession` is server state — it owns
+a tracker, a trajectory and an incremental extractor, none of which
+belong on the wire.  ``GET /v1/sessions`` therefore serves this frozen
+projection instead; :func:`repro.serving.wire.summarize_session` builds
+it from a live session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SessionSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class SessionSummary:
+    """What a client may know about one tracked bus session."""
+
+    session_key: str
+    route_id: str
+    reports_seen: int
+    last_report_t: float | None

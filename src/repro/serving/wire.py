@@ -1,0 +1,309 @@
+"""The one serialisation surface for every result type the API returns.
+
+Every dataclass a :class:`~repro.core.server.backend.ServingBackend` or
+:class:`~repro.core.server.api.RiderAPI` hands back crosses the wire
+through this module — :func:`to_wire` produces a JSON-safe,
+``"kind"``-tagged dict and :func:`from_wire` inverts it exactly
+(``from_wire(to_wire(x)) == x`` for every supported type; the property
+test in ``tests/serving/test_wire.py`` enforces it with hypothesis).
+
+This replaces the ad-hoc tuple views the seed grew
+(``LivePosition.as_tuple`` is deleted in this PR): clients get one
+stable envelope per type, and adding a field to a dataclass changes one
+encoder here instead of breaking positional unpacking everywhere.
+
+Scan reports reuse the WAL's codec
+(:func:`repro.pipeline.wal.report_to_dict`) so the HTTP ingest body and
+the durable log speak the same dialect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.arrival.predictor import ArrivalPrediction
+from repro.core.positioning.trajectory import TrajectoryPoint
+from repro.core.server.api import DepartureEntry, LivePosition, TripOption
+from repro.core.server.session import BusSession
+from repro.core.traffic.anomaly import Anomaly
+from repro.core.traffic.classifier import SegmentStatus
+from repro.core.traffic.map import SegmentState, TrafficMap
+from repro.geometry import Point
+from repro.pipeline.wal import report_from_dict, report_to_dict
+from repro.sensing.reports import ScanReport
+from repro.serving.session_summary import SessionSummary
+
+__all__ = ["to_wire", "from_wire", "WIRE_KINDS", "SessionSummary"]
+
+
+# -- encoders ----------------------------------------------------------------
+
+
+def _enc_departure(e: DepartureEntry) -> dict[str, Any]:
+    return {
+        "kind": "departure",
+        "route": e.route_id,
+        "session": e.session_key,
+        "stop": e.stop_id,
+        "eta_t": e.eta_t,
+        "eta_in_s": e.eta_in_s,
+        "distance_away_m": e.distance_away_m,
+    }
+
+
+def _enc_trip_option(o: TripOption) -> dict[str, Any]:
+    return {
+        "kind": "trip_option",
+        "route": o.route_id,
+        "session": o.session_key,
+        "board_stop": o.board_stop_id,
+        "alight_stop": o.alight_stop_id,
+        "board_t": o.board_t,
+        "alight_t": o.alight_t,
+    }
+
+
+def _enc_live_position(p: LivePosition) -> dict[str, Any]:
+    return {
+        "kind": "live_position",
+        "session": p.session_key,
+        "route": p.route_id,
+        "x": p.x,
+        "y": p.y,
+        "lat": p.lat,
+        "lon": p.lon,
+        "t": p.t,
+    }
+
+
+def _enc_arrival(a: ArrivalPrediction) -> dict[str, Any]:
+    return {
+        "kind": "arrival",
+        "route": a.route_id,
+        "stop": a.stop_id,
+        "t_query": a.t_query,
+        "t_arrival": a.t_arrival,
+        "segments_ahead": a.segments_ahead,
+        "stops_ahead": a.stops_ahead,
+    }
+
+
+def _enc_trajectory_point(p: TrajectoryPoint) -> dict[str, Any]:
+    return {
+        "kind": "trajectory_point",
+        "t": p.t,
+        "arc_length": p.arc_length,
+        "x": p.point.x,
+        "y": p.point.y,
+        "method": p.method,
+    }
+
+
+def _enc_session_summary(s: SessionSummary) -> dict[str, Any]:
+    return {
+        "kind": "session",
+        "session": s.session_key,
+        "route": s.route_id,
+        "reports_seen": s.reports_seen,
+        "last_report_t": s.last_report_t,
+    }
+
+
+def _enc_segment_state(s: SegmentState) -> dict[str, Any]:
+    return {
+        "kind": "segment_state",
+        "segment": s.segment_id,
+        "status": s.status.value,
+        "age_s": s.age_s,
+        "inferred": s.inferred,
+    }
+
+
+def _enc_anomaly(a: Anomaly) -> dict[str, Any]:
+    return {
+        "kind": "anomaly",
+        "route": a.route_id,
+        "segment": a.segment_id,
+        "arc_start": a.arc_start,
+        "arc_end": a.arc_end,
+        "t_start": a.t_start,
+        "t_end": a.t_end,
+    }
+
+
+def _enc_traffic_map(m: TrafficMap) -> dict[str, Any]:
+    return {
+        "kind": "traffic_map",
+        "t": m.t,
+        # sorted for a byte-stable wire form regardless of insertion order
+        "states": [
+            _enc_segment_state(m.states[sid]) for sid in sorted(m.states)
+        ],
+        "anomalies": [_enc_anomaly(a) for a in m.anomalies],
+    }
+
+
+def _enc_scan_report(r: ScanReport) -> dict[str, Any]:
+    wired = report_to_dict(r)
+    wired["kind"] = "scan_report"
+    return wired
+
+
+# -- decoders ----------------------------------------------------------------
+
+
+def _dec_departure(d: Mapping[str, Any]) -> DepartureEntry:
+    return DepartureEntry(
+        route_id=d["route"],
+        session_key=d["session"],
+        stop_id=d["stop"],
+        eta_t=float(d["eta_t"]),
+        eta_in_s=float(d["eta_in_s"]),
+        distance_away_m=float(d["distance_away_m"]),
+    )
+
+
+def _dec_trip_option(d: Mapping[str, Any]) -> TripOption:
+    return TripOption(
+        route_id=d["route"],
+        session_key=d["session"],
+        board_stop_id=d["board_stop"],
+        alight_stop_id=d["alight_stop"],
+        board_t=float(d["board_t"]),
+        alight_t=float(d["alight_t"]),
+    )
+
+
+def _dec_live_position(d: Mapping[str, Any]) -> LivePosition:
+    return LivePosition(
+        session_key=d["session"],
+        route_id=d["route"],
+        x=float(d["x"]),
+        y=float(d["y"]),
+        lat=None if d["lat"] is None else float(d["lat"]),
+        lon=None if d["lon"] is None else float(d["lon"]),
+        t=float(d["t"]),
+    )
+
+
+def _dec_arrival(d: Mapping[str, Any]) -> ArrivalPrediction:
+    return ArrivalPrediction(
+        route_id=d["route"],
+        stop_id=d["stop"],
+        t_query=float(d["t_query"]),
+        t_arrival=float(d["t_arrival"]),
+        segments_ahead=int(d["segments_ahead"]),
+        stops_ahead=int(d["stops_ahead"]),
+    )
+
+
+def _dec_trajectory_point(d: Mapping[str, Any]) -> TrajectoryPoint:
+    return TrajectoryPoint(
+        t=float(d["t"]),
+        arc_length=float(d["arc_length"]),
+        point=Point(float(d["x"]), float(d["y"])),
+        method=d["method"],
+    )
+
+
+def _dec_session_summary(d: Mapping[str, Any]) -> SessionSummary:
+    return SessionSummary(
+        session_key=d["session"],
+        route_id=d["route"],
+        reports_seen=int(d["reports_seen"]),
+        last_report_t=(
+            None if d["last_report_t"] is None else float(d["last_report_t"])
+        ),
+    )
+
+
+def _dec_segment_state(d: Mapping[str, Any]) -> SegmentState:
+    return SegmentState(
+        segment_id=d["segment"],
+        status=SegmentStatus(d["status"]),
+        age_s=None if d["age_s"] is None else float(d["age_s"]),
+        inferred=bool(d["inferred"]),
+    )
+
+
+def _dec_anomaly(d: Mapping[str, Any]) -> Anomaly:
+    return Anomaly(
+        route_id=d["route"],
+        segment_id=d["segment"],
+        arc_start=float(d["arc_start"]),
+        arc_end=float(d["arc_end"]),
+        t_start=float(d["t_start"]),
+        t_end=float(d["t_end"]),
+    )
+
+
+def _dec_traffic_map(d: Mapping[str, Any]) -> TrafficMap:
+    states = [_dec_segment_state(s) for s in d["states"]]
+    return TrafficMap(
+        t=float(d["t"]),
+        states={s.segment_id: s for s in states},
+        anomalies=[_dec_anomaly(a) for a in d["anomalies"]],
+    )
+
+
+def _dec_scan_report(d: Mapping[str, Any]) -> ScanReport:
+    return report_from_dict({k: v for k, v in d.items() if k != "kind"})
+
+
+_ENCODERS: dict[type, Callable[[Any], dict[str, Any]]] = {
+    DepartureEntry: _enc_departure,
+    TripOption: _enc_trip_option,
+    LivePosition: _enc_live_position,
+    ArrivalPrediction: _enc_arrival,
+    TrajectoryPoint: _enc_trajectory_point,
+    SessionSummary: _enc_session_summary,
+    SegmentState: _enc_segment_state,
+    Anomaly: _enc_anomaly,
+    TrafficMap: _enc_traffic_map,
+    ScanReport: _enc_scan_report,
+}
+
+_DECODERS: dict[str, Callable[[Mapping[str, Any]], Any]] = {
+    "departure": _dec_departure,
+    "trip_option": _dec_trip_option,
+    "live_position": _dec_live_position,
+    "arrival": _dec_arrival,
+    "trajectory_point": _dec_trajectory_point,
+    "session": _dec_session_summary,
+    "segment_state": _dec_segment_state,
+    "anomaly": _dec_anomaly,
+    "traffic_map": _dec_traffic_map,
+    "scan_report": _dec_scan_report,
+}
+
+WIRE_KINDS: frozenset[str] = frozenset(_DECODERS)
+
+
+def to_wire(obj: Any) -> dict[str, Any]:
+    """Encode one API result dataclass as a JSON-safe tagged dict."""
+    encoder = _ENCODERS.get(type(obj))
+    if encoder is None:
+        raise TypeError(f"no wire codec for {type(obj).__name__}")
+    return encoder(obj)
+
+
+def from_wire(data: Mapping[str, Any]) -> Any:
+    """Decode a tagged wire dict back to its dataclass (exact inverse)."""
+    try:
+        kind = data["kind"]
+    except (KeyError, TypeError):
+        raise ValueError("wire payload has no 'kind' tag") from None
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise ValueError(f"unknown wire kind {kind!r}")
+    return decoder(data)
+
+
+def summarize_session(session: BusSession) -> SessionSummary:
+    """The wire-facing view of one live server session."""
+    return SessionSummary(
+        session_key=session.session_key,
+        route_id=session.route_id,
+        reports_seen=session.reports_seen,
+        last_report_t=session.last_report_t,
+    )

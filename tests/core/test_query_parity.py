@@ -108,7 +108,7 @@ class TestQueryParity:
         api, server, now = setup["api"], setup["server"], setup["now"]
         typed = api.live_positions(now=now)
         assert {
-            k: v.as_tuple() for k, v in typed.items()
+            k: (v.x, v.y) for k, v in typed.items()
         } == linear_live_positions(server, now)
         assert len(typed) >= 1
 
@@ -118,5 +118,5 @@ class TestQueryParity:
         now = setup["now"]
         typed = api.live_positions(now=now)
         assert {
-            k: v.as_tuple() for k, v in typed.items()
+            k: (v.lat, v.lon, v.t) for k, v in typed.items()
         } == linear_live_positions(setup["server"], now, projection=proj)

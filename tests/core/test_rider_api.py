@@ -113,7 +113,6 @@ class TestLivePositions:
         assert pos.route_id == "r1"
         assert 0.0 <= pos.x <= 1000.0
         assert pos.lat is None and pos.lon is None
-        assert pos.as_tuple() == (pos.x, pos.y)
 
     def test_geo_positions(self, setup):
         proj = LocalProjection(GeoPoint(49.26, -123.14))
@@ -122,10 +121,10 @@ class TestLivePositions:
         pos, = positions.values()
         assert 49.0 < pos.lat < 49.5
         assert pos.t <= setup["now"]
-        assert pos.as_tuple() == (pos.lat, pos.lon, pos.t)
 
     def test_tuple_shim_removed(self):
         assert not hasattr(RiderAPI, "live_positions_tuples")
+        assert not hasattr(LivePosition, "as_tuple")
 
     def test_stops_named_and_of_route(self, setup):
         api = RiderAPI(setup["server"])

@@ -72,7 +72,7 @@ def test_plan_trip_reduction_and_parity(city):
 def test_live_positions_parity(city):
     typed = city.api.live_positions(now=city.now)
     linear = linear_live_positions(city.server, city.now)
-    assert {k: v.as_tuple() for k, v in typed.items()} == linear
+    assert {k: (v.x, v.y) for k, v in typed.items()} == linear
 
 
 def test_cache_hits_after_warm_replay(city):

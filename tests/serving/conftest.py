@@ -1,0 +1,71 @@
+"""Shared fixtures for the serving front-door suite.
+
+The module-scoped ``city`` is a blueprint (never ingested): moving buses
+over a few hub-sharing linear routes, small enough that tests needing a
+live system can rebuild all three deployment shapes per test.  The
+``trio`` fixture is that rebuild — one plain in-memory server, one
+durable pipeline and one 4-shard cluster, each over its own fresh twin
+so the conformance suite can drive the identical request stream into
+all three and diff the response bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import ShardPlan, build_cluster
+from repro.eval.synth_city import build_linear_city
+from repro.pipeline import DurableServer
+
+
+@pytest.fixture(scope="module")
+def city():
+    """Moving buses on 4 linear routes, two of them through the hub."""
+    return build_linear_city(
+        num_routes=4,
+        sessions_per_route=5,
+        reports_per_session=6,
+        stops_per_route=6,
+        segments_per_route=5,
+        route_length_m=1500.0,
+        hub_every=2,
+        aps_per_route=8,
+        move_m_per_report=180.0,
+    )
+
+
+@pytest.fixture()
+def trio(city, tmp_path):
+    """All three deployment shapes, fresh and unwarmed, keyed by name."""
+    durable = DurableServer(
+        city.fresh_twin().server, tmp_path / "wal", max_batch=64
+    )
+    twin_c = city.fresh_twin()
+    cluster = build_cluster(
+        twin_c.server, ShardPlan.build(twin_c.routes, 4)
+    )
+    backends = {
+        "plain": city.fresh_twin().server,
+        "durable": durable,
+        "cluster": cluster,
+    }
+    yield backends
+    durable.close()
+
+
+def http_request(method: str, path: str, body: bytes = b"") -> bytes:
+    """Raw HTTP/1.1 request bytes, the way the load generator builds them."""
+    head = f"{method} {path} HTTP/1.1\r\n"
+    if body:
+        head += f"Content-Length: {len(body)}\r\n"
+    head += "\r\n"
+    return head.encode("latin-1") + body
+
+
+def parse_response(raw: bytes) -> tuple[int, dict]:
+    """(status, decoded JSON body) of one response's bytes."""
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body)

@@ -1,0 +1,122 @@
+"""ServingApp behaviour that isn't byte-diffable across backends:
+
+SLO accounting, error counters, the internal-error fallback, and the
+agreement between the endpoint table and the metric-name registry.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.server.metric_names import is_declared
+from repro.pipeline.wal import report_to_dict
+from repro.serving import ENDPOINTS, HttpServer, make_app
+
+from tests.serving.conftest import http_request, parse_response
+
+pytestmark = pytest.mark.serving
+
+
+def _app_for(city):
+    return make_app(city.fresh_twin().server)
+
+
+def _scan_request(reports) -> bytes:
+    body = json.dumps(
+        {"reports": [report_to_dict(r) for r in reports]},
+        separators=(",", ":"),
+    ).encode()
+    return http_request("POST", "/v1/scans", body)
+
+
+class TestEndpointTable:
+    def test_every_stage_is_a_declared_metric(self):
+        for ep in ENDPOINTS:
+            assert is_declared(ep.stage), ep.name
+
+    def test_every_slo_family_is_declared(self):
+        for ep in ENDPOINTS:
+            assert is_declared(f"serving.slo.{ep.name}")
+
+    def test_names_and_paths_are_unique(self):
+        assert len({ep.name for ep in ENDPOINTS}) == len(ENDPOINTS)
+        assert len({(ep.method, ep.path) for ep in ENDPOINTS}) == len(
+            ENDPOINTS
+        )
+
+
+class TestSloAccounting:
+    def test_violation_counters_fire(self, city):
+        # an impossible 0-second SLO on /health makes every hit a breach
+        app = make_app(city.fresh_twin().server, slos={"health": 0.0})
+        HttpServer(app.dispatch).handle_bytes(http_request("GET", "/health"))
+        counters = app.metrics.snapshot()["counters"]
+        assert counters["serving.slo_violations"] == 1
+        assert counters["serving.slo.health"] == 1
+
+    def test_fast_requests_do_not_breach(self, city):
+        app = _app_for(city)
+        HttpServer(app.dispatch).handle_bytes(http_request("GET", "/health"))
+        counters = app.metrics.snapshot()["counters"]
+        assert counters.get("serving.slo_violations", 0) == 0
+
+    def test_latency_recorded_under_the_stage_name(self, city):
+        app = _app_for(city)
+        HttpServer(app.dispatch).handle_bytes(http_request("GET", "/health"))
+        latency = app.metrics.snapshot()["latency"]
+        assert latency["serving.health"]["count"] == 1
+
+
+class TestErrorAccounting:
+    def test_error_counters_split_by_code(self, city):
+        app = _app_for(city)
+        server = HttpServer(app.dispatch)
+        server.handle_bytes(http_request("GET", "/v1/nope"))
+        server.handle_bytes(http_request("POST", "/v1/scans", b"{bad"))
+        counters = app.metrics.snapshot()["counters"]
+        assert counters["serving.errors"] == 2
+        assert counters["serving.errors.not_found"] == 1
+        assert counters["serving.errors.bad_request"] == 1
+
+    def test_duplicate_ingest_is_a_422_rejected(self, city):
+        app = _app_for(city)
+        server = HttpServer(app.dispatch)
+        raw = _scan_request(city.reports)
+        status, body = parse_response(server.handle_bytes(raw))
+        assert status == 200 and body["accepted"] == len(city.reports)
+        status, body = parse_response(server.handle_bytes(raw))
+        assert status == 422
+        assert body["error"]["code"] == "rejected"
+        assert body["error"]["submitted"] == len(city.reports)
+
+    def test_handler_bug_becomes_structured_internal(self, city, monkeypatch):
+        app = _app_for(city)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("backend exploded")
+
+        monkeypatch.setattr(app.backend, "health", boom)
+        status, body = parse_response(
+            HttpServer(app.dispatch).handle_bytes(
+                http_request("GET", "/health")
+            )
+        )
+        assert status == 503
+        assert body["error"]["code"] == "internal"
+        assert "RuntimeError" in body["error"]["message"]
+        assert "backend exploded" not in json.dumps(body)  # no leak
+
+    def test_metrics_endpoint_reports_both_planes(self, city):
+        app = _app_for(city)
+        server = HttpServer(app.dispatch)
+        server.handle_bytes(_scan_request(city.reports))
+        status, body = parse_response(
+            server.handle_bytes(http_request("GET", "/metrics"))
+        )
+        assert status == 200
+        assert body["serving"]["counters"]["serving.requests"] == 2
+        assert body["backend"]["counters"]["ingest.reports"] == len(
+            city.reports
+        )

@@ -1,0 +1,80 @@
+"""The committed BENCH_serving.json artifact stays well-formed.
+
+Tier-1 gate for the first committed benchmark: the artifact must exist
+at the repo root, parse, and describe a rising-QPS ramp over both
+deployment shapes (durable pipeline and 4-shard cluster) with sane
+percentile ordering.  Regenerate with::
+
+    python -m repro.cli loadgen --out BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.serving
+
+ARTIFACT = Path(__file__).resolve().parents[2] / "BENCH_serving.json"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    assert ARTIFACT.is_file(), (
+        "BENCH_serving.json is missing from the repo root; regenerate it "
+        "with `python -m repro.cli loadgen --out BENCH_serving.json`"
+    )
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestArtifactShape:
+    def test_versioned_and_named(self, bench):
+        assert bench["version"] == 1
+        assert bench["benchmark"] == "serving_front_door"
+        assert "config" in bench
+
+    def test_both_deployment_shapes_present(self, bench):
+        assert set(bench["backends"]) >= {"durable", "cluster4"}
+
+    def test_rising_qps_ramp(self, bench):
+        for name, entry in bench["backends"].items():
+            stages = entry["stages"]
+            assert len(stages) >= 3, name
+            offered = [s["offered_qps"] for s in stages]
+            assert offered == sorted(offered), name
+            assert all(b > a for a, b in zip(offered, offered[1:])), name
+
+    def test_every_stage_completed_work(self, bench):
+        for name, entry in bench["backends"].items():
+            stages = entry["stages"]
+            for stage in stages:
+                assert stage["completed"] > 0, name
+                assert stage["scheduled"] >= stage["completed"], name
+
+    def test_percentiles_are_ordered(self, bench):
+        for name, entry in bench["backends"].items():
+            stages = entry["stages"]
+            for stage in stages:
+                for ep, stats in stage["endpoints"].items():
+                    assert (
+                        0.0
+                        <= stats["p50_ms"]
+                        <= stats["p95_ms"]
+                        <= stats["p99_ms"]
+                        <= stats["max_ms"]
+                    ), (name, ep)
+
+    def test_endpoint_mix_covered(self, bench):
+        for name, entry in bench["backends"].items():
+            stages = entry["stages"]
+            seen = set()
+            for stage in stages:
+                seen |= set(stage["endpoints"])
+            assert seen >= {
+                "scans",
+                "departures",
+                "positions",
+                "trip_plan",
+            }, name

@@ -1,0 +1,81 @@
+"""The closed wire-error taxonomy: fixed codes, frozen statuses.
+
+Pins the shape clients program against: exactly these seven codes,
+statuses drawn only from {404, 422, 429, 503} (never a bare 500), the
+canonical ``{"error": {...}}`` envelope, and an observable metric family
+(``serving.errors.<code>``) declared in the metric-name registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.server.metric_names import is_declared
+from repro.serving import HTTP_STATUS_OF, WireError, WireErrorCode
+
+pytestmark = pytest.mark.serving
+
+
+class TestTaxonomyIsClosed:
+    def test_exactly_these_codes(self):
+        assert {c.value for c in WireErrorCode} == {
+            "bad_request",
+            "rejected",
+            "not_found",
+            "unknown_stop",
+            "rate_limited",
+            "unavailable",
+            "internal",
+        }
+
+    def test_every_code_has_a_status(self):
+        assert set(HTTP_STATUS_OF) == set(WireErrorCode)
+
+    def test_statuses_are_frozen(self):
+        assert HTTP_STATUS_OF == {
+            WireErrorCode.BAD_REQUEST: 422,
+            WireErrorCode.REJECTED: 422,
+            WireErrorCode.NOT_FOUND: 404,
+            WireErrorCode.UNKNOWN_STOP: 404,
+            WireErrorCode.RATE_LIMITED: 429,
+            WireErrorCode.UNAVAILABLE: 503,
+            WireErrorCode.INTERNAL: 503,
+        }
+
+    def test_no_bare_500_is_possible(self):
+        assert set(HTTP_STATUS_OF.values()) <= {404, 422, 429, 503}
+        assert 500 not in HTTP_STATUS_OF.values()
+
+
+class TestWireError:
+    def test_envelope_shape(self):
+        err = WireError(
+            WireErrorCode.RATE_LIMITED, "queue full", submitted=64
+        )
+        assert err.status == 429
+        assert err.body() == {
+            "error": {
+                "code": "rate_limited",
+                "message": "queue full",
+                "submitted": 64,
+            }
+        }
+
+    def test_message_doubles_as_exception_text(self):
+        err = WireError(WireErrorCode.NOT_FOUND, "no such session")
+        assert str(err) == "no such session"
+
+    def test_detail_cannot_shadow_the_code(self):
+        # keyword detail rides alongside code/message in the envelope;
+        # Python itself forbids shadowing the positional ``code``
+        with pytest.raises(TypeError):
+            WireError(WireErrorCode.NOT_FOUND, "x", code="spoofed")
+
+
+class TestObservability:
+    def test_every_code_counter_is_declared(self):
+        for code in WireErrorCode:
+            assert is_declared(f"serving.errors.{code.value}")
+
+    def test_aggregate_counter_is_declared(self):
+        assert is_declared("serving.errors")
