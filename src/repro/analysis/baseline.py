@@ -10,6 +10,12 @@ The file format is JSON with an explicit ``version`` so future schema
 changes can migrate instead of silently misreading; serialisation is
 canonical (entries sorted, 2-space indent, trailing newline) so the file
 diffs cleanly and round-trips exactly.
+
+``--write-baseline`` stamps new entries with
+:data:`PLACEHOLDER_JUSTIFICATION`; such an entry is a *reminder*, not a
+suppression — it never matches a finding, so the finding stays active
+(gate red) and the entry reads as stale until a human replaces the
+placeholder with a real justification.
 """
 
 from __future__ import annotations
@@ -22,6 +28,11 @@ from typing import Iterable
 from repro.analysis.findings import Finding
 
 BASELINE_VERSION = 1
+
+#: What ``--write-baseline`` stamps on new entries.  An entry still
+#: carrying it suppresses nothing: grandfathering requires writing down
+#: *why*, and the placeholder is by definition not a why.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify or fix"
 
 
 class BaselineError(ValueError):
@@ -38,6 +49,8 @@ class BaselineEntry:
     justification: str
 
     def suppresses(self, finding: Finding) -> bool:
+        if self.justification == PLACEHOLDER_JUSTIFICATION:
+            return False
         return (
             self.rule == finding.rule_id
             and self.file == finding.file

@@ -11,6 +11,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.baseline import (
+    PLACEHOLDER_JUSTIFICATION,
     Baseline,
     BaselineEntry,
     BaselineError,
@@ -58,7 +59,8 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=(
             "rewrite the baseline to cover every current finding (existing "
-            "justifications are kept; new entries get a TODO placeholder)"
+            "justifications are kept; new entries get a TODO placeholder, "
+            "which suppresses nothing until a human justifies it)"
         ),
     )
     parser.add_argument(
@@ -101,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
                 rule=f.rule_id,
                 file=f.file,
                 match=f.message,
-                justification="TODO: justify or fix",
+                justification=PLACEHOLDER_JUSTIFICATION,
             )
             for f in result.findings
         )

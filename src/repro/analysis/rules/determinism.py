@@ -10,7 +10,8 @@ makes that order differ between the original process and the replaying
 one).
 
 The rule therefore bans, inside ``core``, ``pipeline``, ``guard``,
-``cluster`` and ``eval``:
+``cluster``, ``eval`` and ``lifecycle`` (retrain cadence and promotion
+decisions must replay from the report stream alone):
 
 * ``time.time`` / ``time.time_ns`` (event time must come from reports;
   ``time.perf_counter`` stays legal — latency histograms are
@@ -32,7 +33,9 @@ from typing import Iterable
 
 from repro.analysis.findings import FileContext, Finding, dotted_name, import_aliases
 
-DETERMINISTIC_PACKAGES = frozenset({"core", "pipeline", "guard", "cluster", "eval"})
+DETERMINISTIC_PACKAGES = frozenset(
+    {"core", "pipeline", "guard", "cluster", "eval", "lifecycle"}
+)
 
 _BANNED_EXACT = {
     "time.time": "wall-clock read; derive event time from report timestamps",

@@ -1,9 +1,9 @@
 """WL004 — the package import DAG points strictly downward.
 
 Contract (ROADMAP architecture): the spine is
-``geometry/roadnet/radio/sensing -> core -> pipeline/guard -> cluster ->
-serving -> cli``; refactoring "freely and aggressively" stays safe only
-while the
+``geometry/roadnet/radio/sensing -> core -> pipeline/guard ->
+lifecycle -> eval -> cluster -> serving -> cli``; refactoring "freely
+and aggressively" stays safe only while the
 layering holds, because an upward edge makes the lower layer untestable
 in isolation and invites import cycles that break lazy recovery paths.
 
@@ -40,10 +40,11 @@ LAYER_RANKS: dict[str, int] = {
     "baselines": 6,
     "guard": 6,
     "pipeline": 7,
-    "eval": 8,
-    "cluster": 9,
-    "serving": 10,
-    "cli": 11,
+    "lifecycle": 8,
+    "eval": 9,
+    "cluster": 10,
+    "serving": 11,
+    "cli": 12,
 }
 
 

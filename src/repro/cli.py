@@ -49,6 +49,20 @@ over the same synthetic city:
 both the durable and 4-shard deployments and writes the per-endpoint
 latency artifact.
 
+The model lifecycle (:mod:`repro.lifecycle`) is driven by one
+subcommand with ``--action`` (registry state persists under
+``--registry-dir``, default ``./wilocator-models``):
+
+    python -m repro.cli lifecycle --action status
+    python -m repro.cli lifecycle --action retrain
+    python -m repro.cli lifecycle --action promote
+    python -m repro.cli lifecycle --action rollback
+    python -m repro.cli lifecycle --action bench --out BENCH_lifecycle.json
+
+``bench`` runs the regime-change drill (frozen-model decay -> shadow
+detection -> gated promotion -> byte-identical rollback) and writes the
+committed ``BENCH_lifecycle.json`` artifact.
+
 ``analyze`` runs the AST-based invariant checker (:mod:`repro.analysis`,
 rules WL001–WL005) over the given paths and exits non-zero on any
 non-baselined finding:
@@ -515,7 +529,8 @@ def run_loadgen_cmd(args) -> None:
     """
     from repro.serving.experiment import run_serving_benchmark
 
-    artifact = run_serving_benchmark(args.out, quick=args.quick)
+    out = args.out or "BENCH_serving.json"
+    artifact = run_serving_benchmark(out, quick=args.quick)
     if getattr(args, "json", False):
         import json
 
@@ -534,7 +549,134 @@ def run_loadgen_cmd(args) -> None:
                 f"errors={stage['errors']}, worst p99={worst:.2f} ms"
                 f"{'  [SATURATED]' if stage['saturated'] else ''}"
             )
-    print(f"  wrote {args.out}")
+    print(f"  wrote {out}")
+
+
+def run_lifecycle_cmd(args) -> None:
+    """Model-lifecycle operations against the registry at ``--registry-dir``.
+
+    Every action rebuilds the deterministic synthetic city as the live
+    server; the registry directory is the state that persists between
+    invocations (snapshots, manifest, serving/previous pointers):
+
+    * ``status``   — replay the city, print the manager's full status;
+    * ``retrain``  — replay, refit a candidate from the live window and
+      snapshot it into the registry;
+    * ``promote``  — replay the first half, retrain, shadow-score the
+      candidate on the second half, then run the real promotion gate;
+    * ``rollback`` — re-point serving to the previous version (the
+      reinstalled model is byte-identical to the pre-promotion snapshot);
+    * ``bench``    — run the regime-change drill end to end and write
+      the ``BENCH_lifecycle.json`` artifact to ``--out``.
+    """
+    import json
+
+    from repro.lifecycle import (
+        LifecycleConfig,
+        LifecycleManager,
+        ModelRegistry,
+        RetrainConfig,
+    )
+
+    if args.action == "bench":
+        import tempfile
+
+        from repro.eval.regime import bench_artifact, run_regime_change
+
+        with tempfile.TemporaryDirectory() as tmp:
+            result = run_regime_change(tmp, quick=args.quick)
+        artifact = bench_artifact(result)
+        out = args.out or "BENCH_lifecycle.json"
+        with open(out, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        if getattr(args, "json", False):
+            print(json.dumps(artifact, indent=2, sort_keys=True))
+        else:
+            drill = artifact["drill"]
+            print(
+                f"  pre-shift MAE {drill['pre_shift_mae_s']:.1f} s -> "
+                f"frozen {drill['post_shift_frozen_mae_s']:.1f} s -> "
+                f"promoted {drill['post_promotion_mae_s']:.1f} s"
+            )
+            print(
+                f"  shadow: candidate {drill['shadow']['candidate_mae_s']:.1f} s "
+                f"vs serving {drill['shadow']['serving_mae_s']:.1f} s over "
+                f"{drill['shadow']['samples']} samples; "
+                f"{drill['drift_alarms']} drift alarms"
+            )
+            print(
+                f"  {drill['bootstrap_version']} -> {drill['promoted_version']} "
+                f"promoted; rollback byte-identical: "
+                f"{drill['rollback_byte_identical']}"
+            )
+        print(f"  wrote {out}")
+        return
+
+    city = _durable_city(args.quick)
+    registry = ModelRegistry(args.registry_dir)
+    manager = LifecycleManager(
+        city.server,
+        registry,
+        LifecycleConfig(
+            retrain=RetrainConfig(min_records=10),
+            min_shadow_samples=5,
+            auto_retrain=False,
+        ),
+    )
+    if registry.serving_version is not None:
+        manager.install_serving()
+    manager.attach()
+    reports = sorted(city.reports, key=lambda r: (r.t, r.session_key))
+
+    if args.action == "rollback":
+        try:
+            result = manager.rollback()
+        except ValueError as exc:
+            print(f"  rollback refused: {exc}")
+            return
+        print(f"  serving rolled back to {result['version']}")
+        print(f"  previous (re-rollback target): {registry.previous_version}")
+        return
+
+    if args.action == "status":
+        city.server.ingest_many(reports)
+        print(json.dumps(manager.status(), indent=2, sort_keys=True))
+        return
+
+    if args.action == "retrain":
+        city.server.ingest_many(reports)
+        result = manager.retrain()
+        if not result["ok"]:
+            print(f"  retrain skipped: {result['reason']}")
+            return
+        meta = result["meta"]
+        print(
+            f"  candidate {result['version']}: {meta['records']} records "
+            f"over {meta['segments']} segments "
+            f"({meta['fresh_records']} fresh, {meta['carried_records']} carried)"
+        )
+        print(f"  registry: {args.registry_dir} now holds {registry.versions()}")
+        return
+
+    # promote: retrain on the first half, shadow-score on the second,
+    # then the real gate decides.
+    half = len(reports) // 2
+    city.server.ingest_many(reports[:half])
+    retrained = manager.retrain()
+    if not retrained["ok"]:
+        print(f"  retrain skipped: {retrained['reason']}")
+        return
+    city.server.ingest_many(reports[half:])
+    result = manager.try_promote()
+    print(f"  gate: {result['reason']}")
+    if result["ok"]:
+        print(
+            f"  promoted {result['version']}; rollback target: "
+            f"{registry.previous_version}"
+        )
+    else:
+        print("  candidate kept in shadow (not promoted)")
 
 
 SERVING_CMDS = {
@@ -545,6 +687,10 @@ SERVING_CMDS = {
     "loadgen": (
         "Open-loop serving benchmark -> BENCH_serving.json",
         run_loadgen_cmd,
+    ),
+    "lifecycle": (
+        "Model lifecycle: status/retrain/promote/rollback/bench",
+        run_lifecycle_cmd,
     ),
 }
 
@@ -635,8 +781,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_serving.json",
-        help="output artifact path for 'loadgen'",
+        default=None,
+        help=(
+            "output artifact path (loadgen -> BENCH_serving.json, "
+            "lifecycle bench -> BENCH_lifecycle.json)"
+        ),
+    )
+    parser.add_argument(
+        "--action",
+        choices=("status", "retrain", "promote", "rollback", "bench"),
+        default="status",
+        help="what the 'lifecycle' subcommand does",
+    )
+    parser.add_argument(
+        "--registry-dir",
+        default="./wilocator-models",
+        help="model registry directory for 'lifecycle'",
     )
     args = parser.parse_args(argv)
 

@@ -492,10 +492,24 @@ class ClusterRouter:
                 if isinstance(value, int):
                     stats_total[name] = stats_total.get(name, 0) + value
             open_sessions += got.get("sessions", {}).get("open", 0)
+        # One model version when every reachable shard agrees; "mixed"
+        # mid-rollout; "unknown" when no shard could be asked at all.
+        versions = {
+            shard.get("lifecycle", {}).get("model_version")
+            for shard in shards.values()
+            if "lifecycle" in shard
+        }
+        if not versions:
+            model_version = "unknown"
+        elif len(versions) == 1:
+            model_version = next(iter(versions))
+        else:
+            model_version = "mixed"
         return {
             "status": worst,
             "stats": dict(sorted(stats_total.items())),
             "sessions": {"open": open_sessions},
+            "lifecycle": {"model_version": model_version},
             "plan": self.plan.snapshot(),
             "bus": self.bus.health(),
             "breakers": {

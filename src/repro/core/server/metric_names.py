@@ -29,6 +29,7 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "batch_flush",
     "checkpoint",
     "replay",
+    "retrain",
     # -- core server ingest / query counters ---------------------------------
     "ingest.reports",
     "ingest.unroutable",
@@ -99,6 +100,19 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "serving.traffic_map",
     "serving.health",
     "serving.metrics",
+    "serving.models",
+    # -- model lifecycle (PR 7): retrain / shadow / promotion / drift --------
+    "lifecycle.installs",
+    "lifecycle.retrains",
+    "lifecycle.retrain_skipped",
+    "lifecycle.snapshots_written",
+    "lifecycle.promotions",
+    "lifecycle.promotions_rejected",
+    "lifecycle.rollbacks",
+    "lifecycle.shadow_samples",
+    "lifecycle.shadow_queries",
+    "lifecycle.shadow_query_misses",
+    "lifecycle.drift_alarms",
 })
 
 # Dynamic families: the literal head of an f-string metric name must match

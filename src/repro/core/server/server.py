@@ -127,8 +127,17 @@ class WiLocatorServer:
         #: Optional tap on freshly extracted segment traversals.  Invoked
         #: once per :class:`TravelTimeRecord` right after the predictor
         #: observes it — the cluster layer's :class:`ShardNode` uses it to
-        #: publish cross-shard segment deltas.  Must not raise.
+        #: publish cross-shard segment deltas, and the lifecycle manager
+        #: chains onto it for shadow scoring.  Must not raise.
         self.on_traversal: Callable[[TravelTimeRecord], None] | None = None
+        #: Optional extra anomaly source folded into :meth:`detect_anomalies`
+        #: (``now -> anomalies``) — the lifecycle drift monitor publishes
+        #: per-segment drift alarms onto the rider-facing traffic map here.
+        self.extra_anomalies: Callable[[float], list[Anomaly]] | None = None
+        #: Which trained model is serving.  ``"offline"`` until a lifecycle
+        #: manager installs a registry version; surfaced through
+        #: :meth:`health` on every backend.
+        self.model_version: str = "offline"
         self.index = RouteIndex(self.routes)
         self.metrics = ServerMetrics()
         if guard is not None and guard_config is not None:
@@ -411,6 +420,7 @@ class WiLocatorServer:
             "guard": self.guard.health(),
             "stats": asdict(self.stats),
             "sessions": {"open": len(self.sessions)},
+            "lifecycle": {"model_version": self.model_version},
         }
 
     # -- traffic map ----------------------------------------------------------
@@ -422,6 +432,8 @@ class WiLocatorServer:
             found.extend(
                 self.anomaly_detector.detect(self.sessions[key].trajectory)
             )
+        if self.extra_anomalies is not None:
+            found.extend(self.extra_anomalies(now))
         return merge_anomalies(found)
 
     def traffic_map(

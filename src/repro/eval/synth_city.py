@@ -48,6 +48,8 @@ class SynthCity:
     hub_route_ids: list[str]
     routes: dict[str, BusRoute]
     params: dict = field(default_factory=dict)
+    aps: dict[str, list[AccessPoint]] = field(default_factory=dict)
+    max_range_m: float = 0.0
 
     def replay(self) -> None:
         """Ingest every fabricated report (time-ordered)."""
@@ -55,6 +57,48 @@ class SynthCity:
 
     def stop_id_on(self, route_id: str, stop_index: int) -> str:
         return self.routes[route_id].stops[stop_index].stop_id
+
+    def bus_reports(
+        self,
+        route_id: str,
+        session_key: str,
+        *,
+        t_start: float,
+        speed_mps: float,
+        report_every_s: float = 10.0,
+        start_arc: float = 1.0,
+    ) -> list[ScanReport]:
+        """Fabricate one bus's scans traversing its whole route.
+
+        The bus advances ``speed_mps * report_every_s`` metres per scan
+        from ``start_arc`` to the route end (keep the step under the
+        tracker's ~250 m speed bound), with a final scan *at* the end so
+        the last segment boundary is crossed and its travel time
+        extracted.  Deterministic — the regime-change scenarios in
+        :mod:`repro.eval.regime` drive whole traffic eras through this.
+        """
+        route = self.routes[route_id]
+        aps = self.aps[route_id]
+        out: list[ScanReport] = []
+        j = 0
+        while True:
+            arc = start_arc + j * report_every_s * speed_mps
+            final = arc >= route.length - 1e-6
+            point = route.point_at(min(arc, route.length - 1e-6))
+            out.append(
+                ScanReport(
+                    device_id=f"dev:{session_key}",
+                    session_key=session_key,
+                    route_id=route_id,
+                    t=t_start + j * report_every_s,
+                    readings=_readings_at(
+                        point, aps, max_range_m=self.max_range_m
+                    ),
+                )
+            )
+            if final:
+                return out
+            j += 1
 
     def fresh_twin(self) -> "SynthCity":
         """An identically configured city with a virgin server.
@@ -241,6 +285,8 @@ def build_linear_city(
         hub_route_ids=hub_route_ids,
         routes=routes,
         params=params,
+        aps=aps_of,
+        max_range_m=max_range_m,
     )
 
 
@@ -306,6 +352,7 @@ def build_overlap_city(
     net = RoadNetwork()
     routes: dict[str, BusRoute] = {}
     svds: dict[str, RoadSVD] = {}
+    aps_of: dict[str, list[AccessPoint]] = {}
     known: set[str] = set()
     history = TravelTimeStore()
     reports: list[ScanReport] = []
@@ -341,6 +388,7 @@ def build_overlap_city(
                 )
             route = BusRoute(rid, net, seg_ids, stops)
             routes[rid] = route
+            aps_of[rid] = aps
             svds[rid] = RoadSVD.from_distance(
                 route, aps, order=2, step_m=svd_step_m, max_range_m=max_range_m
             )
@@ -404,6 +452,8 @@ def build_overlap_city(
         hub_route_ids=[],
         routes=routes,
         params=params,
+        aps=aps_of,
+        max_range_m=max_range_m,
     )
 
 

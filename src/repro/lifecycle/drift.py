@@ -1,0 +1,211 @@
+"""Per-segment drift alarms: when the candidate disagrees with serving.
+
+Two drift signals, both computed from state the lifecycle already has —
+no new data path:
+
+* **residual divergence** — the shadow evaluator hands every scored
+  traversal to the monitor; a segment whose candidate and serving
+  predictions persistently differ by more than a relative threshold
+  (with a minimum sample count) has drifted between the serving model's
+  training window and the candidate's;
+* **seasonal-index shift** — the Eq. 6 hourly seasonal profile of a
+  segment is recomputed over both models' histories; a large maximum
+  per-slot difference means the *shape* of the day changed (a new rush
+  hour, a vanished one), which MAE alone can hide.
+
+Alarms feed two places: ``lifecycle.drift_alarms`` metrics, and — via
+:func:`alarms_to_anomalies` — the existing anomaly/traffic-map channel,
+so a drifting segment surfaces on the same rider-facing traffic map as
+a live incident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.arrival.history import TravelTimeStore
+from repro.core.arrival.seasonal import SlotScheme, seasonal_index
+from repro.core.traffic.anomaly import Anomaly, merge_anomalies
+from repro.lifecycle.shadow import ShadowSample
+from repro.roadnet.route import BusRoute
+
+__all__ = [
+    "DriftConfig",
+    "DriftAlarm",
+    "DriftMonitor",
+    "seasonal_shift",
+    "alarms_to_anomalies",
+]
+
+RESIDUAL_DIVERGENCE = "residual-divergence"
+SEASONAL_SHIFT = "seasonal-shift"
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Alarm thresholds.
+
+    ``min_samples`` guards the residual signal against one noisy
+    traversal; the thresholds are relative (0.25 = the models disagree
+    by a quarter of the serving prediction / the seasonal profile moved
+    by a quarter of the daily mean).
+    """
+
+    min_samples: int = 3
+    residual_rel_threshold: float = 0.25
+    seasonal_shift_threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.residual_rel_threshold <= 0:
+            raise ValueError("residual_rel_threshold must be > 0")
+        if self.seasonal_shift_threshold <= 0:
+            raise ValueError("seasonal_shift_threshold must be > 0")
+
+
+@dataclass(frozen=True, slots=True)
+class DriftAlarm:
+    """One drifting segment, one signal kind, one magnitude."""
+
+    segment_id: str
+    kind: str
+    magnitude: float
+    samples: int
+
+
+def seasonal_shift(
+    serving: TravelTimeStore,
+    candidate: TravelTimeStore,
+    *,
+    slots: SlotScheme | None = None,
+) -> dict[str, float]:
+    """Max per-slot |SI_candidate - SI_serving| per shared segment.
+
+    Only segments with records in *both* stores are comparable; the
+    hourly scheme gives the finest shared resolution regardless of what
+    either model's merged slot scheme looks like.
+    """
+    slots = slots or SlotScheme.hourly()
+    shared = sorted(
+        set(serving.segment_ids()) & set(candidate.segment_ids())
+    )
+    out: dict[str, float] = {}
+    for segment_id in shared:
+        before = seasonal_index(serving, segment_id, slots)
+        after = seasonal_index(candidate, segment_id, slots)
+        out[segment_id] = max(abs(b - a) for a, b in zip(before, after))
+    return out
+
+
+class DriftMonitor:
+    """Accumulates shadow samples into per-segment drift alarms."""
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self._divergence: dict[str, list[float]] = {}
+
+    def observe(self, sample: ShadowSample) -> None:
+        """Fold one shadow-scored traversal into the residual signal."""
+        if sample.serving_s is None or sample.candidate_s is None:
+            return
+        if sample.serving_s <= 0:
+            return
+        rel = abs(sample.candidate_s - sample.serving_s) / sample.serving_s
+        self._divergence.setdefault(sample.segment_id, []).append(rel)
+
+    def reset(self) -> None:
+        """Forget residual evidence (a new candidate starts clean)."""
+        self._divergence.clear()
+
+    def residual_alarms(self) -> list[DriftAlarm]:
+        cfg = self.config
+        out = []
+        for segment_id in sorted(self._divergence):
+            rels = self._divergence[segment_id]
+            if len(rels) < cfg.min_samples:
+                continue
+            mean_rel = sum(rels) / len(rels)
+            if mean_rel >= cfg.residual_rel_threshold:
+                out.append(
+                    DriftAlarm(
+                        segment_id=segment_id,
+                        kind=RESIDUAL_DIVERGENCE,
+                        magnitude=mean_rel,
+                        samples=len(rels),
+                    )
+                )
+        return out
+
+    def seasonal_alarms(
+        self,
+        serving_history: TravelTimeStore,
+        candidate_history: TravelTimeStore,
+    ) -> list[DriftAlarm]:
+        cfg = self.config
+        out = []
+        shifts = seasonal_shift(serving_history, candidate_history)
+        for segment_id, magnitude in shifts.items():
+            if magnitude >= cfg.seasonal_shift_threshold:
+                samples = len(candidate_history.records(segment_id))
+                out.append(
+                    DriftAlarm(
+                        segment_id=segment_id,
+                        kind=SEASONAL_SHIFT,
+                        magnitude=magnitude,
+                        samples=samples,
+                    )
+                )
+        return out
+
+    def alarms(
+        self,
+        serving_history: TravelTimeStore,
+        candidate_history: TravelTimeStore,
+    ) -> list[DriftAlarm]:
+        """Both signals, residual first, each sorted by segment."""
+        return self.residual_alarms() + self.seasonal_alarms(
+            serving_history, candidate_history
+        )
+
+
+def alarms_to_anomalies(
+    alarms: list[DriftAlarm],
+    routes: Mapping[str, BusRoute],
+    history: TravelTimeStore,
+    *,
+    now: float,
+    span_s: float = 600.0,
+) -> list[Anomaly]:
+    """Drift alarms as whole-segment anomaly spans for the traffic map.
+
+    Each alarm becomes an :class:`Anomaly` covering its segment's full
+    arc on the first (sorted) route that observed the segment, stamped
+    with a trailing ``span_s`` window ending at ``now``.  Alarms on
+    segments no known route carries are dropped — there is nothing to
+    draw them on.
+    """
+    out: list[Anomaly] = []
+    for alarm in alarms:
+        route = None
+        for route_id in sorted(history.routes_on(alarm.segment_id)):
+            cand = routes.get(route_id)
+            if cand is not None and alarm.segment_id in cand.segment_ids:
+                route = cand
+                break
+        if route is None:
+            continue
+        start = route.segment_start_arc(alarm.segment_id)
+        seg = route.segments[route.segment_index(alarm.segment_id)]
+        out.append(
+            Anomaly(
+                route_id=route.route_id,
+                segment_id=alarm.segment_id,
+                arc_start=start,
+                arc_end=start + seg.length,
+                t_start=now - span_s,
+                t_end=now,
+            )
+        )
+    return merge_anomalies(out)

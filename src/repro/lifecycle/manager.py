@@ -1,0 +1,449 @@
+"""The lifecycle control loop: retrain → shadow → gate → promote/rollback.
+
+:class:`LifecycleManager` attaches to a running server (plain or
+durable — wrappers are unwrapped) and drives the whole model lifecycle
+off the ingest stream itself:
+
+* every extracted traversal advances a **report-time clock** (the max
+  ``t_exit`` seen) — cadence, windows and drift stamps all run on this
+  axis, never on wall clocks (WL001);
+* when the retrainer comes due, a candidate is refit from live state,
+  snapshotted into the :class:`ModelRegistry`, and put **in shadow**:
+  scored on every subsequent traversal next to the serving model, its
+  answers never leaving the evaluator;
+* the **promotion gate** admits the candidate only with enough shadow
+  evidence and a shadow MAE no worse than serving within tolerance;
+  promotion is one registry pointer flip plus an in-place hot swap
+  (:meth:`TrainedModel.install`) — rider queries before the flip were
+  served by the old model, after it by the new, never by a candidate;
+* **rollback** is the same flip backwards: the registry re-points to
+  the previous version and its byte-identical snapshot is reinstalled.
+
+Invariant, load-bearing for the whole design: *no rider query is ever
+answered by an unpromoted candidate.*  The only candidate read paths
+are the shadow evaluator and :meth:`mirror_arrival` (which computes and
+discards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.arrival.history import TravelTimeRecord
+from repro.core.server.server import WiLocatorServer
+from repro.core.traffic.anomaly import Anomaly
+from repro.lifecycle.drift import DriftConfig, DriftMonitor, alarms_to_anomalies
+from repro.lifecycle.model import TrainedModel
+from repro.lifecycle.registry import ModelRegistry
+from repro.lifecycle.retrain import (
+    RetrainConfig,
+    RetrainDataError,
+    RollingRetrainer,
+)
+from repro.lifecycle.shadow import ModelScore, ShadowEvaluator
+
+__all__ = ["LifecycleConfig", "LifecycleManager", "promotion_gate", "unwrap_server"]
+
+
+def unwrap_server(backend: Any) -> WiLocatorServer:
+    """The in-memory server behind a backend, however it is wrapped.
+
+    ``DurableServer`` delegates attribute *reads* through
+    ``__getattr__``, so assigning through the wrapper would silently
+    shadow the real server's attribute — every lifecycle mutation must
+    target the innermost :class:`WiLocatorServer`.
+    """
+    seen = 0
+    while not isinstance(backend, WiLocatorServer):
+        inner = getattr(backend, "server", None)
+        if inner is None or inner is backend or seen > 4:
+            raise TypeError(
+                f"cannot find a WiLocatorServer inside {type(backend).__name__}"
+            )
+        backend = inner
+        seen += 1
+    return backend
+
+
+def promotion_gate(
+    *,
+    serving_mae: float | None,
+    candidate_mae: float | None,
+    samples: int,
+    min_samples: int,
+    rel_tolerance: float,
+    abs_tolerance_s: float,
+) -> tuple[bool, str]:
+    """The one promotion decision, shared by the manager and the CLI.
+
+    Admit when there is enough shadow evidence and the candidate's MAE
+    is no worse than serving within
+    ``serving * (1 + rel_tolerance) + abs_tolerance_s``.
+    """
+    if samples < min_samples:
+        return False, (
+            f"insufficient shadow evidence: {samples} samples "
+            f"(< {min_samples})"
+        )
+    if serving_mae is None or candidate_mae is None:
+        return False, "shadow scores incomplete (a model never predicted)"
+    limit = serving_mae * (1.0 + rel_tolerance) + abs_tolerance_s
+    if candidate_mae <= limit:
+        return True, (
+            f"candidate MAE {candidate_mae:.2f}s within tolerance of "
+            f"serving {serving_mae:.2f}s (limit {limit:.2f}s, "
+            f"{samples} samples)"
+        )
+    return False, (
+        f"candidate MAE {candidate_mae:.2f}s exceeds limit {limit:.2f}s "
+        f"(serving {serving_mae:.2f}s, {samples} samples)"
+    )
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Gate and cadence knobs of the whole lifecycle loop."""
+
+    retrain: RetrainConfig = RetrainConfig()
+    drift: DriftConfig = DriftConfig()
+    min_shadow_samples: int = 10
+    promote_rel_tolerance: float = 0.05
+    promote_abs_tolerance_s: float = 0.5
+    auto_retrain: bool = True
+    drift_anomaly_span_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.min_shadow_samples < 1:
+            raise ValueError("min_shadow_samples must be >= 1")
+        if self.promote_rel_tolerance < 0:
+            raise ValueError("promote_rel_tolerance must be >= 0")
+        if self.promote_abs_tolerance_s < 0:
+            raise ValueError("promote_abs_tolerance_s must be >= 0")
+
+
+class LifecycleManager:
+    """Drives retrain / shadow / promote / rollback on one server."""
+
+    def __init__(
+        self,
+        backend: Any,
+        registry: ModelRegistry,
+        config: LifecycleConfig | None = None,
+    ) -> None:
+        self.server = unwrap_server(backend)
+        self.registry = registry
+        self.config = config or LifecycleConfig()
+        self.retrainer = RollingRetrainer(self.config.retrain)
+        self.drift = DriftMonitor(self.config.drift)
+        self.shadow: ShadowEvaluator | None = None
+        self.candidate: TrainedModel | None = None
+        self.candidate_version: str | None = None
+        #: Rolling serving-model scorecard, always on — the regime eval
+        #: snapshots and resets it at phase boundaries to expose the
+        #: frozen model's degradation and the promoted model's recovery.
+        self.serving_window = ModelScore("serving")
+        self.now: float | None = None
+        self.last_skip_reason: str | None = None
+        self.last_gate_reason: str | None = None
+        self._drift_anomalies: list[Anomaly] = []
+        self._attached = False
+        self._prev_on_traversal = None
+        self._prev_extra_anomalies = None
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self) -> None:
+        """Hook into the server's ingest stream and anomaly channel.
+
+        An empty registry is bootstrapped with the server's current
+        model as version 1 (and serving pointer) so rollback always has
+        a well-defined target.  The previous ``on_traversal`` hook (the
+        cluster's delta publisher, say) keeps firing first.
+        """
+        if self._attached:
+            return
+        if self.registry.serving_version is None:
+            version = self.registry.save(
+                TrainedModel.capture(self.server, origin="bootstrap"),
+                created_t=self.now if self.now is not None else 0.0,
+            )
+            self.registry.set_serving(version)
+            self.server.model_version = version
+        self._prev_on_traversal = self.server.on_traversal
+        prev = self._prev_on_traversal
+
+        def chained(record: TravelTimeRecord) -> None:
+            if prev is not None:
+                prev(record)
+            self.observe(record)
+
+        self.server.on_traversal = chained
+        self._prev_extra_anomalies = self.server.extra_anomalies
+        self.server.extra_anomalies = self.drift_anomalies
+        self._attached = True
+
+    def detach(self) -> None:
+        """Restore the server's hooks (the manager stops observing)."""
+        if not self._attached:
+            return
+        self.server.on_traversal = self._prev_on_traversal
+        self.server.extra_anomalies = self._prev_extra_anomalies
+        self._attached = False
+
+    def install_serving(self) -> str:
+        """Install the registry's serving model into the server.
+
+        The restart path: a freshly constructed server adopts whatever
+        the registry says is live — call this *before* durable recovery
+        replays checkpoints, so the slot scheme matches the one the
+        checkpointed state was built under.
+        """
+        version = self.registry.serving_version
+        if version is None:
+            raise ValueError("registry has no serving model to install")
+        self.registry.load(version).install(self.server, version=version)
+        return version
+
+    # -- the ingest-driven loop ----------------------------------------------
+
+    def observe(self, record: TravelTimeRecord) -> None:
+        """Fold one extracted traversal into the lifecycle state."""
+        self.now = (
+            record.t_exit if self.now is None else max(self.now, record.t_exit)
+        )
+        self.retrainer.anchor(self.now)
+        predicted = self.server.predictor.predict_segment_time(
+            record.segment_id, record.route_id, record.t_enter
+        )
+        if predicted is None:
+            self.serving_window.skip()
+        else:
+            self.serving_window.add(
+                record.segment_id,
+                record.route_id,
+                abs(predicted - record.travel_time),
+            )
+        if self.shadow is not None:
+            sample = self.shadow.observe(record)
+            self.drift.observe(sample)
+            self.server.metrics.incr("lifecycle.shadow_samples")
+        if self.config.auto_retrain and self.retrainer.due(self.now):
+            self.retrain()
+
+    def reset_serving_window(self) -> dict[str, Any]:
+        """Snapshot and restart the rolling serving scorecard."""
+        summary = self.serving_window.summary()
+        self.serving_window = ModelScore("serving")
+        return summary
+
+    # -- retrain -------------------------------------------------------------
+
+    def retrain(self, now: float | None = None) -> dict[str, Any]:
+        """Refit a candidate from live state and put it in shadow.
+
+        Replaces any previous candidate (rolling semantics: the freshest
+        refit is always the one under evaluation).  A data-starved
+        window is a *skip*, not an error: counted, reason recorded,
+        serving untouched.
+        """
+        at = now if now is not None else self.now
+        if at is None:
+            self.last_skip_reason = "no reports observed yet"
+            self.server.metrics.incr("lifecycle.retrain_skipped")
+            return {"ok": False, "reason": self.last_skip_reason}
+        try:
+            with self.server.metrics.timer("retrain"):
+                model = self.retrainer.fit(self.server, now=at)
+        except RetrainDataError as exc:
+            self.last_skip_reason = str(exc)
+            self.server.metrics.incr("lifecycle.retrain_skipped")
+            return {"ok": False, "reason": self.last_skip_reason}
+        version = self.registry.save(model, created_t=at)
+        self.server.metrics.incr("lifecycle.retrains")
+        self.server.metrics.incr("lifecycle.snapshots_written")
+        self.candidate = model
+        self.candidate_version = version
+        self.shadow = ShadowEvaluator(
+            self.server.predictor,
+            model.shadow_predictor(self.server),
+            candidate_version=version,
+        )
+        self.drift.reset()
+        self.last_skip_reason = None
+        return {"ok": True, "version": version, "meta": dict(model.meta)}
+
+    # -- drift ---------------------------------------------------------------
+
+    def drift_check(self) -> list[dict[str, Any]]:
+        """Evaluate both drift signals for the current candidate.
+
+        Alarms are counted, cached as traffic-map anomalies (the
+        server's ``extra_anomalies`` hook serves them to riders on the
+        same map as live incidents), and returned JSON-safe.
+        """
+        if self.candidate is None or self.now is None:
+            return []
+        alarms = self.drift.alarms(
+            self.server.predictor.history, self.candidate.history
+        )
+        if alarms:
+            self.server.metrics.incr("lifecycle.drift_alarms", len(alarms))
+        self._drift_anomalies = alarms_to_anomalies(
+            alarms,
+            self.server.routes,
+            self.candidate.history,
+            now=self.now,
+            span_s=self.config.drift_anomaly_span_s,
+        )
+        return [
+            {
+                "segment_id": a.segment_id,
+                "kind": a.kind,
+                "magnitude": a.magnitude,
+                "samples": a.samples,
+            }
+            for a in alarms
+        ]
+
+    def drift_anomalies(self, now: float) -> list[Anomaly]:
+        """The server's ``extra_anomalies`` hook: cached drift spans."""
+        return list(self._drift_anomalies)
+
+    # -- promote / rollback --------------------------------------------------
+
+    def try_promote(self, *, force: bool = False) -> dict[str, Any]:
+        """Run the gate; on pass, flip the registry and hot-swap the model.
+
+        ``force`` skips the gate (an operator override) but never the
+        bookkeeping: the shadow summary lands in the manifest either
+        way, so a forced promotion is auditable.
+        """
+        if self.candidate is None or self.shadow is None:
+            self.last_gate_reason = "no candidate in shadow"
+            self.server.metrics.incr("lifecycle.promotions_rejected")
+            return {"ok": False, "reason": self.last_gate_reason}
+        cfg = self.config
+        ok, reason = promotion_gate(
+            serving_mae=self.shadow.serving_score.mae,
+            candidate_mae=self.shadow.candidate_score.mae,
+            samples=self.shadow.samples,
+            min_samples=cfg.min_shadow_samples,
+            rel_tolerance=cfg.promote_rel_tolerance,
+            abs_tolerance_s=cfg.promote_abs_tolerance_s,
+        )
+        self.last_gate_reason = reason
+        version = self.candidate_version
+        assert version is not None
+        self.registry.update_shadow(version, self.shadow.summary())
+        drift_report = self.drift_check()
+        if not ok and not force:
+            self.server.metrics.incr("lifecycle.promotions_rejected")
+            return {
+                "ok": False,
+                "reason": reason,
+                "version": version,
+                "drift": drift_report,
+            }
+        self.registry.set_serving(version)
+        self.candidate.install(self.server, version=version)
+        self.server.metrics.incr("lifecycle.promotions")
+        self.candidate = None
+        self.candidate_version = None
+        self.shadow = None
+        self.drift.reset()
+        return {
+            "ok": True,
+            "reason": reason,
+            "version": version,
+            "forced": bool(force and not ok),
+            "drift": drift_report,
+        }
+
+    def discard_candidate(self) -> None:
+        """Drop the current candidate without promoting it."""
+        self.candidate = None
+        self.candidate_version = None
+        self.shadow = None
+        self.drift.reset()
+
+    def rollback(self) -> dict[str, Any]:
+        """Re-point serving to the previous version and reinstall it.
+
+        The reinstalled model is rebuilt from the registry's snapshot
+        bytes (integrity-checked), so what serves after rollback is
+        byte-identically what served before the promotion.
+        """
+        version = self.registry.rollback()
+        self.registry.load(version).install(self.server, version=version)
+        self.server.metrics.incr("lifecycle.rollbacks")
+        self.discard_candidate()
+        return {"ok": True, "version": version}
+
+    # -- shadow rider queries ------------------------------------------------
+
+    def mirror_arrival(self, session_key: str, stop_id: str) -> None:
+        """Shadow a rider arrival query against the candidate — and discard.
+
+        Exercises the candidate's full Eq. 9 chain on real rider
+        traffic (counted, never returned, never raising into the rider
+        path — lookup misses are themselves counted).
+        """
+        if self.shadow is None:
+            return
+        metrics = self.server.metrics
+        session = self.server.sessions.get(session_key)
+        if session is None or session.trajectory.last is None:
+            metrics.incr("lifecycle.shadow_query_misses")
+            return
+        route = self.server.routes.get(session.route_id)
+        if route is None:
+            metrics.incr("lifecycle.shadow_query_misses")
+            return
+        try:
+            entry = self.server.index.stop_on_route(route.route_id, stop_id)
+        except KeyError:
+            metrics.incr("lifecycle.shadow_query_misses")
+            return
+        last = session.trajectory.last
+        self.shadow.candidate_predictor.predict_arrival(
+            route, last.arc_length, last.t, entry.stop
+        )
+        metrics.incr("lifecycle.shadow_queries")
+
+    # -- status --------------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """JSON-safe lifecycle status (the /v1/models + CLI payload)."""
+        cfg = self.config
+        candidate: dict[str, Any] | None = None
+        if self.shadow is not None:
+            candidate = self.shadow.summary()
+        return {
+            "serving": {
+                "version": self.server.model_version,
+                "window": self.serving_window.summary(),
+            },
+            "candidate": candidate,
+            "retrainer": {
+                "last_fit_t": self.retrainer.last_fit_t,
+                "fits": self.retrainer.fits,
+                "due": (
+                    self.retrainer.due(self.now)
+                    if self.now is not None
+                    else False
+                ),
+                "last_skip_reason": self.last_skip_reason,
+            },
+            "gate": {
+                "min_shadow_samples": cfg.min_shadow_samples,
+                "rel_tolerance": cfg.promote_rel_tolerance,
+                "abs_tolerance_s": cfg.promote_abs_tolerance_s,
+                "last_reason": self.last_gate_reason,
+            },
+            "drift": {
+                "anomalies": len(self._drift_anomalies),
+            },
+            "registry": self.registry.status(),
+            "now": self.now,
+        }

@@ -1,0 +1,191 @@
+"""The unit of the model lifecycle: one trained-model snapshot.
+
+A :class:`TrainedModel` is exactly what the offline phase hands the
+online server (:class:`~repro.core.server.training.TrainingResult`,
+minus the trajectories): the historical travel-time store ``Th``, the
+Eq. 6 time-slot scheme, and the anomaly thresholds ``delta``.  This
+module gives that triple a durable identity:
+
+* :meth:`TrainedModel.capture` snapshots the model a live
+  :class:`~repro.core.server.server.WiLocatorServer` is currently
+  serving from;
+* :meth:`TrainedModel.install` hot-swaps a model *into* a live server
+  behind the existing ingest/query paths — the predictor is rebuilt
+  around the new history/slots while the **live** travel-time store (the
+  online evidence Eq. 8 corrects with) is carried over by reference, the
+  classifier/map-builder pair is rebuilt, and the anomaly thresholds are
+  loaded *in place* so the server's :class:`AnomalyDetector` keeps its
+  reference;
+* :func:`model_to_payload` / :func:`model_from_payload` serialise the
+  triple with the same versioned-JSON discipline as
+  :mod:`repro.core.server.persistence`, and :func:`canonical_model_bytes`
+  fixes one byte encoding (sorted keys, no whitespace) so snapshot
+  integrity and rollback byte-identity are well defined.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.arrival.history import TravelTimeStore
+from repro.core.arrival.predictor import ArrivalTimePredictor
+from repro.core.arrival.seasonal import SlotScheme
+from repro.core.server.persistence import (
+    check_version,
+    slots_from_dict,
+    slots_to_dict,
+    store_from_dict,
+    store_to_dict,
+)
+from repro.core.server.server import WiLocatorServer
+from repro.core.traffic.classifier import TrafficClassifier
+from repro.core.traffic.map import TrafficMapBuilder
+
+__all__ = [
+    "MODEL_FORMAT_VERSION",
+    "TrainedModel",
+    "model_to_payload",
+    "model_from_payload",
+    "canonical_model_bytes",
+    "payload_sha256",
+]
+
+MODEL_FORMAT_VERSION = 1
+
+
+@dataclass
+class TrainedModel:
+    """One complete serving model: history ``Th``, slots, ``delta``.
+
+    ``delta_state`` is the JSON-safe
+    :meth:`~repro.core.traffic.anomaly.DeltaEstimator.state_dict` payload
+    rather than a live estimator, so a model snapshot never aliases
+    mutable server state.  ``meta`` carries provenance (origin, the
+    report-time clock it was trained to, record counts) and travels with
+    the snapshot.
+    """
+
+    history: TravelTimeStore
+    slots: SlotScheme
+    delta_state: dict[str, Any]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, server: WiLocatorServer, **meta: Any) -> "TrainedModel":
+        """Snapshot the model a live server currently serves from."""
+        info = {
+            "origin": "capture",
+            "records": len(server.predictor.history),
+            "segments": len(server.predictor.history.segment_ids()),
+        }
+        info.update(meta)
+        return cls(
+            history=server.predictor.history,
+            slots=server.slots,
+            delta_state=server.delta.state_dict(),
+            meta=info,
+        )
+
+    def install(self, server: WiLocatorServer, *, version: str) -> None:
+        """Hot-swap this model into a live server (the promotion path).
+
+        Everything the offline phase parameterises is replaced; every
+        piece of *online* state survives untouched:
+
+        * the predictor is rebuilt with this model's history and slots,
+          keeping the old predictor's tuning knobs and — crucially — the
+          old **live** store by reference, so Eq. 8 residual evidence
+          and open sessions carry straight over;
+        * the classifier and traffic-map builder are rebuilt around the
+          new history/slots (they are pure functions of trained state);
+        * the anomaly thresholds are loaded in place so the server's
+          :class:`AnomalyDetector` (which holds the estimator by
+          reference) switches thresholds atomically with the model.
+
+        Callers that wrapped the server (``DurableServer``) must pass
+        the *wrapped* server — the lifecycle manager unwraps for them.
+        """
+        old = server.predictor
+        predictor = ArrivalTimePredictor(
+            self.history,
+            self.slots,
+            recent_window_s=old.recent_window_s,
+            max_recent=old.max_recent,
+            use_recent=old.use_recent,
+            route_residual_scale=old.route_residual_scale,
+        )
+        predictor.live = old.live
+        server.predictor = predictor
+        server.slots = self.slots
+        server.classifier = TrafficClassifier(self.history, self.slots)
+        server.map_builder = TrafficMapBuilder(server.classifier)
+        server.delta.load_state(self.delta_state)
+        server.model_version = version
+        server.metrics.incr("lifecycle.installs")
+
+    def shadow_predictor(self, server: WiLocatorServer) -> ArrivalTimePredictor:
+        """A predictor answering from this model under *serving* conditions.
+
+        Shares the serving predictor's live store by reference (both
+        models see the same Eq. 8 recency evidence) and its tuning
+        knobs, so a shadow comparison isolates exactly the trained
+        artifacts — never the online feed.
+        """
+        old = server.predictor
+        predictor = ArrivalTimePredictor(
+            self.history,
+            self.slots,
+            recent_window_s=old.recent_window_s,
+            max_recent=old.max_recent,
+            use_recent=old.use_recent,
+            route_residual_scale=old.route_residual_scale,
+        )
+        predictor.live = old.live
+        return predictor
+
+
+def model_to_payload(model: TrainedModel) -> dict[str, Any]:
+    """The JSON-safe snapshot payload (versioned, like persistence.py)."""
+    return {
+        "version": MODEL_FORMAT_VERSION,
+        "kind": "trained-model",
+        "history": store_to_dict(model.history),
+        "slots": slots_to_dict(model.slots),
+        "delta": model.delta_state,
+        "meta": dict(model.meta),
+    }
+
+
+def model_from_payload(data: dict[str, Any]) -> TrainedModel:
+    """Rebuild a model from its snapshot payload (version-checked)."""
+    check_version(data, kind="trained-model", expected=MODEL_FORMAT_VERSION)
+    if data.get("kind") != "trained-model":
+        raise ValueError(
+            f"payload kind {data.get('kind')!r} is not 'trained-model'"
+        )
+    return TrainedModel(
+        history=store_from_dict(data["history"]),
+        slots=slots_from_dict(data["slots"]),
+        delta_state=dict(data["delta"]),
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def canonical_model_bytes(payload: dict[str, Any]) -> bytes:
+    """The one byte encoding of a snapshot payload.
+
+    Sorted keys, minimal separators, UTF-8 — so equality of model
+    *content* is equality of snapshot *bytes*, which is what the
+    rollback drill asserts and what the manifest's digest covers.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def payload_sha256(payload_bytes: bytes) -> str:
+    """Integrity digest recorded in (and checked against) the manifest."""
+    return hashlib.sha256(payload_bytes).hexdigest()

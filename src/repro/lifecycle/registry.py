@@ -1,0 +1,230 @@
+"""Versioned on-disk model snapshots with a serving pointer.
+
+The registry is a directory of immutable snapshot files plus one
+mutable ``manifest.json``:
+
+* each saved model lands in ``model-m<seq>.json`` — canonical JSON
+  (sorted keys, no whitespace), written via the same tmp+``os.replace``
+  discipline as :mod:`repro.pipeline.checkpoint`, never rewritten;
+* the manifest records, per version, the file name, its SHA-256 (checked
+  on every load, so a corrupted or hand-edited snapshot fails loudly),
+  provenance metadata and the latest shadow-evaluation summary;
+* two pointers, ``serving`` and ``previous``, make promotion a
+  single atomic manifest replace and give rollback exactly one step.
+
+Pruning keeps the ``retain`` newest versions but never deletes the
+serving model, its rollback target, or the newest snapshot — a registry
+can therefore always answer "what is live now" and "what was live
+before".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.server.persistence import atomic_write_text, check_version
+from repro.lifecycle.model import (
+    TrainedModel,
+    canonical_model_bytes,
+    model_from_payload,
+    model_to_payload,
+    payload_sha256,
+)
+
+__all__ = ["MANIFEST_VERSION", "ModelRegistry"]
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+MODEL_PREFIX = "model-"
+MODEL_SUFFIX = ".json"
+
+
+def _empty_manifest() -> dict[str, Any]:
+    return {
+        "version": MANIFEST_VERSION,
+        "kind": "model-manifest",
+        "next_seq": 1,
+        "serving": None,
+        "previous": None,
+        "entries": [],
+    }
+
+
+class ModelRegistry:
+    """Directory of versioned model snapshots + serving/previous pointers."""
+
+    def __init__(self, directory: str | Path, *, retain: int = 5) -> None:
+        if retain < 1:
+            raise ValueError("retain must be >= 1")
+        self.directory = Path(directory)
+        self.retain = retain
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._manifest = self._read_manifest()
+
+    # -- manifest ------------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def _read_manifest(self) -> dict[str, Any]:
+        if not self._manifest_path.is_file():
+            return _empty_manifest()
+        data = json.loads(self._manifest_path.read_text())
+        check_version(data, kind="model manifest", expected=MANIFEST_VERSION)
+        return data
+
+    def _write_manifest(self) -> None:
+        atomic_write_text(
+            self._manifest_path,
+            json.dumps(
+                self._manifest, sort_keys=True, separators=(",", ":")
+            ),
+        )
+
+    def _entry(self, version: str) -> dict[str, Any]:
+        for entry in self._manifest["entries"]:
+            if entry["version"] == version:
+                return entry
+        raise KeyError(f"unknown model version {version!r}")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def serving_version(self) -> str | None:
+        return self._manifest["serving"]
+
+    @property
+    def previous_version(self) -> str | None:
+        return self._manifest["previous"]
+
+    def versions(self) -> list[str]:
+        """All registered versions, oldest first."""
+        return [e["version"] for e in self._manifest["entries"]]
+
+    def entry(self, version: str) -> dict[str, Any]:
+        """The manifest entry of one version (a copy)."""
+        return dict(self._entry(version))
+
+    def status(self) -> dict[str, Any]:
+        """JSON-safe registry summary for /v1/models and the CLI."""
+        return {
+            "serving": self.serving_version,
+            "previous": self.previous_version,
+            "versions": [dict(e) for e in self._manifest["entries"]],
+        }
+
+    # -- snapshots -----------------------------------------------------------
+
+    def save(self, model: TrainedModel, *, created_t: float) -> str:
+        """Persist a model as the next version; returns its version id.
+
+        The snapshot file is immutable once published; the manifest
+        entry carries its digest, size, creation report-time and the
+        model's own provenance ``meta``.
+        """
+        seq = int(self._manifest["next_seq"])
+        version = f"m{seq:06d}"
+        raw = canonical_model_bytes(model_to_payload(model))
+        path = self.directory / f"{MODEL_PREFIX}{version}{MODEL_SUFFIX}"
+        atomic_write_text(path, raw.decode("utf-8"))
+        self._manifest["next_seq"] = seq + 1
+        self._manifest["entries"].append(
+            {
+                "version": version,
+                "file": path.name,
+                "sha256": payload_sha256(raw),
+                "bytes": len(raw),
+                "created_t": created_t,
+                "meta": dict(model.meta),
+                "shadow": None,
+            }
+        )
+        self._prune()
+        self._write_manifest()
+        return version
+
+    def model_bytes(self, version: str) -> bytes:
+        """The raw snapshot bytes of a version, integrity-checked.
+
+        This is the byte string rollback identity is defined over: two
+        versions serve the same model iff their ``model_bytes`` match.
+        """
+        entry = self._entry(version)
+        path = self.directory / entry["file"]
+        raw = path.read_bytes()
+        digest = payload_sha256(raw)
+        if digest != entry["sha256"]:
+            raise ValueError(
+                f"model {version} failed its integrity check: "
+                f"manifest says {entry['sha256'][:12]}..., "
+                f"file hashes to {digest[:12]}..."
+            )
+        return raw
+
+    def load(self, version: str) -> TrainedModel:
+        """Rebuild one version's model (digest verified first)."""
+        return model_from_payload(json.loads(self.model_bytes(version)))
+
+    def update_shadow(self, version: str, shadow: dict[str, Any]) -> None:
+        """Attach/replace a shadow-evaluation summary on a version."""
+        self._entry(version)["shadow"] = dict(shadow)
+        self._write_manifest()
+
+    # -- promotion / rollback ------------------------------------------------
+
+    def set_serving(self, version: str) -> None:
+        """Point ``serving`` at a version (one atomic manifest replace).
+
+        The outgoing serving version becomes the rollback target.  A
+        no-op when the version already serves, so repeated promotion
+        cannot destroy the rollback pointer.
+        """
+        self._entry(version)  # must exist
+        if version == self._manifest["serving"]:
+            return
+        self._manifest["previous"] = self._manifest["serving"]
+        self._manifest["serving"] = version
+        self._write_manifest()
+
+    def rollback(self) -> str:
+        """Swap ``serving`` back to ``previous``; returns the new serving.
+
+        One step only: after rolling back, the version rolled away from
+        becomes the (re-)rollback target, so a second rollback undoes
+        the first rather than walking further into history.
+        """
+        previous = self._manifest["previous"]
+        if previous is None:
+            raise ValueError("no previous model version to roll back to")
+        self._manifest["serving"], self._manifest["previous"] = (
+            previous,
+            self._manifest["serving"],
+        )
+        self._write_manifest()
+        return previous
+
+    # -- pruning -------------------------------------------------------------
+
+    def _prune(self) -> None:
+        """Drop all but the ``retain`` newest versions (pointers are safe)."""
+        entries = self._manifest["entries"]
+        if len(entries) <= self.retain:
+            return
+        keep = {e["version"] for e in entries[-self.retain :]}
+        keep.add(entries[-1]["version"])
+        if self._manifest["serving"] is not None:
+            keep.add(self._manifest["serving"])
+        if self._manifest["previous"] is not None:
+            keep.add(self._manifest["previous"])
+        kept = []
+        for entry in entries:
+            if entry["version"] in keep:
+                kept.append(entry)
+                continue
+            path = self.directory / entry["file"]
+            if path.is_file():
+                path.unlink()
+        self._manifest["entries"] = kept

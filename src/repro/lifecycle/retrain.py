@@ -1,0 +1,153 @@
+"""Rolling refit of the offline artifacts from live ingest state.
+
+The offline phase (:mod:`repro.core.server.training`) fits ``Th``, the
+Eq. 6 slot scheme and the anomaly thresholds once, from archived
+reports.  In production the same artifacts must follow the city: the
+retrainer refits them from what ingest has *already* computed — the
+live travel-time store and the open sessions' trajectories — so a
+retrain pass is a pure, deterministic function of server state and a
+report-time ``now``.  No wall clocks anywhere: cadence is measured on
+the report-time axis (``due``/``last_fit_t``), which keeps every
+retrain decision replayable (WL001).
+
+Retraining never *loses* coverage: segments the live window has no
+fresh evidence for carry their serving-model records forward, so a
+quiet suburban segment keeps its historical mean instead of falling
+back to the global default (``carry_forward``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arrival.history import TravelTimeStore
+from repro.core.server.server import WiLocatorServer
+from repro.core.server.training import fit_slot_scheme
+from repro.core.traffic.anomaly import DeltaEstimator
+from repro.lifecycle.model import TrainedModel
+
+__all__ = ["RetrainConfig", "RetrainDataError", "RollingRetrainer"]
+
+
+@dataclass(frozen=True)
+class RetrainConfig:
+    """Knobs of the rolling retrain loop.
+
+    ``interval_s`` and ``window_s`` are report-time seconds: refit every
+    ``interval_s`` of *observed* traffic, from the traversals that
+    completed within the trailing ``window_s``.  ``min_records`` guards
+    against refitting a model from a handful of traversals after a quiet
+    night; ``refit_slots`` re-derives the Eq. 6 slot scheme from the
+    fresh data (falling back to the serving scheme when the window is
+    too thin to group); ``carry_forward`` keeps serving-model records
+    for segments the window did not cover.
+    """
+
+    interval_s: float = 3600.0
+    window_s: float = 21600.0
+    min_records: int = 20
+    slot_tolerance: float = 0.15
+    refit_slots: bool = True
+    carry_forward: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        if self.min_records < 1:
+            raise ValueError("min_records must be >= 1")
+
+
+class RetrainDataError(ValueError):
+    """The live window holds too little evidence to refit from."""
+
+
+class RollingRetrainer:
+    """Refits :class:`TrainedModel` candidates on a report-time schedule."""
+
+    def __init__(self, config: RetrainConfig | None = None) -> None:
+        self.config = config or RetrainConfig()
+        self.last_fit_t: float | None = None
+        self.fits = 0
+
+    def due(self, now: float) -> bool:
+        """Whether a scheduled refit is owed at report time ``now``."""
+        if self.last_fit_t is None:
+            return False
+        return now - self.last_fit_t >= self.config.interval_s
+
+    def anchor(self, now: float) -> None:
+        """Start the retrain clock (first observed report time)."""
+        if self.last_fit_t is None:
+            self.last_fit_t = now
+
+    def fit(self, server: WiLocatorServer, *, now: float) -> TrainedModel:
+        """Refit a candidate model from the server's live state at ``now``.
+
+        Deterministic by construction: segments iterate in sorted order,
+        per-segment records are already entry-time ordered, and session
+        trajectories feed the delta estimator in session-creation order
+        (dict insertion order).  Raises :class:`RetrainDataError` when
+        the window holds fewer than ``min_records`` completed traversals.
+        """
+        cfg = self.config
+        live = server.predictor.live
+        history = TravelTimeStore()
+        fresh = 0
+        for segment_id in sorted(live.segment_ids()):
+            for record in live.records(segment_id):
+                if now - cfg.window_s <= record.t_exit <= now:
+                    history.add(record)
+                    fresh += 1
+        if fresh < cfg.min_records:
+            raise RetrainDataError(
+                f"live window holds {fresh} completed traversals "
+                f"(< min_records={cfg.min_records})"
+            )
+        carried = 0
+        if cfg.carry_forward:
+            serving_history = server.predictor.history
+            covered = set(history.segment_ids())
+            for segment_id in sorted(serving_history.segment_ids()):
+                if segment_id in covered:
+                    continue
+                for record in serving_history.records(segment_id):
+                    history.add(record)
+                    carried += 1
+
+        slots = server.slots
+        if cfg.refit_slots:
+            try:
+                slots = fit_slot_scheme(
+                    history, tolerance=cfg.slot_tolerance
+                )
+            except ValueError:
+                # Too thin to derive a seasonal structure from; the
+                # serving scheme remains the best available estimate.
+                slots = server.slots
+
+        delta = DeltaEstimator(
+            factor=server.delta.factor,
+            default_step_m=server.delta.default_step_m,
+            slots=slots,
+        )
+        for session in server.sessions.values():
+            delta.observe_trajectory(session.trajectory)
+
+        self.last_fit_t = now
+        self.fits += 1
+        return TrainedModel(
+            history=history,
+            slots=slots,
+            delta_state=delta.state_dict(),
+            meta={
+                "origin": "retrain",
+                "trained_to_t": now,
+                "window_s": cfg.window_s,
+                "fresh_records": fresh,
+                "carried_records": carried,
+                "records": len(history),
+                "segments": len(history.segment_ids()),
+            },
+        )

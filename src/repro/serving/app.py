@@ -32,9 +32,18 @@ path                       verb  backend call
 ``/v1/arrival``            GET   ``predict_arrival`` for session + stop
 ``/v1/sessions``           GET   ``active_sessions`` summaries
 ``/v1/traffic-map``        GET   ``traffic_map``
+``/v1/models``             GET   model lifecycle status (serving version,
+                                 shadow scores, drift alarms)
 ``/health``                GET   ``health`` (503 unless status is ok)
 ``/metrics``               GET   serving + backend metric snapshots
 =========================  ====  ========================================
+
+With a :class:`~repro.lifecycle.manager.LifecycleManager` attached
+(``make_app(..., lifecycle=manager)``), ``/v1/models`` reports the full
+lifecycle status and every ``/v1/arrival`` query is *mirrored* to the
+shadow candidate — computed and discarded, never returned to the rider.
+Without one, ``/v1/models`` still answers from the backend's health
+(the serving model version), byte-identically across backends.
 
 Query endpoints take their clock as a ``now`` query parameter — the same
 keyword-only-clock rule as the in-process API.
@@ -44,7 +53,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Protocol
 
 from repro.core.server.api import RiderAPI, UnknownStopError
 from repro.core.server.backend import ServingBackend
@@ -55,6 +64,9 @@ from repro.sensing.reports import ScanReport
 from repro.serving.errors import WireError, WireErrorCode
 from repro.serving.http import Request, Response
 from repro.serving.wire import summarize_session, to_wire
+
+if TYPE_CHECKING:
+    from repro.lifecycle.manager import LifecycleManager
 
 __all__ = ["Endpoint", "ENDPOINTS", "ServingApp", "make_app", "QuerySurface"]
 
@@ -88,6 +100,7 @@ ENDPOINTS: tuple[Endpoint, ...] = (
     Endpoint(
         "traffic_map", "GET", "/v1/traffic-map", "serving.traffic_map", 0.100
     ),
+    Endpoint("models", "GET", "/v1/models", "serving.models", 0.100),
     Endpoint("health", "GET", "/health", "serving.health", 0.100),
     Endpoint("metrics", "GET", "/metrics", "serving.metrics", 0.100),
 )
@@ -145,9 +158,11 @@ class ServingApp:
         *,
         slos: Mapping[str, float] | None = None,
         metrics: ServerMetrics | None = None,
+        lifecycle: "LifecycleManager | None" = None,
     ) -> None:
         self.backend = backend
         self.queries = queries
+        self.lifecycle = lifecycle
         self.metrics = metrics if metrics is not None else ServerMetrics()
         overrides = dict(slos or {})
         self.endpoints: dict[str, dict[str, Endpoint]] = {}
@@ -165,6 +180,7 @@ class ServingApp:
             "arrival": self._h_arrival,
             "sessions": self._h_sessions,
             "traffic_map": self._h_traffic_map,
+            "models": self._h_models,
             "health": self._h_health,
             "metrics": self._h_metrics,
         }
@@ -384,6 +400,10 @@ class ServingApp:
     def _h_arrival(self, request: Request) -> Response:
         session = _require_str(request.query, "session")
         stop = _require_str(request.query, "stop")
+        if self.lifecycle is not None:
+            # Shadow the query against the candidate model (computed and
+            # discarded — the rider only ever sees the serving answer).
+            self.lifecycle.mirror_arrival(session, stop)
         try:
             prediction = self.backend.predict_arrival(session, stop)
         except UnknownStopError:
@@ -417,6 +437,26 @@ class ServingApp:
         now = _require_float(request.query, "now")
         return Response(
             200, {"traffic_map": to_wire(self.backend.traffic_map(now))}
+        )
+
+    def _h_models(self, request: Request) -> Response:
+        if self.lifecycle is not None:
+            return Response(
+                200, {"models": {"managed": True, **self.lifecycle.status()}}
+            )
+        # Unmanaged deployments still answer: the serving model version
+        # travels in every backend's health payload.
+        lifecycle = self.backend.health().get("lifecycle", {})
+        return Response(
+            200,
+            {
+                "models": {
+                    "managed": False,
+                    "serving": {
+                        "version": lifecycle.get("model_version", "offline")
+                    },
+                }
+            },
         )
 
     # -- operations -----------------------------------------------------------
@@ -453,6 +493,14 @@ def make_app(
     backend: ServingBackend,
     *,
     slos: Mapping[str, float] | None = None,
+    lifecycle: "LifecycleManager | None" = None,
 ) -> ServingApp:
-    """Wire a :class:`ServingApp` over any backend deployment shape."""
-    return ServingApp(backend, _query_surface(backend), slos=slos)
+    """Wire a :class:`ServingApp` over any backend deployment shape.
+
+    Pass a :class:`~repro.lifecycle.manager.LifecycleManager` to expose
+    the full lifecycle status on ``/v1/models`` and mirror rider arrival
+    queries to the shadow candidate.
+    """
+    return ServingApp(
+        backend, _query_surface(backend), slos=slos, lifecycle=lifecycle
+    )

@@ -1,0 +1,69 @@
+"""Placeholder baseline entries suppress nothing.
+
+``--write-baseline`` stamps new entries ``TODO: justify or fix``; until
+a human replaces that with a real justification the entry is inert — the
+finding stays active (gate red) and the entry reads as stale.  This is
+what keeps "regenerate the baseline" from being a silent bypass of the
+invariant gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.baseline import (
+    PLACEHOLDER_JUSTIFICATION,
+    Baseline,
+    BaselineEntry,
+    dumps_baseline,
+    loads_baseline,
+)
+from repro.analysis.findings import Finding
+
+pytestmark = pytest.mark.analysis
+
+FINDING = Finding(
+    file="src/repro/core/server/server.py",
+    line=10,
+    rule_id="WL004",
+    message="upward import: repro.core imports repro.guard",
+)
+
+
+def entry(justification: str) -> BaselineEntry:
+    return BaselineEntry(
+        rule=FINDING.rule_id,
+        file=FINDING.file,
+        match="imports repro.guard",
+        justification=justification,
+    )
+
+
+class TestPlaceholderEntries:
+    def test_justified_entry_suppresses(self):
+        assert entry("deliberate, see DESIGN.md").suppresses(FINDING)
+
+    def test_placeholder_entry_suppresses_nothing(self):
+        assert not entry(PLACEHOLDER_JUSTIFICATION).suppresses(FINDING)
+
+    def test_split_keeps_the_finding_active_and_marks_the_entry_stale(self):
+        baseline = Baseline(entries=(entry(PLACEHOLDER_JUSTIFICATION),))
+        active, suppressed, stale = baseline.split([FINDING])
+        assert active == [FINDING]
+        assert suppressed == []
+        assert stale == list(baseline.entries)
+
+    def test_justified_twin_still_works(self):
+        baseline = Baseline(entries=(entry("real reason"),))
+        active, suppressed, stale = baseline.split([FINDING])
+        assert active == []
+        assert suppressed == [FINDING]
+        assert stale == []
+
+    def test_placeholder_round_trips_through_the_file_format(self):
+        # Loading keeps the entry (the reminder survives) — only its
+        # suppression power is gone.
+        baseline = Baseline(entries=(entry(PLACEHOLDER_JUSTIFICATION),))
+        loaded = loads_baseline(dumps_baseline(baseline))
+        assert loaded.entries == baseline.entries
+        assert not loaded.entries[0].suppresses(FINDING)

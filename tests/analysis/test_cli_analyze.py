@@ -82,7 +82,7 @@ def test_findings_exit_code_and_json_shape(dirty_tree):
         assert f["line"] > 0
 
 
-def test_write_baseline_then_clean(dirty_tree):
+def test_write_baseline_stays_red_until_a_human_justifies(dirty_tree):
     baseline = dirty_tree / "analysis-baseline.json"
     wrote = run_cli("src", "--write-baseline", cwd=dirty_tree)
     assert wrote.returncode == 0, wrote.stdout + wrote.stderr
@@ -90,6 +90,16 @@ def test_write_baseline_then_clean(dirty_tree):
     assert {e.rule for e in entries} == {"WL001", "WL005"}
     assert all("TODO" in e.justification for e in entries)
 
+    # Placeholder justifications suppress nothing: regenerating the
+    # baseline is not a bypass, the gate stays red.
+    proc = run_cli("src", cwd=dirty_tree)
+    assert proc.returncode == 1
+    assert "WL001" in proc.stdout and "WL005" in proc.stdout
+
+    # Editing in real justifications is what turns the gate green.
+    baseline.write_text(
+        baseline.read_text().replace("TODO: justify or fix", "reviewed: fixture")
+    )
     proc = run_cli("src", cwd=dirty_tree)
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "baselined" in proc.stdout

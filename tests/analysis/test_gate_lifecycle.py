@@ -1,0 +1,74 @@
+"""The invariant gate covers the new lifecycle subsystem.
+
+Fixture mutations prove WL002 (metric registry) and WL004 (layering)
+flip red for ``repro.lifecycle`` specifically: renaming a lifecycle
+counter to an undeclared name trips the registry rule, and importing
+the serving layer from the lifecycle layer trips the upward-import
+rule.  Without these, the gate could silently not see the new package.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Baseline, analyze, load_baseline
+
+from tests.analysis.test_gate import BASELINE, _mutated_src
+
+pytestmark = [pytest.mark.analysis, pytest.mark.lifecycle]
+
+
+def test_gate_fails_on_undeclared_lifecycle_metric(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/lifecycle/manager.py",
+        '"lifecycle.retrains"',
+        '"lifecycle.retrainz"',
+    )
+    result = analyze([mutated], baseline=load_baseline(BASELINE), root=tmp_path)
+    wl002 = [f for f in result.findings if f.rule_id == "WL002"]
+    assert wl002, "an undeclared lifecycle metric must trip WL002"
+    assert any(
+        "lifecycle.retrainz" in f.message
+        and f.file.endswith("repro/lifecycle/manager.py")
+        and f.line > 0
+        for f in wl002
+    )
+
+
+def test_gate_fails_on_upward_import_from_lifecycle(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/lifecycle/manager.py",
+        "from __future__ import annotations",
+        "from __future__ import annotations\nfrom repro.serving.app import make_app",
+    )
+    result = analyze([mutated], baseline=Baseline(), root=tmp_path)
+    wl004 = [f for f in result.findings if f.rule_id == "WL004"]
+    assert wl004, "lifecycle importing serving must trip WL004"
+    offender = [
+        f for f in wl004 if f.file.endswith("repro/lifecycle/manager.py")
+    ]
+    assert len(offender) == 1
+    assert "repro.serving" in offender[0].message
+    injected_line = pathlib.Path(
+        mutated / "repro/lifecycle/manager.py"
+    ).read_text().splitlines().index(
+        "from repro.serving.app import make_app"
+    ) + 1
+    assert offender[0].line == injected_line
+
+
+def test_clean_lifecycle_package_passes_the_gate(tmp_path):
+    # Control: an unmutated copy stays green, so the two red results
+    # above are attributable to the mutations alone.
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/lifecycle/manager.py",
+        "from __future__ import annotations",
+        "from __future__ import annotations",
+    )
+    result = analyze([mutated], baseline=load_baseline(BASELINE), root=tmp_path)
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the model-lifecycle suite.
+
+``city`` is a small blueprint with moving buses (boundary crossings, so
+traversals exist for the retrainer to eat); every test that mutates a
+server builds a fresh twin.  ``record`` fabricates a completed
+traversal directly — unit tests of the retrainer/shadow/drift pieces
+feed stores by hand rather than driving the whole ingest path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arrival.history import TravelTimeRecord
+from repro.eval.synth_city import build_linear_city
+
+
+@pytest.fixture(scope="module")
+def city():
+    return build_linear_city(
+        num_routes=3,
+        sessions_per_route=3,
+        reports_per_session=6,
+        stops_per_route=6,
+        segments_per_route=5,
+        route_length_m=1500.0,
+        hub_every=3,
+        aps_per_route=8,
+        move_m_per_report=180.0,
+    )
+
+
+def record(
+    segment_id: str,
+    *,
+    route_id: str = "R000",
+    t_enter: float = 0.0,
+    travel_s: float = 40.0,
+) -> TravelTimeRecord:
+    return TravelTimeRecord(
+        route_id=route_id,
+        segment_id=segment_id,
+        t_enter=t_enter,
+        t_exit=t_enter + travel_s,
+    )

@@ -1,0 +1,65 @@
+"""The committed BENCH_lifecycle.json artifact stays well-formed.
+
+Tier-1 shape gate, following the BENCH_serving.json convention: the
+artifact must exist at the repo root, parse, and tell the regime-change
+story in the right *order* — frozen MAE far above the calibration
+baseline, shadow candidate far below serving, promoted MAE back near
+baseline — without pinning machine-dependent exact values (only the
+retrain latency varies between machines).  Regenerate with::
+
+    python -m repro.cli lifecycle --action bench --out BENCH_lifecycle.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.lifecycle
+
+ARTIFACT = Path(__file__).resolve().parents[2] / "BENCH_lifecycle.json"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    assert ARTIFACT.is_file(), (
+        "BENCH_lifecycle.json is missing from the repo root; regenerate it "
+        "with `python -m repro.cli lifecycle --action bench "
+        "--out BENCH_lifecycle.json`"
+    )
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestArtifactShape:
+    def test_versioned_and_named(self, bench):
+        assert bench["version"] == 1
+        assert bench["benchmark"] == "model_lifecycle"
+        assert bench["config"]["headway_s"] > bench["config"]["recent_window_s"]
+
+    def test_frozen_model_degrades(self, bench):
+        drill = bench["drill"]
+        assert drill["post_shift_frozen_mae_s"] > 5 * max(
+            drill["pre_shift_mae_s"], 1.0
+        )
+
+    def test_shadow_orders_the_models_correctly(self, bench):
+        shadow = bench["drill"]["shadow"]
+        assert shadow["samples"] >= 10
+        assert shadow["candidate_mae_s"] < 0.2 * shadow["serving_mae_s"]
+
+    def test_promotion_restores_accuracy(self, bench):
+        drill = bench["drill"]
+        assert drill["post_promotion_mae_s"] < 0.2 * drill["post_shift_frozen_mae_s"]
+
+    def test_versions_and_rollback_recorded(self, bench):
+        drill = bench["drill"]
+        assert drill["bootstrap_version"] != drill["promoted_version"]
+        assert drill["rollback_byte_identical"] is True
+        assert drill["drift_alarms"] > 0
+
+    def test_retrain_stats_are_sane(self, bench):
+        retrain = bench["retrain"]
+        assert retrain["latency_ms"] > 0.0
+        assert retrain["records"] >= retrain["segments"] > 0

@@ -1,0 +1,156 @@
+"""Drift alarms: residual divergence, seasonal shift, traffic-map spans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arrival.history import TravelTimeStore
+from repro.lifecycle.drift import (
+    RESIDUAL_DIVERGENCE,
+    SEASONAL_SHIFT,
+    DriftConfig,
+    DriftMonitor,
+    alarms_to_anomalies,
+    seasonal_shift,
+)
+from repro.lifecycle.shadow import ShadowSample
+
+from tests.lifecycle.conftest import record
+
+pytestmark = pytest.mark.lifecycle
+
+
+def sample(
+    segment_id: str,
+    serving_s: float | None,
+    candidate_s: float | None,
+) -> ShadowSample:
+    return ShadowSample(
+        segment_id=segment_id,
+        route_id="R000",
+        t=1000.0,
+        actual_s=50.0,
+        serving_s=serving_s,
+        candidate_s=candidate_s,
+    )
+
+
+class TestResidualDivergence:
+    def test_alarm_when_models_persistently_disagree(self):
+        monitor = DriftMonitor(DriftConfig(min_samples=3))
+        for _ in range(3):
+            monitor.observe(sample("S0", 40.0, 80.0))  # rel = 1.0
+        alarms = monitor.residual_alarms()
+        assert len(alarms) == 1
+        assert alarms[0].kind == RESIDUAL_DIVERGENCE
+        assert alarms[0].segment_id == "S0"
+        assert alarms[0].magnitude == pytest.approx(1.0)
+        assert alarms[0].samples == 3
+
+    def test_below_min_samples_is_silent(self):
+        monitor = DriftMonitor(DriftConfig(min_samples=3))
+        for _ in range(2):
+            monitor.observe(sample("S0", 40.0, 80.0))
+        assert monitor.residual_alarms() == []
+
+    def test_small_disagreement_is_silent(self):
+        monitor = DriftMonitor(DriftConfig(min_samples=1, residual_rel_threshold=0.25))
+        monitor.observe(sample("S0", 40.0, 44.0))  # rel = 0.1
+        assert monitor.residual_alarms() == []
+
+    def test_incomplete_samples_are_ignored(self):
+        monitor = DriftMonitor(DriftConfig(min_samples=1))
+        monitor.observe(sample("S0", None, 80.0))
+        monitor.observe(sample("S0", 40.0, None))
+        monitor.observe(sample("S0", 0.0, 80.0))  # non-positive serving
+        assert monitor.residual_alarms() == []
+
+    def test_reset_forgets_evidence(self):
+        monitor = DriftMonitor(DriftConfig(min_samples=1))
+        monitor.observe(sample("S0", 40.0, 80.0))
+        monitor.reset()
+        assert monitor.residual_alarms() == []
+
+    def test_config_validates(self):
+        with pytest.raises(ValueError):
+            DriftConfig(min_samples=0)
+        with pytest.raises(ValueError):
+            DriftConfig(residual_rel_threshold=0.0)
+
+
+def store_with(segment_id: str, hour_to_travel: dict[int, float]) -> TravelTimeStore:
+    store = TravelTimeStore()
+    for hour, travel_s in hour_to_travel.items():
+        for k in range(2):
+            store.add(
+                record(
+                    segment_id,
+                    t_enter=hour * 3600.0 + 120.0 * k,
+                    travel_s=travel_s,
+                )
+            )
+    return store
+
+
+class TestSeasonalShift:
+    def test_profile_change_is_detected(self):
+        # Serving: flat day.  Candidate: hour 8 doubled (a new rush hour).
+        serving = store_with("S0", {7: 40.0, 8: 40.0, 9: 40.0})
+        candidate = store_with("S0", {7: 40.0, 8: 80.0, 9: 40.0})
+        shifts = seasonal_shift(serving, candidate)
+        assert shifts["S0"] > 0.25
+        alarms = DriftMonitor().seasonal_alarms(serving, candidate)
+        assert [a.kind for a in alarms] == [SEASONAL_SHIFT]
+
+    def test_identical_profiles_are_silent(self):
+        serving = store_with("S0", {7: 40.0, 8: 60.0})
+        candidate = store_with("S0", {7: 40.0, 8: 60.0})
+        assert seasonal_shift(serving, candidate)["S0"] == pytest.approx(0.0)
+        assert DriftMonitor().seasonal_alarms(serving, candidate) == []
+
+    def test_only_shared_segments_compared(self):
+        serving = store_with("S0", {7: 40.0})
+        candidate = store_with("S1", {7: 40.0})
+        assert seasonal_shift(serving, candidate) == {}
+
+
+class TestAlarmsToAnomalies:
+    def test_alarm_becomes_whole_segment_span(self, city):
+        server = city.fresh_twin().server
+        route_id = sorted(server.routes)[0]
+        route = server.routes[route_id]
+        segment_id = route.segment_ids[1]
+        history = TravelTimeStore()
+        history.add(record(segment_id, route_id=route_id, t_enter=100.0))
+        monitor = DriftMonitor(DriftConfig(min_samples=1))
+        monitor.observe(
+            ShadowSample(segment_id, route_id, 100.0, 50.0, 40.0, 80.0)
+        )
+        anomalies = alarms_to_anomalies(
+            monitor.residual_alarms(),
+            server.routes,
+            history,
+            now=5000.0,
+            span_s=600.0,
+        )
+        assert len(anomalies) == 1
+        a = anomalies[0]
+        assert a.segment_id == segment_id
+        assert a.route_id == route_id
+        start = route.segment_start_arc(segment_id)
+        seg = route.segments[route.segment_index(segment_id)]
+        assert (a.arc_start, a.arc_end) == (start, start + seg.length)
+        assert (a.t_start, a.t_end) == (4400.0, 5000.0)
+
+    def test_unmapped_segment_is_dropped(self, city):
+        server = city.fresh_twin().server
+        history = TravelTimeStore()
+        history.add(record("GHOST", route_id="NOPE", t_enter=100.0))
+        monitor = DriftMonitor(DriftConfig(min_samples=1))
+        monitor.observe(ShadowSample("GHOST", "NOPE", 100.0, 50.0, 40.0, 80.0))
+        assert (
+            alarms_to_anomalies(
+                monitor.residual_alarms(), server.routes, history, now=5000.0
+            )
+            == []
+        )

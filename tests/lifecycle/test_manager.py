@@ -1,0 +1,298 @@
+"""LifecycleManager: attach, retrain, shadow, gate, promote, rollback.
+
+The traffic helper replays what ingest would do — ``predictor.observe``
+(live store) then the lifecycle hook — with fabricated traversals whose
+same-segment spacing (2400 s) exceeds the predictor's recency window,
+so a stale serving model *cannot* hide behind Eq. 8 residuals and the
+gate decisions under test are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lifecycle import (
+    LifecycleConfig,
+    LifecycleManager,
+    ModelRegistry,
+    RetrainConfig,
+    promotion_gate,
+    unwrap_server,
+)
+
+from tests.lifecycle.conftest import record
+
+pytestmark = pytest.mark.lifecycle
+
+HEADWAY_S = 2400.0  # > recent_window_s (1800 s)
+
+
+def config(**kw) -> LifecycleConfig:
+    base = dict(
+        retrain=RetrainConfig(min_records=10, interval_s=3600.0),
+        min_shadow_samples=5,
+        auto_retrain=False,
+    )
+    base.update(kw)
+    return LifecycleConfig(**base)
+
+
+@pytest.fixture()
+def server(city):
+    return city.fresh_twin().server
+
+
+@pytest.fixture()
+def manager(server, tmp_path):
+    m = LifecycleManager(server, ModelRegistry(tmp_path / "reg"), config())
+    m.attach()
+    return m
+
+
+def drive(server, manager, *, t0: float, rounds: int, travel_s: float):
+    """Replay ``rounds`` buses per route, one traversal per segment."""
+    recs = []
+    for k in range(rounds):
+        for route_id in sorted(server.routes):
+            for i, segment_id in enumerate(server.routes[route_id].segment_ids):
+                recs.append(
+                    record(
+                        segment_id,
+                        route_id=route_id,
+                        t_enter=t0 + k * HEADWAY_S + i * travel_s,
+                        travel_s=travel_s,
+                    )
+                )
+    for rec in sorted(recs, key=lambda r: r.t_exit):
+        server.predictor.observe(rec)  # what ingest does first
+        manager.observe(rec)           # then the chained hook
+    return len(recs)
+
+
+class TestUnwrap:
+    def test_plain_server_is_itself(self, server):
+        assert unwrap_server(server) is server
+
+    def test_durable_wrapper_is_unwrapped(self, city, tmp_path):
+        from repro.pipeline import DurableServer
+
+        durable = DurableServer(
+            city.fresh_twin().server, tmp_path / "wal", max_batch=8
+        )
+        try:
+            assert unwrap_server(durable) is durable.server
+        finally:
+            durable.close()
+
+    def test_non_server_raises(self):
+        with pytest.raises(TypeError):
+            unwrap_server(object())
+
+
+class TestPromotionGate:
+    def test_needs_samples(self):
+        ok, reason = promotion_gate(
+            serving_mae=10.0, candidate_mae=1.0, samples=3,
+            min_samples=5, rel_tolerance=0.05, abs_tolerance_s=0.5,
+        )
+        assert not ok and "insufficient" in reason
+
+    def test_needs_both_scores(self):
+        ok, reason = promotion_gate(
+            serving_mae=None, candidate_mae=1.0, samples=10,
+            min_samples=5, rel_tolerance=0.05, abs_tolerance_s=0.5,
+        )
+        assert not ok and "incomplete" in reason
+
+    def test_within_tolerance_passes(self):
+        ok, _ = promotion_gate(
+            serving_mae=10.0, candidate_mae=10.4, samples=10,
+            min_samples=5, rel_tolerance=0.05, abs_tolerance_s=0.5,
+        )
+        assert ok  # limit = 10*1.05 + 0.5 = 11.0
+
+    def test_worse_candidate_is_rejected(self):
+        ok, reason = promotion_gate(
+            serving_mae=10.0, candidate_mae=11.5, samples=10,
+            min_samples=5, rel_tolerance=0.05, abs_tolerance_s=0.5,
+        )
+        assert not ok and "exceeds" in reason
+
+
+class TestAttach:
+    def test_bootstrap_registers_the_serving_model(self, server, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        assert server.model_version == "offline"
+        manager = LifecycleManager(server, registry, config())
+        manager.attach()
+        assert registry.serving_version == "m000001"
+        assert server.model_version == "m000001"
+        assert registry.entry("m000001")["meta"]["origin"] == "bootstrap"
+        assert server.health()["lifecycle"]["model_version"] == "m000001"
+
+    def test_attach_is_idempotent_and_chains_prev_hook(self, server, tmp_path):
+        seen = []
+        server.on_traversal = seen.append
+        manager = LifecycleManager(server, ModelRegistry(tmp_path), config())
+        manager.attach()
+        manager.attach()
+        rec = record("R000_seg0", t_enter=1000.0)
+        server.on_traversal(rec)
+        assert seen == [rec]          # previous hook still fires, once
+        assert manager.now == rec.t_exit
+
+    def test_detach_restores_hooks(self, server, tmp_path):
+        prev = server.on_traversal
+        manager = LifecycleManager(server, ModelRegistry(tmp_path), config())
+        manager.attach()
+        manager.detach()
+        assert server.on_traversal is prev
+        assert server.extra_anomalies is None
+
+    def test_existing_registry_is_not_rebootstrapped(self, server, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        first = LifecycleManager(server, registry, config())
+        first.attach()
+        first.detach()
+        second = LifecycleManager(server, registry, config())
+        second.attach()
+        assert registry.versions() == ["m000001"]
+
+    def test_install_serving_restores_a_virgin_twin(self, city, manager, tmp_path):
+        version = manager.registry.serving_version
+        twin = city.fresh_twin().server
+        restarted = LifecycleManager(twin, manager.registry, config())
+        assert restarted.install_serving() == version
+        assert twin.model_version == version
+
+
+class TestRetrain:
+    def test_no_data_is_a_skip_not_an_error(self, server, manager):
+        result = manager.retrain(now=1000.0)
+        assert result["ok"] is False
+        assert "min_records" in result["reason"]
+        assert server.metrics.counter("lifecycle.retrain_skipped") == 1
+        assert manager.status()["retrainer"]["last_skip_reason"]
+
+    def test_retrain_snapshots_and_shadows_but_never_serves(self, server, manager):
+        drive(server, manager, t0=50_000.0, rounds=2, travel_s=75.0)
+        result = manager.retrain()
+        assert result["ok"] is True
+        version = result["version"]
+        assert version in manager.registry.versions()
+        assert manager.shadow is not None
+        assert manager.candidate_version == version
+        # The candidate is NOT serving: version and answers are unchanged.
+        assert server.model_version == "m000001"
+        assert manager.registry.serving_version == "m000001"
+
+    def test_auto_retrain_fires_on_the_report_clock(self, server, tmp_path):
+        manager = LifecycleManager(
+            server,
+            ModelRegistry(tmp_path),
+            config(
+                auto_retrain=True,
+                retrain=RetrainConfig(min_records=10, interval_s=3000.0),
+            ),
+        )
+        manager.attach()
+        drive(server, manager, t0=50_000.0, rounds=3, travel_s=75.0)
+        assert manager.retrainer.fits >= 1
+        assert server.metrics.counter("lifecycle.retrains") >= 1
+
+
+class TestPromoteAndRollback:
+    def run_shift(self, server, manager):
+        """Regime shift in miniature: slow traffic, retrain, shadow era."""
+        drive(server, manager, t0=50_000.0, rounds=2, travel_s=75.0)
+        retrained = manager.retrain()
+        assert retrained["ok"], retrained
+        # Three shadow rounds: every segment reaches the drift monitor's
+        # min_samples while staying outside the recency window.
+        drive(server, manager, t0=60_000.0, rounds=3, travel_s=75.0)
+        return retrained["version"]
+
+    def test_gate_promotes_a_better_candidate(self, server, manager):
+        version = self.run_shift(server, manager)
+        shadow = manager.shadow.summary()
+        assert shadow["candidate"]["mae_s"] < shadow["serving"]["mae_s"]
+        result = manager.try_promote()
+        assert result["ok"] is True, result
+        assert server.model_version == version
+        assert manager.registry.serving_version == version
+        assert manager.registry.previous_version == "m000001"
+        assert manager.shadow is None and manager.candidate is None
+        assert server.metrics.counter("lifecycle.promotions") == 1
+        # The shadow verdict is archived on the manifest entry.
+        assert manager.registry.entry(version)["shadow"]["samples"] > 0
+
+    def test_no_candidate_is_rejected(self, server, manager):
+        result = manager.try_promote()
+        assert result["ok"] is False
+        assert server.metrics.counter("lifecycle.promotions_rejected") == 1
+
+    def test_insufficient_evidence_is_rejected_but_force_overrides(
+        self, server, tmp_path
+    ):
+        manager = LifecycleManager(
+            server, ModelRegistry(tmp_path), config(min_shadow_samples=10_000)
+        )
+        manager.attach()
+        self.run_shift(server, manager)
+        rejected = manager.try_promote()
+        assert rejected["ok"] is False
+        assert "insufficient" in rejected["reason"]
+        assert server.model_version == "m000001"
+        forced = manager.try_promote(force=True)
+        assert forced["ok"] is True and forced["forced"] is True
+        assert server.model_version != "m000001"
+
+    def test_rollback_restores_byte_identical_model(self, server, manager):
+        registry = manager.registry
+        before = registry.model_bytes("m000001")
+        promoted = self.run_shift(server, manager)
+        manager.try_promote()
+        rolled = manager.rollback()
+        assert rolled["version"] == "m000001"
+        assert server.model_version == "m000001"
+        assert registry.model_bytes("m000001") == before
+        assert registry.previous_version == promoted
+        assert server.metrics.counter("lifecycle.rollbacks") == 1
+
+    def test_drift_check_feeds_the_anomaly_channel(self, server, manager):
+        self.run_shift(server, manager)
+        alarms = manager.drift_check()
+        assert alarms, "a doubled travel time must raise drift alarms"
+        assert server.metrics.counter("lifecycle.drift_alarms") == len(alarms)
+        anomalies = server.detect_anomalies(manager.now)
+        drifted = {a["segment_id"] for a in alarms}
+        assert drifted <= {a.segment_id for a in anomalies}
+
+
+class TestMirrorArrival:
+    def test_without_shadow_is_a_no_op(self, server, manager):
+        manager.mirror_arrival("any", "any")
+        assert server.metrics.counter("lifecycle.shadow_queries") == 0
+        assert server.metrics.counter("lifecycle.shadow_query_misses") == 0
+
+    def test_unknown_session_counts_a_miss(self, server, manager):
+        drive(server, manager, t0=50_000.0, rounds=2, travel_s=75.0)
+        assert manager.retrain()["ok"]
+        manager.mirror_arrival("no-such-session", "no-such-stop")
+        assert server.metrics.counter("lifecycle.shadow_query_misses") == 1
+
+    def test_live_session_is_mirrored_and_discarded(self, city, tmp_path):
+        twin = city.fresh_twin()
+        server = twin.server
+        manager = LifecycleManager(server, ModelRegistry(tmp_path), config())
+        manager.attach()
+        server.ingest_many(twin.reports)  # real sessions via real ingest
+        if not manager.retrain(now=manager.now)["ok"]:
+            pytest.skip("city too small for a retrain window")
+        session_key = twin.reports[0].session_key
+        route_id = server.sessions[session_key].route_id
+        stop = twin.stop_id_on(route_id, len(server.routes[route_id].stops) - 1)
+        before = server.model_version
+        manager.mirror_arrival(session_key, stop)
+        assert server.metrics.counter("lifecycle.shadow_queries") == 1
+        assert server.model_version == before  # nothing served, nothing swapped

@@ -1,0 +1,70 @@
+"""The regime-change acceptance drill, asserted end to end.
+
+The claims under test (the PR's acceptance criteria): a frozen model's
+MAE degrades after a traffic-regime shift, the shadow evaluator detects
+it on live traffic, the gated promotion restores accuracy, and rollback
+re-serves the byte-identical prior snapshot — all deterministic, with
+no rider query ever served by the unpromoted candidate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.regime import bench_artifact, run_regime_change
+
+pytestmark = pytest.mark.lifecycle
+
+
+@pytest.fixture(scope="module")
+def drill(tmp_path_factory):
+    return run_regime_change(tmp_path_factory.mktemp("registry"), quick=True)
+
+
+class TestRegimeChange:
+    def test_frozen_model_degrades_after_the_shift(self, drill):
+        assert drill.post_shift_frozen_mae_s > 5 * max(drill.pre_shift_mae_s, 1.0)
+
+    def test_shadow_detects_the_better_candidate(self, drill):
+        shadow = drill.shadow
+        assert shadow["samples"] >= 10
+        assert shadow["candidate"]["mae_s"] < 0.2 * shadow["serving"]["mae_s"]
+
+    def test_promotion_restores_accuracy(self, drill):
+        assert drill.post_promotion_mae_s < 0.2 * drill.post_shift_frozen_mae_s
+
+    def test_drift_alarms_fired_per_segment(self, drill):
+        assert drill.drift_alarms
+        for alarm in drill.drift_alarms:
+            assert alarm["magnitude"] >= 0.25
+            assert alarm["samples"] >= 3
+
+    def test_rollback_is_byte_identical_one_step(self, drill):
+        assert drill.rollback_byte_identical is True
+        assert drill.serving_after_rollback == drill.bootstrap_version
+        assert drill.serving_final == drill.promoted_version
+
+    def test_lifecycle_counters_tell_the_story(self, drill):
+        c = drill.lifecycle_counters
+        assert c["lifecycle.retrains"] == 1
+        assert c["lifecycle.snapshots_written"] == 1
+        assert c["lifecycle.promotions"] == 1
+        assert c["lifecycle.rollbacks"] == 2  # back, then forward again
+        assert c["lifecycle.shadow_samples"] >= 10
+        assert "lifecycle.promotions_rejected" not in c
+
+    def test_drill_is_deterministic(self, drill, tmp_path):
+        again = run_regime_change(tmp_path / "registry2", quick=True)
+        assert again.pre_shift_mae_s == drill.pre_shift_mae_s
+        assert again.post_shift_frozen_mae_s == drill.post_shift_frozen_mae_s
+        assert again.post_promotion_mae_s == drill.post_promotion_mae_s
+        assert again.shadow == drill.shadow
+        assert again.drift_alarms == drill.drift_alarms
+        assert again.lifecycle_counters == drill.lifecycle_counters
+
+    def test_bench_artifact_mirrors_the_drill(self, drill):
+        artifact = bench_artifact(drill)
+        assert artifact["benchmark"] == "model_lifecycle"
+        assert artifact["drill"]["promoted_version"] == drill.promoted_version
+        assert artifact["drill"]["shadow"]["samples"] == drill.shadow["samples"]
+        assert artifact["retrain"]["records"] == drill.retrain_records

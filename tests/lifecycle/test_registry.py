@@ -1,0 +1,149 @@
+"""ModelRegistry: snapshots, pointers, integrity, pruning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.arrival.history import TravelTimeStore
+from repro.core.arrival.seasonal import SlotScheme
+from repro.core.traffic.anomaly import DeltaEstimator
+from repro.lifecycle.model import TrainedModel, canonical_model_bytes, model_to_payload
+from repro.lifecycle.registry import ModelRegistry
+
+from tests.lifecycle.conftest import record
+
+pytestmark = pytest.mark.lifecycle
+
+
+def make_model(travel_s: float = 40.0, **meta) -> TrainedModel:
+    store = TravelTimeStore()
+    store.add(record("S0", t_enter=100.0, travel_s=travel_s))
+    store.add(record("S1", t_enter=200.0, travel_s=travel_s + 5.0))
+    slots = SlotScheme.hourly()
+    delta = DeltaEstimator(slots=slots)
+    return TrainedModel(
+        history=store,
+        slots=slots,
+        delta_state=delta.state_dict(),
+        meta={"origin": "test", **meta},
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_content_bytes(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        model = make_model()
+        version = registry.save(model, created_t=1000.0)
+        assert version == "m000001"
+        loaded = registry.load(version)
+        assert canonical_model_bytes(
+            model_to_payload(loaded)
+        ) == canonical_model_bytes(model_to_payload(model))
+        assert loaded.meta["origin"] == "test"
+
+    def test_versions_are_sequential_and_monotonic(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        got = [registry.save(make_model(), created_t=float(i)) for i in range(3)]
+        assert got == ["m000001", "m000002", "m000003"]
+        assert registry.versions() == got
+
+    def test_manifest_survives_reopen(self, tmp_path):
+        first = ModelRegistry(tmp_path)
+        v = first.save(make_model(), created_t=5.0)
+        first.set_serving(v)
+        second = ModelRegistry(tmp_path)
+        assert second.serving_version == v
+        assert second.versions() == [v]
+        assert second.entry(v)["created_t"] == 5.0
+
+    def test_tampered_snapshot_fails_integrity_check(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        version = registry.save(make_model(), created_t=0.0)
+        path = tmp_path / registry.entry(version)["file"]
+        payload = json.loads(path.read_text())
+        payload["meta"]["origin"] = "tampered"
+        path.write_text(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        with pytest.raises(ValueError, match="integrity"):
+            registry.load(version)
+
+    def test_unknown_version_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            ModelRegistry(tmp_path).model_bytes("m999999")
+
+    def test_update_shadow_lands_in_manifest(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        v = registry.save(make_model(), created_t=0.0)
+        registry.update_shadow(v, {"samples": 12, "mae_s": 1.5})
+        assert ModelRegistry(tmp_path).entry(v)["shadow"]["samples"] == 12
+
+
+class TestPointers:
+    def test_set_serving_tracks_previous(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.save(make_model(), created_t=0.0)
+        v2 = registry.save(make_model(50.0), created_t=1.0)
+        registry.set_serving(v1)
+        registry.set_serving(v2)
+        assert registry.serving_version == v2
+        assert registry.previous_version == v1
+
+    def test_repeated_set_serving_keeps_rollback_target(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.save(make_model(), created_t=0.0)
+        v2 = registry.save(make_model(50.0), created_t=1.0)
+        registry.set_serving(v1)
+        registry.set_serving(v2)
+        registry.set_serving(v2)  # idempotent: previous must not become v2
+        assert registry.previous_version == v1
+
+    def test_rollback_swaps_and_reswaps(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.save(make_model(), created_t=0.0)
+        v2 = registry.save(make_model(50.0), created_t=1.0)
+        registry.set_serving(v1)
+        registry.set_serving(v2)
+        assert registry.rollback() == v1
+        assert (registry.serving_version, registry.previous_version) == (v1, v2)
+        assert registry.rollback() == v2
+        assert (registry.serving_version, registry.previous_version) == (v2, v1)
+
+    def test_rollback_without_previous_refuses(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(make_model(), created_t=0.0)
+        with pytest.raises(ValueError, match="no previous"):
+            registry.rollback()
+
+    def test_rollback_returns_byte_identical_snapshot(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.save(make_model(40.0), created_t=0.0)
+        v2 = registry.save(make_model(75.0), created_t=1.0)
+        registry.set_serving(v1)
+        before = registry.model_bytes(v1)
+        registry.set_serving(v2)
+        rolled = registry.rollback()
+        assert registry.model_bytes(rolled) == before
+
+
+class TestPruning:
+    def test_prune_keeps_retain_newest(self, tmp_path):
+        registry = ModelRegistry(tmp_path, retain=2)
+        for i in range(5):
+            registry.save(make_model(40.0 + i), created_t=float(i))
+        assert registry.versions() == ["m000004", "m000005"]
+        # pruned snapshot files are actually gone
+        files = {p.name for p in tmp_path.glob("model-*.json")}
+        assert files == {"model-m000004.json", "model-m000005.json"}
+
+    def test_prune_never_drops_serving_or_previous(self, tmp_path):
+        registry = ModelRegistry(tmp_path, retain=1)
+        v1 = registry.save(make_model(), created_t=0.0)
+        registry.set_serving(v1)
+        v2 = registry.save(make_model(50.0), created_t=1.0)
+        registry.set_serving(v2)
+        for i in range(3):
+            registry.save(make_model(60.0 + i), created_t=float(2 + i))
+        kept = set(registry.versions())
+        assert {v1, v2} <= kept
+        registry.load(v1)  # still loadable, digest intact

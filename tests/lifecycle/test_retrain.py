@@ -1,0 +1,126 @@
+"""RollingRetrainer: report-time cadence, window filtering, carry-forward."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lifecycle.retrain import RetrainConfig, RetrainDataError, RollingRetrainer
+
+from tests.lifecycle.conftest import record
+
+pytestmark = pytest.mark.lifecycle
+
+
+class TestSchedule:
+    def test_not_due_before_anchor(self):
+        r = RollingRetrainer(RetrainConfig(interval_s=100.0))
+        assert not r.due(1e9)
+
+    def test_anchor_starts_the_clock_once(self):
+        r = RollingRetrainer(RetrainConfig(interval_s=100.0))
+        r.anchor(50.0)
+        r.anchor(500.0)  # later anchors are ignored
+        assert r.last_fit_t == 50.0
+        assert not r.due(149.0)
+        assert r.due(150.0)
+
+    def test_config_validates(self):
+        with pytest.raises(ValueError):
+            RetrainConfig(interval_s=0.0)
+        with pytest.raises(ValueError):
+            RetrainConfig(window_s=-1.0)
+        with pytest.raises(ValueError):
+            RetrainConfig(min_records=0)
+
+
+@pytest.fixture()
+def server(city):
+    return city.fresh_twin().server
+
+
+def fill_live(server, *, t0: float, travel_s: float, per_segment: int = 3):
+    """Stamp completed traversals straight into the live store."""
+    for route_id in sorted(server.routes):
+        route = server.routes[route_id]
+        for i, segment_id in enumerate(route.segment_ids):
+            for k in range(per_segment):
+                server.predictor.live.add(
+                    record(
+                        segment_id,
+                        route_id=route_id,
+                        t_enter=t0 + 60.0 * i + 600.0 * k,
+                        travel_s=travel_s,
+                    )
+                )
+
+
+class TestFit:
+    def test_window_filters_old_records(self, server):
+        fill_live(server, t0=1000.0, travel_s=40.0)       # old era
+        fill_live(server, t0=50_000.0, travel_s=80.0)     # fresh era
+        r = RollingRetrainer(
+            RetrainConfig(window_s=10_000.0, min_records=5, carry_forward=False)
+        )
+        model = r.fit(server, now=55_000.0)
+        assert model.meta["origin"] == "retrain"
+        assert model.meta["trained_to_t"] == 55_000.0
+        # Only the fresh era made it in: every record is an 80 s traversal.
+        for sid in model.history.segment_ids():
+            for rec in model.history.records(sid):
+                assert rec.travel_time == 80.0
+
+    def test_data_starved_window_raises(self, server):
+        fill_live(server, t0=1000.0, travel_s=40.0)
+        r = RollingRetrainer(RetrainConfig(window_s=100.0, min_records=5))
+        with pytest.raises(RetrainDataError, match="min_records"):
+            r.fit(server, now=1e6)
+
+    def test_fit_advances_the_schedule(self, server):
+        fill_live(server, t0=1000.0, travel_s=40.0)
+        r = RollingRetrainer(RetrainConfig(interval_s=500.0, min_records=5))
+        r.anchor(1000.0)
+        r.fit(server, now=5000.0)
+        assert r.last_fit_t == 5000.0
+        assert r.fits == 1
+        assert not r.due(5400.0)
+
+    def test_carry_forward_keeps_uncovered_segments(self, server):
+        # Fresh evidence on one route only; the serving history covers all.
+        route_id = sorted(server.routes)[0]
+        for segment_id in server.routes[route_id].segment_ids:
+            for k in range(3):
+                server.predictor.live.add(
+                    record(
+                        segment_id,
+                        route_id=route_id,
+                        t_enter=50_000.0 + 600.0 * k,
+                        travel_s=80.0,
+                    )
+                )
+        cfg = RetrainConfig(window_s=10_000.0, min_records=5)
+        model = RollingRetrainer(cfg).fit(server, now=55_000.0)
+        serving_segments = set(server.predictor.history.segment_ids())
+        assert serving_segments <= set(model.history.segment_ids())
+        assert model.meta["carried_records"] > 0
+        no_carry = RetrainConfig(
+            window_s=10_000.0, min_records=5, carry_forward=False
+        )
+        thin = RollingRetrainer(no_carry).fit(server, now=55_000.0)
+        assert set(thin.history.segment_ids()) == set(
+            server.routes[route_id].segment_ids
+        )
+
+    def test_fit_is_deterministic(self, city):
+        twins = []
+        for _ in range(2):
+            server = city.fresh_twin().server
+            fill_live(server, t0=50_000.0, travel_s=80.0)
+            model = RollingRetrainer(
+                RetrainConfig(window_s=10_000.0, min_records=5)
+            ).fit(server, now=55_000.0)
+            twins.append(model)
+        from repro.lifecycle.model import canonical_model_bytes, model_to_payload
+
+        assert canonical_model_bytes(
+            model_to_payload(twins[0])
+        ) == canonical_model_bytes(model_to_payload(twins[1]))

@@ -1,0 +1,56 @@
+"""health() key conformance across all three deployment shapes.
+
+The ServingBackend health contract: every backend answers with the same
+core keys — ``status``, ``stats``, ``sessions`` and (this PR) the
+``lifecycle`` section carrying the serving model version — so an
+operator dashboard reads any deployment shape without branching.
+Shape-specific extensions (breaker/WAL for durable, plan/bus/shards for
+the cluster) ride on top and are checked for their owners only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytestmark = pytest.mark.serving
+
+CORE_KEYS = {"status", "stats", "sessions", "lifecycle"}
+
+
+class TestHealthKeyParity:
+    def test_core_keys_on_every_backend(self, trio):
+        for name, backend in trio.items():
+            health = backend.health()
+            missing = CORE_KEYS - set(health)
+            assert not missing, f"{name} health() lacks {sorted(missing)}"
+
+    def test_lifecycle_section_shape(self, trio):
+        for name, backend in trio.items():
+            lifecycle = backend.health()["lifecycle"]
+            assert set(lifecycle) == {"model_version"}, name
+            assert isinstance(lifecycle["model_version"], str), name
+            assert lifecycle["model_version"], name
+
+    def test_unmanaged_backends_agree_on_offline(self, trio):
+        versions = {
+            name: backend.health()["lifecycle"]["model_version"]
+            for name, backend in trio.items()
+        }
+        assert set(versions.values()) == {"offline"}, versions
+
+    def test_sessions_key_counts_open_sessions(self, city, trio):
+        for name, backend in trio.items():
+            backend.ingest_many(city.reports)
+            health = backend.health()
+            assert health["sessions"]["open"] > 0, name
+
+    def test_durable_and_cluster_extensions_ride_on_top(self, trio):
+        durable = trio["durable"].health()
+        assert {"breaker", "wal", "degraded_reports"} <= set(durable)
+        cluster = trio["cluster"].health()
+        assert {"plan", "bus", "shards"} <= set(cluster)
+
+    def test_cluster_reports_single_shared_version(self, trio):
+        # All shards serve the same (offline) model -> the router folds
+        # their versions into one; "mixed" would flag a torn deployment.
+        assert trio["cluster"].health()["lifecycle"]["model_version"] == "offline"

@@ -1,0 +1,100 @@
+"""``GET /v1/models``: unmanaged parity, managed status, arrival mirroring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lifecycle import (
+    LifecycleConfig,
+    LifecycleManager,
+    ModelRegistry,
+    RetrainConfig,
+)
+from repro.serving import HttpServer, make_app
+
+from tests.serving.conftest import http_request, parse_response
+
+pytestmark = [pytest.mark.serving, pytest.mark.lifecycle]
+
+MODELS = http_request("GET", "/v1/models")
+
+
+class TestUnmanaged:
+    def test_byte_identical_across_all_backends(self, trio):
+        answers = {
+            name: HttpServer(make_app(backend).dispatch).handle_bytes(MODELS)
+            for name, backend in trio.items()
+        }
+        assert len(set(answers.values())) == 1, answers
+
+    def test_reports_offline_serving_version(self, trio):
+        status, body = parse_response(
+            HttpServer(make_app(trio["plain"]).dispatch).handle_bytes(MODELS)
+        )
+        assert status == 200
+        assert body["models"] == {
+            "managed": False,
+            "serving": {"version": "offline"},
+        }
+
+
+@pytest.fixture()
+def managed(city, tmp_path):
+    """A plain backend with an attached lifecycle manager, warmed up."""
+    twin = city.fresh_twin()
+    manager = LifecycleManager(
+        twin.server,
+        ModelRegistry(tmp_path / "reg"),
+        LifecycleConfig(
+            retrain=RetrainConfig(min_records=10),
+            min_shadow_samples=5,
+            auto_retrain=False,
+        ),
+    )
+    manager.attach()
+    twin.server.ingest_many(twin.reports)
+    app = make_app(twin.server, lifecycle=manager)
+    return twin, manager, HttpServer(app.dispatch)
+
+class TestManaged:
+    def test_full_lifecycle_status_served(self, managed):
+        _, manager, server = managed
+        status, body = parse_response(server.handle_bytes(MODELS))
+        assert status == 200
+        models = body["models"]
+        assert models["managed"] is True
+        assert models["serving"]["version"] == "m000001"
+        assert models["registry"]["serving"] == "m000001"
+        assert models["candidate"] is None
+        assert models["now"] == manager.now
+
+    def test_candidate_appears_after_retrain(self, managed):
+        _, manager, server = managed
+        if not manager.retrain()["ok"]:
+            pytest.skip("city too small for a retrain window")
+        _, body = parse_response(server.handle_bytes(MODELS))
+        models = body["models"]
+        assert models["candidate"]["candidate_version"] == "m000002"
+        assert models["serving"]["version"] == "m000001"  # still the old one
+
+    def test_arrival_is_mirrored_to_the_shadow(self, managed):
+        twin, manager, server = managed
+        if not manager.retrain()["ok"]:
+            pytest.skip("city too small for a retrain window")
+        session = twin.reports[0].session_key
+        route_id = twin.server.sessions[session].route_id
+        stop = twin.stop_id_on(route_id, len(twin.routes[route_id].stops) - 1)
+        raw = server.handle_bytes(
+            http_request("GET", f"/v1/arrival?session={session}&stop={stop}")
+        )
+        status, body = parse_response(raw)
+        assert status == 200
+        counters = twin.server.metrics.counters
+        assert (
+            counters.get("lifecycle.shadow_queries", 0)
+            + counters.get("lifecycle.shadow_query_misses", 0)
+            == 1
+        )
+        # The rider answer is the serving model's — mirroring swapped nothing.
+        assert twin.server.model_version == "m000001"
+        assert "arrival" in body

@@ -1,0 +1,80 @@
+"""SessionSummary: the wire-facing projection of a live BusSession."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.serving.session_summary import SessionSummary
+from repro.serving.wire import from_wire, summarize_session, to_wire
+
+pytestmark = pytest.mark.serving
+
+
+class TestDataclass:
+    def test_is_frozen(self):
+        summary = SessionSummary("k", "r", 3, 120.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            summary.reports_seen = 4
+
+    def test_slots_leave_no_instance_dict(self):
+        summary = SessionSummary("k", "r", 3, 120.0)
+        assert not hasattr(summary, "__dict__")
+        assert set(SessionSummary.__slots__) == {
+            "session_key", "route_id", "reports_seen", "last_report_t",
+        }
+
+    def test_last_report_t_may_be_none(self):
+        summary = SessionSummary("k", "r", 0, None)
+        assert summary.last_report_t is None
+
+    def test_wire_payload_is_field_complete(self):
+        wire = to_wire(SessionSummary("bus:1", "R9", 7, 42.5))
+        assert wire == {
+            "kind": "session",
+            "session": "bus:1",
+            "route": "R9",
+            "reports_seen": 7,
+            "last_report_t": 42.5,
+        }
+
+    def test_wire_round_trip_is_exact(self):
+        for summary in (
+            SessionSummary("bus:1", "R9", 7, 42.5),
+            SessionSummary("bus:2", "R0", 0, None),
+        ):
+            assert from_wire(to_wire(summary)) == summary
+
+
+class TestSummarizeSession:
+    @pytest.fixture(scope="class")
+    def server(self, city):
+        twin = city.fresh_twin()
+        twin.server.ingest_many(twin.reports)
+        return twin.server
+
+    def test_projects_live_state_faithfully(self, server):
+        assert server.sessions, "ingest must have opened sessions"
+        for key, session in server.sessions.items():
+            summary = summarize_session(session)
+            assert summary.session_key == key == session.session_key
+            assert summary.route_id == session.route_id
+            assert summary.reports_seen == session.reports_seen
+            assert summary.last_report_t == session.last_report_t
+            assert summary.reports_seen > 0
+            assert summary.last_report_t is not None
+
+    def test_projection_carries_no_server_internals(self, server):
+        session = next(iter(server.sessions.values()))
+        summary = summarize_session(session)
+        fields = {f.name for f in dataclasses.fields(summary)}
+        assert fields == {
+            "session_key",
+            "route_id",
+            "reports_seen",
+            "last_report_t",
+        }
+        # The wire projection must not alias live mutable state.
+        assert not hasattr(summary, "trajectory")
+        assert not hasattr(summary, "tracker")
