@@ -34,7 +34,7 @@ from typing import Iterable
 from repro.analysis.findings import FileContext, Finding, dotted_name, import_aliases
 
 DETERMINISTIC_PACKAGES = frozenset(
-    {"core", "pipeline", "guard", "cluster", "eval", "lifecycle"}
+    {"core", "pipeline", "guard", "cluster", "eval", "lifecycle", "elastic"}
 )
 
 _BANNED_EXACT = {

@@ -44,6 +44,7 @@ LAYER_RANKS: dict[str, int] = {
     "eval": 9,
     "cluster": 10,
     "serving": 11,
+    "elastic": 11,   # peers with serving: both sit on cluster, under cli
     "cli": 12,
 }
 

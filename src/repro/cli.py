@@ -25,8 +25,13 @@ the same synthetic city (all take ``--data-dir``, default
 
 ``cluster`` runs the sharded serving layer's acceptance story (cross-
 shard accuracy parity over the delta bus, then a chaos crash/recover
-drill); ``--json`` switches ``metrics``, ``health`` and ``cluster`` to
-machine-readable output.
+drill) and prints a warm cluster's health — per-subscriber delta-bus
+lag and the live reshard phase; ``--json`` switches ``metrics``,
+``health`` and ``cluster`` to machine-readable output.  ``elastic``
+runs the live split/merge chaos drill (:mod:`repro.elastic`) and
+writes ``BENCH_elastic.json``:
+
+    python -m repro.cli elastic --out BENCH_elastic.json
 
 ``checkpoint`` ingests the city durably (WAL + micro-batches + periodic
 checkpoints), ``wal-stat`` prints the log's segment table, ``replay``
@@ -455,12 +460,17 @@ def run_cluster_cmd(args) -> None:
     )
     with tempfile.TemporaryDirectory() as tmp:
         drill = run_failover_drill(tmp)
+    health = _cluster_health_snapshot(args.quick)
     if getattr(args, "json", False):
         import json
 
         print(
             json.dumps(
-                {"accuracy": asdict(accuracy), "failover": asdict(drill)},
+                {
+                    "accuracy": asdict(accuracy),
+                    "failover": asdict(drill),
+                    "health": health,
+                },
                 indent=2,
             )
         )
@@ -471,6 +481,64 @@ def run_cluster_cmd(args) -> None:
     print("  failover drill (crash the feeder shard mid-run):")
     for line in drill.summary().splitlines():
         print(f"    {line}")
+    bus = health["bus"]
+    lag = ", ".join(
+        f"shard {sid}: {n}" for sid, n in bus["lag_by_subscriber"].items()
+    )
+    print("  live cluster health:")
+    print(f"    status {health['status']}, backlog {bus['backlog']} "
+          f"(per subscriber: {lag or 'none'})")
+    print(f"    reshard phase: {health['reshard']['phase']} "
+          f"(hold_active={health['reshard']['hold_active']}, "
+          f"parked={health['reshard']['parked']})")
+
+
+def _cluster_health_snapshot(quick: bool) -> dict:
+    """A warm cluster's ``health()``: per-subscriber delta-bus lag plus
+    the live reshard phase — the surface the autoscaler and an operator
+    dashboard both read."""
+    from repro.cluster.build import build_cluster
+    from repro.eval.synth_city import build_overlap_city
+    from repro.cluster.experiment import split_pairs_plan
+
+    city = build_overlap_city(
+        num_pairs=1 if quick else 2, feeder_sessions=2, query_sessions=2
+    )
+    router = build_cluster(city.server, split_pairs_plan(city, 2))
+    router.ingest_many(sorted(city.reports, key=lambda r: r.t))
+    router.flush()
+    router.pump(now=city.now)
+    return router.health()
+
+
+def run_elastic_cmd(args) -> None:
+    """The elastic-reshard chaos drill, then ``BENCH_elastic.json``.
+
+    Runs the full scenario matrix (see :mod:`repro.elastic.drill`): a
+    clean autoscaled split under a corrupted stream, one injected fault
+    per migration phase with clean rollback, two coordinator-death
+    resumes, and a cold-shard merge — every scenario ending in byte
+    parity with a never-resharded twin.  The artifact written to
+    ``--out`` is the committed benchmark the tier-1 shape gate checks.
+    """
+    import json
+    import tempfile
+
+    from repro.elastic.drill import bench_artifact, run_elastic_drill
+
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_elastic_drill(tmp)
+    artifact = bench_artifact(result)
+    out = args.out or "BENCH_elastic.json"
+    with open(out, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if getattr(args, "json", False):
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    else:
+        for line in result.summary().splitlines():
+            print(f"  {line}")
+    print(f"  wrote {out}")
 
 
 def run_serve_cmd(args) -> None:
@@ -709,6 +777,10 @@ DURABILITY_CMDS = {
         "Sharded cluster: cross-shard accuracy parity + failover drill",
         run_cluster_cmd,
     ),
+    "elastic": (
+        "Elastic reshard chaos drill -> BENCH_elastic.json",
+        run_elastic_cmd,
+    ),
 }
 
 # Experiments that never touch the (expensive) corridor world.
@@ -784,7 +856,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "output artifact path (loadgen -> BENCH_serving.json, "
-            "lifecycle bench -> BENCH_lifecycle.json)"
+            "lifecycle bench -> BENCH_lifecycle.json, "
+            "elastic -> BENCH_elastic.json)"
         ),
     )
     parser.add_argument(

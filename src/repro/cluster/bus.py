@@ -59,6 +59,21 @@ class DeltaBus:
             raise ValueError(f"shard {node.shard_id} already attached")
         self.nodes[node.shard_id] = node
 
+    def detach(self, shard_id: int) -> None:
+        """Remove a shard and every cursor involving it (shard merge).
+
+        The resharding engine detaches a drained source only after the
+        surviving shards hold all of its state; dropping the cursors is
+        what lets a *future* shard under the same id join as a genuinely
+        fresh origin (its subscribers' ``cluster.applied_from.*``
+        counters are the engine's responsibility).
+        """
+        if shard_id not in self.nodes:
+            raise ValueError(f"shard {shard_id} was never attached")
+        del self.nodes[shard_id]
+        for key in [k for k in self.cursors if shard_id in k]:
+            del self.cursors[key]
+
     def replace_node(self, node: ShardNode) -> None:
         """Swap in a recovered incarnation of an attached shard.
 
@@ -131,6 +146,10 @@ class DeltaBus:
 
     def health(self) -> dict:
         lag = self.lag()
+        by_subscriber: dict[str, int] = {}
+        for (_, sub_id), n in sorted(lag.items()):
+            key = str(sub_id)
+            by_subscriber[key] = by_subscriber.get(key, 0) + n
         return {
             "enabled": self.enabled,
             "nodes": sorted(self.nodes),
@@ -139,4 +158,8 @@ class DeltaBus:
             "max_lag": max(lag.values(), default=0),
             "max_staleness_s": self.max_staleness_s,
             "lag": {f"{o}->{s}": n for (o, s), n in sorted(lag.items())},
+            # Per-subscriber totals: the signal an operator (and the
+            # autoscaler) actually watches — which shard is falling
+            # behind, regardless of which origins it owes.
+            "lag_by_subscriber": by_subscriber,
         }

@@ -121,6 +121,19 @@ class ShardNode:
         # replayed traversals re-emit their deltas deterministically.
         self.core.on_traversal = self._on_traversal
 
+    def rebind_plan(self, plan: ShardPlan) -> None:
+        """Adopt a new placement: recompute the publish/subscribe sets.
+
+        Called by the resharding engine once a migration's cutover
+        barrier has committed — from that point the node publishes the
+        segments that are cross-shard *under the new plan* (sequence
+        numbers keep running; subscribers that were behind still drain
+        the old outbox entries first).
+        """
+        self.plan = plan
+        self._published = plan.published_segments(self.shard_id)
+        self._subscribed = plan.subscribed_segments(self.shard_id)
+
     def make_durable(self, data_dir: str | Path, **kwargs) -> DurableServer:
         """Wrap the node's core server in a per-shard :class:`DurableServer`.
 

@@ -63,18 +63,27 @@ class ClusterRouter:
         self.nodes = dict(nodes)
         self.bus = bus
         self.metrics = ServerMetrics()
-        self.breakers = {
-            sid: CircuitBreaker(
-                failure_threshold=breaker_threshold,
-                probe_after=breaker_probe_after,
-                name=f"shard{sid}",
-                metrics=self.metrics,
-            )
-            for sid in self.nodes
-        }
+        self._breaker_threshold = breaker_threshold
+        self._breaker_probe_after = breaker_probe_after
+        self.breakers = {sid: self._new_breaker(sid) for sid in self.nodes}
         self._down: set[int] = set()
         self._session_shard: dict[str, int] = {}
         self._rider_apis: dict[int, RiderAPI] = {}
+        self._held_routes: set[str] = set()
+        self._parked: list[ScanReport] = []
+        self._park_sink = None
+        #: Live reshard state-machine status (maintained by
+        #: :class:`repro.elastic.engine.ReshardEngine`); surfaced under
+        #: the ``reshard`` key of :meth:`health`.
+        self.reshard_status: dict = {"phase": "idle"}
+
+    def _new_breaker(self, shard_id: int) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self._breaker_threshold,
+            probe_after=self._breaker_probe_after,
+            name=f"shard{shard_id}",
+            metrics=self.metrics,
+        )
 
     # -- membership / failover ----------------------------------------------
 
@@ -102,6 +111,78 @@ class ClusterRouter:
         self.bus.replace_node(node)
         self.breakers[shard_id].record_success()
         self.metrics.incr("cluster.shard_restores")
+
+    def apply_topology(
+        self,
+        plan: ShardPlan,
+        *,
+        attach: ShardNode | None = None,
+        detach: int | None = None,
+    ) -> None:
+        """Adopt a migration's post-cutover topology (engine-only).
+
+        ``plan`` becomes the routing plan; ``attach`` joins a node for a
+        brand-new shard id (split), ``detach`` removes a drained one
+        (merge).  Delta-bus rewiring — attach order, cursor priming —
+        is the resharding engine's job; here the router swaps routing
+        state and drops every cache keyed by the old placement.
+        """
+        if attach is not None:
+            if attach.shard_id in self.nodes:
+                raise ValueError(f"shard {attach.shard_id} already a member")
+            self.nodes[attach.shard_id] = attach
+            self.breakers[attach.shard_id] = self._new_breaker(attach.shard_id)
+        if detach is not None:
+            if detach not in self.nodes:
+                raise ValueError(f"unknown shard {detach}")
+            del self.nodes[detach]
+            del self.breakers[detach]
+            self._down.discard(detach)
+        missing = set(plan.shard_ids()) - set(self.nodes)
+        if missing:
+            raise ValueError(f"plan shards without a node: {sorted(missing)}")
+        self.plan = plan
+        self._session_shard.clear()
+        self._rider_apis.clear()
+
+    # -- reshard hold (cutover double-write) ---------------------------------
+
+    @property
+    def reshard_hold_active(self) -> bool:
+        return bool(self._held_routes)
+
+    def begin_reshard_hold(
+        self,
+        route_ids: Iterable[str],
+        *,
+        sink=None,
+        parked: Sequence[ScanReport] = (),
+    ) -> None:
+        """Park ingest for the given routes instead of routing it.
+
+        During a migration's cutover window the moving routes have no
+        authoritative owner; their reports are *parked* — accepted,
+        retained in arrival order, and (via ``sink``, typically the
+        migration journal) double-written to durable storage — then
+        resubmitted by :meth:`end_reshard_hold`'s caller once the new
+        owner is live.  ``parked`` pre-loads reports already journaled
+        by an interrupted coordinator (resume path).
+        """
+        if self._held_routes:
+            raise ValueError("a reshard hold is already active")
+        held = set(route_ids)
+        if not held:
+            raise ValueError("cannot hold zero routes")
+        self._held_routes = held
+        self._parked = list(parked)
+        self._park_sink = sink
+
+    def end_reshard_hold(self) -> list[ScanReport]:
+        """Lift the hold; returns the parked reports for resubmission."""
+        parked, self._parked = self._parked, []
+        self._held_routes = set()
+        self._park_sink = None
+        return parked
 
     # -- error isolation -----------------------------------------------------
 
@@ -140,8 +221,17 @@ class ClusterRouter:
 
         A report for a downed shard is refused (False, counted
         ``cluster.ingest_rejected``) — callers park and resubmit after
-        :meth:`restore_shard`, mirroring a load balancer's 503.
+        :meth:`restore_shard`, mirroring a load balancer's 503.  A
+        report for a route under a reshard hold is *accepted* but
+        parked (counted ``reshard.parked_reports``): zero-loss cutover
+        means the caller never sees the migration.
         """
+        if report.route_id in self._held_routes:
+            self._parked.append(report)
+            if self._park_sink is not None:
+                self._park_sink(report)
+            self.metrics.incr("reshard.parked_reports")
+            return True
         shard_id = self.plan.shard_of(report.route_id)
         if shard_id in self._down:
             self.metrics.incr("cluster.ingest_rejected")
@@ -176,6 +266,12 @@ class ClusterRouter:
             )
         routed = 0
         for report in sorted(reports, key=lambda r: r.t):
+            if report.route_id in self._held_routes:
+                self._parked.append(report)
+                if self._park_sink is not None:
+                    self._park_sink(report)
+                self.metrics.incr("reshard.parked_reports")
+                continue
             shard_id = self.plan.shard_of(report.route_id)
             if shard_id in self._down:
                 self.metrics.incr("cluster.ingest_rejected")
@@ -510,6 +606,11 @@ class ClusterRouter:
             "stats": dict(sorted(stats_total.items())),
             "sessions": {"open": open_sessions},
             "lifecycle": {"model_version": model_version},
+            "reshard": {
+                **self.reshard_status,
+                "hold_active": self.reshard_hold_active,
+                "parked": len(self._parked),
+            },
             "plan": self.plan.snapshot(),
             "bus": self.bus.health(),
             "breakers": {

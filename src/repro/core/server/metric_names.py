@@ -113,6 +113,23 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "lifecycle.shadow_queries",
     "lifecycle.shadow_query_misses",
     "lifecycle.drift_alarms",
+    # -- elastic resharding (PR 8): migration engine + autoscaler ------------
+    "reshard.migrations_started",
+    "reshard.migrations_committed",
+    "reshard.migrations_aborted",
+    "reshard.migrations_resumed",
+    "reshard.parked_reports",
+    "reshard.resubmitted_reports",
+    "reshard.handoff_sessions",
+    "reshard.handoff_records",
+    "reshard.catchup_replayed",
+    "reshard.synced_records",
+    "reshard.pruned_sessions",
+    "reshard.pruned_records",
+    "autoscale.evaluations",
+    "autoscale.split_proposals",
+    "autoscale.merge_proposals",
+    "autoscale.holds",
 })
 
 # Dynamic families: the literal head of an f-string metric name must match

@@ -1,0 +1,64 @@
+"""Elastic resharding: live shard split/merge with zero report loss.
+
+The subsystem that lets the cluster's shard count follow the city's
+traffic instead of a provisioning guess:
+
+* :mod:`repro.elastic.machine` — the migration state machine
+  (PLANNED -> SNAPSHOTTING -> CATCHUP -> CUTOVER -> DRAINED ->
+  COMMITTED, with ABORTED rollback until the cutover barrier) and the
+  crash-safe coordinator journal;
+* :mod:`repro.elastic.engine` — :class:`ReshardEngine`, which executes
+  one migration against a running :class:`~repro.cluster.router.
+  ClusterRouter` using the existing checkpoint/WAL machinery for the
+  handoff, and resumes from the journal after a coordinator death;
+* :mod:`repro.elastic.autoscale` — the metrics-driven
+  :class:`Autoscaler` that turns per-shard ingest counters and delta-bus
+  lag into executable split/merge proposals;
+* :mod:`repro.elastic.drill` — the chaos drill proving zero loss and
+  twin parity under a fault injected at every phase.
+"""
+
+from repro.elastic.autoscale import (
+    AutoscaleConfig,
+    Autoscaler,
+    ScalingProposal,
+    ShardLoad,
+)
+from repro.elastic.drill import ElasticDrillResult, ScenarioResult, run_elastic_drill
+from repro.elastic.engine import MigrationBarrierError, ReshardEngine
+from repro.elastic.machine import (
+    ABORTED,
+    CATCHUP,
+    COMMITTED,
+    CUTOVER,
+    DRAINED,
+    PHASE_ORDER,
+    PLANNED,
+    SNAPSHOTTING,
+    TERMINAL_PHASES,
+    MigrationJournal,
+    next_phase,
+)
+
+__all__ = [
+    "ABORTED",
+    "CATCHUP",
+    "COMMITTED",
+    "CUTOVER",
+    "DRAINED",
+    "PHASE_ORDER",
+    "PLANNED",
+    "SNAPSHOTTING",
+    "TERMINAL_PHASES",
+    "AutoscaleConfig",
+    "Autoscaler",
+    "ElasticDrillResult",
+    "MigrationBarrierError",
+    "MigrationJournal",
+    "ReshardEngine",
+    "ScalingProposal",
+    "ScenarioResult",
+    "ShardLoad",
+    "next_phase",
+    "run_elastic_drill",
+]

@@ -1,0 +1,239 @@
+"""Metrics-driven shard scaling: watch the cluster, propose migrations.
+
+The autoscaler closes the loop the paper leaves open for a deployment
+that outlives its provisioning guess: per-shard ingest volume and
+delta-bus backlog drift with the city's traffic, and the operator should
+not have to notice.  :meth:`Autoscaler.evaluate` reads only signals the
+system already maintains (the ``ingest.reports`` counter each shard
+checkpoints, open session counts, the bus's per-subscriber lag) and
+returns a :class:`ScalingProposal` — a complete new assignment ready to
+hand to :class:`~repro.elastic.engine.ReshardEngine`, never a vague
+"shard 2 is hot".
+
+Decisions are deterministic functions of the counters: same cluster
+state, same proposal.  No rates, no wall clocks, no smoothing windows —
+the caller decides cadence (evaluate after every N reports, or from a
+cron), the autoscaler decides direction.
+
+Proposal shapes match what one engine run can execute:
+
+* **split** — the hottest overloaded shard sheds the heavier half of its
+  routes (by per-route session count, ties by route id) to a brand-new
+  shard id;
+* **merge** — the highest-id underloaded shard folds all its routes into
+  the least-loaded surviving shard, keeping shard ids dense;
+* **hold** — nothing crosses a threshold, or a limit (``min_shards``,
+  ``max_shards``, a single-route shard) blocks the move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.router import ClusterRouter
+
+__all__ = ["AutoscaleConfig", "ShardLoad", "ScalingProposal", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Thresholds; defaults sized for the synthetic-city drills."""
+
+    #: A shard at or above this many ingested reports is split-hot.
+    hot_reports: int = 400
+    #: A subscriber owing this many undelivered deltas is split-hot too
+    #: (it cannot keep up with replication regardless of its own ingest).
+    hot_backlog: int = 256
+    #: A shard strictly below this many ingested reports is merge-cold.
+    cold_reports: int = 50
+    min_shards: int = 1
+    max_shards: int = 8
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1 or self.max_shards < self.min_shards:
+            raise ValueError("need 1 <= min_shards <= max_shards")
+        if self.cold_reports >= self.hot_reports:
+            raise ValueError("cold_reports must sit below hot_reports")
+
+
+@dataclass(frozen=True)
+class ShardLoad:
+    """One shard's scaling signals at evaluation time."""
+
+    shard_id: int
+    routes: tuple[str, ...]
+    reports: int
+    open_sessions: int
+    bus_lag: int
+
+
+@dataclass(frozen=True)
+class ScalingProposal:
+    """What the cluster should do next; ``new_assignment`` is executable."""
+
+    action: str  # "split" | "merge" | "hold"
+    reason: str
+    source: int | None = None
+    target: int | None = None
+    new_assignment: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def actionable(self) -> bool:
+        return self.action != "hold"
+
+
+class Autoscaler:
+    """Evaluate a running :class:`ClusterRouter` against the thresholds."""
+
+    def __init__(self, router: ClusterRouter, config: AutoscaleConfig | None = None):
+        self.router = router
+        self.config = config or AutoscaleConfig()
+
+    # -- signals -------------------------------------------------------------
+
+    def loads(self) -> list[ShardLoad]:
+        router = self.router
+        lag_by_sub: dict[int, int] = {}
+        for (_, sub_id), n in router.bus.lag().items():
+            lag_by_sub[sub_id] = lag_by_sub.get(sub_id, 0) + n
+        out = []
+        for sid in sorted(router.nodes):
+            core = router.nodes[sid].core
+            out.append(
+                ShardLoad(
+                    shard_id=sid,
+                    routes=tuple(router.plan.routes_of(sid)),
+                    reports=core.metrics.counter("ingest.reports"),
+                    open_sessions=len(core.sessions),
+                    bus_lag=lag_by_sub.get(sid, 0),
+                )
+            )
+        return out
+
+    # -- policy --------------------------------------------------------------
+
+    def evaluate(self) -> ScalingProposal:
+        """One deterministic decision from the current counters."""
+        router = self.router
+        router.metrics.incr("autoscale.evaluations")
+        if router.reshard_hold_active:
+            router.metrics.incr("autoscale.holds")
+            return ScalingProposal(
+                action="hold", reason="a reshard is already in flight"
+            )
+        loads = self.loads()
+        proposal = self._propose_split(loads)
+        if proposal is None:
+            proposal = self._propose_merge(loads)
+        if proposal is None:
+            proposal = ScalingProposal(
+                action="hold", reason="all shards inside thresholds"
+            )
+        if proposal.action == "split":
+            router.metrics.incr("autoscale.split_proposals")
+        elif proposal.action == "merge":
+            router.metrics.incr("autoscale.merge_proposals")
+        else:
+            router.metrics.incr("autoscale.holds")
+        return proposal
+
+    def _propose_split(self, loads: list[ShardLoad]) -> ScalingProposal | None:
+        cfg = self.config
+        hot = [
+            s
+            for s in loads
+            if (s.reports >= cfg.hot_reports or s.bus_lag >= cfg.hot_backlog)
+        ]
+        if not hot:
+            return None
+        if len(loads) >= cfg.max_shards:
+            return ScalingProposal(
+                action="hold",
+                reason=f"hot shard(s) {[s.shard_id for s in hot]} but "
+                f"already at max_shards={cfg.max_shards}",
+            )
+        # Hottest first; ties resolve to the lower shard id.
+        hot.sort(key=lambda s: (-s.reports, -s.bus_lag, s.shard_id))
+        victim = next((s for s in hot if len(s.routes) >= 2), None)
+        if victim is None:
+            return ScalingProposal(
+                action="hold",
+                reason="hot shards have a single route each; nothing to split",
+            )
+        moved = self._heavier_half(victim)
+        plan = self.router.plan
+        new_id = plan.num_shards
+        assignment = {
+            rid: plan.shard_of(rid) for s in loads for rid in s.routes
+        }
+        for rid in moved:
+            assignment[rid] = new_id
+        return ScalingProposal(
+            action="split",
+            reason=(
+                f"shard {victim.shard_id} hot "
+                f"(reports={victim.reports}, bus_lag={victim.bus_lag}); "
+                f"moving {len(moved)}/{len(victim.routes)} routes to new "
+                f"shard {new_id}"
+            ),
+            source=victim.shard_id,
+            target=new_id,
+            new_assignment=assignment,
+        )
+
+    def _heavier_half(self, victim: ShardLoad) -> list[str]:
+        """The routes to shed: heaviest by open sessions, ties by id.
+
+        Sheds ``len(routes) // 2`` routes so the victim always keeps at
+        least as many as it gives away (and never empties).
+        """
+        core = self.router.nodes[victim.shard_id].core
+        per_route: dict[str, int] = {rid: 0 for rid in victim.routes}
+        for session in core.sessions.values():
+            if session.route_id in per_route:
+                per_route[session.route_id] += 1
+        ranked = sorted(
+            victim.routes, key=lambda rid: (-per_route[rid], rid)
+        )
+        return sorted(ranked[: len(victim.routes) // 2])
+
+    def _propose_merge(self, loads: list[ShardLoad]) -> ScalingProposal | None:
+        cfg = self.config
+        if len(loads) <= cfg.min_shards or len(loads) < 2:
+            return None
+        cold = [s for s in loads if s.reports < cfg.cold_reports]
+        if not cold:
+            return None
+        # Fold the highest-id cold shard (keeps shard ids dense) into the
+        # least-loaded survivor; ties resolve to the lower shard id.
+        victim = max(cold, key=lambda s: s.shard_id)
+        plan = self.router.plan
+        if victim.shard_id != plan.num_shards - 1:
+            # Folding a middle shard would leave a hole in the id space
+            # (ShardPlan sizes itself from the max id); wait for the
+            # shards above it to cool down and merge top-down instead.
+            return ScalingProposal(
+                action="hold",
+                reason=(
+                    f"cold shard {victim.shard_id} is not the highest id; "
+                    "merges fold top-down to keep shard ids dense"
+                ),
+            )
+        survivors = [s for s in loads if s.shard_id != victim.shard_id]
+        target = min(survivors, key=lambda s: (s.reports, s.shard_id))
+        assignment = {
+            rid: plan.shard_of(rid) for s in loads for rid in s.routes
+        }
+        for rid in victim.routes:
+            assignment[rid] = target.shard_id
+        return ScalingProposal(
+            action="merge",
+            reason=(
+                f"shard {victim.shard_id} cold (reports={victim.reports} < "
+                f"{cfg.cold_reports}); folding {len(victim.routes)} routes "
+                f"into shard {target.shard_id}"
+            ),
+            source=victim.shard_id,
+            target=target.shard_id,
+            new_assignment=assignment,
+        )

@@ -1,0 +1,215 @@
+"""The migration state machine and its crash-safe coordinator journal.
+
+A live reshard is a sequence of irreversible-only-at-the-end steps:
+
+    PLANNED -> SNAPSHOTTING -> CATCHUP -> CUTOVER -> DRAINED -> COMMITTED
+         \\___________________________/
+                   ABORTED  (rollback is legal until the cutover
+                             barrier commits; after it, forward only)
+
+``phase`` in the journal always names the last *completed* phase, and
+every phase's work is either durable (source checkpoint, target
+checkpoint barrier, the journal itself) or deterministically
+reconstructible from durable state (the staging server is rebuilt from
+checkpoint + WAL suffix) — so a coordinator that dies between phases
+resumes exactly where it stopped (:meth:`ReshardEngine.resume`).
+
+The journal is one atomically published JSON file.  Reports parked by
+the router during the cutover hold are double-written here through the
+WAL's wire codec before the router acknowledges them, which is what
+makes the hold zero-loss even if the coordinator dies holding them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.server.persistence import atomic_write_text
+from repro.pipeline.wal import report_from_dict, report_to_dict
+from repro.sensing.reports import ScanReport
+
+__all__ = [
+    "PLANNED",
+    "SNAPSHOTTING",
+    "CATCHUP",
+    "CUTOVER",
+    "DRAINED",
+    "COMMITTED",
+    "ABORTED",
+    "PHASE_ORDER",
+    "TERMINAL_PHASES",
+    "next_phase",
+    "MigrationJournal",
+]
+
+PLANNED = "PLANNED"
+SNAPSHOTTING = "SNAPSHOTTING"
+CATCHUP = "CATCHUP"
+CUTOVER = "CUTOVER"
+DRAINED = "DRAINED"
+COMMITTED = "COMMITTED"
+ABORTED = "ABORTED"
+
+PHASE_ORDER: tuple[str, ...] = (
+    PLANNED,
+    SNAPSHOTTING,
+    CATCHUP,
+    CUTOVER,
+    DRAINED,
+    COMMITTED,
+)
+
+TERMINAL_PHASES: frozenset[str] = frozenset({COMMITTED, ABORTED})
+
+JOURNAL_VERSION = 1
+JOURNAL_FILENAME = "reshard-journal.json"
+
+
+def next_phase(phase: str) -> str:
+    """The successor of a non-terminal phase."""
+    if phase in TERMINAL_PHASES:
+        raise ValueError(f"{phase} has no successor")
+    return PHASE_ORDER[PHASE_ORDER.index(phase) + 1]
+
+
+class MigrationJournal:
+    """Durable coordinator state for exactly one migration.
+
+    Every mutation persists before it returns (atomic rename), so the
+    journal on disk is always a consistent prefix of the migration.
+    ``save`` is deliberately the only write path — a field change that
+    skips it would be lost with the coordinator.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        migration_id: str,
+        old_assignment: dict[str, int],
+        new_assignment: dict[str, int],
+        moved_routes: list[str],
+        source: int,
+        target: int,
+        target_data_dir: str | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.migration_id = migration_id
+        self.phase = PLANNED
+        self.old_assignment = dict(old_assignment)
+        self.new_assignment = dict(new_assignment)
+        self.moved_routes = list(moved_routes)
+        self.source = source
+        self.target = target
+        self.target_data_dir = target_data_dir
+        self.checkpoint_wal_seq: int | None = None
+        self.catchup_watermark: int | None = None
+        self.abort_reason: str | None = None
+        self._parked: list[dict[str, Any]] = []
+
+    # -- persistence ---------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self.directory / JOURNAL_FILENAME
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": JOURNAL_VERSION,
+            "migration_id": self.migration_id,
+            "phase": self.phase,
+            "old_assignment": dict(sorted(self.old_assignment.items())),
+            "new_assignment": dict(sorted(self.new_assignment.items())),
+            "moved_routes": list(self.moved_routes),
+            "source": self.source,
+            "target": self.target,
+            "target_data_dir": self.target_data_dir,
+            "checkpoint_wal_seq": self.checkpoint_wal_seq,
+            "catchup_watermark": self.catchup_watermark,
+            "abort_reason": self.abort_reason,
+            "parked": list(self._parked),
+        }
+
+    def save(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path, json.dumps(self.to_dict(), sort_keys=True))
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "MigrationJournal":
+        path = Path(directory) / JOURNAL_FILENAME
+        data = json.loads(path.read_text())
+        if data.get("version") != JOURNAL_VERSION:
+            raise ValueError(
+                f"journal version {data.get('version')} != {JOURNAL_VERSION}"
+            )
+        journal = cls(
+            Path(directory),
+            migration_id=data["migration_id"],
+            old_assignment={k: int(v) for k, v in data["old_assignment"].items()},
+            new_assignment={k: int(v) for k, v in data["new_assignment"].items()},
+            moved_routes=list(data["moved_routes"]),
+            source=int(data["source"]),
+            target=int(data["target"]),
+            target_data_dir=data.get("target_data_dir"),
+        )
+        journal.phase = data["phase"]
+        journal.checkpoint_wal_seq = data.get("checkpoint_wal_seq")
+        journal.catchup_watermark = data.get("catchup_watermark")
+        journal.abort_reason = data.get("abort_reason")
+        journal._parked = list(data.get("parked", []))
+        return journal
+
+    @classmethod
+    def exists(cls, directory: str | Path) -> bool:
+        return (Path(directory) / JOURNAL_FILENAME).is_file()
+
+    # -- phase transitions ---------------------------------------------------
+
+    def advance_to(self, phase: str) -> None:
+        """Record a completed phase; only the lattice successor is legal."""
+        if phase != next_phase(self.phase):
+            raise ValueError(
+                f"illegal transition {self.phase} -> {phase} "
+                f"(expected {next_phase(self.phase)})"
+            )
+        self.phase = phase
+        self.save()
+
+    def abort(self, reason: str) -> None:
+        if self.phase in TERMINAL_PHASES:
+            raise ValueError(f"cannot abort from {self.phase}")
+        self.phase = ABORTED
+        self.abort_reason = reason
+        self.save()
+
+    def demote_to(self, phase: str) -> None:
+        """Rewind to an earlier completed phase (resume re-runs the rest).
+
+        Legal only backwards and only across phases whose work is
+        reconstructible (never past CUTOVER: the barrier is durable and
+        forward-only once committed).
+        """
+        if self.phase in TERMINAL_PHASES or phase not in PHASE_ORDER:
+            raise ValueError(f"cannot demote {self.phase} -> {phase}")
+        if PHASE_ORDER.index(phase) > PHASE_ORDER.index(self.phase):
+            raise ValueError(f"demote must go backwards, not {self.phase} -> {phase}")
+        if PHASE_ORDER.index(self.phase) >= PHASE_ORDER.index(CUTOVER):
+            raise ValueError("the cutover barrier is forward-only")
+        self.phase = phase
+        self.save()
+
+    # -- parked reports (zero-loss double-write) -----------------------------
+
+    def park(self, report: ScanReport) -> None:
+        """Durably retain one held report before the router acks it."""
+        self._parked.append(report_to_dict(report))
+        self.save()
+
+    def parked_reports(self) -> list[ScanReport]:
+        return [report_from_dict(d) for d in self._parked]
+
+    def clear_parked(self) -> None:
+        self._parked = []
+        self.save()

@@ -1,0 +1,74 @@
+"""The invariant gate covers the new elastic subsystem.
+
+Fixture mutations prove WL002 (metric registry) and WL004 (layering)
+flip red for ``repro.elastic`` specifically: renaming a reshard counter
+to an undeclared name trips the registry rule, and importing the CLI
+layer from the elastic layer trips the upward-import rule.  Without
+these, the gate could silently not see the new package.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Baseline, analyze, load_baseline
+
+from tests.analysis.test_gate import BASELINE, _mutated_src
+
+pytestmark = [pytest.mark.analysis, pytest.mark.elastic]
+
+
+def test_gate_fails_on_undeclared_reshard_metric(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/elastic/engine.py",
+        '"reshard.migrations_started"',
+        '"reshard.migrations_startedz"',
+    )
+    result = analyze([mutated], baseline=load_baseline(BASELINE), root=tmp_path)
+    wl002 = [f for f in result.findings if f.rule_id == "WL002"]
+    assert wl002, "an undeclared reshard metric must trip WL002"
+    assert any(
+        "reshard.migrations_startedz" in f.message
+        and f.file.endswith("repro/elastic/engine.py")
+        and f.line > 0
+        for f in wl002
+    )
+
+
+def test_gate_fails_on_upward_import_from_elastic(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/elastic/autoscale.py",
+        "from __future__ import annotations",
+        "from __future__ import annotations\nfrom repro.cli import main",
+    )
+    result = analyze([mutated], baseline=Baseline(), root=tmp_path)
+    wl004 = [f for f in result.findings if f.rule_id == "WL004"]
+    assert wl004, "elastic importing the CLI must trip WL004"
+    offender = [
+        f for f in wl004 if f.file.endswith("repro/elastic/autoscale.py")
+    ]
+    assert len(offender) == 1
+    assert "repro.cli" in offender[0].message
+    injected_line = pathlib.Path(
+        mutated / "repro/elastic/autoscale.py"
+    ).read_text().splitlines().index(
+        "from repro.cli import main"
+    ) + 1
+    assert offender[0].line == injected_line
+
+
+def test_clean_elastic_package_passes_the_gate(tmp_path):
+    # Control: an unmutated copy stays green, so the two red results
+    # above are attributable to the mutations alone.
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/elastic/engine.py",
+        "from __future__ import annotations",
+        "from __future__ import annotations",
+    )
+    result = analyze([mutated], baseline=load_baseline(BASELINE), root=tmp_path)
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)

@@ -167,6 +167,33 @@ class TestDeltaBus:
         assert bus.pump() == 4
         assert recovered.applied_from(FEEDER) == 4
 
+    def test_replace_node_rewinds_for_an_older_applied_seq(self, city, plan):
+        # Regression for the elastic drain path: a shard that rejoins
+        # from a checkpoint *older* than the bus cursor must be rewound
+        # to its own high-water mark — fast-forwarding to the stale
+        # cursor would silently skip the suffix it never applied.
+        bus, feeder, query = self.wire(city, plan)
+        for i in range(4):
+            feeder.core.on_traversal(traversal(city, i % 3))
+        assert bus.pump() == 4
+        recovered = make_node(city, plan, QUERY)
+        for delta in feeder.outbox[:2]:
+            recovered.apply_delta(delta)
+        assert recovered.applied_from(FEEDER) == 2
+        bus.replace_node(recovered)
+        assert bus.cursors[(FEEDER, QUERY)] == 2  # rewound from 4
+        assert bus.pump() == 2  # exactly the missing suffix, nothing more
+        assert recovered.applied_from(FEEDER) == 4
+        applied = recovered.core.metrics.counter("cluster.deltas_applied")
+        # An at-least-once redelivery of an already-applied delta is
+        # absorbed by dedup: neither the high-water mark nor the applied
+        # count moves again.
+        assert recovered.apply_delta(feeder.outbox[0]) is False
+        assert recovered.core.metrics.counter("cluster.deltas_deduped") == 1
+        assert recovered.applied_from(FEEDER) == 4
+        assert recovered.core.metrics.counter("cluster.deltas_applied") == applied
+        assert bus.pump() == 0
+
     def test_health_reports_lag_pairs(self, city, plan):
         bus, feeder, query = self.wire(city, plan)
         feeder.core.on_traversal(traversal(city))

@@ -1,0 +1,181 @@
+"""Autoscaler policy: deterministic proposals from live counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.cluster.plan import ShardPlan
+from repro.elastic.autoscale import AutoscaleConfig, Autoscaler
+
+from tests.elastic.conftest import TWO_SHARDS
+
+pytestmark = pytest.mark.elastic
+
+# Per-route report volume in the conftest city: 2 sessions x 6 reports
+# per feeder (B*) route, 2 x 2 per query (A*) route.
+FEEDER_REPORTS, QUERY_REPORTS = 12, 4
+
+
+def loaded_router(city, assignment, *, pump=True):
+    plan = ShardPlan.from_assignment(assignment, city.routes)
+    router = build_cluster(city.fresh_twin().server, plan)
+    router.ingest_many(city.reports)
+    if pump:
+        router.pump(now=city.now)
+    return router
+
+
+class TestConfig:
+    def test_rejects_inverted_shard_bounds(self):
+        with pytest.raises(ValueError, match="min_shards"):
+            AutoscaleConfig(min_shards=0)
+        with pytest.raises(ValueError, match="min_shards"):
+            AutoscaleConfig(min_shards=4, max_shards=2)
+
+    def test_rejects_overlapping_thresholds(self):
+        with pytest.raises(ValueError, match="cold_reports"):
+            AutoscaleConfig(hot_reports=10, cold_reports=10)
+
+
+class TestSignals:
+    def test_loads_read_per_shard_counters(self, city):
+        router = loaded_router(city, TWO_SHARDS)
+        loads = Autoscaler(router).loads()
+        by_id = {load.shard_id: load for load in loads}
+        assert set(by_id) == {0, 1}
+        assert by_id[0].reports == 2 * QUERY_REPORTS
+        assert by_id[1].reports == 2 * FEEDER_REPORTS
+        assert by_id[0].routes == ("A00", "A01")
+        assert by_id[1].routes == ("B00", "B01")
+        assert by_id[0].open_sessions > 0
+
+    def test_unpumped_bus_shows_up_as_lag(self, city):
+        router = loaded_router(city, TWO_SHARDS, pump=False)
+        loads = Autoscaler(router).loads()
+        assert sum(load.bus_lag for load in loads) == router.bus.backlog() > 0
+
+
+class TestSplitPolicy:
+    def test_quiet_cluster_holds(self, city):
+        router = loaded_router(city, TWO_SHARDS)
+        proposal = Autoscaler(
+            router, AutoscaleConfig(hot_reports=1000, cold_reports=1)
+        ).evaluate()
+        assert proposal.action == "hold"
+        assert not proposal.actionable
+        assert "inside thresholds" in proposal.reason
+
+    def test_hot_shard_sheds_its_heavier_half_to_a_new_id(self, city):
+        router = loaded_router(city, TWO_SHARDS)
+        scaler = Autoscaler(
+            router, AutoscaleConfig(hot_reports=2 * FEEDER_REPORTS, cold_reports=1)
+        )
+        proposal = scaler.evaluate()
+        assert proposal.action == "split"
+        assert proposal.actionable
+        assert (proposal.source, proposal.target) == (1, 2)
+        # Equal session weight on B00/B01: the tie breaks to route id,
+        # and exactly half (1 of 2) moves to the brand-new shard.
+        assert proposal.new_assignment == {**TWO_SHARDS, "B00": 2}
+        # Executable: the engine's one-pair constraint accepts it as-is.
+        new_plan = ShardPlan.from_assignment(proposal.new_assignment, city.routes)
+        diff = router.plan.diff(new_plan)
+        assert set(diff.moved) == {"B00"}
+        assert diff.moved["B00"] == (1, 2)
+
+    def test_same_counters_same_proposal(self, city):
+        router = loaded_router(city, TWO_SHARDS)
+        config = AutoscaleConfig(hot_reports=10, cold_reports=1)
+        first = Autoscaler(router, config).evaluate()
+        second = Autoscaler(router, config).evaluate()
+        assert first == second
+
+    def test_replication_backlog_alone_makes_a_shard_hot(self, city):
+        router = loaded_router(city, TWO_SHARDS, pump=False)
+        proposal = Autoscaler(
+            router,
+            AutoscaleConfig(hot_reports=10_000, hot_backlog=1, cold_reports=1),
+        ).evaluate()
+        assert proposal.action == "split"
+        assert "bus_lag" in proposal.reason
+
+    def test_max_shards_blocks_the_split(self, city):
+        router = loaded_router(city, TWO_SHARDS)
+        proposal = Autoscaler(
+            router,
+            AutoscaleConfig(hot_reports=1, cold_reports=0, max_shards=2),
+        ).evaluate()
+        assert proposal.action == "hold"
+        assert "max_shards" in proposal.reason
+
+    def test_single_route_shards_cannot_split(self, city):
+        router = loaded_router(
+            city, {"A00": 0, "A01": 1, "B00": 2, "B01": 3}
+        )
+        proposal = Autoscaler(
+            router, AutoscaleConfig(hot_reports=1, cold_reports=0)
+        ).evaluate()
+        assert proposal.action == "hold"
+        assert "single route" in proposal.reason
+
+
+class TestMergePolicy:
+    def test_cold_top_shard_folds_into_least_loaded_survivor(self, city):
+        router = loaded_router(city, {"A00": 0, "A01": 2, "B00": 1, "B01": 1})
+        proposal = Autoscaler(
+            router, AutoscaleConfig(hot_reports=1000, cold_reports=10)
+        ).evaluate()
+        assert proposal.action == "merge"
+        # Shard 2 (A01, 4 reports) is cold and highest; shard 0 (4
+        # reports) beats shard 1 (24) as the least-loaded survivor.
+        assert (proposal.source, proposal.target) == (2, 0)
+        assert proposal.new_assignment["A01"] == 0
+
+    def test_middle_cold_shard_holds_to_keep_ids_dense(self, city):
+        router = loaded_router(city, {"A00": 1, "A01": 0, "B00": 0, "B01": 2})
+        proposal = Autoscaler(
+            router, AutoscaleConfig(hot_reports=1000, cold_reports=10)
+        ).evaluate()
+        assert proposal.action == "hold"
+        assert "top-down" in proposal.reason
+
+    def test_min_shards_blocks_the_merge(self, city):
+        router = loaded_router(city, TWO_SHARDS)
+        proposal = Autoscaler(
+            router,
+            AutoscaleConfig(hot_reports=1000, cold_reports=999, min_shards=2),
+        ).evaluate()
+        assert proposal.action == "hold"
+
+
+class TestEvaluateBookkeeping:
+    def test_in_flight_reshard_freezes_the_autoscaler(self, city):
+        router = loaded_router(city, TWO_SHARDS)
+        router.begin_reshard_hold(["B00"])
+        proposal = Autoscaler(
+            router, AutoscaleConfig(hot_reports=1, cold_reports=0)
+        ).evaluate()
+        assert proposal.action == "hold"
+        assert "in flight" in proposal.reason
+        router.end_reshard_hold()
+        assert Autoscaler(
+            router, AutoscaleConfig(hot_reports=1, cold_reports=0)
+        ).evaluate().action == "split"
+
+    def test_every_decision_is_counted(self, city):
+        router = loaded_router(city, TWO_SHARDS)
+        Autoscaler(
+            router, AutoscaleConfig(hot_reports=1000, cold_reports=1)
+        ).evaluate()
+        Autoscaler(
+            router, AutoscaleConfig(hot_reports=10, cold_reports=1)
+        ).evaluate()
+        Autoscaler(
+            router, AutoscaleConfig(hot_reports=1000, cold_reports=999)
+        ).evaluate()
+        metrics = router.metrics
+        assert metrics.counter("autoscale.evaluations") == 3
+        assert metrics.counter("autoscale.holds") == 1
+        assert metrics.counter("autoscale.split_proposals") == 1
+        assert metrics.counter("autoscale.merge_proposals") == 1

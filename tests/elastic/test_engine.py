@@ -1,0 +1,199 @@
+"""ReshardEngine: live split/merge against a durable cluster.
+
+The chaos drill (:mod:`repro.elastic.drill`) owns the mid-stream fault
+matrix; these tests pin the engine's *contracts* on a quiescent cluster
+— constructor validation, the happy-path split and merge with twin
+parity, clean abort rollback, the cutover barrier's forward-only rule,
+and journal-driven resume after a coordinator death.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.drill import _compare
+from repro.cluster.plan import ShardPlan
+from repro.elastic.engine import ReshardEngine
+from repro.elastic.machine import (
+    ABORTED,
+    CATCHUP,
+    COMMITTED,
+    CUTOVER,
+    MigrationJournal,
+)
+from repro.guard.chaos import FaultyFS
+
+from tests.elastic.conftest import TWO_SHARDS, build_durable, feed
+
+pytestmark = [pytest.mark.elastic, pytest.mark.cluster]
+
+SPLIT = {"A00": 0, "A01": 0, "B00": 2, "B01": 1}
+
+
+def split_setup(city, plan, tmp_path, *, fs_by_shard=None):
+    router = build_durable(city, plan, tmp_path / "cluster", fs_by_shard)
+    feed(router, city)
+    new_plan = ShardPlan.from_assignment(SPLIT, city.routes)
+    engine = ReshardEngine(
+        router,
+        new_plan,
+        tmp_path / "journal",
+        data_root=tmp_path / "cluster",
+    )
+    return router, new_plan, engine
+
+
+def twin_on(city, assignment, tmp_path):
+    twin_city = city.fresh_twin()
+    twin = build_durable(
+        twin_city,
+        ShardPlan.from_assignment(assignment, twin_city.routes),
+        tmp_path,
+    )
+    feed(twin, city)
+    return twin
+
+
+class TestConstructorValidation:
+    def test_identical_plans_refused(self, city, plan, tmp_path):
+        router = build_durable(city, plan, tmp_path / "cluster")
+        with pytest.raises(ValueError, match="identical"):
+            ReshardEngine(router, plan, tmp_path / "journal")
+
+    def test_multi_pair_rebalance_refused(self, city, plan, tmp_path):
+        router = build_durable(city, plan, tmp_path / "cluster")
+        tangled = ShardPlan.from_assignment(
+            {"A00": 2, "A01": 0, "B00": 3, "B01": 1}, city.routes
+        )
+        with pytest.raises(ValueError, match="exactly one shard pair"):
+            ReshardEngine(router, tangled, tmp_path / "journal")
+
+    def test_split_without_data_root_refused(self, city, plan, tmp_path):
+        router = build_durable(city, plan, tmp_path / "cluster")
+        new_plan = ShardPlan.from_assignment(SPLIT, city.routes)
+        with pytest.raises(ValueError, match="data_root"):
+            ReshardEngine(router, new_plan, tmp_path / "journal")
+
+    def test_fresh_journal_is_written_planned(self, city, plan, tmp_path):
+        _, _, engine = split_setup(city, plan, tmp_path)
+        assert MigrationJournal.exists(tmp_path / "journal")
+        loaded = MigrationJournal.load(tmp_path / "journal")
+        assert loaded.phase == "PLANNED"
+        assert loaded.moved_routes == ["B00"]
+        assert (loaded.source, loaded.target) == (1, 2)
+        assert engine.target_is_new
+
+
+class TestSplitCommit:
+    def test_runs_to_committed_with_twin_parity(self, city, plan, tmp_path):
+        router, new_plan, engine = split_setup(city, plan, tmp_path)
+        assert engine.run(now=city.now) == COMMITTED
+        assert router.plan is new_plan
+        assert sorted(router.nodes) == [0, 1, 2]
+        # The moved route's sessions now live on the new shard only.
+        assert all(
+            session.route_id == "B00"
+            for session in router.nodes[2].core.sessions.values()
+        )
+        assert not any(
+            session.route_id == "B00"
+            for session in router.nodes[1].core.sessions.values()
+        )
+        twin = twin_on(city, SPLIT, tmp_path / "twin")
+        assert _compare(city, router, twin) == []
+        assert router.metrics.counter("reshard.migrations_committed") == 1
+        assert not router.reshard_hold_active
+        assert router.health()["reshard"]["phase"] == COMMITTED
+
+    def test_queries_keep_answering_after_the_move(self, city, plan, tmp_path):
+        router, _, engine = split_setup(city, plan, tmp_path)
+        engine.run(now=city.now)
+        # Rider queries for the moved route now resolve to shard 2 and
+        # still see the sessions' trajectories.
+        moved = [
+            key
+            for key, session in router.nodes[2].core.sessions.items()
+            if session.route_id == "B00"
+        ]
+        assert moved
+        for key in moved:
+            assert router.shard_of_session(key) == 2
+            assert router.current_position(key) is not None
+
+
+class TestAbortRollback:
+    def test_checkpoint_failure_aborts_and_restores_old_plan(
+        self, city, plan, tmp_path
+    ):
+        faulty = FaultyFS()
+        router, _, engine = split_setup(
+            city, plan, tmp_path, fs_by_shard={1: faulty}
+        )
+        faulty.schedule_checkpoint_failures(1)
+        assert engine.run(now=city.now) == ABORTED
+        assert router.plan.assignment == dict(TWO_SHARDS)
+        assert sorted(router.nodes) == [0, 1]
+        assert not router.reshard_hold_active
+        twin = twin_on(city, TWO_SHARDS, tmp_path / "twin")
+        assert _compare(city, router, twin) == []
+        assert router.metrics.counter("reshard.migrations_aborted") == 1
+        reason = MigrationJournal.load(tmp_path / "journal").abort_reason
+        assert "checkpoint" in reason
+
+    def test_abort_forbidden_after_the_barrier(self, city, plan, tmp_path):
+        router, _, engine = split_setup(city, plan, tmp_path)
+        for _ in range(3):  # PLANNED -> ... -> CUTOVER (barrier committed)
+            engine.advance(now=city.now)
+        assert engine.phase == CUTOVER
+        with pytest.raises(ValueError, match="roll forward"):
+            engine.abort("too late")
+        assert engine.run(now=city.now) == COMMITTED
+
+    def test_terminal_migration_cannot_advance(self, city, plan, tmp_path):
+        _, _, engine = split_setup(city, plan, tmp_path)
+        engine.run(now=city.now)
+        with pytest.raises(ValueError, match="already COMMITTED"):
+            engine.advance(now=city.now)
+
+
+class TestResume:
+    def test_coordinator_death_after_catchup(self, city, plan, tmp_path):
+        router, new_plan, engine = split_setup(city, plan, tmp_path)
+        engine.advance(now=city.now)
+        engine.advance(now=city.now)
+        assert engine.phase == CATCHUP
+        del engine  # the coordinator dies; only the journal survives
+        resumed = ReshardEngine.resume(router, tmp_path / "journal")
+        assert resumed.run(now=city.now) == COMMITTED
+        assert router.plan.assignment == new_plan.assignment
+        twin = twin_on(city, SPLIT, tmp_path / "twin")
+        assert _compare(city, router, twin) == []
+        assert router.metrics.counter("reshard.migrations_resumed") == 1
+
+    def test_resume_of_terminal_journal_refused(self, city, plan, tmp_path):
+        router, _, engine = split_setup(city, plan, tmp_path)
+        engine.run(now=city.now)
+        with pytest.raises(ValueError, match="nothing to resume"):
+            ReshardEngine.resume(router, tmp_path / "journal")
+
+
+class TestMergeCommit:
+    def test_top_shard_folds_into_survivor_with_parity(self, city, tmp_path):
+        start = {"A00": 0, "A01": 2, "B00": 1, "B01": 1}
+        merged = {"A00": 0, "A01": 0, "B00": 1, "B01": 1}
+        router = build_durable(
+            city,
+            ShardPlan.from_assignment(start, city.routes),
+            tmp_path / "cluster",
+        )
+        feed(router, city)
+        engine = ReshardEngine(
+            router,
+            ShardPlan.from_assignment(merged, city.routes),
+            tmp_path / "journal",
+        )
+        assert not engine.target_is_new
+        assert engine.run(now=city.now) == COMMITTED
+        assert sorted(router.nodes) == [0, 1]
+        twin = twin_on(city, merged, tmp_path / "twin")
+        assert _compare(city, router, twin) == []

@@ -1,0 +1,154 @@
+"""Migration state machine: phase lattice and crash-safe journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.elastic.machine import (
+    ABORTED,
+    CATCHUP,
+    COMMITTED,
+    CUTOVER,
+    DRAINED,
+    JOURNAL_FILENAME,
+    PHASE_ORDER,
+    PLANNED,
+    SNAPSHOTTING,
+    TERMINAL_PHASES,
+    MigrationJournal,
+    next_phase,
+)
+
+pytestmark = pytest.mark.elastic
+
+
+def make_journal(tmp_path, **overrides):
+    kwargs = dict(
+        migration_id="m2to3-s1-t2",
+        old_assignment={"A00": 0, "B00": 1},
+        new_assignment={"A00": 0, "B00": 2},
+        moved_routes=["B00"],
+        source=1,
+        target=2,
+        target_data_dir=str(tmp_path / "shard-02"),
+    )
+    kwargs.update(overrides)
+    return MigrationJournal(tmp_path, **kwargs)
+
+
+class TestPhaseLattice:
+    def test_order_covers_the_happy_path(self):
+        assert PHASE_ORDER == (
+            PLANNED, SNAPSHOTTING, CATCHUP, CUTOVER, DRAINED, COMMITTED,
+        )
+
+    def test_next_phase_walks_the_order(self):
+        for phase, successor in zip(PHASE_ORDER, PHASE_ORDER[1:]):
+            assert next_phase(phase) == successor
+
+    def test_terminal_phases_have_no_successor(self):
+        for phase in TERMINAL_PHASES:
+            with pytest.raises(ValueError, match="no successor"):
+                next_phase(phase)
+
+
+class TestJournalPersistence:
+    def test_save_then_load_round_trips_every_field(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.checkpoint_wal_seq = 5
+        journal.catchup_watermark = 9
+        journal.save()
+        loaded = MigrationJournal.load(tmp_path)
+        assert loaded.to_dict() == journal.to_dict()
+        assert loaded.phase == PLANNED
+        assert loaded.moved_routes == ["B00"]
+        assert loaded.checkpoint_wal_seq == 5
+        assert loaded.catchup_watermark == 9
+
+    def test_exists_tracks_the_file(self, tmp_path):
+        assert not MigrationJournal.exists(tmp_path)
+        make_journal(tmp_path).save()
+        assert MigrationJournal.exists(tmp_path)
+
+    def test_version_mismatch_refused(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.save()
+        data = json.loads(journal.path.read_text())
+        data["version"] = 99
+        journal.path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="version"):
+            MigrationJournal.load(tmp_path)
+
+    def test_every_transition_persists_before_returning(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.save()
+        journal.advance_to(SNAPSHOTTING)
+        assert MigrationJournal.load(tmp_path).phase == SNAPSHOTTING
+        journal.abort("drill")
+        reloaded = MigrationJournal.load(tmp_path)
+        assert reloaded.phase == ABORTED
+        assert reloaded.abort_reason == "drill"
+
+
+class TestTransitions:
+    def test_advance_accepts_only_the_lattice_successor(self, tmp_path):
+        journal = make_journal(tmp_path)
+        with pytest.raises(ValueError, match="illegal transition"):
+            journal.advance_to(CATCHUP)  # skips SNAPSHOTTING
+        journal.advance_to(SNAPSHOTTING)
+        journal.advance_to(CATCHUP)
+        assert journal.phase == CATCHUP
+
+    def test_abort_is_legal_from_any_nonterminal_phase(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.advance_to(SNAPSHOTTING)
+        journal.abort("disk full")
+        assert journal.phase == ABORTED
+        assert journal.abort_reason == "disk full"
+
+    def test_abort_from_terminal_refused(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.abort("once")
+        with pytest.raises(ValueError, match="cannot abort"):
+            journal.abort("twice")
+
+    def test_demote_rewinds_backwards_only(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.advance_to(SNAPSHOTTING)
+        journal.advance_to(CATCHUP)
+        journal.demote_to(SNAPSHOTTING)
+        assert journal.phase == SNAPSHOTTING
+        with pytest.raises(ValueError, match="backwards"):
+            journal.demote_to(CATCHUP)
+
+    def test_demote_never_crosses_the_cutover_barrier(self, tmp_path):
+        journal = make_journal(tmp_path)
+        for phase in (SNAPSHOTTING, CATCHUP, CUTOVER):
+            journal.advance_to(phase)
+        with pytest.raises(ValueError, match="forward-only"):
+            journal.demote_to(CATCHUP)
+        journal.advance_to(DRAINED)
+        with pytest.raises(ValueError, match="forward-only"):
+            journal.demote_to(CUTOVER)
+
+
+class TestParkedReports:
+    def test_park_survives_a_coordinator_death(self, tmp_path, city):
+        journal = make_journal(tmp_path)
+        journal.save()
+        held = sorted(city.reports, key=lambda r: (r.t, r.device_id))[:3]
+        for report in held:
+            journal.park(report)
+        # A brand-new coordinator loads the journal cold: the reports
+        # must come back byte-equal through the WAL wire codec.
+        reloaded = MigrationJournal.load(tmp_path)
+        assert reloaded.parked_reports() == held
+        reloaded.clear_parked()
+        assert MigrationJournal.load(tmp_path).parked_reports() == []
+
+    def test_journal_file_name_is_stable(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.save()
+        assert journal.path.name == JOURNAL_FILENAME

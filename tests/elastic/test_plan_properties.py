@@ -1,0 +1,108 @@
+"""Property tests for ShardPlan.diff and the consistent-hash ring.
+
+Hypothesis-driven: the reshard engine trusts two contracts absolutely —
+``diff`` reports exactly the routes whose owner changed (no orphans, no
+phantoms), and growing the ring by one shard only ever moves routes *to*
+the new shard (never reshuffles survivors among themselves).  The drills
+exercise single concrete plans; these properties cover the space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cluster.plan import ShardPlan  # noqa: E402
+
+pytestmark = pytest.mark.elastic
+
+ROUTE_IDS = ("A00", "A01", "B00", "B01")
+
+assignments = st.fixed_dictionaries(
+    {rid: st.integers(min_value=0, max_value=3) for rid in ROUTE_IDS}
+)
+
+route_id_sets = st.sets(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def plan_from(assignment, city):
+    return ShardPlan.from_assignment(assignment, city.routes)
+
+
+class TestDiffProperties:
+    @given(assignment=assignments)
+    @settings(max_examples=50, deadline=None)
+    def test_diff_of_identical_plans_is_empty(self, city, assignment):
+        plan = plan_from(assignment, city)
+        diff = plan.diff(plan_from(dict(assignment), city))
+        assert diff.moved == {}
+        assert diff.moved_total == 0
+        assert diff.moved_fraction == 0.0
+
+    @given(old=assignments, new=assignments)
+    @settings(max_examples=100, deadline=None)
+    def test_moved_is_exactly_the_disagreement_set(self, city, old, new):
+        diff = plan_from(old, city).diff(plan_from(new, city))
+        expected = {
+            rid: (old[rid], new[rid])
+            for rid in ROUTE_IDS
+            if old[rid] != new[rid]
+        }
+        assert diff.moved == expected
+        assert diff.routes_total == len(ROUTE_IDS)
+        assert 0.0 <= diff.moved_fraction <= 1.0
+        assert diff.moved_fraction == len(expected) / len(ROUTE_IDS)
+
+    @given(old=assignments, new=assignments)
+    @settings(max_examples=50, deadline=None)
+    def test_diff_is_antisymmetric(self, city, old, new):
+        forward = plan_from(old, city).diff(plan_from(new, city))
+        backward = plan_from(new, city).diff(plan_from(old, city))
+        assert set(forward.moved) == set(backward.moved)
+        for rid, (a, b) in forward.moved.items():
+            assert backward.moved[rid] == (b, a)
+
+    @given(old=assignments, new=assignments)
+    @settings(max_examples=50, deadline=None)
+    def test_subscription_changes_never_overlap_per_shard(self, city, old, new):
+        diff = plan_from(old, city).diff(plan_from(new, city))
+        for sid, gained in diff.subscriptions_gained.items():
+            assert gained, "empty gain sets must be omitted"
+            assert gained.isdisjoint(diff.subscriptions_lost.get(sid, set()))
+
+
+class TestRingProperties:
+    @given(route_ids=route_id_sets, num_shards=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_placement_is_total_and_in_range(self, route_ids, num_shards):
+        plan = ShardPlan.build({}, num_shards)
+        for rid in route_ids:
+            assert 0 <= plan.shard_of(rid) < num_shards
+            assert plan.shard_of(rid) == plan.shard_of(rid)  # stable
+
+    @given(route_ids=route_id_sets, num_shards=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_growing_by_one_shard_only_feeds_the_new_shard(
+        self, route_ids, num_shards
+    ):
+        # The elasticity contract: adding shard N steals some routes for
+        # shard N, but never shuffles a route between two old shards —
+        # so one engine run (single source->target pair) can absorb it.
+        before = ShardPlan.build({}, num_shards)
+        after = ShardPlan.build({}, num_shards + 1)
+        moved = {
+            rid for rid in route_ids
+            if before.shard_of(rid) != after.shard_of(rid)
+        }
+        for rid in moved:
+            assert after.shard_of(rid) == num_shards

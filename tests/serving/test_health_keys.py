@@ -50,6 +50,20 @@ class TestHealthKeyParity:
         cluster = trio["cluster"].health()
         assert {"plan", "bus", "shards"} <= set(cluster)
 
+    def test_cluster_surfaces_reshard_phase_and_bus_lag(self, trio):
+        # The elastic observability contract: /health over a cluster
+        # backend always carries the live reshard phase and per-subscriber
+        # replication lag, so an operator can watch a migration (or its
+        # absence) from the same endpoint as everything else.
+        health = trio["cluster"].health()
+        reshard = health["reshard"]
+        assert reshard["phase"] == "idle"  # no migration in flight
+        assert reshard["hold_active"] is False
+        assert reshard["parked"] == 0
+        lag = health["bus"]["lag_by_subscriber"]
+        assert set(lag) == {str(sid) for sid in range(4)}
+        assert all(n >= 0 for n in lag.values())
+
     def test_cluster_reports_single_shared_version(self, trio):
         # All shards serve the same (offline) model -> the router folds
         # their versions into one; "mixed" would flag a torn deployment.
