@@ -9,9 +9,10 @@ nothing iterates a freshly built ``set`` of strings (hash randomisation
 makes that order differ between the original process and the replaying
 one).
 
-The rule therefore bans, inside ``core``, ``pipeline``, ``guard``,
-``cluster``, ``eval`` and ``lifecycle`` (retrain cadence and promotion
-decisions must replay from the report stream alone):
+The rule therefore bans, inside ``core``, ``fusion``, ``pipeline``,
+``guard``, ``cluster``, ``eval`` and ``lifecycle`` (retrain cadence and
+promotion decisions must replay from the report stream alone; fused
+estimates must derive time from observation timestamps only):
 
 * ``time.time`` / ``time.time_ns`` (event time must come from reports;
   ``time.perf_counter`` stays legal — latency histograms are
@@ -34,7 +35,7 @@ from typing import Iterable
 from repro.analysis.findings import FileContext, Finding, dotted_name, import_aliases
 
 DETERMINISTIC_PACKAGES = frozenset(
-    {"core", "pipeline", "guard", "cluster", "eval", "lifecycle", "elastic"}
+    {"core", "pipeline", "guard", "cluster", "eval", "lifecycle", "elastic", "fusion"}
 )
 
 _BANNED_EXACT = {

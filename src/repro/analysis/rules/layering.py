@@ -1,7 +1,7 @@
 """WL004 — the package import DAG points strictly downward.
 
 Contract (ROADMAP architecture): the spine is
-``geometry/roadnet/radio/sensing -> core -> pipeline/guard ->
+``geometry/roadnet/radio/sensing -> fusion -> core -> pipeline/guard ->
 lifecycle -> eval -> cluster -> serving -> cli``; refactoring "freely
 and aggressively" stays safe only while the
 layering holds, because an upward edge makes the lower layer untestable
@@ -36,16 +36,17 @@ LAYER_RANKS: dict[str, int] = {
     "radio": 3,
     "mobility": 3,
     "sensing": 4,
-    "core": 5,
-    "baselines": 6,
-    "guard": 6,
-    "pipeline": 7,
-    "lifecycle": 8,
-    "eval": 9,
-    "cluster": 10,
-    "serving": 11,
-    "elastic": 11,   # peers with serving: both sit on cluster, under cli
-    "cli": 12,
+    "fusion": 5,     # unified observation schema + fusion state, under core
+    "core": 6,
+    "baselines": 7,
+    "guard": 7,
+    "pipeline": 8,
+    "lifecycle": 9,
+    "eval": 10,
+    "cluster": 11,
+    "serving": 12,
+    "elastic": 12,   # peers with serving: both sit on cluster, under cli
+    "cli": 13,
 }
 
 
@@ -73,8 +74,8 @@ class ImportLayeringRule:
     rule_id = "WL004"
     description = (
         "package imports must follow the layering DAG "
-        "(geometry/roadnet/radio/sensing -> core -> pipeline/guard -> "
-        "cluster -> cli); no upward or same-rank edges"
+        "(geometry/roadnet/radio/sensing -> fusion -> core -> "
+        "pipeline/guard -> cluster -> cli); no upward or same-rank edges"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:

@@ -29,9 +29,12 @@ drill) and prints a warm cluster's health — per-subscriber delta-bus
 lag and the live reshard phase; ``--json`` switches ``metrics``,
 ``health`` and ``cluster`` to machine-readable output.  ``elastic``
 runs the live split/merge chaos drill (:mod:`repro.elastic`) and
-writes ``BENCH_elastic.json``:
+writes ``BENCH_elastic.json``; ``fusion`` runs the multi-sensor
+AP-outage drill (:mod:`repro.eval.outage`) and writes
+``BENCH_fusion.json``:
 
     python -m repro.cli elastic --out BENCH_elastic.json
+    python -m repro.cli fusion  --out BENCH_fusion.json
 
 ``checkpoint`` ingests the city durably (WAL + micro-batches + periodic
 checkpoints), ``wal-stat`` prints the log's segment table, ``replay``
@@ -541,6 +544,50 @@ def run_elastic_cmd(args) -> None:
     print(f"  wrote {out}")
 
 
+def run_fusion_cmd(args) -> None:
+    """The AP-outage fusion drill, then ``BENCH_fusion.json``.
+
+    Runs two identical synthetic cities through the same WiFi stream —
+    one also fed calibrated GPS/BLE/cell observations — drops a 100 s
+    WiFi window mid-route, and measures both backends' fused-position
+    error through the outage (see :mod:`repro.eval.outage`).  The
+    artifact written to ``--out`` is the committed benchmark the tier-1
+    shape gate checks; the drill is seeded and fully deterministic, so
+    the file is byte-reproducible.
+    """
+    import json
+
+    from repro.eval.outage import bench_artifact, run_outage_drill
+
+    result = run_outage_drill(quick=args.quick)
+    artifact = bench_artifact(result)
+    out = args.out or "BENCH_fusion.json"
+    with open(out, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if getattr(args, "json", False):
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    else:
+        drill = artifact["drill"]
+        print(
+            f"  healthy: fused {drill['healthy']['fused_mae_m']:.1f} m vs "
+            f"wifi-only {drill['healthy']['wifi_only_mae_m']:.1f} m over "
+            f"{drill['healthy']['ticks']} ticks (identical by design)"
+        )
+        print(
+            f"  outage:  fused {drill['outage']['fused_mae_m']:.1f} m vs "
+            f"wifi-only {drill['outage']['wifi_only_mae_m']:.1f} m over "
+            f"{drill['outage']['ticks']} ticks"
+        )
+        cal = drill["gps_calibration"]
+        print(
+            f"  learned GPS calibration: clock skew {cal['clock_skew_s']:.2f} s "
+            f"(injected {artifact['config']['gps_skew_s']} s), "
+            f"noise {cal['noise_m']:.1f} m over {cal['samples']} co-observations"
+        )
+    print(f"  wrote {out}")
+
+
 def run_serve_cmd(args) -> None:
     """Start the HTTP front door on a warm synthetic-city backend.
 
@@ -780,6 +827,10 @@ DURABILITY_CMDS = {
     "elastic": (
         "Elastic reshard chaos drill -> BENCH_elastic.json",
         run_elastic_cmd,
+    ),
+    "fusion": (
+        "Multi-sensor AP-outage drill -> BENCH_fusion.json",
+        run_fusion_cmd,
     ),
 }
 

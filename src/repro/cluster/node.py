@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.core.arrival.history import TravelTimeRecord
 from repro.core.server.server import WiLocatorServer
+from repro.fusion.observations import Observation
 from repro.pipeline.durable import DurableServer
 from repro.sensing.reports import ScanReport
 
@@ -168,6 +169,20 @@ class ShardNode:
             return False
         self.core.ingest_admitted(report)
         return True
+
+    def ingest_observation(self, obs: Observation) -> bool:
+        """Accept one normalized multi-sensor observation; True when stored.
+
+        Durable nodes route WiFi observations through their WAL
+        (:meth:`DurableServer.ingest_observation`); plain nodes hand
+        everything to the core server.  Either way non-WiFi observations
+        land in this shard's fusion orchestrator, so observations shard
+        exactly like the reports of the same route.
+        """
+        durable = self.durable
+        if durable is not None:
+            return durable.ingest_observation(obs)
+        return self.core.ingest_observation(obs)
 
     def flush(self) -> int:
         """Commit any batched reports now (no-op for plain nodes)."""

@@ -32,6 +32,8 @@ from repro.core.server.session import BusSession
 from repro.core.traffic.anomaly import Anomaly, merge_anomalies
 from repro.core.traffic.classifier import SegmentStatus
 from repro.core.traffic.map import TrafficMap
+from repro.fusion.observations import Observation
+from repro.fusion.orchestrator import fold_fusion_health
 from repro.guard.breaker import CircuitBreaker
 from repro.sensing.reports import ScanReport
 
@@ -286,6 +288,54 @@ class ClusterRouter:
             self._session_shard[report.session_key] = shard_id
             routed += 1
         return routed
+
+    def ingest_observation(self, obs: Observation) -> bool:
+        """Route one multi-sensor observation to its route's shard.
+
+        Observations shard exactly like the reports of the same route
+        (``plan.shard_of(route_id)``), so a session's WiFi anchor and
+        its BLE/GPS/cell correction evidence always live on the same
+        node.  A downed or broken shard refuses the observation
+        (``fusion.route_rejected``) — it is soft TTL-bounded evidence,
+        so unlike reshard-held *reports* it is never parked.
+        """
+        shard_id = self.plan.shard_of(obs.route_id)
+        if shard_id in self._down:
+            self.metrics.incr("fusion.route_rejected")
+            return False
+        got = self._guarded(
+            shard_id, self.nodes[shard_id].ingest_observation, obs
+        )
+        if got is _SKIPPED:
+            self.metrics.incr("fusion.route_rejected")
+            return False
+        self.metrics.incr("fusion.routed")
+        if got:
+            self._session_shard.setdefault(obs.session_key, shard_id)
+        return bool(got)
+
+    def ingest_observations(self, observations: Iterable[Observation]) -> dict[str, int]:
+        """Route an observation batch; same counter-delta ack as every backend."""
+        submitted = accepted = 0
+        for obs in sorted(observations, key=lambda o: o.t):
+            submitted += 1
+            if self.ingest_observation(obs):
+                accepted += 1
+        return {
+            "submitted": submitted,
+            "accepted": accepted,
+            "rejected": submitted - accepted,
+        }
+
+    def fused_position(self, session_key: str, *, now: float) -> TrajectoryPoint | None:
+        """Fusion-backed position from the shard tracking the session."""
+        shard_id = self.shard_of_session(session_key)
+        if shard_id is None or shard_id in self._down:
+            return None
+        got = self._guarded(
+            shard_id, self.nodes[shard_id].core.fused_position, session_key, now=now
+        )
+        return None if got is _SKIPPED else got
 
     def flush(self) -> int:
         """Flush every live shard's batched reports."""
@@ -606,6 +656,11 @@ class ClusterRouter:
             "stats": dict(sorted(stats_total.items())),
             "sessions": {"open": open_sessions},
             "lifecycle": {"model_version": model_version},
+            "fusion": fold_fusion_health(
+                shard["fusion"]
+                for _, shard in sorted(shards.items())
+                if "fusion" in shard
+            ),
             "reshard": {
                 **self.reshard_status,
                 "hold_active": self.reshard_hold_active,

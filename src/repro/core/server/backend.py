@@ -41,6 +41,7 @@ from repro.core.arrival.predictor import ArrivalPrediction
 from repro.core.positioning.trajectory import TrajectoryPoint
 from repro.core.server.session import BusSession
 from repro.core.traffic.map import TrafficMap
+from repro.fusion.observations import Observation
 from repro.sensing.reports import ScanReport
 
 __all__ = ["ServingBackend", "BACKEND_METHODS"]
@@ -49,6 +50,7 @@ __all__ = ["ServingBackend", "BACKEND_METHODS"]
 BACKEND_METHODS: tuple[str, ...] = (
     "ingest",
     "ingest_many",
+    "ingest_observations",
     "ingest_rider",
     "flush",
     "predict_arrival",
@@ -82,6 +84,19 @@ class ServingBackend(Protocol):
         control (WAL replay, committed-batch apply): the backend must
         not run admission a second time.  Returns the per-report fixes
         (single server) or the accepted count (durable, cluster).
+        """
+        ...
+
+    def ingest_observations(
+        self, observations: Iterable[Observation]
+    ) -> dict[str, int]:
+        """Accept a multi-sensor observation batch in timestamp order.
+
+        WiFi observations take the backend's guarded (and, where it
+        exists, durable) report path; BLE/GPS/cell observations feed
+        the fusion orchestrator as correction evidence.  Returns the
+        shared counter-delta ack ``{"submitted", "accepted",
+        "rejected"}`` — byte-identical across backends on clean input.
         """
         ...
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 METRIC_NAMES: frozenset[str] = frozenset({
     # -- latency stages (ServerMetrics.observe/timer/latency) ----------------
     "admission",
+    "fusion",
     "ingest",
     "position_fix",
     "predict",
@@ -130,6 +131,20 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "autoscale.split_proposals",
     "autoscale.merge_proposals",
     "autoscale.holds",
+    # -- multi-sensor fusion (PR 9): observation intake + calibrated blend ---
+    "fusion.observations",
+    "fusion.wifi_reports",
+    "fusion.stored",
+    "fusion.rejected",
+    "fusion.expired",
+    "fusion.anchors",
+    "fusion.calibrations",
+    "fusion.fused_fixes",
+    "fusion.fallback_anchor",
+    "fusion.corrections_bounded",
+    "fusion.routed",
+    "fusion.route_rejected",
+    "serving.observations",
 })
 
 # Dynamic families: the literal head of an f-string metric name must match
@@ -138,6 +153,7 @@ METRIC_NAMES: frozenset[str] = frozenset({
 METRIC_PREFIXES: tuple[str, ...] = (
     "breaker.",
     "cluster.applied_from.",
+    "fusion.rejected.",
     "guard.rejected.",
     "serving.errors.",
     "serving.slo.",

@@ -41,6 +41,8 @@ from repro.core.traffic.anomaly import (
 )
 from repro.core.traffic.classifier import TrafficClassifier
 from repro.core.traffic.map import TrafficMap, TrafficMapBuilder
+from repro.fusion.observations import Observation, WifiObservation
+from repro.fusion.orchestrator import FusionOrchestrator
 from repro.guard.admission import IngestGuard
 from repro.guard.validate import AdmissionDecision, GuardConfig
 from repro.roadnet.index import RouteIndex, UnknownStopError
@@ -103,6 +105,7 @@ class WiLocatorServer:
         use_recent: bool = True,
         guard: IngestGuard | None = None,
         guard_config: GuardConfig | None = None,
+        fusion: FusionOrchestrator | None = None,
     ) -> None:
         missing = set(routes) - set(svds)
         if missing:
@@ -146,6 +149,15 @@ class WiLocatorServer:
             guard
             if guard is not None
             else IngestGuard(guard_config, metrics=self.metrics)
+        )
+        #: Multi-sensor fusion state (PR 9).  The server *drives* the
+        #: orchestrator — WiFi fixes anchor it from ``_apply``, non-WiFi
+        #: observations reach it via :meth:`ingest_observation` — because
+        #: ``repro.fusion`` ranks below ``core`` and never imports it.
+        self.fusion = (
+            fusion
+            if fusion is not None
+            else FusionOrchestrator(self.routes, metrics=self.metrics)
         )
         from repro.sensing.grouping import ProximityGrouper
 
@@ -220,6 +232,9 @@ class WiLocatorServer:
         if point is not None:
             self.stats.positions_fixed += 1
             self.metrics.incr("ingest.positions_fixed")
+            self.fusion.note_wifi_fix(
+                report.session_key, report.route_id, point.arc_length, report.t
+            )
         for record in records:
             self.predictor.observe(record)
             self.stats.traversals_extracted += 1
@@ -250,6 +265,76 @@ class WiLocatorServer:
             apply(report)
             for report in sorted(reports, key=lambda r: r.t)
         ]
+
+    # -- multi-sensor observations (PR 9) ------------------------------------
+
+    def ingest_observation(self, obs: Observation) -> bool:
+        """Accept one normalized observation of any modality.
+
+        WiFi observations convert back to :class:`ScanReport` and take
+        the full guarded ingest path (admission, quarantine, duplicate
+        suppression — an observation envelope is not a side door).
+        Non-WiFi observations go to the fusion orchestrator, which
+        retains them as calibrated correction evidence.  Truthy iff the
+        observation took effect.
+        """
+        if isinstance(obs, WifiObservation):
+            # One "fusion" sample per report covering only the envelope's
+            # own work: the guarded ingest in the middle is excluded by
+            # stopping the clock around it.
+            t0 = time.perf_counter()
+            report = obs.to_report()
+            overhead = time.perf_counter() - t0
+            rejected_before = self.guard.rejected_total
+            self.ingest(report)
+            admitted = self.guard.rejected_total == rejected_before
+            t1 = time.perf_counter()
+            self.fusion.note_wifi_observation(admitted)
+            self.metrics.observe(
+                "fusion", overhead + (time.perf_counter() - t1)
+            )
+            return admitted
+        with self.metrics.timer("fusion"):
+            return self.fusion.observe(obs)
+
+    def ingest_observations(self, observations: Iterable[Observation]) -> dict[str, int]:
+        """Accept an observation batch in timestamp order.
+
+        Returns the counter-delta ack every backend shares:
+        ``{"submitted", "accepted", "rejected"}``.
+        """
+        submitted = accepted = 0
+        for obs in sorted(observations, key=lambda o: o.t):
+            submitted += 1
+            if self.ingest_observation(obs):
+                accepted += 1
+        return {
+            "submitted": submitted,
+            "accepted": accepted,
+            "rejected": submitted - accepted,
+        }
+
+    def fused_position(self, session_key: str, *, now: float) -> TrajectoryPoint | None:
+        """Best current position, falling back to fusion when WiFi is stale.
+
+        With a fresh WiFi anchor this is exactly :meth:`current_position`
+        (fusion never perturbs a healthy track); during scan drought the
+        calibrated BLE/GPS/cell blend answers instead, tagged
+        ``method="fused:..."`` so clients can see the provenance.
+        """
+        est = self.fusion.estimate(session_key, now=now)
+        if est is None:
+            return None
+        route = self.routes.get(est.route_id)
+        if route is None:
+            return None
+        arc = min(max(est.arc, 0.0), route.length)
+        return TrajectoryPoint(
+            t=est.t,
+            arc_length=arc,
+            point=route.point_at(arc),
+            method=f"fused:{est.source}",
+        )
 
     def flush(self) -> int:
         """Make buffered ingest visible — a plain server buffers nothing.
@@ -421,6 +506,7 @@ class WiLocatorServer:
             "stats": asdict(self.stats),
             "sessions": {"open": len(self.sessions)},
             "lifecycle": {"model_version": self.model_version},
+            "fusion": self.fusion.health(),
         }
 
     # -- traffic map ----------------------------------------------------------

@@ -1,0 +1,70 @@
+"""Multi-sensor fusion ingestion: BLE / GPS / cell feeds beside WiFi.
+
+The package sits between ``sensing`` and ``core`` in the layering DAG:
+it defines the unified :class:`~repro.fusion.observations.Observation`
+schema and its wire codec, the reason-coded
+:mod:`~repro.fusion.adapters` that normalize raw feed payloads, and the
+:class:`~repro.fusion.orchestrator.FusionOrchestrator` that retains,
+calibrates and blends non-WiFi observations into bounded corrections of
+WiFi-anchored session tracks.  The core server owns an orchestrator and
+drives it from guarded ingest; this package never imports upward.
+"""
+
+from repro.fusion.adapters import (
+    NORMALIZE_REASONS,
+    FeedAdapter,
+    NormalizeResult,
+    default_adapters,
+    normalize_payload,
+)
+from repro.fusion.audit import AuditRecord, AuditTrail
+from repro.fusion.calibration import SourceCalibration
+from repro.fusion.observations import (
+    OBSERVATION_KINDS,
+    OBSERVATION_SOURCES,
+    BeaconSighting,
+    BleObservation,
+    CellObservation,
+    GpsObservation,
+    Observation,
+    WifiObservation,
+    obs_from_wire,
+    obs_to_wire,
+)
+from repro.fusion.orchestrator import (
+    FusedEstimate,
+    FusionConfig,
+    FusionOrchestrator,
+    SessionAnchor,
+    fold_fusion_health,
+)
+from repro.fusion.retention import ObservationStore, RetentionPolicy, StoredObservation
+
+__all__ = [
+    "AuditRecord",
+    "AuditTrail",
+    "BeaconSighting",
+    "BleObservation",
+    "CellObservation",
+    "FeedAdapter",
+    "FusedEstimate",
+    "FusionConfig",
+    "FusionOrchestrator",
+    "GpsObservation",
+    "NORMALIZE_REASONS",
+    "NormalizeResult",
+    "OBSERVATION_KINDS",
+    "OBSERVATION_SOURCES",
+    "Observation",
+    "ObservationStore",
+    "RetentionPolicy",
+    "SessionAnchor",
+    "SourceCalibration",
+    "StoredObservation",
+    "WifiObservation",
+    "default_adapters",
+    "fold_fusion_health",
+    "normalize_payload",
+    "obs_from_wire",
+    "obs_to_wire",
+]

@@ -1,0 +1,294 @@
+"""Pluggable feed adapters: raw feed payloads → normalized observations.
+
+Each modality's exporter speaks its own dialect; the adapter's job is to
+turn one raw payload dict into exactly one frozen
+:class:`~repro.fusion.observations.Observation` — or a **reason-coded
+reject**, never an exception.  The contract mirrors the guard's
+admission surface: :meth:`FeedAdapter.normalize` is *total* over
+arbitrary well-typed input (hypothesis-enforced in
+``tests/fusion/test_adapters.py``), the reject taxonomy is closed
+(:data:`NORMALIZE_REASONS`), and the result is truthy exactly when an
+observation came out.
+
+The wire dialect is the same one :func:`~repro.fusion.observations.obs_to_wire`
+emits, so a client can round observations through ``/v1/observations``
+byte-identically; the short feed-name aliases (``"gps"`` for
+``"obs_gps"``, ...) are accepted for hand-written payloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.fusion.observations import (
+    BeaconSighting,
+    BleObservation,
+    CellObservation,
+    GpsObservation,
+    Observation,
+    WifiObservation,
+)
+from repro.radio.environment import Reading
+
+__all__ = [
+    "NORMALIZE_REASONS",
+    "NormalizeResult",
+    "FeedAdapter",
+    "WifiFeedAdapter",
+    "BleFeedAdapter",
+    "GpsFeedAdapter",
+    "CellFeedAdapter",
+    "default_adapters",
+    "normalize_payload",
+]
+
+#: Closed reject taxonomy — the tail of the ``fusion.rejected.<reason>``
+#: metric family, so it must stay small and enumerable.
+NORMALIZE_REASONS: frozenset[str] = frozenset({
+    "malformed",
+    "bad_timestamp",
+    "empty_payload",
+    "unsupported_kind",
+})
+
+
+@dataclass(frozen=True, slots=True)
+class NormalizeResult:
+    """Outcome of normalizing one raw payload; truthy iff it produced one."""
+
+    observation: Observation | None
+    reason: str | None = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.observation is not None
+
+    @staticmethod
+    def ok(observation: Observation) -> "NormalizeResult":
+        return NormalizeResult(observation=observation)
+
+    @staticmethod
+    def reject(reason: str, detail: str = "") -> "NormalizeResult":
+        if reason not in NORMALIZE_REASONS:
+            raise ValueError(f"unknown normalize reason {reason!r}")
+        return NormalizeResult(observation=None, reason=reason, detail=detail)
+
+
+class _Malformed(Exception):
+    """Internal control flow only: field extraction failed."""
+
+
+def _text(raw: Mapping[str, Any], key: str) -> str:
+    value = raw.get(key)
+    if not isinstance(value, str):
+        raise _Malformed(f"{key} must be a string")
+    return value
+
+
+def _finite(raw: Mapping[str, Any], key: str) -> float:
+    value = raw.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _Malformed(f"{key} must be a number")
+    value = float(value)
+    if not math.isfinite(value):
+        raise _Malformed(f"{key} must be finite")
+    return value
+
+
+def _header(raw: Mapping[str, Any]) -> tuple[str, str, str, float]:
+    device = _text(raw, "device")
+    session = _text(raw, "session")
+    route = _text(raw, "route")
+    return device, session, route, 0.0  # t validated separately for its reason
+
+
+class FeedAdapter:
+    """Base adapter: the totality wrapper around one modality's parser.
+
+    Subclasses implement :meth:`_parse` (which may raise anything); the
+    public :meth:`normalize` maps every failure to a reason-coded
+    reject.  ``source`` names the calibration bucket the adapter's
+    observations share.
+    """
+
+    source: str = ""
+
+    def normalize(self, raw: Any) -> NormalizeResult:
+        """Normalize one raw payload; total — never raises."""
+        if not isinstance(raw, Mapping):
+            return NormalizeResult.reject("malformed", "payload must be an object")
+        try:
+            device, session, route, _ = _header(raw)
+        except _Malformed as exc:
+            return NormalizeResult.reject("malformed", str(exc))
+        try:
+            t = _finite(raw, "t")
+        except _Malformed as exc:
+            return NormalizeResult.reject("bad_timestamp", str(exc))
+        try:
+            return self._parse(raw, device, session, route, t)
+        except _Malformed as exc:
+            return NormalizeResult.reject("malformed", str(exc))
+        except Exception as exc:  # totality: unexpected shapes reject, not raise
+            return NormalizeResult.reject(
+                "malformed", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _parse(
+        self, raw: Mapping[str, Any], device: str, session: str, route: str, t: float
+    ) -> NormalizeResult:
+        raise NotImplementedError
+
+
+class WifiFeedAdapter(FeedAdapter):
+    """WiFi scans in the WAL/wire triple dialect ``[bssid, ssid, rss]``."""
+
+    source = "wifi"
+
+    def _parse(
+        self, raw: Mapping[str, Any], device: str, session: str, route: str, t: float
+    ) -> NormalizeResult:
+        items = raw.get("readings")
+        if not isinstance(items, (list, tuple)):
+            raise _Malformed("readings must be a list")
+        if not items:
+            return NormalizeResult.reject("empty_payload", "no readings")
+        readings = []
+        for entry in items:
+            bssid, ssid, rss = entry
+            if not isinstance(bssid, str) or not isinstance(ssid, str):
+                raise _Malformed("reading ids must be strings")
+            if isinstance(rss, bool) or not isinstance(rss, (int, float)):
+                raise _Malformed("rss must be a number")
+            readings.append(Reading(bssid=bssid, ssid=ssid, rss_dbm=float(rss)))
+        return NormalizeResult.ok(
+            WifiObservation(
+                device_id=device,
+                session_key=session,
+                route_id=route,
+                t=t,
+                readings=tuple(readings),
+            )
+        )
+
+
+class BleFeedAdapter(FeedAdapter):
+    """BLE sweeps as ``[beacon_id, rssi]`` pairs, strongest first."""
+
+    source = "ble"
+
+    def _parse(
+        self, raw: Mapping[str, Any], device: str, session: str, route: str, t: float
+    ) -> NormalizeResult:
+        items = raw.get("sightings")
+        if not isinstance(items, (list, tuple)):
+            raise _Malformed("sightings must be a list")
+        if not items:
+            return NormalizeResult.reject("empty_payload", "no sightings")
+        sightings = []
+        for entry in items:
+            beacon, rssi = entry
+            if not isinstance(beacon, str):
+                raise _Malformed("beacon id must be a string")
+            if isinstance(rssi, bool) or not isinstance(rssi, (int, float)):
+                raise _Malformed("rssi must be a number")
+            if not math.isfinite(float(rssi)):
+                raise _Malformed("rssi must be finite")
+            sightings.append(BeaconSighting(beacon_id=beacon, rssi_dbm=float(rssi)))
+        return NormalizeResult.ok(
+            BleObservation(
+                device_id=device,
+                session_key=session,
+                route_id=route,
+                t=t,
+                sightings=tuple(sightings),
+            )
+        )
+
+
+class GpsFeedAdapter(FeedAdapter):
+    """Sparse GPS fixes in local planar metres (``x``/``y``/``accuracy_m``)."""
+
+    source = "gps"
+
+    def _parse(
+        self, raw: Mapping[str, Any], device: str, session: str, route: str, t: float
+    ) -> NormalizeResult:
+        x = _finite(raw, "x")
+        y = _finite(raw, "y")
+        accuracy = _finite(raw, "accuracy_m") if "accuracy_m" in raw else 20.0
+        if accuracy <= 0:
+            raise _Malformed("accuracy_m must be positive")
+        return NormalizeResult.ok(
+            GpsObservation(
+                device_id=device,
+                session_key=session,
+                route_id=route,
+                t=t,
+                x=x,
+                y=y,
+                accuracy_m=accuracy,
+            )
+        )
+
+
+class CellFeedAdapter(FeedAdapter):
+    """Coarse cell-tower handoffs (just the serving cell id)."""
+
+    source = "cell"
+
+    def _parse(
+        self, raw: Mapping[str, Any], device: str, session: str, route: str, t: float
+    ) -> NormalizeResult:
+        cell = raw.get("cell")
+        if not isinstance(cell, str):
+            raise _Malformed("cell must be a string")
+        if not cell:
+            return NormalizeResult.reject("empty_payload", "empty cell id")
+        return NormalizeResult.ok(
+            CellObservation(
+                device_id=device,
+                session_key=session,
+                route_id=route,
+                t=t,
+                cell_id=cell,
+            )
+        )
+
+
+def default_adapters() -> dict[str, FeedAdapter]:
+    """kind tag → adapter, covering canonical and short-alias tags."""
+    wifi, ble, gps, cell = (
+        WifiFeedAdapter(),
+        BleFeedAdapter(),
+        GpsFeedAdapter(),
+        CellFeedAdapter(),
+    )
+    return {
+        "obs_wifi": wifi,
+        "wifi": wifi,
+        "obs_ble": ble,
+        "ble": ble,
+        "obs_gps": gps,
+        "gps": gps,
+        "obs_cell": cell,
+        "cell": cell,
+    }
+
+
+_DEFAULT_ADAPTERS = default_adapters()
+
+
+def normalize_payload(raw: Any) -> NormalizeResult:
+    """Dispatch one raw payload to its adapter by ``kind`` tag (total)."""
+    if not isinstance(raw, Mapping):
+        return NormalizeResult.reject("malformed", "payload must be an object")
+    kind = raw.get("kind")
+    if not isinstance(kind, str):
+        return NormalizeResult.reject("unsupported_kind", "missing 'kind' tag")
+    adapter = _DEFAULT_ADAPTERS.get(kind)
+    if adapter is None:
+        return NormalizeResult.reject("unsupported_kind", f"kind {kind!r}")
+    return adapter.normalize(raw)

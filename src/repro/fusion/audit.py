@@ -1,0 +1,78 @@
+"""Append-only per-source audit trail: every fused fix is attributable.
+
+When a bus position comes from rank/SVD matching, the evidence is the
+scan report itself (quarantine ring, WAL).  A *fused* fix has no such
+single artifact — it is a weighted blend of BLE/GPS/cell observations —
+so the fusion layer keeps its own append-only trail: one record per
+stored observation, per reason-coded reject, per calibration update and
+per fused fix (listing the ``source@t`` references that contributed).
+The trail is a bounded ring; overwriting old records is counted, never
+silent, and totals survive the overwrite so health() numbers stay
+monotonic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque
+
+__all__ = ["AuditRecord", "AuditTrail"]
+
+
+@dataclass(frozen=True, slots=True)
+class AuditRecord:
+    """One audit event; ``seq`` is a gapless append sequence number."""
+
+    seq: int
+    t: float
+    source: str
+    session_key: str
+    event: str
+    detail: str
+
+
+class AuditTrail:
+    """A bounded append-only ring of :class:`AuditRecord`."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError("audit capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[AuditRecord] = deque(maxlen=capacity)
+        self._seq = 0
+        self.appended = 0
+        self.dropped = 0
+
+    def append(
+        self, t: float, source: str, session_key: str, event: str, detail: str = ""
+    ) -> AuditRecord:
+        record = AuditRecord(
+            seq=self._seq,
+            t=t,
+            source=source,
+            session_key=session_key,
+            event=event,
+            detail=detail,
+        )
+        self._seq += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(record)
+        self.appended += 1
+        return record
+
+    def recent(self, n: int | None = None) -> list[AuditRecord]:
+        """The newest ``n`` records (all retained when ``n`` is None)."""
+        records = list(self._ring)
+        return records if n is None else records[-n:]
+
+    def for_session(self, session_key: str) -> list[AuditRecord]:
+        return [r for r in self._ring if r.session_key == session_key]
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "records": len(self._ring),
+            "appended": self.appended,
+            "dropped": self.dropped,
+        }

@@ -1,0 +1,97 @@
+"""Per-source calibration state, learned online from WiFi-anchored fixes.
+
+Each non-WiFi feed carries systematic error the fusion layer must model
+before its observations are usable: device clocks drift (a GPS fix
+stamped by the phone can lag the bus's WiFi-scan clock by seconds),
+position noise varies wildly between modalities (a GPS fix is tens of
+metres off, a cell handoff hundreds), and operators trust the feeds
+differently.  Rather than configuring these per deployment, the
+orchestrator learns them **online**: whenever a non-WiFi observation
+lands within the co-observation window of a WiFi-anchored position fix
+of the same bus, the pair yields one clock-skew sample (``obs.t -
+anchor.t``) and one position-error sample (``|obs_arc - anchor_arc|``),
+folded into exponential moving averages here.
+
+The learned skew corrects observation ages during fusion; the learned
+noise and the configured trust together set each observation's fusion
+weight (see :meth:`SourceCalibration.weight`).  Calibration state is
+deliberately *soft*: it is TTL-free, rebuilt from live co-observations
+after a restart, and therefore not checkpointed (see DESIGN.md §18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["SourceCalibration"]
+
+
+@dataclass
+class SourceCalibration:
+    """EWMA clock-skew / position-noise / trust state for one feed source."""
+
+    source: str
+    clock_skew_s: float = 0.0
+    noise_m: float = 25.0
+    trust: float = 1.0
+    samples: int = 0
+    alpha: float = 0.25
+
+    def update(self, skew_sample_s: float, err_sample_m: float) -> None:
+        """Fold one co-observed (skew, position-error) sample pair in.
+
+        The first sample initialises both averages outright so a single
+        healthy-phase co-observation already de-skews the feed.
+        """
+        if self.samples == 0:
+            self.clock_skew_s = skew_sample_s
+            self.noise_m = abs(err_sample_m)
+        else:
+            a = self.alpha
+            self.clock_skew_s += a * (skew_sample_s - self.clock_skew_s)
+            self.noise_m += a * (abs(err_sample_m) - self.noise_m)
+        self.samples += 1
+
+    def corrected_t(self, t: float) -> float:
+        """An observation timestamp mapped onto the anchor clock."""
+        return t - self.clock_skew_s
+
+    def weight(self, age_s: float, *, recency_tau_s: float = 30.0) -> float:
+        """Fusion weight of one observation of this source at ``age_s``.
+
+        Trust scaled down by the learned noise (floored so a perfectly
+        calibrated feed cannot dominate numerically) and by staleness.
+        """
+        recency = 1.0 + max(age_s, 0.0) / recency_tau_s
+        return self.trust / ((self.noise_m + 5.0) * recency)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The health()-facing view (keys are part of the parity contract)."""
+        return {
+            "clock_skew_s": self.clock_skew_s,
+            "noise_m": self.noise_m,
+            "trust": self.trust,
+            "samples": self.samples,
+        }
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "clock_skew_s": self.clock_skew_s,
+            "noise_m": self.noise_m,
+            "trust": self.trust,
+            "samples": self.samples,
+            "alpha": self.alpha,
+        }
+
+    @staticmethod
+    def from_state(state: Mapping[str, Any]) -> "SourceCalibration":
+        return SourceCalibration(
+            source=state["source"],
+            clock_skew_s=float(state["clock_skew_s"]),
+            noise_m=float(state["noise_m"]),
+            trust=float(state["trust"]),
+            samples=int(state["samples"]),
+            alpha=float(state["alpha"]),
+        )

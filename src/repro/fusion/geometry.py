@@ -1,0 +1,68 @@
+"""Point→arc projection onto a route polyline, for GPS fusion.
+
+The positioning core works in *arc length along the route* — that is
+what rank/SVD matching produces and what the tracker smooths — but a
+GPS fix arrives as a planar point.  :class:`RouteGeometry` samples the
+route polyline once (lazily, at a fixed arc step) and projects any
+point to the nearest polyline chord, returning both the arc and the
+off-route distance so the caller can gate wildly off-route fixes.
+
+``roadnet`` deliberately has no inverse of ``point_at`` (routes may
+self-overlap); the nearest-chord projection here is the fusion layer's
+honest approximation, good to well under the sampling step for the
+gentle curvature bus routes have.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.roadnet.route import BusRoute
+
+__all__ = ["RouteGeometry"]
+
+
+class RouteGeometry:
+    """A sampled (arc, point) table of one route with nearest-chord lookup."""
+
+    def __init__(self, route: BusRoute, *, step_m: float = 20.0) -> None:
+        if step_m <= 0:
+            raise ValueError("sampling step must be positive")
+        self.route_id = route.route_id
+        self.length = route.length
+        arcs: list[float] = []
+        arc = 0.0
+        while arc < self.length:
+            arcs.append(arc)
+            arc += step_m
+        arcs.append(self.length)
+        self._arcs = arcs
+        self._points = [route.point_at(a) for a in arcs]
+
+    def project(self, point: Point) -> tuple[float, float]:
+        """``(arc, distance_m)`` of the nearest route position to ``point``.
+
+        Scans every chord of the sampled polyline (a route is a few
+        hundred samples; this is called per GPS observation, not per
+        scan reading) and interpolates the arc along the best chord.
+        """
+        best_arc = 0.0
+        best_d2 = float("inf")
+        px, py = point.x, point.y
+        pts = self._points
+        arcs = self._arcs
+        for i in range(len(pts) - 1):
+            ax, ay = pts[i].x, pts[i].y
+            bx, by = pts[i + 1].x, pts[i + 1].y
+            dx, dy = bx - ax, by - ay
+            seg_len2 = dx * dx + dy * dy
+            if seg_len2 <= 0.0:
+                s = 0.0
+            else:
+                s = ((px - ax) * dx + (py - ay) * dy) / seg_len2
+                s = min(1.0, max(0.0, s))
+            cx, cy = ax + s * dx, ay + s * dy
+            d2 = (px - cx) ** 2 + (py - cy) ** 2
+            if d2 < best_d2:
+                best_d2 = d2
+                best_arc = arcs[i] + s * (arcs[i + 1] - arcs[i])
+        return best_arc, best_d2 ** 0.5

@@ -1,0 +1,262 @@
+"""The unified observation schema every sensing modality normalizes into.
+
+WiLocator's ingest understood exactly one message — the WiFi
+:class:`~repro.sensing.reports.ScanReport` — so any citywide WiFi
+degradation (AP churn storm, dead corridor) left the tracker blind.
+This module defines the kind-tagged, frozen ``Observation`` family that
+the multi-sensor front end (BLE beacon sightings, degraded/sparse GPS
+fixes, coarse cell-tower handoffs, and WiFi scans themselves) all
+normalize into, plus the canonical wire codec mirroring the
+``serving/wire.py`` idiom: :func:`obs_to_wire` produces a JSON-safe
+``"kind"``-tagged dict and :func:`obs_from_wire` inverts it exactly
+(``obs_from_wire(obs_to_wire(o)) == o`` for every kind; enforced by the
+hypothesis property test in ``tests/fusion/test_observations.py``).
+
+Every observation carries the same identity header as a scan report —
+``device_id`` / ``session_key`` / ``route_id`` / ``t`` — so the fusion
+layer can co-observe any modality against WiFi-anchored fixes of the
+same bus, and the cluster router can shard observations exactly like
+reports (by route id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Mapping, Union
+
+from repro.radio.environment import Reading
+from repro.sensing.reports import ScanReport
+
+__all__ = [
+    "BeaconSighting",
+    "WifiObservation",
+    "BleObservation",
+    "GpsObservation",
+    "CellObservation",
+    "Observation",
+    "OBSERVATION_KINDS",
+    "OBSERVATION_SOURCES",
+    "obs_to_wire",
+    "obs_from_wire",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BeaconSighting:
+    """One BLE beacon heard in a sweep (strongest first in a sighting list)."""
+
+    beacon_id: str
+    rssi_dbm: float
+
+
+@dataclass(frozen=True, slots=True)
+class WifiObservation:
+    """A WiFi scan wrapped in the observation envelope.
+
+    Exists so one multiplexed feed can carry every modality; it converts
+    losslessly to and from :class:`ScanReport` and always takes the
+    guard-admitted ingest path — WiFi never bypasses admission control
+    by arriving dressed as an observation.
+    """
+
+    kind: ClassVar[str] = "obs_wifi"
+    source: ClassVar[str] = "wifi"
+
+    device_id: str
+    session_key: str
+    route_id: str
+    t: float
+    readings: tuple[Reading, ...] = field(default_factory=tuple)
+
+    def to_report(self) -> ScanReport:
+        return ScanReport(
+            device_id=self.device_id,
+            session_key=self.session_key,
+            route_id=self.route_id,
+            t=self.t,
+            readings=self.readings,
+        )
+
+    @staticmethod
+    def from_report(report: ScanReport) -> "WifiObservation":
+        return WifiObservation(
+            device_id=report.device_id,
+            session_key=report.session_key,
+            route_id=report.route_id,
+            t=report.t,
+            readings=report.readings,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class BleObservation:
+    """BLE beacon sightings from one sweep (beacons are arc-surveyed)."""
+
+    kind: ClassVar[str] = "obs_ble"
+    source: ClassVar[str] = "ble"
+
+    device_id: str
+    session_key: str
+    route_id: str
+    t: float
+    sightings: tuple[BeaconSighting, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True, slots=True)
+class GpsObservation:
+    """A degraded/sparse GPS fix in local planar coordinates (metres)."""
+
+    kind: ClassVar[str] = "obs_gps"
+    source: ClassVar[str] = "gps"
+
+    device_id: str
+    session_key: str
+    route_id: str
+    t: float
+    x: float
+    y: float
+    accuracy_m: float = 20.0
+
+
+@dataclass(frozen=True, slots=True)
+class CellObservation:
+    """A coarse cell-tower handoff (cells are arc-span-surveyed)."""
+
+    kind: ClassVar[str] = "obs_cell"
+    source: ClassVar[str] = "cell"
+
+    device_id: str
+    session_key: str
+    route_id: str
+    t: float
+    cell_id: str = ""
+
+
+Observation = Union[WifiObservation, BleObservation, GpsObservation, CellObservation]
+
+#: Closed feed-source taxonomy, in the fixed order health sections use.
+OBSERVATION_SOURCES: tuple[str, ...] = ("ble", "cell", "gps", "wifi")
+
+
+# -- wire codec (serving/wire.py idiom: tagged dicts, exact inverse) ---------
+
+
+def _enc_header(o: Observation) -> dict[str, Any]:
+    return {
+        "kind": o.kind,
+        "device": o.device_id,
+        "session": o.session_key,
+        "route": o.route_id,
+        "t": o.t,
+    }
+
+
+def _enc_wifi(o: WifiObservation) -> dict[str, Any]:
+    wired = _enc_header(o)
+    wired["readings"] = [[r.bssid, r.ssid, r.rss_dbm] for r in o.readings]
+    return wired
+
+
+def _enc_ble(o: BleObservation) -> dict[str, Any]:
+    wired = _enc_header(o)
+    wired["sightings"] = [[s.beacon_id, s.rssi_dbm] for s in o.sightings]
+    return wired
+
+
+def _enc_gps(o: GpsObservation) -> dict[str, Any]:
+    wired = _enc_header(o)
+    wired["x"] = o.x
+    wired["y"] = o.y
+    wired["accuracy_m"] = o.accuracy_m
+    return wired
+
+
+def _enc_cell(o: CellObservation) -> dict[str, Any]:
+    wired = _enc_header(o)
+    wired["cell"] = o.cell_id
+    return wired
+
+
+def _dec_wifi(d: Mapping[str, Any]) -> WifiObservation:
+    return WifiObservation(
+        device_id=d["device"],
+        session_key=d["session"],
+        route_id=d["route"],
+        t=float(d["t"]),
+        readings=tuple(
+            Reading(bssid=b, ssid=s, rss_dbm=float(rss))
+            for b, s, rss in d["readings"]
+        ),
+    )
+
+
+def _dec_ble(d: Mapping[str, Any]) -> BleObservation:
+    return BleObservation(
+        device_id=d["device"],
+        session_key=d["session"],
+        route_id=d["route"],
+        t=float(d["t"]),
+        sightings=tuple(
+            BeaconSighting(beacon_id=b, rssi_dbm=float(rssi))
+            for b, rssi in d["sightings"]
+        ),
+    )
+
+
+def _dec_gps(d: Mapping[str, Any]) -> GpsObservation:
+    return GpsObservation(
+        device_id=d["device"],
+        session_key=d["session"],
+        route_id=d["route"],
+        t=float(d["t"]),
+        x=float(d["x"]),
+        y=float(d["y"]),
+        accuracy_m=float(d["accuracy_m"]),
+    )
+
+
+def _dec_cell(d: Mapping[str, Any]) -> CellObservation:
+    return CellObservation(
+        device_id=d["device"],
+        session_key=d["session"],
+        route_id=d["route"],
+        t=float(d["t"]),
+        cell_id=d["cell"],
+    )
+
+
+_ENCODERS: dict[type, Callable[[Any], dict[str, Any]]] = {
+    WifiObservation: _enc_wifi,
+    BleObservation: _enc_ble,
+    GpsObservation: _enc_gps,
+    CellObservation: _enc_cell,
+}
+
+_DECODERS: dict[str, Callable[[Mapping[str, Any]], Observation]] = {
+    "obs_wifi": _dec_wifi,
+    "obs_ble": _dec_ble,
+    "obs_gps": _dec_gps,
+    "obs_cell": _dec_cell,
+}
+
+OBSERVATION_KINDS: frozenset[str] = frozenset(_DECODERS)
+
+
+def obs_to_wire(obs: Observation) -> dict[str, Any]:
+    """Encode one observation as a JSON-safe tagged dict."""
+    encoder = _ENCODERS.get(type(obs))
+    if encoder is None:
+        raise TypeError(f"no observation codec for {type(obs).__name__}")
+    return encoder(obs)
+
+
+def obs_from_wire(data: Mapping[str, Any]) -> Observation:
+    """Decode a tagged observation dict back to its dataclass (exact inverse)."""
+    try:
+        kind = data["kind"]
+    except (KeyError, TypeError):
+        raise ValueError("observation payload has no 'kind' tag") from None
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise ValueError(f"unknown observation kind {kind!r}")
+    return decoder(data)

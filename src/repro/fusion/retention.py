@@ -1,0 +1,90 @@
+"""Retention for fused observations: TTL expiry + bounded per-session rings.
+
+Non-WiFi observations are only useful while fresh — a 10-minute-old GPS
+fix of a moving bus is noise — and an unbounded per-session buffer is a
+memory leak fed by the network.  The store keeps, per session, a small
+ring of the newest observations (each pre-projected to a route arc at
+append time, so fusion never re-projects), expires entries older than
+the TTL against *observation time* (never wall clock — WL001), and
+bounds the number of tracked sessions LRU-style.
+
+Eviction and expiry counts are returned to the caller (the orchestrator
+turns them into ``fusion.expired`` metrics) rather than counted here, so
+the store stays a pure data structure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Deque
+
+__all__ = ["RetentionPolicy", "StoredObservation", "ObservationStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetentionPolicy:
+    """How long and how many fused observations to keep."""
+
+    ttl_s: float = 120.0
+    max_per_session: int = 32
+    max_sessions: int = 2048
+
+
+@dataclass(frozen=True, slots=True)
+class StoredObservation:
+    """One retained observation, reduced to what fusion needs."""
+
+    source: str
+    t: float
+    arc: float
+    quality: float  # 0..1 modality-specific fix quality (GPS accuracy, ...)
+
+
+class ObservationStore:
+    """Per-session retention rings under one :class:`RetentionPolicy`."""
+
+    def __init__(self, policy: RetentionPolicy | None = None) -> None:
+        self.policy = policy or RetentionPolicy()
+        self._by_session: OrderedDict[str, Deque[StoredObservation]] = OrderedDict()
+
+    def append(self, session_key: str, entry: StoredObservation) -> int:
+        """Retain one observation; returns entries evicted to make room."""
+        ring = self._by_session.get(session_key)
+        if ring is None:
+            ring = self._by_session[session_key] = deque()
+        else:
+            self._by_session.move_to_end(session_key)
+        ring.append(entry)
+        evicted = 0
+        while len(ring) > self.policy.max_per_session:
+            ring.popleft()
+            evicted += 1
+        while len(self._by_session) > self.policy.max_sessions:
+            _, dropped = self._by_session.popitem(last=False)
+            evicted += len(dropped)
+        return evicted
+
+    def prune(self, session_key: str, now: float) -> int:
+        """Expire one session's entries older than the TTL as of ``now``."""
+        ring = self._by_session.get(session_key)
+        if ring is None:
+            return 0
+        expired = 0
+        while ring and now - ring[0].t > self.policy.ttl_s:
+            ring.popleft()
+            expired += 1
+        if not ring:
+            del self._by_session[session_key]
+        return expired
+
+    def entries(self, session_key: str) -> list[StoredObservation]:
+        """The retained observations of one session, oldest first."""
+        ring = self._by_session.get(session_key)
+        return list(ring) if ring is not None else []
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "sessions": len(self._by_session),
+            "observations": sum(len(r) for r in self._by_session.values()),
+        }

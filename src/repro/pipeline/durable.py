@@ -50,6 +50,7 @@ from repro.core.positioning.trajectory import TrajectoryPoint
 from repro.core.server.server import WiLocatorServer
 from repro.core.server.session import BusSession
 from repro.core.traffic.map import TrafficMap
+from repro.fusion.observations import Observation, WifiObservation
 from repro.guard.breaker import CircuitBreaker
 from repro.pipeline.batcher import MicroBatcher
 from repro.pipeline.checkpoint import write_checkpoint
@@ -237,6 +238,43 @@ class DurableServer:
         """
         self._check_open()
         return self.server.ingest_rider(report)
+
+    def ingest_observation(self, obs: Observation) -> bool:
+        """Durable multi-sensor ingest of one normalized observation.
+
+        WiFi observations are the system of record: they convert back to
+        scan reports and take the batched WAL path (:meth:`submit`), so
+        a crash replays them like any driver report.  Non-WiFi
+        observations are advisory correction evidence with a retention
+        TTL — like rider scans they are deliberately *not* WAL-logged
+        and go straight to the wrapped server's fusion orchestrator,
+        which rebuilds from live feeds after recovery (DESIGN.md §18).
+        """
+        self._check_open()
+        if isinstance(obs, WifiObservation):
+            accepted = self.submit(obs.to_report())
+            self.server.fusion.note_wifi_observation(accepted)
+            return accepted
+        return self.server.ingest_observation(obs)
+
+    def ingest_observations(self, observations: Iterable[Observation]) -> dict[str, int]:
+        """Durable observation batch; same counter-delta ack as every backend."""
+        self._check_open()
+        submitted = accepted = 0
+        for obs in sorted(observations, key=lambda o: o.t):
+            submitted += 1
+            if self.ingest_observation(obs):
+                accepted += 1
+        return {
+            "submitted": submitted,
+            "accepted": accepted,
+            "rejected": submitted - accepted,
+        }
+
+    def fused_position(self, session_key: str, *, now: float) -> TrajectoryPoint | None:
+        """Fusion-backed position (WiFi-fresh or blended); served from memory."""
+        self._check_open()
+        return self.server.fused_position(session_key, now=now)
 
     def flush(self) -> int:
         """Commit any buffered batch now; returns reports committed."""

@@ -25,6 +25,8 @@ path                       verb  backend call
 =========================  ====  ========================================
 ``/v1/scans``              POST  ``ingest_many`` + ``flush`` (driver)
 ``/v1/rider-scans``        POST  ``ingest_rider`` per report
+``/v1/observations``       POST  adapter-normalized multi-sensor batch
+                                 via ``ingest_observations`` + ``flush``
 ``/v1/departures``         GET   departures board for one stop
 ``/v1/trip-plan``          GET   direct ride options between two stops
 ``/v1/positions``          GET   all live bus positions
@@ -58,6 +60,8 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Protocol
 from repro.core.server.api import RiderAPI, UnknownStopError
 from repro.core.server.backend import ServingBackend
 from repro.core.server.metrics import ServerMetrics
+from repro.fusion.adapters import normalize_payload
+from repro.fusion.observations import Observation
 from repro.pipeline.wal import report_from_dict
 from repro.radio.environment import Reading
 from repro.sensing.reports import ScanReport
@@ -88,6 +92,13 @@ ENDPOINTS: tuple[Endpoint, ...] = (
     Endpoint("scans", "POST", "/v1/scans", "serving.scans", 0.250),
     Endpoint(
         "rider_scans", "POST", "/v1/rider-scans", "serving.rider_scans", 0.250
+    ),
+    Endpoint(
+        "observations",
+        "POST",
+        "/v1/observations",
+        "serving.observations",
+        0.250,
     ),
     Endpoint(
         "departures", "GET", "/v1/departures", "serving.departures", 0.100
@@ -173,6 +184,7 @@ class ServingApp:
         self._handlers: dict[str, Callable[[Request], Response]] = {
             "scans": self._h_scans,
             "rider_scans": self._h_rider_scans,
+            "observations": self._h_observations,
             "departures": self._h_departures,
             "trip_plan": self._h_trip_plan,
             "positions": self._h_positions,
@@ -341,6 +353,62 @@ class ServingApp:
                 )
         return Response(
             200, {"submitted": len(reports), "accepted": accepted}
+        )
+
+    def _h_observations(self, request: Request) -> Response:
+        """Multi-sensor ingest: normalize every item, then one backend batch.
+
+        Normalization rejects are reason-coded per item (never a raised
+        parse error — the adapters are total); a batch where *nothing*
+        normalized is a 422 naming the first failing index, mirroring
+        ``/v1/scans``.  The ack adds a ``rejected`` field because
+        observations reject at two stages (adapter and orchestrator);
+        ``ingest_observations`` returns the same counter dict on every
+        backend, so acks stay byte-identical across deployment shapes.
+        """
+        data = request.json()
+        if not isinstance(data, dict) or not isinstance(
+            data.get("observations"), list
+        ):
+            raise WireError(
+                WireErrorCode.BAD_REQUEST,
+                'ingest body must be {"observations": [...]}',
+            )
+        items = data["observations"]
+        if not items:
+            raise WireError(
+                WireErrorCode.BAD_REQUEST, "empty observations list"
+            )
+        observations: list[Observation] = []
+        first_failure: tuple[int, str, str] | None = None
+        for i, item in enumerate(items):
+            result = normalize_payload(item)
+            if result.observation is not None:
+                observations.append(result.observation)
+            elif first_failure is None:
+                first_failure = (i, result.reason or "malformed", result.detail)
+        if not observations:
+            assert first_failure is not None  # items is non-empty
+            i, reason, detail = first_failure
+            raise WireError(
+                WireErrorCode.REJECTED,
+                f"observations[{i}] rejected: {reason} ({detail})"
+                if detail
+                else f"observations[{i}] rejected: {reason}",
+                submitted=len(items),
+            )
+        try:
+            ack = self.backend.ingest_observations(observations)
+            self.backend.flush()
+        except ValueError as exc:
+            raise WireError(WireErrorCode.UNAVAILABLE, str(exc)) from None
+        return Response(
+            200,
+            {
+                "submitted": len(items),
+                "accepted": ack["accepted"],
+                "rejected": (len(items) - len(observations)) + ack["rejected"],
+            },
         )
 
     def _h_rider_scans(self, request: Request) -> Response:

@@ -28,6 +28,14 @@ from repro.core.server.session import BusSession
 from repro.core.traffic.anomaly import Anomaly
 from repro.core.traffic.classifier import SegmentStatus
 from repro.core.traffic.map import SegmentState, TrafficMap
+from repro.fusion.observations import (
+    BleObservation,
+    CellObservation,
+    GpsObservation,
+    WifiObservation,
+    obs_from_wire,
+    obs_to_wire,
+)
 from repro.geometry import Point
 from repro.pipeline.wal import report_from_dict, report_to_dict
 from repro.sensing.reports import ScanReport
@@ -261,6 +269,13 @@ _ENCODERS: dict[type, Callable[[Any], dict[str, Any]]] = {
     Anomaly: _enc_anomaly,
     TrafficMap: _enc_traffic_map,
     ScanReport: _enc_scan_report,
+    # Multi-sensor observation envelopes delegate to the fusion codec —
+    # one canonical encoding, whether it crosses /v1/observations or an
+    # in-process adapter.
+    WifiObservation: obs_to_wire,
+    BleObservation: obs_to_wire,
+    GpsObservation: obs_to_wire,
+    CellObservation: obs_to_wire,
 }
 
 _DECODERS: dict[str, Callable[[Mapping[str, Any]], Any]] = {
@@ -274,6 +289,10 @@ _DECODERS: dict[str, Callable[[Mapping[str, Any]], Any]] = {
     "anomaly": _dec_anomaly,
     "traffic_map": _dec_traffic_map,
     "scan_report": _dec_scan_report,
+    "obs_wifi": obs_from_wire,
+    "obs_ble": obs_from_wire,
+    "obs_gps": obs_from_wire,
+    "obs_cell": obs_from_wire,
 }
 
 WIRE_KINDS: frozenset[str] = frozenset(_DECODERS)

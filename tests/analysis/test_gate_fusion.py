@@ -1,0 +1,96 @@
+"""The invariant gate covers the new fusion subsystem.
+
+Fixture mutations prove the gate has teeth for ``repro.fusion``
+specifically: an undeclared ``fusion.*`` metric trips WL002, an injected
+wall-clock read trips WL001 (fusion is in the deterministic set), and an
+upward import into the serving layer trips WL004 (fusion ranks below
+core precisely so the server can drive it, never the reverse).  Without
+these, the gate could silently not see the new package.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Baseline, analyze, load_baseline
+
+from tests.analysis.test_gate import BASELINE, _mutated_src
+
+pytestmark = [pytest.mark.analysis, pytest.mark.fusion]
+
+
+def test_gate_fails_on_undeclared_fusion_metric(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/fusion/orchestrator.py",
+        '"fusion.fused_fixes"',
+        '"fusion.fused_fixesz"',
+    )
+    result = analyze([mutated], baseline=load_baseline(BASELINE), root=tmp_path)
+    wl002 = [f for f in result.findings if f.rule_id == "WL002"]
+    assert wl002, "an undeclared fusion metric must trip WL002"
+    assert any(
+        "fusion.fused_fixesz" in f.message
+        and f.file.endswith("repro/fusion/orchestrator.py")
+        and f.line > 0
+        for f in wl002
+    )
+
+
+def test_gate_fails_on_wall_clock_in_fusion(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/fusion/retention.py",
+        "from __future__ import annotations",
+        "from __future__ import annotations\nimport time\n_BOOT = time.time()",
+    )
+    result = analyze([mutated], baseline=Baseline(), root=tmp_path)
+    wl001 = [f for f in result.findings if f.rule_id == "WL001"]
+    assert len(wl001) == 1
+    assert wl001[0].file.endswith("repro/fusion/retention.py")
+    injected_at = (
+        (mutated / "repro/fusion/retention.py").read_text().splitlines().index(
+            "_BOOT = time.time()"
+        )
+        + 1
+    )
+    assert wl001[0].line == injected_at
+    assert "time.time" in wl001[0].message
+
+
+def test_gate_fails_on_upward_import_from_fusion(tmp_path):
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/fusion/observations.py",
+        "from __future__ import annotations",
+        "from __future__ import annotations\nfrom repro.serving.wire import to_wire",
+    )
+    result = analyze([mutated], baseline=Baseline(), root=tmp_path)
+    wl004 = [f for f in result.findings if f.rule_id == "WL004"]
+    assert wl004, "fusion importing the serving layer must trip WL004"
+    offender = [
+        f for f in wl004 if f.file.endswith("repro/fusion/observations.py")
+    ]
+    assert len(offender) == 1
+    assert "repro.serving" in offender[0].message
+    injected_line = pathlib.Path(
+        mutated / "repro/fusion/observations.py"
+    ).read_text().splitlines().index(
+        "from repro.serving.wire import to_wire"
+    ) + 1
+    assert offender[0].line == injected_line
+
+
+def test_clean_fusion_package_passes_the_gate(tmp_path):
+    # Control: an unmutated copy stays green, so the red results above
+    # are attributable to the mutations alone.
+    mutated = _mutated_src(
+        tmp_path,
+        "repro/fusion/orchestrator.py",
+        "from __future__ import annotations",
+        "from __future__ import annotations",
+    )
+    result = analyze([mutated], baseline=load_baseline(BASELINE), root=tmp_path)
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)

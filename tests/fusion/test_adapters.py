@@ -1,0 +1,155 @@
+"""Adapter totality: arbitrary payloads never raise, rejects carry reasons.
+
+The normalize surface mirrors the guard's admission contract — a feed
+exporter can hand the adapter anything JSON can express (or worse) and
+must get back a :class:`NormalizeResult`, truthy exactly when a frozen
+observation came out, otherwise tagged with a reason from the closed
+:data:`NORMALIZE_REASONS` taxonomy.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.adapters import (
+    NORMALIZE_REASONS,
+    NormalizeResult,
+    default_adapters,
+    normalize_payload,
+)
+from repro.fusion.observations import GpsObservation, obs_to_wire
+
+pytestmark = pytest.mark.fusion
+
+json_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats()  # NaN/inf included: the adapters must reject, not raise
+    | st.text(max_size=20)
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=10,
+)
+# Payloads biased toward almost-valid shapes: a known kind tag with
+# arbitrary junk in the modality fields exercises the deep parse paths.
+almost_valid = st.fixed_dictionaries(
+    {"kind": st.sampled_from(sorted(default_adapters()))},
+    optional={
+        "device": json_values,
+        "session": json_values,
+        "route": json_values,
+        "t": json_values,
+        "readings": json_values,
+        "sightings": json_values,
+        "x": json_values,
+        "y": json_values,
+        "accuracy_m": json_values,
+        "cell": json_values,
+    },
+)
+
+
+class TestTotality:
+    @settings(max_examples=300, deadline=None)
+    @given(json_values | almost_valid)
+    def test_never_raises_and_rejects_are_reason_coded(self, raw):
+        result = normalize_payload(raw)
+        assert isinstance(result, NormalizeResult)
+        if result:
+            assert result.observation is not None
+            assert result.reason is None
+        else:
+            assert result.observation is None
+            assert result.reason in NORMALIZE_REASONS
+
+    @settings(max_examples=100, deadline=None)
+    @given(almost_valid)
+    def test_per_adapter_normalize_is_total_too(self, raw):
+        for adapter in default_adapters().values():
+            result = adapter.normalize(raw)
+            assert isinstance(result, NormalizeResult)
+            if not result:
+                assert result.reason in NORMALIZE_REASONS
+
+
+class TestRoundTripThroughWire:
+    def test_canonical_wire_payload_normalizes_back_exactly(self):
+        obs = GpsObservation(
+            device_id="d1",
+            session_key="bus:R000:0",
+            route_id="R000",
+            t=100.0,
+            x=12.0,
+            y=-3.0,
+            accuracy_m=9.0,
+        )
+        wired = json.loads(json.dumps(obs_to_wire(obs)))
+        result = normalize_payload(wired)
+        assert result
+        assert result.observation == obs
+
+    def test_short_alias_kinds_are_accepted(self):
+        result = normalize_payload(
+            {
+                "kind": "gps",
+                "device": "d1",
+                "session": "s1",
+                "route": "R000",
+                "t": 5.0,
+                "x": 1.0,
+                "y": 2.0,
+            }
+        )
+        assert result
+        assert result.observation.accuracy_m == 20.0  # documented default
+
+
+class TestRejectReasons:
+    def test_non_mapping_is_malformed(self):
+        assert normalize_payload([1, 2]).reason == "malformed"
+
+    def test_missing_kind_is_unsupported(self):
+        assert normalize_payload({"t": 1.0}).reason == "unsupported_kind"
+
+    def test_unknown_kind_is_unsupported(self):
+        assert normalize_payload({"kind": "obs_pigeon"}).reason == "unsupported_kind"
+
+    def test_non_finite_timestamp_is_bad_timestamp(self):
+        result = normalize_payload(
+            {
+                "kind": "cell",
+                "device": "d",
+                "session": "s",
+                "route": "R",
+                "t": float("nan"),
+                "cell": "c1",
+            }
+        )
+        assert result.reason == "bad_timestamp"
+
+    def test_empty_modality_payloads_reject_as_empty(self):
+        base = {"device": "d", "session": "s", "route": "R", "t": 1.0}
+        assert (
+            normalize_payload({**base, "kind": "wifi", "readings": []}).reason
+            == "empty_payload"
+        )
+        assert (
+            normalize_payload({**base, "kind": "ble", "sightings": []}).reason
+            == "empty_payload"
+        )
+        assert (
+            normalize_payload({**base, "kind": "cell", "cell": ""}).reason
+            == "empty_payload"
+        )
+
+    def test_unknown_reason_is_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown normalize reason"):
+            NormalizeResult.reject("novel_reason")

@@ -1,0 +1,73 @@
+"""The committed BENCH_fusion.json artifact stays well-formed.
+
+Tier-1 shape gate, following the BENCH_lifecycle.json convention: the
+artifact must exist at the repo root, parse, and tell the AP-outage
+story in the right *order* — healthy MAEs exactly equal (fusion is a
+pass-through on a fresh anchor, so parity is structural, not
+statistical), fused outage MAE far below wifi-only, and the learned GPS
+clock skew at the injected value.  The drill is seeded and report-time
+clocked, so unlike the other BENCH artifacts every number here is
+byte-reproducible.  Regenerate with::
+
+    python -m repro.cli fusion --out BENCH_fusion.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.fusion
+
+ARTIFACT = Path(__file__).resolve().parents[2] / "BENCH_fusion.json"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    assert ARTIFACT.is_file(), (
+        "BENCH_fusion.json is missing from the repo root; regenerate it "
+        "with `python -m repro.cli fusion --out BENCH_fusion.json`"
+    )
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestArtifactShape:
+    def test_versioned_and_named(self, bench):
+        assert bench["version"] == 1
+        assert bench["benchmark"] == "fusion_outage"
+        lo, hi = bench["config"]["outage_window_s"]
+        assert hi - lo >= 5 * bench["config"]["wifi_fresh_s"]
+
+    def test_healthy_phase_is_an_exact_tie(self, bench):
+        healthy = bench["drill"]["healthy"]
+        assert healthy["ticks"] > 0
+        # same anchors, same pass-through code path: equal, not just close
+        assert healthy["fused_mae_m"] == healthy["wifi_only_mae_m"]
+
+    def test_fusion_carries_the_outage(self, bench):
+        outage = bench["drill"]["outage"]
+        assert outage["ticks"] > 0
+        assert outage["wifi_only_mae_m"] > 100.0  # the stale anchor drifts off
+        assert outage["fused_mae_m"] < 0.5 * outage["wifi_only_mae_m"]
+
+    def test_gps_clock_skew_was_learned(self, bench):
+        cal = bench["drill"]["gps_calibration"]
+        injected = bench["config"]["gps_skew_s"]
+        assert cal["samples"] >= 10
+        assert abs(cal["clock_skew_s"] - injected) < 0.5
+        assert cal["noise_m"] > 0.0
+
+    def test_counters_show_real_fusion_work(self, bench):
+        counters = bench["counters"]
+        assert counters["fusion.fused_fixes"] > 0
+        assert counters["fusion.stored"] > 0
+        assert counters["fusion.calibrations"] >= counters["fusion.anchors"]
+
+    def test_artifact_is_byte_reproducible_in_format(self):
+        # sorted keys + trailing newline: the committed form `repro.cli
+        # fusion` writes, so regeneration diffs stay clean
+        text = ARTIFACT.read_text()
+        assert text.endswith("\n")
+        assert json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n" == text

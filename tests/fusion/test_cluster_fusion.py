@@ -1,0 +1,108 @@
+"""Observations shard like reports; fusion health folds across shards.
+
+The router routes every observation by ``shard_of(route_id)`` — the same
+consistent hash reports use, so a session's WiFi anchors and its
+GPS/BLE/cell evidence always land on the same shard — rejects toward
+down shards, and folds per-shard fusion sections into one key-identical
+health payload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ShardPlan, build_cluster
+from repro.eval.synth_city import build_linear_city
+from repro.fusion.observations import GpsObservation, WifiObservation
+
+pytestmark = [pytest.mark.fusion, pytest.mark.cluster]
+
+
+@pytest.fixture(scope="module")
+def blueprint():
+    return build_linear_city(
+        num_routes=4,
+        sessions_per_route=1,
+        reports_per_session=2,
+        stops_per_route=6,
+        segments_per_route=5,
+        route_length_m=1500.0,
+        hub_every=2,
+        aps_per_route=8,
+    )
+
+
+@pytest.fixture()
+def cluster(blueprint):
+    city = blueprint.fresh_twin()
+    router = build_cluster(city.server, ShardPlan.build(city.routes, 2))
+    return city, router
+
+
+def wifi_stream(city, route_id, session_key, *, t_start, n=3):
+    reports = city.bus_reports(
+        route_id, session_key, t_start=t_start, speed_mps=8.0
+    )[:n]
+    return [WifiObservation.from_report(r) for r in reports]
+
+
+class TestRouting:
+    def test_observations_follow_their_route_shard(self, cluster):
+        city, router = cluster
+        for rid in sorted(city.routes):
+            stream = wifi_stream(city, rid, f"bus:{rid}:obs", t_start=city.now)
+            ack = router.ingest_observations(stream)
+            assert ack == {"submitted": 3, "accepted": 3, "rejected": 0}
+            shard_id = router.plan.shard_of(rid)
+            shard = router.nodes[shard_id].core
+            assert shard.current_position(f"bus:{rid}:obs") is not None
+        counters = router.metrics.counters
+        assert counters["fusion.routed"] == 4 * 3
+
+    def test_gps_lands_on_the_same_shard_as_the_anchor(self, cluster):
+        city, router = cluster
+        rid = sorted(city.routes)[0]
+        stream = wifi_stream(city, rid, f"bus:{rid}:obs", t_start=city.now)
+        router.ingest_observations(stream)
+        t_last = stream[-1].t
+        truth = city.routes[rid].point_at(400.0)
+        assert router.ingest_observation(
+            GpsObservation(
+                device_id="d",
+                session_key=f"bus:{rid}:obs",
+                route_id=rid,
+                t=t_last + 50.0,
+                x=truth.x,
+                y=truth.y,
+            )
+        )
+        fused = router.fused_position(f"bus:{rid}:obs", now=t_last + 55.0)
+        assert fused is not None
+        assert fused.method == "fused:fused"
+
+    def test_down_shard_rejects_and_counts(self, cluster):
+        city, router = cluster
+        rid = sorted(city.routes)[0]
+        shard_id = router.plan.shard_of(rid)
+        router.crash_shard(shard_id)
+        stream = wifi_stream(city, rid, f"bus:{rid}:obs", t_start=city.now)
+        assert not router.ingest_observation(stream[0])
+        assert router.metrics.counters["fusion.route_rejected"] == 1
+
+
+class TestHealthFold:
+    def test_folded_section_sums_shards(self, cluster):
+        city, router = cluster
+        for rid in sorted(city.routes):
+            router.ingest_observations(
+                wifi_stream(city, rid, f"bus:{rid}:obs", t_start=city.now)
+            )
+        health = router.health()
+        fusion = health["fusion"]
+        assert fusion["sources"]["wifi"]["observations"] == 4 * 3
+        assert fusion["anchors"]["tracked"] == 4
+        per_shard = sum(
+            shard["fusion"]["anchors"]["tracked"]
+            for shard in health["shards"].values()
+        )
+        assert per_shard == 4

@@ -1,0 +1,118 @@
+"""The observation schema and its canonical wire codec.
+
+``obs_from_wire(json.loads(json.dumps(obs_to_wire(x)))) == x`` for every
+observation kind — the codec is the only serialisation surface for
+multi-sensor envelopes (the serving wire module delegates to it), so
+exact invertibility through real JSON is the whole contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.observations import (
+    OBSERVATION_KINDS,
+    OBSERVATION_SOURCES,
+    BeaconSighting,
+    BleObservation,
+    CellObservation,
+    GpsObservation,
+    WifiObservation,
+    obs_from_wire,
+    obs_to_wire,
+)
+from repro.radio.environment import Reading
+from repro.sensing.reports import ScanReport
+
+pytestmark = pytest.mark.fusion
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+ident = st.text(min_size=1, max_size=12)
+
+readings = st.lists(
+    st.builds(Reading, bssid=ident, ssid=ident, rss_dbm=finite), max_size=3
+).map(tuple)
+sightings = st.lists(
+    st.builds(BeaconSighting, beacon_id=ident, rssi_dbm=finite), max_size=3
+).map(tuple)
+
+wifi = st.builds(
+    WifiObservation,
+    device_id=ident,
+    session_key=ident,
+    route_id=ident,
+    t=finite,
+    readings=readings,
+)
+ble = st.builds(
+    BleObservation,
+    device_id=ident,
+    session_key=ident,
+    route_id=ident,
+    t=finite,
+    sightings=sightings,
+)
+gps = st.builds(
+    GpsObservation,
+    device_id=ident,
+    session_key=ident,
+    route_id=ident,
+    t=finite,
+    x=finite,
+    y=finite,
+    accuracy_m=finite,
+)
+cell = st.builds(
+    CellObservation,
+    device_id=ident,
+    session_key=ident,
+    route_id=ident,
+    t=finite,
+    cell_id=ident,
+)
+every_kind = wifi | ble | gps | cell
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(every_kind)
+    def test_json_roundtrip_is_exact(self, obs):
+        wired = json.loads(json.dumps(obs_to_wire(obs)))
+        assert wired["kind"] in OBSERVATION_KINDS
+        assert obs_from_wire(wired) == obs
+
+    def test_kind_set_is_closed(self):
+        # a new modality without a strategy above would silently shrink
+        # the property's coverage — grow both together
+        assert OBSERVATION_KINDS == {"obs_wifi", "obs_ble", "obs_gps", "obs_cell"}
+
+    def test_sources_are_sorted_and_aligned_with_kinds(self):
+        assert OBSERVATION_SOURCES == tuple(sorted(OBSERVATION_SOURCES))
+        assert {f"obs_{s}" for s in OBSERVATION_SOURCES} == set(OBSERVATION_KINDS)
+
+
+class TestWifiReportBridge:
+    @settings(max_examples=50, deadline=None)
+    @given(wifi)
+    def test_report_conversion_is_exact(self, obs):
+        report = obs.to_report()
+        assert isinstance(report, ScanReport)
+        assert WifiObservation.from_report(report) == obs
+
+
+class TestCodecEdges:
+    def test_unknown_type_is_a_typeerror(self):
+        with pytest.raises(TypeError, match="no observation codec"):
+            obs_to_wire(object())
+
+    def test_untagged_payload_is_a_valueerror(self):
+        with pytest.raises(ValueError, match="no 'kind' tag"):
+            obs_from_wire({"route": "R1"})
+
+    def test_unknown_kind_is_a_valueerror(self):
+        with pytest.raises(ValueError, match="unknown observation kind"):
+            obs_from_wire({"kind": "obs_pigeon"})

@@ -1,0 +1,139 @@
+"""The server drives fusion: guarded WiFi path, correction evidence, health.
+
+``WiLocatorServer.ingest_observation`` is the single-node entry point of
+the multi-sensor contract: WiFi envelopes convert back to scan reports
+and take the *full* guarded ingest path (an observation envelope is not
+an admission side door), non-WiFi envelopes feed the orchestrator, and
+``fused_position`` answers from the anchor while healthy and from the
+calibrated blend under scan drought.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.synth_city import build_linear_city
+from repro.fusion.observations import GpsObservation, WifiObservation
+
+pytestmark = pytest.mark.fusion
+
+
+@pytest.fixture(scope="module")
+def blueprint():
+    return build_linear_city(
+        num_routes=2,
+        sessions_per_route=1,
+        reports_per_session=2,
+        stops_per_route=6,
+        segments_per_route=5,
+        route_length_m=1500.0,
+        hub_every=1,
+        aps_per_route=8,
+    )
+
+
+@pytest.fixture()
+def city(blueprint):
+    return blueprint.fresh_twin()
+
+
+def wifi_stream(city, route_id, session_key, *, t_start):
+    reports = city.bus_reports(
+        route_id, session_key, t_start=t_start, speed_mps=8.0
+    )
+    return [WifiObservation.from_report(r) for r in reports]
+
+
+class TestWifiPath:
+    def test_wifi_observation_takes_guarded_ingest(self, city):
+        server = city.server
+        rid = sorted(city.routes)[0]
+        stream = wifi_stream(city, rid, "bus:obs:0", t_start=city.now)
+        assert server.ingest_observation(stream[0])
+        assert server.current_position("bus:obs:0") is not None
+        assert server.metrics.counters["guard.admitted"] >= 1
+        assert server.metrics.counters["fusion.wifi_reports"] == 1
+        assert server.metrics.counters["fusion.anchors"] == 1
+
+    def test_guard_rejects_flow_back_as_false(self, city):
+        server = city.server
+        rid = sorted(city.routes)[0]
+        stream = wifi_stream(city, rid, "bus:obs:0", t_start=city.now)
+        assert server.ingest_observation(stream[0])
+        # The exact same scan again is a duplicate: guard rejects it, and
+        # the envelope path must report that honestly.
+        assert not server.ingest_observation(stream[0])
+        assert server.fusion.health()["sources"]["wifi"]["rejected"] == 1
+
+    def test_batch_ack_counts_match(self, city):
+        server = city.server
+        rid = sorted(city.routes)[0]
+        stream = wifi_stream(city, rid, "bus:obs:0", t_start=city.now)[:3]
+        ack = server.ingest_observations(stream + [stream[0]])  # one dupe
+        assert ack == {"submitted": 4, "accepted": 3, "rejected": 1}
+
+
+class TestFusedPosition:
+    def test_healthy_track_is_exactly_the_wifi_fix(self, city):
+        server = city.server
+        rid = sorted(city.routes)[0]
+        stream = wifi_stream(city, rid, "bus:obs:0", t_start=city.now)
+        server.ingest_observations(stream[:2])
+        now = stream[1].t + 1.0
+        fused = server.fused_position("bus:obs:0", now=now)
+        wifi = server.current_position("bus:obs:0")
+        assert fused.method == "fused:wifi"
+        assert fused.arc_length == wifi.arc_length
+        assert fused.point == wifi.point
+
+    def test_gps_carries_the_track_through_scan_drought(self, city):
+        server = city.server
+        rid = sorted(city.routes)[0]
+        route = city.routes[rid]
+        stream = wifi_stream(city, rid, "bus:obs:0", t_start=city.now)
+        server.ingest_observations(stream[:2])
+        t_last = stream[1].t
+        # 60 s of drought; a GPS fix lands where the bus actually is.
+        truth = route.point_at(500.0)
+        assert server.ingest_observation(
+            GpsObservation(
+                device_id="d",
+                session_key="bus:obs:0",
+                route_id=rid,
+                t=t_last + 58.0,
+                x=truth.x,
+                y=truth.y,
+            )
+        )
+        fused = server.fused_position("bus:obs:0", now=t_last + 60.0)
+        assert fused.method == "fused:fused"
+        assert fused.arc_length == pytest.approx(500.0, abs=40.0)
+
+    def test_unknown_session_is_none(self, city):
+        assert city.server.fused_position("ghost", now=0.0) is None
+
+
+class TestObservability:
+    def test_health_carries_the_fusion_section(self, city):
+        health = city.server.health()
+        assert "fusion" in health
+        assert set(health["fusion"]) == {
+            "sources",
+            "store",
+            "anchors",
+            "audit",
+            "fused_fixes",
+        }
+
+    def test_fusion_counters_land_in_server_metrics(self, city):
+        server = city.server
+        rid = sorted(city.routes)[0]
+        server.ingest_observation(
+            wifi_stream(city, rid, "bus:obs:0", t_start=city.now)[0]
+        )
+        counters = server.metrics.counters
+        assert counters["fusion.observations"] == 1
+        # the overhead-only latency stage exists alongside bare ingest
+        snapshot = server.metrics_snapshot()
+        assert "fusion" in snapshot["latency"]
+        assert "ingest" in snapshot["latency"]

@@ -1,0 +1,59 @@
+"""Perf smoke: the observation envelope must stay a thin wrapper.
+
+Counter-based and machine-independent, following the guard/serving
+convention: the ``fusion`` latency stage records only the *overhead* the
+envelope adds on the WiFi path (report conversion plus anchor
+bookkeeping — the inner guarded ingest is excluded by construction), so
+the assertion is a ratio of two timers measured in the same process, not
+a wall-clock bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.synth_city import build_linear_city
+from repro.fusion.observations import WifiObservation
+
+pytestmark = [pytest.mark.perf, pytest.mark.fusion]
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    city = build_linear_city(
+        num_routes=4,
+        sessions_per_route=4,
+        reports_per_session=1,
+        stops_per_route=6,
+        segments_per_route=5,
+        route_length_m=1500.0,
+        hub_every=2,
+        aps_per_route=8,
+    )
+    server = city.server
+    for rid in sorted(city.routes):
+        for s in range(4):
+            reports = city.bus_reports(
+                rid, f"bus:{rid}:{s}", t_start=city.now + s * 7.0, speed_mps=8.0
+            )
+            server.ingest_observations(
+                [WifiObservation.from_report(r) for r in reports]
+            )
+    return server
+
+
+def test_envelope_overhead_is_a_fraction_of_bare_ingest(warm_server):
+    latency = warm_server.metrics.snapshot()["latency"]
+    fusion = latency["fusion"]
+    ingest = latency["ingest"]
+    assert ingest["count"] > 100  # the stream actually ran
+    assert fusion["count"] >= ingest["count"]  # overhead measured per report
+    assert fusion["total_s"] < 0.15 * ingest["total_s"], (
+        f"fusion envelope overhead {fusion['total_s']:.4f}s vs "
+        f"bare ingest {ingest['total_s']:.4f}s"
+    )
+
+
+def test_every_wifi_report_anchored_a_session(warm_server):
+    counters = warm_server.metrics.counters
+    assert counters["fusion.anchors"] == counters["ingest.positions_fixed"]

@@ -14,7 +14,18 @@ import pytest
 
 pytestmark = pytest.mark.serving
 
-CORE_KEYS = {"status", "stats", "sessions", "lifecycle"}
+CORE_KEYS = {"status", "stats", "sessions", "lifecycle", "fusion"}
+
+
+def _key_tree(section, prefix=""):
+    """Every nested key path of a dict-of-dicts, as dotted strings."""
+    paths = set()
+    for key, value in section.items():
+        path = f"{prefix}{key}"
+        paths.add(path)
+        if isinstance(value, dict):
+            paths |= _key_tree(value, f"{path}.")
+    return paths
 
 
 class TestHealthKeyParity:
@@ -63,6 +74,27 @@ class TestHealthKeyParity:
         lag = health["bus"]["lag_by_subscriber"]
         assert set(lag) == {str(sid) for sid in range(4)}
         assert all(n >= 0 for n in lag.values())
+
+    def test_fusion_section_is_key_identical_everywhere(self, trio):
+        # The fusion observability contract: the cluster's folded section
+        # (samples-weighted calibration means over shards) must keep the
+        # exact nested key tree of a single orchestrator — per-source
+        # observations/rejections/calibration, store, anchors, audit —
+        # so dashboards never branch on deployment shape.
+        trees = {
+            name: _key_tree(backend.health()["fusion"])
+            for name, backend in trio.items()
+        }
+        assert trees["plain"] == trees["durable"] == trees["cluster"]
+        assert {"sources", "store", "anchors", "audit", "fused_fixes"} <= trees[
+            "plain"
+        ]
+        assert {
+            "sources.gps.calibration.clock_skew_s",
+            "sources.ble.observations",
+            "sources.cell.rejected",
+            "anchors.degraded",
+        } <= trees["plain"]
 
     def test_cluster_reports_single_shared_version(self, trio):
         # All shards serve the same (offline) model -> the router folds

@@ -20,6 +20,13 @@ from repro.core.server.api import DepartureEntry, LivePosition, TripOption
 from repro.core.traffic.anomaly import Anomaly
 from repro.core.traffic.classifier import SegmentStatus
 from repro.core.traffic.map import SegmentState, TrafficMap
+from repro.fusion.observations import (
+    BeaconSighting,
+    BleObservation,
+    CellObservation,
+    GpsObservation,
+    WifiObservation,
+)
 from repro.geometry import Point
 from repro.radio.environment import Reading
 from repro.sensing.reports import ScanReport
@@ -126,6 +133,46 @@ scan_reports = st.builds(
     ),
 )
 
+readings = st.lists(
+    st.builds(Reading, bssid=ident, ssid=ident, rss_dbm=finite), max_size=3
+).map(tuple)
+wifi_observations = st.builds(
+    WifiObservation,
+    device_id=ident,
+    session_key=ident,
+    route_id=ident,
+    t=finite,
+    readings=readings,
+)
+ble_observations = st.builds(
+    BleObservation,
+    device_id=ident,
+    session_key=ident,
+    route_id=ident,
+    t=finite,
+    sightings=st.lists(
+        st.builds(BeaconSighting, beacon_id=ident, rssi_dbm=finite), max_size=3
+    ).map(tuple),
+)
+gps_observations = st.builds(
+    GpsObservation,
+    device_id=ident,
+    session_key=ident,
+    route_id=ident,
+    t=finite,
+    x=finite,
+    y=finite,
+    accuracy_m=finite,
+)
+cell_observations = st.builds(
+    CellObservation,
+    device_id=ident,
+    session_key=ident,
+    route_id=ident,
+    t=finite,
+    cell_id=ident,
+)
+
 every_kind = (
     departures
     | trip_options
@@ -137,6 +184,10 @@ every_kind = (
     | anomalies
     | traffic_maps
     | scan_reports
+    | wifi_observations
+    | ble_observations
+    | gps_observations
+    | cell_observations
 )
 
 
@@ -160,6 +211,10 @@ class TestRoundTrip:
             "anomaly",
             "traffic_map",
             "scan_report",
+            "obs_wifi",
+            "obs_ble",
+            "obs_gps",
+            "obs_cell",
         }
 
 

@@ -41,7 +41,7 @@ class TestDurabilityCli:
     def test_registry(self):
         assert set(DURABILITY_CMDS) == {
             "checkpoint", "wal-stat", "replay", "health", "cluster",
-            "elastic",
+            "elastic", "fusion",
         }
         assert not set(DURABILITY_CMDS) & set(EXPERIMENTS)
 
