@@ -32,7 +32,7 @@ from repro.core.server.session import BusSession
 from repro.core.traffic.anomaly import Anomaly, merge_anomalies
 from repro.core.traffic.classifier import SegmentStatus
 from repro.core.traffic.map import TrafficMap
-from repro.fusion.observations import Observation
+from repro.fusion.observations import Observation, WifiObservation
 from repro.fusion.orchestrator import fold_fusion_health
 from repro.guard.breaker import CircuitBreaker
 from repro.sensing.reports import ScanReport
@@ -295,10 +295,21 @@ class ClusterRouter:
         Observations shard exactly like the reports of the same route
         (``plan.shard_of(route_id)``), so a session's WiFi anchor and
         its BLE/GPS/cell correction evidence always live on the same
-        node.  A downed or broken shard refuses the observation
-        (``fusion.route_rejected``) — it is soft TTL-bounded evidence,
-        so unlike reshard-held *reports* it is never parked.
+        node.  A WiFi observation is system-of-record traffic in an
+        envelope: under a reshard hold it converts back to a scan
+        report and parks exactly like :meth:`ingest` (the envelope is
+        not a side door around the zero-loss cutover).  Non-WiFi
+        observations are soft TTL-bounded evidence and skip parking.
+        A downed or broken shard refuses the observation
+        (``fusion.route_rejected``).
         """
+        if isinstance(obs, WifiObservation) and obs.route_id in self._held_routes:
+            report = obs.to_report()
+            self._parked.append(report)
+            if self._park_sink is not None:
+                self._park_sink(report)
+            self.metrics.incr("reshard.parked_reports")
+            return True
         shard_id = self.plan.shard_of(obs.route_id)
         if shard_id in self._down:
             self.metrics.incr("fusion.route_rejected")

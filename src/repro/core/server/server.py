@@ -277,6 +277,13 @@ class WiLocatorServer:
         Non-WiFi observations go to the fusion orchestrator, which
         retains them as calibrated correction evidence.  Truthy iff the
         observation took effect.
+
+        The WiFi ack is the report's own :class:`AdmissionDecision` —
+        never a delta of shared guard counters, which an interleaved
+        rejection from another caller would corrupt.  Admission is the
+        acceptance bar: an admitted report for an unknown route still
+        acks ``True`` (and counts ``ingest.unroutable``), exactly as
+        ``/v1/scans`` accounts the same report.
         """
         if isinstance(obs, WifiObservation):
             # One "fusion" sample per report covering only the envelope's
@@ -285,15 +292,15 @@ class WiLocatorServer:
             t0 = time.perf_counter()
             report = obs.to_report()
             overhead = time.perf_counter() - t0
-            rejected_before = self.guard.rejected_total
-            self.ingest(report)
-            admitted = self.guard.rejected_total == rejected_before
+            decision = self.admit(report)
+            if decision:
+                self._apply(report, time.perf_counter())
             t1 = time.perf_counter()
-            self.fusion.note_wifi_observation(admitted)
+            self.fusion.note_wifi_observation(bool(decision))
             self.metrics.observe(
                 "fusion", overhead + (time.perf_counter() - t1)
             )
-            return admitted
+            return bool(decision)
         with self.metrics.timer("fusion"):
             return self.fusion.observe(obs)
 

@@ -8,9 +8,11 @@ metres off, a cell handoff hundreds), and operators trust the feeds
 differently.  Rather than configuring these per deployment, the
 orchestrator learns them **online**: whenever a non-WiFi observation
 lands within the co-observation window of a WiFi-anchored position fix
-of the same bus, the pair yields one clock-skew sample (``obs.t -
-anchor.t``) and one position-error sample (``|obs_arc - anchor_arc|``),
-folded into exponential moving averages here.
+of the same bus (on either side of it — a lagging clock has a negative
+skew), the pair yields one clock-skew sample (``obs.t - anchor.t``) and
+one position-error sample (``obs_arc`` against the anchor-relative
+*predicted* arc, so travel between anchor and observation is not booked
+as noise), folded into exponential moving averages here.
 
 The learned skew corrects observation ages during fusion; the learned
 noise and the configured trust together set each observation's fusion

@@ -18,8 +18,9 @@ drift cone growing at ``drift_mps``), so a miscalibrated feed can pull
 an estimate only as far as the bus could plausibly have travelled.
 
 Calibration is learned online: any non-WiFi observation landing within
-``co_window_s`` after a WiFi anchor of the same session yields one
-clock-skew and one position-error sample (see
+``co_window_s`` of a WiFi anchor of the same session — before *or*
+after, so lagging clocks calibrate too — yields one clock-skew and one
+motion-compensated position-error sample (see
 :mod:`repro.fusion.calibration`).  Everything here is soft state —
 TTL-bounded, rebuilt from live feeds after restart, deliberately not
 checkpointed (DESIGN.md §18).
@@ -118,11 +119,19 @@ class FusionConfig:
 
 @dataclass(frozen=True, slots=True)
 class SessionAnchor:
-    """The last authoritative WiFi fix of one session."""
+    """The last authoritative WiFi fix of one session.
+
+    ``speed_mps`` is the along-route speed observed between the two most
+    recent anchors (0 until a second anchor exists); calibration uses it
+    to predict where the bus *should* be at an observation's timestamp,
+    so genuine travel between anchor and observation is not booked as
+    feed position noise.
+    """
 
     route_id: str
     arc: float
     t: float
+    speed_mps: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -220,7 +229,18 @@ class FusionOrchestrator:
         anchor = self._anchors.get(session_key)
         if anchor is not None and t < anchor.t:
             return  # never move an anchor backwards in time
-        self._anchors[session_key] = SessionAnchor(route_id=route_id, arc=arc, t=t)
+        speed = 0.0
+        if anchor is not None and anchor.route_id == route_id:
+            if t > anchor.t:
+                # Along-route speed between consecutive anchors; clamped
+                # at 0 because an arc regression is fix noise, not a bus
+                # driving its route backwards.
+                speed = max(0.0, (arc - anchor.arc) / (t - anchor.t))
+            else:
+                speed = anchor.speed_mps
+        self._anchors[session_key] = SessionAnchor(
+            route_id=route_id, arc=arc, t=t, speed_mps=speed
+        )
         self.metrics.incr("fusion.anchors")
 
     def note_wifi_observation(self, admitted: bool) -> None:
@@ -268,7 +288,11 @@ class FusionOrchestrator:
         self._calibrate(obs, arc)
         cal = self.calibration(source)
         entry = StoredObservation(
-            source=source, t=cal.corrected_t(obs.t), arc=arc, quality=1.0
+            source=source,
+            route_id=obs.route_id,
+            t=cal.corrected_t(obs.t),
+            arc=arc,
+            quality=1.0,
         )
         evicted = self.store.append(obs.session_key, entry)
         if evicted:
@@ -328,15 +352,26 @@ class FusionOrchestrator:
         return None
 
     def _calibrate(self, obs: Observation, arc: float) -> None:
-        """One co-observation against the session's WiFi anchor, if any."""
+        """One co-observation against the session's WiFi anchor, if any.
+
+        The window is symmetric (``|gap| <= co_window_s``) so a feed
+        whose clock *lags* the anchor still calibrates (its skew is
+        negative).  The position-error sample is taken against the
+        anchor-relative *predicted* arc — the anchor advanced at its
+        observed speed over the de-skewed gap — so genuine travel
+        between anchor and observation is not booked as feed noise
+        (at 8 m/s a 6 s gap is ~50 m of real motion).
+        """
         anchor = self._anchors.get(obs.session_key)
-        if anchor is None:
+        if anchor is None or obs.route_id != anchor.route_id:
             return
         gap = obs.t - anchor.t
-        if not 0.0 <= gap <= self.config.co_window_s:
+        if abs(gap) > self.config.co_window_s:
             return
         cal = self.calibration(obs.source)
-        cal.update(gap, arc - anchor.arc)
+        elapsed = gap - cal.clock_skew_s
+        expected_arc = anchor.arc + anchor.speed_mps * elapsed
+        cal.update(gap, arc - expected_arc)
         self.metrics.incr("fusion.calibrations")
         self.audit.append(
             obs.t,
@@ -370,6 +405,16 @@ class FusionOrchestrator:
         if expired:
             self.metrics.incr("fusion.expired", expired)
         entries = self.store.entries(session_key)
+        # Arcs of different routes are incomparable: blend only entries
+        # of one route — the anchor's, or (for a session that only ever
+        # sent non-WiFi evidence) the route of its newest observation.
+        if anchor is not None:
+            route_id = anchor.route_id
+        elif entries:
+            route_id = max(entries, key=lambda e: e.t).route_id
+        else:
+            route_id = ""
+        entries = [e for e in entries if e.route_id == route_id]
         if not entries:
             if anchor is None:
                 return None
@@ -386,7 +431,6 @@ class FusionOrchestrator:
         total_w = 0.0
         total_arc = 0.0
         contributors = []
-        route_id = anchor.route_id if anchor is not None else ""
         for entry in entries:
             cal = self.calibration(entry.source)
             age = max(0.0, now - entry.t)

@@ -33,9 +33,15 @@ class RetentionPolicy:
 
 @dataclass(frozen=True, slots=True)
 class StoredObservation:
-    """One retained observation, reduced to what fusion needs."""
+    """One retained observation, reduced to what fusion needs.
+
+    ``route_id`` keeps the arc meaningful: arcs of different routes are
+    incomparable, so the fusion blend filters a session's entries to a
+    single route before averaging.
+    """
 
     source: str
+    route_id: str
     t: float
     arc: float
     quality: float  # 0..1 modality-specific fix quality (GPS accuracy, ...)
@@ -66,16 +72,24 @@ class ObservationStore:
         return evicted
 
     def prune(self, session_key: str, now: float) -> int:
-        """Expire one session's entries older than the TTL as of ``now``."""
+        """Expire one session's entries older than the TTL as of ``now``.
+
+        Scans the whole ring (it is at most ``max_per_session`` entries)
+        rather than popping from the head: entries carry per-source
+        skew-*corrected* timestamps, so interleaved sources with
+        different learned skews — or a skew update between appends —
+        can leave a stale entry behind a fresher head.
+        """
         ring = self._by_session.get(session_key)
         if ring is None:
             return 0
-        expired = 0
-        while ring and now - ring[0].t > self.policy.ttl_s:
-            ring.popleft()
-            expired += 1
-        if not ring:
+        kept = [e for e in ring if now - e.t <= self.policy.ttl_s]
+        expired = len(ring) - len(kept)
+        if not kept:
             del self._by_session[session_key]
+        elif expired:
+            ring.clear()
+            ring.extend(kept)
         return expired
 
     def entries(self, session_key: str) -> list[StoredObservation]:

@@ -80,6 +80,38 @@ class TestRouting:
         assert fused is not None
         assert fused.method == "fused:fused"
 
+    def test_wifi_observation_parks_under_a_reshard_hold(self, cluster):
+        # A WiFi scan in an observation envelope is system-of-record
+        # traffic: during a cutover hold it must park like a report —
+        # not land on (or bounce off) the migrating shard.
+        city, router = cluster
+        rid = sorted(city.routes)[0]
+        session = f"bus:{rid}:obs"
+        stream = wifi_stream(city, rid, session, t_start=city.now)
+        router.begin_reshard_hold([rid])
+        assert router.ingest_observation(stream[0])
+        assert router.metrics.counters["reshard.parked_reports"] == 1
+        shard = router.nodes[router.plan.shard_of(rid)].core
+        assert shard.current_position(session) is None  # parked, not applied
+        # Non-WiFi soft evidence still routes through the hold.
+        truth = city.routes[rid].point_at(100.0)
+        assert router.ingest_observation(
+            GpsObservation(
+                device_id="d",
+                session_key=session,
+                route_id=rid,
+                t=stream[0].t + 1.0,
+                x=truth.x,
+                y=truth.y,
+            )
+        )
+        assert router.metrics.counters["fusion.routed"] == 1
+        parked = router.end_reshard_hold()
+        assert len(parked) == 1
+        for report in sorted(parked, key=lambda r: r.t):
+            assert router.ingest(report)
+        assert shard.current_position(session) is not None
+
     def test_down_shard_rejects_and_counts(self, cluster):
         city, router = cluster
         rid = sorted(city.routes)[0]

@@ -25,7 +25,11 @@ from repro.fusion.orchestrator import (
     FusionOrchestrator,
     fold_fusion_health,
 )
-from repro.fusion.retention import RetentionPolicy
+from repro.fusion.retention import (
+    ObservationStore,
+    RetentionPolicy,
+    StoredObservation,
+)
 from repro.geometry import Point
 from repro.roadnet.network import RoadNetwork
 from repro.roadnet.route import BusRoute, BusStop
@@ -135,6 +139,37 @@ class TestObserve:
         assert orch.observe(obs)
         assert orch.estimate(SESSION, now=10.0).arc == pytest.approx(750.0)
 
+    def test_session_without_anchor_estimates_on_its_route(self):
+        # A session that only ever sent non-WiFi evidence still gets a
+        # position: the estimate's route comes from the stored entries.
+        orch = make_orchestrator()
+        assert orch.observe(gps(10.0, x=300.0))
+        est = orch.estimate(SESSION, now=10.0)
+        assert est is not None
+        assert est.route_id == "R1"
+        assert est.source == "fused"
+        assert est.arc == pytest.approx(300.0, abs=1.0)
+
+    def test_blend_filters_to_a_single_route(self):
+        # Arcs of different routes are incomparable: only the newest
+        # entry's route contributes when a session spans routes.
+        orch = make_orchestrator()
+        orch.add_route(make_route("R2"))
+        assert orch.observe(gps(5.0, x=200.0))
+        assert orch.observe(
+            GpsObservation(
+                device_id="d",
+                session_key=SESSION,
+                route_id="R2",
+                t=10.0,
+                x=600.0,
+                y=0.0,
+            )
+        )
+        est = orch.estimate(SESSION, now=10.0)
+        assert est.route_id == "R2"
+        assert est.arc == pytest.approx(600.0, abs=1.0)  # R1's 200 m excluded
+
     def test_observe_many_counts_stored(self):
         orch = make_orchestrator()
         stored = orch.observe_many(
@@ -182,6 +217,26 @@ class TestCalibration:
         # The stored entry's timestamp is mapped back onto the anchor clock.
         assert orch.store.entries(SESSION)[0].t == pytest.approx(1000.0)
 
+    def test_lagging_clock_calibrates_with_negative_skew(self):
+        orch = make_orchestrator()
+        orch.note_wifi_fix(SESSION, "R1", 100.0, 1000.0)
+        # GPS stamped 3 s *before* the anchor, at the anchor's position:
+        # the feed's clock lags, and the symmetric window still learns it.
+        assert orch.observe(gps(997.0, x=100.0))
+        cal = orch.calibration("gps")
+        assert cal.samples == 1
+        assert cal.clock_skew_s == pytest.approx(-3.0)
+        assert cal.noise_m == pytest.approx(0.0)
+
+    def test_travel_between_anchor_and_observation_is_not_noise(self):
+        orch = make_orchestrator()
+        orch.note_wifi_fix(SESSION, "R1", 100.0, 1000.0)
+        orch.note_wifi_fix(SESSION, "R1", 180.0, 1010.0)  # 8 m/s observed
+        # 4 s after the anchor the bus really is 32 m further along; a
+        # perfect GPS fix there must calibrate as zero noise, not 32 m.
+        assert orch.observe(gps(1014.0, x=212.0))
+        assert orch.calibration("gps").noise_m == pytest.approx(0.0, abs=1e-9)
+
     def test_out_of_window_observations_do_not_calibrate(self):
         orch = make_orchestrator(co_window_s=6.0)
         orch.note_wifi_fix(SESSION, "R1", 100.0, 1000.0)
@@ -223,6 +278,25 @@ class TestRetention:
         assert est.source == "wifi_stale"
         assert orch.metrics.counters["fusion.expired"] >= 1
         assert orch.store.snapshot()["observations"] == 0
+
+    def test_prune_scans_the_whole_ring(self):
+        # Per-source skew correction can leave a stale entry *behind* a
+        # fresher head; prune must not stop at the first fresh entry.
+        store = ObservationStore(RetentionPolicy(ttl_s=10.0))
+        store.append(
+            "s",
+            StoredObservation(
+                source="gps", route_id="R1", t=100.0, arc=1.0, quality=1.0
+            ),
+        )
+        store.append(
+            "s",
+            StoredObservation(
+                source="ble", route_id="R1", t=50.0, arc=2.0, quality=1.0
+            ),
+        )
+        assert store.prune("s", now=105.0) == 1
+        assert [e.t for e in store.entries("s")] == [100.0]
 
 
 class TestAuditAndHealth:

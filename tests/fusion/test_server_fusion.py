@@ -65,6 +65,24 @@ class TestWifiPath:
         assert not server.ingest_observation(stream[0])
         assert server.fusion.health()["sources"]["wifi"]["rejected"] == 1
 
+    def test_unroutable_report_acks_its_admission_decision(self, city):
+        # The ack is the report's own AdmissionDecision, never a delta of
+        # shared guard counters: an admitted report for an unknown route
+        # acks True (and counts unroutable), exactly as /v1/scans does.
+        server = city.server
+        rid = sorted(city.routes)[0]
+        stream = wifi_stream(city, rid, "bus:obs:0", t_start=city.now)
+        ghost = WifiObservation(
+            device_id=stream[0].device_id,
+            session_key="bus:obs:ghost",
+            route_id="R404",
+            t=stream[0].t,
+            readings=stream[0].readings,
+        )
+        assert server.ingest_observation(ghost)
+        assert server.metrics.counters["ingest.unroutable"] == 1
+        assert server.metrics.counters.get("guard.rejected", 0) == 0
+
     def test_batch_ack_counts_match(self, city):
         server = city.server
         rid = sorted(city.routes)[0]
@@ -108,6 +126,28 @@ class TestFusedPosition:
         fused = server.fused_position("bus:obs:0", now=t_last + 60.0)
         assert fused.method == "fused:fused"
         assert fused.arc_length == pytest.approx(500.0, abs=40.0)
+
+    def test_gps_only_session_still_gets_a_position(self, city):
+        # A feed that never sent WiFi (no anchor) is still valid
+        # evidence: the estimate derives its route from the stored
+        # observations instead of dropping the session.
+        server = city.server
+        rid = sorted(city.routes)[0]
+        truth = city.routes[rid].point_at(300.0)
+        assert server.ingest_observation(
+            GpsObservation(
+                device_id="d",
+                session_key="bus:gps:only",
+                route_id=rid,
+                t=city.now,
+                x=truth.x,
+                y=truth.y,
+            )
+        )
+        fused = server.fused_position("bus:gps:only", now=city.now + 1.0)
+        assert fused is not None
+        assert fused.method == "fused:fused"
+        assert fused.arc_length == pytest.approx(300.0, abs=5.0)
 
     def test_unknown_session_is_none(self, city):
         assert city.server.fused_position("ghost", now=0.0) is None
