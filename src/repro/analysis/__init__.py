@@ -2,8 +2,8 @@
 
 ``ruff`` checks style; this package checks *structure* — the same move
 WiLocator makes when it trusts RSS rank order over fragile absolute
-values.  Five project-specific rules machine-enforce what previous PRs
-only stated in prose:
+values.  Ten project-specific rules machine-enforce what previous PRs
+only stated in prose.  Per-file rules (pass 2 over each file):
 
 ========  ===========================================================
 WL001     determinism in ``core``/``pipeline``/``guard``/``cluster``/
@@ -15,18 +15,39 @@ WL003     ``state_dict``/``from_state`` classes checkpoint every
           constructed attribute
 WL004     the package import DAG points strictly downward
 WL005     broad ``except`` handlers must count/quarantine/log/re-raise
+WL009     resource handles open under ``with``/``try-finally``, are
+          owned by a closer-bearing class, or carry a ``# wl009:``
+          ownership-transfer annotation
+========  ===========================================================
+
+Project-graph rules (run once over the pass-1
+:class:`~repro.analysis.graph.ProjectGraph` of symbol tables, call
+sites, attribute mutations and emit sites):
+
+========  ===========================================================
+WL006     no blocking primitive transitively reachable from an
+          ``async def`` in ``repro.serving`` (event-loop stalls)
+WL007     every branch of a conserved ingest path increments exactly
+          one declared outcome counter
+WL008     declared metric names/prefixes have emit sites; wire-codec
+          ``kind`` tags have both encode and decode handlers
+WL010     ``__shared_state__``-registered attributes are only mutated
+          by their declared owner methods
 ========  ===========================================================
 
 Stdlib-only by design (``ast`` + ``json``): the tier-1 gate built on it
 (``tests/analysis/test_gate.py``) can never skip for a missing binary,
 and the tool parses — never imports — the code under scan.  Deliberate
 contract exclusions live in ``analysis-baseline.json`` at the repo root,
-each with a one-line justification.
+each with a one-line justification and pinned to the rule version it
+was written against.
 
 Quickstart::
 
     PYTHONPATH=src python -m repro.cli analyze src          # or -m repro.analysis
-    PYTHONPATH=src python -m repro.cli analyze src --json
+    PYTHONPATH=src python -m repro.cli analyze src --format sarif
+    PYTHONPATH=src python -m repro.cli analyze --diff path/to/changed.py
+    PYTHONPATH=src python -m repro.cli analyze src --select WL006,WL010
 """
 
 from repro.analysis.baseline import (
@@ -40,9 +61,19 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.cli import main
 from repro.analysis.engine import AnalysisResult, analyze, find_repo_root
-from repro.analysis.findings import FileContext, Finding, ProjectContext, Rule
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARN,
+    FileContext,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+)
+from repro.analysis.graph import ProjectGraph, build_graph
 from repro.analysis.report import format_json, format_text, to_dict
-from repro.analysis.rules import default_rules
+from repro.analysis.rules import default_project_rules, default_rules
+from repro.analysis.sarif import format_sarif, to_sarif
 
 __all__ = [
     "AnalysisResult",
@@ -52,16 +83,24 @@ __all__ = [
     "FileContext",
     "Finding",
     "ProjectContext",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARN",
     "analyze",
+    "build_graph",
+    "default_project_rules",
     "default_rules",
     "dumps_baseline",
     "find_repo_root",
     "format_json",
+    "format_sarif",
     "format_text",
     "load_baseline",
     "loads_baseline",
     "main",
     "save_baseline",
     "to_dict",
+    "to_sarif",
 ]

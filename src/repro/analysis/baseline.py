@@ -11,6 +11,15 @@ changes can migrate instead of silently misreading; serialisation is
 canonical (entries sorted, 2-space indent, trailing newline) so the file
 diffs cleanly and round-trips exactly.
 
+Format version 2 records, per entry, the ``rule_version`` the entry was
+written against.  Suppression requires the rule's *current* version to
+match: bumping a rule's ``version`` attribute invalidates every stale
+suppression of that rule at once — the findings come back, the entries
+report as stale, and each one must be re-justified against the new
+semantics or fixed.  Version-1 files load with every entry pinned at
+rule version 1 (all rules were version 1 then, so the migration is
+exact).
+
 ``--write-baseline`` stamps new entries with
 :data:`PLACEHOLDER_JUSTIFICATION`; such an entry is a *reminder*, not a
 suppression — it never matches a finding, so the finding stays active
@@ -23,11 +32,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.analysis.findings import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 #: What ``--write-baseline`` stamps on new entries.  An entry still
 #: carrying it suppresses nothing: grandfathering requires writing down
@@ -41,15 +50,27 @@ class BaselineError(ValueError):
 
 @dataclass(frozen=True, order=True, slots=True)
 class BaselineEntry:
-    """Suppress ``rule`` findings in ``file`` whose message contains ``match``."""
+    """Suppress ``rule`` findings in ``file`` whose message contains ``match``.
+
+    ``rule_version`` pins the entry to the rule semantics it was written
+    against; it stops suppressing the moment the rule's version moves.
+    """
 
     rule: str
     file: str
     match: str
     justification: str
+    rule_version: int = 1
 
-    def suppresses(self, finding: Finding) -> bool:
+    def suppresses(
+        self, finding: Finding, current_versions: Mapping[str, int] | None = None
+    ) -> bool:
         if self.justification == PLACEHOLDER_JUSTIFICATION:
+            return False
+        if (
+            current_versions is not None
+            and current_versions.get(self.rule, self.rule_version) != self.rule_version
+        ):
             return False
         return (
             self.rule == finding.rule_id
@@ -64,18 +85,27 @@ class Baseline:
     entries: tuple[BaselineEntry, ...] = ()
 
     def normalized(self) -> "Baseline":
-        """Entries sorted and deduplicated — the canonical form."""
-        return Baseline(self.version, tuple(sorted(set(self.entries))))
+        """Entries sorted and deduplicated, version current — the canonical form.
+
+        Serialisation always writes :data:`BASELINE_VERSION`, so the
+        canonical form of a loaded v1 file is its upgraded v2 equivalent.
+        """
+        return Baseline(BASELINE_VERSION, tuple(sorted(set(self.entries))))
 
     def split(
-        self, findings: Iterable[Finding]
+        self,
+        findings: Iterable[Finding],
+        rule_versions: Mapping[str, int] | None = None,
     ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
         """(active, suppressed, stale-entries) for one analysis run."""
         active: list[Finding] = []
         suppressed: list[Finding] = []
         used: set[BaselineEntry] = set()
         for finding in findings:
-            hit = next((e for e in self.entries if e.suppresses(finding)), None)
+            hit = next(
+                (e for e in self.entries if e.suppresses(finding, rule_versions)),
+                None,
+            )
             if hit is None:
                 active.append(finding)
             else:
@@ -93,10 +123,10 @@ def loads_baseline(text: str) -> Baseline:
     if not isinstance(data, dict):
         raise BaselineError("baseline must be a JSON object")
     version = data.get("version")
-    if version != BASELINE_VERSION:
+    if version not in (1, BASELINE_VERSION):
         raise BaselineError(
             f"unsupported baseline version {version!r} "
-            f"(this tool reads version {BASELINE_VERSION})"
+            f"(this tool reads versions 1 and {BASELINE_VERSION})"
         )
     raw_entries = data.get("entries", [])
     if not isinstance(raw_entries, list):
@@ -112,20 +142,25 @@ def loads_baseline(text: str) -> Baseline:
                     file=str(raw["file"]),
                     match=str(raw["match"]),
                     justification=str(raw["justification"]),
+                    # v1 predates per-rule versioning; every rule was at 1
+                    rule_version=int(raw.get("rule_version", 1)),
                 )
             )
         except KeyError as exc:
             raise BaselineError(f"baseline entry {i} is missing {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise BaselineError(f"baseline entry {i} has a bad rule_version: {exc}") from exc
     return Baseline(version=BASELINE_VERSION, entries=tuple(entries))
 
 
 def dumps_baseline(baseline: Baseline) -> str:
     canonical = baseline.normalized()
     data = {
-        "version": canonical.version,
+        "version": BASELINE_VERSION,
         "entries": [
             {
                 "rule": e.rule,
+                "rule_version": e.rule_version,
                 "file": e.file,
                 "match": e.match,
                 "justification": e.justification,

@@ -1,7 +1,8 @@
 """``repro.cli analyze`` / ``python -m repro.analysis`` entry point.
 
-Exit codes: 0 clean (no non-baselined findings), 1 findings, 2 bad
-invocation or unreadable baseline.
+Exit codes: 0 clean (no non-baselined *error* findings — warnings
+report but never gate), 1 findings, 2 bad invocation or unreadable
+baseline.
 """
 
 from __future__ import annotations
@@ -18,8 +19,10 @@ from repro.analysis.baseline import (
     load_baseline,
     save_baseline,
 )
-from repro.analysis.engine import analyze, find_repo_root
+from repro.analysis.engine import _rel_label, analyze, find_repo_root
 from repro.analysis.report import format_json, format_text
+from repro.analysis.rules import default_project_rules, default_rules
+from repro.analysis.sarif import format_sarif
 
 DEFAULT_BASELINE_NAME = "analysis-baseline.json"
 
@@ -32,20 +35,64 @@ def default_baseline_path(paths: list[Path]) -> Path | None:
     return None
 
 
+def _split_rule_ids(values: list[str]) -> list[str]:
+    out: list[str] = []
+    for value in values:
+        out.extend(v.strip() for v in value.split(",") if v.strip())
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli analyze",
         description=(
-            "AST-based invariant checker: enforces the repo's load-bearing "
-            "contracts (WL001 determinism, WL002 metric-name registry, WL003 "
-            "checkpoint completeness, WL004 import layering, WL005 silent-"
-            "swallow ban).  Stdlib-only; never imports the scanned code."
+            "Two-pass AST invariant checker: per-file rules (WL001 "
+            "determinism, WL002 metric-name registry, WL003 checkpoint "
+            "completeness, WL004 import layering, WL005 silent-swallow ban, "
+            "WL009 resource discipline) plus project-graph rules (WL006 "
+            "async safety, WL007 counter conservation, WL008 dead registry, "
+            "WL010 shared-state ownership).  Stdlib-only; never imports the "
+            "scanned code."
         ),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories to scan"
     )
-    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (alias for --format json)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="run only these rule ids (comma-separated, repeatable); "
+        "WL000 parse failures always apply",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="skip these rule ids (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help=(
+            "changed-files mode: PATHS are the changed files; the whole "
+            "tree is still parsed (cross-file rules need the graph) but "
+            "only findings in the changed files are reported"
+        ),
+    )
     parser.add_argument(
         "--baseline",
         default=None,
@@ -67,12 +114,33 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="also list baselined findings"
     )
     args = parser.parse_args(argv)
+    out_format = args.format or ("json" if args.json else "text")
 
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(f"analyze: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
         return 2
+
+    select = _split_rule_ids(args.select) or None
+    ignore = _split_rule_ids(args.ignore)
+
+    restrict_to = None
+    if args.diff:
+        root = None
+        for p in paths:
+            root = find_repo_root(p if p.is_dir() else p.parent)
+            if root is not None:
+                break
+        if root is None:
+            print("analyze: --diff needs a repo root (pyproject.toml)", file=sys.stderr)
+            return 2
+        changed = []
+        for p in paths:
+            changed.extend(f for f in ([p] if p.is_file() else sorted(p.rglob("*.py"))))
+        restrict_to = {_rel_label(f, root) for f in changed}
+        scan_root = root / "src"
+        paths = [scan_root if scan_root.is_dir() else root]
 
     if args.baseline == "none":
         baseline_path = None
@@ -89,7 +157,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"analyze: {baseline_path}: {exc}", file=sys.stderr)
             return 2
 
-    result = analyze(paths, baseline=baseline)
+    result = analyze(
+        paths,
+        baseline=baseline,
+        select=select,
+        ignore=ignore,
+        restrict_to=restrict_to,
+    )
 
     if args.write_baseline:
         if baseline_path is None:
@@ -104,6 +178,7 @@ def main(argv: list[str] | None = None) -> int:
                 file=f.file,
                 match=f.message,
                 justification=PLACEHOLDER_JUSTIFICATION,
+                rule_version=result.rule_versions.get(f.rule_id, 1),
             )
             for f in result.findings
         )
@@ -114,7 +189,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    print(format_json(result) if args.json else format_text(result, verbose=args.verbose))
+    if out_format == "sarif":
+        descriptions = {
+            r.rule_id: r.description
+            for r in (*default_rules(), *default_project_rules())
+        }
+        print(format_sarif(result, rules=descriptions), end="")
+    elif out_format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result, verbose=args.verbose))
     return 0 if result.ok else 1
 
 

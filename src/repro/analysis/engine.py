@@ -1,9 +1,21 @@
-"""Engine: discover files, parse once, run every rule, apply the baseline.
+"""Engine: discover, parse once, build the graph, run both rule passes.
 
 Dependency policy: stdlib only, and the scanned tree is *parsed*, never
 imported — the gate must work in an environment where the project's own
 third-party dependencies (numpy, scipy) are absent, and must keep
 working on a tree that is too broken to import.
+
+Since the analyzer became two-pass, one run is:
+
+1. parse every file and build the :class:`~repro.analysis.graph.ProjectGraph`
+   (symbol tables, call sites, attribute mutations, emit sites);
+2. run every per-file rule over each file *and* every project rule over
+   the graph, then split the merged findings against the baseline.
+
+``restrict_to`` (the ``--diff`` fast path) restricts *reporting*, not
+parsing: the whole tree is still parsed so cross-file rules see the same
+graph, and findings are then filtered to the changed files — a changed
+file therefore reports exactly what the full sweep attributes to it.
 """
 
 from __future__ import annotations
@@ -14,8 +26,17 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analysis.baseline import Baseline, BaselineEntry
-from repro.analysis.findings import FileContext, Finding, ProjectContext, Rule
-from repro.analysis.rules import default_rules
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    FileContext,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    rule_version,
+)
+from repro.analysis.graph import build_graph
+from repro.analysis.rules import default_project_rules, default_rules
 
 PARSE_RULE_ID = "WL000"
 REGISTRY_BASENAME = "metric_names.py"
@@ -75,7 +96,8 @@ def package_of(path: Path) -> str | None:
     return head
 
 
-def _registry_strings(tree: ast.Module, var: str) -> list[str]:
+def _registry_strings(tree: ast.Module, var: str) -> dict[str, int]:
+    """Declared strings of one registry variable, with their source lines."""
     for node in tree.body:
         targets: list[ast.expr] = []
         if isinstance(node, ast.Assign):
@@ -85,13 +107,13 @@ def _registry_strings(tree: ast.Module, var: str) -> list[str]:
         if any(isinstance(t, ast.Name) and t.id == var for t in targets):
             value = getattr(node, "value", None)
             if value is None:
-                return []
-            return [
-                n.value
-                for n in ast.walk(value)
-                if isinstance(n, ast.Constant) and isinstance(n.value, str)
-            ]
-    return []
+                return {}
+            out: dict[str, int] = {}
+            for n in ast.walk(value):
+                if isinstance(n, ast.Constant) and isinstance(n.value, str):
+                    out.setdefault(n.value, n.lineno)
+            return out
+    return {}
 
 
 def load_registry(files: Sequence[Path], root: Path | None) -> ProjectContext:
@@ -115,10 +137,14 @@ def load_registry(files: Sequence[Path], root: Path | None) -> ProjectContext:
             tree = ast.parse(candidate.read_text(encoding="utf-8"))
         except (OSError, SyntaxError):
             continue
+        names = _registry_strings(tree, "METRIC_NAMES")
+        prefixes = _registry_strings(tree, "METRIC_PREFIXES")
         return ProjectContext(
-            metric_names=frozenset(_registry_strings(tree, "METRIC_NAMES")),
-            metric_prefixes=tuple(sorted(_registry_strings(tree, "METRIC_PREFIXES"))),
+            metric_names=frozenset(names),
+            metric_prefixes=tuple(sorted(prefixes)),
             registry_file=_rel_label(candidate, root),
+            metric_name_lines=names,
+            metric_prefix_lines=prefixes,
         )
     return ProjectContext(registry_file=None)
 
@@ -131,23 +157,46 @@ class AnalysisResult:
     suppressed: list[Finding] = field(default_factory=list)  # baselined
     stale_entries: list[BaselineEntry] = field(default_factory=list)
     files_scanned: int = 0
+    rule_versions: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
 
     @property
     def ok(self) -> bool:
-        return not self.findings
+        """No active error-severity findings (warns report but don't gate)."""
+        return not self.errors
 
     def all_findings(self) -> list[Finding]:
         return sorted(self.findings + self.suppressed)
+
+
+def _want(rule_id: str, select: frozenset[str] | None, ignore: frozenset[str]) -> bool:
+    if rule_id == PARSE_RULE_ID:
+        return True  # an unparseable file always gates
+    if select is not None and rule_id not in select:
+        return False
+    return rule_id not in ignore
 
 
 def analyze(
     paths: Sequence[str | Path],
     *,
     rules: Sequence[Rule] | None = None,
+    project_rules: Sequence[ProjectRule] | None = None,
     baseline: Baseline | None = None,
     root: Path | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] = (),
+    restrict_to: Iterable[str] | None = None,
 ) -> AnalysisResult:
-    """Run ``rules`` over every ``*.py`` under ``paths``."""
+    """Run both rule passes over every ``*.py`` under ``paths``.
+
+    ``select``/``ignore`` filter by rule id (WL000 parse failures are
+    never filtered).  ``restrict_to`` keeps only findings whose file
+    label is in the given set — the ``--diff`` reporting filter.
+    """
     path_objs = [Path(p) for p in paths]
     if root is None:
         for p in path_objs:
@@ -156,9 +205,26 @@ def analyze(
                 break
     files = iter_python_files(path_objs)
     project = load_registry(files, root)
-    active_rules = list(rules) if rules is not None else default_rules()
+    selected = frozenset(select) if select is not None else None
+    ignored = frozenset(ignore)
+    file_rules = [
+        r
+        for r in (list(rules) if rules is not None else default_rules())
+        if _want(r.rule_id, selected, ignored)
+    ]
+    graph_rules = [
+        r
+        for r in (
+            list(project_rules)
+            if project_rules is not None
+            else default_project_rules()
+        )
+        if _want(r.rule_id, selected, ignored)
+    ]
 
     findings: list[Finding] = []
+    parsed: list[tuple[str, str | None, ast.Module]] = []
+    contexts: list[FileContext] = []
     for path in files:
         rel = _rel_label(path, root)
         try:
@@ -170,16 +236,46 @@ def analyze(
                 Finding(rel, int(line), PARSE_RULE_ID, f"file could not be analysed: {exc}")
             )
             continue
-        ctx = FileContext(
-            rel=rel, text=text, tree=tree, package=package_of(path), project=project
+        parsed.append((rel, package_of(path), tree))
+        contexts.append(
+            FileContext(
+                rel=rel, text=text, tree=tree, package=package_of(path), project=project
+            )
         )
-        for rule in active_rules:
+
+    for ctx in contexts:
+        for rule in file_rules:
             findings.extend(rule.check(ctx))
 
+    if graph_rules:
+        graph = build_graph(parsed, project)
+        for project_rule in graph_rules:
+            findings.extend(project_rule.check_project(graph))
+
+    if restrict_to is not None:
+        keep = set(restrict_to)
+        findings = [f for f in findings if f.file in keep]
+
     findings.sort()
-    result = AnalysisResult(files_scanned=len(files))
+    versions = {r.rule_id: rule_version(r) for r in (*file_rules, *graph_rules)}
+    result = AnalysisResult(files_scanned=len(files), rule_versions=versions)
     if baseline is None:
         result.findings = findings
     else:
-        result.findings, result.suppressed, result.stale_entries = baseline.split(findings)
+        result.findings, result.suppressed, result.stale_entries = baseline.split(
+            findings, rule_versions=versions
+        )
+        # An entry is only provably stale when its rule actually ran over
+        # its file this run.  Under --select/--ignore or a path/--diff
+        # restriction the unmatched entries may still be live in a full
+        # sweep; flagging them (and letting --write-baseline drop them)
+        # would delete real suppressions.
+        examined = {ctx.rel for ctx in contexts}
+        if restrict_to is not None:
+            examined &= set(restrict_to)
+        result.stale_entries = [
+            e
+            for e in result.stale_entries
+            if e.rule in versions and e.file in examined
+        ]
     return result

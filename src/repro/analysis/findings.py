@@ -5,15 +5,36 @@ The analyzer deliberately depends on nothing but the standard library
 *never* skip the way an optional ``ruff``/``mypy`` binary can.  Each rule
 machine-enforces one of the repo's load-bearing contracts (determinism on
 the replay path, checkpointed counter names, checkpoint completeness,
-package layering, the guard's no-silent-swallow rule); see
-``repro/analysis/rules/`` and DESIGN.md §14 for the contracts themselves.
+package layering, the guard's no-silent-swallow rule, async safety,
+counter conservation, registry liveness, resource discipline, shared-state
+ownership); see ``repro/analysis/rules/`` and DESIGN.md §14/§19 for the
+contracts themselves.
+
+Two rule shapes exist since the analyzer became two-pass:
+
+* a :class:`Rule` sees one :class:`FileContext` at a time (pass 2 runs it
+  over every parsed file);
+* a :class:`ProjectRule` sees the whole
+  :class:`~repro.analysis.graph.ProjectGraph` once (cross-file facts:
+  call reachability, emit sites, attribute ownership).
+
+Findings carry a ``severity`` (``"error"`` gates CI, ``"warn"`` reports
+without failing) and every rule carries a ``version`` — the baseline
+records the version an entry was written against, so upgrading a rule
+invalidates its stale suppressions instead of silently keeping them.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.analysis.graph import ProjectGraph
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARN = "warn"
 
 
 @dataclass(frozen=True, order=True, slots=True)
@@ -22,15 +43,18 @@ class Finding:
 
     ``file`` is the repo-relative posix path (stable across machines so
     the baseline file can be committed); ``line`` is 1-based.
+    ``severity`` is ``"error"`` (gates) or ``"warn"`` (reported only).
     """
 
     file: str
     line: int
     rule_id: str
     message: str
+    severity: str = SEVERITY_ERROR
 
     def render(self) -> str:
-        return f"{self.file}:{self.line}: {self.rule_id} {self.message}"
+        tag = "" if self.severity == SEVERITY_ERROR else f" [{self.severity}]"
+        return f"{self.file}:{self.line}: {self.rule_id}{tag} {self.message}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,12 +64,16 @@ class ProjectContext:
     The metric-name registry is *parsed* (never imported) from
     ``repro/core/server/metric_names.py`` inside the scanned tree, so the
     analyzer stays import-free and the gate fails the moment a registry
-    entry is deleted out from under a live call site.
+    entry is deleted out from under a live call site.  The ``*_lines``
+    maps carry each declaration's source line so registry-side findings
+    (WL008) land on the entry itself.
     """
 
     metric_names: frozenset[str] = frozenset()
     metric_prefixes: tuple[str, ...] = ()
     registry_file: str | None = None
+    metric_name_lines: dict[str, int] = field(default_factory=dict)
+    metric_prefix_lines: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -58,14 +86,27 @@ class FileContext:
     package: str | None = None     # first package under ``repro``, if any
     project: ProjectContext = field(default_factory=ProjectContext)
 
-    def finding(self, node: ast.AST | int, rule_id: str, message: str) -> Finding:
+    def finding(
+        self,
+        node: ast.AST | int,
+        rule_id: str,
+        message: str,
+        *,
+        severity: str = SEVERITY_ERROR,
+    ) -> Finding:
         line = node if isinstance(node, int) else getattr(node, "lineno", 1)
-        return Finding(file=self.rel, line=line, rule_id=rule_id, message=message)
+        return Finding(
+            file=self.rel,
+            line=line,
+            rule_id=rule_id,
+            message=message,
+            severity=severity,
+        )
 
 
 @runtime_checkable
 class Rule(Protocol):
-    """One machine-checked invariant.
+    """One machine-checked per-file invariant.
 
     ``check`` yields findings for a single file; project-wide state comes
     in through ``ctx.project``.  Rules must be pure (no I/O) so the engine
@@ -76,6 +117,26 @@ class Rule(Protocol):
     description: str
 
     def check(self, ctx: FileContext) -> Iterable[Finding]: ...
+
+
+@runtime_checkable
+class ProjectRule(Protocol):
+    """One machine-checked cross-file invariant.
+
+    ``check_project`` runs exactly once per analysis over the pass-1
+    :class:`~repro.analysis.graph.ProjectGraph`.  Like per-file rules it
+    must be pure — the graph is its entire world.
+    """
+
+    rule_id: str
+    description: str
+
+    def check_project(self, graph: "ProjectGraph") -> Iterable[Finding]: ...
+
+
+def rule_version(rule: object) -> int:
+    """A rule's baseline-compat version (1 unless the rule says otherwise)."""
+    return int(getattr(rule, "version", 1))
 
 
 def dotted_name(node: ast.AST, aliases: dict[str, str] | None = None) -> str | None:

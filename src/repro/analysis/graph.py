@@ -1,0 +1,681 @@
+"""Pass 1 of the two-pass analyzer: the project-wide symbol graph.
+
+One walk over every parsed file produces everything the cross-file rules
+(WL006–WL010) consume:
+
+* per-module **symbol tables** — every function and method under its
+  dotted qualname (``repro.cluster.bus.DeltaBus.pump``), with its
+  async-ness and the blocking primitives it calls directly;
+* an approximate **call graph** — call sites recorded as descriptors
+  (bare name / ``self.method`` / dotted chain) and resolved on demand
+  against module symbols, import aliases and class methods (including
+  project-resolvable base classes).  Resolution is deliberately
+  *under*-approximate: a call the resolver cannot pin down is dropped,
+  never guessed, so reachability findings (WL006) are real chains;
+* an **attribute-mutation index** — every ``x.attr = …`` / ``del
+  x.attr`` / ``x.attr[k] = …`` / ``x.attr.append(…)`` site, keyed by
+  attribute name, with the enclosing class/method (WL010's raw material);
+* the **emit-site index** — every statically resolvable metric name (or
+  f-string head) reaching ``metrics.incr``/``counter``/``observe``/
+  ``timer``/``latency``, plus every plain string literal per file
+  (WL008's liveness evidence), and every wire-codec ``kind`` tag
+  (declared decoder keys vs encoder emit sites);
+* **shared-state declarations** — class-level ``__shared_state__``
+  mappings naming which methods own which attributes.
+
+Everything is plain stdlib ``ast``; nothing is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import ProjectContext, dotted_name, import_aliases
+
+__all__ = [
+    "METRIC_METHODS",
+    "MUTATOR_METHODS",
+    "AttrMutation",
+    "BlockingCall",
+    "CallSite",
+    "ClassInfo",
+    "EmitSite",
+    "FunctionInfo",
+    "KindSite",
+    "ModuleInfo",
+    "ProjectGraph",
+    "build_graph",
+]
+
+METRIC_METHODS = frozenset({"incr", "counter", "observe", "timer", "latency"})
+
+#: Method calls on an attribute that mutate the underlying container.
+MUTATOR_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update",
+})
+
+#: Dotted calls that block the calling thread (WL006's primitives).  The
+#: ``.fsync`` suffix also matches injected filesystem hooks
+#: (``self.fs.fsync``); ``subprocess.*`` matches wholesale.
+_BLOCKING_EXACT: dict[str, str] = {
+    "time.sleep": "sleeps the event loop thread",
+    "os.fsync": "synchronous disk barrier",
+    "os.fdatasync": "synchronous disk barrier",
+    "os.system": "blocking subprocess",
+    "socket.create_connection": "blocking connect",
+    "socket.getaddrinfo": "blocking DNS resolution",
+    "open": "synchronous file open",
+    "io.open": "synchronous file open",
+    "os.open": "synchronous file open",
+}
+_BLOCKING_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("subprocess.", "blocking subprocess"),
+    ("shutil.", "blocking bulk file I/O"),
+)
+_BLOCKING_SUFFIXES: tuple[tuple[str, str], ...] = (
+    (".fsync", "synchronous disk barrier"),
+)
+
+#: Referencing these (``fsync_fn = os.fsync``) marks a function blocking
+#: even without a direct call — the indirection is still the same barrier.
+_BLOCKING_REFERENCES = frozenset({"os.fsync", "os.fdatasync", "time.sleep"})
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call expression, as an unresolved descriptor.
+
+    ``kind`` is ``"name"`` (bare call), ``"self"`` (``self.m(…)`` /
+    ``cls.m(…)``) or ``"dotted"`` (any other resolvable chain).
+    """
+
+    kind: str
+    target: str
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class BlockingCall:
+    """A direct call to a blocking primitive inside one function."""
+
+    name: str
+    why: str
+    line: int
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method and the facts pass 2 needs about it."""
+
+    qualname: str                  # repro.pkg.mod.[Class.]name
+    module: str
+    cls: str | None
+    name: str
+    rel: str
+    line: int
+    is_async: bool
+    node: ast.AST
+    calls: list[CallSite] = field(default_factory=list)
+    blocking: list[BlockingCall] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """One class: methods, raw base names, shared-state declaration."""
+
+    name: str
+    module: str
+    rel: str
+    line: int
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr -> owner method names, parsed from ``__shared_state__``.
+    shared: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: method names (e.g. ``close``) that make the class a handle owner.
+    has_closer: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class AttrMutation:
+    """One write/del/mutating-call on ``<receiver>.<attr>``."""
+
+    attr: str
+    receiver: str                  # "self", "cls", or the chain's repr
+    via: str                       # "assign" | "augassign" | "del" | "subscript" | "call:<m>"
+    module: str
+    cls: str | None                # enclosing class name, if any
+    method: str | None             # enclosing function name, if any
+    rel: str
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class EmitSite:
+    """One statically resolvable metric emission."""
+
+    name: str                      # exact name, or the literal f-string head
+    exact: bool                    # False for f-string heads
+    rel: str
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class KindSite:
+    """One wire-codec kind tag occurrence."""
+
+    kind: str
+    role: str                      # "decoder" | "emit"
+    rel: str
+    line: int
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Everything pass 1 extracted from one source file."""
+
+    module: str                    # dotted path, e.g. repro.cluster.bus
+    rel: str
+    package: str | None
+    aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    constants: dict[str, str] = field(default_factory=dict)
+
+
+_CLOSER_METHODS = frozenset({"close", "stop", "shutdown", "__exit__", "__del__"})
+
+
+class ProjectGraph:
+    """The assembled pass-1 view of one analysis run."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class name -> every ClassInfo with that name (collision-aware).
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        #: attr name -> every mutation site touching it.
+        self.attr_mutations: dict[str, list[AttrMutation]] = {}
+        self.emit_sites: list[EmitSite] = []
+        self.kind_sites: list[KindSite] = []
+        #: every plain string literal per file (registry liveness evidence).
+        self.string_literals: dict[str, set[str]] = {}
+
+    # -- call resolution ------------------------------------------------------
+
+    def resolve_call(self, fi: FunctionInfo, site: CallSite) -> FunctionInfo | None:
+        """Best-effort resolution of one call site to a project function.
+
+        Under-approximate by design: ``None`` whenever the target cannot
+        be pinned to exactly one project symbol.
+        """
+        mod = self.modules.get(fi.module)
+        if mod is None:
+            return None
+        if site.kind == "self":
+            if fi.cls is None:
+                return None
+            return self._resolve_method(mod, fi.cls, site.target, set())
+        if site.kind == "name":
+            found = mod.functions.get(f"{fi.module}.{site.target}")
+            if found is not None:
+                return found
+            origin = mod.aliases.get(site.target)
+            if origin is not None:
+                return self.functions.get(origin)
+            return None
+        # dotted: resolve the chain's root through the aliases
+        head, _, tail = site.target.partition(".")
+        origin = mod.aliases.get(head)
+        if origin is None or not tail:
+            return None
+        return self.functions.get(f"{origin}.{tail}")
+
+    def _resolve_method(
+        self, mod: ModuleInfo, cls_name: str, method: str, seen: set[str]
+    ) -> FunctionInfo | None:
+        key = f"{mod.module}.{cls_name}"
+        if key in seen:
+            return None
+        seen.add(key)
+        cls = mod.classes.get(cls_name)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            head, _, tail = base.partition(".")
+            origin = mod.aliases.get(head, head)
+            dotted = f"{origin}.{tail}" if tail else origin
+            base_mod, _, base_cls = dotted.rpartition(".")
+            target_mod = self.modules.get(base_mod)
+            if target_mod is None:
+                # same-module base class, spelled bare
+                if not tail and origin in mod.classes:
+                    found = self._resolve_method(mod, origin, method, seen)
+                    if found is not None:
+                        return found
+                continue
+            found = self._resolve_method(target_mod, base_cls, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    # -- assembly -------------------------------------------------------------
+
+    def add_module(self, info: ModuleInfo) -> None:
+        self.modules[info.module] = info
+        self.functions.update(info.functions)
+        for cls in info.classes.values():
+            self.classes_by_name.setdefault(cls.name, []).append(cls)
+
+    def add_mutation(self, m: AttrMutation) -> None:
+        self.attr_mutations.setdefault(m.attr, []).append(m)
+
+
+def module_path_of(rel: str) -> str:
+    """Dotted module path from a repo-relative file label.
+
+    ``src/repro/cluster/bus.py`` -> ``repro.cluster.bus``; files outside
+    a ``repro`` tree keep their stem-joined path so fixture trees still
+    build a coherent graph.
+    """
+    parts = rel.split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return ".".join(parts) or "repro"
+
+
+def _fstring_head(arg: ast.JoinedStr) -> str:
+    head = ""
+    for part in arg.values:
+        if isinstance(part, ast.Constant) and isinstance(part.value, str):
+            head += part.value
+        else:
+            break
+    return head
+
+
+def _module_string_constants(tree: ast.Module) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            if isinstance(node.value.value, str):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out[target.id] = node.value.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            out[node.target.id] = node.value.value
+    return out
+
+
+def _shared_decl(node: ast.ClassDef) -> dict[str, tuple[str, ...]]:
+    """Parse a class-level ``__shared_state__`` literal, if present."""
+    for stmt in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__shared_state__" for t in targets
+        ):
+            continue
+        value = stmt.value if isinstance(stmt, ast.Assign) else stmt.value
+        if not isinstance(value, ast.Dict):
+            return {}
+        decl: dict[str, tuple[str, ...]] = {}
+        for key, val in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            owners: list[str] = []
+            elts = val.elts if isinstance(val, (ast.Tuple, ast.List, ast.Set)) else []
+            for e in elts:
+                if isinstance(e, ast.Constant) and isinstance(e.value, str):
+                    owners.append(e.value)
+            decl[key.value] = tuple(owners)
+        return decl
+    return {}
+
+
+def _blocking_why(name: str) -> str | None:
+    why = _BLOCKING_EXACT.get(name)
+    if why is not None:
+        return why
+    for prefix, pwhy in _BLOCKING_PREFIXES:
+        if name.startswith(prefix):
+            return pwhy
+    for suffix, swhy in _BLOCKING_SUFFIXES:
+        if name.endswith(suffix) and name != suffix.lstrip("."):
+            return swhy
+    return None
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """One file -> ModuleInfo + mutation/emit/kind sites."""
+
+    def __init__(self, graph: ProjectGraph, rel: str, package: str | None,
+                 tree: ast.Module) -> None:
+        self.graph = graph
+        self.info = ModuleInfo(
+            module=module_path_of(rel),
+            rel=rel,
+            package=package,
+            aliases=import_aliases(tree),
+            constants=_module_string_constants(tree),
+        )
+        self._class_stack: list[ClassInfo] = []
+        self._func_stack: list[FunctionInfo] = []
+        self._literals: set[str] = set()
+        # Docstrings don't count as liveness evidence for WL008: a metric
+        # merely *described* in prose is not emitted anywhere.
+        self._docstrings: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and node.body:
+                first = node.body[0]
+                if (
+                    isinstance(first, ast.Expr)
+                    and isinstance(first.value, ast.Constant)
+                    and isinstance(first.value.value, str)
+                ):
+                    self._docstrings.add(id(first.value))
+
+    # -- structure ------------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            name=node.name,
+            module=self.info.module,
+            rel=self.info.rel,
+            line=node.lineno,
+            bases=[b for b in (dotted_name(base) for base in node.bases) if b],
+            shared=_shared_decl(node),
+        )
+        # only top-level classes join the symbol table; nested ones are rare
+        # and would shadow qualnames
+        if not self._class_stack and not self._func_stack:
+            self.info.classes[node.name] = cls
+        self._class_stack.append(cls)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        cls.has_closer = any(m in cls.methods for m in _CLOSER_METHODS)
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        cls = self._class_stack[-1] if self._class_stack else None
+        nested = bool(self._func_stack)
+        if cls is not None and not nested:
+            qual = f"{self.info.module}.{cls.name}.{node.name}"
+        else:
+            qual = f"{self.info.module}.{node.name}"
+        fi = FunctionInfo(
+            qualname=qual,
+            module=self.info.module,
+            cls=cls.name if cls is not None and not nested else None,
+            name=node.name,
+            rel=self.info.rel,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            node=node,
+        )
+        if nested:
+            # nested defs fold their calls into the enclosing function —
+            # a closure's blocking call still blocks the caller's thread
+            # when invoked; calls stay attributed to the outer function.
+            fi = self._func_stack[-1]
+            self._func_stack.append(fi)
+            self.generic_visit(node)
+            self._func_stack.pop()
+            return
+        self.info.functions[qual] = fi
+        if cls is not None:
+            cls.methods[node.name] = fi
+        self._func_stack.append(fi)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- call sites, blocking primitives, metric emits ------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fi = self._func_stack[-1] if self._func_stack else None
+        func = node.func
+        if fi is not None:
+            site = self._describe_call(func)
+            if site is not None:
+                fi.calls.append(
+                    CallSite(kind=site[0], target=site[1], line=node.lineno)
+                )
+            resolved = dotted_name(func, self.info.aliases)
+            if resolved is not None:
+                why = _blocking_why(resolved)
+                if why is not None:
+                    self._note_blocking(fi, resolved, why, node.lineno)
+        self._note_metric_emit(node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        fi = self._func_stack[-1] if self._func_stack else None
+        if fi is not None:
+            resolved = dotted_name(node, self.info.aliases)
+            if resolved in _BLOCKING_REFERENCES:
+                why = _blocking_why(resolved)
+                if why is not None:
+                    self._note_blocking(fi, resolved, why, node.lineno)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _note_blocking(fi: FunctionInfo, name: str, why: str, line: int) -> None:
+        if not any(b.name == name and b.line == line for b in fi.blocking):
+            fi.blocking.append(BlockingCall(name=name, why=why, line=line))
+
+    def _describe_call(self, func: ast.expr) -> tuple[str, str] | None:
+        if isinstance(func, ast.Name):
+            return ("name", func.id)
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id in ("self", "cls"):
+                return ("self", func.attr)
+            dotted = dotted_name(func)
+            if dotted is not None:
+                return ("dotted", dotted)
+        return None
+
+    def _note_metric_emit(self, node: ast.Call) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in METRIC_METHODS
+            and node.args
+        ):
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            self.graph.emit_sites.append(
+                EmitSite(arg.value, True, self.info.rel, node.lineno)
+            )
+        elif isinstance(arg, ast.JoinedStr):
+            head = _fstring_head(arg)
+            if head:
+                self.graph.emit_sites.append(
+                    EmitSite(head, False, self.info.rel, node.lineno)
+                )
+        elif isinstance(arg, ast.Name) and arg.id in self.info.constants:
+            self.graph.emit_sites.append(
+                EmitSite(
+                    self.info.constants[arg.id], True, self.info.rel, node.lineno
+                )
+            )
+
+    # -- attribute mutations ---------------------------------------------------
+
+    def _mutation(self, attr_node: ast.Attribute, via: str, line: int) -> None:
+        receiver = dotted_name(attr_node.value) or "<expr>"
+        cls = self._class_stack[-1] if self._class_stack else None
+        fi = self._func_stack[-1] if self._func_stack else None
+        self.graph.add_mutation(
+            AttrMutation(
+                attr=attr_node.attr,
+                receiver=receiver,
+                via=via,
+                module=self.info.module,
+                cls=cls.name if cls is not None else None,
+                method=fi.name if fi is not None else None,
+                rel=self.info.rel,
+                line=line,
+            )
+        )
+
+    def _note_store_target(self, target: ast.expr, via: str, line: int) -> None:
+        if isinstance(target, ast.Attribute):
+            self._mutation(target, via, line)
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            self._mutation(target.value, "subscript", line)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._note_store_target(elt, via, line)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_store_target(target, "assign", node.lineno)
+        self._note_kind_store(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_store_target(node.target, "assign", node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_store_target(node.target, "augassign", node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._note_store_target(target, "del", node.lineno)
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # mutating method calls: <recv>.<attr>.append(...) etc.
+        call = node.value
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in MUTATOR_METHODS
+            and isinstance(call.func.value, ast.Attribute)
+        ):
+            self._mutation(call.func.value, f"call:{call.func.attr}", node.lineno)
+        self.generic_visit(node)
+
+    # -- wire-codec kind tags --------------------------------------------------
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "kind"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                self.graph.kind_sites.append(
+                    KindSite(value.value, "emit", self.info.rel, node.lineno)
+                )
+        self.generic_visit(node)
+
+    def _note_kind_store(self, node: ast.Assign) -> None:
+        # wired["kind"] = "scan_report" — an emit site
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.slice, ast.Constant)
+                and target.slice.value == "kind"
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                self.graph.kind_sites.append(
+                    KindSite(node.value.value, "emit", self.info.rel, node.lineno)
+                )
+        # kind: ClassVar[str] = "obs_wifi" is handled by visit_AnnAssign? no —
+        # it needs the class-body shape, handled here for Assign targets:
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "kind"
+                and self._class_stack
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                self.graph.kind_sites.append(
+                    KindSite(node.value.value, "emit", self.info.rel, node.lineno)
+                )
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, str) and id(node) not in self._docstrings:
+            self._literals.add(node.value)
+
+    # -- finalize --------------------------------------------------------------
+
+    def finish(self, tree: ast.Module) -> ModuleInfo:
+        # kind: ClassVar[str] = "…" (AnnAssign in a class body) and decoder
+        # tables (_DECODERS dict keys) need one targeted pass.
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "kind"
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                self.graph.kind_sites.append(
+                    KindSite(node.value.value, "emit", self.info.rel, node.lineno)
+                )
+            if (
+                isinstance(node, (ast.Assign, ast.AnnAssign))
+                and isinstance(node.value, ast.Dict)
+            ):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                names = [t.id for t in targets if isinstance(t, ast.Name)]
+                if any(n.lstrip("_").upper().endswith("DECODERS") for n in names):
+                    for key in node.value.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            self.graph.kind_sites.append(
+                                KindSite(
+                                    key.value, "decoder", self.info.rel, key.lineno
+                                )
+                            )
+        self.graph.string_literals[self.info.rel] = self._literals
+        return self.info
+
+
+def build_graph(
+    parsed: list[tuple[str, str | None, ast.Module]],
+    project: ProjectContext,
+) -> ProjectGraph:
+    """Assemble the graph from ``(rel, package, tree)`` triples."""
+    graph = ProjectGraph(project)
+    for rel, package, tree in parsed:
+        visitor = _ModuleVisitor(graph, rel, package, tree)
+        visitor.visit(tree)
+        graph.add_module(visitor.finish(tree))
+    return graph

@@ -1,4 +1,8 @@
-"""Reporters: human text and machine ``--json`` views of one run."""
+"""Reporters: human text and machine ``--json`` views of one run.
+
+(The SARIF view lives in :mod:`repro.analysis.sarif` — it needs the rule
+registry for tool metadata, which the plain reporters don't.)
+"""
 
 from __future__ import annotations
 
@@ -17,6 +21,7 @@ def to_dict(result: AnalysisResult) -> dict:
                 "file": f.file,
                 "line": f.line,
                 "rule": f.rule_id,
+                "severity": f.severity,
                 "message": f.message,
             }
             for f in result.findings
@@ -25,6 +30,7 @@ def to_dict(result: AnalysisResult) -> dict:
         "stale_baseline_entries": [
             {
                 "rule": e.rule,
+                "rule_version": e.rule_version,
                 "file": e.file,
                 "match": e.match,
                 "justification": e.justification,
@@ -51,7 +57,13 @@ def format_text(result: AnalysisResult, *, verbose: bool = False) -> str:
             f"warning: stale baseline entry {entry.rule} {entry.file} "
             f"(match={entry.match!r}) no longer suppresses anything — remove it"
         )
-    verdict = "ok" if result.ok else f"{len(result.findings)} finding(s)"
+    warns = len(result.findings) - len(result.errors)
+    if result.ok:
+        verdict = "ok" if not warns else f"ok ({warns} warning(s))"
+    else:
+        verdict = f"{len(result.errors)} finding(s)"
+        if warns:
+            verdict += f" + {warns} warning(s)"
     lines.append(
         f"analyze: {verdict} ({result.files_scanned} files scanned, "
         f"{len(result.suppressed)} baselined)"

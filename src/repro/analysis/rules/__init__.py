@@ -1,33 +1,57 @@
-"""The project-specific rule set (WL001–WL005).
+"""The project-specific rule set (WL001–WL010).
 
 Each module machine-enforces one contract a prior PR introduced in
-prose; DESIGN.md §14 is the human-readable side of the same registry.
+prose; DESIGN.md §14/§19 are the human-readable side of the same
+registry.  WL001–WL005 and WL009 are per-file rules; WL006–WL008 and
+WL010 run once over the pass-1 project graph.
 """
 
 from __future__ import annotations
 
+from repro.analysis.rules.async_safety import AsyncSafetyRule
 from repro.analysis.rules.checkpoint import CheckpointCompletenessRule
+from repro.analysis.rules.counters import CounterConservationRule
+from repro.analysis.rules.dead_registry import DeadRegistryRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.layering import ImportLayeringRule
 from repro.analysis.rules.metric_names import MetricNameRule
+from repro.analysis.rules.resources import ResourceDisciplineRule
+from repro.analysis.rules.shared_state import SharedStateRule
 from repro.analysis.rules.swallow import SilentSwallowRule
 
 __all__ = [
+    "AsyncSafetyRule",
     "CheckpointCompletenessRule",
+    "CounterConservationRule",
+    "DeadRegistryRule",
     "DeterminismRule",
     "ImportLayeringRule",
     "MetricNameRule",
+    "ResourceDisciplineRule",
+    "SharedStateRule",
     "SilentSwallowRule",
     "default_rules",
+    "default_project_rules",
 ]
 
 
 def default_rules() -> list:
-    """Fresh instances of every shipped rule, in rule-id order."""
+    """Fresh instances of every shipped per-file rule, in rule-id order."""
     return [
         DeterminismRule(),
         MetricNameRule(),
         CheckpointCompletenessRule(),
         ImportLayeringRule(),
         SilentSwallowRule(),
+        ResourceDisciplineRule(),
+    ]
+
+
+def default_project_rules() -> list:
+    """Fresh instances of every shipped project-wide (pass 2) rule."""
+    return [
+        AsyncSafetyRule(),
+        CounterConservationRule(),
+        DeadRegistryRule(),
+        SharedStateRule(),
     ]

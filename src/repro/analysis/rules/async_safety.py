@@ -1,0 +1,85 @@
+"""WL006: no blocking call reachable from the asyncio front door.
+
+``repro.serving`` talks to the world through an asyncio event loop; one
+``time.sleep``/``os.fsync``/file open anywhere in the synchronous code
+an ``async def`` reaches stalls *every* connection, not just the caller.
+The rule walks the pass-1 call graph breadth-first from each ``async
+def`` in ``repro.serving`` and flags every blocking primitive it can
+reach, with the offending chain spelled out.
+
+Resolution is deliberately under-approximate (``self.m``, module-local
+names, import aliases, project-resolvable base classes) — an unresolved
+call is dropped, never guessed, so every reported chain is real.  The
+known blind spot is callable *attributes* (``self.dispatch(request)``):
+those hops aren't followed, which is exactly why the serving HTTP server
+moves its dispatch off the loop thread by construction (see
+``repro/serving/http.py``) instead of relying on this rule alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import FunctionInfo, ProjectGraph
+
+__all__ = ["AsyncSafetyRule"]
+
+_MAX_DEPTH = 10
+
+
+class AsyncSafetyRule:
+    rule_id = "WL006"
+    version = 1
+    description = (
+        "no blocking primitive (sleep, fsync, file/socket I/O, subprocess) "
+        "may be transitively reachable from an async def in repro.serving"
+    )
+
+    def __init__(self, root_prefixes: tuple[str, ...] = ("repro.serving",)) -> None:
+        self.root_prefixes = root_prefixes
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        flagged: set[tuple[str, int, str]] = set()
+        roots = sorted(
+            (
+                fi
+                for fi in graph.functions.values()
+                if fi.is_async and fi.module.startswith(self.root_prefixes)
+            ),
+            key=lambda fi: fi.qualname,
+        )
+        for root in roots:
+            queue: deque[tuple[FunctionInfo, tuple[str, ...]]] = deque(
+                [(root, (root.qualname,))]
+            )
+            visited = {root.qualname}
+            while queue:
+                fi, chain = queue.popleft()
+                for bc in sorted(fi.blocking, key=lambda b: (b.line, b.name)):
+                    key = (fi.rel, bc.line, bc.name)
+                    if key in flagged:
+                        continue
+                    flagged.add(key)
+                    findings.append(
+                        Finding(
+                            file=fi.rel,
+                            line=bc.line,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"blocking call {bc.name} ({bc.why}) is "
+                                f"reachable from async def {root.name} via "
+                                + " -> ".join(chain)
+                            ),
+                        )
+                    )
+                if len(chain) >= _MAX_DEPTH:
+                    continue
+                for site in fi.calls:
+                    callee = graph.resolve_call(fi, site)
+                    if callee is not None and callee.qualname not in visited:
+                        visited.add(callee.qualname)
+                        queue.append((callee, chain + (callee.qualname,)))
+        return sorted(findings)

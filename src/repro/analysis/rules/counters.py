@@ -1,0 +1,262 @@
+"""WL007: every branch of an ingest path lands in exactly one outcome counter.
+
+The accounting invariant behind every capacity/loss dashboard in this
+repo: a report (or observation) that enters an admission/routing path
+must be counted exactly once — admitted, rejected, parked — no matter
+which branch it takes.  PR 5 caught a double-fault branch that lost
+reports uncounted *by hand*; this rule machine-checks the generalisation
+over the four conserved entry points.
+
+The checker is a tiny abstract interpreter over the function body: the
+abstract state is the *set of possible outcome-increment counts* on the
+current path.  Branches union, ``with`` bodies flow through, helper
+calls on ``self`` are summarised by evaluating the helper against the
+caller's outcome set, and ``raise`` exits are exempt (an escaping
+exception is the caller's problem, and the conserved entry points are
+documented never to raise).  Two documented approximations:
+
+* a ``try`` handler starts from the state at ``try`` entry — i.e. the
+  exception is assumed to fire *before* any increment in the body (the
+  conservative reading for loss accounting);
+* loops run zero-or-one times (none of the conserved paths loop over
+  outcome increments; batch variants like ``ingest_many`` delegate to
+  the per-item paths and are deliberately not targets).
+
+Detail counters (the ``guard.rejected.<reason>`` f-string families) and
+non-outcome metrics contribute zero — only the declared outcome set
+counts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Mapping
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import ClassInfo, FunctionInfo, ProjectGraph
+
+__all__ = ["CounterConservationRule", "DEFAULT_TARGETS"]
+
+#: Conserved entry point -> its declared outcome counters.
+DEFAULT_TARGETS: Mapping[str, frozenset[str]] = {
+    "repro.guard.admission.IngestGuard.admit": frozenset(
+        {"guard.admitted", "guard.rejected", "guard.internal_errors"}
+    ),
+    "repro.cluster.router.ClusterRouter.ingest": frozenset(
+        {"reshard.parked_reports", "cluster.ingest_rejected", "cluster.ingest_routed"}
+    ),
+    "repro.cluster.router.ClusterRouter.ingest_observation": frozenset(
+        {"reshard.parked_reports", "fusion.route_rejected", "fusion.routed"}
+    ),
+    "repro.fusion.orchestrator.FusionOrchestrator.observe": frozenset(
+        {"fusion.stored", "fusion.rejected"}
+    ),
+}
+
+_COUNTER_METHODS = frozenset({"incr", "counter"})
+_CLAMP = 4
+_MAX_HELPER_DEPTH = 3
+
+
+def _clamp(counts: Iterable[int]) -> frozenset[int]:
+    return frozenset(min(c, _CLAMP) for c in counts)
+
+
+def _cross_sum(a: frozenset[int], b: frozenset[int]) -> frozenset[int]:
+    return _clamp(x + y for x in a for y in b)
+
+
+class _PathEvaluator:
+    """Evaluate one function body to its set of exit counts."""
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        cls: ClassInfo | None,
+        outcomes: frozenset[str],
+        depth: int = 0,
+        seen: frozenset[str] = frozenset(),
+    ) -> None:
+        self.graph = graph
+        self.cls = cls
+        self.outcomes = outcomes
+        self.depth = depth
+        self.seen = seen
+        self.returned: set[int] = set()
+
+    # -- expression effects ---------------------------------------------------
+
+    def _call_effect(self, call: ast.Call) -> frozenset[int]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _COUNTER_METHODS and call.args:
+                arg = call.args[0]
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value in self.outcomes
+                ):
+                    return frozenset({1})
+                return frozenset({0})
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and self.cls is not None
+                and func.attr in self.cls.methods
+                and self.depth < _MAX_HELPER_DEPTH
+                and func.attr not in self.seen
+            ):
+                helper = self.cls.methods[func.attr]
+                return _helper_effect(
+                    self.graph,
+                    self.cls,
+                    helper,
+                    self.outcomes,
+                    self.depth + 1,
+                    self.seen | {func.attr},
+                )
+        return frozenset({0})
+
+    def _expr_effect(self, node: ast.AST) -> frozenset[int]:
+        effect = frozenset({0})
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(sub, ast.Call):
+                effect = _cross_sum(effect, self._call_effect(sub))
+        return effect
+
+    # -- statement flow -------------------------------------------------------
+
+    def run(self, stmts: list[ast.stmt], start: frozenset[int]) -> frozenset[int]:
+        """Fall-through count set after executing ``stmts`` from ``start``.
+
+        Paths that ``return`` are accumulated in ``self.returned``; paths
+        that ``raise`` vanish (exempt).  An empty result set means no
+        path falls through.
+        """
+        current = start
+        for stmt in stmts:
+            if not current:
+                break
+            current = self._step(stmt, current)
+        return current
+
+    def _step(self, stmt: ast.stmt, current: frozenset[int]) -> frozenset[int]:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                current = _cross_sum(current, self._expr_effect(stmt.value))
+            self.returned.update(current)
+            return frozenset()
+        if isinstance(stmt, ast.Raise):
+            return frozenset()
+        if isinstance(stmt, ast.If):
+            head = _cross_sum(current, self._expr_effect(stmt.test))
+            return self.run(stmt.body, head) | self.run(stmt.orelse, head)
+        if isinstance(stmt, ast.Match):
+            head = _cross_sum(current, self._expr_effect(stmt.subject))
+            out: frozenset[int] = frozenset()
+            for case in stmt.cases:
+                out |= self.run(case.body, head)
+            # no case may match; control falls through unchanged
+            return out | head
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = current
+            for item in stmt.items:
+                head = _cross_sum(head, self._expr_effect(item.context_expr))
+            return self.run(stmt.body, head)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            head = _cross_sum(current, self._expr_effect(stmt.iter))
+            once = self.run(stmt.body, head)
+            return self.run(stmt.orelse, head | once)
+        if isinstance(stmt, ast.While):
+            head = _cross_sum(current, self._expr_effect(stmt.test))
+            once = self.run(stmt.body, head)
+            return self.run(stmt.orelse, head | once)
+        if isinstance(stmt, ast.Try):
+            body_fall = self.run(stmt.body, current)
+            handler_fall: frozenset[int] = frozenset()
+            for handler in stmt.handlers:
+                # exception assumed to fire before any body increment
+                handler_fall |= self.run(handler.body, current)
+            fall = self.run(stmt.orelse, body_fall) | handler_fall
+            if stmt.finalbody:
+                # approximation: the finally delta applies to the fall
+                # set; returns are left as recorded (conserved paths
+                # never emit outcome counters from a finally block)
+                fall = _cross_sum(fall, _helper_like(self, stmt.finalbody))
+            return fall
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Pass)):
+            return current
+        # simple statements: sum every call effect inside
+        return _cross_sum(current, self._expr_effect(stmt))
+
+
+def _helper_like(outer: _PathEvaluator, stmts: list[ast.stmt]) -> frozenset[int]:
+    """Pure delta of a statement list (used for ``finally`` blocks)."""
+    ev = _PathEvaluator(outer.graph, outer.cls, outer.outcomes, outer.depth, outer.seen)
+    fall = ev.run(list(stmts), frozenset({0}))
+    return (fall | frozenset(ev.returned)) or frozenset({0})
+
+
+def _helper_effect(
+    graph: ProjectGraph,
+    cls: ClassInfo,
+    helper: FunctionInfo,
+    outcomes: frozenset[str],
+    depth: int,
+    seen: frozenset[str],
+) -> frozenset[int]:
+    node = helper.node
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return frozenset({0})
+    ev = _PathEvaluator(graph, cls, outcomes, depth, seen)
+    fall = ev.run(list(node.body), frozenset({0}))
+    return (fall | frozenset(ev.returned)) or frozenset({0})
+
+
+class CounterConservationRule:
+    rule_id = "WL007"
+    version = 1
+    description = (
+        "every branch of a conserved ingest path must increment exactly one "
+        "declared outcome counter"
+    )
+
+    def __init__(self, targets: Mapping[str, frozenset[str]] | None = None) -> None:
+        self.targets = dict(targets if targets is not None else DEFAULT_TARGETS)
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for qualname in sorted(self.targets):
+            fi = graph.functions.get(qualname)
+            if fi is None:
+                continue
+            node = fi.node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cls = None
+            if fi.cls is not None:
+                mod = graph.modules.get(fi.module)
+                if mod is not None:
+                    cls = mod.classes.get(fi.cls)
+            outcomes = self.targets[qualname]
+            ev = _PathEvaluator(graph, cls, outcomes)
+            fall = ev.run(list(node.body), frozenset({0}))
+            exits = frozenset(ev.returned) | fall
+            bad = sorted(c for c in exits if c != 1)
+            if bad:
+                counts = ", ".join(str(c) for c in bad)
+                findings.append(
+                    Finding(
+                        file=fi.rel,
+                        line=fi.line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{fi.name} has a path that exits with "
+                            f"{counts} outcome increment(s) instead of exactly 1 "
+                            f"(outcomes: {', '.join(sorted(outcomes))})"
+                        ),
+                    )
+                )
+        return sorted(findings)

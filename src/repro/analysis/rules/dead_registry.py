@@ -1,0 +1,147 @@
+"""WL008: the registry may not outgrow the code — the reverse of WL002.
+
+WL002 proves every emitted metric name is declared; this rule proves the
+converse: every *declared* name is still emitted somewhere, and every
+wire-codec ``kind`` tag still has both sides of its codec.  A dead
+registry entry is how operational drift starts — a dashboard keyed on a
+counter that silently stopped existing is worse than no dashboard.
+
+Liveness evidence for a declared metric name, in order:
+
+* a statically resolvable emit site (literal, module constant or
+  f-string head reaching ``incr``/``counter``/``observe``/``timer``/
+  ``latency``), or
+* the name appearing as a *code* string literal anywhere outside the
+  registry file (snapshot/restore paths and health sections reference
+  counters by name without emitting them).  Docstrings don't count.
+
+Declared prefixes (dynamic families like ``guard.rejected.<reason>``)
+are checked the same way but report as ``warn`` — a family can
+legitimately go quiet when its feeding code path is configuration-gated.
+
+Kind tags: every decoder key in a ``_DECODERS`` table needs at least one
+encode site (a literal ``"kind": "x"`` emit or a class-level
+``kind = "x"`` declaration), and every literal kind emitted *in a
+package that owns a decoder table* needs a decoder.  Packages without a
+decoder table (e.g. ``lifecycle``'s self-describing JSON documents) are
+out of scope by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.findings import SEVERITY_WARN, Finding
+from repro.analysis.graph import ProjectGraph
+
+__all__ = ["DeadRegistryRule"]
+
+
+class DeadRegistryRule:
+    rule_id = "WL008"
+    version = 1
+    description = (
+        "declared metric names/prefixes must have emit sites; wire-codec "
+        "kind tags must have both encode and decode handlers"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._dead_metrics(graph))
+        findings.extend(self._orphan_kinds(graph))
+        return sorted(findings)
+
+    # -- declared-but-never-emitted metrics -----------------------------------
+
+    def _dead_metrics(self, graph: ProjectGraph) -> Iterable[Finding]:
+        project = graph.project
+        registry = project.registry_file
+        if registry is None or not project.metric_names:
+            return []
+        # The registry is only checkable against a scan that actually
+        # contains emitters; a single-file scan proves nothing about
+        # liveness, so require the bulk of the tree to be present.
+        if len(graph.modules) < 10:
+            return []
+        emitted = {site.name for site in graph.emit_sites}
+        referenced: set[str] = set()
+        for rel, literals in graph.string_literals.items():
+            if rel != registry:
+                referenced |= literals
+        findings = []
+        for name in sorted(project.metric_names):
+            if name in emitted or name in referenced:
+                continue
+            findings.append(
+                Finding(
+                    file=registry,
+                    line=project.metric_name_lines.get(name, 1),
+                    rule_id=self.rule_id,
+                    message=(
+                        f"declared metric {name!r} has no emit site and no "
+                        f"code reference anywhere in the scanned tree"
+                    ),
+                )
+            )
+        for prefix in sorted(project.metric_prefixes):
+            live = any(n.startswith(prefix) for n in emitted | referenced)
+            if live:
+                continue
+            findings.append(
+                Finding(
+                    file=registry,
+                    line=project.metric_prefix_lines.get(prefix, 1),
+                    rule_id=self.rule_id,
+                    message=(
+                        f"declared metric family {prefix!r}* has no emit site "
+                        f"anywhere in the scanned tree"
+                    ),
+                    severity=SEVERITY_WARN,
+                )
+            )
+        return findings
+
+    # -- wire-codec kind tags --------------------------------------------------
+
+    def _orphan_kinds(self, graph: ProjectGraph) -> Iterable[Finding]:
+        decoders = [s for s in graph.kind_sites if s.role == "decoder"]
+        if not decoders:
+            return []
+        emits = [s for s in graph.kind_sites if s.role == "emit"]
+        emitted = {s.kind for s in emits}
+        decoded = {s.kind for s in decoders}
+        rel_package = {m.rel: m.package for m in graph.modules.values()}
+        codec_packages = {rel_package.get(s.rel) for s in decoders}
+        findings = []
+        for site in sorted(decoders, key=lambda s: (s.rel, s.line, s.kind)):
+            if site.kind not in emitted:
+                findings.append(
+                    Finding(
+                        file=site.rel,
+                        line=site.line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"wire kind {site.kind!r} has a decoder but no "
+                            f"encode site emits it"
+                        ),
+                    )
+                )
+        seen: set[str] = set()
+        for site in sorted(emits, key=lambda s: (s.rel, s.line, s.kind)):
+            if rel_package.get(site.rel) not in codec_packages:
+                continue
+            if site.kind in decoded or site.kind in seen:
+                continue
+            seen.add(site.kind)
+            findings.append(
+                Finding(
+                    file=site.rel,
+                    line=site.line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"wire kind {site.kind!r} is emitted but no decoder "
+                        f"handles it"
+                    ),
+                )
+            )
+        return findings

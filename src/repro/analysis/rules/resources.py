@@ -1,0 +1,161 @@
+"""WL009: file/socket handles are scoped, owned, or explicitly transferred.
+
+A WAL segment left open on an early-return path is a leaked fd *and* a
+Windows-style rename blocker for the checkpoint retention sweep; a
+socket opened outside ``with``/``try-finally`` survives the exception
+that abandoned it.  The rule flags every bare ``open(...)``-family call
+that is not provably scoped, with three structural exemptions and one
+annotation escape hatch:
+
+1. the call is (inside) a ``with`` item — scoped by the context manager;
+2. the handle is assigned to ``self.<attr>`` in a class that defines a
+   closer (``close``/``stop``/``shutdown``/``__exit__``/``__del__``) —
+   a declared long-lived handle with an owner (the WAL writer's active
+   segment);
+3. the handle is assigned to a local that some ``try``'s ``finally``
+   block in the same function closes — the manual-scoping idiom;
+4. the source line (or the one above it) carries a ``# wl009:`` marker
+   stating where ownership goes — the audit trail for legitimate
+   transfers, e.g. a wrapper type adopting the raw handle.
+
+This is a per-file rule: everything it needs is local, which keeps it
+exact under ``--diff``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import FileContext, Finding, dotted_name, import_aliases
+
+__all__ = ["ResourceDisciplineRule"]
+
+_OPEN_CALLS = frozenset({
+    "open",
+    "io.open",
+    "os.fdopen",
+    "gzip.open",
+    "bz2.open",
+    "lzma.open",
+    "tarfile.open",
+    "zipfile.ZipFile",
+    "socket.socket",
+    "socket.create_connection",
+    "tempfile.TemporaryFile",
+    "tempfile.NamedTemporaryFile",
+})
+
+_CLOSERS = frozenset({"close", "stop", "shutdown", "__exit__", "__del__"})
+MARKER = "# wl009:"
+
+
+def _parents(tree: ast.Module) -> dict[int, ast.AST]:
+    out: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            out[id(child)] = node
+    return out
+
+
+def _chain(node: ast.AST, parents: dict[int, ast.AST]) -> list[ast.AST]:
+    chain: list[ast.AST] = []
+    cur: ast.AST | None = node
+    while cur is not None:
+        chain.append(cur)
+        cur = parents.get(id(cur))
+    return chain
+
+
+def _class_has_closer(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name in _CLOSERS
+        for stmt in cls.body
+    )
+
+
+def _finally_closes(func: ast.AST, name: str) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for sub in node.finalbody:
+            for call in ast.walk(sub):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr in ("close", "release")
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == name
+                ):
+                    return True
+    return False
+
+
+class ResourceDisciplineRule:
+    rule_id = "WL009"
+    version = 1
+    description = (
+        "resource handles must be opened under with/try-finally, owned by a "
+        "closer-bearing class, or carry a '# wl009:' transfer annotation"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = import_aliases(ctx.tree)
+        parents = _parents(ctx.tree)
+        lines = ctx.text.splitlines()
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = dotted_name(node.func, aliases)
+            if resolved not in _OPEN_CALLS:
+                continue
+            if self._exempt(node, parents, lines):
+                continue
+            findings.append(
+                ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{resolved}(...) outside with/try-finally and without a "
+                    f"'{MARKER}' ownership annotation",
+                )
+            )
+        return sorted(findings)
+
+    def _exempt(
+        self, call: ast.Call, parents: dict[int, ast.AST], lines: list[str]
+    ) -> bool:
+        line = call.lineno
+        for n in (line, line - 1):
+            if 1 <= n <= len(lines) and MARKER in lines[n - 1]:
+                return True
+        chain = _chain(call, parents)
+        func: ast.AST | None = None
+        cls: ast.ClassDef | None = None
+        for anc in chain:
+            if isinstance(anc, ast.withitem):
+                return True
+            if func is None and isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func = anc
+            elif func is not None and cls is None and isinstance(anc, ast.ClassDef):
+                cls = anc
+        # direct assignment targets only: the handle must be *the* value
+        parent = parents.get(id(call))
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and cls is not None
+                    and _class_has_closer(cls)
+                ):
+                    return True
+                if (
+                    isinstance(target, ast.Name)
+                    and func is not None
+                    and _finally_closes(func, target.id)
+                ):
+                    return True
+        return False

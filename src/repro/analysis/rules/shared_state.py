@@ -1,0 +1,126 @@
+"""WL010: registered shared state is only mutated by its declared owners.
+
+The cluster/elastic layers carry a handful of attributes whose writes
+*are* the protocol: the router's reshard hold set and parked queue, the
+delta bus's replication cursors, the migration journal's durable fields.
+A write from anywhere else is how the zero-loss cutover or the
+at-least-once replication contract silently breaks — the exact class of
+bug a reshard drill only catches when the timing cooperates.
+
+Classes opt in by declaring ownership::
+
+    class DeltaBus:
+        __shared_state__ = {
+            "cursors": ("detach", "replace_node", "pump", "prime_joiner"),
+        }
+
+The rule then checks every mutation site in the project (assignments,
+``del``, subscript stores, mutating container calls) against the
+declaration:
+
+* a ``self.<attr>`` mutation inside the declaring class must come from
+  an owner method (``__init__`` is implicitly an owner — construction
+  is not sharing); same-named ``self`` attributes in *other* classes
+  are different attributes and are ignored;
+* any other receiver (``router.bus.cursors[...] = …``,
+  ``journal.phase = …``) is a foreign write and must still occur inside
+  a declaring class's owner method (which is how alternate constructors
+  like ``MigrationJournal.load`` stay legal) — otherwise it is flagged.
+
+This is a static *discipline* check, not a race detector: it proves the
+single-writer structure the design documents, it does not prove what a
+scheduler might interleave.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import AttrMutation, ClassInfo, ProjectGraph
+
+__all__ = ["SharedStateRule"]
+
+
+class SharedStateRule:
+    rule_id = "WL010"
+    version = 1
+    description = (
+        "attributes declared in __shared_state__ may only be mutated inside "
+        "their declared owner methods"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        declarations: dict[str, list[ClassInfo]] = {}
+        for classes in graph.classes_by_name.values():
+            for cls in classes:
+                for attr in cls.shared:
+                    declarations.setdefault(attr, []).append(cls)
+
+        findings: list[Finding] = []
+        for attr in sorted(declarations):
+            decls = declarations[attr]
+            for mutation in sorted(
+                graph.attr_mutations.get(attr, []),
+                key=lambda m: (m.rel, m.line, m.via),
+            ):
+                finding = self._judge(attr, decls, mutation)
+                if finding is not None:
+                    findings.append(finding)
+        return sorted(set(findings))
+
+    def _judge(
+        self, attr: str, decls: list[ClassInfo], mutation: AttrMutation
+    ) -> Finding | None:
+        if mutation.receiver in ("self", "cls"):
+            home = next(
+                (
+                    d
+                    for d in decls
+                    if d.module == mutation.module and d.name == mutation.cls
+                ),
+                None,
+            )
+            if home is None:
+                return None  # same attr name in an undeclared class
+            if self._allowed(home, attr, mutation.method):
+                return None
+            return self._finding(attr, home, mutation)
+        if any(
+            d.module == mutation.module
+            and d.name == mutation.cls
+            and self._allowed(d, attr, mutation.method)
+            for d in decls
+        ):
+            return None
+        return self._finding(attr, decls[0], mutation, foreign=True)
+
+    @staticmethod
+    def _allowed(cls: ClassInfo, attr: str, method: str | None) -> bool:
+        owners = set(cls.shared.get(attr, ())) | {"__init__"}
+        return method in owners
+
+    def _finding(
+        self,
+        attr: str,
+        cls: ClassInfo,
+        mutation: AttrMutation,
+        *,
+        foreign: bool = False,
+    ) -> Finding:
+        owners = ", ".join(cls.shared.get(attr, ())) or "<none>"
+        where = (
+            f"{mutation.cls}.{mutation.method}"
+            if mutation.cls and mutation.method
+            else mutation.method or "<module>"
+        )
+        kind = "foreign write to" if foreign else "non-owner write to"
+        return Finding(
+            file=mutation.rel,
+            line=mutation.line,
+            rule_id=self.rule_id,
+            message=(
+                f"{kind} shared attribute {cls.name}.{attr} from {where} "
+                f"via {mutation.via} (owners: {owners}, plus __init__)"
+            ),
+        )

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 emitter — the lingua franca of code-scanning UIs.
+
+One :class:`~repro.analysis.engine.AnalysisResult` becomes one SARIF
+``run``: the rule registry goes into ``tool.driver.rules``, active
+findings become ``results`` at their ``physicalLocation``, and
+baselined findings are included with an ``external`` suppression so a
+SARIF viewer shows the whole picture instead of silently hiding the
+grandfathered debt.  Severity maps ``error``→``error``,
+``warn``→``warning`` (SARIF's own level vocabulary).
+
+Only stable SARIF subset features are emitted (tool metadata, results,
+locations, suppressions) — the output is valid against the official
+2.1.0 schema, which the test suite checks with a vendored structural
+subset of that schema (offline CI cannot fetch schemastore).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-analyze"
+TOOL_URI = "https://example.invalid/repro/analysis"  # no public home; repo-local tool
+
+
+def _level(finding: Finding) -> str:
+    return "error" if finding.severity == SEVERITY_ERROR else "warning"
+
+
+def _result(finding: Finding, *, suppressed: bool) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": _level(finding),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "baselined (analysis-baseline.json)"}
+        ]
+    return result
+
+
+def to_sarif(
+    result: AnalysisResult, *, rules: dict[str, str] | None = None
+) -> dict[str, Any]:
+    """Build the SARIF log object (``rules`` maps rule id -> description)."""
+    known = dict(rules or {})
+    for finding in (*result.findings, *result.suppressed):
+        known.setdefault(finding.rule_id, "")
+    driver_rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": description or rule_id},
+        }
+        for rule_id, description in sorted(known.items())
+    ]
+    results = [_result(f, suppressed=False) for f in result.findings]
+    results += [_result(f, suppressed=True) for f in result.suppressed]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(
+    result: AnalysisResult, *, rules: dict[str, str] | None = None
+) -> str:
+    return json.dumps(to_sarif(result, rules=rules), indent=2) + "\n"

@@ -22,6 +22,8 @@ sequence numbers, which subscribers that already saw them skip.
 
 from __future__ import annotations
 
+from typing import ClassVar, Iterable
+
 from repro.cluster.node import ShardNode
 
 __all__ = ["DeltaBus"]
@@ -42,6 +44,12 @@ class DeltaBus:
         applied.  None applies regardless of age (the predictor's own
         recency window already ignores old evidence).
     """
+
+    #: WL010: the cursor map is the at-least-once replication contract;
+    #: only these methods may move it (``__init__`` constructs it).
+    __shared_state__: ClassVar[dict[str, tuple[str, ...]]] = {
+        "cursors": ("detach", "replace_node", "pump", "prime_joiner"),
+    }
 
     def __init__(
         self, *, enabled: bool = True, max_staleness_s: float | None = None
@@ -91,6 +99,22 @@ class DeltaBus:
             if origin_id == node.shard_id:
                 continue
             self.cursors[(origin_id, node.shard_id)] = node.applied_from(origin_id)
+
+    def prime_joiner(self, node: ShardNode, peer_ids: Iterable[int]) -> None:
+        """Prime cursors for a freshly attached joiner (reshard split).
+
+        Cursors *toward* the joiner start at its restored
+        ``cluster.applied_from.*`` high-water marks — everything its
+        durable state already saw stays delivered, everything after is
+        owed.  Cursors *from* it start at zero (a new shard has emitted
+        nothing).  Existing cursors are never rewound: resuming a drain
+        must not re-deliver what a previous attempt already pumped.
+        """
+        for peer_id in peer_ids:
+            if peer_id == node.shard_id:
+                continue
+            self.cursors[(peer_id, node.shard_id)] = node.applied_from(peer_id)
+            self.cursors.setdefault((node.shard_id, peer_id), 0)
 
     # -- delivery ------------------------------------------------------------
 

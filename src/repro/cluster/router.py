@@ -21,7 +21,7 @@ shard propagates, exactly as the single server raises it.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import ClassVar, Iterable, Mapping, Sequence
 
 from repro.core.arrival.predictor import ArrivalPrediction
 from repro.core.positioning.trajectory import TrajectoryPoint
@@ -48,6 +48,19 @@ _SKIPPED = object()
 
 class ClusterRouter:
     """Scatter-gather facade over the shard nodes of one plan."""
+
+    #: WL010: the hold set and parked queue *are* the zero-loss cutover —
+    #: a write outside these methods is a side door around the hold.
+    __shared_state__: ClassVar[dict[str, tuple[str, ...]]] = {
+        "_held_routes": ("begin_reshard_hold", "end_reshard_hold"),
+        "_parked": (
+            "begin_reshard_hold",
+            "end_reshard_hold",
+            "ingest",
+            "ingest_many",
+            "ingest_observation",
+        ),
+    }
 
     def __init__(
         self,

@@ -347,7 +347,7 @@ class ReshardEngine:
         found = latest_checkpoint(data_dir / CHECKPOINT_SUBDIR)
         if found is None:
             raise MigrationBarrierError("source checkpoint unreadable")
-        self.journal.checkpoint_wal_seq = int(found[1]["wal_seq"])
+        self.journal.record_checkpoint_seq(int(found[1]["wal_seq"]))
 
     def _catchup(self, *, now: float | None = None) -> None:
         """Split: stage the new shard from checkpoint + WAL suffix."""
@@ -355,7 +355,7 @@ class ReshardEngine:
             # Merge: the target is live and already holds every
             # replicated cross-shard record; the moved slice grafts on
             # inside the quiescent cutover window.
-            self.journal.catchup_watermark = self.journal.checkpoint_wal_seq
+            self.journal.record_catchup_watermark(self.journal.checkpoint_wal_seq)
             return
         source = self._source_node()
         staging = shard_server(source.core, self.new_plan, self.target_id)
@@ -364,10 +364,10 @@ class ReshardEngine:
             raise MigrationBarrierError("source checkpoint vanished")
         _, data = found
         base_seq = int(data["wal_seq"])
-        self.journal.checkpoint_wal_seq = base_seq
+        self.journal.record_checkpoint_seq(base_seq)
         self._restore_moved_slice(staging, data)
-        self.journal.catchup_watermark = self._replay_suffix(
-            staging, after_seq=base_seq
+        self.journal.record_catchup_watermark(
+            self._replay_suffix(staging, after_seq=base_seq)
         )
         self._staging = staging
 
@@ -444,13 +444,15 @@ class ReshardEngine:
                     "staging target lost; re-run catch-up before cutover"
                 )
             watermark = self.journal.catchup_watermark
-            self.journal.catchup_watermark = self._replay_suffix(
-                self._staging,
-                after_seq=(
-                    watermark
-                    if watermark is not None
-                    else int(self.journal.checkpoint_wal_seq or -1)
-                ),
+            self.journal.record_catchup_watermark(
+                self._replay_suffix(
+                    self._staging,
+                    after_seq=(
+                        watermark
+                        if watermark is not None
+                        else int(self.journal.checkpoint_wal_seq or -1)
+                    ),
+                )
             )
             staging = self._staging
         else:
@@ -614,9 +616,7 @@ class ReshardEngine:
         if self.target_is_new:
             if self.target_id not in router.bus.nodes:
                 router.bus.attach(node)
-            for sid in sorted(router.nodes):
-                router.bus.cursors[(sid, self.target_id)] = node.applied_from(sid)
-                router.bus.cursors.setdefault((self.target_id, sid), 0)
+            router.bus.prime_joiner(node, sorted(router.nodes))
             router.apply_topology(
                 self.new_plan,
                 attach=None if self.target_id in router.nodes else node,

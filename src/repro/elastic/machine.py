@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, ClassVar
 
 from repro.core.server.persistence import atomic_write_text
 from repro.pipeline.wal import report_from_dict, report_to_dict
@@ -82,6 +82,19 @@ class MigrationJournal:
     ``save`` is deliberately the only write path — a field change that
     skips it would be lost with the coordinator.
     """
+
+    #: WL010: journal fields are the crash-recovery contract; every
+    #: owner method persists before returning (``load`` rebuilds from
+    #: disk, ``__init__`` constructs).  A direct field write from the
+    #: engine would be exactly the lost-with-the-coordinator bug the
+    #: class docstring forbids.
+    __shared_state__: ClassVar[dict[str, tuple[str, ...]]] = {
+        "phase": ("advance_to", "abort", "demote_to", "load"),
+        "checkpoint_wal_seq": ("record_checkpoint_seq", "load"),
+        "catchup_watermark": ("record_catchup_watermark", "load"),
+        "abort_reason": ("abort", "load"),
+        "_parked": ("park", "clear_parked", "load"),
+    }
 
     def __init__(
         self,
@@ -198,6 +211,18 @@ class MigrationJournal:
         if PHASE_ORDER.index(self.phase) >= PHASE_ORDER.index(CUTOVER):
             raise ValueError("the cutover barrier is forward-only")
         self.phase = phase
+        self.save()
+
+    # -- durable watermarks ---------------------------------------------------
+
+    def record_checkpoint_seq(self, wal_seq: int) -> None:
+        """Durably record the source checkpoint's WAL high-water mark."""
+        self.checkpoint_wal_seq = wal_seq
+        self.save()
+
+    def record_catchup_watermark(self, watermark: int | None) -> None:
+        """Durably record the last WAL sequence catch-up replay has scanned."""
+        self.catchup_watermark = watermark
         self.save()
 
     # -- parked reports (zero-loss double-write) -----------------------------

@@ -309,6 +309,7 @@ class FaultyFS:
     # -- the filesystem protocol ---------------------------------------------
 
     def open(self, path, mode: str):
+        # wl009: ownership transfers to the _FaultyFile wrapper (closed by the caller)
         return _FaultyFile(open(path, mode), self)
 
     def fsync(self, fileno: int) -> None:

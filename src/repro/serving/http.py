@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 from urllib.parse import unquote
@@ -178,6 +179,14 @@ class HttpServer:
         self.dispatch = dispatch
         self._server: asyncio.base_events.Server | None = None
         self._writers: set[asyncio.StreamWriter] = set()
+        # Dispatch runs off the loop thread: the app's synchronous path
+        # can reach a durable backend whose WAL flush fsyncs, and a disk
+        # barrier on the event loop stalls every connection (WL006).
+        # Exactly one worker — the app's counter-delta ingest ack relies
+        # on dispatch being serialized (see repro/serving/app.py), so
+        # this moves the queue off the loop without introducing
+        # concurrency the backend was never built for.
+        self._dispatch_pool: ThreadPoolExecutor | None = None
 
     # -- socket-free entry point (tests, perf) -------------------------------
 
@@ -223,6 +232,17 @@ class HttpServer:
         body = await reader.readexactly(length) if length else b""
         return head + body
 
+    async def _handle_off_loop(self, raw: bytes) -> bytes:
+        """Run the synchronous dispatch chain on the single worker thread."""
+        if self._dispatch_pool is None:
+            self._dispatch_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="http-dispatch"
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._dispatch_pool, self.handle_bytes, raw
+        )
+
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -232,7 +252,7 @@ class HttpServer:
                 raw = await self._read_request(reader)
                 if raw is None:
                     break
-                writer.write(self.handle_bytes(raw))
+                writer.write(await self._handle_off_loop(raw))
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
@@ -264,6 +284,9 @@ class HttpServer:
             await asyncio.sleep(0)
             await self._server.wait_closed()
             self._server = None
+        if self._dispatch_pool is not None:
+            self._dispatch_pool.shutdown(wait=True)
+            self._dispatch_pool = None
 
     async def serve_forever(self, host: str = "127.0.0.1", port: int = 8080):
         """Blocking entry point for ``repro.cli serve``."""

@@ -33,3 +33,23 @@ def make_ctx():
 
 def findings_of(rule, ctx):
     return sorted(rule.check(ctx))
+
+
+def graph_of(files, project=None):
+    """Build a ProjectGraph from ``{rel: source}`` inline modules."""
+    import textwrap
+
+    from repro.analysis import ProjectContext, build_graph
+
+    parsed = []
+    for rel, source in files.items():
+        parts = rel.split("/")
+        package = None
+        if "repro" in parts:
+            below = parts[parts.index("repro") + 1:]
+            if below:
+                package = below[0].removesuffix(".py")
+        parsed.append(
+            (rel, package, ast.parse(textwrap.dedent(source).lstrip("\n")))
+        )
+    return build_graph(parsed, project or ProjectContext())

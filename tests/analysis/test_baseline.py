@@ -69,6 +69,41 @@ def test_malformed_baselines_raise(payload):
         loads_baseline(payload)
 
 
+def test_v1_files_load_with_rule_version_pinned_at_1():
+    loaded = loads_baseline(
+        '{"version": 1, "entries": [{"rule": "WL003", "file": "a.py",'
+        ' "match": "tracker", "justification": "why"}]}'
+    )
+    assert loaded.version == 2
+    assert loaded.entries[0].rule_version == 1
+
+
+def test_bumping_a_rule_version_invalidates_its_suppressions():
+    entry = BaselineEntry("WL003", "a.py", "tracker", "why", rule_version=1)
+    finding = Finding("a.py", 10, "WL003", "attribute tracker missing")
+    assert entry.suppresses(finding, {"WL003": 1})
+    # the rule's semantics moved: the entry stops suppressing, the
+    # finding comes back, and the entry reads as stale
+    assert not entry.suppresses(finding, {"WL003": 2})
+    baseline = Baseline(entries=(entry,))
+    active, suppressed, stale = baseline.split([finding], {"WL003": 2})
+    assert active == [finding] and suppressed == [] and stale == [entry]
+
+
+def test_rule_version_round_trips_through_the_file_format():
+    entry = BaselineEntry("WL006", "a.py", "time.sleep", "why", rule_version=3)
+    reloaded = loads_baseline(dumps_baseline(Baseline(entries=(entry,))))
+    assert reloaded.entries[0].rule_version == 3
+
+
+def test_bad_rule_version_raises():
+    with pytest.raises(BaselineError):
+        loads_baseline(
+            '{"version": 2, "entries": [{"rule": "WL003", "file": "a.py",'
+            ' "match": "x", "justification": "y", "rule_version": "newest"}]}'
+        )
+
+
 def test_split_suppresses_and_reports_stale():
     entry = BaselineEntry("WL003", "a.py", "tracker", "rebuilt by caller")
     stale = BaselineEntry("WL001", "b.py", "time.time", "gone since PR 5")

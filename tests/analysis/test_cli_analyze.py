@@ -117,6 +117,81 @@ def test_unknown_path_is_usage_error():
     assert "no such path" in proc.stderr
 
 
+def test_select_runs_only_the_named_rules(dirty_tree):
+    proc = run_cli("src", "--select", "WL001", "--json", cwd=dirty_tree)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert {f["rule"] for f in payload["findings"]} == {"WL001"}
+
+
+def test_ignore_drops_the_named_rules(dirty_tree):
+    proc = run_cli("src", "--ignore", "WL001,WL005", "--json", cwd=dirty_tree)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert json.loads(proc.stdout)["findings"] == []
+
+
+def test_restricted_runs_do_not_flag_unmatched_entries_stale(dirty_tree):
+    # An entry is only provably stale when its rule ran over its file:
+    # --select (rule not run) and --diff (file not examined) runs must
+    # not report it — or let --write-baseline silently drop it.
+    baseline = dirty_tree / "analysis-baseline.json"
+    run_cli("src", "--write-baseline", cwd=dirty_tree)
+    baseline.write_text(
+        baseline.read_text().replace("TODO: justify or fix", "reviewed: fixture")
+    )
+    proc = run_cli("src", "--select", "WL005", "--json", cwd=dirty_tree)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert json.loads(proc.stdout)["stale_baseline_entries"] == []
+
+    clean = dirty_tree / "src" / "repro" / "cluster" / "fine.py"
+    clean.write_text("VALUE = 1\n")
+    proc = run_cli("--diff", "src/repro/cluster/fine.py", "--json", cwd=dirty_tree)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert json.loads(proc.stdout)["stale_baseline_entries"] == []
+
+
+def test_diff_mode_reports_only_the_changed_files_findings(dirty_tree):
+    # a second dirty file that --diff on bad.py must NOT report
+    other = dirty_tree / "src" / "repro" / "cluster" / "also_bad.py"
+    other.write_text("import time\n_T = time.time()\n")
+    changed = dirty_tree / "src" / "repro" / "cluster" / "bad.py"
+    proc = run_cli(str(changed), "--diff", "--json", cwd=dirty_tree)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    files = {f["file"] for f in payload["findings"]}
+    assert files == {"src/repro/cluster/bad.py"}
+    # the whole tree was still parsed (cross-file rules need the graph)
+    assert payload["files_scanned"] >= 2
+
+
+def test_diff_mode_without_a_repo_root_is_usage_error(tmp_path):
+    target = tmp_path / "loose.py"
+    target.write_text("x = 1\n")
+    proc = run_cli(str(target), "--diff", cwd=tmp_path)
+    assert proc.returncode == 2
+    assert "--diff" in proc.stderr
+
+
+def test_sarif_format_emits_a_valid_log_with_findings(dirty_tree):
+    proc = run_cli("src", "--format", "sarif", cwd=dirty_tree)
+    assert proc.returncode == 1
+    log = json.loads(proc.stdout)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analyze"
+    rule_ids = {r["ruleId"] for r in run["results"]}
+    assert rule_ids == {"WL001", "WL005"}
+
+
+def test_sarif_format_on_the_clean_tree_exits_zero():
+    proc = run_cli("src", "--format", "sarif")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    log = json.loads(proc.stdout)
+    results = log["runs"][0]["results"]
+    # only the baselined findings appear, and all carry suppressions
+    assert results and all("suppressions" in r for r in results)
+
+
 def test_module_entry_point_matches_cli():
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")

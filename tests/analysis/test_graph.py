@@ -1,0 +1,294 @@
+"""Pass-1 graph construction: symbols, call resolution, blocking, indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.graph import module_path_of
+
+from tests.analysis.conftest import graph_of
+
+pytestmark = pytest.mark.analysis
+
+
+def test_module_path_of_truncates_at_repro():
+    assert module_path_of("src/repro/cluster/bus.py") == "repro.cluster.bus"
+    assert module_path_of("repro/cli.py") == "repro.cli"
+    assert module_path_of("src/repro/__init__.py") == "repro"
+    # tmp copytree fixtures keep the same qualnames as the real tree
+    assert (
+        module_path_of("tmp-xyz/src/repro/serving/http.py")
+        == "repro.serving.http"
+    )
+    assert module_path_of("scripts/tool.py") == "scripts.tool"
+
+
+def test_symbol_tables_record_functions_methods_and_asyncness():
+    graph = graph_of({
+        "src/repro/serving/http.py": """
+            async def handle():
+                pass
+
+            class Server:
+                def dispatch(self):
+                    pass
+
+                async def serve(self):
+                    self.dispatch()
+            """,
+    })
+    fns = graph.functions
+    assert fns["repro.serving.http.handle"].is_async
+    assert not fns["repro.serving.http.Server.dispatch"].is_async
+    serve = fns["repro.serving.http.Server.serve"]
+    assert serve.is_async and serve.cls == "Server"
+    assert [(s.kind, s.target) for s in serve.calls] == [("self", "dispatch")]
+
+
+def test_resolve_self_call_walks_base_classes():
+    graph = graph_of({
+        "src/repro/cluster/base.py": """
+            class Base:
+                def helper(self):
+                    pass
+            """,
+        "src/repro/cluster/node.py": """
+            from repro.cluster.base import Base
+
+            class Node(Base):
+                def run(self):
+                    self.helper()
+            """,
+    })
+    run = graph.functions["repro.cluster.node.Node.run"]
+    resolved = graph.resolve_call(run, run.calls[0])
+    assert resolved is not None
+    assert resolved.qualname == "repro.cluster.base.Base.helper"
+
+
+def test_resolve_bare_name_prefers_module_then_import_alias():
+    graph = graph_of({
+        "src/repro/core/util.py": """
+            def shared():
+                pass
+            """,
+        "src/repro/core/work.py": """
+            from repro.core.util import shared
+
+            def local():
+                pass
+
+            def caller():
+                local()
+                shared()
+            """,
+    })
+    caller = graph.functions["repro.core.work.caller"]
+    targets = {
+        graph.resolve_call(caller, site).qualname for site in caller.calls
+    }
+    assert targets == {"repro.core.work.local", "repro.core.util.shared"}
+
+
+def test_resolve_dotted_call_through_module_alias():
+    graph = graph_of({
+        "src/repro/core/util.py": """
+            def shared():
+                pass
+            """,
+        "src/repro/core/work.py": """
+            import repro.core.util as util
+
+            def caller():
+                util.shared()
+            """,
+    })
+    caller = graph.functions["repro.core.work.caller"]
+    resolved = graph.resolve_call(caller, caller.calls[0])
+    assert resolved is not None and resolved.qualname == "repro.core.util.shared"
+
+
+def test_unresolvable_calls_are_dropped_not_guessed():
+    graph = graph_of({
+        "src/repro/core/work.py": """
+            def caller(handler):
+                handler.dispatch()
+                unknown_name()
+            """,
+    })
+    caller = graph.functions["repro.core.work.caller"]
+    assert all(graph.resolve_call(caller, s) is None for s in caller.calls)
+
+
+def test_blocking_detection_calls_suffixes_and_bare_references():
+    graph = graph_of({
+        "src/repro/pipeline/io.py": """
+            import os
+            import time
+
+            def sleepy():
+                time.sleep(1)
+
+            def injected(self):
+                self.fs.fsync(3)
+
+            def indirect(fs):
+                fsync_fn = fs.fsync if fs is not None else os.fsync
+                fsync_fn(3)
+            """,
+    })
+    fns = graph.functions
+    assert [b.name for b in fns["repro.pipeline.io.sleepy"].blocking] == [
+        "time.sleep"
+    ]
+    assert [b.name for b in fns["repro.pipeline.io.injected"].blocking] == [
+        "self.fs.fsync"
+    ]
+    # the bare os.fsync *reference* marks the function blocking too
+    names = {b.name for b in fns["repro.pipeline.io.indirect"].blocking}
+    assert "os.fsync" in names
+
+
+def test_nested_defs_fold_blocking_into_the_enclosing_function():
+    graph = graph_of({
+        "src/repro/pipeline/io.py": """
+            import time
+
+            def outer():
+                def inner():
+                    time.sleep(1)
+                return inner
+            """,
+    })
+    outer = graph.functions["repro.pipeline.io.outer"]
+    assert [b.name for b in outer.blocking] == ["time.sleep"]
+    assert "repro.pipeline.io.inner" not in graph.functions
+
+
+def test_attr_mutation_index_covers_every_write_shape():
+    graph = graph_of({
+        "src/repro/cluster/state.py": """
+            class Holder:
+                def touch(self, router):
+                    self.phase = "x"
+                    self.count += 1
+                    del self.stale
+                    self.table["k"] = 1
+                    self.items.append(2)
+                    router.bus.cursors[(1, 2)] = 0
+            """,
+    })
+    by_attr = {
+        attr: [(m.receiver, m.via)] for attr, muts in graph.attr_mutations.items()
+        for m in muts
+    }
+    assert by_attr["phase"] == [("self", "assign")]
+    assert by_attr["count"] == [("self", "augassign")]
+    assert by_attr["stale"] == [("self", "del")]
+    assert by_attr["table"] == [("self", "subscript")]
+    assert by_attr["items"] == [("self", "call:append")]
+    assert by_attr["cursors"] == [("router.bus", "subscript")]
+    mutation = graph.attr_mutations["phase"][0]
+    assert (mutation.cls, mutation.method) == ("Holder", "touch")
+
+
+def test_emit_sites_literal_fstring_head_and_module_constant():
+    graph = graph_of({
+        "src/repro/guard/admission.py": """
+            _NAME = "guard.constant"
+
+            class Guard:
+                def account(self, reason):
+                    self.metrics.incr("guard.admitted")
+                    self.metrics.incr(f"guard.rejected.{reason}")
+                    self.metrics.incr(_NAME)
+            """,
+    })
+    sites = {(s.name, s.exact) for s in graph.emit_sites}
+    assert sites == {
+        ("guard.admitted", True),
+        ("guard.rejected.", False),
+        ("guard.constant", True),
+    }
+
+
+def test_kind_sites_cover_dicts_stores_classvars_and_decoder_tables():
+    graph = graph_of({
+        "src/repro/serving/wire.py": """
+            from typing import Any, Callable, ClassVar, Mapping
+
+            def _enc(e):
+                return {"kind": "departure"}
+
+            def _wrap(d):
+                d["kind"] = "scan_report"
+
+            class Obs:
+                kind: ClassVar[str] = "obs_wifi"
+
+            _DECODERS: dict[str, Callable[[Mapping[str, Any]], Any]] = {
+                "departure": _enc,
+            }
+
+            _LEGACY_DECODERS = {
+                "scan_report": _wrap,
+            }
+            """,
+    })
+    emits = {s.kind for s in graph.kind_sites if s.role == "emit"}
+    decoders = {s.kind for s in graph.kind_sites if s.role == "decoder"}
+    assert emits == {"departure", "scan_report", "obs_wifi"}
+    assert decoders == {"departure", "scan_report"}
+
+
+def test_string_literals_index_excludes_docstrings():
+    graph = graph_of({
+        "src/repro/core/doc.py": '''
+            """module docstring mentioning guard.admitted"""
+
+            class C:
+                """class docstring: guard.rejected"""
+
+                def m(self):
+                    """method docstring: guard.internal_errors"""
+                    return "guard.live_reference"
+            ''',
+    })
+    literals = graph.string_literals["src/repro/core/doc.py"]
+    assert "guard.live_reference" in literals
+    assert not any("guard.admitted" in lit for lit in literals)
+    assert not any("guard.rejected" in lit for lit in literals)
+
+
+def test_shared_state_declarations_parse_owners():
+    graph = graph_of({
+        "src/repro/cluster/bus.py": """
+            from typing import ClassVar
+
+            class DeltaBus:
+                __shared_state__: ClassVar[dict[str, tuple[str, ...]]] = {
+                    "cursors": ("detach", "pump"),
+                }
+
+                def pump(self):
+                    pass
+            """,
+    })
+    cls = graph.classes_by_name["DeltaBus"][0]
+    assert cls.shared == {"cursors": ("detach", "pump")}
+
+
+def test_closer_detection_marks_handle_owning_classes():
+    graph = graph_of({
+        "src/repro/pipeline/wal.py": """
+            class Writer:
+                def close(self):
+                    pass
+
+            class Plain:
+                def write(self):
+                    pass
+            """,
+    })
+    assert graph.classes_by_name["Writer"][0].has_closer
+    assert not graph.classes_by_name["Plain"][0].has_closer

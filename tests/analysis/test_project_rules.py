@@ -1,0 +1,431 @@
+"""Unit coverage for the cross-file rules WL006–WL008/WL010 and WL009."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ProjectContext, SEVERITY_WARN
+from repro.analysis.rules import (
+    AsyncSafetyRule,
+    CounterConservationRule,
+    DeadRegistryRule,
+    ResourceDisciplineRule,
+    SharedStateRule,
+)
+
+from tests.analysis.conftest import findings_of, graph_of
+
+pytestmark = pytest.mark.analysis
+
+
+# -- WL006 async safety --------------------------------------------------------
+
+
+class TestAsyncSafety:
+    rule = AsyncSafetyRule()
+
+    def test_transitive_blocking_call_is_flagged_with_the_chain(self):
+        graph = graph_of({
+            "src/repro/serving/http.py": """
+                import time
+
+                class Server:
+                    def dispatch(self):
+                        self.flush()
+
+                    def flush(self):
+                        time.sleep(0.1)
+
+                    async def serve(self):
+                        self.dispatch()
+                """,
+        })
+        findings = list(self.rule.check_project(graph))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule_id == "WL006"
+        assert f.file == "src/repro/serving/http.py"
+        assert "time.sleep" in f.message
+        assert "async def serve" in f.message
+        assert "Server.dispatch -> " in f.message  # the chain is spelled out
+
+    def test_sync_only_and_non_serving_roots_are_out_of_scope(self):
+        graph = graph_of({
+            "src/repro/serving/http.py": """
+                import time
+
+                def sync_entry():
+                    time.sleep(0.1)
+                """,
+            "src/repro/cluster/node.py": """
+                import time
+
+                async def pump():
+                    time.sleep(0.1)
+                """,
+        })
+        assert list(self.rule.check_project(graph)) == []
+
+    def test_unresolved_attribute_hops_are_not_followed(self):
+        graph = graph_of({
+            "src/repro/serving/http.py": """
+                async def serve(handler):
+                    handler.dispatch()
+                """,
+            "src/repro/serving/other.py": """
+                import time
+
+                def dispatch():
+                    time.sleep(0.1)
+                """,
+        })
+        assert list(self.rule.check_project(graph)) == []
+
+
+# -- WL007 counter conservation ------------------------------------------------
+
+
+def _conservation(source: str):
+    rule = CounterConservationRule(
+        targets={"repro.guard.admission.Guard.admit": frozenset(
+            {"guard.admitted", "guard.rejected"}
+        )}
+    )
+    graph = graph_of({"src/repro/guard/admission.py": source})
+    return list(rule.check_project(graph))
+
+
+class TestCounterConservation:
+    def test_every_branch_counted_once_is_clean(self):
+        assert _conservation("""
+            class Guard:
+                def admit(self, report):
+                    if report.ok:
+                        self.metrics.incr("guard.admitted")
+                        return True
+                    self.metrics.incr("guard.rejected")
+                    return False
+            """) == []
+
+    def test_uncounted_branch_is_flagged_with_zero(self):
+        findings = _conservation("""
+            class Guard:
+                def admit(self, report):
+                    if report.ok:
+                        return True
+                    self.metrics.incr("guard.rejected")
+                    return False
+            """)
+        assert len(findings) == 1
+        assert "0 outcome increment(s)" in findings[0].message
+
+    def test_double_count_is_flagged_with_two(self):
+        findings = _conservation("""
+            class Guard:
+                def admit(self, report):
+                    self.metrics.incr("guard.admitted")
+                    self.metrics.incr("guard.rejected")
+                    return True
+            """)
+        assert len(findings) == 1
+        assert "2 outcome increment(s)" in findings[0].message
+
+    def test_raise_paths_are_exempt(self):
+        assert _conservation("""
+            class Guard:
+                def admit(self, report):
+                    if report.malformed:
+                        raise ValueError(report)
+                    self.metrics.incr("guard.admitted")
+                    return True
+            """) == []
+
+    def test_helper_calls_on_self_are_summarised(self):
+        assert _conservation("""
+            class Guard:
+                def _reject(self, report):
+                    self.metrics.incr("guard.rejected")
+
+                def admit(self, report):
+                    if not report.ok:
+                        self._reject(report)
+                        return False
+                    self.metrics.incr("guard.admitted")
+                    return True
+            """) == []
+
+    def test_detail_counters_outside_the_outcome_set_count_zero(self):
+        findings = _conservation("""
+            class Guard:
+                def admit(self, report):
+                    self.metrics.incr(f"guard.rejected.{report.reason}")
+                    self.metrics.incr("guard.other_metric")
+                    return False
+            """)
+        assert len(findings) == 1
+        assert "0 outcome increment(s)" in findings[0].message
+
+    def test_exception_handler_assumed_to_fire_before_body_increments(self):
+        # handler path must count on its own; relying on the body's
+        # increment before the exception is exactly the lost-report bug
+        findings = _conservation("""
+            class Guard:
+                def admit(self, report):
+                    try:
+                        self.metrics.incr("guard.admitted")
+                        return True
+                    except Exception:
+                        return False
+            """)
+        assert len(findings) == 1
+        assert "0" in findings[0].message
+
+    def test_absent_targets_are_skipped_silently(self):
+        rule = CounterConservationRule(
+            targets={"repro.nowhere.Missing.entry": frozenset({"x"})}
+        )
+        graph = graph_of({"src/repro/guard/admission.py": "x = 1"})
+        assert list(rule.check_project(graph)) == []
+
+
+# -- WL008 dead registry -------------------------------------------------------
+
+
+def _bulk_modules(n: int = 10) -> dict[str, str]:
+    return {
+        f"src/repro/core/filler_{i}.py": f"FILLER_{i} = {i}" for i in range(n)
+    }
+
+
+def _registry_project() -> ProjectContext:
+    return ProjectContext(
+        metric_names=frozenset({"guard.admitted", "guard.phantom"}),
+        metric_prefixes=("guard.rejected.",),
+        registry_file="src/repro/core/server/metric_names.py",
+        metric_name_lines={"guard.admitted": 10, "guard.phantom": 11},
+        metric_prefix_lines={"guard.rejected.": 20},
+    )
+
+
+class TestDeadRegistry:
+    rule = DeadRegistryRule()
+
+    def test_dead_name_errors_and_dead_prefix_warns_at_registry_lines(self):
+        files = _bulk_modules()
+        files["src/repro/guard/admission.py"] = """
+            class Guard:
+                def account(self):
+                    self.metrics.incr("guard.admitted")
+            """
+        graph = graph_of(files, project=_registry_project())
+        findings = list(self.rule.check_project(graph))
+        assert len(findings) == 2
+        dead = next(f for f in findings if "guard.phantom" in f.message)
+        assert dead.file == "src/repro/core/server/metric_names.py"
+        assert dead.line == 11
+        family = next(f for f in findings if "guard.rejected." in f.message)
+        assert family.severity == SEVERITY_WARN
+        assert family.line == 20
+
+    def test_code_string_reference_outside_the_registry_is_liveness(self):
+        files = _bulk_modules()
+        files["src/repro/guard/admission.py"] = """
+            class Guard:
+                def account(self):
+                    self.metrics.incr("guard.admitted")
+                    self.metrics.incr(f"guard.rejected.{1}")
+
+            SNAPSHOT_KEYS = ["guard.phantom"]
+            """
+        graph = graph_of(files, project=_registry_project())
+        assert list(self.rule.check_project(graph)) == []
+
+    def test_partial_scans_prove_nothing_about_liveness(self):
+        graph = graph_of(
+            {"src/repro/guard/admission.py": "x = 1"},
+            project=_registry_project(),
+        )
+        assert list(self.rule.check_project(graph)) == []
+
+    def test_orphan_kinds_both_directions(self):
+        graph = graph_of({
+            "src/repro/serving/wire.py": """
+                def _enc(e):
+                    return {"kind": "departure_v2"}
+
+                def _dec(d):
+                    return d
+
+                _DECODERS = {"departure": _dec}
+                """,
+        })
+        messages = sorted(f.message for f in self.rule.check_project(graph))
+        assert len(messages) == 2
+        assert "'departure' has a decoder but no encode site" in messages[0]
+        assert "'departure_v2' is emitted but no decoder" in messages[1]
+
+    def test_emits_outside_codec_owning_packages_are_out_of_scope(self):
+        graph = graph_of({
+            "src/repro/serving/wire.py": """
+                def _enc(e):
+                    return {"kind": "departure"}
+
+                def _dec(d):
+                    return d
+
+                _DECODERS = {"departure": _dec}
+                """,
+            "src/repro/lifecycle/manifest.py": """
+                def manifest():
+                    return {"kind": "trained-model"}
+                """,
+        })
+        assert list(self.rule.check_project(graph)) == []
+
+
+# -- WL009 resource discipline (per-file) -------------------------------------
+
+
+class TestResourceDiscipline:
+    rule = ResourceDisciplineRule()
+
+    def test_bare_open_and_socket_are_flagged(self, make_ctx):
+        ctx = make_ctx(
+            "import socket\n"
+            "fh = open('x')\n"
+            "sock = socket.socket()\n"
+        )
+        findings = findings_of(self.rule, ctx)
+        assert [f.line for f in findings] == [2, 3]
+        assert "open(...)" in findings[0].message
+        assert "wl009" in findings[0].message
+
+    def test_with_scoped_opens_are_exempt(self, make_ctx):
+        ctx = make_ctx(
+            "with open('x') as fh:\n"
+            "    fh.read()\n"
+        )
+        assert findings_of(self.rule, ctx) == []
+
+    def test_self_assignment_needs_a_closer_bearing_class(self, make_ctx):
+        owned = make_ctx(
+            "class Writer:\n"
+            "    def start(self):\n"
+            "        self._file = open('seg')\n"
+            "    def close(self):\n"
+            "        self._file.close()\n"
+        )
+        assert findings_of(self.rule, owned) == []
+        unowned = make_ctx(
+            "class Leaky:\n"
+            "    def start(self):\n"
+            "        self._file = open('seg')\n"
+        )
+        assert [f.line for f in findings_of(self.rule, unowned)] == [3]
+
+    def test_try_finally_close_is_the_manual_scoping_idiom(self, make_ctx):
+        ctx = make_ctx(
+            "def copy():\n"
+            "    fh = open('x')\n"
+            "    try:\n"
+            "        return fh.read()\n"
+            "    finally:\n"
+            "        fh.close()\n"
+        )
+        assert findings_of(self.rule, ctx) == []
+
+    def test_marker_on_the_line_above_documents_ownership_transfer(self, make_ctx):
+        ctx = make_ctx(
+            "def adopt(path):\n"
+            "    # wl009: ownership transfers to the wrapper\n"
+            "    return Wrapper(open(path))\n"
+        )
+        assert findings_of(self.rule, ctx) == []
+
+
+# -- WL010 shared-state discipline --------------------------------------------
+
+
+_BUS = """
+    from typing import ClassVar
+
+    class DeltaBus:
+        __shared_state__: ClassVar[dict[str, tuple[str, ...]]] = {
+            "cursors": ("pump",),
+        }
+
+        def __init__(self):
+            self.cursors = {}
+
+        def pump(self):
+            self.cursors[(1, 2)] = 3
+
+        def rogue(self):
+            self.cursors.clear()
+    """
+
+_BUS_WITHOUT_ROGUE = _BUS[: _BUS.index("    def rogue")]
+
+
+class TestSharedState:
+    rule = SharedStateRule()
+
+    def test_owner_methods_and_init_may_write(self):
+        graph = graph_of({"src/repro/cluster/bus.py": _BUS})
+        findings = list(self.rule.check_project(graph))
+        assert len(findings) == 1
+        f = findings[0]
+        assert "non-owner write to shared attribute DeltaBus.cursors" in f.message
+        assert "DeltaBus.rogue" in f.message
+        assert "call:clear" in f.message
+
+    def test_foreign_write_outside_any_owner_method_is_flagged(self):
+        graph = graph_of({
+            "src/repro/cluster/bus.py": _BUS_WITHOUT_ROGUE,
+            "src/repro/elastic/engine.py": """
+                def cutover(router, node):
+                    router.bus.cursors[(1, 2)] = 0
+                """,
+        })
+        findings = list(self.rule.check_project(graph))
+        assert len(findings) == 1
+        assert "foreign write to shared attribute DeltaBus.cursors" in findings[0].message
+        assert findings[0].file == "src/repro/elastic/engine.py"
+
+    def test_foreign_write_inside_a_declaring_owner_method_is_legal(self):
+        # the MigrationJournal.load idiom: an alternate constructor
+        # assembling a fresh instance by name
+        graph = graph_of({
+            "src/repro/elastic/machine.py": """
+                from typing import ClassVar
+
+                class Journal:
+                    __shared_state__: ClassVar[dict[str, tuple[str, ...]]] = {
+                        "phase": ("advance_to", "load"),
+                    }
+
+                    def __init__(self):
+                        self.phase = "PLANNED"
+
+                    def advance_to(self, phase):
+                        self.phase = phase
+
+                    @classmethod
+                    def load(cls, data):
+                        journal = cls()
+                        journal.phase = data["phase"]
+                        return journal
+                """,
+        })
+        assert list(self.rule.check_project(graph)) == []
+
+    def test_same_attr_name_in_an_undeclared_class_is_a_different_attr(self):
+        graph = graph_of({
+            "src/repro/cluster/bus.py": _BUS_WITHOUT_ROGUE,
+            "src/repro/other/thing.py": """
+                class Unrelated:
+                    def anything(self):
+                        self.cursors = []
+                """,
+        })
+        assert list(self.rule.check_project(graph)) == []

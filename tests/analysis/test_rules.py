@@ -27,7 +27,7 @@ def src(snippet: str) -> str:
 
 def test_default_rules_cover_wl001_to_wl005():
     ids = [r.rule_id for r in default_rules()]
-    assert ids == ["WL001", "WL002", "WL003", "WL004", "WL005"]
+    assert ids == ["WL001", "WL002", "WL003", "WL004", "WL005", "WL009"]
     assert all(r.description for r in default_rules())
 
 

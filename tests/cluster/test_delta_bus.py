@@ -194,6 +194,31 @@ class TestDeltaBus:
         assert recovered.core.metrics.counter("cluster.deltas_applied") == applied
         assert bus.pump() == 0
 
+    def test_prime_joiner_starts_cursors_at_the_joiners_high_water(self, city, plan):
+        bus, feeder, query = self.wire(city, plan)
+        for i in range(3):
+            feeder.core.on_traversal(traversal(city, i))
+        joiner = make_node(city, plan, QUERY + 10)
+        for delta in feeder.outbox[:2]:
+            joiner.apply_delta(delta)
+        bus.attach(joiner)
+        bus.prime_joiner(joiner, sorted(bus.nodes))
+        # toward the joiner: everything its durable state saw stays
+        # delivered; from the joiner: a new shard has emitted nothing
+        assert bus.cursors[(FEEDER, joiner.shard_id)] == 2
+        assert bus.cursors[(joiner.shard_id, FEEDER)] == 0
+        assert (joiner.shard_id, joiner.shard_id) not in bus.cursors
+
+    def test_prime_joiner_never_rewinds_an_existing_from_cursor(self, city, plan):
+        # resuming a drain must not re-deliver what a previous attempt
+        # already pumped out of the joiner
+        bus, feeder, query = self.wire(city, plan)
+        joiner = make_node(city, plan, QUERY + 10)
+        bus.attach(joiner)
+        bus.cursors[(joiner.shard_id, FEEDER)] = 5
+        bus.prime_joiner(joiner, sorted(bus.nodes))
+        assert bus.cursors[(joiner.shard_id, FEEDER)] == 5
+
     def test_health_reports_lag_pairs(self, city, plan):
         bus, feeder, query = self.wire(city, plan)
         feeder.core.on_traversal(traversal(city))

@@ -91,6 +91,18 @@ class TestJournalPersistence:
         assert reloaded.phase == ABORTED
         assert reloaded.abort_reason == "drill"
 
+    def test_watermark_records_persist_before_returning(self, tmp_path):
+        # WL010: record_* is the only legal write path for these fields;
+        # a direct assignment would be lost with the coordinator
+        journal = make_journal(tmp_path)
+        journal.save()
+        journal.record_checkpoint_seq(41)
+        assert MigrationJournal.load(tmp_path).checkpoint_wal_seq == 41
+        journal.record_catchup_watermark(57)
+        assert MigrationJournal.load(tmp_path).catchup_watermark == 57
+        journal.record_catchup_watermark(None)
+        assert MigrationJournal.load(tmp_path).catchup_watermark is None
+
 
 class TestTransitions:
     def test_advance_accepts_only_the_lattice_successor(self, tmp_path):
